@@ -1,0 +1,89 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every evaluation artifact of the paper has one bench module here.  Besides
+pytest-benchmark's timing table, each experiment appends human-readable
+rows to a session report that is printed in the terminal summary and
+written to ``benchmarks/results/report.txt`` — that report is the
+regenerated "table/figure".
+"""
+from __future__ import annotations
+
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.population.generator import generate_population
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class ExperimentReport:
+    """Collects experiment tables across the benchmark session."""
+
+    def __init__(self) -> None:
+        self.lines: "list[str]" = []
+
+    def section(self, title: str) -> None:
+        self.lines.append("")
+        self.lines.append(f"=== {title} ===")
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def table(self, header: "list[str]", rows: "list[list[object]]", widths: "list[int] | None" = None) -> None:
+        if widths is None:
+            widths = [max(len(str(h)), *(len(str(r[k])) for r in rows)) + 2 for k, h in enumerate(header)] if rows else [len(h) + 2 for h in header]
+        fmt = "".join(f"{{:<{w}}}" for w in widths)
+        self.lines.append(fmt.format(*header))
+        for r in rows:
+            self.lines.append(fmt.format(*[str(c) for c in r]))
+
+    def dump(self) -> str:
+        return "\n".join(self.lines)
+
+
+_REPORT = ExperimentReport()
+
+
+@pytest.fixture(scope="session")
+def report() -> ExperimentReport:
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    text = _REPORT.dump()
+    if text.strip():
+        terminalreporter.write_sep("=", "experiment report (paper artifact reproductions)")
+        terminalreporter.write_line(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "report.txt").write_text(text + "\n")
+        terminalreporter.write_line(f"\n[report saved to {RESULTS_DIR / 'report.txt'}]")
+
+
+_POP_CACHE: "dict[int, object]" = {}
+
+
+@pytest.fixture(scope="session")
+def population_factory():
+    """Session-cached deterministic populations keyed by size."""
+
+    def get(n: int):
+        if n not in _POP_CACHE:
+            _POP_CACHE[n] = generate_population(n, seed=42)
+        return _POP_CACHE[n]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def host_info() -> "dict[str, str]":
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "processor": platform.processor() or "unknown",
+        "cpu_count": str(os.cpu_count()),
+        "machine": platform.machine(),
+    }

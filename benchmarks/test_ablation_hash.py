@@ -1,0 +1,110 @@
+"""Ablation: hash-function quality vs linear-probing behaviour.
+
+Section IV-A1 picks MurmurHash3 and warns that linear probing "form[s]
+cluster-long chains of occupied slots" that slow insertion; the conclusion
+lists "faster/more fine-tuned hash methods" as future work.
+
+The workload here is the one where hash quality actually matters: a
+*compact debris cloud* occupying a contiguous block of grid cells, so the
+packed cell keys are numerically adjacent.  An identity "hash" maps those
+to adjacent slots, forming exactly the long occupied clusters the paper
+warns about — and every conjunction-detection neighbour lookup that
+*misses* (the overwhelmingly common case: 26 neighbour probes per occupied
+cell, most empty) has to scan the whole cluster before hitting an EMPTY
+slot.  MurmurHash3 scatters the block and keeps both metrics near ideal.
+"""
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.constants import EMPTY_KEY
+from repro.spatial.grid import NEIGHBOR_OFFSETS
+from repro.spatial.hashing import pack_cell_key
+from repro.spatial.hashmap import FixedSizeHashMap
+
+#: A contiguous 40 x 25 x 1 block of occupied cells — a sheared debris
+#: cloud's footprint in the grid.
+_BLOCK = [(cx, cy, cz) for cx in range(1000, 1040) for cy in range(1000, 1025) for cz in (1000,)]
+
+_STATS: "dict[str, tuple[float, float, int]]" = {}
+
+
+@pytest.fixture(scope="module")
+def block_keys():
+    rng = np.random.default_rng(7)
+    coords = np.array(_BLOCK, dtype=np.int64)
+    rng.shuffle(coords)  # insertion order must not hide clustering effects
+    return [int(pack_cell_key(int(c[0]), int(c[1]), int(c[2]))) for c in coords]
+
+
+@pytest.fixture(scope="module")
+def miss_keys():
+    """Unoccupied neighbour-cell keys — the CD phase's dominant lookups."""
+    occupied = set(_BLOCK)
+    misses = set()
+    for cx, cy, cz in _BLOCK:
+        for dx, dy, dz in NEIGHBOR_OFFSETS:
+            cell = (cx + dx, cy + dy, cz + dz)
+            if cell not in occupied:
+                misses.add(cell)
+    return [int(pack_cell_key(*c)) for c in sorted(misses)]
+
+
+def _longest_cluster(hm: FixedSizeHashMap) -> int:
+    occupied = hm.keys_array() != np.uint64(EMPTY_KEY)
+    doubled = np.concatenate([occupied, occupied])
+    best = run = 0
+    for flag in doubled:
+        run = run + 1 if flag else 0
+        best = max(best, run)
+    return min(best, int(occupied.sum()))
+
+
+@pytest.mark.parametrize("hash_name", ["murmur3", "fnv1a", "xorshift", "identity"])
+def test_ablation_hash_function(benchmark, block_keys, miss_keys, hash_name):
+    def build_and_probe():
+        hm = FixedSizeHashMap(2 * len(block_keys), hash_name=hash_name)
+        for k in block_keys:
+            hm.claim_slot(k)
+        insert_probes = hm.probe_count / max(hm.insert_count, 1)
+        hm.probe_count = 0
+        for k in miss_keys:
+            assert hm.lookup(k) == -1
+        miss_probes = hm.probe_count / len(miss_keys)
+        return hm, insert_probes, miss_probes
+
+    hm, insert_probes, miss_probes = benchmark.pedantic(build_and_probe, rounds=1, iterations=1)
+    _STATS[hash_name] = (insert_probes, miss_probes, _longest_cluster(hm))
+    benchmark.extra_info.update(
+        hash=hash_name,
+        insert_probes=round(insert_probes, 3),
+        miss_probes=round(miss_probes, 2),
+        longest_cluster=_longest_cluster(hm),
+    )
+    assert hm.size == len(block_keys)  # correctness regardless of hash quality
+
+
+def test_ablation_hash_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report.section(
+        f"Ablation - hash function (contiguous {len(_BLOCK)}-cell debris block, 2x slots)"
+    )
+    rows = [
+        [name, f"{ins:.3f}", f"{miss:.2f}", cluster]
+        for name, (ins, miss, cluster) in sorted(_STATS.items(), key=lambda kv: kv[1][1])
+    ]
+    report.table(["hash", "probes/insert", "probes/miss-lookup", "longest cluster"], rows)
+    # murmur3 keeps miss lookups near the ideal single probe; identity's
+    # spatially-clustered slots force long scans before an EMPTY is found.
+    assert _STATS["murmur3"][1] < 3.0
+    assert _STATS["identity"][1] > 3.0 * _STATS["murmur3"][1]
+    # At 50% load a random scatter already produces O(log n)-ish clusters;
+    # the identity hash must exceed that noticeably (its cluster is the
+    # block's full x-run length).
+    assert _STATS["identity"][2] > 1.5 * _STATS["murmur3"][2]
+    report.row("  identity hashing turns the cloud's cell block into probe chains that")
+    report.row("  every empty-neighbour lookup must scan - murmur3 (the paper's choice)")
+    report.row("  keeps both insertion and miss lookups near one probe")

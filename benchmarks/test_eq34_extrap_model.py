@@ -1,0 +1,104 @@
+"""Eqs. 3/4: fitting the conjunction-count model Extra-P style.
+
+The paper sweeps its parameters, measures the number of conjunction-map
+records, and fits ``c' = C * n^a * s^b * t^c * d^e`` with Extra-P, getting
+``n^2 s^{4/3} t d^{7/4}`` (grid) and ``n^2 s^{5/3} t d`` (hybrid).
+
+This bench reruns that methodology on the reproduction: sweep (n, s, t,
+d), count the records the grid phase stores, fit with
+:func:`repro.perfmodel.extrap.fit_power_law`, and compare the recovered
+exponents with the paper's.  Exact exponents depend on the population and
+scale, so the assertions target the structure: conjunction records grow
+about quadratically in n, about linearly in t, and increase with both s
+and d.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.gridbased import _make_conjmap, collect_grid_candidates
+from repro.detection.types import ScreeningConfig
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer
+from repro.perfmodel.extrap import fit_power_law, paper_conjunction_model
+from repro.spatial.grid import cell_size_km
+
+#: Sweep axes (scaled to interpreter speed; the paper sweeps to 1M).
+N_VALUES = (500, 1000, 2000)
+S_VALUES = (2.0, 4.0, 8.0)
+T_VALUES = (300.0, 600.0)
+D_VALUES = (2.0, 4.0)
+
+
+def _count_records(pop, n, s, t, d) -> int:
+    cfg = ScreeningConfig(threshold_km=d, duration_s=t, seconds_per_sample=s)
+    cell = cell_size_km(d, s)
+    conj = _make_conjmap(n, cfg, "grid", s)
+    prop = Propagator(pop)
+    ids = np.arange(n, dtype=np.int64)
+    conj = collect_grid_candidates(
+        prop, ids, cfg.sample_times(), cell, conj, cfg, "vectorized", PhaseTimer()
+    )
+    return conj.size
+
+
+def test_eq34_fit_conjunction_model(benchmark, population_factory, report):
+    observations = []
+
+    def sweep():
+        obs = []
+        for n in N_VALUES:
+            pop = population_factory(n)
+            for s in S_VALUES:
+                for t in T_VALUES:
+                    for d in D_VALUES:
+                        count = _count_records(pop, n, s, t, d)
+                        obs.append(({"n": float(n), "s": s, "t": t, "d": d}, float(max(count, 1))))
+        return obs
+
+    observations = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fitted = fit_power_law(["n", "s", "t", "d"], observations)
+    paper = paper_conjunction_model("grid")
+
+    report.section("Eq. 3 - Extra-P conjunction-count model (grid variant)")
+    report.table(
+        ["parameter", "paper exponent", "fitted exponent"],
+        [
+            ["n (satellites)", f"{paper.exponents[0]:.3f}", f"{fitted.exponents[0]:.3f}"],
+            ["s (sec/sample)", f"{paper.exponents[1]:.3f}", f"{fitted.exponents[1]:.3f}"],
+            ["t (span)", f"{paper.exponents[2]:.3f}", f"{fitted.exponents[2]:.3f}"],
+            ["d (threshold)", f"{paper.exponents[3]:.3f}", f"{fitted.exponents[3]:.3f}"],
+        ],
+    )
+    report.row(f"  fitted coefficient: {fitted.coefficient:.3g} "
+               f"(paper: {paper.coefficient:.3g}; depends on population density)")
+    report.row(f"  log-residual: {fitted.residual:.3f} over {len(observations)} observations")
+
+    n_exp, s_exp, t_exp, d_exp = fitted.exponents
+    assert 1.5 <= n_exp <= 2.5, f"records should grow ~quadratically in n, got {n_exp}"
+    assert 0.5 <= t_exp <= 1.5, f"records should grow ~linearly in t, got {t_exp}"
+    assert s_exp > 0.0, "coarser sampling (bigger cells) must increase records"
+    assert d_exp > 0.0, "larger thresholds must increase records"
+
+
+def test_eq34_paper_model_predictions(benchmark, report):
+    """Sanity-check the embedded paper models across the paper's range."""
+
+    def evaluate():
+        grid = paper_conjunction_model("grid")
+        hybrid = paper_conjunction_model("hybrid")
+        rows = []
+        for n in (2_000, 64_000, 1_024_000):
+            g = grid.predict(n=float(n), s=1.0, t=3600.0, d=2.0)
+            h = hybrid.predict(n=float(n), s=9.0, t=3600.0, d=2.0)
+            rows.append([n, f"{g:,.0f}", f"{h:,.0f}"])
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    report.section("Eqs. 3/4 - paper model predictions (t=1h, d=2km)")
+    report.table(["n", "grid c' (s=1)", "hybrid c' (s=9)"], rows)
+    # The hybrid map is larger at equal n (the memory trade of Section III).
+    grid_1m = paper_conjunction_model("grid").predict(n=1_024_000.0, s=1.0, t=3600.0, d=2.0)
+    hybrid_1m = paper_conjunction_model("hybrid").predict(n=1_024_000.0, s=9.0, t=3600.0, d=2.0)
+    assert hybrid_1m > grid_1m

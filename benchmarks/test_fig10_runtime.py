@@ -1,0 +1,186 @@
+"""Fig. 10: runtime of all variants over population size.
+
+The paper's headline evaluation (Fig. 10a/b/c): runtime of the legacy
+baseline versus the grid-based and hybrid variants on CPU (serial /
+threads) and GPU (vectorized numpy here) across population sizes.
+
+Population sizes are scaled to interpreter speed (the paper runs 2k-1M on
+native CUDA/OpenMP; see DESIGN.md's substitution table).  The reproduction
+targets are the curve *shapes*:
+
+* the legacy baseline grows super-linearly and is the slowest large-n,
+* both proposed variants overtake it as n grows,
+* the hybrid variant beats the grid variant at equal backend,
+* the vectorized ("GPU") backends beat the Python-loop ("CPU") ones.
+
+Series are encoded as one benchmark case each, so pytest-benchmark's own
+table reads as the figure; the shape assertions and the per-size summary
+live in the experiment report.
+"""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+
+CFG = ScreeningConfig(
+    threshold_km=2.0,
+    duration_s=600.0,
+    seconds_per_sample=2.0,
+    hybrid_seconds_per_sample=10.0,
+)
+
+#: (figure panel, n, method, backend) — legacy only at small n (its O(n^2)
+#: would dominate the harness, exactly the paper's point).
+CASES_A = [
+    (250, "legacy", "serial"),
+    (250, "grid", "serial"),
+    (250, "hybrid", "serial"),
+    (250, "grid", "vectorized"),
+    (250, "hybrid", "vectorized"),
+    (1000, "legacy", "serial"),
+    (1000, "grid", "serial"),
+    (1000, "hybrid", "serial"),
+    (1000, "grid", "vectorized"),
+    (1000, "hybrid", "vectorized"),
+]
+CASES_B = [
+    (2000, "legacy", "serial"),
+    (2000, "grid", "serial"),
+    (2000, "hybrid", "serial"),
+    (2000, "grid", "vectorized"),
+    (2000, "hybrid", "vectorized"),
+    (4000, "legacy", "serial"),
+    (4000, "hybrid", "serial"),
+    (4000, "grid", "vectorized"),
+    (4000, "hybrid", "vectorized"),
+]
+CASES_C = [
+    (8000, "grid", "vectorized"),
+    (8000, "hybrid", "vectorized"),
+    (16000, "grid", "vectorized"),
+    (16000, "hybrid", "vectorized"),
+    (32000, "grid", "vectorized"),
+    (32000, "hybrid", "vectorized"),
+]
+
+_TIMINGS: "dict[tuple[int, str, str], float]" = {}
+
+
+def _run_case(benchmark, population_factory, n, method, backend):
+    pop = population_factory(n)
+
+    def run():
+        return screen(pop, CFG, method=method, backend=backend)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _TIMINGS[(n, method, backend)] = benchmark.stats.stats.mean
+    benchmark.extra_info.update(
+        n=n, method=method, backend=backend, conjunctions=result.n_conjunctions
+    )
+    return result
+
+
+@pytest.mark.parametrize("n,method,backend", CASES_A)
+def test_fig10a_small(benchmark, population_factory, n, method, backend):
+    _run_case(benchmark, population_factory, n, method, backend)
+
+
+@pytest.mark.parametrize("n,method,backend", CASES_B)
+def test_fig10b_medium(benchmark, population_factory, n, method, backend):
+    _run_case(benchmark, population_factory, n, method, backend)
+
+
+@pytest.mark.parametrize("n,method,backend", CASES_C)
+def test_fig10c_large(benchmark, population_factory, n, method, backend):
+    _run_case(benchmark, population_factory, n, method, backend)
+
+
+def test_fig10_shape_assertions(benchmark, report):
+    """Verify the figure's qualitative claims on the measured timings and
+    write the regenerated figure (runtime table) to the report."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    t = _TIMINGS
+    sizes = sorted({n for n, _, _ in t})
+
+    report.section("Fig. 10 - runtime by population size (seconds)")
+    header = ["n", "legacy", "grid-ser", "hyb-ser", "grid-vec", "hyb-vec"]
+    rows = []
+    for n in sizes:
+        def cell(method, backend):
+            v = t.get((n, method, backend))
+            return f"{v:.2f}" if v is not None else "-"
+
+        rows.append([
+            n,
+            cell("legacy", "serial"),
+            cell("grid", "serial"),
+            cell("hybrid", "serial"),
+            cell("grid", "vectorized"),
+            cell("hybrid", "vectorized"),
+        ])
+    report.table(header, rows)
+
+    # Shape 1: legacy grows super-linearly (t(4000)/t(1000) >> 4).
+    if (1000, "legacy", "serial") in t and (4000, "legacy", "serial") in t:
+        growth = t[(4000, "legacy", "serial")] / t[(1000, "legacy", "serial")]
+        report.row(f"  legacy growth 1000->4000 (4x n): {growth:.1f}x time "
+                   f"(super-linear; ideal quadratic = 16x)")
+        assert growth > 6.0, "legacy baseline should scale super-linearly"
+
+    # Shape 2: the proposed variants overtake legacy by 4000 objects.
+    for method, backend in (("hybrid", "vectorized"), ("grid", "vectorized")):
+        if (4000, method, backend) in t and (4000, "legacy", "serial") in t:
+            speedup = t[(4000, "legacy", "serial")] / t[(4000, method, backend)]
+            report.row(f"  {method}-{backend} vs legacy at n=4000: {speedup:.0f}x faster")
+            assert speedup > 2.0, f"{method}/{backend} should beat legacy at n=4000"
+
+    # Shape 3: hybrid beats grid per backend at the largest common size.
+    for backend in ("vectorized",):
+        n_max = max(n for n in sizes if (n, "grid", backend) in t and (n, "hybrid", backend) in t)
+        ratio = t[(n_max, "grid", backend)] / t[(n_max, "hybrid", backend)]
+        report.row(f"  grid/hybrid runtime ratio at n={n_max} ({backend}): {ratio:.1f}x "
+                   f"(paper: hybrid faster when memory suffices)")
+        assert ratio > 1.0, "hybrid should be faster than grid (enough memory here)"
+
+    # Shape 4: vectorized ("GPU") beats the Python-loop ("CPU") backend.
+    for method in ("grid", "hybrid"):
+        common = [n for n in sizes if (n, method, "serial") in t and (n, method, "vectorized") in t]
+        if common:
+            n_big = max(common)
+            adv = t[(n_big, method, "serial")] / t[(n_big, method, "vectorized")]
+            report.row(f"  {method}: vectorized vs serial at n={n_big}: {adv:.1f}x")
+            assert adv > 1.5
+
+    # Shape 5: grid/hybrid growth is far below quadratic.
+    if (8000, "grid", "vectorized") in t and (32000, "grid", "vectorized") in t:
+        growth = t[(32000, "grid", "vectorized")] / t[(8000, "grid", "vectorized")]
+        report.row(f"  grid-vec growth 8000->32000 (4x n): {growth:.1f}x time "
+                   f"(quadratic would be 16x)")
+        assert growth < 10.0
+
+    # Crossover analysis: fit t(n) = C n^k per series and predict where
+    # each proposed variant overtakes legacy — the Fig. 10 statements.
+    from repro.perfmodel.runtime import compare_runtimes
+
+    series: "dict[str, list[tuple[int, float]]]" = {}
+    for (n, method, backend), secs in t.items():
+        series.setdefault(f"{method}-{backend[:3]}", []).append((n, secs))
+    series = {k: v for k, v in series.items() if len(v) >= 3}
+    if "legacy-ser" in series and len(series) >= 2:
+        cmp = compare_runtimes(series)
+        report.row("  fitted runtime exponents: " + ", ".join(
+            f"{name} n^{cmp.models[name].exponents[0]:.2f}" for name in sorted(series)
+        ))
+        for overtaken, overtaker, n_cross in cmp.crossovers():
+            if overtaken == "legacy-ser":
+                report.row(f"  predicted crossover: {overtaker} overtakes legacy at "
+                           f"n ~ {n_cross:,.0f}")
+        # Legacy must carry the steepest fitted exponent.
+        k_legacy = cmp.models["legacy-ser"].exponents[0]
+        assert all(
+            cmp.models[name].exponents[0] <= k_legacy for name in series
+        ), "legacy should have the steepest runtime growth"

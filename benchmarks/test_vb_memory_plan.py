@@ -1,0 +1,65 @@
+"""Section V-B: the memory parameterisation across the paper's scales.
+
+Regenerates the planning table the paper derives: for each population size
+and memory budget, the parallelisation factor ``p``, total samples ``o``,
+computation rounds ``r_c``, and the automatic seconds-per-sample
+adjustment observed at 512k (9 -> 4) and 1M (9 -> 1) satellites on the
+24 GB GPU.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.memory import plan_memory
+
+GB = 2**30
+
+#: The paper's three memory configurations.
+BUDGETS = [("RTX 3090", 24 * GB), ("Ryzen system", 64 * GB), ("Xeon system", 384 * GB)]
+
+SIZES = (2_000, 64_000, 256_000, 512_000, 1_024_000)
+
+
+def test_vb_memory_plans(benchmark, report):
+    def build_plans():
+        out = []
+        for label, budget in BUDGETS:
+            for n in SIZES:
+                plan = plan_memory(
+                    n_satellites=n, seconds_per_sample=9.0, duration_s=86400.0,
+                    threshold_km=2.0, variant="hybrid", budget_bytes=budget,
+                )
+                out.append((label, n, plan))
+        return out
+
+    plans = benchmark.pedantic(build_plans, rounds=1, iterations=1)
+
+    report.section("Section V-B - memory plans (hybrid, 24 h span, d=2 km, requested s_ps=9)")
+    rows = []
+    for label, n, plan in plans:
+        rows.append([
+            label, f"{n:,}", f"{plan.seconds_per_sample:.0f}",
+            f"{plan.parallel_steps:,}", f"{plan.total_samples:,}",
+            f"{plan.computation_rounds:,}",
+            f"{plan.total_bytes / GB:.1f} GiB",
+        ])
+    report.table(["budget", "n", "s_ps", "p", "o", "r_c", "footprint"], rows)
+
+    # The paper's observed adjustments on the 24 GB GPU.
+    plan_512k = next(p for l, n, p in plans if l == "RTX 3090" and n == 512_000)
+    plan_1m = next(p for l, n, p in plans if l == "RTX 3090" and n == 1_024_000)
+    report.row(f"  24 GB auto-adjustment: 512k -> s_ps {plan_512k.seconds_per_sample:.0f}, "
+               f"1M -> s_ps {plan_1m.seconds_per_sample:.0f} (paper: 9->4 and 9->1)")
+    assert plan_512k.was_adjusted, "512k satellites must not fit at s_ps=9 in 24 GB"
+    assert plan_1m.was_adjusted
+    assert plan_1m.seconds_per_sample <= plan_512k.seconds_per_sample
+
+    # Plans always fit their budget and cover all samples.
+    for _, _, plan in plans:
+        assert plan.total_bytes <= plan.budget_bytes
+        assert plan.computation_rounds * plan.parallel_steps >= plan.total_samples
+
+    # More memory -> more parallel steps at equal n.
+    p24 = next(p for l, n, p in plans if l == "RTX 3090" and n == 64_000)
+    p384 = next(p for l, n, p in plans if l == "Xeon system" and n == 64_000)
+    assert p384.parallel_steps >= p24.parallel_steps

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A day in the life of a screening service.
+
+Chains the library's operational layers end to end:
+
+1. a :class:`ScreeningCampaign` re-screens an advancing catalog window by
+   window, tracking events across windows (two-body epoch advance here, so
+   the maneuver sizing below shares the campaign's exact timeline; see
+   ``j2_drift_screening.py`` for the perturbed-epoch flavour);
+2. the campaign's risk summary maps each event's lead time to a collision
+   probability under growing uncertainty;
+3. for the riskiest event, an avoidance maneuver is sized at two different
+   burn epochs, reproducing the earlier-is-cheaper rule every operator
+   lives by.
+
+Run:  python examples/daily_operations.py
+"""
+from __future__ import annotations
+
+from repro import ScreeningConfig, generate_population
+from repro.analysis.avoidance import size_avoidance_maneuver
+from repro.ops.campaign import ScreeningCampaign
+
+
+def main() -> None:
+    catalog = generate_population(1500, seed=2026)
+    config = ScreeningConfig(
+        threshold_km=5.0, duration_s=1800.0, hybrid_seconds_per_sample=9.0
+    )
+    campaign = ScreeningCampaign(
+        catalog, config, method="hybrid", backend="vectorized", use_j2=False
+    )
+
+    print("running four 30-minute screening windows:")
+    for day in campaign.run(4):
+        print(f"  window {day.window}: [{day.start_s:7.0f}, {day.start_s + config.duration_s:7.0f}] s"
+              f"  {day.result.n_conjunctions:>3} conjunctions"
+              f"  ({day.new_events} new, {day.reobserved_events} re-observed)")
+
+    print(f"\ntracked events: {len(campaign.events)} "
+          f"({campaign.total_conjunctions_seen} sightings)")
+    summary = campaign.risk_summary(sigma0_km=0.1, growth_km_per_day=0.4)
+    for ev, sigma, poc in summary[:5]:
+        print(f"  {ev.i:>5}/{ev.j:<5} TCA {ev.tca_abs_s:8.1f} s  "
+              f"PCA {ev.pca_km:6.3f} km  sigma {sigma:.2f} km  P_c {poc:.2e}")
+
+    if not summary:
+        print("no events this cycle - quiet skies")
+        return
+
+    ev, _, _ = summary[0]
+    print(f"\nsizing an avoidance maneuver for the top event "
+          f"({ev.i} vs {ev.j}, PCA {ev.pca_km:.3f} km):")
+    target = catalog[ev.i]
+    chaser = catalog[ev.j]
+    for lead_label, burn_time in (("half an orbit before TCA", ev.tca_abs_s - 2900.0),
+                                  ("two orbits before TCA", ev.tca_abs_s - 11600.0)):
+        try:
+            plan = size_avoidance_maneuver(
+                target, chaser, tca_s=ev.tca_abs_s, burn_time_s=burn_time,
+                clearance_km=5.0,
+            )
+            print(f"  burn {lead_label:<26}: {plan.delta_v_cms:8.2f} cm/s "
+                  f"-> miss {plan.miss_after_km:.2f} km")
+        except (RuntimeError, ValueError) as exc:
+            print(f"  burn {lead_label:<26}: not feasible ({exc})")
+    print("\nthe earlier burn achieves the same clearance for less delta-v -")
+    print("the operational payoff of early screening (Section I).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Perturbed propagation: how J2 drift reshapes the conjunction picture.
+
+The paper's screening is two-body ("exchanging ... other propagators"
+is listed as future work).  This example uses the J2 secular propagator
+extension to show why that matters for multi-day screening:
+
+1. the classic J2 design numbers (ISS regression, sun-synchronous
+   precession, the frozen critical inclination) fall out of the rates;
+2. two orbits that are conjunction-free under two-body motion drift into
+   a conjunction geometry after days of differential node regression.
+
+Run:  python examples/j2_drift_screening.py
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import R_EARTH
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.j2 import J2Propagator, j2_secular_rates
+from repro.orbits.propagation import Propagator
+
+
+def main() -> None:
+    showcase = OrbitalElementsArray.from_elements(
+        [
+            KeplerElements(a=R_EARTH + 420.0, e=0.0005, i=math.radians(51.6), raan=0, argp=0, m0=0),
+            KeplerElements(a=R_EARTH + 700.0, e=0.001, i=math.radians(98.19), raan=0, argp=0, m0=0),
+            KeplerElements(a=26560.0, e=0.01, i=math.radians(63.435), raan=0, argp=0, m0=0),
+        ]
+    )
+    raan_dot, argp_dot, _ = j2_secular_rates(showcase)
+    names = ["ISS-like (51.6 deg, 420 km)", "sun-synchronous (98.2 deg, 700 km)",
+             "Molniya-critical (63.4 deg)"]
+    print("J2 secular rates (degrees/day):")
+    for k, name in enumerate(names):
+        print(f"  {name:<36} node {math.degrees(raan_dot[k]) * 86400:+7.3f}   "
+              f"perigee {math.degrees(argp_dot[k]) * 86400:+7.3f}")
+    print("  (ISS plane regresses ~5 deg/day; SSO +0.986 deg/day tracks the Sun;")
+    print("   the critical inclination freezes the perigee - all reproduced)\n")
+
+    # Two shells whose planes start 20 degrees apart in RAAN but regress at
+    # different rates: their mutual geometry changes day by day.
+    sat_a = KeplerElements(a=R_EARTH + 550.0, e=0.0008, i=math.radians(53.0),
+                           raan=0.0, argp=0.0, m0=0.0)
+    sat_b = KeplerElements(a=R_EARTH + 552.0, e=0.0008, i=math.radians(97.6),
+                           raan=math.radians(20.0), argp=0.0, m0=1.0)
+    pair = OrbitalElementsArray.from_elements([sat_a, sat_b])
+    two_body = Propagator(pair)
+    j2 = J2Propagator(pair)
+
+    print("minimum sampled distance per day (two-body vs J2 drift):")
+    print(f"  {'day':>4}  {'two-body (km)':>14}  {'with J2 (km)':>13}")
+    for day in range(0, 8):
+        t0 = day * 86400.0
+        ts = t0 + np.linspace(0.0, 5700.0, 2000)
+        d_tb = min(
+            float(np.linalg.norm(np.diff(two_body.positions(float(t)), axis=0)))
+            for t in ts[::20]
+        )
+        d_j2 = min(
+            float(np.linalg.norm(np.diff(j2.positions(float(t)), axis=0)))
+            for t in ts[::20]
+        )
+        print(f"  {day:>4}  {d_tb:14.1f}  {d_j2:13.1f}")
+    print("\nunder two-body motion the encounter geometry is frozen; with J2 the")
+    print("planes precess at different rates and the daily minimum distance")
+    print("drifts - the reason operational screening re-propagates every day.")
+
+
+if __name__ == "__main__":
+    main()

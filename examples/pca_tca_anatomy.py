@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Anatomy of a conjunction: the distance curve of Fig. 2.
+
+Reproduces the paper's Figure 2 for an engineered satellite pair: the
+inter-satellite distance over time, its local minima (the PCAs at their
+TCAs), and the screening threshold that separates reportable conjunctions
+from ignorable approaches.  Rendered as an ASCII chart plus the exact
+refined minima from the Brent search.
+
+Run:  python examples/pca_tca_anatomy.py
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import ScreeningConfig, screen
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+
+THRESHOLD_KM = 5.0
+SPAN_S = 6000.0
+
+
+def ascii_chart(ts: np.ndarray, ds: np.ndarray, threshold: float, height: int = 18) -> str:
+    """Log-scale ASCII rendering of the distance curve."""
+    lo, hi = math.log10(max(ds.min(), 0.1)), math.log10(ds.max())
+    rows = []
+    for level in range(height, -1, -1):
+        value = 10 ** (lo + (hi - lo) * level / height)
+        marker = "-" if value >= threshold * 0.97 and value <= threshold * 1.03 else " "
+        line = []
+        for d in ds[:: max(1, len(ds) // 100)]:
+            if abs(math.log10(max(d, 0.1)) - (lo + (hi - lo) * level / height)) < (hi - lo) / (2 * height):
+                line.append("*")
+            else:
+                line.append(marker)
+        rows.append(f"{value:9.1f} km |" + "".join(line))
+    rows.append(" " * 13 + "+" + "-" * 100)
+    rows.append(" " * 14 + f"t = 0 s {'':<84} t = {ts[-1]:.0f} s")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    el1 = KeplerElements(a=7000.0, e=0.001, i=math.radians(50), raan=0.0, argp=0.0, m0=0.0)
+    el2 = KeplerElements(a=7001.0, e=0.001, i=math.radians(55), raan=0.0, argp=0.0, m0=1e-4)
+    pop = OrbitalElementsArray.from_elements([el1, el2])
+
+    prop = Propagator(pop)
+    ts = np.linspace(0.0, SPAN_S, 2000)
+    ds = np.array([float(np.linalg.norm(np.diff(prop.positions(t), axis=0))) for t in ts])
+
+    print("distance between the two satellites over time "
+          f"(log scale; '-' row = {THRESHOLD_KM} km screening threshold):\n")
+    print(ascii_chart(ts, ds, THRESHOLD_KM))
+
+    config = ScreeningConfig(threshold_km=THRESHOLD_KM, duration_s=SPAN_S, seconds_per_sample=1.0)
+    result = screen(pop, config, method="grid", backend="vectorized")
+    print("\nrefined minima below the threshold (the blue dots of Fig. 2):")
+    for c in result.conjunctions():
+        print(f"  TCA = {c.tca_s:8.2f} s   PCA = {c.pca_km:6.3f} km")
+    print(f"\nsampled curve minimum for comparison: {ds.min():.3f} km "
+          f"at t = {ts[np.argmin(ds)]:.1f} s")
+    print("local minima above the threshold are approaches, not conjunctions - "
+          "they are discarded by the screening (Fig. 2's dashed line).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""From screening to risk: collision probability and CDM generation.
+
+The screening phase (the paper's contribution) hands sub-threshold
+encounters to "a more detailed subsequent conjunction assessment process"
+(Section III).  This example runs that full pipeline:
+
+1. screen a population with the hybrid variant;
+2. compute each conjunction's collision probability from the miss
+   distance under position uncertainty (encounter-plane Rice integral);
+3. rank by risk and emit CDM-style records for the top events;
+4. show the probability-dilution effect that drives screening-threshold
+   choices.
+
+Run:  python examples/risk_assessment.py
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ScreeningConfig, generate_population, screen
+from repro.analysis.poc import collision_probability, rank_conjunctions
+from repro.io import format_cdm
+
+SIGMA_KM = 0.5          # combined 1-sigma position uncertainty
+HARD_BODY_KM = 0.02     # combined hard-body radius (20 m)
+
+
+def main() -> None:
+    pop = generate_population(3000, seed=99)
+    config = ScreeningConfig(threshold_km=5.0, duration_s=1800.0, hybrid_seconds_per_sample=9.0)
+    result = screen(pop, config, method="hybrid", backend="vectorized")
+    print(result.summary())
+
+    ranked = rank_conjunctions(result, sigma_km=SIGMA_KM, hard_body_radius_km=HARD_BODY_KM)
+    print(f"\nrisk ranking (sigma={SIGMA_KM} km, hard body={HARD_BODY_KM * 1000:.0f} m):")
+    for e in ranked[:8]:
+        flag = "  << above 1e-4 maneuver threshold" if e.probability > 1e-4 else ""
+        print(f"  {e.i:>5}/{e.j:<5} PCA {e.pca_km:6.3f} km  P_c = {e.probability:.3e}{flag}")
+
+    if ranked:
+        print("\nCDM records for the top 2 events:\n")
+        top = result
+        print(format_cdm(top, sigma_km=SIGMA_KM, hard_body_radius_km=HARD_BODY_KM)
+              .split("\n\n")[0])
+
+    # The dilution effect: for a fixed 1 km miss, P_c is NOT monotone in
+    # the uncertainty - poor tracking can make a conjunction look "safe".
+    print("\nprobability dilution at a fixed 1 km miss distance:")
+    for sigma in (0.05, 0.2, 0.5, 1.0, 5.0, 20.0):
+        p = collision_probability(1.0, sigma, HARD_BODY_KM)
+        bar = "#" * int(max(0.0, 12 + np.log10(max(p, 1e-30))))
+        print(f"  sigma {sigma:5.2f} km -> P_c {p:.3e}  {bar}")
+    print("the peak at intermediate sigma is why screening uses a distance "
+          "threshold sized to the *largest typical* uncertainty (Section III).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) on environments
+without the ``wheel`` package, such as offline build hosts.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Post-screening analysis: collision probability and risk ranking.
+
+The paper's screening phase hands "all encounters with a minimal distance
+below this threshold ... for further assessment" to "a more detailed
+subsequent conjunction assessment process" (Section III).  This subpackage
+implements that downstream step: per-conjunction collision probability
+from the miss distance under position uncertainty, and risk ranking of a
+screening result.
+"""
+from repro.analysis.complexity import (
+    ShellDecomposition,
+    decompose_shells,
+    predicted_candidates_per_step,
+)
+from repro.analysis.poc import collision_probability, rank_conjunctions
+
+__all__ = [
+    "ShellDecomposition",
+    "collision_probability",
+    "decompose_shells",
+    "predicted_candidates_per_step",
+    "rank_conjunctions",
+]

@@ -1,0 +1,71 @@
+"""Gabbard diagrams: the classic fragmentation-cloud fingerprint.
+
+A Gabbard diagram plots each object's apogee and perigee altitude against
+its orbital period.  A fresh breakup cloud forms the characteristic "X":
+fragments boosted prograde gain period and apogee (upper-right arm) while
+their perigees stay pinned at the breakup altitude; retrograde fragments
+mirror it.  The data behind the plot is exactly what debris analysts
+extract from events like the Yunhai 1-02 collision the paper's
+introduction cites.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import R_EARTH
+from repro.orbits.elements import OrbitalElementsArray
+
+
+@dataclass(frozen=True)
+class GabbardData:
+    """Per-object series of a Gabbard diagram."""
+
+    period_min: np.ndarray  # orbital period, minutes
+    apogee_alt_km: np.ndarray  # apogee altitude above the surface
+    perigee_alt_km: np.ndarray  # perigee altitude above the surface
+
+    def __len__(self) -> int:
+        return len(self.period_min)
+
+    @property
+    def pinned_altitude_km(self) -> float:
+        """The breakup altitude estimate: where apogee and perigee arms
+        meet — the median of each object's closer-to-pin apsis."""
+        pin_candidates = np.where(
+            np.abs(self.apogee_alt_km - np.median(self.perigee_alt_km))
+            < np.abs(self.perigee_alt_km - np.median(self.apogee_alt_km)),
+            self.apogee_alt_km,
+            self.perigee_alt_km,
+        )
+        return float(np.median(pin_candidates))
+
+    def ascii_plot(self, width: int = 72, height: int = 20) -> str:
+        """Monospace rendering: ``o`` = apogee, ``.`` = perigee points."""
+        p_lo, p_hi = float(self.period_min.min()), float(self.period_min.max())
+        alts = np.concatenate([self.apogee_alt_km, self.perigee_alt_km])
+        a_lo, a_hi = float(alts.min()), float(alts.max())
+        p_span = max(p_hi - p_lo, 1e-9)
+        a_span = max(a_hi - a_lo, 1e-9)
+        canvas = [[" "] * width for _ in range(height)]
+        for alt_series, mark in ((self.apogee_alt_km, "o"), (self.perigee_alt_km, ".")):
+            for p, alt in zip(self.period_min, alt_series):
+                x = int((p - p_lo) / p_span * (width - 1))
+                y = height - 1 - int((alt - a_lo) / a_span * (height - 1))
+                canvas[y][x] = mark
+        lines = [f"{a_hi:8.0f} km |" + "".join(canvas[0])]
+        lines += ["            |" + "".join(row) for row in canvas[1:-1]]
+        lines.append(f"{a_lo:8.0f} km |" + "".join(canvas[-1]))
+        lines.append("            +" + "-" * width)
+        lines.append(f"             {p_lo:.1f} min{'':{max(width - 22, 1)}}{p_hi:.1f} min")
+        return "\n".join(lines)
+
+
+def gabbard_data(population: OrbitalElementsArray) -> GabbardData:
+    """Compute the Gabbard series for a population (typically a cloud)."""
+    return GabbardData(
+        period_min=population.period / 60.0,
+        apogee_alt_km=population.apogee - R_EARTH,
+        perigee_alt_km=population.perigee - R_EARTH,
+    )

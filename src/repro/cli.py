@@ -1,0 +1,163 @@
+"""Command-line interface: ``repro-screen`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``screen``    generate (or load) a population and run a screening method
+``generate``  write a synthetic population as a TLE catalog
+``plan``      print the Section V-B memory plan for a configuration
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.detection.api import METHODS, screen
+from repro.detection.types import ScreeningConfig
+from repro.parallel.backend import BACKENDS
+from repro.perfmodel.memory import plan_memory
+from repro.population.generator import generate_population
+from repro.population.tle import format_tle, parse_tle_file
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-screen",
+        description="Satellite conjunction screening with spatial data structures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_screen = sub.add_parser("screen", help="run a conjunction screening")
+    p_screen.add_argument("--objects", type=int, default=2000, help="population size")
+    p_screen.add_argument("--seed", type=int, default=42, help="population RNG seed")
+    p_screen.add_argument("--catalog", type=str, help="TLE file to screen instead of a synthetic population")
+    p_screen.add_argument("--method", choices=METHODS, default="hybrid")
+    p_screen.add_argument("--backend", choices=BACKENDS, default="vectorized")
+    p_screen.add_argument("--threshold-km", type=float, default=2.0)
+    p_screen.add_argument("--duration-s", type=float, default=3600.0)
+    p_screen.add_argument("--sps", type=float, default=1.0, help="seconds per sample (grid variant)")
+    p_screen.add_argument("--hybrid-sps", type=float, default=9.0, help="seconds per sample (hybrid variant)")
+    p_screen.add_argument("--threads", type=int, help="thread count for the threads backend")
+    p_screen.add_argument("--max-print", type=int, default=20, help="conjunctions to list")
+    p_screen.add_argument("--output", type=str, help="write the conjunctions as CSV")
+    p_screen.add_argument("--cdm", type=str, help="write CDM-style records to this file")
+    p_screen.add_argument("--report", action="store_true",
+                          help="print the full analyst report (histograms, timeline)")
+
+    p_gen = sub.add_parser("generate", help="write a synthetic population as TLEs")
+    p_gen.add_argument("--objects", type=int, default=2000)
+    p_gen.add_argument("--seed", type=int, default=42)
+    p_gen.add_argument("--output", type=str, required=True)
+
+    p_plan = sub.add_parser("plan", help="print the V-B memory plan")
+    p_plan.add_argument("--objects", type=int, required=True)
+    p_plan.add_argument("--budget-gb", type=float, default=24.0)
+    p_plan.add_argument("--variant", choices=("grid", "hybrid"), default="hybrid")
+    p_plan.add_argument("--threshold-km", type=float, default=2.0)
+    p_plan.add_argument("--duration-s", type=float, default=3600.0)
+    p_plan.add_argument("--sps", type=float, default=9.0)
+    return parser
+
+
+def _load_catalog(path: str):
+    from repro.orbits.elements import OrbitalElementsArray
+
+    with open(path, "r", encoding="utf-8") as fh:
+        records = parse_tle_file(fh.read())
+    if not records:
+        raise SystemExit(f"no TLE records found in {path}")
+    return OrbitalElementsArray.from_elements([el for _, el in records])
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    if args.catalog:
+        pop = _load_catalog(args.catalog)
+        print(f"loaded {len(pop)} objects from {args.catalog}")
+    else:
+        pop = generate_population(args.objects, seed=args.seed)
+        print(f"generated {len(pop)} synthetic objects (seed {args.seed})")
+    config = ScreeningConfig(
+        threshold_km=args.threshold_km,
+        duration_s=args.duration_s,
+        seconds_per_sample=args.sps,
+        hybrid_seconds_per_sample=args.hybrid_sps,
+        n_threads=args.threads,
+    )
+    start = time.perf_counter()
+    result = screen(pop, config, method=args.method, backend=args.backend)
+    elapsed = time.perf_counter() - start
+    print(result.summary())
+    print(f"wall time {elapsed:.3f} s; phase breakdown:")
+    for name, frac in sorted(result.timers.fractions().items(), key=lambda kv: -kv[1]):
+        print(f"  {name:>6}: {100.0 * frac:5.1f}%  ({result.timers.totals[name]:.3f} s)")
+    for c in result.conjunctions()[: args.max_print]:
+        print(f"  {c.i:>7} - {c.j:<7}  TCA {c.tca_s:10.2f} s   PCA {c.pca_km:7.4f} km")
+    remaining = result.n_conjunctions - args.max_print
+    if remaining > 0:
+        print(f"  ... and {remaining} more")
+    if args.output:
+        from repro.io import write_csv
+
+        rows = write_csv(result, args.output)
+        print(f"wrote {rows} conjunction rows to {args.output}")
+    if args.cdm:
+        from repro.io import format_cdm
+
+        with open(args.cdm, "w", encoding="utf-8") as fh:
+            fh.write(format_cdm(result))
+        print(f"wrote CDM records to {args.cdm}")
+    if args.report:
+        from repro.report import full_report
+
+        print()
+        print(full_report(result, duration_s=args.duration_s))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    pop = generate_population(args.objects, seed=args.seed)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        for idx in range(len(pop)):
+            fh.write(format_tle(idx % 100000, pop[idx], name=f"SYNTH-{idx}") + "\n")
+    print(f"wrote {len(pop)} TLE records to {args.output}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = plan_memory(
+        n_satellites=args.objects,
+        seconds_per_sample=args.sps,
+        duration_s=args.duration_s,
+        threshold_km=args.threshold_km,
+        variant=args.variant,
+        budget_bytes=int(args.budget_gb * 2**30),
+    )
+    print(f"memory plan for {plan.n_satellites} objects ({plan.variant} variant):")
+    print(f"  seconds per sample : {plan.requested_seconds_per_sample} -> {plan.seconds_per_sample}"
+          + ("  (auto-adjusted)" if plan.was_adjusted else ""))
+    print(f"  satellite data     : {plan.satellite_bytes / 2**20:10.2f} MiB")
+    print(f"  solver data        : {plan.solver_bytes / 2**20:10.2f} MiB")
+    print(f"  conjunction map    : {plan.conjunction_map_bytes / 2**20:10.2f} MiB "
+          f"({plan.conjunction_map_slots} slots)")
+    print(f"  per-grid instance  : {plan.per_grid_bytes / 2**20:10.2f} MiB")
+    print(f"  parallel steps (p) : {plan.parallel_steps}")
+    print(f"  total samples  (o) : {plan.total_samples}")
+    print(f"  rounds       (r_c) : {plan.computation_rounds}")
+    print(f"  planned footprint  : {plan.total_bytes / 2**30:10.3f} GiB "
+          f"of {plan.budget_bytes / 2**30:.3f} GiB budget")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "screen":
+        return _cmd_screen(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

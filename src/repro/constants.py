@@ -1,0 +1,51 @@
+"""Physical and astrodynamic constants used throughout the library.
+
+All lengths are kilometres, all times seconds, all angles radians, in a
+geocentric inertial (ECI) frame, matching the conventions of the paper.
+"""
+from __future__ import annotations
+
+import math
+
+#: Standard gravitational parameter of Earth, km^3 / s^2 (WGS-84 value).
+MU_EARTH = 398600.4418
+
+#: Mean equatorial radius of Earth, km.
+R_EARTH = 6378.1363
+
+#: Typical orbital speed of a satellite in LEO, km/s.  Used by Eq. (1) of the
+#: paper to size grid cells so that no satellite can skip a cell between two
+#: sampling steps.
+LEO_SPEED = 7.8
+
+#: Radius of the geostationary orbit, km (a for a 86164 s sidereal period).
+GEO_RADIUS = 42164.0
+
+#: Side length of the cubic simulation volume, km.  The paper requires at
+#: least (85,000 km)^3 to cover everything up to GEO; the grid is centred on
+#: the Earth so coordinates span [-SIM_HALF_EXTENT, +SIM_HALF_EXTENT].
+SIM_EXTENT = 85000.0
+SIM_HALF_EXTENT = SIM_EXTENT / 2.0
+
+#: Sentinel marking an empty hash-map slot: the maximum of a 64-bit value
+#: (Section IV-A1 of the paper).
+EMPTY_KEY = (1 << 64) - 1
+
+#: Sentinel marking the end of a per-cell singly linked list ("null" next
+#: pointer in Fig. 6).  Index-based because entries live in a pre-allocated
+#: pool rather than on the heap.
+NULL_INDEX = -1
+
+TWO_PI = 2.0 * math.pi
+
+
+def mean_motion(semi_major_axis_km: float) -> float:
+    """Mean motion ``n = sqrt(mu / a^3)`` in rad/s for a two-body orbit."""
+    if semi_major_axis_km <= 0.0:
+        raise ValueError(f"semi-major axis must be positive, got {semi_major_axis_km}")
+    return math.sqrt(MU_EARTH / semi_major_axis_km**3)
+
+
+def orbital_period(semi_major_axis_km: float) -> float:
+    """Keplerian orbital period ``T = 2*pi / n`` in seconds."""
+    return TWO_PI / mean_motion(semi_major_axis_km)

@@ -1,0 +1,33 @@
+"""Conjunction-detection variants: the paper's primary contribution.
+
+* :mod:`repro.detection.legacy` — the all-on-all filter-chain baseline.
+* :mod:`repro.detection.gridbased` — the purely grid-based variant.
+* :mod:`repro.detection.hybrid` — grid prefilter + classical orbital filters.
+* :mod:`repro.detection.kdtree_variant` — the Kd-tree comparator of [29].
+* :mod:`repro.detection.cube` — the statistical Cube method of [21].
+* :mod:`repro.detection.api` — the top-level :func:`screen` entry point.
+"""
+from repro.detection.api import screen
+from repro.detection.brent import BrentResult, brent_minimize, golden_minimize_batch
+from repro.detection.cube import CubeEstimate, cube_estimate
+from repro.detection.gridbased import screen_grid
+from repro.detection.hybrid import screen_hybrid
+from repro.detection.kdtree_variant import screen_kdtree
+from repro.detection.legacy import screen_legacy
+from repro.detection.types import Conjunction, ScreeningConfig, ScreeningResult
+
+__all__ = [
+    "BrentResult",
+    "Conjunction",
+    "CubeEstimate",
+    "ScreeningConfig",
+    "ScreeningResult",
+    "brent_minimize",
+    "cube_estimate",
+    "golden_minimize_batch",
+    "screen",
+    "screen_grid",
+    "screen_hybrid",
+    "screen_kdtree",
+    "screen_legacy",
+]

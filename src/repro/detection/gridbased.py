@@ -1,0 +1,301 @@
+"""The purely grid-based conjunction-detection variant (Sections III/IV).
+
+Pipeline (the paper's step structure):
+
+1. **ALLOC** — size the grid hash set, entry pool and conjunction map.
+2. **INS** — per sampling step, propagate every satellite and insert it
+   into the step's grid (data-parallel or thread-parallel).
+3. **CD** — emit candidate pairs from occupied cells and their
+   neighbourhoods into the conjunction map, deduplicated per step.
+4. **REF** — Brent-refine every (pair, step) record to its PCA/TCA and keep
+   the sub-threshold minima.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.pca_tca import (
+    PairDistanceScalar,
+    interval_radii,
+    merge_conjunctions,
+    refine_batch,
+    refine_candidate,
+)
+from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer, parallel_for, resolve_backend
+from repro.perfmodel.memory import conjunction_capacity, plan_memory
+from repro.spatial.conjmap import ConjunctionMap
+from repro.spatial.grid import UniformGrid, cell_size_km
+from repro.spatial.hashmap import HashMapFullError
+from repro.spatial.vectorgrid import SortedGrid, VectorHashGrid
+
+
+def screen_grid(
+    population: OrbitalElementsArray,
+    config: ScreeningConfig,
+    backend: str = "vectorized",
+) -> ScreeningResult:
+    """Run the grid-based variant; see module docstring for the pipeline."""
+    backend = resolve_backend(backend)
+    timers = PhaseTimer()
+    n = len(population)
+
+    with timers.phase("ALLOC"):
+        cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
+        times = config.sample_times()
+        conj = _make_conjmap(n, config, "grid", config.seconds_per_sample)
+        propagator = Propagator(population, solver=config.solver)
+        ids = np.arange(n, dtype=np.int64)
+        plan = None
+        round_size = None
+        if config.memory_budget_bytes is not None:
+            plan = plan_memory(
+                n,
+                config.seconds_per_sample,
+                config.duration_s,
+                config.threshold_km,
+                "grid",
+                config.memory_budget_bytes,
+                auto_adjust=False,
+            )
+            round_size = plan.parallel_steps
+
+    conj = collect_grid_candidates(
+        propagator, ids, times, cell, conj, config, backend, timers,
+        round_size=round_size,
+    )
+
+    with timers.phase("REF"):
+        rec_i, rec_j, rec_step = conj.records()
+        centers = times[rec_step]
+        radii = interval_radii(population, rec_i, rec_j, cell)
+        sieved_away = 0
+        if config.use_smart_sieve and len(rec_i):
+            keep = sieve_records(
+                propagator, rec_i, rec_j, centers, radii, config.threshold_km
+            )
+            sieved_away = int((~keep).sum())
+            rec_i, rec_j = rec_i[keep], rec_j[keep]
+            centers, radii = centers[keep], radii[keep]
+        i, j, tca, pca = refine_records(
+            population, rec_i, rec_j, centers, radii, config, backend
+        )
+        i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+
+    return ScreeningResult(
+        method="grid",
+        backend=backend,
+        i=i,
+        j=j,
+        tca_s=tca,
+        pca_km=pca,
+        candidates_refined=len(rec_i),
+        timers=timers,
+        extra={
+            "cell_size_km": cell,
+            "n_steps": len(times),
+            "conjunction_map_capacity": conj.capacity,
+            "conjunction_records": conj.size,
+            "memory_plan": plan,
+            "sieved_records": sieved_away,
+        },
+    )
+
+
+def _make_conjmap(
+    n: int, config: ScreeningConfig, variant: str, seconds_per_sample: float
+) -> ConjunctionMap:
+    capacity = conjunction_capacity(
+        n, seconds_per_sample, config.duration_s, config.threshold_km, variant
+    )
+    return ConjunctionMap(capacity)
+
+
+def collect_grid_candidates(
+    propagator: Propagator,
+    ids: np.ndarray,
+    times: np.ndarray,
+    cell: float,
+    conj: ConjunctionMap,
+    config: ScreeningConfig,
+    backend: str,
+    timers: PhaseTimer,
+    round_size: "int | None" = None,
+) -> ConjunctionMap:
+    """Steps 2-3: per sampling step, build the grid and record candidates.
+
+    Shared by the grid-based and hybrid variants (which differ only in the
+    sampling step / cell size feeding this loop and in what happens to the
+    records afterwards).  On conjunction-map overflow the map is regrown
+    and the step replayed — the runtime analogue of the paper's "treat the
+    Extra-P model as a base size assumption".
+
+    ``round_size`` is the Section V-B parallelisation factor ``p``: that
+    many steps are processed per computation round, with the propagation
+    of the whole round batched into one fused Kepler solve (the paper's
+    simultaneous grids).  ``None`` chooses a small default round.
+    """
+    if round_size is None:
+        round_size = 8 if backend == "vectorized" else 1
+    round_size = max(1, min(round_size, len(times)))
+
+    step = 0
+    round_start = -1
+    round_positions: "np.ndarray | None" = None
+    while step < len(times):
+        chunk_start = (step // round_size) * round_size
+        if chunk_start != round_start:
+            with timers.phase("INS"):
+                chunk = times[chunk_start : chunk_start + round_size]
+                round_positions = propagator.positions_batch(chunk)
+            round_start = chunk_start
+        with timers.phase("INS"):
+            positions = round_positions[step - round_start]
+            grid = _build_grid(ids, positions, cell, config, backend)
+        try:
+            with timers.phase("CD"):
+                if backend == "vectorized":
+                    ci, cj = grid.candidate_pairs()
+                    conj.insert_batch(ci, cj, step)
+                elif backend == "threads":
+                    # Section IV-A3: non-empty slots are examined in
+                    # parallel, each thread inserting into the shared map.
+                    pairs = grid.candidate_pairs_parallel(n_threads=config.n_threads)
+                    for a, b in pairs:
+                        conj.insert(a, b, step)
+                else:
+                    pairs = grid.candidate_pairs()
+                    for a, b in pairs:
+                        conj.insert(a, b, step)
+        except HashMapFullError:
+            conj = _regrow(conj)
+            continue  # replay this step into the regrown map
+        step += 1
+    return conj
+
+
+def _build_grid(ids, positions, cell, config: ScreeningConfig, backend: str):
+    if backend == "vectorized":
+        if config.grid_impl == "hashmap":
+            grid = VectorHashGrid(cell, capacity=len(ids))
+        else:
+            grid = SortedGrid(cell)
+        grid.build(ids, positions)
+        return grid
+    grid = UniformGrid(cell, capacity=len(ids))
+    if backend == "threads":
+        def insert_range(start: int, end: int) -> None:
+            for k in range(start, end):
+                grid.insert(int(ids[k]), positions[k])
+
+        parallel_for(insert_range, len(ids), n_threads=config.n_threads)
+    else:
+        grid.insert_batch(ids, positions)
+    return grid
+
+
+def _regrow(old: ConjunctionMap) -> ConjunctionMap:
+    new = ConjunctionMap(old.capacity * 2)
+    i, j, step = old.records()
+    # Re-insert existing records batch-wise, grouped by step.
+    for s in np.unique(step):
+        mask = step == s
+        new.insert_batch(i[mask], j[mask], int(s))
+    return new
+
+
+def sieve_records(
+    propagator: Propagator,
+    rec_i: np.ndarray,
+    rec_j: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+    threshold_km: float,
+) -> np.ndarray:
+    """Smart-sieve keep-mask over (pair, step) records (Section II, [17]).
+
+    For each record the pair's relative state at the sample time is tested
+    against the linear-motion minimum over the record's refinement
+    interval ``[c - r, c + r]``, padded for gravitational curvature; a
+    record whose segment provably stays above the threshold needs no Brent
+    search.  States are computed once per distinct sample time.
+    """
+    from repro.filters.smart_sieve import curvature_pad_km
+
+    keep = np.ones(len(rec_i), dtype=bool)
+    for t in np.unique(centers):
+        sel = np.nonzero(centers == t)[0]
+        pos, vel = propagator.states(float(t))
+        ii = rec_i[sel]
+        jj = rec_j[sel]
+        dr = pos[ii] - pos[jj]
+        dv = vel[ii] - vel[jj]
+        r = radii[sel]
+        # Linear minimum over [-r, +r] around the sample (anchor tau at the
+        # unconstrained vertex, clamped into the symmetric interval).
+        vv = np.einsum("ij,ij->i", dv, dv)
+        rv = np.einsum("ij,ij->i", dr, dv)
+        tau = np.clip(np.where(vv > 1e-300, -rv / np.maximum(vv, 1e-300), 0.0), -r, r)
+        closest = dr + dv * tau[:, None]
+        d_min = np.sqrt(np.einsum("ij,ij->i", closest, closest))
+        r_orbit = np.minimum(
+            np.sqrt(np.einsum("ij,ij->i", pos[ii], pos[ii])),
+            np.sqrt(np.einsum("ij,ij->i", pos[jj], pos[jj])),
+        )
+        pad = 1.5 * curvature_pad_km(r_orbit, float(r.max()))
+        keep[sel] = d_min <= threshold_km + pad
+    return keep
+
+
+def refine_records(
+    population: OrbitalElementsArray,
+    rec_i: np.ndarray,
+    rec_j: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+    config: ScreeningConfig,
+    backend: str,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Step 4: PCA/TCA for every (pair, step) record (shared with hybrid)."""
+    if len(rec_i) == 0:
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return e, e.copy(), f, f.copy()
+
+    if backend == "vectorized":
+        keep, tca, pca = refine_batch(
+            population, rec_i, rec_j, centers, radii, config.threshold_km
+        )
+        return rec_i[keep], rec_j[keep], tca, pca
+
+    def refine_range(start: int, end: int):
+        out = []
+        for k in range(start, end):
+            dist = PairDistanceScalar(population, int(rec_i[k]), int(rec_j[k]))
+            hit = refine_candidate(
+                dist,
+                float(centers[k]),
+                float(radii[k]),
+                config.threshold_km,
+                tol=config.brent_tol,
+            )
+            if hit is not None:
+                out.append((int(rec_i[k]), int(rec_j[k]), hit[0], hit[1]))
+        return out
+
+    n_threads = config.n_threads if backend == "threads" else 1
+    chunks = parallel_for(refine_range, len(rec_i), n_threads=n_threads)
+    flat = [rec for chunk in chunks for rec in chunk]
+    if not flat:
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return e, e.copy(), f, f.copy()
+    arr = np.array(flat, dtype=np.float64)
+    return (
+        arr[:, 0].astype(np.int64),
+        arr[:, 1].astype(np.int64),
+        arr[:, 2],
+        arr[:, 3],
+    )

@@ -1,0 +1,242 @@
+"""The hybrid conjunction-detection variant (grid + classical filters).
+
+The grid runs with a *coarser* sampling step (larger cells, fewer steps,
+more candidates per step — Section III: "effectively trading time for
+space").  Candidates then pass through the classical orbital filters:
+
+* apogee/perigee filter,
+* orbit-path filter,
+* coplanarity classification (its own timed phase, Section V-C1).
+
+Surviving non-coplanar pairs get their PCA/TCA search intervals from the
+orbital geometry — the time-filter overlap windows around the mutual nodes
+— while coplanar pairs fall back to the grid-style per-step interval
+(Section IV-C).
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.detection.gridbased import (
+    _make_conjmap,
+    collect_grid_candidates,
+    refine_records,
+)
+from repro.detection.pca_tca import interval_radii, merge_conjunctions
+from repro.detection.scan import scan_pair_windows
+from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.filters.apogee_perigee import apogee_perigee_filter
+from repro.filters.chain import FilterChain
+from repro.filters.coplanarity import coplanar_mask
+from repro.filters.orbit_path import _node_anomalies, orbit_path_filter
+from repro.filters.time_filter import pair_overlap_windows
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer, parallel_for, resolve_backend
+from repro.perfmodel.memory import plan_memory
+from repro.spatial.grid import cell_size_km
+
+
+def screen_hybrid(
+    population: OrbitalElementsArray,
+    config: ScreeningConfig,
+    backend: str = "vectorized",
+) -> ScreeningResult:
+    """Run the hybrid variant; see module docstring for the pipeline."""
+    backend = resolve_backend(backend)
+    timers = PhaseTimer()
+    n = len(population)
+
+    with timers.phase("ALLOC"):
+        sps = config.hybrid_seconds_per_sample
+        plan = None
+        if config.memory_budget_bytes is not None:
+            plan = plan_memory(
+                n,
+                sps,
+                config.duration_s,
+                config.threshold_km,
+                "hybrid",
+                config.memory_budget_bytes,
+            )
+            sps = plan.seconds_per_sample
+        cell = cell_size_km(config.threshold_km, sps)
+        times = config.sample_times(sps)
+        conj = _make_conjmap(n, config, "hybrid", sps)
+        propagator = Propagator(population, solver=config.solver)
+        ids = np.arange(n, dtype=np.int64)
+
+    conj = collect_grid_candidates(
+        propagator, ids, times, cell, conj, config, backend, timers
+    )
+
+    with timers.phase("COP"):
+        rec_i, rec_j, rec_step = conj.records()
+        uniq_i, uniq_j = conj.unique_pairs()
+        chain = FilterChain()
+        chain.add(
+            "apogee_perigee",
+            lambda pop, pi, pj: apogee_perigee_filter(pop, pi, pj, config.threshold_km),
+        )
+        chain.add(
+            "orbit_path",
+            lambda pop, pi, pj: orbit_path_filter(
+                pop, pi, pj, config.threshold_km, config.coplanar_tol_rad
+            ),
+        )
+        surv_i, surv_j = chain.apply(population, uniq_i, uniq_j)
+        coplanar = (
+            coplanar_mask(population, surv_i, surv_j, config.coplanar_tol_rad)
+            if len(surv_i)
+            else np.zeros(0, dtype=bool)
+        )
+
+    with timers.phase("REF"):
+        # Coplanar pairs: grid-style per-(pair, step) refinement.
+        cop_set = _pair_set(surv_i[coplanar], surv_j[coplanar])
+        noncop_set = _pair_set(surv_i[~coplanar], surv_j[~coplanar])
+        rec_mask_cop = _records_in(rec_i, rec_j, cop_set)
+        centers = times[rec_step[rec_mask_cop]]
+        radii = interval_radii(
+            population, rec_i[rec_mask_cop], rec_j[rec_mask_cop], cell
+        )
+        ci, cj, ctca, cpca = refine_records(
+            population,
+            rec_i[rec_mask_cop],
+            rec_j[rec_mask_cop],
+            centers,
+            radii,
+            config,
+            backend,
+        )
+
+        # Non-coplanar pairs: node-window search over the whole span.
+        ni, nj, ntca, npca = _refine_noncoplanar(
+            population,
+            surv_i[~coplanar],
+            surv_j[~coplanar],
+            config,
+            backend,
+        )
+
+        i = np.concatenate([ci, ni])
+        j = np.concatenate([cj, nj])
+        tca = np.concatenate([ctca, ntca])
+        pca = np.concatenate([cpca, npca])
+        i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+
+    candidates = int(rec_mask_cop.sum()) + len(noncop_set)
+    return ScreeningResult(
+        method="hybrid",
+        backend=backend,
+        i=i,
+        j=j,
+        tca_s=tca,
+        pca_km=pca,
+        candidates_refined=candidates,
+        timers=timers,
+        filter_stats=chain.stats(),
+        extra={
+            "cell_size_km": cell,
+            "n_steps": len(times),
+            "seconds_per_sample": sps,
+            "memory_plan": plan,
+            "conjunction_map_capacity": conj.capacity,
+            "conjunction_records": conj.size,
+            "grid_pairs": len(uniq_i),
+            "filtered_pairs": len(surv_i),
+            "coplanar_pairs": int(coplanar.sum()),
+        },
+    )
+
+
+def _pair_set(i: np.ndarray, j: np.ndarray) -> "set[tuple[int, int]]":
+    return set(zip(i.tolist(), j.tolist()))
+
+
+def _records_in(rec_i: np.ndarray, rec_j: np.ndarray, pairs: "set[tuple[int, int]]") -> np.ndarray:
+    if not pairs or len(rec_i) == 0:
+        return np.zeros(len(rec_i), dtype=bool)
+    return np.fromiter(
+        ((int(a), int(b)) in pairs for a, b in zip(rec_i, rec_j)),
+        dtype=bool,
+        count=len(rec_i),
+    )
+
+
+def _refine_noncoplanar(
+    population: OrbitalElementsArray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    config: ScreeningConfig,
+    backend: str,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Node-window scan of the surviving non-coplanar pairs.
+
+    The search interval comes from the orbital filters (Section IV-C): the
+    times when both objects sit inside their anomaly windows around the
+    same mutual node.  The windows are padded by one coarse sampling step
+    so edge minima are not clipped.
+    """
+    if len(pair_i) == 0:
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return e, e.copy(), f, f.copy()
+
+    nu_i, nu_j = _node_anomalies(population, pair_i, pair_j)
+    from repro.filters.coplanarity import plane_angles  # local to avoid cycle at import
+
+    angles = plane_angles(population, pair_i, pair_j)
+    s_alpha = np.maximum(np.sin(angles), 1e-12)
+    w_i = np.arcsin(
+        np.clip(config.threshold_km / (population.perigee[pair_i] * s_alpha), 0.0, 1.0)
+    )
+    w_j = np.arcsin(
+        np.clip(config.threshold_km / (population.perigee[pair_j] * s_alpha), 0.0, 1.0)
+    )
+    # Safety margin: double the window, floor it at 0.5 degrees.
+    w_i = np.maximum(2.0 * w_i, math.radians(0.5))
+    w_j = np.maximum(2.0 * w_j, math.radians(0.5))
+
+    def scan_range(start: int, end: int):
+        out = []
+        for k in range(start, end):
+            a, b = int(pair_i[k]), int(pair_j[k])
+            windows = pair_overlap_windows(
+                population[a],
+                population[b],
+                float(nu_i[k]),
+                float(nu_j[k]),
+                float(w_i[k]),
+                float(w_j[k]),
+                span_s=config.duration_s,
+                pad_s=30.0,
+            )
+            for tca, pca in scan_pair_windows(
+                population,
+                a,
+                b,
+                windows,
+                config.threshold_km,
+                samples_per_period=config.legacy_samples_per_period,
+                brent_tol=config.brent_tol,
+            ):
+                out.append((a, b, tca, pca))
+        return out
+
+    n_threads = config.n_threads if backend == "threads" else 1
+    chunks = parallel_for(scan_range, len(pair_i), n_threads=n_threads)
+    flat = [rec for chunk in chunks for rec in chunk]
+    if not flat:
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return e, e.copy(), f, f.copy()
+    arr = np.array(flat, dtype=np.float64)
+    return (
+        arr[:, 0].astype(np.int64),
+        arr[:, 1].astype(np.int64),
+        arr[:, 2],
+        arr[:, 3],
+    )

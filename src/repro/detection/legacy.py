@@ -1,0 +1,158 @@
+"""The legacy baseline: all-on-all deterministic filter chain.
+
+The traditional conjunction-detection structure the paper compares against
+(after Burgis et al. [45]): every unordered pair of objects enters a chain
+of orbital filters — apogee/perigee, then orbit path — and each surviving
+pair is searched numerically for sub-threshold distance minima, either
+over the time-filter overlap windows (``use_time_filter=True``) or over
+the whole screening span.
+
+Runtime is inherently O(n^2) in the pair-generation and filter stages —
+the quadratic wall the grid variants tear down.  Pair generation is
+chunked so memory stays bounded for large populations.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.pca_tca import merge_conjunctions
+from repro.detection.scan import scan_pair_windows
+from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.filters.apogee_perigee import apogee_perigee_filter
+from repro.filters.chain import FilterChain
+from repro.filters.coplanarity import coplanar_mask, plane_angles
+from repro.filters.orbit_path import _node_anomalies, orbit_path_filter
+from repro.filters.time_filter import pair_overlap_windows
+from repro.orbits.elements import OrbitalElementsArray
+from repro.parallel.backend import PhaseTimer
+
+#: Row-block width of the chunked pair generation: bounds the peak pair
+#: array size at roughly ``_BLOCK * n`` entries.
+_BLOCK = 256
+
+
+def iter_pair_blocks(n: int, block: int = _BLOCK):
+    """Yield the upper triangle of the n x n pair matrix in row blocks."""
+    for r0 in range(0, n, block):
+        r1 = min(r0 + block, n)
+        rows = np.arange(r0, r1, dtype=np.int64)
+        lengths = n - rows - 1
+        total = int(lengths.sum())
+        if total == 0:
+            continue
+        pair_i = np.repeat(rows, lengths)
+        offsets = np.concatenate([np.arange(r + 1, n, dtype=np.int64) for r in rows])
+        yield pair_i, offsets
+
+
+def screen_legacy(
+    population: OrbitalElementsArray, config: ScreeningConfig
+) -> ScreeningResult:
+    """Run the single-threaded legacy baseline."""
+    timers = PhaseTimer()
+    n = len(population)
+    chain = FilterChain()
+    chain.add(
+        "apogee_perigee",
+        lambda pop, pi, pj: apogee_perigee_filter(pop, pi, pj, config.threshold_km),
+    )
+    chain.add(
+        "orbit_path",
+        lambda pop, pi, pj: orbit_path_filter(
+            pop, pi, pj, config.threshold_km, config.coplanar_tol_rad
+        ),
+    )
+
+    with timers.phase("FILTER"):
+        surv_i_parts: "list[np.ndarray]" = []
+        surv_j_parts: "list[np.ndarray]" = []
+        for pair_i, pair_j in iter_pair_blocks(n):
+            keep_i, keep_j = chain.apply(population, pair_i, pair_j)
+            if len(keep_i):
+                surv_i_parts.append(keep_i)
+                surv_j_parts.append(keep_j)
+        if surv_i_parts:
+            surv_i = np.concatenate(surv_i_parts)
+            surv_j = np.concatenate(surv_j_parts)
+        else:
+            surv_i = np.empty(0, dtype=np.int64)
+            surv_j = np.empty(0, dtype=np.int64)
+
+    with timers.phase("REF"):
+        hits: "list[tuple[int, int, float, float]]" = []
+        if len(surv_i):
+            coplanar = coplanar_mask(population, surv_i, surv_j, config.coplanar_tol_rad)
+            windows_full = [(0.0, config.duration_s)]
+            if config.use_time_filter:
+                noncop = np.nonzero(~coplanar)[0]
+                nu_i, nu_j = _node_anomalies(population, surv_i[noncop], surv_j[noncop])
+                angles = plane_angles(population, surv_i[noncop], surv_j[noncop])
+                s_alpha = np.maximum(np.sin(angles), 1e-12)
+                w_i = np.arcsin(
+                    np.clip(
+                        config.threshold_km / (population.perigee[surv_i[noncop]] * s_alpha),
+                        0.0,
+                        1.0,
+                    )
+                )
+                w_j = np.arcsin(
+                    np.clip(
+                        config.threshold_km / (population.perigee[surv_j[noncop]] * s_alpha),
+                        0.0,
+                        1.0,
+                    )
+                )
+                w_i = np.maximum(2.0 * w_i, np.radians(0.5))
+                w_j = np.maximum(2.0 * w_j, np.radians(0.5))
+            for k in range(len(surv_i)):
+                a, b = int(surv_i[k]), int(surv_j[k])
+                if config.use_time_filter and not coplanar[k]:
+                    pos = int(np.searchsorted(noncop, k))
+                    windows = pair_overlap_windows(
+                        population[a],
+                        population[b],
+                        float(nu_i[pos]),
+                        float(nu_j[pos]),
+                        float(w_i[pos]),
+                        float(w_j[pos]),
+                        span_s=config.duration_s,
+                        pad_s=30.0,
+                    )
+                else:
+                    windows = windows_full
+                for tca, pca in scan_pair_windows(
+                    population,
+                    a,
+                    b,
+                    windows,
+                    config.threshold_km,
+                    samples_per_period=config.legacy_samples_per_period,
+                    brent_tol=config.brent_tol,
+                ):
+                    hits.append((a, b, tca, pca))
+
+        if hits:
+            arr = np.array(hits, dtype=np.float64)
+            i = arr[:, 0].astype(np.int64)
+            j = arr[:, 1].astype(np.int64)
+            tca = arr[:, 2]
+            pca = arr[:, 3]
+            i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+        else:
+            i = np.empty(0, dtype=np.int64)
+            j = np.empty(0, dtype=np.int64)
+            tca = np.empty(0, dtype=np.float64)
+            pca = np.empty(0, dtype=np.float64)
+
+    return ScreeningResult(
+        method="legacy",
+        backend="serial",
+        i=i,
+        j=j,
+        tca_s=tca,
+        pca_km=pca,
+        candidates_refined=len(surv_i),
+        timers=timers,
+        filter_stats=chain.stats(),
+        extra={"total_pairs": n * (n - 1) // 2, "surviving_pairs": len(surv_i)},
+    )

@@ -1,0 +1,282 @@
+"""PCA/TCA refinement of candidate pairs (Section IV-C).
+
+Every candidate ``(i, j, step)`` becomes a scalar minimisation of the
+inter-satellite distance over the interval ``I = [c - t, c + t]``, where
+``c`` is the sample time and ``t`` the time the *slower* satellite needs to
+cross two grid cells.  A minimum found *at* an interval edge triggers the
+paper's probe-and-discard rule: look slightly beyond the edge; if the
+distance keeps falling the true minimum belongs to the neighbouring
+interval and this candidate is dropped (it will be found there).
+
+Two execution paths:
+
+* :func:`refine_candidate` — scalar Brent, used by the serial / threads
+  backends, one candidate at a time;
+* :func:`refine_batch` — the data-parallel path: all candidates minimised
+  simultaneously with :func:`repro.detection.brent.golden_minimize_batch`.
+"""
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.constants import MU_EARTH, TWO_PI
+from repro.detection.brent import brent_minimize, golden_minimize_batch
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.frames import perifocal_to_eci_matrix
+
+#: How far beyond an interval edge the probe looks, as a fraction of the
+#: interval radius.
+EDGE_PROBE_FRACTION = 0.05
+
+
+def _scalar_kepler(m: float, e: float) -> float:
+    """Newton solve of Kepler's equation on Python floats (hot scalar path)."""
+    E = m + e * math.sin(m)
+    for _ in range(50):
+        f = E - e * math.sin(E) - m
+        if abs(f) < 1e-13:
+            return E
+        E -= f / (1.0 - e * math.cos(E))
+    return E
+
+
+class PairDistanceScalar:
+    """Distance between two satellites as a scalar function of time.
+
+    Precomputes the perifocal bases once so each evaluation is two scalar
+    Kepler solves plus a handful of multiply-adds (the Brent inner loop
+    calls this tens of times per candidate).
+    """
+
+    __slots__ = ("_dat_i", "_dat_j")
+
+    def __init__(self, population: OrbitalElementsArray, i: int, j: int) -> None:
+        self._dat_i = _scalar_orbit_data(population, i)
+        self._dat_j = _scalar_orbit_data(population, j)
+
+    def __call__(self, t: float) -> float:
+        xi, yi, zi = _scalar_position(self._dat_i, t)
+        xj, yj, zj = _scalar_position(self._dat_j, t)
+        return math.sqrt((xi - xj) ** 2 + (yi - yj) ** 2 + (zi - zj) ** 2)
+
+
+def _scalar_orbit_data(pop: OrbitalElementsArray, idx: int):
+    rot = perifocal_to_eci_matrix(float(pop.i[idx]), float(pop.raan[idx]), float(pop.argp[idx]))
+    a = float(pop.a[idx])
+    e = float(pop.e[idx])
+    b = a * math.sqrt(1.0 - e * e)
+    p_axis = rot[:, 0]
+    q_axis = rot[:, 1]
+    return (
+        float(pop.m0[idx]),
+        float(pop.n[idx]),
+        e,
+        a * p_axis[0], a * p_axis[1], a * p_axis[2],
+        b * q_axis[0], b * q_axis[1], b * q_axis[2],
+        a * e * p_axis[0], a * e * p_axis[1], a * e * p_axis[2],
+    )
+
+
+def _scalar_position(dat, t: float):
+    m0, n, e, pax, pay, paz, qbx, qby, qbz, fox, foy, foz = dat
+    m = (m0 + n * t) % TWO_PI
+    E = _scalar_kepler(m, e)
+    c = math.cos(E)
+    s = math.sin(E)
+    return (
+        pax * c - fox + qbx * s,
+        pay * c - foy + qby * s,
+        paz * c - foz + qbz * s,
+    )
+
+
+def refine_candidate(
+    dist: Callable[[float], float],
+    center: float,
+    radius: float,
+    threshold_km: float,
+    tol: float = 1e-6,
+) -> "tuple[float, float] | None":
+    """Scalar PCA/TCA search on ``[center - radius, center + radius]``.
+
+    Returns ``(tca, pca)`` if a genuine local minimum at or below the
+    screening threshold lies in the interval, else ``None`` (either the
+    minimum exceeds the threshold, or it sits at an edge with the distance
+    still falling beyond — the neighbouring interval's responsibility).
+    """
+    if radius <= 0.0:
+        raise ValueError(f"interval radius must be positive, got {radius}")
+    a = center - radius
+    b = center + radius
+    res = brent_minimize(dist, a, b, tol=tol)
+    if res.at_edge:
+        probe = radius * EDGE_PROBE_FRACTION
+        if abs(res.x - a) <= abs(b - res.x):
+            beyond = dist(a - probe)
+        else:
+            beyond = dist(b + probe)
+        if beyond < res.fx:
+            return None  # still descending: the true minimum is next door
+    if res.fx <= threshold_km:
+        return res.x, res.fx
+    return None
+
+
+class BatchPairDistance:
+    """Distance of many pairs, each at its own time, in one array op.
+
+    ``__call__(t)`` takes per-pair times ``t`` of shape ``(m,)`` and
+    returns the ``(m,)`` distances — the function signature
+    :func:`golden_minimize_batch` expects.  All orbital data is gathered
+    once at construction.
+    """
+
+    def __init__(
+        self, population: OrbitalElementsArray, pair_i: np.ndarray, pair_j: np.ndarray
+    ) -> None:
+        self._side_i = _BatchSide(population, pair_i)
+        self._side_j = _BatchSide(population, pair_j)
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        diff = self._side_i.positions(t) - self._side_j.positions(t)
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+class _BatchSide:
+    """Gathered orbit data of one side of a pair batch."""
+
+    __slots__ = ("m0", "n", "e", "pa", "qb", "foc")
+
+    def __init__(self, pop: OrbitalElementsArray, idx: np.ndarray) -> None:
+        rot = perifocal_to_eci_matrix(pop.i[idx], pop.raan[idx], pop.argp[idx])
+        a = pop.a[idx]
+        e = pop.e[idx]
+        b = a * np.sqrt(1.0 - e * e)
+        self.m0 = pop.m0[idx]
+        self.n = pop.n[idx]
+        self.e = e
+        self.pa = rot[:, :, 0] * a[:, None]
+        self.qb = rot[:, :, 1] * b[:, None]
+        self.foc = rot[:, :, 0] * (a * e)[:, None]
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        m = np.mod(self.m0 + self.n * t, TWO_PI)
+        E = m + self.e * np.sin(m)
+        for _ in range(10):
+            f = E - self.e * np.sin(E) - m
+            E = E - f / (1.0 - self.e * np.cos(E))
+        c = np.cos(E)[:, None]
+        s = np.sin(E)[:, None]
+        return self.pa * c - self.foc + self.qb * s
+
+
+def interval_radii(
+    population: OrbitalElementsArray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    cell_size_km: float,
+) -> np.ndarray:
+    """Brent interval radius per pair: slower member crossing two cells.
+
+    The slowest possible speed of a satellite on its orbit is the apogee
+    speed (vis-viva at ``r = a(1+e)``) — using it makes the interval
+    conservative without needing the velocity vector at the sample time.
+    """
+    v_apo_i = _apogee_speed(population, pair_i)
+    v_apo_j = _apogee_speed(population, pair_j)
+    v_slow = np.minimum(v_apo_i, v_apo_j)
+    return 2.0 * cell_size_km / v_slow
+
+
+def _apogee_speed(pop: OrbitalElementsArray, idx: np.ndarray) -> np.ndarray:
+    r_apo = pop.a[idx] * (1.0 + pop.e[idx])
+    return np.sqrt(MU_EARTH * (2.0 / r_apo - 1.0 / pop.a[idx]))
+
+
+def refine_batch(
+    population: OrbitalElementsArray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+    threshold_km: float,
+    iterations: int = 60,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Data-parallel PCA/TCA refinement of a candidate batch.
+
+    Returns ``(keep_index, tca, pca)``: positions into the input batch that
+    produced an accepted conjunction, with their times and distances.
+    Implements the same edge-probe-and-discard rule as the scalar path,
+    vectorised: edge minima whose outward probe is lower are dropped.
+    """
+    if len(pair_i) == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.float64),
+        )
+    dist = BatchPairDistance(population, pair_i, pair_j)
+    a = centers - radii
+    b = centers + radii
+    x, fx, at_edge = golden_minimize_batch(dist, a, b, iterations=iterations)
+
+    discard = np.zeros(len(x), dtype=bool)
+    if at_edge.any():
+        edge_idx = np.nonzero(at_edge)[0]
+        near_lower = (x[edge_idx] - a[edge_idx]) <= (b[edge_idx] - x[edge_idx])
+        probe_t = np.where(
+            near_lower,
+            a[edge_idx] - radii[edge_idx] * EDGE_PROBE_FRACTION,
+            b[edge_idx] + radii[edge_idx] * EDGE_PROBE_FRACTION,
+        )
+        sub = BatchPairDistance(population, pair_i[edge_idx], pair_j[edge_idx])
+        beyond = sub(probe_t)
+        discard[edge_idx] = beyond < fx[edge_idx]
+
+    accept = (~discard) & (fx <= threshold_km)
+    keep = np.nonzero(accept)[0]
+    return keep, x[keep], fx[keep]
+
+
+def merge_conjunctions(
+    i: np.ndarray,
+    j: np.ndarray,
+    tca: np.ndarray,
+    pca: np.ndarray,
+    tol_s: float,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Collapse re-detections of the same minimum from adjacent steps.
+
+    Within each pair, TCAs closer than ``tol_s`` are one physical
+    conjunction (the overlapping search intervals of neighbouring sampling
+    steps both converged to it); the smallest PCA of the cluster is kept.
+    Distinct minima of the same pair remain separate conjunctions.
+    """
+    if len(i) == 0:
+        return i, j, tca, pca
+    pair_key = i.astype(np.int64) * (int(j.max()) + 1) + j.astype(np.int64)
+    order = np.lexsort((tca, pair_key))
+    pk = pair_key[order]
+    ts = tca[order]
+    ps = pca[order]
+    new_cluster = np.ones(len(order), dtype=bool)
+    new_cluster[1:] = (pk[1:] != pk[:-1]) | ((ts[1:] - ts[:-1]) > tol_s)
+    cluster_id = np.cumsum(new_cluster) - 1
+    n_clusters = int(cluster_id[-1]) + 1
+    best_pca = np.full(n_clusters, np.inf)
+    np.minimum.at(best_pca, cluster_id, ps)
+    # Representative TCA: the one attaining the cluster's best PCA.
+    rep_tca = np.zeros(n_clusters)
+    is_best = ps == best_pca[cluster_id]
+    # Later writes win; all writers of a cluster share (nearly) the same tca.
+    rep_tca[cluster_id[is_best]] = ts[is_best]
+    first = np.nonzero(new_cluster)[0]
+    return (
+        i[order][first],
+        j[order][first],
+        rep_tca,
+        best_pca,
+    )

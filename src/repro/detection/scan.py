@@ -1,0 +1,76 @@
+"""Window scanning: find all sub-threshold minima of a pair's distance.
+
+Shared by the legacy baseline (over time-filter overlap windows or the
+whole span) and the hybrid variant's non-coplanar path (over the node
+windows the orbital filters determine, Section IV-C): sample the distance
+function coarsely, bracket every local minimum, and refine each bracket
+with Brent.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.detection.brent import brent_minimize
+from repro.detection.pca_tca import PairDistanceScalar
+from repro.orbits.elements import OrbitalElementsArray
+
+
+def scan_pair_windows(
+    population: OrbitalElementsArray,
+    i: int,
+    j: int,
+    windows: "list[tuple[float, float]]",
+    threshold_km: float,
+    samples_per_period: int = 30,
+    brent_tol: float = 1e-6,
+) -> "list[tuple[float, float]]":
+    """All (tca, pca) with ``pca <= threshold`` inside the given windows.
+
+    The sampling step is the shorter orbital period divided by
+    ``samples_per_period`` — fine enough to bracket every local minimum of
+    the relative distance, whose oscillation is governed by the orbital
+    periods.  Window-edge minima are refined against the clipped window, so
+    a conjunction exactly at a window boundary is still caught.
+    """
+    dist = PairDistanceScalar(population, i, j)
+    period = min(float(population.period[i]), float(population.period[j]))
+    dt = period / samples_per_period
+    found: "list[tuple[float, float]]" = []
+    for lo, hi in windows:
+        if hi <= lo:
+            continue
+        n_samples = max(int(math.ceil((hi - lo) / dt)) + 1, 3)
+        ts = np.linspace(lo, hi, n_samples)
+        ds = np.array([dist(float(t)) for t in ts])
+        # Interior local minima.
+        interior = np.nonzero((ds[1:-1] <= ds[:-2]) & (ds[1:-1] <= ds[2:]))[0] + 1
+        brackets = [(float(ts[k - 1]), float(ts[k + 1])) for k in interior]
+        # Boundary minima: the window edge may clip a descending slope.
+        if ds[0] < ds[1]:
+            brackets.append((float(ts[0]), float(ts[1])))
+        if ds[-1] < ds[-2]:
+            brackets.append((float(ts[-2]), float(ts[-1])))
+        for a, b in brackets:
+            if b <= a:
+                continue
+            res = brent_minimize(dist, a, b, tol=brent_tol)
+            if res.fx <= threshold_km:
+                found.append((res.x, res.fx))
+    return _dedupe(found, tol_s=1.0)
+
+
+def _dedupe(minima: "list[tuple[float, float]]", tol_s: float) -> "list[tuple[float, float]]":
+    """Merge refined minima closer than ``tol_s`` (overlapping brackets)."""
+    if not minima:
+        return []
+    minima = sorted(minima)
+    out = [minima[0]]
+    for tca, pca in minima[1:]:
+        if tca - out[-1][0] <= tol_s:
+            if pca < out[-1][1]:
+                out[-1] = (tca, pca)
+        else:
+            out.append((tca, pca))
+    return out

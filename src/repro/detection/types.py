@@ -1,0 +1,148 @@
+"""Configuration and result types of the screening pipeline."""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.filters.coplanarity import DEFAULT_COPLANAR_TOL_RAD
+from repro.parallel.backend import PhaseTimer
+
+
+@dataclass(frozen=True)
+class ScreeningConfig:
+    """Parameters of one conjunction-screening run.
+
+    Defaults follow the paper's evaluation: a 2 km screening threshold
+    (typical rough screening), 9 s between samples for the hybrid variant,
+    and a fine 1 s sampling for the purely grid-based variant (which
+    "requires comparably small grid cells ... propagating the position on
+    the orbit in small steps").
+    """
+
+    #: Screening threshold ``d`` in km: encounters with PCA below this are
+    #: reported (Section III, Fig. 2).
+    threshold_km: float = 2.0
+    #: Screened time span in seconds (``t`` in Section V-B).
+    duration_s: float = 3600.0
+    #: Seconds between samples for the grid-based variant (``s_ps``).
+    seconds_per_sample: float = 1.0
+    #: Seconds between samples for the hybrid variant (coarser: larger
+    #: cells, fewer steps, more pairs per step — "trading time for space").
+    hybrid_seconds_per_sample: float = 9.0
+    #: Kepler-equation solver used for propagation.
+    solver: str = "newton"
+    #: Plane angle below which a pair counts as coplanar.
+    coplanar_tol_rad: float = DEFAULT_COPLANAR_TOL_RAD
+    #: Absolute time tolerance of the PCA/TCA minimisation (seconds).
+    brent_tol: float = 1e-6
+    #: Conjunctions of one pair with TCAs closer than this merge into one.
+    tca_merge_tol_s: float = 0.05
+    #: Whether the legacy baseline restricts its search to time-filter
+    #: overlap windows (Section II) instead of scanning the whole span.
+    use_time_filter: bool = True
+    #: Whether the grid variant applies the smart sieve (Section II, [17])
+    #: to its candidate records before PCA/TCA refinement: records whose
+    #: step segment is kinematically proven clean are dropped without a
+    #: Brent search.
+    use_smart_sieve: bool = False
+    #: Coarse samples per (shorter) orbital period in the legacy search.
+    legacy_samples_per_period: int = 30
+    #: Thread count for the ``threads`` backend (None = automatic).
+    n_threads: "int | None" = None
+    #: Grid implementation for the vectorized backend: ``sorted`` (sort-
+    #: based grouping) or ``hashmap`` (CAS-round open-addressing emulation).
+    grid_impl: str = "sorted"
+    #: Optional memory budget in bytes for the Section V-B planner; when
+    #: set, the effective seconds-per-sample may be reduced automatically.
+    memory_budget_bytes: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.threshold_km <= 0.0:
+            raise ValueError(f"threshold_km must be positive, got {self.threshold_km}")
+        if self.duration_s <= 0.0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.seconds_per_sample <= 0.0:
+            raise ValueError(f"seconds_per_sample must be positive, got {self.seconds_per_sample}")
+        if self.hybrid_seconds_per_sample <= 0.0:
+            raise ValueError(
+                f"hybrid_seconds_per_sample must be positive, got {self.hybrid_seconds_per_sample}"
+            )
+        if self.grid_impl not in ("sorted", "hashmap"):
+            raise ValueError(f"grid_impl must be 'sorted' or 'hashmap', got {self.grid_impl!r}")
+        if self.legacy_samples_per_period < 4:
+            raise ValueError("legacy_samples_per_period must be at least 4")
+
+    def sample_times(self, seconds_per_sample: "float | None" = None) -> np.ndarray:
+        """The equidistant sampling instants of the screening span."""
+        sps = seconds_per_sample if seconds_per_sample is not None else self.seconds_per_sample
+        n_steps = max(int(math.ceil(self.duration_s / sps)) + 1, 2)
+        return np.arange(n_steps, dtype=np.float64) * sps
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """One detected encounter below the screening threshold."""
+
+    i: int
+    j: int
+    tca_s: float
+    pca_km: float
+
+
+@dataclass
+class ScreeningResult:
+    """Everything a screening run produces.
+
+    ``i``, ``j``, ``tca_s``, ``pca_km`` are parallel arrays: one entry per
+    detected conjunction (a pair may appear several times with distinct
+    TCAs — distinct local minima below the threshold, as in Fig. 2).
+    """
+
+    method: str
+    backend: str
+    i: np.ndarray
+    j: np.ndarray
+    tca_s: np.ndarray
+    pca_km: np.ndarray
+    #: Candidate pairs handed to the PCA/TCA refinement (the quantity the
+    #: complexity analysis of Section III-B counts).
+    candidates_refined: int
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+    filter_stats: "dict[str, dict[str, int]]" = field(default_factory=dict)
+    extra: "dict[str, object]" = field(default_factory=dict)
+
+    @property
+    def n_conjunctions(self) -> int:
+        return len(self.tca_s)
+
+    def unique_pairs(self) -> "set[tuple[int, int]]":
+        """Distinct (i, j) pairs with at least one conjunction."""
+        return set(zip(self.i.tolist(), self.j.tolist()))
+
+    def conjunctions(self) -> "list[Conjunction]":
+        """The detections as a list of records, sorted by TCA."""
+        order = np.argsort(self.tca_s, kind="stable")
+        return [
+            Conjunction(int(self.i[k]), int(self.j[k]), float(self.tca_s[k]), float(self.pca_km[k]))
+            for k in order
+        ]
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.method}/{self.backend}: {self.n_conjunctions} conjunctions "
+            f"({len(self.unique_pairs())} pairs) from {self.candidates_refined} candidates "
+            f"in {self.timers.total:.3f}s"
+        )
+
+
+def empty_result(method: str, backend: str) -> ScreeningResult:
+    """A result with zero conjunctions (shared by all variants)."""
+    z = np.empty(0, dtype=np.int64)
+    zf = np.empty(0, dtype=np.float64)
+    return ScreeningResult(
+        method=method, backend=backend, i=z, j=z.copy(), tca_s=zf, pca_km=zf.copy(),
+        candidates_refined=0,
+    )

@@ -1,0 +1,24 @@
+"""Classical orbital filters (Section II of the paper).
+
+The legacy baseline passes every satellite pair through this chain; the
+hybrid variant applies it to the (far fewer) grid candidates.  All filters
+are *conservative*: they only exclude pairs that provably cannot produce a
+conjunction under two-body motion, a property the test suite checks against
+a sampled orbit-distance oracle.
+"""
+from repro.filters.apogee_perigee import apogee_perigee_filter
+from repro.filters.chain import FilterChain, FilterStage
+from repro.filters.coplanarity import coplanar_mask, plane_angles
+from repro.filters.orbit_path import orbit_path_filter
+from repro.filters.time_filter import node_passage_windows, pair_overlap_windows
+
+__all__ = [
+    "FilterChain",
+    "FilterStage",
+    "apogee_perigee_filter",
+    "coplanar_mask",
+    "node_passage_windows",
+    "orbit_path_filter",
+    "pair_overlap_windows",
+    "plane_angles",
+]

@@ -1,0 +1,35 @@
+"""The apogee/perigee filter (Hoots et al. 1984).
+
+Every orbit confines its satellite to the radial shell
+``[perigee, apogee]``.  If two shells are separated by more than the
+screening threshold, the satellites can never come within the threshold of
+each other, no matter where on their orbits they are — the cheapest and
+first filter of the classical chain.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.orbits.elements import OrbitalElementsArray
+
+
+def apogee_perigee_filter(
+    population: OrbitalElementsArray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    threshold_km: float,
+) -> np.ndarray:
+    """Boolean keep-mask over the given pairs.
+
+    ``True`` means the pair *survives* (cannot be excluded): the radial
+    shells, padded by the threshold, overlap —
+    ``max(q_i, q_j) - min(Q_i, Q_j) <= d`` with perigee ``q`` and apogee
+    ``Q`` (the classical formulation).
+    """
+    if threshold_km < 0.0:
+        raise ValueError(f"threshold must be non-negative, got {threshold_km}")
+    apogee = population.apogee
+    perigee = population.perigee
+    highest_perigee = np.maximum(perigee[pair_i], perigee[pair_j])
+    lowest_apogee = np.minimum(apogee[pair_i], apogee[pair_j])
+    return highest_perigee - lowest_apogee <= threshold_km

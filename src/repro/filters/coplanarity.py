@@ -1,0 +1,40 @@
+"""Coplanarity classification of orbit pairs.
+
+The hybrid variant distinguishes coplanar from non-coplanar pairs
+(Section IV-C): non-coplanar pairs get their Brent search interval from the
+mutual-node geometry, coplanar pairs fall back to the grid-style interval.
+The relative-time breakdown of Section V-C1 reports this check as its own
+phase ("determining if orbits are coplanar").
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.frames import orbit_normal
+
+#: Default coplanarity tolerance: below this plane angle the mutual node
+#: line is too ill-conditioned to aim a filter or a search interval at.
+DEFAULT_COPLANAR_TOL_RAD = math.radians(1.0)
+
+
+def plane_angles(
+    population: OrbitalElementsArray, pair_i: np.ndarray, pair_j: np.ndarray
+) -> np.ndarray:
+    """Angle between the orbital planes of each pair, radians in [0, pi]."""
+    normals = orbit_normal(population.i, population.raan)
+    cos_ang = np.einsum("ij,ij->i", normals[pair_i], normals[pair_j])
+    return np.arccos(np.clip(cos_ang, -1.0, 1.0))
+
+
+def coplanar_mask(
+    population: OrbitalElementsArray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    tol_rad: float = DEFAULT_COPLANAR_TOL_RAD,
+) -> np.ndarray:
+    """True where the pair's planes are parallel or anti-parallel within tol."""
+    ang = plane_angles(population, pair_i, pair_j)
+    return (ang < tol_rad) | (math.pi - ang < tol_rad)

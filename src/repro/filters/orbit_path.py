@@ -1,0 +1,137 @@
+"""The orbit-path filter: geometry of two orbits near their mutual nodes.
+
+A close approach of two objects on non-coplanar orbits must happen near the
+intersection line of the two orbital planes: for points ``p1`` (plane 1)
+and ``p2`` (plane 2) with ``|p1 - p2| <= d``, the distance from ``p1`` to
+plane 2 is ``r1 * sin(g1) * sin(alpha)`` (``g1`` the in-plane angle from
+the node line, ``alpha`` the dihedral angle), so
+``sin(g1) <= d / (r1 * sin(alpha))`` — each object is confined to a small
+anomaly window around each node crossing.
+
+Within those windows the 3-D distance is bounded below by the radius
+difference (``|p1 - p2| >= | |p1| - |p2| |``), so if the radial intervals
+swept by the two orbits over their windows are separated by more than the
+threshold at *both* nodes, the pair can never conjunct.  This keeps the
+filter strictly conservative, which the test suite verifies against a
+sampled orbit-distance oracle.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import TWO_PI
+from repro.filters.coplanarity import DEFAULT_COPLANAR_TOL_RAD, plane_angles
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.frames import orbit_normal, perifocal_to_eci_matrix
+
+
+def _node_anomalies(
+    population: OrbitalElementsArray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """True anomaly of each pair member at the ascending mutual node.
+
+    Returns ``(nu_i, nu_j)`` for the ``+node`` direction; the descending
+    crossing is at ``nu + pi``.  Pairs must be non-coplanar.
+    """
+    normals = orbit_normal(population.i, population.raan)
+    node = np.cross(normals[pair_i], normals[pair_j])
+    norm = np.linalg.norm(node, axis=1, keepdims=True)
+    node = node / np.maximum(norm, 1e-300)
+    rot = perifocal_to_eci_matrix(population.i, population.raan, population.argp)
+    nu_i = _direction_anomaly(rot, pair_i, node)
+    nu_j = _direction_anomaly(rot, pair_j, node)
+    return nu_i, nu_j
+
+
+def _direction_anomaly(rot: np.ndarray, idx: np.ndarray, direction: np.ndarray) -> np.ndarray:
+    x = np.einsum("ij,ij->i", direction, rot[idx, :, 0])
+    y = np.einsum("ij,ij->i", direction, rot[idx, :, 1])
+    return np.mod(np.arctan2(y, x), TWO_PI)
+
+
+def _radius_bounds_over_window(
+    a: np.ndarray, e: np.ndarray, nu0: np.ndarray, half_width: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Min/max orbit radius over the anomaly window ``[nu0-w, nu0+w]``.
+
+    ``r = p / (1 + e cos nu)`` is monotone in ``cos nu``; the extrema of
+    ``cos`` on the interval are at the endpoints or at ``nu = 0 / pi`` if
+    the interval covers them.
+    """
+    p = a * (1.0 - e * e)
+    lo = nu0 - half_width
+    hi = nu0 + half_width
+    cos_lo = np.cos(lo)
+    cos_hi = np.cos(hi)
+    cos_max = np.maximum(cos_lo, cos_hi)
+    cos_min = np.minimum(cos_lo, cos_hi)
+    # Does the interval contain an angle congruent to 0 (cos = +1)?
+    k_zero = np.ceil(lo / TWO_PI)
+    covers_zero = k_zero * TWO_PI <= hi
+    cos_max = np.where(covers_zero, 1.0, cos_max)
+    # ... or to pi (cos = -1)?
+    k_pi = np.ceil((lo - math.pi) / TWO_PI)
+    covers_pi = math.pi + k_pi * TWO_PI <= hi
+    cos_min = np.where(covers_pi, -1.0, cos_min)
+    r_min = p / (1.0 + e * cos_max)
+    r_max = p / (1.0 + e * cos_min)
+    return r_min, r_max
+
+
+def orbit_path_filter(
+    population: OrbitalElementsArray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    threshold_km: float,
+    coplanar_tol_rad: float = DEFAULT_COPLANAR_TOL_RAD,
+) -> np.ndarray:
+    """Boolean keep-mask: False only for pairs provably unable to conjunct.
+
+    Coplanar pairs (plane angle below ``coplanar_tol_rad``) always survive:
+    their node line is ill-defined, so this filter cannot say anything
+    about them (the caller routes them to the coplanar handling path).
+    """
+    if threshold_km <= 0.0:
+        raise ValueError(f"threshold must be positive, got {threshold_km}")
+    m = len(pair_i)
+    if m == 0:
+        return np.zeros(0, dtype=bool)
+
+    angles = plane_angles(population, pair_i, pair_j)
+    sin_alpha = np.sin(angles)
+    coplanar = (angles < coplanar_tol_rad) | (math.pi - angles < coplanar_tol_rad)
+    keep = coplanar.copy()
+
+    active = np.nonzero(~coplanar)[0]
+    if active.size == 0:
+        return keep
+    ai = pair_i[active]
+    aj = pair_j[active]
+    nu_i_asc, nu_j_asc = _node_anomalies(population, ai, aj)
+
+    # Window half-width per member: sin(g) <= d / (r_perigee * sin(alpha)).
+    # Perigee is the smallest radius, giving the widest (most conservative)
+    # window; a tiny floor keeps the asin argument meaningful.
+    s_alpha = np.maximum(sin_alpha[active], 1e-12)
+    w_i = np.arcsin(np.clip(threshold_km / (population.perigee[ai] * s_alpha), 0.0, 1.0))
+    w_j = np.arcsin(np.clip(threshold_km / (population.perigee[aj] * s_alpha), 0.0, 1.0))
+
+    survive = np.zeros(active.size, dtype=bool)
+    for nu_i0, nu_j0 in (
+        (nu_i_asc, nu_j_asc),
+        (np.mod(nu_i_asc + math.pi, TWO_PI), np.mod(nu_j_asc + math.pi, TWO_PI)),
+    ):
+        ri_min, ri_max = _radius_bounds_over_window(
+            population.a[ai], population.e[ai], nu_i0, w_i
+        )
+        rj_min, rj_max = _radius_bounds_over_window(
+            population.a[aj], population.e[aj], nu_j0, w_j
+        )
+        gap = np.maximum(ri_min, rj_min) - np.minimum(ri_max, rj_max)
+        survive |= gap <= threshold_km
+    keep[active] = survive
+    return keep

@@ -1,0 +1,128 @@
+"""The time filter: when is each object inside its node anomaly window?
+
+Section II: after the geometric filters, the true-anomaly window around the
+mutual node line is converted to periodic *time* windows, and a pair can
+only conjunct while both objects occupy their windows around the same node
+simultaneously.  The legacy baseline uses the resulting overlap intervals
+to restrict its numerical PCA/TCA search to the only parts of the screening
+span where a conjunction is geometrically possible.
+"""
+from __future__ import annotations
+
+import math
+
+from repro.constants import TWO_PI
+from repro.orbits.elements import KeplerElements
+from repro.orbits.kepler import true_to_mean
+
+#: Maximum windows returned for one object over one span — a guard against
+#: pathological window/period combinations blowing up memory.
+_MAX_WINDOWS = 100_000
+
+
+def node_passage_windows(
+    elements: KeplerElements,
+    node_anomaly: float,
+    half_width: float,
+    span_s: float,
+) -> "list[tuple[float, float]]":
+    """Time intervals within ``[0, span_s]`` where the object's true anomaly
+    lies in ``[node_anomaly - half_width, node_anomaly + half_width]``.
+
+    The window edges are mapped through Kepler's equation to mean anomalies
+    (the map is monotone), turning the window into a periodically repeating
+    time interval.
+    """
+    if span_s <= 0.0:
+        raise ValueError(f"span must be positive, got {span_s}")
+    if half_width <= 0.0:
+        raise ValueError(f"half width must be positive, got {half_width}")
+    if half_width >= math.pi:
+        return [(0.0, span_s)]
+
+    m_lo = float(true_to_mean(node_anomaly - half_width, elements.e))
+    m_hi = float(true_to_mean(node_anomaly + half_width, elements.e))
+    width = (m_hi - m_lo) % TWO_PI
+    if width == 0.0:
+        width = TWO_PI
+
+    n = elements.mean_motion
+    period = elements.period
+    t_start = ((m_lo - elements.m0) % TWO_PI) / n
+    duration = width / n
+
+    windows: "list[tuple[float, float]]" = []
+    # The window may already be open at t=0 (previous period's window).
+    t0 = t_start - period
+    k = 0
+    while t0 <= span_s:
+        if k > _MAX_WINDOWS:
+            raise RuntimeError("window enumeration exploded - span/period ratio too large")
+        t1 = t0 + duration
+        if t1 > 0.0:
+            windows.append((max(t0, 0.0), min(t1, span_s)))
+        t0 += period
+        k += 1
+    return windows
+
+
+def intersect_windows(
+    a: "list[tuple[float, float]]", b: "list[tuple[float, float]]"
+) -> "list[tuple[float, float]]":
+    """Pairwise intersection of two sorted interval lists (sweep merge)."""
+    out: "list[tuple[float, float]]" = []
+    ia = ib = 0
+    while ia < len(a) and ib < len(b):
+        lo = max(a[ia][0], b[ib][0])
+        hi = min(a[ia][1], b[ib][1])
+        if lo < hi:
+            out.append((lo, hi))
+        if a[ia][1] < b[ib][1]:
+            ia += 1
+        else:
+            ib += 1
+    return out
+
+
+def merge_windows(windows: "list[tuple[float, float]]", slack_s: float = 0.0) -> "list[tuple[float, float]]":
+    """Union of intervals, merging any that touch within ``slack_s``."""
+    if not windows:
+        return []
+    windows = sorted(windows)
+    merged = [windows[0]]
+    for lo, hi in windows[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi + slack_s:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def pair_overlap_windows(
+    el_i: KeplerElements,
+    el_j: KeplerElements,
+    node_anomaly_i: float,
+    node_anomaly_j: float,
+    half_width_i: float,
+    half_width_j: float,
+    span_s: float,
+    pad_s: float = 0.0,
+) -> "list[tuple[float, float]]":
+    """Times when both objects are inside their windows around the same node.
+
+    Checks both the ascending (``nu``) and descending (``nu + pi``)
+    crossings; each window is padded by ``pad_s`` on both sides before
+    intersecting, so the caller can absorb window-edge minima.
+    """
+    overlaps: "list[tuple[float, float]]" = []
+    for d_nu in (0.0, math.pi):
+        wins_i = node_passage_windows(el_i, node_anomaly_i + d_nu, half_width_i, span_s)
+        wins_j = node_passage_windows(el_j, node_anomaly_j + d_nu, half_width_j, span_s)
+        if pad_s > 0.0:
+            wins_i = [(max(0.0, lo - pad_s), min(span_s, hi + pad_s)) for lo, hi in wins_i]
+            wins_j = [(max(0.0, lo - pad_s), min(span_s, hi + pad_s)) for lo, hi in wins_j]
+            wins_i = merge_windows(wins_i)
+            wins_j = merge_windows(wins_j)
+        overlaps.extend(intersect_windows(wins_i, wins_j))
+    return merge_windows(overlaps)

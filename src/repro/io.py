@@ -1,0 +1,123 @@
+"""Result interchange: CSV, JSON and CDM-style conjunction reports.
+
+Screening results feed downstream conjunction-assessment processes
+(Section III), which consume machine-readable summaries.  This module
+provides:
+
+* :func:`write_csv` / :func:`read_csv` — flat per-conjunction rows;
+* :func:`to_json` / :func:`from_json` — the full result including phase
+  timings and run metadata;
+* :func:`format_cdm` — a minimal human-readable record per conjunction in
+  the spirit of the CCSDS Conjunction Data Message (nominal fields only;
+  no covariance propagation).
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.poc import collision_probability
+from repro.detection.types import ScreeningResult
+from repro.parallel.backend import PhaseTimer
+
+_CSV_HEADER = "object_i,object_j,tca_s,pca_km"
+
+
+def write_csv(result: ScreeningResult, path: "str | Path") -> int:
+    """Write one row per conjunction; returns the row count."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(_CSV_HEADER + "\n")
+        for c in result.conjunctions():
+            fh.write(f"{c.i},{c.j},{c.tca_s:.6f},{c.pca_km:.9f}\n")
+    return result.n_conjunctions
+
+
+def read_csv(path: "str | Path") -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Read a conjunction CSV back into ``(i, j, tca_s, pca_km)`` arrays."""
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    if not lines or lines[0] != _CSV_HEADER:
+        raise ValueError(f"{path} is not a conjunction CSV (bad header)")
+    rows = [line.split(",") for line in lines[1:]]
+    if not rows:
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return e, e.copy(), f, f.copy()
+    arr = np.array(rows, dtype=np.float64)
+    return (
+        arr[:, 0].astype(np.int64),
+        arr[:, 1].astype(np.int64),
+        arr[:, 2],
+        arr[:, 3],
+    )
+
+
+def to_json(result: ScreeningResult) -> str:
+    """Serialise a result (conjunctions + metadata + timings) to JSON."""
+    payload = {
+        "method": result.method,
+        "backend": result.backend,
+        "candidates_refined": result.candidates_refined,
+        "phase_seconds": result.timers.totals,
+        "filter_stats": result.filter_stats,
+        "conjunctions": [
+            {"i": c.i, "j": c.j, "tca_s": c.tca_s, "pca_km": c.pca_km}
+            for c in result.conjunctions()
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def from_json(text: str) -> ScreeningResult:
+    """Rebuild a :class:`ScreeningResult` from :func:`to_json` output.
+
+    The ``extra`` metadata is not round-tripped (it may hold arbitrary
+    objects like memory plans); everything the accuracy comparisons need
+    is.
+    """
+    payload = json.loads(text)
+    conjs = payload["conjunctions"]
+    timers = PhaseTimer()
+    for name, secs in payload.get("phase_seconds", {}).items():
+        timers.add(name, float(secs))
+    return ScreeningResult(
+        method=payload["method"],
+        backend=payload["backend"],
+        i=np.array([c["i"] for c in conjs], dtype=np.int64),
+        j=np.array([c["j"] for c in conjs], dtype=np.int64),
+        tca_s=np.array([c["tca_s"] for c in conjs], dtype=np.float64),
+        pca_km=np.array([c["pca_km"] for c in conjs], dtype=np.float64),
+        candidates_refined=int(payload["candidates_refined"]),
+        timers=timers,
+        filter_stats=payload.get("filter_stats", {}),
+    )
+
+
+def format_cdm(
+    result: ScreeningResult,
+    sigma_km: float = 0.5,
+    hard_body_radius_km: float = 0.02,
+    originator: str = "REPRO-SCREENING",
+) -> str:
+    """Render each conjunction as a minimal CDM-style text record."""
+    blocks = []
+    for k, c in enumerate(result.conjunctions()):
+        poc = collision_probability(c.pca_km, sigma_km, hard_body_radius_km)
+        blocks.append(
+            "\n".join(
+                [
+                    f"CDM_ID              = {originator}-{k:06d}",
+                    f"ORIGINATOR          = {originator}",
+                    f"OBJECT1_DESIGNATOR  = {c.i}",
+                    f"OBJECT2_DESIGNATOR  = {c.j}",
+                    f"TCA_EPOCH_OFFSET_S  = {c.tca_s:.3f}",
+                    f"MISS_DISTANCE_KM    = {c.pca_km:.6f}",
+                    f"COLLISION_PROBABILITY = {poc:.3e}",
+                    f"SCREENING_METHOD    = {result.method}/{result.backend}",
+                ]
+            )
+        )
+    return ("\n\n").join(blocks) + ("\n" if blocks else "")

@@ -1,0 +1,7 @@
+"""Operational screening campaigns: the daily SSA workflow on top of the
+screening core — epoch advance (two-body or J2), windowed daily runs,
+event tracking across days, and uncertainty-aware risk summaries.
+"""
+from repro.ops.campaign import CampaignDay, ScreeningCampaign, TrackedEvent
+
+__all__ = ["CampaignDay", "ScreeningCampaign", "TrackedEvent"]

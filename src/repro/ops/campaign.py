@@ -1,0 +1,202 @@
+"""Multi-window screening campaigns.
+
+A conjunction screening service does not run once: it re-screens the
+catalog every revolution of the planning cycle, propagating the epoch
+forward (where the J2 extension earns its keep — plane geometry drifts
+day to day), merging each window's detections into a persistent event
+list, and re-ranking risk as the TCA approaches and the uncertainty
+shrinks.
+
+:class:`ScreeningCampaign` drives that loop over this library's
+:func:`repro.detection.api.screen`:
+
+* per window: advance every object's epoch, screen, record phase timings;
+* across windows: conjunctions of the same pair with compatible absolute
+  TCAs are *tracked* as one event (first-seen / last-seen window, best
+  PCA);
+* uncertainty model: a linear covariance growth ``sigma(dt) = sigma0 +
+  rate * dt`` from the last observation maps each event's lead time to a
+  collision probability.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.poc import collision_probability
+from repro.constants import TWO_PI
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.j2 import j2_secular_rates
+
+
+@dataclass
+class TrackedEvent:
+    """One conjunction event followed across screening windows."""
+
+    i: int
+    j: int
+    #: TCA on the campaign's absolute timeline (seconds from campaign start).
+    tca_abs_s: float
+    pca_km: float
+    first_seen_window: int
+    last_seen_window: int
+    sightings: int = 1
+
+    def update(self, tca_abs_s: float, pca_km: float, window: int) -> None:
+        self.last_seen_window = window
+        self.sightings += 1
+        if pca_km < self.pca_km:
+            self.pca_km = pca_km
+            self.tca_abs_s = tca_abs_s
+
+
+@dataclass(frozen=True)
+class CampaignDay:
+    """One screening window's outcome."""
+
+    window: int
+    start_s: float
+    result: ScreeningResult
+    new_events: int
+    reobserved_events: int
+
+
+class ScreeningCampaign:
+    """Drives repeated screening windows over an advancing epoch.
+
+    Parameters
+    ----------
+    population:
+        The catalog at campaign start (t = 0).
+    config:
+        Screening parameters of each window (``duration_s`` is the window
+        length).
+    method, backend:
+        Passed through to :func:`repro.detection.api.screen`.
+    use_j2:
+        Advance epochs with J2 secular drift instead of pure two-body
+        mean-anomaly advance.
+    tca_match_tol_s:
+        Re-detections of a pair within this absolute-TCA tolerance merge
+        into one tracked event.
+    """
+
+    def __init__(
+        self,
+        population: OrbitalElementsArray,
+        config: ScreeningConfig,
+        method: str = "hybrid",
+        backend: str = "vectorized",
+        use_j2: bool = False,
+        tca_match_tol_s: float = 30.0,
+    ) -> None:
+        self.population = population
+        self.config = config
+        self.method = method
+        self.backend = backend
+        self.use_j2 = use_j2
+        self.tca_match_tol_s = tca_match_tol_s
+        self.events: "list[TrackedEvent]" = []
+        self.days: "list[CampaignDay]" = []
+        self._clock_s = 0.0
+        if use_j2:
+            self._j2_rates = j2_secular_rates(population)
+
+    # ------------------------------------------------------------------
+
+    def _advanced_population(self, start_s: float) -> OrbitalElementsArray:
+        """The catalog with every epoch advanced to ``start_s``."""
+        pop = self.population
+        if self.use_j2:
+            raan_dot, argp_dot, m_dot_extra = self._j2_rates
+            return OrbitalElementsArray(
+                a=pop.a,
+                e=pop.e,
+                i=pop.i,
+                raan=np.mod(pop.raan + raan_dot * start_s, TWO_PI),
+                argp=np.mod(pop.argp + argp_dot * start_s, TWO_PI),
+                m0=np.mod(pop.m0 + (pop.n + m_dot_extra) * start_s, TWO_PI),
+            )
+        return OrbitalElementsArray(
+            a=pop.a, e=pop.e, i=pop.i, raan=pop.raan, argp=pop.argp,
+            m0=np.mod(pop.m0 + pop.n * start_s, TWO_PI),
+        )
+
+    def run_window(self) -> CampaignDay:
+        """Screen the next window and merge its detections into the track
+        list; returns the window summary."""
+        window = len(self.days)
+        start = self._clock_s
+        snapshot = self._advanced_population(start)
+        result = screen(snapshot, self.config, method=self.method, backend=self.backend)
+
+        new = reobserved = 0
+        for c in result.conjunctions():
+            tca_abs = start + c.tca_s
+            match = self._find_event(c.i, c.j, tca_abs)
+            if match is None:
+                self.events.append(
+                    TrackedEvent(
+                        i=c.i, j=c.j, tca_abs_s=tca_abs, pca_km=c.pca_km,
+                        first_seen_window=window, last_seen_window=window,
+                    )
+                )
+                new += 1
+            else:
+                match.update(tca_abs, c.pca_km, window)
+                reobserved += 1
+
+        day = CampaignDay(
+            window=window, start_s=start, result=result,
+            new_events=new, reobserved_events=reobserved,
+        )
+        self.days.append(day)
+        self._clock_s += self.config.duration_s
+        return day
+
+    def run(self, n_windows: int) -> "list[CampaignDay]":
+        """Run several consecutive windows."""
+        if n_windows <= 0:
+            raise ValueError(f"n_windows must be positive, got {n_windows}")
+        return [self.run_window() for _ in range(n_windows)]
+
+    def _find_event(self, i: int, j: int, tca_abs_s: float) -> "TrackedEvent | None":
+        for ev in self.events:
+            if ev.i == i and ev.j == j and abs(ev.tca_abs_s - tca_abs_s) <= self.tca_match_tol_s:
+                return ev
+        return None
+
+    # ------------------------------------------------------------------
+
+    def risk_summary(
+        self,
+        sigma0_km: float = 0.1,
+        growth_km_per_day: float = 0.4,
+        hard_body_radius_km: float = 0.02,
+    ) -> "list[tuple[TrackedEvent, float, float]]":
+        """Events with lead-time-dependent uncertainty and P_c.
+
+        The uncertainty of each event's geometry grows linearly with the
+        time between its *last* re-observation and its TCA — fresh
+        re-screenings shrink the covariance, which is the operational
+        reason campaigns re-run daily.  Returns ``(event, sigma, P_c)``
+        sorted by descending probability.
+        """
+        if sigma0_km <= 0.0 or growth_km_per_day < 0.0:
+            raise ValueError("sigma0 must be positive and growth non-negative")
+        out = []
+        for ev in self.events:
+            last_seen_time = (ev.last_seen_window + 1) * self.config.duration_s
+            lead_s = max(ev.tca_abs_s - last_seen_time, 0.0)
+            sigma = sigma0_km + growth_km_per_day * lead_s / 86400.0
+            poc = collision_probability(ev.pca_km, sigma, hard_body_radius_km)
+            out.append((ev, sigma, poc))
+        out.sort(key=lambda row: row[2], reverse=True)
+        return out
+
+    @property
+    def total_conjunctions_seen(self) -> int:
+        return sum(day.result.n_conjunctions for day in self.days)

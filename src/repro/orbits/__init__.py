@@ -1,0 +1,52 @@
+"""Orbital-mechanics substrate: Kepler elements, anomaly solvers, two-body
+propagation, frames, state-vector conversion, and orbit geometry.
+
+The paper (Section IV-B) propagates every satellite from its six Kepler
+elements, recomputing the true anomaly as a function of time with a contour
+Kepler solver.  This subpackage implements that substrate from scratch.
+"""
+from repro.orbits.elements import (
+    KeplerElements,
+    OrbitalElementsArray,
+)
+from repro.orbits.j2 import J2Propagator, j2_secular_rates
+from repro.orbits.kepler import (
+    eccentric_to_mean,
+    eccentric_to_true,
+    mean_to_eccentric,
+    mean_to_true,
+    solve_kepler_bisect,
+    solve_kepler_contour,
+    solve_kepler_halley,
+    solve_kepler_newton,
+    true_to_eccentric,
+    true_to_mean,
+)
+from repro.orbits.propagation import (
+    Propagator,
+    propagate_all,
+    propagate_one,
+)
+from repro.orbits.state import elements_to_state, state_to_elements
+
+__all__ = [
+    "J2Propagator",
+    "KeplerElements",
+    "OrbitalElementsArray",
+    "Propagator",
+    "j2_secular_rates",
+    "eccentric_to_mean",
+    "eccentric_to_true",
+    "elements_to_state",
+    "mean_to_eccentric",
+    "mean_to_true",
+    "propagate_all",
+    "propagate_one",
+    "solve_kepler_bisect",
+    "solve_kepler_contour",
+    "solve_kepler_halley",
+    "solve_kepler_newton",
+    "state_to_elements",
+    "true_to_eccentric",
+    "true_to_mean",
+]

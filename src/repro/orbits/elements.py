@@ -1,0 +1,195 @@
+"""Kepler orbital elements: scalar records and struct-of-arrays populations.
+
+Two representations are provided:
+
+* :class:`KeplerElements` — an immutable scalar record, convenient for tests,
+  examples, and didactic code.
+* :class:`OrbitalElementsArray` — a struct-of-arrays container holding one
+  numpy array per element for a whole population.  All performance-critical
+  code paths (propagation, grid insertion, filters) operate on this form so
+  they can be fully vectorised, as the HPC guides recommend.
+
+Element conventions (Fig. 7/8 of the paper):
+
+==============================  ======  =========================
+semi-major axis                 ``a``   km, > 0 (elliptical only)
+eccentricity                    ``e``   [0, 1)
+inclination                     ``i``   [0, pi]
+RAAN (ascending-node long.)     ``raan``  [0, 2*pi)
+argument of perigee             ``argp``  [0, 2*pi)
+mean anomaly at epoch           ``m0``  [0, 2*pi)
+==============================  ======  =========================
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import MU_EARTH, TWO_PI, mean_motion, orbital_period
+
+
+@dataclass(frozen=True)
+class KeplerElements:
+    """Six classical Kepler elements of one object (angles in radians).
+
+    The record stores the *mean anomaly at epoch* rather than the true
+    anomaly: propagation advances the mean anomaly linearly in time and the
+    true anomaly is recovered through the Kepler solvers.
+    """
+
+    a: float
+    e: float
+    i: float
+    raan: float
+    argp: float
+    m0: float
+
+    def __post_init__(self) -> None:
+        if not self.a > 0.0:
+            raise ValueError(f"semi-major axis must be > 0 km, got {self.a}")
+        if not 0.0 <= self.e < 1.0:
+            raise ValueError(f"eccentricity must lie in [0, 1), got {self.e}")
+        if not 0.0 <= self.i <= math.pi + 1e-12:
+            raise ValueError(f"inclination must lie in [0, pi], got {self.i}")
+
+    @property
+    def mean_motion(self) -> float:
+        """Mean motion ``n`` in rad/s."""
+        return mean_motion(self.a)
+
+    @property
+    def period(self) -> float:
+        """Orbital period in seconds."""
+        return orbital_period(self.a)
+
+    @property
+    def apogee(self) -> float:
+        """Apogee radius ``a * (1 + e)`` in km (distance from Earth centre)."""
+        return self.a * (1.0 + self.e)
+
+    @property
+    def perigee(self) -> float:
+        """Perigee radius ``a * (1 - e)`` in km."""
+        return self.a * (1.0 - self.e)
+
+    @property
+    def semi_latus_rectum(self) -> float:
+        """Semi-latus rectum ``p = a * (1 - e^2)`` in km."""
+        return self.a * (1.0 - self.e**2)
+
+    @property
+    def specific_angular_momentum(self) -> float:
+        """Magnitude of the specific angular momentum, km^2/s."""
+        return math.sqrt(MU_EARTH * self.semi_latus_rectum)
+
+    def mean_anomaly_at(self, t: float) -> float:
+        """Mean anomaly ``M(t) = M0 + n*t`` wrapped to [0, 2*pi)."""
+        return (self.m0 + self.mean_motion * t) % TWO_PI
+
+
+class OrbitalElementsArray:
+    """Struct-of-arrays population of ``n`` orbits.
+
+    Attributes are 1-D float64 arrays of equal length: ``a, e, i, raan,
+    argp, m0`` plus the derived ``n`` (mean motion, cached because every
+    propagation step needs it).
+    """
+
+    __slots__ = ("a", "e", "i", "raan", "argp", "m0", "n")
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        e: np.ndarray,
+        i: np.ndarray,
+        raan: np.ndarray,
+        argp: np.ndarray,
+        m0: np.ndarray,
+    ) -> None:
+        arrays = [np.ascontiguousarray(x, dtype=np.float64) for x in (a, e, i, raan, argp, m0)]
+        sizes = {arr.shape for arr in arrays}
+        if len(sizes) != 1 or arrays[0].ndim != 1:
+            raise ValueError(f"all element arrays must be 1-D of equal length, got shapes {sizes}")
+        self.a, self.e, self.i, self.raan, self.argp, self.m0 = arrays
+        if np.any(self.a <= 0.0):
+            raise ValueError("all semi-major axes must be > 0 km")
+        if np.any((self.e < 0.0) | (self.e >= 1.0)):
+            raise ValueError("all eccentricities must lie in [0, 1)")
+        self.n = np.sqrt(MU_EARTH / self.a**3)
+
+    def __len__(self) -> int:
+        return self.a.shape[0]
+
+    def __getitem__(self, idx: int) -> KeplerElements:
+        """Extract one object as a scalar :class:`KeplerElements`."""
+        return KeplerElements(
+            a=float(self.a[idx]),
+            e=float(self.e[idx]),
+            i=float(self.i[idx]),
+            raan=float(self.raan[idx]),
+            argp=float(self.argp[idx]),
+            m0=float(self.m0[idx]),
+        )
+
+    def subset(self, indices: np.ndarray) -> "OrbitalElementsArray":
+        """A new population containing only the given object indices."""
+        idx = np.asarray(indices)
+        return OrbitalElementsArray(
+            self.a[idx], self.e[idx], self.i[idx], self.raan[idx], self.argp[idx], self.m0[idx]
+        )
+
+    @classmethod
+    def from_elements(cls, elements: "list[KeplerElements]") -> "OrbitalElementsArray":
+        """Build a population from a list of scalar records."""
+        if not elements:
+            raise ValueError("population must contain at least one object")
+        return cls(
+            a=np.array([el.a for el in elements]),
+            e=np.array([el.e for el in elements]),
+            i=np.array([el.i for el in elements]),
+            raan=np.array([el.raan for el in elements]),
+            argp=np.array([el.argp for el in elements]),
+            m0=np.array([el.m0 for el in elements]),
+        )
+
+    @classmethod
+    def concatenate(cls, pops: "list[OrbitalElementsArray]") -> "OrbitalElementsArray":
+        """Merge several populations, preserving order."""
+        if not pops:
+            raise ValueError("need at least one population")
+        return cls(
+            a=np.concatenate([p.a for p in pops]),
+            e=np.concatenate([p.e for p in pops]),
+            i=np.concatenate([p.i for p in pops]),
+            raan=np.concatenate([p.raan for p in pops]),
+            argp=np.concatenate([p.argp for p in pops]),
+            m0=np.concatenate([p.m0 for p in pops]),
+        )
+
+    @property
+    def period(self) -> np.ndarray:
+        """Orbital periods, seconds."""
+        return TWO_PI / self.n
+
+    @property
+    def apogee(self) -> np.ndarray:
+        """Apogee radii ``a * (1 + e)``, km."""
+        return self.a * (1.0 + self.e)
+
+    @property
+    def perigee(self) -> np.ndarray:
+        """Perigee radii ``a * (1 - e)``, km."""
+        return self.a * (1.0 - self.e)
+
+    def mean_anomaly_at(self, t: float) -> np.ndarray:
+        """Mean anomalies of every object at time ``t`` (seconds past epoch)."""
+        return np.mod(self.m0 + self.n * t, TWO_PI)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OrbitalElementsArray(n={len(self)}, "
+            f"a=[{self.a.min():.0f}..{self.a.max():.0f}] km, "
+            f"e<= {self.e.max():.4f})"
+        )

@@ -1,0 +1,62 @@
+"""Reference-frame utilities: perifocal -> ECI rotations and plane normals.
+
+The grid divides Euclidean (Cartesian ECI) space rather than element space
+(Section III-A1), so every propagation step ends with a perifocal-to-ECI
+rotation.  The rotation is the classical 3-1-3 sequence through RAAN,
+inclination, and argument of perigee (Fig. 8 of the paper).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+
+def perifocal_to_eci_matrix(i, raan, argp) -> np.ndarray:
+    """Rotation matrices from the perifocal (PQW) frame to ECI.
+
+    Accepts scalars (returns one ``(3, 3)`` matrix) or equal-length arrays
+    (returns ``(n, 3, 3)``).  Columns are the ECI coordinates of the P, Q, W
+    unit vectors: P points at perigee, Q is 90 degrees ahead in the orbital
+    plane, W is the orbit normal.
+    """
+    i_arr = np.atleast_1d(np.asarray(i, dtype=np.float64))
+    raan_arr = np.atleast_1d(np.asarray(raan, dtype=np.float64))
+    argp_arr = np.atleast_1d(np.asarray(argp, dtype=np.float64))
+    i_arr, raan_arr, argp_arr = np.broadcast_arrays(i_arr, raan_arr, argp_arr)
+
+    co, so = np.cos(raan_arr), np.sin(raan_arr)
+    ci, si = np.cos(i_arr), np.sin(i_arr)
+    cw, sw = np.cos(argp_arr), np.sin(argp_arr)
+
+    rot = np.empty(i_arr.shape + (3, 3), dtype=np.float64)
+    rot[..., 0, 0] = co * cw - so * sw * ci
+    rot[..., 0, 1] = -co * sw - so * cw * ci
+    rot[..., 0, 2] = so * si
+    rot[..., 1, 0] = so * cw + co * sw * ci
+    rot[..., 1, 1] = -so * sw + co * cw * ci
+    rot[..., 1, 2] = -co * si
+    rot[..., 2, 0] = sw * si
+    rot[..., 2, 1] = cw * si
+    rot[..., 2, 2] = ci
+
+    if np.ndim(i) == 0 and np.ndim(raan) == 0 and np.ndim(argp) == 0:
+        return rot[0]
+    return rot
+
+
+def orbit_normal(i, raan) -> np.ndarray:
+    """Unit normal vector(s) of the orbital plane in ECI coordinates.
+
+    ``h_hat = (sin(i) sin(raan), -sin(i) cos(raan), cos(i))`` — the third
+    column of the perifocal rotation, independent of the argument of
+    perigee.  Scalars give shape ``(3,)``; arrays give ``(n, 3)``.
+    """
+    i_arr = np.atleast_1d(np.asarray(i, dtype=np.float64))
+    raan_arr = np.atleast_1d(np.asarray(raan, dtype=np.float64))
+    i_arr, raan_arr = np.broadcast_arrays(i_arr, raan_arr)
+    normal = np.stack(
+        [np.sin(i_arr) * np.sin(raan_arr), -np.sin(i_arr) * np.cos(raan_arr), np.cos(i_arr)],
+        axis=-1,
+    )
+    if np.ndim(i) == 0 and np.ndim(raan) == 0:
+        return normal[0]
+    return normal

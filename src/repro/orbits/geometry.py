@@ -1,0 +1,138 @@
+"""Orbit-to-orbit geometry used by the classical filter chain.
+
+Implements the geometric quantities behind the Hoots-style filters
+(Section II of the paper): apogee/perigee ranges, coplanarity angles, the
+mutual node line of two orbital planes, the orbit radius evaluated at the
+node crossings, and a sampled minimum orbit-to-orbit distance that serves
+as a slow-but-sure oracle in tests.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import TWO_PI
+from repro.orbits.elements import KeplerElements
+from repro.orbits.frames import orbit_normal, perifocal_to_eci_matrix
+
+
+def plane_angle(e1: KeplerElements, e2: KeplerElements) -> float:
+    """Angle between the two orbital planes, radians in [0, pi]."""
+    n1 = orbit_normal(e1.i, e1.raan)
+    n2 = orbit_normal(e2.i, e2.raan)
+    return math.acos(max(-1.0, min(1.0, float(np.dot(n1, n2)))))
+
+
+def is_coplanar(e1: KeplerElements, e2: KeplerElements, tol_rad: float = math.radians(1.0)) -> bool:
+    """Whether the two orbit planes are (anti-)parallel within ``tol_rad``.
+
+    The hybrid variant treats coplanar pairs separately (Section IV-C)
+    because their mutual node line — hence the node-based search interval —
+    is undefined.
+    """
+    ang = plane_angle(e1, e2)
+    return ang < tol_rad or math.pi - ang < tol_rad
+
+
+def mutual_node_line(e1: KeplerElements, e2: KeplerElements) -> np.ndarray:
+    """Unit vector along the intersection of the two orbital planes (ECI).
+
+    Raises
+    ------
+    ValueError
+        If the planes are parallel (coplanar orbits) and the line is
+        undefined.  Callers should test :func:`is_coplanar` first.
+    """
+    n1 = orbit_normal(e1.i, e1.raan)
+    n2 = orbit_normal(e2.i, e2.raan)
+    line = np.cross(n1, n2)
+    norm = float(np.linalg.norm(line))
+    if norm < 1e-12:
+        raise ValueError("coplanar orbits have no unique mutual node line")
+    return line / norm
+
+
+def true_anomaly_of_direction(elements: KeplerElements, direction: np.ndarray) -> float:
+    """True anomaly at which the orbit crosses the given in-plane direction.
+
+    ``direction`` must lie (approximately) in the orbital plane; it is
+    projected onto the plane before measuring the angle from perigee.
+    """
+    rot = perifocal_to_eci_matrix(elements.i, elements.raan, elements.argp)
+    p_axis, q_axis = rot[:, 0], rot[:, 1]
+    x = float(np.dot(direction, p_axis))
+    y = float(np.dot(direction, q_axis))
+    if abs(x) < 1e-15 and abs(y) < 1e-15:
+        raise ValueError("direction is orthogonal to the orbital plane")
+    return math.atan2(y, x) % TWO_PI
+
+
+def radius_at_true_anomaly(elements: KeplerElements, nu) -> "float | np.ndarray":
+    """Orbit radius ``r = p / (1 + e cos(nu))`` in km."""
+    p = elements.semi_latus_rectum
+    return p / (1.0 + elements.e * np.cos(nu))
+
+
+def node_crossing_radii(e1: KeplerElements, e2: KeplerElements) -> "tuple[tuple[float, float], tuple[float, float]]":
+    """Radii of both orbits at the two mutual node crossings.
+
+    Returns ``((r1_asc, r2_asc), (r1_desc, r2_desc))`` where *asc* is the
+    crossing along ``+node`` and *desc* along ``-node``.  This is the core
+    quantity of the Hoots orbit-path filter: if at both crossings the radii
+    differ by more than the padded threshold, the orbits can never come
+    close near the node line.
+    """
+    node = mutual_node_line(e1, e2)
+    nu1_asc = true_anomaly_of_direction(e1, node)
+    nu2_asc = true_anomaly_of_direction(e2, node)
+    nu1_desc = (nu1_asc + math.pi) % TWO_PI
+    nu2_desc = (nu2_asc + math.pi) % TWO_PI
+    return (
+        (float(radius_at_true_anomaly(e1, nu1_asc)), float(radius_at_true_anomaly(e2, nu2_asc))),
+        (float(radius_at_true_anomaly(e1, nu1_desc)), float(radius_at_true_anomaly(e2, nu2_desc))),
+    )
+
+
+def sampled_orbit_distance(
+    e1: KeplerElements, e2: KeplerElements, samples: int = 720
+) -> float:
+    """Minimum distance between the two orbit *curves* by dense sampling.
+
+    An O(samples^2)-free approximation: sample both ellipses at ``samples``
+    true anomalies and take the minimum pairwise distance, refined by one
+    local grid pass.  Used as the conservative oracle in tests for the
+    analytic orbit-path filter (the true MOID is <= this value; with enough
+    samples it converges to the MOID).
+    """
+    pts1 = _orbit_points(e1, samples)
+    pts2 = _orbit_points(e2, samples)
+    # (samples, samples) distance matrix is fine for the test-scale sample counts.
+    diff = pts1[:, None, :] - pts2[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    flat = int(np.argmin(d2))
+    i0, j0 = divmod(flat, samples)
+    # Local refinement around the coarse minimum.
+    nu1 = TWO_PI * i0 / samples
+    nu2 = TWO_PI * j0 / samples
+    span = TWO_PI / samples
+    fine = 64
+    nus1 = nu1 + np.linspace(-span, span, fine)
+    nus2 = nu2 + np.linspace(-span, span, fine)
+    fine1 = _points_at(e1, nus1)
+    fine2 = _points_at(e2, nus2)
+    diff = fine1[:, None, :] - fine2[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    return float(math.sqrt(float(d2.min())))
+
+
+def _orbit_points(elements: KeplerElements, samples: int) -> np.ndarray:
+    nus = np.linspace(0.0, TWO_PI, samples, endpoint=False)
+    return _points_at(elements, nus)
+
+
+def _points_at(elements: KeplerElements, nus: np.ndarray) -> np.ndarray:
+    r = radius_at_true_anomaly(elements, nus)
+    rot = perifocal_to_eci_matrix(elements.i, elements.raan, elements.argp)
+    pqw = np.stack([r * np.cos(nus), r * np.sin(nus), np.zeros_like(nus)], axis=-1)
+    return pqw @ rot.T

@@ -1,0 +1,113 @@
+"""Conversions between Cartesian state vectors and Kepler elements.
+
+``elements_to_state`` / ``state_to_elements`` (classical coe2rv / rv2coe)
+are needed by the fragmentation scenario generator: a breakup perturbs the
+parent's velocity vector, and the debris pieces' new orbits are recovered
+from the perturbed state vectors.  They are round-trip tested against the
+propagator.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import MU_EARTH, TWO_PI
+from repro.orbits.elements import KeplerElements
+from repro.orbits.frames import perifocal_to_eci_matrix
+from repro.orbits.kepler import true_to_mean
+
+#: Below this magnitude, vectors are treated as degenerate (equatorial /
+#: circular special cases).
+_EPS = 1e-11
+
+
+def elements_to_state(
+    elements: KeplerElements, true_anomaly: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """ECI position (km) and velocity (km/s) at the given true anomaly."""
+    a, e = elements.a, elements.e
+    p = elements.semi_latus_rectum
+    r = p / (1.0 + e * math.cos(true_anomaly))
+    pos_pqw = np.array([r * math.cos(true_anomaly), r * math.sin(true_anomaly), 0.0])
+    coeff = math.sqrt(MU_EARTH / p)
+    vel_pqw = np.array(
+        [-coeff * math.sin(true_anomaly), coeff * (e + math.cos(true_anomaly)), 0.0]
+    )
+    rot = perifocal_to_eci_matrix(elements.i, elements.raan, elements.argp)
+    return rot @ pos_pqw, rot @ vel_pqw
+
+
+def state_to_elements(position: np.ndarray, velocity: np.ndarray) -> "tuple[KeplerElements, float]":
+    """Kepler elements and true anomaly from an ECI state vector.
+
+    Returns ``(elements, true_anomaly)`` where ``elements.m0`` is the mean
+    anomaly corresponding to the state (so propagating the elements by
+    ``t=0`` reproduces the input position).
+
+    Raises
+    ------
+    ValueError
+        If the state is not an ellipse (specific energy >= 0) or is
+        rectilinear (zero angular momentum).
+    """
+    r_vec = np.asarray(position, dtype=np.float64)
+    v_vec = np.asarray(velocity, dtype=np.float64)
+    r = float(np.linalg.norm(r_vec))
+    v = float(np.linalg.norm(v_vec))
+    if r <= 0.0:
+        raise ValueError("position vector must be non-zero")
+
+    h_vec = np.cross(r_vec, v_vec)
+    h = float(np.linalg.norm(h_vec))
+    if h < _EPS:
+        raise ValueError("rectilinear trajectory: angular momentum is zero")
+
+    energy = 0.5 * v * v - MU_EARTH / r
+    if energy >= 0.0:
+        raise ValueError(f"state is not elliptic (specific energy {energy:.6g} >= 0)")
+    a = -MU_EARTH / (2.0 * energy)
+
+    e_vec = np.cross(v_vec, h_vec) / MU_EARTH - r_vec / r
+    e = float(np.linalg.norm(e_vec))
+    if e >= 1.0:
+        raise ValueError(f"eccentricity {e} >= 1 despite negative energy (degenerate state)")
+
+    inc = math.acos(max(-1.0, min(1.0, h_vec[2] / h)))
+
+    # Node vector: k x h.
+    n_vec = np.array([-h_vec[1], h_vec[0], 0.0])
+    n = float(np.linalg.norm(n_vec))
+
+    if n < _EPS:
+        # Equatorial orbit: RAAN undefined, conventionally zero.
+        raan = 0.0
+        if e < _EPS:
+            argp = 0.0
+            nu = math.atan2(r_vec[1], r_vec[0]) % TWO_PI
+            if inc > math.pi / 2.0:
+                nu = (TWO_PI - nu) % TWO_PI
+        else:
+            argp = math.atan2(e_vec[1], e_vec[0]) % TWO_PI
+            if h_vec[2] < 0.0:
+                argp = (TWO_PI - argp) % TWO_PI
+            nu = _angle_between(e_vec, r_vec, h_vec)
+    else:
+        raan = math.atan2(n_vec[1], n_vec[0]) % TWO_PI
+        if e < _EPS:
+            # Circular inclined: argument of perigee undefined, use zero and
+            # measure the anomaly from the ascending node.
+            argp = 0.0
+            nu = _angle_between(n_vec, r_vec, h_vec)
+        else:
+            argp = _angle_between(n_vec, e_vec, h_vec)
+            nu = _angle_between(e_vec, r_vec, h_vec)
+
+    m0 = float(true_to_mean(nu, e)) if e >= _EPS else nu
+    return KeplerElements(a=a, e=e, i=inc, raan=raan, argp=argp, m0=m0), nu
+
+
+def _angle_between(u: np.ndarray, w: np.ndarray, h_vec: np.ndarray) -> float:
+    """Angle from ``u`` to ``w`` measured positively around ``h_vec``."""
+    nu = math.atan2(float(np.dot(np.cross(u, w), h_vec / np.linalg.norm(h_vec))), float(np.dot(u, w)))
+    return nu % TWO_PI

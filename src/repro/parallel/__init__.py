@@ -1,0 +1,17 @@
+"""Execution backends and phase instrumentation.
+
+The paper prefers data parallelism over functional parallelism
+(Section V-E): on the GPU one thread per (satellite, time) tuple, on the
+CPU one thread per chunk of tuples.  This subpackage provides the three
+execution backends used throughout the detection variants plus the phase
+timers behind the relative-time-consumption evaluation (Section V-C1).
+"""
+from repro.parallel.backend import (
+    BACKENDS,
+    PhaseTimer,
+    chunk_ranges,
+    parallel_for,
+    resolve_backend,
+)
+
+__all__ = ["BACKENDS", "PhaseTimer", "chunk_ranges", "parallel_for", "resolve_backend"]

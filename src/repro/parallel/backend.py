@@ -1,0 +1,124 @@
+"""Execution backends (`serial` / `threads` / `vectorized`) and phase timers.
+
+* ``serial`` — single-threaded reference path over the CAS data structures.
+* ``threads`` — a thread pool partitions the satellite (or pair) index
+  space into chunks; all threads insert into the *shared* non-blocking
+  structures concurrently, exercising the CAS protocol exactly as the
+  paper's OpenMP variant does.  (Throughput under CPython's GIL is not the
+  point — protocol correctness and the work-partitioning structure are;
+  see DESIGN.md.)
+* ``vectorized`` — the GPU analogue: no Python-level loop over objects at
+  all; the variants select their numpy array path when this backend is
+  chosen.
+
+:class:`PhaseTimer` accumulates wall-clock per named phase (INS, CD,
+coplanarity, refinement, ...) to reproduce Section V-C1's relative time
+consumption.
+"""
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: The recognised backend names.
+BACKENDS = ("serial", "threads", "vectorized")
+
+
+def resolve_backend(name: str) -> str:
+    """Validate and normalise a backend name."""
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")
+    return name
+
+
+def default_thread_count() -> int:
+    """Thread-pool width: honours ``REPRO_NUM_THREADS``, else CPU count."""
+    env = os.environ.get("REPRO_NUM_THREADS")
+    if env:
+        count = int(env)
+        if count <= 0:
+            raise ValueError(f"REPRO_NUM_THREADS must be positive, got {count}")
+        return count
+    return os.cpu_count() or 1
+
+
+def chunk_ranges(n: int, n_chunks: int) -> "list[tuple[int, int]]":
+    """Split ``range(n)`` into ``n_chunks`` nearly equal ``[start, end)`` runs.
+
+    Static partitioning, matching the paper's OpenMP-style distribution of
+    (satellite, time) tuples across threads.
+    """
+    if n_chunks <= 0:
+        raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+    n_chunks = min(n_chunks, max(n, 1))
+    base, extra = divmod(n, n_chunks)
+    ranges = []
+    start = 0
+    for c in range(n_chunks):
+        size = base + (1 if c < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def parallel_for(
+    work: Callable[[int, int], object],
+    n: int,
+    n_threads: "int | None" = None,
+) -> "list[object]":
+    """Run ``work(start, end)`` over a static partition of ``range(n)``.
+
+    With one thread (or trivial ``n``) the call is executed inline, which
+    keeps the serial backend free of pool overhead and makes single-thread
+    baselines honest.
+    """
+    threads = n_threads if n_threads is not None else default_thread_count()
+    ranges = [r for r in chunk_ranges(n, threads) if r[0] < r[1]]
+    if len(ranges) <= 1:
+        return [work(s, e) for s, e in ranges]
+    with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+        futures = [pool.submit(work, s, e) for s, e in ranges]
+        return [f.result() for f in futures]
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    The evaluation's phase names: ``INS`` (grid insertion, including
+    propagation), ``CD`` (conjunction detection / pair emission),
+    ``COP`` (coplanarity + orbital filters, hybrid only), ``REF``
+    (PCA/TCA refinement), ``ALLOC`` (up-front memory allocation).
+    """
+
+    totals: "dict[str, float]" = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + time.perf_counter() - start
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def fractions(self) -> "dict[str, float]":
+        """Relative time consumption per phase (Section V-C1's percentages)."""
+        total = self.total
+        if total <= 0.0:
+            return {k: 0.0 for k in self.totals}
+        return {k: v / total for k, v in self.totals.items()}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        for k, v in other.totals.items():
+            self.add(k, v)

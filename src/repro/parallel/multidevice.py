@@ -1,0 +1,168 @@
+"""Multi-device orchestration: the paper's "use multiple GPUs" future work.
+
+Section VI: "memory usage is the current limiting factor - using multiple
+GPUs would solve this problem to some degree."  This module implements
+that extension over the library's virtual-device model: the sampling steps
+of a screening run are partitioned round-robin across ``n_devices``, each
+device runs the grid candidate collection inside its own memory budget
+(its own grids and conjunction map), and the per-device record sets merge
+before the shared refinement stage.
+
+Because sampling steps are embarrassingly parallel (each step has its own
+grid; Section V-E), the partition is exact: the merged result is
+bit-identical to the single-device run, which the test suite asserts.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.gridbased import refine_records
+from repro.detection.pca_tca import interval_radii, merge_conjunctions
+from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer
+from repro.perfmodel.memory import MemoryPlan, conjunction_capacity, plan_memory
+from repro.spatial.conjmap import ConjunctionMap
+from repro.spatial.grid import cell_size_km
+from repro.spatial.hashmap import HashMapFullError
+from repro.spatial.vectorgrid import SortedGrid
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """Per-virtual-device accounting of one multi-device run."""
+
+    device: int
+    steps_processed: int
+    records: int
+    conjunction_map_capacity: int
+    peak_bytes: int
+    plan: "MemoryPlan | None"
+
+
+def partition_steps(n_steps: int, n_devices: int) -> "list[np.ndarray]":
+    """Round-robin step assignment: device d gets steps d, d+D, d+2D, ...
+
+    Round-robin (rather than contiguous blocks) balances the load when
+    conjunction density drifts over the screening span.
+    """
+    if n_devices <= 0:
+        raise ValueError(f"n_devices must be positive, got {n_devices}")
+    return [np.arange(d, n_steps, n_devices, dtype=np.int64) for d in range(n_devices)]
+
+
+def screen_grid_multidevice(
+    population: OrbitalElementsArray,
+    config: ScreeningConfig,
+    n_devices: int,
+    device_budget_bytes: "int | None" = None,
+) -> "tuple[ScreeningResult, list[DeviceReport]]":
+    """Grid-based screening with steps sharded over virtual devices.
+
+    Returns the merged :class:`ScreeningResult` (identical to a
+    single-device run) plus per-device reports.  When
+    ``device_budget_bytes`` is given, each device additionally computes its
+    Section V-B memory plan against that budget, demonstrating how D
+    devices multiply the effective parallelisation factor.
+    """
+    timers = PhaseTimer()
+    n = len(population)
+    with timers.phase("ALLOC"):
+        cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
+        times = config.sample_times()
+        shards = partition_steps(len(times), n_devices)
+        propagator = Propagator(population, solver=config.solver)
+        ids = np.arange(n, dtype=np.int64)
+
+    reports: "list[DeviceReport]" = []
+    all_i: "list[np.ndarray]" = []
+    all_j: "list[np.ndarray]" = []
+    all_steps: "list[np.ndarray]" = []
+
+    for device, steps in enumerate(shards):
+        capacity = max(
+            conjunction_capacity(
+                n, config.seconds_per_sample, config.duration_s, config.threshold_km, "grid"
+            )
+            // n_devices,
+            1000,
+        )
+        conj = ConjunctionMap(capacity)
+        peak = 0
+        k = 0
+        while k < len(steps):
+            step = int(steps[k])
+            with timers.phase("INS"):
+                positions = propagator.positions(float(times[step]))
+                grid = SortedGrid(cell)
+                grid.build(ids, positions)
+            try:
+                with timers.phase("CD"):
+                    ci, cj = grid.candidate_pairs()
+                    conj.insert_batch(ci, cj, step)
+            except HashMapFullError:
+                bigger = ConjunctionMap(conj.capacity * 2)
+                ri, rj, rs = conj.records()
+                for s in np.unique(rs):
+                    m = rs == s
+                    bigger.insert_batch(ri[m], rj[m], int(s))
+                conj = bigger
+                continue
+            peak = max(peak, conj.memory_bytes + 16 * 2 * n + 48 * n)
+            k += 1
+        ri, rj, rs = conj.records()
+        all_i.append(ri)
+        all_j.append(rj)
+        all_steps.append(rs)
+        plan = None
+        if device_budget_bytes is not None:
+            plan = plan_memory(
+                n,
+                config.seconds_per_sample,
+                config.duration_s / n_devices,
+                config.threshold_km,
+                "grid",
+                device_budget_bytes,
+                auto_adjust=False,
+            )
+        reports.append(
+            DeviceReport(
+                device=device,
+                steps_processed=len(steps),
+                records=len(ri),
+                conjunction_map_capacity=conj.capacity,
+                peak_bytes=peak,
+                plan=plan,
+            )
+        )
+
+    with timers.phase("REF"):
+        rec_i = np.concatenate(all_i)
+        rec_j = np.concatenate(all_j)
+        rec_step = np.concatenate(all_steps)
+        centers = times[rec_step]
+        radii = interval_radii(population, rec_i, rec_j, cell)
+        i, j, tca, pca = refine_records(
+            population, rec_i, rec_j, centers, radii, config, "vectorized"
+        )
+        i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+
+    result = ScreeningResult(
+        method="grid-multidevice",
+        backend="vectorized",
+        i=i,
+        j=j,
+        tca_s=tca,
+        pca_km=pca,
+        candidates_refined=len(rec_i),
+        timers=timers,
+        extra={
+            "n_devices": n_devices,
+            "cell_size_km": cell,
+            "n_steps": len(times),
+        },
+    )
+    return result, reports

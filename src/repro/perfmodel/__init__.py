@@ -1,0 +1,31 @@
+"""Empirical performance modelling and memory parameterisation.
+
+* :mod:`repro.perfmodel.extrap` — Extra-P-style power-law model fitting,
+  reproducing the methodology behind the paper's conjunction-count models
+  (Eqs. 3 and 4).
+* :mod:`repro.perfmodel.memory` — the Section V-B memory planner: how many
+  sampling steps fit into memory at once (``p``), total samples (``o``),
+  computation rounds (``r_c``), hash-map sizing, and the automatic
+  seconds-per-sample reduction.
+"""
+from repro.perfmodel.extrap import PowerLawModel, fit_power_law, paper_conjunction_model
+from repro.perfmodel.memory import MemoryPlan, conjunction_capacity, plan_memory
+from repro.perfmodel.runtime import (
+    RuntimeComparison,
+    compare_runtimes,
+    crossover_population,
+    fit_runtime_model,
+)
+
+__all__ = [
+    "MemoryPlan",
+    "PowerLawModel",
+    "RuntimeComparison",
+    "compare_runtimes",
+    "conjunction_capacity",
+    "crossover_population",
+    "fit_power_law",
+    "fit_runtime_model",
+    "paper_conjunction_model",
+    "plan_memory",
+]

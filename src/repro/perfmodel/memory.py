@@ -1,0 +1,190 @@
+"""The Section V-B memory planner.
+
+Fixed-size hash maps need their sizes up front, so the paper derives:
+
+* ``p`` — sampling steps processable in parallel before memory runs out:
+  ``p = (m - a_s - a_k - a_ch) / (a_gh + a_l)``;
+* ``o = t / s_ps`` — total samples to process;
+* ``r_c = o / p`` — computation rounds;
+* the grid hash set gets ``2n`` slots; the conjunction map gets
+  ``c = max(c', 10_000) * 2 * 2`` slots of 16 B, with ``c'`` from the
+  Extra-P model;
+* for the hybrid variant ``s_ps`` is automatically reduced until the
+  parallelisation factor reaches about 512 (one CUDA block of the
+  detection kernel) and everything fits the budget — the adjustment the
+  evaluation observed at 512k (9 -> 4) and 1M satellites (9 -> 1).
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perfmodel.extrap import paper_conjunction_model
+
+#: Bytes per satellite for the initial element data ``a_s``: six float64
+#: elements plus the cached mean motion.
+SATELLITE_RECORD_BYTES = 7 * 8
+
+#: Bytes per satellite of precomputed Kepler-solver data ``a_k``: the five
+#: per-orbit 3-vectors the propagator stores (see Propagator.memory_bytes).
+SOLVER_RECORD_BYTES = 5 * 3 * 8
+
+#: Bytes per hash-map slot (key + value), Section V-B.
+SLOT_BYTES = 16
+
+#: Bytes per linked-list satellite entry: id, slot, next, 3 coordinates.
+ENTRY_BYTES = 6 * 8
+
+#: The paper's target parallelisation factor: one CUDA block of the grid
+#: conjunction-detection kernel.
+TARGET_PARALLEL_FACTOR = 512
+
+#: Floor on the conjunction-map base size.
+MIN_CONJUNCTIONS = 10_000
+
+
+def conjunction_capacity(
+    n_satellites: int,
+    seconds_per_sample: float,
+    duration_s: float,
+    threshold_km: float,
+    variant: str,
+) -> int:
+    """Conjunction hash-map slot count: ``max(c', 10000) * 2 * 2``.
+
+    One doubling is the usual open-addressing headroom; the second absorbs
+    the population-dependence the Extra-P base model cannot capture.
+    """
+    model = paper_conjunction_model(variant)
+    c_prime = model.predict(
+        n=float(n_satellites), s=seconds_per_sample, t=duration_s, d=threshold_km
+    )
+    return int(math.ceil(max(c_prime, MIN_CONJUNCTIONS))) * 2 * 2
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Outcome of the Section V-B parameterisation."""
+
+    n_satellites: int
+    variant: str
+    #: Effective seconds per sample after any automatic reduction.
+    seconds_per_sample: float
+    #: The requested value before adjustment.
+    requested_seconds_per_sample: float
+    budget_bytes: int
+    #: Fixed allocations.
+    satellite_bytes: int
+    solver_bytes: int
+    conjunction_map_slots: int
+    conjunction_map_bytes: int
+    #: Per-grid-instance cost.
+    grid_hash_bytes: int
+    entry_pool_bytes: int
+    #: Parallelisation factor: grids processable simultaneously.
+    parallel_steps: int
+    #: Total samples ``o`` and computation rounds ``r_c``.
+    total_samples: int
+    computation_rounds: int
+
+    @property
+    def per_grid_bytes(self) -> int:
+        return self.grid_hash_bytes + self.entry_pool_bytes
+
+    @property
+    def fixed_bytes(self) -> int:
+        return self.satellite_bytes + self.solver_bytes + self.conjunction_map_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Footprint of the planned configuration."""
+        return self.fixed_bytes + self.parallel_steps * self.per_grid_bytes
+
+    @property
+    def was_adjusted(self) -> bool:
+        return self.seconds_per_sample != self.requested_seconds_per_sample
+
+
+def _plan_once(
+    n: int,
+    seconds_per_sample: float,
+    duration_s: float,
+    threshold_km: float,
+    variant: str,
+    budget_bytes: int,
+) -> MemoryPlan:
+    a_s = n * SATELLITE_RECORD_BYTES
+    a_k = n * SOLVER_RECORD_BYTES
+    conj_slots = conjunction_capacity(n, seconds_per_sample, duration_s, threshold_km, variant)
+    a_ch = conj_slots * SLOT_BYTES
+    a_gh = 2 * n * SLOT_BYTES
+    a_l = n * ENTRY_BYTES
+    free = budget_bytes - a_s - a_k - a_ch
+    p = max(int(free // (a_gh + a_l)), 0)
+    o = max(int(math.ceil(duration_s / seconds_per_sample)) + 1, 2)
+    r_c = int(math.ceil(o / p)) if p > 0 else 0
+    return MemoryPlan(
+        n_satellites=n,
+        variant=variant,
+        seconds_per_sample=seconds_per_sample,
+        requested_seconds_per_sample=seconds_per_sample,
+        budget_bytes=budget_bytes,
+        satellite_bytes=a_s,
+        solver_bytes=a_k,
+        conjunction_map_slots=conj_slots,
+        conjunction_map_bytes=a_ch,
+        grid_hash_bytes=a_gh,
+        entry_pool_bytes=a_l,
+        parallel_steps=p,
+        total_samples=o,
+        computation_rounds=r_c,
+    )
+
+
+def plan_memory(
+    n_satellites: int,
+    seconds_per_sample: float,
+    duration_s: float,
+    threshold_km: float,
+    variant: str,
+    budget_bytes: int,
+    auto_adjust: bool = True,
+    target_parallel: int = TARGET_PARALLEL_FACTOR,
+) -> MemoryPlan:
+    """Plan a run's memory, optionally auto-reducing ``s_ps``.
+
+    For the hybrid variant (or whenever ``auto_adjust`` is on), the
+    seconds-per-sample is lowered step by step — shrinking the conjunction
+    map, whose size grows like ``s^{4/3..5/3}`` — until either the target
+    parallelisation factor is reached or ``s_ps`` hits 1 s, mirroring the
+    9 -> 4 -> 1 adjustments reported in Section V-C.
+
+    Raises
+    ------
+    ValueError
+        If even ``s_ps = 1`` cannot fit a single grid instance into the
+        budget.
+    """
+    if n_satellites <= 0:
+        raise ValueError(f"n_satellites must be positive, got {n_satellites}")
+    if budget_bytes <= 0:
+        raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+    requested = seconds_per_sample
+    sps = seconds_per_sample
+    plan = _plan_once(n_satellites, sps, duration_s, threshold_km, variant, budget_bytes)
+    if auto_adjust:
+        while plan.parallel_steps < min(target_parallel, plan.total_samples) and sps > 1.0:
+            sps = max(sps - 1.0, 1.0)
+            plan = _plan_once(n_satellites, sps, duration_s, threshold_km, variant, budget_bytes)
+    if plan.parallel_steps == 0:
+        raise ValueError(
+            f"memory budget {budget_bytes} B cannot hold even one grid instance for "
+            f"{n_satellites} satellites (fixed allocations {plan.fixed_bytes} B, "
+            f"per-grid {plan.per_grid_bytes} B)"
+        )
+    return MemoryPlan(
+        **{
+            **plan.__dict__,
+            "requested_seconds_per_sample": requested,
+        }
+    )

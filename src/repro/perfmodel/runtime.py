@@ -1,0 +1,98 @@
+"""Runtime modelling and crossover prediction.
+
+Fig. 10's narrative is a sequence of *crossovers*: "at 4000 satellites,
+the grid-based GPU method is already approximately 30% faster [than
+legacy]", "the grid-based GPU variant beats the hybrid CPU variant at
+128,000 satellites", and so on.  This module turns measured runtime
+samples into the same statements:
+
+* :func:`fit_runtime_model` — a power law ``t(n) = C n^k`` per variant
+  from (n, seconds) samples (Extra-P machinery underneath);
+* :func:`crossover_population` — the population size where one variant's
+  model overtakes another's;
+* :class:`RuntimeComparison` — the full who-wins-where table for a set of
+  variants over a population range.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perfmodel.extrap import PowerLawModel, fit_power_law
+
+
+def fit_runtime_model(samples: "list[tuple[int, float]]") -> PowerLawModel:
+    """Fit ``t(n) = C * n^k`` to (population size, seconds) samples."""
+    if len(samples) < 2:
+        raise ValueError("need at least two (n, seconds) samples")
+    observations = [({"n": float(n)}, float(t)) for n, t in samples]
+    return fit_power_law(["n"], observations)
+
+
+def crossover_population(
+    slower_small: PowerLawModel, faster_small: PowerLawModel
+) -> "float | None":
+    """Population where ``slower_small`` overtakes ``faster_small``.
+
+    Both models must be single-parameter in ``n``.  Returns None when the
+    curves never cross for n > 1 (the first model is slower everywhere or
+    faster everywhere), else the crossing n.
+    """
+    for model in (slower_small, faster_small):
+        if model.parameter_names != ("n",):
+            raise ValueError("crossover needs single-parameter models in n")
+    k1 = slower_small.exponents[0]
+    k2 = faster_small.exponents[0]
+    if k1 == k2:
+        return None
+    # C1 n^k1 = C2 n^k2  ->  n = (C2/C1)^(1/(k1-k2))
+    n_cross = (faster_small.coefficient / slower_small.coefficient) ** (1.0 / (k1 - k2))
+    if not math.isfinite(n_cross) or n_cross <= 1.0:
+        return None
+    return float(n_cross)
+
+
+@dataclass(frozen=True)
+class RuntimeComparison:
+    """Fitted models for several variants plus the crossover table."""
+
+    models: "dict[str, PowerLawModel]"
+
+    def predict(self, variant: str, n: int) -> float:
+        return self.models[variant].predict(n=float(n))
+
+    def winner_at(self, n: int) -> str:
+        """The fastest variant at population size ``n``."""
+        return min(self.models, key=lambda v: self.predict(v, n))
+
+    def crossovers(self) -> "list[tuple[str, str, float]]":
+        """All pairwise crossings ``(overtaken, overtaker, n)``, sorted by n.
+
+        ``overtaker`` is cheaper beyond ``n`` — the Fig. 10 statements.
+        """
+        out = []
+        names = sorted(self.models)
+        for a in names:
+            for b in names:
+                if a >= b:
+                    continue
+                ka = self.models[a].exponents[0]
+                kb = self.models[b].exponents[0]
+                if ka == kb:
+                    continue
+                steep, flat = (a, b) if ka > kb else (b, a)
+                n_cross = crossover_population(self.models[steep], self.models[flat])
+                if n_cross is not None:
+                    out.append((steep, flat, n_cross))
+        return sorted(out, key=lambda row: row[2])
+
+
+def compare_runtimes(
+    samples_by_variant: "dict[str, list[tuple[int, float]]]"
+) -> RuntimeComparison:
+    """Fit all variants and build the comparison."""
+    if len(samples_by_variant) < 2:
+        raise ValueError("need at least two variants to compare")
+    return RuntimeComparison(
+        models={name: fit_runtime_model(samples) for name, samples in samples_by_variant.items()}
+    )

@@ -1,0 +1,32 @@
+"""Population generation: synthetic catalogs per Section V-A.
+
+The paper derives its test populations from the 2021 active-satellite
+catalog through a bivariate kernel density estimate of (semi-major axis,
+eccentricity), with all remaining Kepler elements uniform (Table II).
+This subpackage rebuilds that pipeline:
+
+* :mod:`repro.population.kde` — bivariate Gaussian KDE from scratch;
+* :mod:`repro.population.catalog_seed` — a deterministic synthetic seed
+  whose (a, e) structure mimics Fig. 9 (substitute for the Celestrak
+  catalog; see DESIGN.md);
+* :mod:`repro.population.generator` — the Table II population generator;
+* :mod:`repro.population.tle` — minimal TLE I/O for dropping in a real
+  catalog;
+* :mod:`repro.population.scenarios` — mega-constellation shells and
+  fragmentation clouds for the domain examples.
+"""
+from repro.population.catalog_seed import seed_catalog
+from repro.population.generator import generate_population
+from repro.population.kde import BivariateKDE
+from repro.population.scenarios import fragmentation_cloud, megaconstellation
+from repro.population.tle import format_tle, parse_tle
+
+__all__ = [
+    "BivariateKDE",
+    "format_tle",
+    "fragmentation_cloud",
+    "generate_population",
+    "megaconstellation",
+    "parse_tle",
+    "seed_catalog",
+]

@@ -1,0 +1,89 @@
+"""Deterministic synthetic seed catalog (the Celestrak substitute).
+
+The paper seeds its KDE with the (a, e) pairs of the ~4000 active
+satellites of early 2021.  Offline, we rebuild the same *structure* —
+the clusters visible in Fig. 9 — from published population statistics:
+
+* the dominant LEO cluster near a = 7000 km, e = 0.0025 (Starlink & co.),
+* a secondary LEO band (Earth observation / SSO, 7150-7400 km),
+* upper LEO constellations near 7550 km (OneWeb-like),
+* the GNSS/MEO shell near 26560 km,
+* the GEO ring at 42164 km with tiny eccentricity,
+* a sparse GTO/HEO tail with large eccentricity.
+
+The seed is generated from a fixed RNG seed, so it is bit-reproducible; a
+real ``active.txt`` can replace it via :func:`repro.population.tle.parse_tle`.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import R_EARTH, SIM_HALF_EXTENT
+
+#: Minimum perigee radius of a generated orbit: 200 km altitude, matching
+#: the paper's LEO lower bound (Fig. 1 uses h_p >= 200 km).
+MIN_PERIGEE = R_EARTH + 200.0
+
+#: Maximum apogee radius: keep everything inside the simulation cube with
+#: margin (the paper's volume reaches just past GEO).
+MAX_APOGEE = SIM_HALF_EXTENT - 200.0
+
+#: (weight, a_mean_km, a_std_km, e_mean, e_std) of each catalog cluster.
+_CLUSTERS: "tuple[tuple[float, float, float, float, float], ...]" = (
+    (0.52, 6925.0, 40.0, 0.0025, 0.0012),   # Starlink-dominated low LEO
+    (0.22, 7250.0, 90.0, 0.0060, 0.0030),   # SSO Earth-observation band
+    (0.10, 7560.0, 35.0, 0.0020, 0.0010),   # upper-LEO constellations
+    (0.06, 26560.0, 120.0, 0.0050, 0.0030),  # GNSS / MEO
+    (0.07, 42164.0, 30.0, 0.0004, 0.0003),  # GEO ring
+    (0.03, 24400.0, 900.0, 0.6500, 0.0500),  # GTO / HEO tail
+)
+
+#: Size of the seed catalog (about the 2021 active-satellite count scale).
+SEED_SIZE = 800
+
+_SEED_RNG = 20210408  # the catalog snapshot date used by the paper
+
+
+def seed_catalog(size: int = SEED_SIZE, rng_seed: int = _SEED_RNG) -> np.ndarray:
+    """The synthetic (a, e) seed catalog, shape ``(size, 2)``.
+
+    Deterministic for fixed arguments.  Every row satisfies the perigee /
+    apogee bounds, so populations drawn from its KDE stay inside the
+    simulation volume after clipping.
+    """
+    if size < 10:
+        raise ValueError(f"seed catalog needs at least 10 entries, got {size}")
+    rng = np.random.default_rng(rng_seed)
+    weights = np.array([c[0] for c in _CLUSTERS])
+    weights = weights / weights.sum()
+    counts = rng.multinomial(size, weights)
+    rows = []
+    for (_, a_mu, a_sd, e_mu, e_sd), count in zip(_CLUSTERS, counts):
+        a = rng.normal(a_mu, a_sd, size=count)
+        e = np.abs(rng.normal(e_mu, e_sd, size=count))
+        rows.append(np.column_stack([a, e]))
+    catalog = np.concatenate(rows)
+    rng.shuffle(catalog)
+    return clip_to_valid(catalog)
+
+
+def clip_to_valid(ae: np.ndarray) -> np.ndarray:
+    """Force (a, e) rows into the physically valid, in-volume region.
+
+    Eccentricity is clipped to [0, 0.85]; the semi-major axis is then
+    clipped so perigee >= :data:`MIN_PERIGEE` and apogee <=
+    :data:`MAX_APOGEE`.
+    """
+    out = np.array(ae, dtype=np.float64, copy=True)
+    out[:, 1] = np.clip(out[:, 1], 0.0, 0.85)
+    a_min = MIN_PERIGEE / (1.0 - out[:, 1])
+    a_max = MAX_APOGEE / (1.0 + out[:, 1])
+    # A pathological e could make a_min > a_max; shrink e first in that case.
+    bad = a_min > a_max
+    if bad.any():
+        e_limit = (MAX_APOGEE - MIN_PERIGEE) / (MAX_APOGEE + MIN_PERIGEE)
+        out[bad, 1] = np.minimum(out[bad, 1], e_limit * 0.99)
+        a_min = MIN_PERIGEE / (1.0 - out[:, 1])
+        a_max = MAX_APOGEE / (1.0 + out[:, 1])
+    out[:, 0] = np.clip(out[:, 0], a_min, a_max)
+    return out

@@ -1,0 +1,54 @@
+"""The Table II synthetic population generator.
+
+Semi-major axis and eccentricity come from the bivariate KDE of the seed
+catalog; inclination is uniform on [0, pi]; RAAN, argument of perigee and
+mean anomaly are uniform on [0, 2 pi).  (The paper lists the mean anomaly
+and derives the true anomaly from it; our propagation consumes the mean
+anomaly directly.)
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.orbits.elements import OrbitalElementsArray
+from repro.population.catalog_seed import clip_to_valid, seed_catalog
+from repro.population.kde import BivariateKDE
+
+
+def generate_population(
+    n: int,
+    seed: "int | None" = None,
+    kde: "BivariateKDE | None" = None,
+) -> OrbitalElementsArray:
+    """Generate ``n`` synthetic satellites per the paper's recipe.
+
+    Parameters
+    ----------
+    n:
+        Population size (the paper sweeps 2,000 ... 1,024,000).
+    seed:
+        RNG seed for reproducible populations.
+    kde:
+        Optional pre-built (a, e) density — e.g. one estimated from a real
+        TLE catalog; defaults to the KDE of the synthetic seed catalog.
+    """
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n}")
+    rng = np.random.default_rng(seed)
+    if kde is None:
+        # Scott's rule with the *full* catalog covariance oversmooths badly
+        # (the LEO/MEO/GEO clusters span 35,000 km, so the plain bandwidth
+        # is thousands of km wide); shrink it so the Fig. 9 cluster
+        # structure survives into the generated population.
+        kde = BivariateKDE(seed_catalog(), bw_factor=0.05)
+    ae = clip_to_valid(kde.sample(n, rng))
+    return OrbitalElementsArray(
+        a=ae[:, 0],
+        e=ae[:, 1],
+        i=rng.uniform(0.0, math.pi, size=n),
+        raan=rng.uniform(0.0, 2.0 * math.pi, size=n),
+        argp=rng.uniform(0.0, 2.0 * math.pi, size=n),
+        m0=rng.uniform(0.0, 2.0 * math.pi, size=n),
+    )

@@ -1,0 +1,101 @@
+"""Scenario builders: mega-constellations and fragmentation clouds.
+
+These feed the domain examples the paper's introduction motivates —
+Starlink-scale constellation shells and the debris clouds of catastrophic
+breakup events (the Kessler mechanism of Section I).
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import R_EARTH, TWO_PI
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.state import elements_to_state, state_to_elements
+from repro.population.catalog_seed import MAX_APOGEE, MIN_PERIGEE
+
+
+def megaconstellation(
+    n_planes: int,
+    sats_per_plane: int,
+    altitude_km: float,
+    inclination_rad: float,
+    phasing: float = 0.0,
+    eccentricity: float = 0.0001,
+) -> OrbitalElementsArray:
+    """A Walker-delta constellation shell.
+
+    ``n_planes`` orbital planes with RAAN spread evenly over 2*pi,
+    ``sats_per_plane`` satellites phased evenly along each plane, plus the
+    Walker inter-plane phasing offset ``phasing`` (fraction of the
+    in-plane spacing applied per plane index).
+    """
+    if n_planes <= 0 or sats_per_plane <= 0:
+        raise ValueError("n_planes and sats_per_plane must be positive")
+    a = R_EARTH + altitude_km
+    if not MIN_PERIGEE <= a <= MAX_APOGEE:
+        raise ValueError(f"altitude {altitude_km} km puts the shell outside the valid volume")
+    plane_idx = np.repeat(np.arange(n_planes), sats_per_plane)
+    slot_idx = np.tile(np.arange(sats_per_plane), n_planes)
+    n = n_planes * sats_per_plane
+    raan = plane_idx * TWO_PI / n_planes
+    m0 = (
+        slot_idx * TWO_PI / sats_per_plane
+        + plane_idx * phasing * TWO_PI / (sats_per_plane * n_planes)
+    ) % TWO_PI
+    return OrbitalElementsArray(
+        a=np.full(n, a),
+        e=np.full(n, eccentricity),
+        i=np.full(n, inclination_rad),
+        raan=raan,
+        argp=np.zeros(n),
+        m0=m0,
+    )
+
+
+def fragmentation_cloud(
+    parent: KeplerElements,
+    n_fragments: int,
+    breakup_anomaly: float = 0.0,
+    dv_scale_kms: float = 0.1,
+    seed: "int | None" = None,
+) -> OrbitalElementsArray:
+    """Debris cloud of a catastrophic breakup (simplified NASA model).
+
+    All fragments start at the parent's position at true anomaly
+    ``breakup_anomaly`` with the parent's velocity plus an isotropic
+    delta-v whose magnitude is log-normal with median ``dv_scale_kms`` —
+    the shape of the NASA standard breakup model's velocity distribution.
+    Fragments that would re-enter, escape, or leave the simulation volume
+    are re-drawn, so the returned population is always valid and exactly
+    ``n_fragments`` strong.
+    """
+    if n_fragments <= 0:
+        raise ValueError(f"n_fragments must be positive, got {n_fragments}")
+    if dv_scale_kms <= 0.0:
+        raise ValueError(f"dv_scale_kms must be positive, got {dv_scale_kms}")
+    rng = np.random.default_rng(seed)
+    pos, vel = elements_to_state(parent, breakup_anomaly)
+
+    fragments: "list[KeplerElements]" = []
+    attempts = 0
+    max_attempts = 200 * n_fragments
+    while len(fragments) < n_fragments:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not generate a valid cloud: {len(fragments)}/{n_fragments} after "
+                f"{attempts} attempts (dv_scale_kms={dv_scale_kms} too violent?)"
+            )
+        direction = rng.standard_normal(3)
+        direction /= np.linalg.norm(direction)
+        dv = float(rng.lognormal(mean=math.log(dv_scale_kms), sigma=0.6))
+        try:
+            elements, _ = state_to_elements(pos, vel + dv * direction)
+        except ValueError:
+            continue  # hyperbolic / degenerate: redraw
+        if elements.perigee < MIN_PERIGEE or elements.apogee > MAX_APOGEE:
+            continue
+        fragments.append(elements)
+    return OrbitalElementsArray.from_elements(fragments)

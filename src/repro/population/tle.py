@@ -1,0 +1,108 @@
+"""Minimal two-line element (TLE) parsing and formatting.
+
+Lets a real catalog snapshot (e.g. Celestrak's ``active.txt``) replace the
+synthetic seed: parse each record into :class:`KeplerElements` (semi-major
+axis recovered from the mean motion), or format elements back out for
+interchange.  Only the fields the screening pipeline needs are handled; no
+SGP4 — propagation stays two-body, as in the rest of the library.
+"""
+from __future__ import annotations
+
+import math
+
+from repro.constants import MU_EARTH, TWO_PI
+from repro.orbits.elements import KeplerElements
+
+#: Seconds per day, for mean-motion (rev/day) conversion.
+_DAY_S = 86400.0
+
+
+class TLEError(ValueError):
+    """Raised for malformed TLE records."""
+
+
+def _checksum(line: str) -> int:
+    """TLE modulo-10 checksum: digits count as themselves, '-' as 1."""
+    total = 0
+    for ch in line[:68]:
+        if ch.isdigit():
+            total += int(ch)
+        elif ch == "-":
+            total += 1
+    return total % 10
+
+
+def parse_tle(line1: str, line2: str, validate_checksum: bool = True) -> "tuple[int, KeplerElements]":
+    """Parse a TLE record; returns ``(norad_id, elements)``.
+
+    Angles are converted to radians and the semi-major axis is derived
+    from the mean motion via ``a = (mu / n^2)^(1/3)``.
+    """
+    line1 = line1.rstrip("\n")
+    line2 = line2.rstrip("\n")
+    if len(line1) < 69 or len(line2) < 69:
+        raise TLEError("TLE lines must be at least 69 characters")
+    if line1[0] != "1" or line2[0] != "2":
+        raise TLEError(f"bad line numbers: {line1[0]!r}, {line2[0]!r}")
+    if line1[2:7] != line2[2:7]:
+        raise TLEError(f"catalog numbers differ: {line1[2:7]!r} vs {line2[2:7]!r}")
+    if validate_checksum:
+        for ln in (line1, line2):
+            expect = _checksum(ln)
+            got = int(ln[68])
+            if expect != got:
+                raise TLEError(f"checksum mismatch: expected {expect}, got {got}")
+
+    try:
+        norad = int(line2[2:7])
+        inclination = math.radians(float(line2[8:16]))
+        raan = math.radians(float(line2[17:25]))
+        ecc = float("0." + line2[26:33].strip())
+        argp = math.radians(float(line2[34:42]))
+        mean_anomaly = math.radians(float(line2[43:51]))
+        mean_motion_rev_day = float(line2[52:63])
+    except ValueError as exc:
+        raise TLEError(f"unparseable numeric field: {exc}") from exc
+
+    if mean_motion_rev_day <= 0.0:
+        raise TLEError(f"mean motion must be positive, got {mean_motion_rev_day}")
+    n_rad_s = mean_motion_rev_day * TWO_PI / _DAY_S
+    a = (MU_EARTH / n_rad_s**2) ** (1.0 / 3.0)
+    return norad, KeplerElements(a=a, e=ecc, i=inclination, raan=raan, argp=argp, m0=mean_anomaly)
+
+
+def format_tle(norad_id: int, elements: KeplerElements, name: "str | None" = None) -> str:
+    """Format elements as a (minimal) TLE record; returns 2 or 3 lines.
+
+    Epoch, drag and ephemeris fields are zeroed — the output is meant for
+    interchange of the orbital geometry, not for SGP4 propagation.
+    """
+    if not 0 <= norad_id <= 99999:
+        raise ValueError(f"NORAD id must fit 5 digits, got {norad_id}")
+    n_rev_day = elements.mean_motion * _DAY_S / TWO_PI
+    ecc_field = f"{elements.e:.7f}"[2:9]
+    line1 = f"1 {norad_id:05d}U 00000A   00001.00000000  .00000000  00000-0  00000-0 0    0"
+    line2 = (
+        f"2 {norad_id:05d} {math.degrees(elements.i):8.4f} {math.degrees(elements.raan):8.4f} "
+        f"{ecc_field} {math.degrees(elements.argp):8.4f} {math.degrees(elements.m0):8.4f} "
+        f"{n_rev_day:11.8f}    0"
+    )
+    line1 = line1[:68] + str(_checksum(line1))
+    line2 = line2[:68] + str(_checksum(line2))
+    if name is not None:
+        return "\n".join([name[:24], line1, line2])
+    return "\n".join([line1, line2])
+
+
+def parse_tle_file(text: str) -> "list[tuple[int, KeplerElements]]":
+    """Parse a whole catalog text (2-line or 3-line format)."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    out = []
+    k = 0
+    while k < len(lines):
+        if lines[k].startswith("1 ") and k + 1 < len(lines) and lines[k + 1].startswith("2 "):
+            out.append(parse_tle(lines[k], lines[k + 1]))
+            k += 2
+        else:
+            k += 1  # name line or junk
+    return out

@@ -1,0 +1,94 @@
+"""Terminal reporting: screening-result summaries without a plot library.
+
+Renders the views an analyst wants from a screening run — the PCA
+distribution, conjunctions over the screening span, the busiest objects,
+and the phase budget — as monospace text, so the CLI and examples can show
+results anywhere a terminal runs.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.types import ScreeningResult
+
+_BAR = "#"
+
+
+def histogram(
+    values: np.ndarray,
+    bins: int = 10,
+    width: int = 40,
+    label: str = "",
+    fmt: str = "{:8.2f}",
+) -> str:
+    """A horizontal ASCII histogram of ``values``."""
+    if bins <= 0 or width <= 0:
+        raise ValueError("bins and width must be positive")
+    if len(values) == 0:
+        return f"{label}: (no data)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [f"{label}:"] if label else []
+    for k in range(bins):
+        bar = _BAR * int(round(counts[k] / peak * width))
+        lo = fmt.format(edges[k])
+        hi = fmt.format(edges[k + 1])
+        lines.append(f"  [{lo}, {hi})  {bar} {counts[k]}")
+    return "\n".join(lines)
+
+
+def timeline(result: ScreeningResult, duration_s: float, slots: int = 24, width: int = 50) -> str:
+    """Conjunction counts per time slice across the screening span."""
+    if slots <= 0:
+        raise ValueError("slots must be positive")
+    if result.n_conjunctions == 0:
+        return "timeline: (no conjunctions)"
+    counts, edges = np.histogram(
+        np.clip(result.tca_s, 0.0, duration_s), bins=slots, range=(0.0, duration_s)
+    )
+    peak = max(int(counts.max()), 1)
+    lines = ["conjunctions over the screening span:"]
+    for k in range(slots):
+        bar = _BAR * int(round(counts[k] / peak * width))
+        lines.append(f"  t={edges[k]:8.0f}s  {bar} {counts[k]}")
+    return "\n".join(lines)
+
+
+def busiest_objects(result: ScreeningResult, top: int = 10) -> str:
+    """The objects involved in the most conjunctions (maneuver candidates)."""
+    if result.n_conjunctions == 0:
+        return "busiest objects: (none)"
+    ids, counts = np.unique(np.concatenate([result.i, result.j]), return_counts=True)
+    order = np.argsort(-counts)[:top]
+    lines = ["busiest objects:"]
+    for k in order:
+        lines.append(f"  object {int(ids[k]):>7}: {int(counts[k])} conjunctions")
+    return "\n".join(lines)
+
+
+def phase_budget(result: ScreeningResult, width: int = 40) -> str:
+    """The Section V-C1 view of one run: time share per pipeline phase."""
+    fractions = result.timers.fractions()
+    if not fractions:
+        return "phase budget: (no timings)"
+    lines = [f"phase budget ({result.timers.total:.3f} s total):"]
+    for name, frac in sorted(fractions.items(), key=lambda kv: -kv[1]):
+        bar = _BAR * int(round(frac * width))
+        lines.append(f"  {name:>6} {100 * frac:5.1f}%  {bar}")
+    return "\n".join(lines)
+
+
+def full_report(result: ScreeningResult, duration_s: float) -> str:
+    """Everything above, stacked — the CLI's ``--report`` output."""
+    parts = [
+        result.summary(),
+        "",
+        phase_budget(result),
+        "",
+        timeline(result, duration_s),
+        "",
+        histogram(result.pca_km, bins=8, label="PCA distribution (km)", fmt="{:6.3f}"),
+        "",
+        busiest_objects(result),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,50 @@
+"""Spatial data structures: the paper's core substrate.
+
+* :mod:`repro.spatial.hashing` — MurmurHash3 and 3-D cell-key packing.
+* :mod:`repro.spatial.atomic` — CAS-semantics atomic array (the
+  ``std::atomic`` / CUDA ``atomicCAS`` stand-in).
+* :mod:`repro.spatial.hashmap` — fixed-size open-addressing hash map with
+  linear probing and non-blocking insertion (Section IV-A).
+* :mod:`repro.spatial.entries` — pre-allocated satellite-entry pool forming
+  per-cell singly linked lists (Fig. 6).
+* :mod:`repro.spatial.grid` — the uniform grid over the hash map, with
+  26-neighbourhood candidate-pair emission.
+* :mod:`repro.spatial.vectorgrid` — data-parallel (numpy) grid builds: the
+  GPU-kernel analogue.
+* :mod:`repro.spatial.conjmap` — the conjunction hash map for (pair, step)
+  records with the paper's sizing rule.
+"""
+from repro.spatial.atomic import AtomicCounter, AtomicUint64Array
+from repro.spatial.conjmap import ConjunctionMap
+from repro.spatial.entries import EntryPool
+from repro.spatial.grid import HALF_NEIGHBOR_OFFSETS, NEIGHBOR_OFFSETS, UniformGrid, cell_size_km
+from repro.spatial.hashing import (
+    murmur3_32,
+    murmur3_fmix64,
+    pack_cell_key,
+    unpack_cell_key,
+)
+from repro.spatial.hashmap import FixedSizeHashMap
+from repro.spatial.kdtree import KDTree
+from repro.spatial.octree import LooseOctree
+from repro.spatial.vectorgrid import SortedGrid, VectorHashGrid
+
+__all__ = [
+    "AtomicCounter",
+    "AtomicUint64Array",
+    "ConjunctionMap",
+    "EntryPool",
+    "FixedSizeHashMap",
+    "HALF_NEIGHBOR_OFFSETS",
+    "KDTree",
+    "LooseOctree",
+    "NEIGHBOR_OFFSETS",
+    "SortedGrid",
+    "UniformGrid",
+    "VectorHashGrid",
+    "cell_size_km",
+    "murmur3_32",
+    "murmur3_fmix64",
+    "pack_cell_key",
+    "unpack_cell_key",
+]

@@ -1,0 +1,171 @@
+"""The conjunction hash map: deduplicated (pair, step) candidate records.
+
+Section IV-A3: every candidate pair found during grid detection is inserted
+into one global conjunction hash map keyed by the two satellite ids *and*
+the sampling step — so a pair seen from both satellites' perspectives is
+stored once, while genuinely distinct encounters of the same pair at
+different steps are kept.
+
+The map is fixed-size (sized up front from the Extra-P model of Section
+V-B, see :mod:`repro.perfmodel.memory`) and uses the same open-addressing
+CAS insertion as the grid hash map.  A vectorised ``insert_batch`` mirrors
+the GPU path: a whole step's pairs are deduplicated and inserted with array
+operations.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spatial.hashmap import FixedSizeHashMap, HashMapFullError
+
+#: Bit widths of the packed (i, j, step) record key: ids up to ~1M objects
+#: (20 bits each), steps up to 2^23 samples.
+_ID_BITS = 20
+_STEP_BITS = 23
+MAX_OBJECTS = 1 << _ID_BITS
+MAX_STEPS = 1 << _STEP_BITS
+
+
+def pack_pair_key(i, j, step):
+    """Pack an ordered pair and sampling step into one 63-bit key.
+
+    Requires ``i < j`` elementwise (callers normalise first) so each
+    unordered pair maps to a unique key.  Works on scalars or arrays.
+    """
+    if np.ndim(i) == 0:
+        if not 0 <= i < j < MAX_OBJECTS:
+            raise ValueError(f"need 0 <= i < j < {MAX_OBJECTS}, got ({i}, {j})")
+        if not 0 <= step < MAX_STEPS:
+            raise ValueError(f"step {step} outside [0, {MAX_STEPS})")
+        return int(i) | (int(j) << _ID_BITS) | (int(step) << (2 * _ID_BITS))
+    i_a = np.asarray(i, dtype=np.uint64)
+    j_a = np.asarray(j, dtype=np.uint64)
+    s_a = np.asarray(step, dtype=np.uint64)
+    if (i_a >= j_a).any() or (j_a >= MAX_OBJECTS).any() or (s_a >= MAX_STEPS).any():
+        raise ValueError("pair key components out of range (need i < j < 2^20, step < 2^23)")
+    return i_a | (j_a << np.uint64(_ID_BITS)) | (s_a << np.uint64(2 * _ID_BITS))
+
+
+def unpack_pair_key(key):
+    """Invert :func:`pack_pair_key`; returns ``(i, j, step)``."""
+    mask = np.uint64(MAX_OBJECTS - 1)
+    if np.ndim(key) == 0:
+        k = int(key)
+        return (
+            k & (MAX_OBJECTS - 1),
+            (k >> _ID_BITS) & (MAX_OBJECTS - 1),
+            k >> (2 * _ID_BITS),
+        )
+    k = np.asarray(key, dtype=np.uint64)
+    return (
+        (k & mask).astype(np.int64),
+        ((k >> np.uint64(_ID_BITS)) & mask).astype(np.int64),
+        (k >> np.uint64(2 * _ID_BITS)).astype(np.int64),
+    )
+
+
+class ConjunctionMap:
+    """Fixed-size deduplicating store of (i, j, step) candidate records."""
+
+    def __init__(self, capacity: int) -> None:
+        self._map = FixedSizeHashMap(capacity)
+        self._step_keys: np.ndarray = np.empty(0, dtype=np.uint64)
+        self._batches: list[np.ndarray] = []
+        self._batch_total = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._map.capacity
+
+    def insert(self, i: int, j: int, step: int) -> bool:
+        """Insert one record; returns True if it was new.
+
+        Thread-safe (CAS claim on the record key); duplicates — the same
+        pair discovered from both satellites' cells — are absorbed.
+        """
+        lo, hi = (i, j) if i < j else (j, i)
+        key = pack_pair_key(lo, hi, step)
+        before = self._map.insert_count
+        try:
+            self._map.claim_slot(key)
+        except HashMapFullError as exc:
+            raise HashMapFullError(
+                f"conjunction map (capacity {self.capacity}) overflowed; the Extra-P "
+                "size model underestimated this population - increase the size margin "
+                "or reduce seconds-per-sample (Section V-B)"
+            ) from exc
+        return self._map.insert_count > before
+
+    def insert_batch(self, i: np.ndarray, j: np.ndarray, step: int) -> int:
+        """Vectorised insert of one step's candidate pairs; returns #new.
+
+        The GPU-analogue path: normalise, pack, deduplicate within the
+        batch with ``np.unique``, and append — cross-step deduplication is
+        unnecessary because the step is part of the key, and cross-batch
+        duplicates cannot occur because each step is one batch.
+        """
+        if len(i) == 0:
+            return 0
+        lo = np.minimum(i, j)
+        hi = np.maximum(i, j)
+        keys = np.unique(pack_pair_key(lo, hi, np.full(len(lo), step, dtype=np.int64)))
+        if self.size + len(keys) > self.capacity:
+            raise HashMapFullError(
+                f"conjunction map (capacity {self.capacity}) overflowed; the Extra-P "
+                "size model underestimated this population (Section V-B)"
+            )
+        self._batches.append(keys)
+        self._batch_total += len(keys)
+        return len(keys)
+
+    def _flush(self) -> None:
+        if self._batches:
+            parts = [self._step_keys] if self._step_keys.size else []
+            parts.extend(self._batches)
+            self._step_keys = np.concatenate(parts)
+            self._batches = []
+
+    @property
+    def size(self) -> int:
+        """Number of stored records across both insertion paths.
+
+        Maintained incrementally (CAS inserts count fresh claims, batch
+        inserts count deduplicated keys), so this is O(1).
+        """
+        return self._map.insert_count + self._batch_total
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.capacity
+
+    @property
+    def memory_bytes(self) -> int:
+        """16 B per slot, matching ``g_ch = c * 16 B`` of Section V-B."""
+        return self.capacity * 16
+
+    def records(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """All stored records as ``(i, j, step)`` arrays, sorted by key."""
+        self._flush()
+        keys = [self._step_keys] if self._step_keys.size else []
+        cas_keys = self._map.keys_array()
+        occupied = self._map.occupied_slots()
+        if occupied.size:
+            keys.append(cas_keys[occupied].astype(np.uint64))
+        if not keys:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        all_keys = np.sort(np.concatenate(keys))
+        return unpack_pair_key(all_keys)
+
+    def unique_pairs(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Distinct (i, j) pairs regardless of step."""
+        i, j, _ = self.records()
+        if len(i) == 0:
+            return i, j
+        pair_keys = np.unique(
+            np.asarray(i, dtype=np.uint64) | (np.asarray(j, dtype=np.uint64) << np.uint64(_ID_BITS))
+        )
+        return (
+            (pair_keys & np.uint64(MAX_OBJECTS - 1)).astype(np.int64),
+            (pair_keys >> np.uint64(_ID_BITS)).astype(np.int64),
+        )

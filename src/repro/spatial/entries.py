@@ -1,0 +1,107 @@
+"""Pre-allocated satellite-entry pool backing the per-cell linked lists.
+
+Fig. 6 of the paper: each satellite inserted into the grid produces exactly
+one *satellite entry* — (slot, id, next-pointer, coordinates) — so all
+entries can be allocated in advance; only the ``next`` pointers are set
+dynamically while building the per-cell singly linked lists.
+
+Entries are addressed by index into the pool (a GPU-friendly layout);
+:data:`repro.constants.NULL_INDEX` terminates a list.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import NULL_INDEX
+from repro.spatial.atomic import AtomicCounter
+
+
+class EntryPool:
+    """Struct-of-arrays pool of satellite entries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries — one per (satellite, sampling step held
+        in memory), known in advance (Section V-B, the ``a_l`` allocation).
+    """
+
+    __slots__ = ("capacity", "sat_id", "slot", "next", "position", "_cursor")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.sat_id = np.full(capacity, NULL_INDEX, dtype=np.int64)
+        self.slot = np.full(capacity, NULL_INDEX, dtype=np.int64)
+        self.next = np.full(capacity, NULL_INDEX, dtype=np.int64)
+        self.position = np.zeros((capacity, 3), dtype=np.float64)
+        self._cursor = AtomicCounter()
+
+    def allocate(self, sat_id: int, position: np.ndarray) -> int:
+        """Claim the next free entry; returns its index.
+
+        Thread-safe: indices are handed out with an atomic fetch-and-add,
+        and each thread then owns its entry exclusively until it publishes
+        the entry by linking it into a cell list.
+        """
+        idx = self._cursor.fetch_add(1)
+        if idx >= self.capacity:
+            raise RuntimeError(
+                f"entry pool exhausted: capacity {self.capacity}, requested entry {idx + 1}"
+            )
+        self.sat_id[idx] = sat_id
+        self.position[idx] = position
+        self.next[idx] = NULL_INDEX
+        return idx
+
+    def allocate_batch(self, sat_ids: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Claim a contiguous block of entries for a whole batch at once.
+
+        The data-parallel backend uses this: one reservation, then all
+        per-entry fields are written with vectorised stores.
+        """
+        count = len(sat_ids)
+        start = self._cursor.fetch_add(count)
+        if start + count > self.capacity:
+            raise RuntimeError(
+                f"entry pool exhausted: capacity {self.capacity}, requested {start + count}"
+            )
+        idx = np.arange(start, start + count, dtype=np.int64)
+        self.sat_id[idx] = sat_ids
+        self.position[idx] = positions
+        self.next[idx] = NULL_INDEX
+        return idx
+
+    def reset(self) -> None:
+        """Recycle the pool for the next sampling round (single-writer)."""
+        used = min(self._cursor.value, self.capacity)
+        self.sat_id[:used] = NULL_INDEX
+        self.slot[:used] = NULL_INDEX
+        self.next[:used] = NULL_INDEX
+        self._cursor = AtomicCounter()
+
+    @property
+    def used(self) -> int:
+        """Number of entries allocated so far."""
+        return min(self._cursor.value, self.capacity)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Backing storage size of the pool (the ``a_l`` term of V-B)."""
+        return self.sat_id.nbytes + self.slot.nbytes + self.next.nbytes + self.position.nbytes
+
+    def chain(self, head: int) -> "list[int]":
+        """Entry indices of one cell's linked list, starting at ``head``.
+
+        Detects accidental cycles (which would indicate a broken CAS
+        protocol) and raises instead of looping forever.
+        """
+        out: list[int] = []
+        idx = head
+        for _ in range(self.capacity + 1):
+            if idx == NULL_INDEX:
+                return out
+            out.append(idx)
+            idx = int(self.next[idx])
+        raise RuntimeError("cycle detected in cell linked list - CAS protocol violated")

@@ -1,0 +1,256 @@
+"""The uniform spatial grid over the non-blocking hash map.
+
+Sections III-A and IV-A of the paper: space is divided into cubic cells of
+side ``g_c = d + 7.8 * s_ps`` (Eq. 1) so that, between two sampling steps,
+no satellite can cross more than one cell boundary and a sub-threshold
+approach can never be skipped.  Satellites are inserted in parallel; each
+occupied cell is then checked against itself and its 26 neighbours for
+candidate pairs.
+
+Pair emission uses the *half* neighbourhood (13 of the 26 offsets plus the
+intra-cell combinations): every unordered cell pair is visited exactly
+once, which is how duplicate candidates are avoided without consulting the
+conjunction map first.
+"""
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.constants import LEO_SPEED, NULL_INDEX, SIM_HALF_EXTENT
+from repro.spatial.entries import EntryPool
+from repro.spatial.hashing import CELL_RANGE, pack_cell_key, unpack_cell_key
+from repro.spatial.hashmap import FixedSizeHashMap
+
+#: All 26 neighbour offsets of a cell.
+NEIGHBOR_OFFSETS: "tuple[tuple[int, int, int], ...]" = tuple(
+    off for off in itertools.product((-1, 0, 1), repeat=3) if off != (0, 0, 0)
+)
+
+#: The 13 lexicographically-positive offsets: visiting only these (plus the
+#: cell itself) touches every unordered pair of neighbouring cells once.
+HALF_NEIGHBOR_OFFSETS: "tuple[tuple[int, int, int], ...]" = tuple(
+    off for off in NEIGHBOR_OFFSETS if off > (0, 0, 0)
+)
+
+
+def cell_size_km(threshold_km: float, seconds_per_sample: float, speed_kms: float = LEO_SPEED) -> float:
+    """Grid cell side length from Eq. (1): ``g_c = d + v * s_ps``.
+
+    ``d`` is the screening threshold and ``v * s_ps`` is the farthest a
+    satellite can travel between samples, which prevents the worst case of
+    Fig. 4 (two satellites jumping past each other between samples).
+    """
+    if threshold_km <= 0.0:
+        raise ValueError(f"screening threshold must be positive, got {threshold_km}")
+    if seconds_per_sample <= 0.0:
+        raise ValueError(f"seconds per sample must be positive, got {seconds_per_sample}")
+    return threshold_km + speed_kms * seconds_per_sample
+
+
+class UniformGrid:
+    """One sampling step's grid: hash map + entry pool + pair emission.
+
+    Parameters
+    ----------
+    cell_size:
+        Cell side length in km (use :func:`cell_size_km`).
+    capacity:
+        Maximum number of satellites inserted into this grid instance.
+    slot_factor:
+        Hash-map slots per satellite (the paper uses 2 to break up
+        linear-probing clusters).
+    """
+
+    def __init__(self, cell_size: float, capacity: int, slot_factor: int = 2) -> None:
+        if cell_size <= 0.0:
+            raise ValueError(f"cell size must be positive, got {cell_size}")
+        max_cells = 2.0 * SIM_HALF_EXTENT / cell_size
+        if max_cells >= CELL_RANGE:
+            raise ValueError(
+                f"cell size {cell_size} km produces {max_cells:.0f} cells per axis, "
+                f"exceeding the packable range {CELL_RANGE}"
+            )
+        self.cell_size = cell_size
+        self.capacity = capacity
+        self.cells = FixedSizeHashMap(max(slot_factor * capacity, 8))
+        self.entries = EntryPool(capacity)
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+
+    def cell_coords(self, positions: np.ndarray) -> np.ndarray:
+        """Integer cell coordinates of ECI positions; shape ``(n, 3)``.
+
+        Positions are offset by the half extent of the simulation cube so
+        the coordinates are non-negative and packable.
+        """
+        pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        if np.any(np.abs(pos) > SIM_HALF_EXTENT):
+            worst = float(np.abs(pos).max())
+            raise ValueError(
+                f"position component {worst:.1f} km outside the simulation cube "
+                f"(half extent {SIM_HALF_EXTENT:.0f} km)"
+            )
+        return np.floor((pos + SIM_HALF_EXTENT) / self.cell_size).astype(np.int64)
+
+    def cell_keys(self, positions: np.ndarray) -> np.ndarray:
+        """Packed 64-bit cell keys of ECI positions; shape ``(n,)``."""
+        coords = self.cell_coords(positions)
+        return pack_cell_key(coords[:, 0], coords[:, 1], coords[:, 2])
+
+    # ------------------------------------------------------------------
+    # Insertion (step 2 of the pipeline)
+    # ------------------------------------------------------------------
+
+    def insert(self, sat_id: int, position: np.ndarray) -> int:
+        """Thread-safe insertion of one satellite; returns its entry index.
+
+        Claim-then-publish protocol of Section IV-A2:
+
+        1. claim (or find) the cell's hash-map slot with a key CAS;
+        2. allocate this satellite's entry from the pre-allocated pool;
+        3. publish by CAS-ing the entry onto the cell's list head —
+           retrying with the freshly observed head on contention, so no
+           concurrent insert is ever lost.
+        """
+        key = int(self.cell_keys(np.asarray(position, dtype=np.float64)[None, :])[0])
+        slot = self.cells.claim_slot(key)
+        entry = self.entries.allocate(sat_id, position)
+        self.entries.slot[entry] = slot
+        while True:
+            head = self.cells.get_value(slot)
+            self.entries.next[entry] = head
+            observed = self.cells.cas_value(slot, head, entry)
+            if observed == head:
+                return entry
+
+    def insert_batch(self, sat_ids: np.ndarray, positions: np.ndarray) -> None:
+        """Insert a batch sequentially (the single-thread reference path)."""
+        for sat_id, pos in zip(np.asarray(sat_ids), np.asarray(positions)):
+            self.insert(int(sat_id), pos)
+
+    # ------------------------------------------------------------------
+    # Cell contents
+    # ------------------------------------------------------------------
+
+    def cell_members(self, slot: int) -> "list[int]":
+        """Satellite ids stored in the cell at hash-map ``slot``."""
+        head = self.cells.get_value(slot)
+        return [int(self.entries.sat_id[idx]) for idx in self.entries.chain(head)]
+
+    def occupancy(self) -> "dict[int, list[int]]":
+        """Mapping packed cell key -> sorted satellite ids (for tests)."""
+        keys = self.cells.keys_array()
+        out: dict[int, list[int]] = {}
+        for slot in self.cells.occupied_slots():
+            out[int(keys[slot])] = sorted(self.cell_members(int(slot)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Conjunction-candidate emission (step 2, detection part)
+    # ------------------------------------------------------------------
+
+    def candidate_pairs(self) -> "list[tuple[int, int]]":
+        """All unordered satellite-id pairs sharing a cell or touching cells.
+
+        For every occupied cell: intra-cell combinations, plus the cross
+        product with each occupied cell in the 13-offset half
+        neighbourhood.  Each unordered pair of (cell, neighbour cell) is
+        visited exactly once, so no candidate is emitted twice in one step.
+        """
+        pairs: list[tuple[int, int]] = []
+        keys = self.cells.keys_array()
+        for slot in self.cells.occupied_slots():
+            key = int(keys[slot])
+            members = self.cell_members(int(slot))
+            # Intra-cell pairs.
+            for a_pos in range(len(members)):
+                for b_pos in range(a_pos + 1, len(members)):
+                    pairs.append(_ordered(members[a_pos], members[b_pos]))
+            # Half-neighbourhood cross pairs.
+            cx, cy, cz = unpack_cell_key(key)
+            for dx, dy, dz in HALF_NEIGHBOR_OFFSETS:
+                nx, ny, nz = cx + dx, cy + dy, cz + dz
+                if not (0 <= nx < CELL_RANGE and 0 <= ny < CELL_RANGE and 0 <= nz < CELL_RANGE):
+                    continue
+                n_slot = self.cells.lookup(pack_cell_key(nx, ny, nz))
+                if n_slot == NULL_INDEX:
+                    continue
+                for a in members:
+                    for b in self.cell_members(n_slot):
+                        pairs.append(_ordered(a, b))
+        return pairs
+
+    def candidate_pairs_parallel(self, n_threads: "int | None" = None) -> "list[tuple[int, int]]":
+        """Candidate emission with occupied cells checked in parallel.
+
+        Section IV-A3: "we examine all non-empty slots of the hash map in
+        parallel for the conjunction detection".  Each thread processes a
+        static chunk of the occupied slots; the per-cell logic is the same
+        as :meth:`candidate_pairs`, and the union of the chunk results is
+        the same pair set (cells are read-only at this phase).
+        """
+        from repro.parallel.backend import parallel_for
+
+        occupied = self.cells.occupied_slots()
+        keys = self.cells.keys_array()
+
+        def work(start: int, end: int) -> "list[tuple[int, int]]":
+            out: "list[tuple[int, int]]" = []
+            for slot in occupied[start:end]:
+                key = int(keys[slot])
+                members = self.cell_members(int(slot))
+                for a_pos in range(len(members)):
+                    for b_pos in range(a_pos + 1, len(members)):
+                        out.append(_ordered(members[a_pos], members[b_pos]))
+                cx, cy, cz = unpack_cell_key(key)
+                for dx, dy, dz in HALF_NEIGHBOR_OFFSETS:
+                    nx, ny, nz = cx + dx, cy + dy, cz + dz
+                    if not (0 <= nx < CELL_RANGE and 0 <= ny < CELL_RANGE and 0 <= nz < CELL_RANGE):
+                        continue
+                    n_slot = self.cells.lookup(pack_cell_key(nx, ny, nz))
+                    if n_slot == NULL_INDEX:
+                        continue
+                    for a in members:
+                        for b in self.cell_members(n_slot):
+                            out.append(_ordered(a, b))
+            return out
+
+        chunks = parallel_for(work, len(occupied), n_threads=n_threads)
+        return [pair for chunk in chunks for pair in chunk]
+
+    def reset(self) -> None:
+        """Recycle the grid for the next sampling step.
+
+        The paper notes dense array grids would need a full erase each
+        iteration; the hash map only needs its (comparatively small) slot
+        area re-initialised.
+        """
+        self.cells = FixedSizeHashMap(self.cells.capacity)
+        self.entries.reset()
+
+    @property
+    def memory_bytes(self) -> int:
+        """Hash map + entry pool footprint (``a_gh + a_l`` of Section V-B)."""
+        return self.cells.memory_bytes + self.entries.memory_bytes
+
+
+def _ordered(a: int, b: int) -> "tuple[int, int]":
+    return (a, b) if a < b else (b, a)
+
+
+def interval_radius_s(cell_size: float, slower_speed_kms: float) -> float:
+    """Brent search-interval radius: time for the slower satellite to cross
+    two cells (Section IV-C), ``t = 2 * g_c / v_slow``."""
+    if slower_speed_kms <= 0.0:
+        raise ValueError(f"speed must be positive, got {slower_speed_kms}")
+    return 2.0 * cell_size / slower_speed_kms
+
+
+def max_cells_per_axis(cell_size: float) -> int:
+    """Number of cells along one axis of the simulation cube."""
+    return int(math.ceil(2.0 * SIM_HALF_EXTENT / cell_size))

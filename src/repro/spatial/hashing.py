@@ -1,0 +1,193 @@
+"""MurmurHash3 and 3-D cell-key packing.
+
+The paper hashes grid-cell positions with "the fast MurMur3 hash"
+(Section IV-A1).  A grid cell is identified by its integer coordinates
+``(cx, cy, cz)``; we pack those into a single 64-bit key (21 bits per axis)
+and hash the key with the MurmurHash3 64-bit finaliser (``fmix64``) — the
+exact component a fixed-width-key table needs from MurmurHash3.  The full
+``murmur3_x86_32`` byte-string hash is implemented as well and validated
+against the published test vectors.
+
+All hot-path functions have both a scalar and a vectorised (numpy uint64)
+form so the GPU-analogue backend can hash whole populations at once.
+"""
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+_MASK32 = (1 << 32) - 1
+
+#: Bits per axis in a packed cell key: 21*3 = 63 bits, so every valid packed
+#: key is < 2^63 and can never collide with the EMPTY sentinel (2^64 - 1).
+CELL_BITS = 21
+CELL_RANGE = 1 << CELL_BITS
+_CELL_MASK = CELL_RANGE - 1
+
+
+def murmur3_fmix64(key: int) -> int:
+    """MurmurHash3 64-bit finaliser (scalar).
+
+    A full-avalanche bijection on 64-bit integers; this is what the
+    fixed-size hash map uses to spread packed cell keys across slots.
+    """
+    k = key & _MASK64
+    k ^= k >> 33
+    k = (k * 0xFF51AFD7ED558CCD) & _MASK64
+    k ^= k >> 33
+    k = (k * 0xC4CEB9FE1A85EC53) & _MASK64
+    k ^= k >> 33
+    return k
+
+
+def murmur3_fmix64_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`murmur3_fmix64` over a uint64 array."""
+    k = keys.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        k ^= k >> np.uint64(33)
+        k *= np.uint64(0xFF51AFD7ED558CCD)
+        k ^= k >> np.uint64(33)
+        k *= np.uint64(0xC4CEB9FE1A85EC53)
+        k ^= k >> np.uint64(33)
+    return k
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 x86_32 of a byte string (reference implementation).
+
+    Matches Appleby's smhasher ``MurmurHash3_x86_32``; validated in the
+    test suite against the published vectors.
+    """
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+    h = seed & _MASK32
+    n_blocks = len(data) // 4
+
+    for block in struct.unpack_from("<" + "I" * n_blocks, data):
+        k = (block * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK32
+
+    tail = data[n_blocks * 4 :]
+    k = 0
+    if len(tail) >= 3:
+        k ^= tail[2] << 16
+    if len(tail) >= 2:
+        k ^= tail[1] << 8
+    if len(tail) >= 1:
+        k ^= tail[0]
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+
+    h ^= len(data)
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def pack_cell_key(cx, cy, cz):
+    """Pack integer cell coordinates into a single 64-bit key.
+
+    Each coordinate must lie in ``[0, 2^21)`` — the grid code offsets raw
+    (possibly negative) cell indices into this range before packing.
+    Accepts scalars (returns ``int``) or integer arrays (returns uint64
+    array).
+
+    The packed key occupies only 63 bits, so it can never equal the
+    hash-map EMPTY sentinel ``2^64 - 1``.
+    """
+    if np.ndim(cx) == 0:
+        for name, val in (("cx", cx), ("cy", cy), ("cz", cz)):
+            if not 0 <= int(val) < CELL_RANGE:
+                raise ValueError(f"{name}={val} outside packable range [0, {CELL_RANGE})")
+        return int(cx) | (int(cy) << CELL_BITS) | (int(cz) << (2 * CELL_BITS))
+    cx_a = np.asarray(cx, dtype=np.uint64)
+    cy_a = np.asarray(cy, dtype=np.uint64)
+    cz_a = np.asarray(cz, dtype=np.uint64)
+    if (
+        (cx_a >= CELL_RANGE).any()
+        or (cy_a >= CELL_RANGE).any()
+        or (cz_a >= CELL_RANGE).any()
+    ):
+        raise ValueError("cell coordinates outside packable range")
+    return cx_a | (cy_a << np.uint64(CELL_BITS)) | (cz_a << np.uint64(2 * CELL_BITS))
+
+
+def unpack_cell_key(key):
+    """Invert :func:`pack_cell_key`; returns ``(cx, cy, cz)``."""
+    if np.ndim(key) == 0:
+        k = int(key)
+        return (
+            k & _CELL_MASK,
+            (k >> CELL_BITS) & _CELL_MASK,
+            (k >> (2 * CELL_BITS)) & _CELL_MASK,
+        )
+    k = np.asarray(key, dtype=np.uint64)
+    mask = np.uint64(_CELL_MASK)
+    return (
+        (k & mask).astype(np.int64),
+        ((k >> np.uint64(CELL_BITS)) & mask).astype(np.int64),
+        ((k >> np.uint64(2 * CELL_BITS)) & mask).astype(np.int64),
+    )
+
+
+def fnv1a_64(key: int) -> int:
+    """FNV-1a over the key's 8 little-endian bytes.
+
+    A classic multiplicative byte hash: decent avalanche, slightly worse
+    clustering than murmur's finaliser on structured keys — one of the
+    "other hash methods" the paper's conclusion suggests benchmarking
+    (see the hash-function ablation bench).
+    """
+    h = 0xCBF29CE484222325
+    k = key & _MASK64
+    for _ in range(8):
+        h ^= k & 0xFF
+        h = (h * 0x100000001B3) & _MASK64
+        k >>= 8
+    return h
+
+
+def xorshift_64(key: int) -> int:
+    """A minimal xorshift scrambler: cheap but weak avalanche.
+
+    Deliberately mediocre — included so the ablation bench can show how
+    hash quality translates into linear-probing cluster lengths.
+    """
+    k = (key ^ (key << 13)) & _MASK64
+    k ^= k >> 7
+    k = (k ^ (k << 17)) & _MASK64
+    return k
+
+
+def identity_hash(key: int) -> int:
+    """No mixing at all: the clustering worst case for packed cell keys.
+
+    Neighbouring cells get neighbouring slots, so every occupied spatial
+    region becomes one long probe cluster — the pathology murmur3 exists
+    to avoid.
+    """
+    return key & _MASK64
+
+
+#: Registry of slot hash functions selectable by the hash map.
+HASH_FUNCTIONS = {
+    "murmur3": murmur3_fmix64,
+    "fnv1a": fnv1a_64,
+    "xorshift": xorshift_64,
+    "identity": identity_hash,
+}

@@ -1,0 +1,161 @@
+"""Fixed-size open-addressing hash map with non-blocking insertion.
+
+Implements the paper's grid hash set (Section IV-A1/2):
+
+* fixed capacity chosen up front (Section V-B: twice the number of
+  satellites, to break up linear-probing clusters);
+* slot index = ``murmur3(key) mod M`` with linear probing
+  ``s_{i+1} = (s_i + 1) mod M`` (Eq. 2) on collision;
+* ``EMPTY`` is the maximum 64-bit value and the whole key area is
+  initialised to it;
+* a slot is claimed with a CAS on its key; the slot's *value* (here: the
+  head index of the cell's singly linked satellite list) is maintained with
+  its own CAS loop, so concurrent inserters into the same cell never lose
+  an entry.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import EMPTY_KEY, NULL_INDEX
+from repro.spatial.atomic import AtomicUint64Array
+from repro.spatial.hashing import HASH_FUNCTIONS
+
+#: uint64 encoding of "no linked-list entry yet" stored in the value array.
+_NULL_U64 = (1 << 64) - 1
+
+
+class HashMapFullError(RuntimeError):
+    """Raised when an insert probes every slot without finding a free one."""
+
+
+class FixedSizeHashMap:
+    """Open-addressing (key -> list head) map with CAS-based insertion.
+
+    Parameters
+    ----------
+    capacity:
+        Number of slots.  The paper sizes this at 2x the expected element
+        count; sizing helpers live in :mod:`repro.perfmodel.memory`.
+    hash_name:
+        Slot hash from :data:`repro.spatial.hashing.HASH_FUNCTIONS`
+        (default ``murmur3``, the paper's choice; the alternatives exist
+        for the hash-quality ablation bench).
+
+    Notes
+    -----
+    Values are stored as uint64 with ``2^64-1`` meaning "null"; the public
+    API converts to/from Python's ``-1`` null convention
+    (:data:`repro.constants.NULL_INDEX`).  The ``probe_count`` /
+    ``insert_count`` statistics are maintained without synchronisation —
+    exact under single-writer phases, indicative under threads.
+    """
+
+    __slots__ = ("capacity", "_keys", "_values", "_hash", "hash_name", "probe_count", "insert_count")
+
+    def __init__(self, capacity: int, hash_name: str = "murmur3") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if hash_name not in HASH_FUNCTIONS:
+            raise ValueError(
+                f"unknown hash {hash_name!r}; choose from {sorted(HASH_FUNCTIONS)}"
+            )
+        self.capacity = capacity
+        self.hash_name = hash_name
+        self._hash = HASH_FUNCTIONS[hash_name]
+        self._keys = AtomicUint64Array(capacity, fill=EMPTY_KEY)
+        self._values = AtomicUint64Array(capacity, fill=_NULL_U64)
+        self.probe_count = 0
+        self.insert_count = 0
+
+    def claim_slot(self, key: int) -> int:
+        """Find or claim the slot for ``key``; returns the slot index.
+
+        This is the paper's insertion step: CAS the key into the slot if
+        empty; if the CAS reports a different key, linearly probe.  If the
+        CAS reports the *same* key, another thread (or an earlier insert)
+        already owns the cell and we simply share it.
+        """
+        if not 0 <= key < EMPTY_KEY:
+            raise ValueError(f"key {key} outside the valid range [0, 2^64-1)")
+        slot = self._hash(key) % self.capacity
+        for _ in range(self.capacity):
+            self.probe_count += 1
+            observed = self._keys.compare_and_swap(slot, EMPTY_KEY, key)
+            if observed == EMPTY_KEY:
+                self.insert_count += 1
+                return slot  # claimed a fresh slot
+            if observed == key:
+                return slot  # cell already present
+            slot = (slot + 1) % self.capacity  # hash collision: Eq. (2)
+        raise HashMapFullError(
+            f"hash map with capacity {self.capacity} is full while inserting key {key}"
+        )
+
+    def lookup(self, key: int) -> int:
+        """Slot index holding ``key``, or -1 if absent.
+
+        Safe concurrently with inserters: a slot's key transitions only
+        EMPTY -> k exactly once, so the probe sequence is stable.
+        """
+        slot = self._hash(key) % self.capacity
+        for _ in range(self.capacity):
+            self.probe_count += 1
+            observed = self._keys.load(slot)
+            if observed == key:
+                return slot
+            if observed == EMPTY_KEY:
+                return -1
+            slot = (slot + 1) % self.capacity
+        return -1
+
+    def get_value(self, slot: int) -> int:
+        """Current value of a slot (-1 if never set)."""
+        raw = self._values.load(slot)
+        return NULL_INDEX if raw == _NULL_U64 else int(raw)
+
+    def cas_value(self, slot: int, expected: int, new: int) -> int:
+        """CAS on the slot's value using the -1-for-null convention.
+
+        Returns the previous value (converted), CUDA ``atomicCAS`` style.
+        """
+        exp_raw = _NULL_U64 if expected == NULL_INDEX else expected
+        new_raw = _NULL_U64 if new == NULL_INDEX else new
+        old_raw = self._values.compare_and_swap(slot, exp_raw, new_raw)
+        return NULL_INDEX if old_raw == _NULL_U64 else int(old_raw)
+
+    def set_value(self, slot: int, value: int) -> None:
+        """Unconditional value store (single-writer phases only)."""
+        self._values.store(slot, _NULL_U64 if value == NULL_INDEX else value)
+
+    # ------------------------------------------------------------------
+    # Bulk read-only access for the detection phase (no writers running).
+    # ------------------------------------------------------------------
+
+    def occupied_slots(self) -> np.ndarray:
+        """Indices of all non-empty slots (post-insertion bulk phase)."""
+        keys = self._keys.view()
+        return np.nonzero(keys != np.uint64(EMPTY_KEY))[0]
+
+    def keys_array(self) -> np.ndarray:
+        """Read-only view of the raw key array (EMPTY_KEY marks free slots)."""
+        return self._keys.view()
+
+    def values_array(self) -> np.ndarray:
+        """Read-only view of the raw value array (2^64-1 marks null)."""
+        return self._values.view()
+
+    @property
+    def size(self) -> int:
+        """Number of occupied slots."""
+        return int((self._keys.view() != np.uint64(EMPTY_KEY)).sum())
+
+    @property
+    def load_factor(self) -> float:
+        """Occupied fraction of the table."""
+        return self.size / self.capacity
+
+    @property
+    def memory_bytes(self) -> int:
+        """Backing storage size: 16 B per slot (key + value), as in V-B."""
+        return self.capacity * 16

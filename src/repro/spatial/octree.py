@@ -1,0 +1,188 @@
+"""A loose octree over satellite positions: the second tree comparator.
+
+Section IV-A rejects "data structures such as octrees or Kd-tree[s]"
+because they "must be recreated each time an object moves"; the related
+work cites loose octrees for particle packing [33].  This implementation
+lets the data-structure ablation measure that claim against both tree
+families.
+
+A *loose* octree relaxes each node's bounding cube by a looseness factor
+(classically 2x): an object is stored at the deepest node whose loose cube
+fully contains the object's bounding sphere, which keeps insertion O(depth)
+with no splitting cascades — the variant used for moving-object workloads.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SIM_HALF_EXTENT
+
+#: Children per node.
+_OCTANTS = 8
+
+
+class LooseOctree:
+    """Loose octree with radius queries and an all-pairs sweep.
+
+    Parameters
+    ----------
+    object_radius:
+        Half-extent assigned to every object (satellites are points; the
+        radius is the screening coverage, typically the grid cell size).
+    max_depth:
+        Maximum subdivision depth; the effective leaf size is
+        ``2 * SIM_HALF_EXTENT / 2**max_depth``.
+    looseness:
+        Node-cube relaxation factor (2.0 is the classic loose octree).
+    """
+
+    __slots__ = (
+        "object_radius", "max_depth", "looseness", "root_half",
+        "_node_children", "_node_items", "_positions", "_count",
+    )
+
+    def __init__(
+        self,
+        object_radius: float,
+        max_depth: int = 10,
+        looseness: float = 2.0,
+    ) -> None:
+        if object_radius <= 0.0:
+            raise ValueError(f"object radius must be positive, got {object_radius}")
+        if max_depth < 1 or max_depth > 20:
+            raise ValueError(f"max_depth must be in [1, 20], got {max_depth}")
+        if looseness < 1.0:
+            raise ValueError(f"looseness must be >= 1, got {looseness}")
+        self.object_radius = object_radius
+        self.max_depth = max_depth
+        self.looseness = looseness
+        self.root_half = SIM_HALF_EXTENT
+        #: node id -> list of 8 child ids (or None while a leaf)
+        self._node_children: "list[list[int] | None]" = [None]
+        #: node id -> list of stored object indices
+        self._node_items: "list[list[int]]" = [[]]
+        self._positions: "np.ndarray | None" = None
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def build(self, positions: np.ndarray) -> None:
+        """Insert all objects (rebuild from scratch, as per Section IV-A)."""
+        pts = np.ascontiguousarray(positions, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError(f"positions must be (n, 3), got {pts.shape}")
+        if np.any(np.abs(pts) > SIM_HALF_EXTENT):
+            raise ValueError("positions outside the simulation cube")
+        self._positions = pts
+        self._count = len(pts)
+        self._node_children = [None]
+        self._node_items = [[]]
+        for idx in range(len(pts)):
+            self._insert(idx)
+
+    def _insert(self, idx: int) -> None:
+        """Place one object at the deepest loosely-containing node."""
+        pos = self._positions[idx]
+        node = 0
+        centre = np.zeros(3)
+        half = self.root_half
+        for _ in range(self.max_depth):
+            child_half = half / 2.0
+            # The loose cube of a child has half-extent looseness*child_half;
+            # the object's sphere fits iff it is within (loose - r) of the
+            # child centre in every axis.
+            margin = self.looseness * child_half - self.object_radius
+            if margin <= 0.0:
+                break
+            octant = 0
+            child_centre = centre.copy()
+            for axis in range(3):
+                if pos[axis] >= centre[axis]:
+                    octant |= 1 << axis
+                    child_centre[axis] += child_half
+                else:
+                    child_centre[axis] -= child_half
+            if np.all(np.abs(pos - child_centre) <= margin):
+                if self._node_children[node] is None:
+                    base = len(self._node_items)
+                    self._node_children[node] = list(range(base, base + _OCTANTS))
+                    for _ in range(_OCTANTS):
+                        self._node_children.append(None)
+                        self._node_items.append([])
+                node = self._node_children[node][octant]
+                centre = child_centre
+                half = child_half
+            else:
+                break
+        self._node_items[node].append(idx)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query_radius(self, point: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of all objects within ``radius`` of ``point``."""
+        if self._positions is None:
+            raise RuntimeError("octree not built yet - call build() first")
+        if radius <= 0.0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        q = np.asarray(point, dtype=np.float64)
+        hits: "list[int]" = []
+        # Stack of (node, centre, half).
+        stack: "list[tuple[int, np.ndarray, float]]" = [(0, np.zeros(3), self.root_half)]
+        reach = radius + self.object_radius
+        while stack:
+            node, centre, half = stack.pop()
+            loose_half = self.looseness * half
+            # Prune nodes whose loose cube cannot intersect the query ball.
+            if np.any(np.abs(q - centre) > loose_half + reach):
+                continue
+            items = self._node_items[node]
+            if items:
+                pts = self._positions[items]
+                d2 = np.einsum("ij,ij->i", pts - q, pts - q)
+                hits.extend(int(items[k]) for k in np.nonzero(d2 <= radius * radius)[0])
+            children = self._node_children[node]
+            if children is not None:
+                child_half = half / 2.0
+                for octant, child in enumerate(children):
+                    child_centre = centre + child_half * np.array(
+                        [1.0 if octant & (1 << axis) else -1.0 for axis in range(3)]
+                    )
+                    stack.append((child, child_centre, child_half))
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def pairs_within(self, radius: float) -> "tuple[np.ndarray, np.ndarray]":
+        """All unordered index pairs within ``radius`` (one query/object)."""
+        chunks_i: "list[np.ndarray]" = []
+        chunks_j: "list[np.ndarray]" = []
+        for k in range(self._count):
+            hits = self.query_radius(self._positions[k], radius)
+            hits = hits[hits > k]
+            if hits.size:
+                chunks_i.append(np.full(hits.size, k, dtype=np.int64))
+                chunks_j.append(hits)
+        if not chunks_i:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy()
+        return np.concatenate(chunks_i), np.concatenate(chunks_j)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._node_items)
+
+    @property
+    def depth_histogram(self) -> "dict[int, int]":
+        """Objects stored per depth level (diagnostic)."""
+        out: "dict[int, int]" = {}
+        stack = [(0, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if self._node_items[node]:
+                out[depth] = out.get(depth, 0) + len(self._node_items[node])
+            children = self._node_children[node]
+            if children is not None:
+                stack.extend((c, depth + 1) for c in children)
+        return out

@@ -1,0 +1,102 @@
+"""Avoidance maneuver sizing."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.avoidance import (
+    apply_maneuver,
+    miss_distance_after,
+    size_avoidance_maneuver,
+)
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+
+
+class TestApplyManeuver:
+    def test_zero_burn_is_identity(self, crossing_pair):
+        el = crossing_pair[0]
+        burned = apply_maneuver(el, burn_time_s=100.0, delta_v_kms=np.zeros(3))
+        assert burned.a == pytest.approx(el.a, rel=1e-9)
+        assert burned.e == pytest.approx(el.e, abs=1e-9)
+        # Trajectory is unchanged.
+        pop_a = OrbitalElementsArray.from_elements([el])
+        pop_b = OrbitalElementsArray.from_elements([burned])
+        np.testing.assert_allclose(
+            Propagator(pop_a).positions(500.0), Propagator(pop_b).positions(500.0), atol=1e-5
+        )
+
+    def test_prograde_burn_raises_orbit(self, crossing_pair):
+        el = crossing_pair[0]
+        from repro.analysis.avoidance import along_track_direction
+
+        direction = along_track_direction(el, 100.0)
+        burned = apply_maneuver(el, 100.0, 0.001 * direction)  # 1 m/s prograde
+        assert burned.a > el.a
+        # da = 2 a dv / v: about 1.85 km per m/s at a=7000 km, v=7.55 km/s.
+        assert burned.a - el.a == pytest.approx(1.85, abs=0.1)
+
+    def test_trajectory_continuous_at_burn(self, crossing_pair):
+        """Position is unchanged at the burn instant (impulsive burn)."""
+        el = crossing_pair[0]
+        from repro.analysis.avoidance import along_track_direction
+
+        t_burn = 250.0
+        burned = apply_maneuver(el, t_burn, 0.002 * along_track_direction(el, t_burn))
+        pop_a = OrbitalElementsArray.from_elements([el])
+        pop_b = OrbitalElementsArray.from_elements([burned])
+        np.testing.assert_allclose(
+            Propagator(pop_a).positions(t_burn),
+            Propagator(pop_b).positions(t_burn),
+            atol=1e-4,
+        )
+
+
+class TestMissDistance:
+    def test_reproduces_screened_pca(self, crossing_pair):
+        d = miss_distance_after(crossing_pair[0], crossing_pair[1], tca_s=0.0)
+        assert d == pytest.approx(1.22, abs=0.01)
+
+
+class TestSizing:
+    def test_achieves_clearance(self, crossing_pair):
+        plan = size_avoidance_maneuver(
+            crossing_pair[0], crossing_pair[1],
+            tca_s=0.0, burn_time_s=-5700.0, clearance_km=5.0,
+        )
+        assert plan.miss_before_km == pytest.approx(1.22, abs=0.01)
+        assert plan.miss_after_km >= 5.0
+        assert plan.delta_v_cms < 1000.0  # well under 10 m/s
+
+    def test_earlier_burn_is_cheaper(self, crossing_pair):
+        """The classic lead-time trade: burning two orbits earlier needs
+        less delta-v than burning half an orbit before the TCA."""
+        late = size_avoidance_maneuver(
+            crossing_pair[0], crossing_pair[1],
+            tca_s=0.0, burn_time_s=-2900.0, clearance_km=5.0,
+        )
+        early = size_avoidance_maneuver(
+            crossing_pair[0], crossing_pair[1],
+            tca_s=0.0, burn_time_s=-11600.0, clearance_km=5.0,
+        )
+        assert abs(early.delta_v_kms) < abs(late.delta_v_kms)
+
+    def test_validation(self, crossing_pair):
+        with pytest.raises(ValueError):
+            size_avoidance_maneuver(
+                crossing_pair[0], crossing_pair[1], tca_s=0.0, burn_time_s=10.0,
+                clearance_km=5.0,
+            )
+        with pytest.raises(ValueError):
+            size_avoidance_maneuver(
+                crossing_pair[0], crossing_pair[1], tca_s=0.0, burn_time_s=-100.0,
+                clearance_km=0.0,
+            )
+
+    def test_impossible_clearance_raises(self, crossing_pair):
+        with pytest.raises(RuntimeError, match="no along-track burn"):
+            size_avoidance_maneuver(
+                crossing_pair[0], crossing_pair[1],
+                tca_s=0.0, burn_time_s=-60.0, clearance_km=500.0,
+                max_dv_kms=1e-4,
+            )

@@ -1,0 +1,62 @@
+"""Hollow-sphere complexity machinery (Section III-B)."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    decompose_shells,
+    predicted_candidates_per_step,
+)
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.population.generator import generate_population
+
+
+def test_counts_partition_population(small_population):
+    dec = decompose_shells(small_population, cell_size_km=9.8)
+    assert int(dec.counts.sum()) == len(small_population)
+    assert dec.naive_pairs == len(small_population) * (len(small_population) - 1) // 2
+
+
+def test_bound_far_below_naive_for_spread_population(small_population):
+    dec = decompose_shells(small_population, cell_size_km=9.8)
+    assert dec.total_pair_bound < dec.naive_pairs
+    assert dec.reduction_factor > 10.0
+
+
+def test_single_shell_keeps_quadratic_character():
+    """All satellites in one shell: the bound stays quadratic in n_i —
+    exactly the paper's point that the complexity class does not improve
+    within a sphere."""
+    els = [
+        KeplerElements(a=7000.0, e=0.001, i=0.1 * k % 3, raan=0.2 * k % 6, argp=0.0, m0=0.0)
+        for k in range(1, 41)
+    ]
+    pop = OrbitalElementsArray.from_elements(els)
+    dec_small = decompose_shells(pop.subset(np.arange(20)), cell_size_km=9.8)
+    dec_full = decompose_shells(pop, cell_size_km=9.8)
+    ratio = dec_full.total_pair_bound / dec_small.total_pair_bound
+    assert ratio == pytest.approx(4.0, rel=0.05)  # (40/20)^2
+
+
+def test_bigger_cells_raise_the_bound(small_population):
+    tight = decompose_shells(small_population, cell_size_km=9.8)
+    coarse = decompose_shells(small_population, cell_size_km=72.2)
+    assert coarse.total_pair_bound > tight.total_pair_bound
+
+
+def test_per_step_prediction_positive_and_scales():
+    pop_small = generate_population(500, seed=5)
+    pop_big = generate_population(2000, seed=5)
+    p_small = predicted_candidates_per_step(pop_small, cell_size_km=9.8)
+    p_big = predicted_candidates_per_step(pop_big, cell_size_km=9.8)
+    assert p_small > 0.0
+    # Quadratic in n to first order: 4x objects -> ~16x predicted pairs.
+    assert p_big / p_small == pytest.approx(16.0, rel=0.5)
+
+
+def test_validation(small_population):
+    with pytest.raises(ValueError):
+        decompose_shells(small_population, cell_size_km=0.0)
+    with pytest.raises(ValueError):
+        decompose_shells(small_population, cell_size_km=9.8, shell_width_km=0.0)

@@ -1,0 +1,55 @@
+"""Gabbard diagram data."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.gabbard import gabbard_data
+from repro.constants import R_EARTH
+from repro.orbits.elements import KeplerElements
+from repro.population.scenarios import fragmentation_cloud
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    parent = KeplerElements(a=R_EARTH + 780.0, e=0.002, i=1.2, raan=0.1, argp=0.4, m0=0.0)
+    return fragmentation_cloud(parent, 250, dv_scale_kms=0.1, seed=13)
+
+
+def test_series_lengths(cloud):
+    data = gabbard_data(cloud)
+    assert len(data) == 250
+    assert data.period_min.shape == data.apogee_alt_km.shape == data.perigee_alt_km.shape
+
+
+def test_apogee_above_perigee(cloud):
+    data = gabbard_data(cloud)
+    assert np.all(data.apogee_alt_km >= data.perigee_alt_km - 1e-9)
+
+
+def test_x_shape_pinned_at_breakup_altitude(cloud):
+    """The defining Gabbard feature: one apsis of every fragment stays
+    near the breakup altitude (~780 km here)."""
+    data = gabbard_data(cloud)
+    pin = data.pinned_altitude_km
+    assert pin == pytest.approx(780.0, abs=60.0)
+    # Each fragment has at least one apsis near the pin.
+    near_pin = np.minimum(
+        np.abs(data.apogee_alt_km - pin), np.abs(data.perigee_alt_km - pin)
+    )
+    assert np.percentile(near_pin, 90) < 100.0
+
+
+def test_period_correlates_with_apogee(cloud):
+    """Upper-right arm: longer periods go with higher apogees."""
+    data = gabbard_data(cloud)
+    corr = np.corrcoef(data.period_min, data.apogee_alt_km)[0, 1]
+    assert corr > 0.9
+
+
+def test_ascii_plot_renders(cloud):
+    data = gabbard_data(cloud)
+    text = data.ascii_plot()
+    assert "o" in text and "." in text
+    assert "min" in text
+    assert len(text.splitlines()) >= 20

@@ -1,0 +1,96 @@
+"""Collision probability and risk ranking."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.poc import collision_probability, rank_conjunctions
+from repro.detection.types import ScreeningResult
+from repro.parallel.backend import PhaseTimer
+
+
+class TestCollisionProbability:
+    def test_head_on_with_huge_hard_body(self):
+        # R >> sigma and d = 0: collision nearly certain.
+        assert collision_probability(0.0, sigma_km=0.1, hard_body_radius_km=2.0) > 0.999
+
+    def test_head_on_analytic_value(self):
+        # At d=0 the Rice CDF reduces to the Rayleigh CDF:
+        # P = 1 - exp(-R^2 / (2 sigma^2)).
+        sigma, radius = 0.5, 0.3
+        expected = 1.0 - math.exp(-(radius**2) / (2 * sigma**2))
+        assert collision_probability(0.0, sigma, radius) == pytest.approx(expected, rel=1e-8)
+
+    def test_far_miss_is_negligible(self):
+        assert collision_probability(10.0, sigma_km=0.5, hard_body_radius_km=0.02) < 1e-12
+
+    def test_monotone_in_miss_distance(self):
+        probs = [collision_probability(d, 0.5, 0.05) for d in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_monotone_in_hard_body_radius(self):
+        p_small = collision_probability(0.5, 0.5, 0.01)
+        p_big = collision_probability(0.5, 0.5, 0.10)
+        assert p_big > p_small
+
+    def test_dilution_region_exists(self):
+        """The famous dilution effect: for fixed miss distance, P_c peaks
+        at an intermediate sigma and *decreases* for very large
+        uncertainty."""
+        d, radius = 1.0, 0.02
+        sigmas = np.geomspace(0.01, 50.0, 40)
+        probs = np.array([collision_probability(d, float(s), radius) for s in sigmas])
+        peak = int(np.argmax(probs))
+        assert 0 < peak < len(sigmas) - 1
+        assert probs[-1] < probs[peak] / 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collision_probability(-1.0, 0.5, 0.02)
+        with pytest.raises(ValueError):
+            collision_probability(1.0, 0.0, 0.02)
+        with pytest.raises(ValueError):
+            collision_probability(1.0, 0.5, 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        d=st.floats(min_value=0.0, max_value=5.0),
+        sigma=st.floats(min_value=0.05, max_value=2.0),
+        radius=st.floats(min_value=0.005, max_value=0.5),
+    )
+    def test_probability_bounds_property(self, d, sigma, radius):
+        p = collision_probability(d, sigma, radius)
+        assert 0.0 <= p <= 1.0
+
+
+class TestRanking:
+    def _result(self):
+        return ScreeningResult(
+            method="grid",
+            backend="serial",
+            i=np.array([1, 3, 5]),
+            j=np.array([2, 4, 6]),
+            tca_s=np.array([100.0, 200.0, 300.0]),
+            pca_km=np.array([1.5, 0.1, 4.0]),
+            candidates_refined=3,
+            timers=PhaseTimer(),
+        )
+
+    def test_sorted_by_descending_risk(self):
+        entries = rank_conjunctions(self._result())
+        assert [e.pca_km for e in entries] == [0.1, 1.5, 4.0]
+        assert entries[0].probability >= entries[1].probability >= entries[2].probability
+
+    def test_top_k(self):
+        entries = rank_conjunctions(self._result(), top=1)
+        assert len(entries) == 1
+        assert entries[0].i == 3
+
+    def test_empty_result(self):
+        from repro.detection.types import empty_result
+
+        assert rank_conjunctions(empty_result("grid", "serial")) == []

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.population.generator import generate_population
+
+
+@pytest.fixture(scope="session")
+def small_population() -> OrbitalElementsArray:
+    """A deterministic 200-object synthetic population."""
+    return generate_population(200, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def crossing_pair() -> OrbitalElementsArray:
+    """Two near-circular orbits in different planes engineered to conjunct
+    near their mutual node around t=0 (PCA about 1.2 km)."""
+    el1 = KeplerElements(a=7000.0, e=0.001, i=math.radians(50), raan=0.0, argp=0.0, m0=0.0)
+    el2 = KeplerElements(a=7001.0, e=0.001, i=math.radians(55), raan=0.0, argp=0.0, m0=1e-4)
+    return OrbitalElementsArray.from_elements([el1, el2])
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

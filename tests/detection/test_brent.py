@@ -1,0 +1,135 @@
+"""Brent minimiser and the batch golden-section variant."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import minimize_scalar
+
+from repro.detection.brent import BrentResult, brent_minimize, golden_minimize_batch
+
+
+class TestBrentScalar:
+    def test_quadratic(self):
+        res = brent_minimize(lambda x: (x - 2.5) ** 2, 0.0, 10.0)
+        assert res.x == pytest.approx(2.5, abs=1e-7)
+        assert res.fx == pytest.approx(0.0, abs=1e-12)
+        assert not res.at_edge
+
+    def test_matches_scipy_on_hard_functions(self):
+        funcs = [
+            (lambda x: math.sin(x) + 0.1 * x, 2.0, 8.0),
+            (lambda x: abs(x - 3.3) + 0.01 * (x - 3.3) ** 2, 0.0, 10.0),
+            (lambda x: math.exp(-x) + 0.2 * x, 0.0, 20.0),
+            (lambda x: (x**2 - 4) ** 2 + x, -3.0, 0.0),
+        ]
+        for f, a, b in funcs:
+            ours = brent_minimize(f, a, b, tol=1e-10)
+            ref = minimize_scalar(f, bounds=(a, b), method="bounded", options={"xatol": 1e-10})
+            assert ours.fx == pytest.approx(ref.fun, abs=1e-7)
+
+    def test_edge_flag_on_monotone_function(self):
+        res = brent_minimize(lambda x: x, 0.0, 1.0)
+        assert res.at_edge
+        assert res.x == pytest.approx(0.0, abs=1e-6)
+
+    def test_edge_flag_decreasing(self):
+        res = brent_minimize(lambda x: -x, 0.0, 1.0)
+        assert res.at_edge
+        assert res.x == pytest.approx(1.0, abs=1e-6)
+
+    def test_interior_minimum_not_flagged(self):
+        res = brent_minimize(lambda x: (x - 0.5) ** 2, 0.0, 1.0)
+        assert not res.at_edge
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            brent_minimize(lambda x: x, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            brent_minimize(lambda x: x, 0.0, 1.0, tol=0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        centre=st.floats(min_value=-50.0, max_value=50.0),
+        width=st.floats(min_value=0.1, max_value=30.0),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_unimodal_property(self, centre, width, scale):
+        a, b = centre - width, centre + width
+        target = centre + 0.3 * width  # interior minimum
+        res = brent_minimize(lambda x: scale * (x - target) ** 2, a, b, tol=1e-9)
+        assert res.x == pytest.approx(target, abs=1e-5 * max(1.0, abs(target)))
+
+    def test_iteration_count_reported(self):
+        res = brent_minimize(lambda x: (x - 1) ** 2, 0.0, 5.0)
+        assert 1 <= res.iterations <= 100
+        assert isinstance(res, BrentResult)
+
+
+class TestGoldenBatch:
+    def test_matches_scalar_brent(self):
+        targets = np.array([1.0, -2.0, 7.5, 0.0])
+        a = targets - 3.0
+        b = targets + 4.0
+
+        def f(x):
+            return (x - targets) ** 2 + 1.0
+
+        x, fx, edge = golden_minimize_batch(f, a, b)
+        np.testing.assert_allclose(x, targets, atol=1e-6)
+        np.testing.assert_allclose(fx, 1.0, atol=1e-12)
+        assert not edge.any()
+
+    def test_edge_detection(self):
+        def f(x):
+            return x  # monotone: min at the left edge
+
+        x, fx, edge = golden_minimize_batch(f, np.array([0.0]), np.array([1.0]))
+        assert edge[0]
+        assert x[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_mixed_edge_and_interior(self):
+        def f(x):
+            return np.where(np.arange(len(x)) == 0, x, (x - 0.5) ** 2)
+
+        x, fx, edge = golden_minimize_batch(f, np.zeros(2), np.ones(2))
+        assert edge.tolist() == [True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            golden_minimize_batch(lambda x: x, np.array([1.0]), np.array([1.0]))
+
+    def test_non_quadratic_batch(self):
+        a = np.array([2.0, 0.0])
+        b = np.array([8.0, 20.0])
+
+        def f(x):
+            return np.where(
+                np.arange(len(x)) == 0, np.sin(x) + 0.1 * x, np.exp(-x) + 0.2 * x
+            )
+
+        x, fx, _ = golden_minimize_batch(f, a, b)
+        ref0 = minimize_scalar(lambda t: math.sin(t) + 0.1 * t, bounds=(2, 8), method="bounded")
+        ref1 = minimize_scalar(lambda t: math.exp(-t) + 0.2 * t, bounds=(0, 20), method="bounded")
+        assert fx[0] == pytest.approx(ref0.fun, abs=1e-6)
+        assert fx[1] == pytest.approx(ref1.fun, abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_batch_equals_scalar_property(self, seed):
+        rng = np.random.default_rng(seed)
+        m = 10
+        targets = rng.uniform(-10, 10, m)
+        a = targets - rng.uniform(0.5, 5.0, m)
+        b = targets + rng.uniform(0.5, 5.0, m)
+        scale = rng.uniform(0.1, 10.0, m)
+
+        def f(x):
+            return scale * (x - targets) ** 2
+
+        x, fx, edge = golden_minimize_batch(f, a, b)
+        np.testing.assert_allclose(x, targets, atol=1e-5)
+        assert not edge.any()

@@ -1,0 +1,80 @@
+"""Cube method: statistical rates and the documented limitations."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detection.api import screen
+from repro.detection.cube import cube_estimate
+from repro.detection.types import ScreeningConfig
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+
+
+def _same_orbit_phased_pair() -> OrbitalElementsArray:
+    el1 = KeplerElements(a=7000.0, e=0.001, i=0.9, raan=0.5, argp=0.0, m0=0.0)
+    el2 = KeplerElements(a=7000.0, e=0.001, i=0.9, raan=0.5, argp=0.0, m0=math.pi)
+    return OrbitalElementsArray.from_elements([el1, el2])
+
+
+def _coplanar_rings() -> OrbitalElementsArray:
+    """Two nearly-coplanar rings 10 km apart: co-located along the whole
+    orbit, so cube cohabitation happens often enough for a fast test."""
+    el1 = KeplerElements(a=7000.0, e=0.0005, i=0.9, raan=0.5, argp=0.0, m0=0.0)
+    el2 = KeplerElements(a=7010.0, e=0.0005, i=0.9, raan=0.5, argp=0.0, m0=1.0)
+    return OrbitalElementsArray.from_elements([el1, el2])
+
+
+def test_rate_positive_for_cohabiting_orbits():
+    est = cube_estimate(_coplanar_rings(), cube_size_km=200.0, n_samples=2000, seed=1)
+    assert est.total_rate_per_s > 0.0
+    assert (0, 1) in est.pair_rates
+
+
+def test_rate_zero_for_disjoint_shells():
+    el1 = KeplerElements(a=7000.0, e=0.0, i=0.5, raan=0.0, argp=0.0, m0=0.0)
+    el2 = KeplerElements(a=9000.0, e=0.0, i=0.5, raan=0.0, argp=0.0, m0=0.0)
+    pop = OrbitalElementsArray.from_elements([el1, el2])
+    est = cube_estimate(pop, cube_size_km=50.0, n_samples=200, seed=2)
+    assert est.total_rate_per_s == 0.0
+
+
+def test_constellation_limitation_reproduced():
+    """Lewis et al. [22] / Section II: the Cube method's randomised
+    anomalies destroy constellation phasing, so a phased same-orbit pair —
+    which deterministically never meets — still accrues a collision rate.
+    The deterministic screening correctly reports nothing."""
+    pop = _same_orbit_phased_pair()
+    cfg = ScreeningConfig(threshold_km=5.0, duration_s=6000.0, seconds_per_sample=1.0)
+    deterministic = screen(pop, cfg, method="grid")
+    assert deterministic.n_conjunctions == 0
+
+    est = cube_estimate(pop, cube_size_km=200.0, n_samples=2000, seed=3)
+    assert est.total_rate_per_s > 0.0, (
+        "the Cube method should (wrongly, by design) assign this pair a rate"
+    )
+
+
+def test_expected_conjunctions_scales_with_span():
+    est = cube_estimate(_coplanar_rings(), cube_size_km=200.0, n_samples=500, seed=4)
+    assert est.expected_conjunctions(2000.0) == pytest.approx(
+        2.0 * est.expected_conjunctions(1000.0)
+    )
+    with pytest.raises(ValueError):
+        est.expected_conjunctions(0.0)
+
+
+def test_estimate_is_deterministic_per_seed(crossing_pair):
+    e1 = cube_estimate(crossing_pair, cube_size_km=50.0, n_samples=100, seed=5)
+    e2 = cube_estimate(crossing_pair, cube_size_km=50.0, n_samples=100, seed=5)
+    assert e1.total_rate_per_s == e2.total_rate_per_s
+
+
+def test_validation(crossing_pair):
+    with pytest.raises(ValueError):
+        cube_estimate(crossing_pair, cube_size_km=0.0)
+    with pytest.raises(ValueError):
+        cube_estimate(crossing_pair, n_samples=0)
+    with pytest.raises(ValueError):
+        cube_estimate(crossing_pair, collision_radius_km=-1.0)

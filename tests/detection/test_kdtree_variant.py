@@ -1,0 +1,34 @@
+"""Kd-tree screening variant: agreement with the grid variant."""
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+from repro.population.generator import generate_population
+
+CFG = ScreeningConfig(threshold_km=5.0, duration_s=6000.0, seconds_per_sample=1.0)
+
+
+def test_finds_engineered_conjunctions(crossing_pair):
+    result = screen(crossing_pair, CFG, method="kdtree")
+    assert result.n_conjunctions == 2
+    conjs = result.conjunctions()
+    assert conjs[0].pca_km == pytest.approx(1.22, abs=0.01)
+    assert conjs[1].tca_s == pytest.approx(2914.5, abs=1.0)
+
+
+def test_agrees_with_grid_on_population():
+    pop = generate_population(400, seed=31)
+    cfg = ScreeningConfig(threshold_km=10.0, duration_s=600.0, seconds_per_sample=2.0)
+    kd = screen(pop, cfg, method="kdtree")
+    grid = screen(pop, cfg, method="grid", backend="vectorized")
+    assert kd.unique_pairs() == grid.unique_pairs()
+    assert kd.n_conjunctions == grid.n_conjunctions
+
+
+def test_reports_build_cost(crossing_pair):
+    result = screen(crossing_pair, CFG, method="kdtree")
+    assert result.extra["tree_build_seconds"] > 0.0
+    assert result.extra["query_radius_km"] == pytest.approx(5.0 + 7.8)
+    assert result.method == "kdtree"

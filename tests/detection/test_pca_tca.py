@@ -1,0 +1,166 @@
+"""PCA/TCA refinement: scalar vs batch, edge-probe rule, merging."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detection.pca_tca import (
+    BatchPairDistance,
+    PairDistanceScalar,
+    interval_radii,
+    merge_conjunctions,
+    refine_batch,
+    refine_candidate,
+)
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+
+
+class TestPairDistance:
+    def test_scalar_matches_propagator(self, crossing_pair):
+        pop = crossing_pair
+        dist = PairDistanceScalar(pop, 0, 1)
+        prop = Propagator(pop)
+        for t in (0.0, 123.4, 5000.0):
+            pos = prop.positions(t)
+            expected = float(np.linalg.norm(pos[0] - pos[1]))
+            assert dist(t) == pytest.approx(expected, abs=1e-6)
+
+    def test_batch_matches_scalar(self, crossing_pair):
+        pop = crossing_pair
+        batch = BatchPairDistance(pop, np.array([0, 0]), np.array([1, 1]))
+        scalar = PairDistanceScalar(pop, 0, 1)
+        t = np.array([10.0, 2914.0])
+        d = batch(t)
+        assert d[0] == pytest.approx(scalar(10.0), abs=1e-6)
+        assert d[1] == pytest.approx(scalar(2914.0), abs=1e-6)
+
+
+class TestRefineCandidate:
+    def test_finds_known_conjunction(self, crossing_pair):
+        dist = PairDistanceScalar(crossing_pair, 0, 1)
+        hit = refine_candidate(dist, center=1.0, radius=20.0, threshold_km=5.0)
+        assert hit is not None
+        tca, pca = hit
+        assert pca == pytest.approx(1.22, abs=0.01)
+        assert abs(tca) < 5.0
+
+    def test_rejects_above_threshold(self, crossing_pair):
+        dist = PairDistanceScalar(crossing_pair, 0, 1)
+        assert refine_candidate(dist, center=1.0, radius=20.0, threshold_km=0.5) is None
+
+    def test_discards_edge_minimum_still_descending(self, crossing_pair):
+        # Interval far to the left of the t~0 minimum: distance is
+        # descending toward the right edge, so the candidate is discarded
+        # (the neighbouring interval owns the true minimum).
+        dist = PairDistanceScalar(crossing_pair, 0, 1)
+        hit = refine_candidate(dist, center=-60.0, radius=20.0, threshold_km=1e9)
+        assert hit is None
+
+    def test_validation(self, crossing_pair):
+        dist = PairDistanceScalar(crossing_pair, 0, 1)
+        with pytest.raises(ValueError):
+            refine_candidate(dist, 0.0, 0.0, 2.0)
+
+
+class TestIntervalRadii:
+    def test_uses_slower_member(self):
+        fast = KeplerElements(a=6800.0, e=0.0, i=0.1, raan=0, argp=0, m0=0)
+        slow = KeplerElements(a=42000.0, e=0.0, i=0.1, raan=0, argp=0, m0=0)
+        pop = OrbitalElementsArray.from_elements([fast, slow])
+        radii = interval_radii(pop, np.array([0]), np.array([1]), cell_size_km=10.0)
+        from repro.constants import MU_EARTH
+
+        v_slow = math.sqrt(MU_EARTH / 42000.0)
+        assert radii[0] == pytest.approx(2 * 10.0 / v_slow, rel=1e-9)
+
+    def test_radius_covers_half_sample_step(self, small_population):
+        """The refinement interval must at least span half the sampling
+        step, or minima between samples could escape (Section IV-C)."""
+        from repro.spatial.grid import cell_size_km
+
+        pop = small_population
+        sps = 1.0
+        cell = cell_size_km(2.0, sps)
+        rng = np.random.default_rng(0)
+        i = rng.integers(0, len(pop), 50)
+        j = (i + 1) % len(pop)
+        radii = interval_radii(pop, i, j, cell)
+        assert (radii >= sps / 2).all()
+
+
+class TestRefineBatch:
+    def test_matches_scalar_refinement(self, crossing_pair):
+        pop = crossing_pair
+        pair_i = np.array([0])
+        pair_j = np.array([1])
+        centers = np.array([1.0])
+        radii = np.array([20.0])
+        keep, tca, pca = refine_batch(pop, pair_i, pair_j, centers, radii, threshold_km=5.0)
+        assert keep.tolist() == [0]
+        dist = PairDistanceScalar(pop, 0, 1)
+        scalar_hit = refine_candidate(dist, 1.0, 20.0, 5.0)
+        assert tca[0] == pytest.approx(scalar_hit[0], abs=1e-3)
+        assert pca[0] == pytest.approx(scalar_hit[1], abs=1e-6)
+
+    def test_empty_batch(self, crossing_pair):
+        keep, tca, pca = refine_batch(
+            crossing_pair,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+            np.empty(0),
+            2.0,
+        )
+        assert len(keep) == 0
+
+    def test_edge_discard_in_batch(self, crossing_pair):
+        # Same far-left interval as the scalar test: must be discarded even
+        # with an infinite threshold.
+        keep, _, _ = refine_batch(
+            crossing_pair,
+            np.array([0]),
+            np.array([1]),
+            np.array([-60.0]),
+            np.array([20.0]),
+            threshold_km=1e9,
+        )
+        assert len(keep) == 0
+
+
+class TestMergeConjunctions:
+    def test_merges_close_tcas_keeps_min_pca(self):
+        i = np.array([1, 1, 1])
+        j = np.array([2, 2, 2])
+        tca = np.array([10.0, 10.02, 500.0])
+        pca = np.array([1.5, 1.2, 0.9])
+        mi, mj, mt, mp = merge_conjunctions(i, j, tca, pca, tol_s=0.05)
+        assert len(mt) == 2
+        assert mp.tolist() == [1.2, 0.9]
+        assert mt[0] == pytest.approx(10.02)
+
+    def test_different_pairs_not_merged(self):
+        i = np.array([1, 3])
+        j = np.array([2, 4])
+        tca = np.array([10.0, 10.0])
+        pca = np.array([1.0, 1.0])
+        mi, mj, mt, mp = merge_conjunctions(i, j, tca, pca, tol_s=1.0)
+        assert len(mt) == 2
+
+    def test_chained_merging(self):
+        # 10.0, 10.04, 10.08: each within tol of the previous -> one cluster.
+        i = np.array([1, 1, 1])
+        j = np.array([2, 2, 2])
+        tca = np.array([10.0, 10.04, 10.08])
+        pca = np.array([3.0, 2.0, 2.5])
+        _, _, mt, mp = merge_conjunctions(i, j, tca, pca, tol_s=0.05)
+        assert len(mt) == 1
+        assert mp[0] == 2.0
+
+    def test_empty_input(self):
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0)
+        out = merge_conjunctions(e, e, f, f, 0.05)
+        assert all(len(x) == 0 for x in out)

@@ -1,0 +1,41 @@
+"""Window scanning shared by legacy and hybrid."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.scan import scan_pair_windows
+
+
+def test_finds_both_known_minima(crossing_pair):
+    hits = scan_pair_windows(crossing_pair, 0, 1, [(0.0, 6000.0)], threshold_km=5.0)
+    tcas = sorted(t for t, _ in hits)
+    assert len(tcas) == 2
+    assert abs(tcas[0]) < 2.0
+    assert tcas[1] == pytest.approx(2914.5, abs=1.0)
+
+
+def test_respects_threshold(crossing_pair):
+    hits = scan_pair_windows(crossing_pair, 0, 1, [(0.0, 6000.0)], threshold_km=2.0)
+    assert len(hits) == 1  # only the 1.22 km minimum passes a 2 km threshold
+    assert hits[0][1] == pytest.approx(1.22, abs=0.01)
+
+
+def test_window_clipping_still_finds_edge_minimum(crossing_pair):
+    # Window ends right after the minimum: the boundary bracket logic must
+    # still catch it.
+    hits = scan_pair_windows(crossing_pair, 0, 1, [(2900.0, 2915.0)], threshold_km=5.0)
+    assert len(hits) == 1
+    assert hits[0][0] == pytest.approx(2914.5, abs=1.0)
+
+
+def test_empty_and_degenerate_windows(crossing_pair):
+    assert scan_pair_windows(crossing_pair, 0, 1, [], 5.0) == []
+    assert scan_pair_windows(crossing_pair, 0, 1, [(10.0, 10.0)], 5.0) == []
+
+
+def test_duplicate_minima_from_overlapping_windows_merged(crossing_pair):
+    hits = scan_pair_windows(
+        crossing_pair, 0, 1, [(-30.0, 30.0), (-20.0, 40.0)], threshold_km=5.0
+    )
+    assert len(hits) == 1

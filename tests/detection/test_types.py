@@ -1,0 +1,81 @@
+"""ScreeningConfig validation and ScreeningResult helpers."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.types import Conjunction, ScreeningConfig, ScreeningResult, empty_result
+from repro.parallel.backend import PhaseTimer
+
+
+class TestConfig:
+    def test_defaults_are_the_papers(self):
+        cfg = ScreeningConfig()
+        assert cfg.threshold_km == 2.0
+        assert cfg.hybrid_seconds_per_sample == 9.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(threshold_km=0.0),
+            dict(duration_s=-1.0),
+            dict(seconds_per_sample=0.0),
+            dict(hybrid_seconds_per_sample=0.0),
+            dict(grid_impl="octree"),
+            dict(legacy_samples_per_period=2),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ScreeningConfig(**kwargs)
+
+    def test_sample_times(self):
+        cfg = ScreeningConfig(duration_s=10.0, seconds_per_sample=2.0)
+        times = cfg.sample_times()
+        np.testing.assert_allclose(times, [0, 2, 4, 6, 8, 10])
+        times_h = cfg.sample_times(5.0)
+        np.testing.assert_allclose(times_h, [0, 5, 10])
+
+    def test_sample_times_cover_duration(self):
+        cfg = ScreeningConfig(duration_s=10.0, seconds_per_sample=3.0)
+        times = cfg.sample_times()
+        assert times[-1] >= 10.0
+
+    def test_frozen(self):
+        cfg = ScreeningConfig()
+        with pytest.raises(AttributeError):
+            cfg.threshold_km = 5.0
+
+
+class TestResult:
+    def _result(self):
+        return ScreeningResult(
+            method="grid",
+            backend="serial",
+            i=np.array([1, 1, 3]),
+            j=np.array([2, 2, 4]),
+            tca_s=np.array([30.0, 10.0, 20.0]),
+            pca_km=np.array([1.0, 0.5, 1.5]),
+            candidates_refined=7,
+            timers=PhaseTimer(),
+        )
+
+    def test_unique_pairs(self):
+        assert self._result().unique_pairs() == {(1, 2), (3, 4)}
+
+    def test_conjunctions_sorted_by_tca(self):
+        conjs = self._result().conjunctions()
+        assert [c.tca_s for c in conjs] == [10.0, 20.0, 30.0]
+        assert conjs[0] == Conjunction(1, 2, 10.0, 0.5)
+
+    def test_summary_contains_counts(self):
+        s = self._result().summary()
+        assert "3 conjunctions" in s
+        assert "2 pairs" in s
+        assert "7 candidates" in s
+
+    def test_empty_result(self):
+        r = empty_result("grid", "serial")
+        assert r.n_conjunctions == 0
+        assert r.unique_pairs() == set()
+        assert r.conjunctions() == []

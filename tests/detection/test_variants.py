@@ -1,0 +1,231 @@
+"""End-to-end tests of the three screening variants and their agreement."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.population.generator import generate_population
+from repro.population.scenarios import megaconstellation
+
+CFG = ScreeningConfig(
+    threshold_km=5.0, duration_s=6000.0, seconds_per_sample=1.0, hybrid_seconds_per_sample=9.0
+)
+
+
+class TestKnownScenario:
+    """The engineered crossing pair has exactly two conjunctions below 5 km:
+    PCA ~1.22 km near t=0 and PCA ~4.13 km near t=2914.5 s."""
+
+    @pytest.mark.parametrize(
+        "method, backend",
+        [
+            ("grid", "vectorized"),
+            ("grid", "serial"),
+            ("grid", "threads"),
+            ("hybrid", "vectorized"),
+            ("hybrid", "serial"),
+            ("hybrid", "threads"),
+            ("legacy", "serial"),
+        ],
+    )
+    def test_finds_both_conjunctions(self, crossing_pair, method, backend):
+        result = screen(crossing_pair, CFG, method=method, backend=backend)
+        assert result.n_conjunctions == 2, result.summary()
+        conjs = result.conjunctions()
+        assert conjs[0].pca_km == pytest.approx(1.22, abs=0.01)
+        assert abs(conjs[0].tca_s) < 2.0
+        assert conjs[1].pca_km == pytest.approx(4.13, abs=0.02)
+        assert conjs[1].tca_s == pytest.approx(2914.5, abs=1.0)
+
+    def test_tight_threshold_drops_far_minimum(self, crossing_pair):
+        cfg = ScreeningConfig(threshold_km=2.0, duration_s=6000.0, seconds_per_sample=1.0)
+        for method in ("grid", "hybrid", "legacy"):
+            result = screen(crossing_pair, cfg, method=method)
+            assert result.n_conjunctions == 1, method
+
+
+class TestPhasedSameOrbit:
+    """Two satellites on the same orbit, phased apart: never conjunct."""
+
+    def test_no_conjunctions(self):
+        el1 = KeplerElements(a=7000.0, e=0.001, i=0.9, raan=0.5, argp=0.0, m0=0.0)
+        el2 = KeplerElements(a=7000.0, e=0.001, i=0.9, raan=0.5, argp=0.0, m0=math.pi)
+        pop = OrbitalElementsArray.from_elements([el1, el2])
+        for method in ("grid", "hybrid", "legacy"):
+            result = screen(pop, CFG, method=method)
+            assert result.n_conjunctions == 0, method
+
+
+class TestTrailingFormation:
+    """Two satellites 1 km apart on the same orbit: permanently conjunct —
+    a sustained sub-threshold distance rather than isolated minima.  All
+    variants must flag the pair (exact event counts may differ because the
+    distance curve is nearly flat)."""
+
+    def test_pair_is_flagged(self):
+        el1 = KeplerElements(a=7000.0, e=0.0005, i=0.9, raan=0.5, argp=0.0, m0=0.0)
+        el2 = KeplerElements(a=7000.0, e=0.0005, i=0.9, raan=0.5, argp=0.0, m0=1.0 / 7000.0)
+        pop = OrbitalElementsArray.from_elements([el1, el2])
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=1200.0, seconds_per_sample=1.0)
+        for method in ("grid", "hybrid", "legacy"):
+            result = screen(pop, cfg, method=method)
+            assert (0, 1) in result.unique_pairs(), method
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("method", ["grid", "hybrid"])
+    def test_all_backends_agree_on_population(self, method):
+        pop = generate_population(400, seed=11)
+        cfg = ScreeningConfig(
+            threshold_km=10.0, duration_s=900.0, seconds_per_sample=2.0,
+            hybrid_seconds_per_sample=10.0,
+        )
+        results = {
+            b: screen(pop, cfg, method=method, backend=b)
+            for b in ("vectorized", "serial", "threads")
+        }
+        ref_pairs = results["vectorized"].unique_pairs()
+        for b, r in results.items():
+            assert r.unique_pairs() == ref_pairs, f"{method}/{b}"
+        # PCA values agree to refinement accuracy.
+        for b in ("serial", "threads"):
+            ref = {
+                (c.i, c.j, round(c.tca_s, 1)): c.pca_km
+                for c in results["vectorized"].conjunctions()
+            }
+            for c in results[b].conjunctions():
+                key = (c.i, c.j, round(c.tca_s, 1))
+                if key in ref:
+                    assert c.pca_km == pytest.approx(ref[key], abs=1e-3)
+
+    def test_hashmap_grid_impl_equals_sorted(self):
+        pop = generate_population(300, seed=13)
+        base = ScreeningConfig(threshold_km=10.0, duration_s=600.0, seconds_per_sample=2.0)
+        sorted_res = screen(pop, base, method="grid", backend="vectorized")
+        hm_cfg = ScreeningConfig(
+            threshold_km=10.0, duration_s=600.0, seconds_per_sample=2.0, grid_impl="hashmap"
+        )
+        hm_res = screen(pop, hm_cfg, method="grid", backend="vectorized")
+        assert hm_res.unique_pairs() == sorted_res.unique_pairs()
+        assert hm_res.n_conjunctions == sorted_res.n_conjunctions
+
+
+class TestCrossMethodAgreement:
+    def test_grid_hybrid_legacy_same_pairs(self):
+        pop = generate_population(600, seed=21)
+        cfg = ScreeningConfig(
+            threshold_km=5.0, duration_s=1200.0, seconds_per_sample=2.0,
+            hybrid_seconds_per_sample=10.0,
+        )
+        grid = screen(pop, cfg, method="grid")
+        hybrid = screen(pop, cfg, method="hybrid")
+        legacy = screen(pop, cfg, method="legacy")
+        # The hybrid must find every legacy pair (the paper's accuracy
+        # result: "the hybrid variant finds all the colliding pairs of the
+        # legacy variant").
+        assert legacy.unique_pairs() <= hybrid.unique_pairs()
+        # Grid may miss at most rare brent-edge cases; none expected here.
+        assert legacy.unique_pairs() == grid.unique_pairs()
+
+    def test_constellation_in_shell_screening(self):
+        shell = megaconstellation(
+            n_planes=12, sats_per_plane=20, altitude_km=550.0,
+            inclination_rad=math.radians(53.0),
+        )
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=600.0, seconds_per_sample=2.0)
+        grid = screen(shell, cfg, method="grid")
+        hybrid = screen(shell, cfg, method="hybrid")
+        # A well-phased Walker shell has inter-plane crossings but our
+        # 5 km threshold flags only real geometric near-misses; whatever is
+        # found must agree between methods.
+        assert grid.unique_pairs() == hybrid.unique_pairs()
+
+
+class TestResultMetadata:
+    def test_grid_phase_timers_present(self, crossing_pair):
+        r = screen(crossing_pair, CFG, method="grid")
+        for phase in ("ALLOC", "INS", "CD", "REF"):
+            assert phase in r.timers.totals
+        assert r.extra["cell_size_km"] == pytest.approx(5.0 + 7.8)
+
+    def test_hybrid_has_filter_stats_and_cop_phase(self, crossing_pair):
+        r = screen(crossing_pair, CFG, method="hybrid")
+        assert "COP" in r.timers.totals
+        assert "apogee_perigee" in r.filter_stats
+        assert "orbit_path" in r.filter_stats
+        assert r.extra["cell_size_km"] == pytest.approx(5.0 + 7.8 * 9.0)
+
+    def test_legacy_reports_total_pairs(self, crossing_pair):
+        r = screen(crossing_pair, CFG, method="legacy")
+        assert r.extra["total_pairs"] == 1
+
+    def test_unknown_method_rejected(self, crossing_pair):
+        with pytest.raises(ValueError, match="unknown method"):
+            screen(crossing_pair, CFG, method="octree")
+
+    def test_unknown_backend_rejected(self, crossing_pair):
+        with pytest.raises(ValueError, match="unknown backend"):
+            screen(crossing_pair, CFG, method="grid", backend="mpi")
+
+    def test_default_config(self, crossing_pair):
+        r = screen(crossing_pair, method="hybrid")
+        assert r.method == "hybrid"
+
+
+class TestSmartSieveIntegration:
+    def test_results_unchanged_and_work_reduced(self):
+        pop = generate_population(500, seed=41)
+        base_cfg = ScreeningConfig(threshold_km=5.0, duration_s=900.0, seconds_per_sample=2.0)
+        sieve_cfg = ScreeningConfig(
+            threshold_km=5.0, duration_s=900.0, seconds_per_sample=2.0, use_smart_sieve=True
+        )
+        plain = screen(pop, base_cfg, method="grid", backend="vectorized")
+        sieved = screen(pop, sieve_cfg, method="grid", backend="vectorized")
+        assert sieved.unique_pairs() == plain.unique_pairs()
+        assert sieved.n_conjunctions == plain.n_conjunctions
+        # The sieve must actually remove provably-clean records.
+        assert sieved.extra["sieved_records"] > 0
+        assert sieved.candidates_refined < plain.candidates_refined
+
+    def test_engineered_pair_survives_sieve(self, crossing_pair):
+        cfg = ScreeningConfig(
+            threshold_km=5.0, duration_s=6000.0, seconds_per_sample=1.0, use_smart_sieve=True
+        )
+        result = screen(crossing_pair, cfg, method="grid")
+        assert result.n_conjunctions == 2
+
+
+class TestMemoryBudgetedRounds:
+    def test_budgeted_grid_run_matches_unbudgeted(self, crossing_pair):
+        """Section V-B rounds: a memory budget bounds the parallel steps
+        per round without changing any result."""
+        base = ScreeningConfig(threshold_km=5.0, duration_s=3000.0, seconds_per_sample=2.0)
+        budgeted = ScreeningConfig(
+            threshold_km=5.0, duration_s=3000.0, seconds_per_sample=2.0,
+            memory_budget_bytes=1 * 2**20,  # 1 MiB: a handful of steps/round
+        )
+        plain = screen(crossing_pair, base, method="grid", backend="vectorized")
+        tight = screen(crossing_pair, budgeted, method="grid", backend="vectorized")
+        assert tight.unique_pairs() == plain.unique_pairs()
+        assert tight.n_conjunctions == plain.n_conjunctions
+        plan = tight.extra["memory_plan"]
+        assert plan is not None
+        assert plan.parallel_steps >= 1
+        assert plain.extra["memory_plan"] is None
+
+    def test_hybrid_budget_can_adjust_sps(self):
+        """A hybrid run under a tight budget records its adjusted s_ps."""
+        pop = generate_population(300, seed=5)
+        cfg = ScreeningConfig(
+            threshold_km=2.0, duration_s=3600.0, hybrid_seconds_per_sample=9.0,
+            memory_budget_bytes=2 * 2**20,
+        )
+        result = screen(pop, cfg, method="hybrid", backend="vectorized")
+        plan = result.extra["memory_plan"]
+        assert plan is not None
+        assert result.extra["seconds_per_sample"] == plan.seconds_per_sample

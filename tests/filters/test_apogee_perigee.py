@@ -1,0 +1,83 @@
+"""Apogee/perigee filter: shell-overlap logic and conservativeness."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters.apogee_perigee import apogee_perigee_filter
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+
+
+def _pop(specs):
+    return OrbitalElementsArray.from_elements(
+        [KeplerElements(a=a, e=e, i=0.5, raan=0.1, argp=0.2, m0=0.3) for a, e in specs]
+    )
+
+
+def test_overlapping_shells_survive():
+    pop = _pop([(7000.0, 0.0), (7001.0, 0.0)])
+    keep = apogee_perigee_filter(pop, np.array([0]), np.array([1]), threshold_km=2.0)
+    assert keep.tolist() == [True]
+
+
+def test_separated_shells_excluded():
+    pop = _pop([(7000.0, 0.0), (7100.0, 0.0)])
+    keep = apogee_perigee_filter(pop, np.array([0]), np.array([1]), threshold_km=2.0)
+    assert keep.tolist() == [False]
+
+
+def test_threshold_padding_is_inclusive():
+    # Gap exactly equal to the threshold must survive (boundary counts).
+    pop = _pop([(7000.0, 0.0), (7002.0, 0.0)])
+    keep = apogee_perigee_filter(pop, np.array([0]), np.array([1]), threshold_km=2.0)
+    assert keep.tolist() == [True]
+
+
+def test_eccentric_shells_use_apogee_perigee():
+    # Orbit 1: [6500, 7500]; orbit 2: [7499, 8500]-ish -> overlap.
+    pop = _pop([(7000.0, 1.0 / 14.0), (8000.0, 0.0626)])
+    keep = apogee_perigee_filter(pop, np.array([0]), np.array([1]), threshold_km=2.0)
+    assert keep.tolist() == [True]
+
+
+def test_vectorised_over_many_pairs(small_population):
+    pop = small_population
+    n = len(pop)
+    pair_i = np.repeat(np.arange(10), n - 10)
+    pair_j = np.tile(np.arange(10, n), 10)
+    keep = apogee_perigee_filter(pop, pair_i, pair_j, threshold_km=2.0)
+    # Cross-check a few entries against the scalar definition.
+    for k in (0, 57, 444):
+        i, j = int(pair_i[k]), int(pair_j[k])
+        gap = max(pop.perigee[i], pop.perigee[j]) - min(pop.apogee[i], pop.apogee[j])
+        assert keep[k] == (gap <= 2.0)
+
+
+def test_conservative_against_sampled_distance(small_population):
+    """Excluded pairs can truly never come within the threshold."""
+    from repro.orbits.geometry import sampled_orbit_distance
+
+    pop = small_population
+    rng = np.random.default_rng(1)
+    pair_i = rng.integers(0, len(pop), 60)
+    pair_j = (pair_i + 1 + rng.integers(0, len(pop) - 1, 60)) % len(pop)
+    swap = pair_i > pair_j
+    pair_i[swap], pair_j[swap] = pair_j[swap], pair_i[swap]
+    ok = pair_i < pair_j
+    pair_i, pair_j = pair_i[ok], pair_j[ok]
+    keep = apogee_perigee_filter(pop, pair_i, pair_j, threshold_km=2.0)
+    for k in np.nonzero(~keep)[0][:15]:
+        d = sampled_orbit_distance(pop[int(pair_i[k])], pop[int(pair_j[k])], samples=180)
+        assert d > 2.0
+
+
+def test_negative_threshold_rejected(small_population):
+    with pytest.raises(ValueError):
+        apogee_perigee_filter(small_population, np.array([0]), np.array([1]), -1.0)
+
+
+def test_empty_pair_list(small_population):
+    keep = apogee_perigee_filter(
+        small_population, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 2.0
+    )
+    assert keep.shape == (0,)

@@ -1,0 +1,71 @@
+"""FilterChain composition and statistics."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters.chain import FilterChain, FilterStage
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+
+
+@pytest.fixture()
+def pop():
+    return OrbitalElementsArray.from_elements(
+        [KeplerElements(a=7000.0 + 10 * k, e=0.0, i=0.1, raan=0.0, argp=0.0, m0=0.0) for k in range(6)]
+    )
+
+
+def test_stages_apply_in_order(pop):
+    calls = []
+
+    def stage_a(p, i, j):
+        calls.append("a")
+        return i < 3  # keep pairs whose first index < 3
+
+    def stage_b(p, i, j):
+        calls.append("b")
+        return j % 2 == 0
+
+    chain = FilterChain().add("a", stage_a).add("b", stage_b)
+    pair_i = np.array([0, 1, 4, 2])
+    pair_j = np.array([5, 2, 5, 3])
+    out_i, out_j = chain.apply(pop, pair_i, pair_j)
+    assert calls == ["a", "b"]
+    assert out_i.tolist() == [1]
+    assert out_j.tolist() == [2]
+
+
+def test_stats_count_seen_and_excluded(pop):
+    chain = FilterChain().add("half", lambda p, i, j: i % 2 == 0)
+    chain.apply(pop, np.array([0, 1, 2, 3]), np.array([4, 4, 4, 4]))
+    stats = chain.stats()
+    assert stats["half"] == {"seen": 4, "excluded": 2}
+    chain.reset_stats()
+    assert chain.stats()["half"] == {"seen": 0, "excluded": 0}
+
+
+def test_early_exit_on_empty(pop):
+    calls = []
+
+    def never_called(p, i, j):
+        calls.append("x")
+        return np.ones(len(i), dtype=bool)
+
+    chain = FilterChain().add("kill", lambda p, i, j: np.zeros(len(i), dtype=bool))
+    chain.add("next", never_called)
+    out_i, out_j = chain.apply(pop, np.array([0]), np.array([1]))
+    assert len(out_i) == 0
+    assert calls == []
+
+
+def test_bad_stage_output_rejected(pop):
+    chain = FilterChain().add("bad", lambda p, i, j: np.zeros(len(i), dtype=np.int64))
+    with pytest.raises(TypeError, match="boolean mask"):
+        chain.apply(pop, np.array([0]), np.array([1]))
+
+
+def test_stage_dataclass_direct():
+    stage = FilterStage("s", lambda p, i, j: np.array([True, False]))
+    mask = stage.apply(None, np.array([0, 1]), np.array([2, 3]))
+    assert mask.tolist() == [True, False]
+    assert stage.seen == 2 and stage.excluded == 1

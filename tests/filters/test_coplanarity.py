@@ -1,0 +1,54 @@
+"""Coplanarity classification."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.filters.coplanarity import coplanar_mask, plane_angles
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+
+
+def _pop(incls_raans):
+    return OrbitalElementsArray.from_elements(
+        [
+            KeplerElements(a=7000.0, e=0.001, i=i, raan=r, argp=0.0, m0=0.0)
+            for i, r in incls_raans
+        ]
+    )
+
+
+def test_plane_angles_known_values():
+    pop = _pop([(0.0, 0.0), (math.pi / 2, 0.0), (math.pi / 4, 0.0)])
+    ang = plane_angles(pop, np.array([0, 0]), np.array([1, 2]))
+    np.testing.assert_allclose(ang, [math.pi / 2, math.pi / 4], atol=1e-12)
+
+
+def test_coplanar_same_plane():
+    pop = _pop([(0.5, 1.0), (0.5, 1.0)])
+    assert coplanar_mask(pop, np.array([0]), np.array([1])).tolist() == [True]
+
+
+def test_coplanar_antiparallel_plane():
+    # Prograde vs retrograde in the same geometric plane.
+    pop = _pop([(0.2, 0.0), (math.pi - 0.2, math.pi)])
+    assert coplanar_mask(pop, np.array([0]), np.array([1])).tolist() == [True]
+
+
+def test_non_coplanar():
+    pop = _pop([(0.2, 0.0), (0.9, 2.0)])
+    assert coplanar_mask(pop, np.array([0]), np.array([1])).tolist() == [False]
+
+
+def test_tolerance_is_respected():
+    delta = math.radians(0.8)
+    pop = _pop([(0.5, 0.0), (0.5 + delta, 0.0)])
+    assert coplanar_mask(pop, np.array([0]), np.array([1]), tol_rad=math.radians(1.0)).tolist() == [True]
+    assert coplanar_mask(pop, np.array([0]), np.array([1]), tol_rad=math.radians(0.5)).tolist() == [False]
+
+
+def test_raan_irrelevant_for_equatorial():
+    # i=0 orbits share the equatorial plane regardless of RAAN.
+    pop = _pop([(0.0, 0.0), (1e-9, 3.0)])
+    assert coplanar_mask(pop, np.array([0]), np.array([1])).tolist() == [True]

@@ -1,0 +1,112 @@
+"""Orbit-path filter: node geometry and the conservativeness invariant."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.orbit_path import orbit_path_filter
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.geometry import sampled_orbit_distance
+
+
+def _pop(els):
+    return OrbitalElementsArray.from_elements(els)
+
+
+def _el(a=7000.0, e=0.0, i=0.0, raan=0.0, argp=0.0):
+    return KeplerElements(a=a, e=e, i=i, raan=raan, argp=argp, m0=0.0)
+
+
+def test_crossing_circular_orbits_survive():
+    pop = _pop([_el(i=math.radians(30)), _el(a=7001.0, i=math.radians(60))])
+    keep = orbit_path_filter(pop, np.array([0]), np.array([1]), 2.0)
+    assert keep.tolist() == [True]
+
+
+def test_radially_separated_at_nodes_excluded():
+    # Same planes angle, but radii at the node differ by 60 km.
+    pop = _pop([_el(a=7000.0, i=math.radians(30)), _el(a=7060.0, i=math.radians(60))])
+    keep = orbit_path_filter(pop, np.array([0]), np.array([1]), 2.0)
+    assert keep.tolist() == [False]
+
+
+def test_coplanar_pairs_always_survive():
+    # Identical planes: the filter cannot exclude them.
+    pop = _pop([_el(a=7000.0, i=0.4), _el(a=7500.0, i=0.4)])
+    keep = orbit_path_filter(pop, np.array([0]), np.array([1]), 2.0)
+    assert keep.tolist() == [True]
+
+
+def test_eccentric_orbit_close_at_one_node_only():
+    # Eccentric orbit whose radius matches the circular one at the
+    # ascending node but not the descending node: must survive.
+    e = 0.05
+    a_ecc = 7000.0 / (1.0 - e**2)  # radius at nu=pi/2 equals 7000
+    ecc_orbit = KeplerElements(
+        a=a_ecc, e=e, i=math.radians(50), raan=0.0, argp=math.pi / 2 + 0.0, m0=0.0
+    )
+    # Node line of (i=0) vs (i=50deg, raan=0) is the +x axis; the eccentric
+    # orbit crosses +x at nu = -argp = -pi/2 -> radius = p/(1+e*cos(-pi/2)) = p.
+    circular = _el(a=7000.0, i=0.0)
+    pop = _pop([circular, ecc_orbit])
+    keep = orbit_path_filter(pop, np.array([0]), np.array([1]), 2.0)
+    assert keep.tolist() == [True]
+
+
+def test_empty_input():
+    pop = _pop([_el()])
+    keep = orbit_path_filter(pop, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 2.0)
+    assert keep.shape == (0,)
+
+
+def test_threshold_validation():
+    pop = _pop([_el(), _el(a=7100.0)])
+    with pytest.raises(ValueError):
+        orbit_path_filter(pop, np.array([0]), np.array([1]), 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_conservative_property(seed):
+    """The filter must never exclude a pair whose orbits actually come
+    within the screening threshold (checked against the sampled-distance
+    oracle)."""
+    rng = np.random.default_rng(seed)
+    els = []
+    for _ in range(8):
+        e = rng.uniform(0.0, 0.3)
+        a = rng.uniform(6800.0, 9000.0)
+        els.append(
+            KeplerElements(
+                a=a,
+                e=e,
+                i=rng.uniform(0.0, math.pi),
+                raan=rng.uniform(0.0, 2 * math.pi),
+                argp=rng.uniform(0.0, 2 * math.pi),
+                m0=0.0,
+            )
+        )
+    pop = _pop(els)
+    pair_i, pair_j = np.triu_indices(len(els), k=1)
+    keep = orbit_path_filter(pop, pair_i, pair_j, 5.0)
+    for k in np.nonzero(~keep)[0]:
+        d = sampled_orbit_distance(els[int(pair_i[k])], els[int(pair_j[k])], samples=360)
+        assert d > 5.0, f"filter wrongly excluded a pair with orbit distance {d:.3f} km"
+
+
+def test_survivor_rate_is_meaningful(small_population):
+    """On a realistic population the filter must actually exclude a large
+    share of the shell-overlapping pairs (otherwise it is useless)."""
+    pop = small_population
+    pair_i, pair_j = np.triu_indices(len(pop), k=1)
+    from repro.filters.apogee_perigee import apogee_perigee_filter
+
+    shell = apogee_perigee_filter(pop, pair_i, pair_j, 2.0)
+    pi, pj = pair_i[shell], pair_j[shell]
+    keep = orbit_path_filter(pop, pi, pj, 2.0)
+    assert 0 < keep.sum() < len(keep)
+    assert keep.mean() < 0.8  # excludes a substantial fraction

@@ -1,0 +1,147 @@
+"""Smart sieve: kinematic step-segment exclusion."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters.smart_sieve import (
+    curvature_pad_km,
+    relative_linear_minimum,
+    smart_sieve,
+)
+from repro.orbits.propagation import Propagator
+
+
+class TestLinearMinimum:
+    def test_head_on_pass(self):
+        dr = np.array([[10.0, 0.0, 0.0]])
+        dv = np.array([[-1.0, 0.0, 0.0]])
+        d_min, tau = relative_linear_minimum(dr, dv, dt=20.0)
+        assert d_min[0] == pytest.approx(0.0, abs=1e-12)
+        assert tau[0] == pytest.approx(10.0)
+
+    def test_minimum_outside_step_clamped(self):
+        dr = np.array([[10.0, 0.0, 0.0]])
+        dv = np.array([[-1.0, 0.0, 0.0]])
+        d_min, tau = relative_linear_minimum(dr, dv, dt=3.0)
+        assert tau[0] == 3.0
+        assert d_min[0] == pytest.approx(7.0)
+
+    def test_receding_pair_minimum_at_start(self):
+        dr = np.array([[5.0, 0.0, 0.0]])
+        dv = np.array([[1.0, 0.0, 0.0]])
+        d_min, tau = relative_linear_minimum(dr, dv, dt=10.0)
+        assert tau[0] == 0.0
+        assert d_min[0] == pytest.approx(5.0)
+
+    def test_zero_relative_velocity(self):
+        dr = np.array([[3.0, 4.0, 0.0]])
+        dv = np.zeros((1, 3))
+        d_min, tau = relative_linear_minimum(dr, dv, dt=10.0)
+        assert d_min[0] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_linear_minimum(np.zeros((1, 3)), np.zeros((1, 3)), dt=0.0)
+
+
+class TestCurvaturePad:
+    def test_leo_magnitude(self):
+        # g ~ 8.2e-3 km/s^2 at 7000 km; over 10 s the pad is under a km.
+        pad = curvature_pad_km(np.array([7000.0]), dt=10.0)
+        assert 0.5 < pad[0] < 1.0
+
+    def test_shrinks_with_altitude(self):
+        pads = curvature_pad_km(np.array([7000.0, 42164.0]), dt=10.0)
+        assert pads[1] < pads[0]
+
+
+class TestSmartSieve:
+    def test_far_pair_excluded(self):
+        pos_i = np.array([[7000.0, 0.0, 0.0]])
+        pos_j = np.array([[-7000.0, 0.0, 0.0]])
+        vel = np.array([[0.0, 7.5, 0.0]])
+        keep = smart_sieve(pos_i, pos_j, vel, -vel, dt=10.0, threshold_km=2.0)
+        assert not keep[0]
+
+    def test_closing_pair_kept(self):
+        pos_i = np.array([[7000.0, 0.0, 0.0]])
+        pos_j = np.array([[7000.0, 30.0, 0.0]])
+        vel_i = np.array([[0.0, 7.5, 0.0]])
+        vel_j = np.array([[0.0, 2.0, 0.0]])  # closing at 5.5 km/s
+        keep = smart_sieve(pos_i, pos_j, vel_i, vel_j, dt=10.0, threshold_km=2.0)
+        assert keep[0]
+
+    def test_parallel_pair_outside_threshold_excluded(self):
+        pos_i = np.array([[7000.0, 0.0, 0.0]])
+        pos_j = np.array([[7000.0, 50.0, 0.0]])
+        vel = np.array([[0.0, 7.5, 0.0]])
+        keep = smart_sieve(pos_i, pos_j, vel, vel, dt=5.0, threshold_km=2.0)
+        assert not keep[0]
+
+    def test_conservative_against_real_propagation(self, crossing_pair):
+        """Every sampled step of the engineered conjunction pair during its
+        encounter must survive the sieve."""
+        prop = Propagator(crossing_pair)
+        dt = 5.0
+        kept_any = False
+        for t in np.arange(-30.0, 30.0, dt):
+            pos, vel = prop.states(float(t))
+            keep = smart_sieve(pos[:1], pos[1:], vel[:1], vel[1:], dt=dt, threshold_km=5.0)
+            # During the close-approach window (distance < 5 km happens at
+            # t~0) the sieve must keep the step containing the minimum.
+            if t <= 0.0 < t + dt:
+                assert keep[0], "sieve dropped the segment containing the conjunction"
+                kept_any = True
+        assert kept_any
+
+    def test_sieve_reduces_work_on_population(self, small_population):
+        """On a random population most pair-steps are provably clean."""
+        prop = Propagator(small_population)
+        pos, vel = prop.states(0.0)
+        n = len(small_population)
+        rng = np.random.default_rng(0)
+        i = rng.integers(0, n, 500)
+        j = (i + 1 + rng.integers(0, n - 1, 500)) % n
+        keep = smart_sieve(pos[i], pos[j], vel[i], vel[j], dt=10.0, threshold_km=2.0)
+        assert keep.mean() < 0.05
+
+    def test_validation(self):
+        z = np.zeros((1, 3))
+        with pytest.raises(ValueError):
+            smart_sieve(z, z, z, z, dt=1.0, threshold_km=0.0)
+
+
+class TestSieveProperty:
+    def test_never_drops_truly_close_segments(self, rng):
+        """Property: whenever the true propagated minimum over a step
+        segment is below the threshold, the sieve keeps the pair."""
+        from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+        from repro.detection.pca_tca import PairDistanceScalar
+
+        for seed in range(8):
+            local = np.random.default_rng(seed)
+            a = float(local.uniform(6900, 7300))
+            els = [
+                KeplerElements(
+                    a=a + float(local.uniform(-2, 2)), e=float(local.uniform(0, 0.01)),
+                    i=float(local.uniform(0.2, 2.9)), raan=float(local.uniform(0, 6.28)),
+                    argp=float(local.uniform(0, 6.28)), m0=float(local.uniform(0, 6.28)),
+                )
+                for _ in range(2)
+            ]
+            pop = OrbitalElementsArray.from_elements(els)
+            from repro.orbits.propagation import Propagator
+
+            prop = Propagator(pop)
+            dist = PairDistanceScalar(pop, 0, 1)
+            dt = 10.0
+            threshold = 25.0
+            for t0 in np.arange(0.0, 600.0, dt):
+                true_min = min(dist(float(t)) for t in np.linspace(t0, t0 + dt, 25))
+                pos, vel = prop.states(float(t0))
+                keep = smart_sieve(
+                    pos[:1], pos[1:], vel[:1], vel[1:], dt=dt, threshold_km=threshold
+                )
+                if true_min <= threshold:
+                    assert keep[0], (seed, t0, true_min)

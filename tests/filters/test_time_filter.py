@@ -1,0 +1,184 @@
+"""Time filter: node passage windows and pair overlap."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.filters.time_filter import (
+    intersect_windows,
+    merge_windows,
+    node_passage_windows,
+    pair_overlap_windows,
+)
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.kepler import mean_to_true
+from repro.orbits.propagation import Propagator
+
+
+def _el(a=7000.0, e=0.001, i=0.5, m0=0.0):
+    return KeplerElements(a=a, e=e, i=i, raan=0.0, argp=0.0, m0=m0)
+
+
+class TestNodeWindows:
+    def test_windows_repeat_with_period(self):
+        el = _el()
+        wins = node_passage_windows(el, node_anomaly=1.0, half_width=0.05, span_s=3 * el.period)
+        assert len(wins) == 3
+        starts = [w[0] for w in wins]
+        np.testing.assert_allclose(np.diff(starts), el.period, rtol=1e-9)
+
+    def test_object_is_inside_window(self):
+        """At every time inside a window, the true anomaly is in range."""
+        el = _el(e=0.05)
+        nu0, w = 1.2, 0.08
+        wins = node_passage_windows(el, nu0, w, span_s=2 * el.period)
+        assert wins
+        for lo, hi in wins:
+            for t in np.linspace(lo, hi, 7):
+                m = el.mean_anomaly_at(float(t))
+                nu = float(mean_to_true(m, el.e))
+                delta = (nu - nu0 + math.pi) % (2 * math.pi) - math.pi
+                assert abs(delta) <= w + 1e-6
+
+    def test_object_outside_window_between(self):
+        el = _el(e=0.05)
+        nu0, w = 1.2, 0.05
+        wins = node_passage_windows(el, nu0, w, span_s=2 * el.period)
+        assert len(wins) >= 2
+        mid_gap = 0.5 * (wins[0][1] + wins[1][0])
+        nu = float(mean_to_true(el.mean_anomaly_at(mid_gap), el.e))
+        delta = (nu - nu0 + math.pi) % (2 * math.pi) - math.pi
+        assert abs(delta) > w
+
+    def test_wide_window_covers_span(self):
+        el = _el()
+        assert node_passage_windows(el, 0.0, math.pi, 100.0) == [(0.0, 100.0)]
+
+    def test_window_open_at_start(self):
+        # m0 puts the object inside the window at t=0.
+        el = _el(m0=1.0)
+        wins = node_passage_windows(el, node_anomaly=1.0, half_width=0.1, span_s=el.period)
+        assert wins[0][0] == 0.0
+
+    def test_validation(self):
+        el = _el()
+        with pytest.raises(ValueError):
+            node_passage_windows(el, 0.0, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            node_passage_windows(el, 0.0, 0.0, 100.0)
+
+
+class TestWindowAlgebra:
+    def test_intersection(self):
+        a = [(0.0, 10.0), (20.0, 30.0)]
+        b = [(5.0, 25.0)]
+        assert intersect_windows(a, b) == [(5.0, 10.0), (20.0, 25.0)]
+
+    def test_intersection_empty(self):
+        assert intersect_windows([(0.0, 1.0)], [(2.0, 3.0)]) == []
+
+    def test_merge_with_slack(self):
+        wins = [(0.0, 1.0), (1.5, 2.0), (5.0, 6.0)]
+        assert merge_windows(wins, slack_s=0.6) == [(0.0, 2.0), (5.0, 6.0)]
+
+    def test_merge_unsorted_input(self):
+        assert merge_windows([(5.0, 6.0), (0.0, 1.0), (0.5, 2.0)]) == [(0.0, 2.0), (5.0, 6.0)]
+
+    def test_merge_empty(self):
+        assert merge_windows([]) == []
+
+
+class TestPairOverlap:
+    def test_conjunction_time_is_inside_a_window(self, crossing_pair):
+        """The engineered conjunction at t~0 must fall inside the overlap
+        windows computed from the pair's node geometry."""
+        pop = crossing_pair
+        from repro.filters.orbit_path import _node_anomalies
+
+        nu_i, nu_j = _node_anomalies(pop, np.array([0]), np.array([1]))
+        span = 6000.0
+        wins = pair_overlap_windows(
+            pop[0], pop[1], float(nu_i[0]), float(nu_j[0]),
+            half_width_i=0.05, half_width_j=0.05, span_s=span, pad_s=10.0,
+        )
+        assert wins
+        # t=0 conjunction (PCA 1.2 km) and the later one near t=2914.5 s.
+        for t_conj in (0.5, 2914.5):
+            assert any(lo <= t_conj <= hi for lo, hi in wins), (t_conj, wins)
+
+    def test_overlap_windows_shrink_search_space(self, crossing_pair):
+        pop = crossing_pair
+        from repro.filters.orbit_path import _node_anomalies
+
+        nu_i, nu_j = _node_anomalies(pop, np.array([0]), np.array([1]))
+        span = 6000.0
+        wins = pair_overlap_windows(
+            pop[0], pop[1], float(nu_i[0]), float(nu_j[0]),
+            half_width_i=0.05, half_width_j=0.05, span_s=span,
+        )
+        covered = sum(hi - lo for lo, hi in wins)
+        assert covered < 0.5 * span
+
+
+class TestConservativenessProperty:
+    """The windows fed to the hybrid's non-coplanar refinement must always
+    contain the true conjunction times (otherwise the hybrid could clip a
+    real event)."""
+
+    def test_random_crossing_geometries(self):
+        import math
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.detection.scan import scan_pair_windows
+        from repro.filters.coplanarity import plane_angles
+        from repro.filters.orbit_path import _node_anomalies
+
+        @settings(max_examples=15, deadline=None)
+        @given(st.integers(min_value=0, max_value=2**31 - 1))
+        def check(seed):
+            rng = np.random.default_rng(seed)
+            a = float(rng.uniform(6900.0, 7400.0))
+            el1 = KeplerElements(
+                a=a, e=float(rng.uniform(0, 0.02)),
+                i=float(rng.uniform(0.3, math.pi - 0.3)),
+                raan=float(rng.uniform(0, 2 * math.pi)),
+                argp=float(rng.uniform(0, 2 * math.pi)), m0=float(rng.uniform(0, 2 * math.pi)),
+            )
+            el2 = KeplerElements(
+                a=a + float(rng.uniform(-3.0, 3.0)), e=float(rng.uniform(0, 0.02)),
+                i=float(rng.uniform(0.3, math.pi - 0.3)),
+                raan=float(rng.uniform(0, 2 * math.pi)),
+                argp=float(rng.uniform(0, 2 * math.pi)), m0=float(rng.uniform(0, 2 * math.pi)),
+            )
+            pop = OrbitalElementsArray.from_elements([el1, el2])
+            span = 6000.0
+            threshold = 20.0
+            # Ground truth: all sub-threshold minima over the span.
+            truth = scan_pair_windows(pop, 0, 1, [(0.0, span)], threshold,
+                                      samples_per_period=60)
+            if not truth:
+                return
+            ang = float(plane_angles(pop, np.array([0]), np.array([1]))[0])
+            if ang < math.radians(1.0) or math.pi - ang < math.radians(1.0):
+                return  # coplanar pairs take the other refinement path
+            nu_i, nu_j = _node_anomalies(pop, np.array([0]), np.array([1]))
+            s_alpha = max(math.sin(ang), 1e-12)
+            w_i = math.asin(min(threshold / (pop.perigee[0] * s_alpha), 1.0))
+            w_j = math.asin(min(threshold / (pop.perigee[1] * s_alpha), 1.0))
+            w_i = max(2.0 * w_i, math.radians(0.5))
+            w_j = max(2.0 * w_j, math.radians(0.5))
+            windows = pair_overlap_windows(
+                pop[0], pop[1], float(nu_i[0]), float(nu_j[0]), w_i, w_j,
+                span_s=span, pad_s=30.0,
+            )
+            for tca, _pca in truth:
+                if 0.0 < tca < span:
+                    assert any(lo - 1.0 <= tca <= hi + 1.0 for lo, hi in windows), (
+                        seed, tca, windows
+                    )
+
+        check()

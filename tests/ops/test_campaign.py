@@ -1,0 +1,94 @@
+"""Screening campaigns: epoch advance, event tracking, risk summaries."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detection.types import ScreeningConfig
+from repro.ops.campaign import ScreeningCampaign
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+
+CFG = ScreeningConfig(threshold_km=5.0, duration_s=2000.0, seconds_per_sample=1.0,
+                      hybrid_seconds_per_sample=8.0)
+
+
+@pytest.fixture()
+def periodic_pair(crossing_pair):
+    """The engineered pair: conjunctions near t=0 and every ~2915 s."""
+    return crossing_pair
+
+
+class TestEpochAdvance:
+    def test_two_body_advance_matches_propagation(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG)
+        advanced = campaign._advanced_population(1234.0)
+        p_direct = Propagator(periodic_pair).positions(1234.0)
+        p_advanced = Propagator(advanced).positions(0.0)
+        np.testing.assert_allclose(p_advanced, p_direct, atol=1e-6)
+
+    def test_j2_advance_moves_the_plane(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG, use_j2=True)
+        advanced = campaign._advanced_population(86400.0)
+        drift = (advanced.raan - periodic_pair.raan + math.pi) % (2 * math.pi) - math.pi
+        assert np.all(drift < 0.0)  # prograde planes regress
+
+
+class TestEventTracking:
+    def test_windows_find_the_periodic_conjunctions(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")
+        campaign.run(3)  # covers [0, 6000): sub-threshold TCAs at ~0 and ~2915
+        assert campaign.total_conjunctions_seen >= 2
+        assert len(campaign.events) >= 2
+        # Absolute TCAs line up with the known encounter cadence.
+        tcas = sorted(ev.tca_abs_s for ev in campaign.events)
+        assert tcas[0] == pytest.approx(0.0, abs=5.0)
+        assert tcas[1] == pytest.approx(2914.5, abs=5.0)
+
+    def test_same_event_not_duplicated_across_overlap(self, periodic_pair):
+        """A conjunction found twice at the same absolute TCA merges."""
+        campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")
+        campaign.run(2)
+        n_events = len(campaign.events)
+        # Re-screen window 0's span manually: inject duplicates.
+        for ev in list(campaign.events):
+            campaign.events_before = n_events
+            match = campaign._find_event(ev.i, ev.j, ev.tca_abs_s + 1.0)
+            assert match is ev  # within tolerance -> same event
+
+    def test_day_summaries(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")
+        days = campaign.run(2)
+        assert [d.window for d in days] == [0, 1]
+        assert days[1].start_s == pytest.approx(CFG.duration_s)
+        assert all(d.new_events + d.reobserved_events == d.result.n_conjunctions for d in days)
+
+    def test_run_validation(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG)
+        with pytest.raises(ValueError):
+            campaign.run(0)
+
+
+class TestRiskSummary:
+    def test_sorted_by_probability(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")
+        campaign.run(3)
+        summary = campaign.risk_summary()
+        probs = [p for _, _, p in summary]
+        assert probs == sorted(probs, reverse=True)
+        assert all(0.0 <= p <= 1.0 for p in probs)
+
+    def test_longer_lead_means_larger_sigma(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")
+        campaign.run(1)  # only the first window: later TCAs unseen
+        summary = campaign.risk_summary(sigma0_km=0.1, growth_km_per_day=1.0)
+        assert summary  # at least the t~0 event
+        for ev, sigma, _ in summary:
+            assert sigma >= 0.1
+
+    def test_validation(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG)
+        with pytest.raises(ValueError):
+            campaign.risk_summary(sigma0_km=0.0)

@@ -1,0 +1,120 @@
+"""KeplerElements and OrbitalElementsArray: validation and derived values."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import MU_EARTH, TWO_PI
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+
+
+def _iss_like() -> KeplerElements:
+    return KeplerElements(a=6790.0, e=0.0005, i=math.radians(51.6), raan=1.0, argp=2.0, m0=0.5)
+
+
+class TestKeplerElements:
+    def test_period_matches_keplers_third_law(self):
+        el = _iss_like()
+        expected = TWO_PI * math.sqrt(el.a**3 / MU_EARTH)
+        assert el.period == pytest.approx(expected, rel=1e-12)
+        # ISS period is about 92-93 minutes.
+        assert 90 * 60 < el.period < 95 * 60
+
+    def test_mean_motion_times_period_is_two_pi(self):
+        el = _iss_like()
+        assert el.mean_motion * el.period == pytest.approx(TWO_PI)
+
+    def test_apogee_perigee(self):
+        el = KeplerElements(a=10000.0, e=0.2, i=0.1, raan=0.0, argp=0.0, m0=0.0)
+        assert el.apogee == pytest.approx(12000.0)
+        assert el.perigee == pytest.approx(8000.0)
+        assert el.semi_latus_rectum == pytest.approx(10000.0 * (1 - 0.04))
+
+    def test_angular_momentum(self):
+        el = _iss_like()
+        assert el.specific_angular_momentum == pytest.approx(
+            math.sqrt(MU_EARTH * el.semi_latus_rectum)
+        )
+
+    def test_mean_anomaly_advances_linearly_and_wraps(self):
+        el = _iss_like()
+        assert el.mean_anomaly_at(0.0) == pytest.approx(el.m0)
+        assert el.mean_anomaly_at(el.period) == pytest.approx(el.m0, abs=1e-9)
+        quarter = el.mean_anomaly_at(el.period / 4)
+        assert quarter == pytest.approx((el.m0 + math.pi / 2) % TWO_PI)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(a=-1.0, e=0.1, i=0.1, raan=0, argp=0, m0=0),
+            dict(a=0.0, e=0.1, i=0.1, raan=0, argp=0, m0=0),
+            dict(a=7000.0, e=1.0, i=0.1, raan=0, argp=0, m0=0),
+            dict(a=7000.0, e=-0.1, i=0.1, raan=0, argp=0, m0=0),
+            dict(a=7000.0, e=0.1, i=4.0, raan=0, argp=0, m0=0),
+        ],
+    )
+    def test_invalid_elements_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            KeplerElements(**kwargs)
+
+
+class TestOrbitalElementsArray:
+    def test_from_elements_round_trip(self):
+        els = [_iss_like(), KeplerElements(a=42164.0, e=0.0004, i=0.01, raan=3.0, argp=1.0, m0=2.0)]
+        pop = OrbitalElementsArray.from_elements(els)
+        assert len(pop) == 2
+        back = pop[1]
+        assert back == els[1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OrbitalElementsArray(
+                a=np.array([7000.0, 8000.0]),
+                e=np.array([0.0]),
+                i=np.array([0.0, 0.0]),
+                raan=np.array([0.0, 0.0]),
+                argp=np.array([0.0, 0.0]),
+                m0=np.array([0.0, 0.0]),
+            )
+
+    def test_invalid_values_rejected(self):
+        ok = np.array([0.0, 0.0])
+        with pytest.raises(ValueError):
+            OrbitalElementsArray(np.array([7000.0, -1.0]), ok, ok, ok, ok, ok)
+        with pytest.raises(ValueError):
+            OrbitalElementsArray(np.array([7000.0, 8000.0]), np.array([0.0, 1.0]), ok, ok, ok, ok)
+
+    def test_subset_and_concatenate(self):
+        els = [
+            KeplerElements(a=7000.0 + 100 * k, e=0.001 * k, i=0.1, raan=0.2, argp=0.3, m0=0.4)
+            for k in range(5)
+        ]
+        pop = OrbitalElementsArray.from_elements(els)
+        sub = pop.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        assert sub[0] == els[1]
+        merged = OrbitalElementsArray.concatenate([sub, pop.subset(np.array([0]))])
+        assert len(merged) == 3
+        assert merged[2] == els[0]
+
+    def test_vectorised_derived_quantities_match_scalar(self, small_population):
+        pop = small_population
+        for k in (0, 17, 101):
+            el = pop[k]
+            assert pop.period[k] == pytest.approx(el.period)
+            assert pop.apogee[k] == pytest.approx(el.apogee)
+            assert pop.perigee[k] == pytest.approx(el.perigee)
+
+    def test_mean_anomaly_at_vectorised(self, small_population):
+        pop = small_population
+        t = 1234.5
+        m = pop.mean_anomaly_at(t)
+        el = pop[3]
+        assert m[3] == pytest.approx(el.mean_anomaly_at(t))
+        assert np.all((m >= 0) & (m < TWO_PI))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            OrbitalElementsArray.from_elements([])

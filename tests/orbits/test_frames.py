@@ -1,0 +1,63 @@
+"""Perifocal->ECI rotations and orbit-plane normals."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.orbits.frames import orbit_normal, perifocal_to_eci_matrix
+
+
+class TestRotationMatrix:
+    def test_identity_for_zero_angles(self):
+        np.testing.assert_allclose(perifocal_to_eci_matrix(0.0, 0.0, 0.0), np.eye(3), atol=1e-15)
+
+    def test_orthonormal(self, rng):
+        for _ in range(20):
+            i, raan, argp = rng.uniform(0, math.pi), rng.uniform(0, 2 * math.pi), rng.uniform(0, 2 * math.pi)
+            rot = perifocal_to_eci_matrix(i, raan, argp)
+            np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+            assert np.linalg.det(rot) == pytest.approx(1.0)
+
+    def test_third_column_is_orbit_normal(self, rng):
+        for _ in range(10):
+            i, raan, argp = rng.uniform(0, math.pi), rng.uniform(0, 2 * math.pi), rng.uniform(0, 2 * math.pi)
+            rot = perifocal_to_eci_matrix(i, raan, argp)
+            np.testing.assert_allclose(rot[:, 2], orbit_normal(i, raan), atol=1e-12)
+
+    def test_batch_matches_scalar(self, rng):
+        i = rng.uniform(0, math.pi, 7)
+        raan = rng.uniform(0, 2 * math.pi, 7)
+        argp = rng.uniform(0, 2 * math.pi, 7)
+        batch = perifocal_to_eci_matrix(i, raan, argp)
+        assert batch.shape == (7, 3, 3)
+        for k in range(7):
+            np.testing.assert_allclose(
+                batch[k], perifocal_to_eci_matrix(float(i[k]), float(raan[k]), float(argp[k]))
+            )
+
+    def test_equatorial_orbit_rotates_in_xy_plane(self):
+        rot = perifocal_to_eci_matrix(0.0, 0.0, math.pi / 2)
+        # argp rotates P into +y for zero inclination/raan.
+        np.testing.assert_allclose(rot[:, 0], [0.0, 1.0, 0.0], atol=1e-12)
+
+
+class TestOrbitNormal:
+    def test_equatorial_normal_is_z(self):
+        np.testing.assert_allclose(orbit_normal(0.0, 1.23), [0, 0, 1], atol=1e-12)
+
+    def test_polar_normal_in_equatorial_plane(self):
+        n = orbit_normal(math.pi / 2, 0.0)
+        assert n[2] == pytest.approx(0.0, abs=1e-12)
+        assert np.linalg.norm(n) == pytest.approx(1.0)
+
+    def test_retrograde_normal_points_down(self):
+        assert orbit_normal(math.pi, 0.0)[2] == pytest.approx(-1.0)
+
+    def test_batch_shape_and_unit_norm(self, rng):
+        i = rng.uniform(0, math.pi, 11)
+        raan = rng.uniform(0, 2 * math.pi, 11)
+        normals = orbit_normal(i, raan)
+        assert normals.shape == (11, 3)
+        np.testing.assert_allclose(np.linalg.norm(normals, axis=1), 1.0)

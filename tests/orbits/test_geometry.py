@@ -1,0 +1,118 @@
+"""Orbit-to-orbit geometry: plane angles, node lines, sampled distances."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.orbits.elements import KeplerElements
+from repro.orbits.geometry import (
+    is_coplanar,
+    mutual_node_line,
+    node_crossing_radii,
+    plane_angle,
+    radius_at_true_anomaly,
+    sampled_orbit_distance,
+    true_anomaly_of_direction,
+)
+
+
+def _el(a=7000.0, e=0.0, i=0.0, raan=0.0, argp=0.0, m0=0.0) -> KeplerElements:
+    return KeplerElements(a=a, e=e, i=i, raan=raan, argp=argp, m0=m0)
+
+
+class TestPlaneAngle:
+    def test_same_plane_zero(self):
+        assert plane_angle(_el(i=0.5, raan=1.0), _el(a=8000, i=0.5, raan=1.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_perpendicular_planes(self):
+        assert plane_angle(_el(i=0.0), _el(i=math.pi / 2)) == pytest.approx(math.pi / 2)
+
+    def test_coplanar_detection_with_tolerance(self):
+        assert is_coplanar(_el(i=0.5), _el(i=0.5 + math.radians(0.5)))
+        assert not is_coplanar(_el(i=0.5), _el(i=0.5 + math.radians(5.0)))
+        # Anti-parallel planes (prograde vs retrograde) are coplanar too.
+        assert is_coplanar(_el(i=0.01), _el(i=math.pi - 0.01, raan=math.pi))
+
+
+class TestNodeLine:
+    def test_coplanar_raises(self):
+        with pytest.raises(ValueError, match="coplanar"):
+            mutual_node_line(_el(i=0.3), _el(i=0.3))
+
+    def test_node_line_in_both_planes(self):
+        e1 = _el(i=math.radians(50), raan=0.3)
+        e2 = _el(i=math.radians(70), raan=1.1)
+        node = mutual_node_line(e1, e2)
+        from repro.orbits.frames import orbit_normal
+
+        assert abs(np.dot(node, orbit_normal(e1.i, e1.raan))) < 1e-12
+        assert abs(np.dot(node, orbit_normal(e2.i, e2.raan))) < 1e-12
+        assert np.linalg.norm(node) == pytest.approx(1.0)
+
+    def test_equatorial_vs_inclined_node_is_line_of_nodes(self):
+        e1 = _el(i=0.0)
+        e2 = _el(i=math.radians(45), raan=0.0)
+        node = mutual_node_line(e1, e2)
+        # The inclined orbit ascends through the equator along +x (raan=0).
+        np.testing.assert_allclose(np.abs(node), [1.0, 0.0, 0.0], atol=1e-12)
+
+
+class TestAnomalyOfDirection:
+    def test_perigee_direction_is_zero(self):
+        el = _el(e=0.1, i=0.4, raan=0.7, argp=1.3)
+        from repro.orbits.frames import perifocal_to_eci_matrix
+
+        p_axis = perifocal_to_eci_matrix(el.i, el.raan, el.argp)[:, 0]
+        assert true_anomaly_of_direction(el, p_axis) == pytest.approx(0.0, abs=1e-12)
+
+    def test_quarter_orbit_direction(self):
+        el = _el(e=0.1, i=0.4, raan=0.7, argp=1.3)
+        from repro.orbits.frames import perifocal_to_eci_matrix
+
+        q_axis = perifocal_to_eci_matrix(el.i, el.raan, el.argp)[:, 1]
+        assert true_anomaly_of_direction(el, q_axis) == pytest.approx(math.pi / 2)
+
+    def test_out_of_plane_direction_rejected(self):
+        el = _el(i=0.0)
+        with pytest.raises(ValueError):
+            true_anomaly_of_direction(el, np.array([0.0, 0.0, 1.0]))
+
+
+class TestRadii:
+    def test_radius_formula(self):
+        el = _el(a=10000.0, e=0.3)
+        assert radius_at_true_anomaly(el, 0.0) == pytest.approx(7000.0)
+        assert radius_at_true_anomaly(el, math.pi) == pytest.approx(13000.0)
+
+    def test_node_crossing_radii_symmetry_for_circular(self):
+        e1 = _el(a=7000.0, i=math.radians(30))
+        e2 = _el(a=7005.0, i=math.radians(60))
+        (r1a, r2a), (r1d, r2d) = node_crossing_radii(e1, e2)
+        assert r1a == pytest.approx(7000.0)
+        assert r1d == pytest.approx(7000.0)
+        assert r2a == pytest.approx(7005.0)
+        assert r2d == pytest.approx(7005.0)
+
+
+class TestSampledOrbitDistance:
+    def test_concentric_circular_orbits(self):
+        d = sampled_orbit_distance(_el(a=7000.0), _el(a=7100.0, i=1e-6))
+        assert d == pytest.approx(100.0, abs=0.5)
+
+    def test_crossing_orbits_distance_near_zero(self):
+        e1 = _el(a=7000.0, i=math.radians(40))
+        e2 = _el(a=7000.0, i=math.radians(80))
+        assert sampled_orbit_distance(e1, e2) < 1.0
+
+    def test_distance_is_symmetric(self):
+        e1 = _el(a=7000.0, e=0.05, i=0.3, raan=0.1, argp=0.7)
+        e2 = _el(a=8500.0, e=0.12, i=1.1, raan=2.0, argp=3.0)
+        d12 = sampled_orbit_distance(e1, e2)
+        d21 = sampled_orbit_distance(e2, e1)
+        assert d12 == pytest.approx(d21, rel=1e-6)
+
+    def test_separated_shells(self):
+        d = sampled_orbit_distance(_el(a=7000.0), _el(a=9000.0, i=0.5))
+        assert d > 1500.0

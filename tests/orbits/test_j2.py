@@ -1,0 +1,99 @@
+"""J2 secular propagation."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import R_EARTH
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.j2 import J2Propagator, j2_secular_rates, nodal_regression_period_days
+from repro.orbits.propagation import Propagator
+
+
+def _pop(i_deg: float, a: float = 7000.0, e: float = 0.001) -> OrbitalElementsArray:
+    return OrbitalElementsArray.from_elements(
+        [KeplerElements(a=a, e=e, i=math.radians(i_deg), raan=0.3, argp=0.7, m0=0.1)]
+    )
+
+
+class TestSecularRates:
+    def test_prograde_node_regresses(self):
+        raan_dot, _, _ = j2_secular_rates(_pop(51.6))
+        assert raan_dot[0] < 0.0  # westward regression for prograde orbits
+
+    def test_retrograde_node_progresses(self):
+        raan_dot, _, _ = j2_secular_rates(_pop(98.0))
+        assert raan_dot[0] > 0.0  # the SSO trick
+
+    def test_polar_orbit_node_frozen(self):
+        raan_dot, _, _ = j2_secular_rates(_pop(90.0))
+        assert raan_dot[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_critical_inclination_freezes_perigee(self):
+        # 5 cos^2(i) = 1 at i = 63.43 degrees.
+        _, argp_dot, _ = j2_secular_rates(_pop(63.4349488))
+        assert argp_dot[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_iss_regression_rate_magnitude(self):
+        """ISS-like orbit: node regresses about 5 degrees per day."""
+        raan_dot, _, _ = j2_secular_rates(_pop(51.6, a=R_EARTH + 420.0, e=0.0005))
+        deg_per_day = math.degrees(raan_dot[0]) * 86400.0
+        assert deg_per_day == pytest.approx(-5.0, abs=0.3)
+
+    def test_sun_synchronous_design(self):
+        """A ~98-degree 700 km orbit precesses ~0.986 deg/day (sun-synch)."""
+        raan_dot, _, _ = j2_secular_rates(_pop(98.19, a=R_EARTH + 700.0, e=0.001))
+        deg_per_day = math.degrees(raan_dot[0]) * 86400.0
+        assert deg_per_day == pytest.approx(0.986, abs=0.05)
+
+    def test_regression_period(self):
+        days = nodal_regression_period_days(_pop(51.6, a=R_EARTH + 420.0))
+        assert 60 < days[0] < 90  # ~72 days for the ISS plane
+
+
+class TestJ2Propagator:
+    def test_matches_two_body_at_t0(self):
+        pop = _pop(51.6)
+        np.testing.assert_allclose(
+            J2Propagator(pop).positions(0.0), Propagator(pop).positions(0.0), atol=1e-9
+        )
+
+    def test_diverges_from_two_body_over_a_day(self):
+        pop = _pop(51.6)
+        j2 = J2Propagator(pop).positions(86400.0)
+        kepler = Propagator(pop).positions(86400.0)
+        assert np.linalg.norm(j2 - kepler) > 10.0  # secular drift is visible
+
+    def test_radius_stays_in_shell(self):
+        pop = _pop(51.6, e=0.01)
+        prop = J2Propagator(pop)
+        for t in np.linspace(0, 2 * 86400, 30):
+            r = np.linalg.norm(prop.positions(float(t)), axis=1)
+            assert pop.perigee[0] - 1e-6 <= r[0] <= pop.apogee[0] + 1e-6
+
+    def test_node_drift_direction_in_positions(self):
+        """After half a nodal period the ascending node has visibly moved
+        westward for a prograde orbit."""
+        pop = _pop(51.6)
+        prop = J2Propagator(pop)
+        raan_0, _, _ = prop.elements_at(0.0)
+        raan_later, _, _ = prop.elements_at(10 * 86400.0)
+        drift = (raan_later[0] - raan_0[0] + math.pi) % (2 * math.pi) - math.pi
+        assert drift < -0.1  # westward
+
+    def test_speeds_match_vis_viva_shape(self):
+        pop = _pop(30.0, e=0.2)
+        prop = J2Propagator(pop)
+        s = prop.speeds(1234.0)
+        assert 3.0 < s[0] < 11.0
+
+    def test_equatorial_orbit_m_drift_positive(self):
+        # For i=0, 3cos^2(i)-1 = 2 > 0: J2 speeds up the mean motion.
+        _, _, m_dot = j2_secular_rates(_pop(0.0))
+        assert m_dot[0] > 0.0
+
+    def test_memory_bytes(self):
+        pop = _pop(51.6)
+        assert J2Propagator(pop).memory_bytes == 3 * 8

@@ -1,0 +1,151 @@
+"""Kepler-equation solvers: accuracy, inverse property, cross-validation."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import TWO_PI
+from repro.orbits.kepler import (
+    SOLVERS,
+    eccentric_to_mean,
+    eccentric_to_true,
+    mean_to_eccentric,
+    mean_to_true,
+    solve_kepler_bisect,
+    solve_kepler_contour,
+    solve_kepler_halley,
+    solve_kepler_newton,
+    true_to_eccentric,
+    true_to_mean,
+)
+
+ALL_SOLVERS = [solve_kepler_newton, solve_kepler_halley, solve_kepler_bisect, solve_kepler_contour]
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS)
+def test_residual_is_tiny_across_grid(solver):
+    m = np.linspace(0.0, TWO_PI, 257)
+    for e in (0.0, 0.001, 0.1, 0.5, 0.8):
+        E = solver(m, e)
+        residual = E - e * np.sin(E) - np.mod(m, TWO_PI)
+        # Wrap residual to (-pi, pi] to ignore full-turn offsets.
+        residual = (residual + math.pi) % TWO_PI - math.pi
+        assert np.abs(residual).max() < 1e-9, f"e={e}"
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS)
+def test_scalar_input_gives_scalar_output(solver):
+    out = solver(1.234, 0.3)
+    assert isinstance(out, float)
+    assert abs(out - 0.3 * math.sin(out) - 1.234) < 1e-9
+
+
+def test_circular_orbit_is_identity():
+    m = np.linspace(0, TWO_PI, 50, endpoint=False)
+    for solver in ALL_SOLVERS:
+        np.testing.assert_allclose(solver(m, 0.0), m, atol=1e-9)
+
+
+def test_half_turn_is_exact():
+    # At M = pi, E = pi exactly for every eccentricity.
+    for solver in ALL_SOLVERS:
+        assert abs(solver(math.pi, 0.7) - math.pi) < 1e-9
+
+
+def test_solvers_agree_pairwise():
+    m = np.linspace(0.01, TWO_PI - 0.01, 101)
+    for e in (0.05, 0.4, 0.75):
+        results = [solver(m, e) for solver in ALL_SOLVERS]
+        for other in results[1:]:
+            np.testing.assert_allclose(results[0], other, atol=1e-8)
+
+
+def test_array_eccentricity_broadcast():
+    m = np.array([0.5, 1.0, 2.0, 4.0])
+    e = np.array([0.1, 0.3, 0.6, 0.05])
+    E = solve_kepler_newton(m, e)
+    residual = E - e * np.sin(E) - m
+    assert np.abs(residual).max() < 1e-10
+
+
+def test_invalid_eccentricity_raises():
+    for bad in (-0.1, 1.0, 1.5):
+        with pytest.raises(ValueError):
+            solve_kepler_newton(1.0, bad)
+
+
+def test_contour_requires_enough_points():
+    with pytest.raises(ValueError):
+        solve_kepler_contour(1.0, 0.5, n_points=4)
+
+
+def test_unknown_solver_name_rejected():
+    with pytest.raises(ValueError, match="unknown Kepler solver"):
+        mean_to_eccentric(1.0, 0.1, solver="cordic")
+
+
+def test_solver_registry_contains_all():
+    assert set(SOLVERS) == {"newton", "halley", "bisect", "contour"}
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    m=st.floats(min_value=0.0, max_value=TWO_PI, exclude_max=True),
+    e=st.floats(min_value=0.0, max_value=0.9),
+)
+def test_inverse_property_mean_eccentric(m, e):
+    """M -> E -> M is the identity (Kepler's equation forward)."""
+    E = solve_kepler_newton(m, e)
+    m_back = eccentric_to_mean(E, e)
+    assert abs((m_back - m + math.pi) % TWO_PI - math.pi) < 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    nu=st.floats(min_value=0.0, max_value=TWO_PI, exclude_max=True),
+    e=st.floats(min_value=0.0, max_value=0.9),
+)
+def test_inverse_property_true_eccentric(nu, e):
+    E = true_to_eccentric(nu, e)
+    nu_back = eccentric_to_true(E, e)
+    assert abs((nu_back - nu + math.pi) % TWO_PI - math.pi) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    m=st.floats(min_value=0.0, max_value=TWO_PI, exclude_max=True),
+    e=st.floats(min_value=0.0, max_value=0.85),
+)
+def test_round_trip_mean_true(m, e):
+    nu = mean_to_true(m, e)
+    m_back = true_to_mean(nu, e)
+    assert abs((m_back - m + math.pi) % TWO_PI - math.pi) < 1e-8
+
+
+def test_true_anomaly_quadrants():
+    # At E = pi/2 with e=0.5, nu must be in the second quadrant-ish region
+    # (true anomaly leads eccentric anomaly on the outbound leg).
+    nu = eccentric_to_true(math.pi / 2, 0.5)
+    assert math.pi / 2 < nu < math.pi
+
+
+def test_contour_matches_newton_batch():
+    rng = np.random.default_rng(3)
+    m = rng.uniform(0, TWO_PI, 500)
+    for e in (0.01, 0.3, 0.7):
+        np.testing.assert_allclose(
+            solve_kepler_contour(m, e), solve_kepler_newton(m, e), atol=1e-9
+        )
+
+
+def test_contour_with_per_element_eccentricity():
+    rng = np.random.default_rng(4)
+    m = rng.uniform(0, TWO_PI, 200)
+    e = rng.uniform(0.0, 0.8, 200)
+    np.testing.assert_allclose(
+        solve_kepler_contour(m, e), solve_kepler_newton(m, e), atol=1e-9
+    )

@@ -1,0 +1,157 @@
+"""Two-body propagation: physics invariants and batch/scalar consistency."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import MU_EARTH
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.propagation import Propagator, propagate_all, propagate_one
+
+
+def _pop() -> OrbitalElementsArray:
+    return OrbitalElementsArray.from_elements(
+        [
+            KeplerElements(a=7000.0, e=0.001, i=0.9, raan=0.3, argp=1.2, m0=0.0),
+            KeplerElements(a=26560.0, e=0.01, i=0.96, raan=2.0, argp=0.5, m0=3.0),
+            KeplerElements(a=24000.0, e=0.7, i=0.4, raan=4.0, argp=5.0, m0=1.0),
+        ]
+    )
+
+
+class TestPositions:
+    def test_radius_within_perigee_apogee(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        for t in np.linspace(0, 20000, 40):
+            r = np.linalg.norm(prop.positions(float(t)), axis=1)
+            assert np.all(r >= pop.perigee - 1e-6)
+            assert np.all(r <= pop.apogee + 1e-6)
+
+    def test_periodicity(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        p0 = prop.positions(0.0)
+        for k in range(len(pop)):
+            period = float(pop.period[k])
+            p_after = prop.positions(period)
+            np.testing.assert_allclose(p_after[k], p0[k], atol=1e-6)
+
+    def test_position_at_perigee_and_apogee(self):
+        el = KeplerElements(a=10000.0, e=0.3, i=0.0, raan=0.0, argp=0.0, m0=0.0)
+        # m0=0 means the object starts at perigee, on the +x axis.
+        pos = propagate_one(el, 0.0)
+        np.testing.assert_allclose(pos, [7000.0, 0.0, 0.0], atol=1e-9)
+        # Half a period later it is at apogee on the -x axis.
+        pos = propagate_one(el, el.period / 2)
+        np.testing.assert_allclose(pos, [-13000.0, 0.0, 0.0], atol=1e-6)
+
+    def test_propagate_all_matches_propagator(self):
+        pop = _pop()
+        np.testing.assert_allclose(
+            propagate_all(pop, 500.0), Propagator(pop).positions(500.0)
+        )
+
+    def test_solver_choice_is_equivalent(self):
+        pop = _pop()
+        p_newton = Propagator(pop, solver="newton").positions(1234.0)
+        p_contour = Propagator(pop, solver="contour").positions(1234.0)
+        np.testing.assert_allclose(p_newton, p_contour, atol=1e-6)
+
+    def test_inclination_bounds_z(self):
+        el = KeplerElements(a=7000.0, e=0.0, i=math.radians(30), raan=0.5, argp=0.0, m0=0.0)
+        pop = OrbitalElementsArray.from_elements([el])
+        prop = Propagator(pop)
+        for t in np.linspace(0, el.period, 20):
+            z = prop.positions(float(t))[0, 2]
+            assert abs(z) <= 7000.0 * math.sin(math.radians(30)) + 1e-6
+
+
+class TestVelocities:
+    def test_vis_viva(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        for t in (0.0, 777.0, 5000.0):
+            pos = prop.positions(t)
+            vel = prop.velocities(t)
+            r = np.linalg.norm(pos, axis=1)
+            v = np.linalg.norm(vel, axis=1)
+            expected = np.sqrt(MU_EARTH * (2.0 / r - 1.0 / pop.a))
+            np.testing.assert_allclose(v, expected, rtol=1e-9)
+
+    def test_velocity_is_position_derivative(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        t, h = 300.0, 1e-3
+        numeric = (prop.positions(t + h) - prop.positions(t - h)) / (2 * h)
+        np.testing.assert_allclose(prop.velocities(t), numeric, rtol=1e-5, atol=1e-7)
+
+    def test_states_consistent_with_separate_calls(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        pos, vel = prop.states(42.0)
+        np.testing.assert_allclose(pos, prop.positions(42.0))
+        np.testing.assert_allclose(vel, prop.velocities(42.0), rtol=1e-9)
+
+    def test_speeds_match_velocity_norm(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        np.testing.assert_allclose(
+            prop.speeds(10.0), np.linalg.norm(prop.velocities(10.0), axis=1), rtol=1e-9
+        )
+
+
+class TestConservation:
+    def test_specific_energy_conserved(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        energies = []
+        for t in np.linspace(0, 10000, 15):
+            pos, vel = prop.states(float(t))
+            r = np.linalg.norm(pos, axis=1)
+            v2 = np.einsum("ij,ij->i", vel, vel)
+            energies.append(0.5 * v2 - MU_EARTH / r)
+        energies = np.array(energies)
+        np.testing.assert_allclose(
+            energies, np.broadcast_to(energies[0], energies.shape), rtol=1e-9
+        )
+
+    def test_angular_momentum_conserved(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        h_ref = None
+        for t in np.linspace(0, 9000, 10):
+            pos, vel = prop.states(float(t))
+            h = np.cross(pos, vel)
+            if h_ref is None:
+                h_ref = h
+            else:
+                np.testing.assert_allclose(h, h_ref, rtol=1e-9, atol=1e-6)
+
+    def test_memory_bytes_positive_and_linear(self):
+        pop = _pop()
+        assert Propagator(pop).memory_bytes == len(pop) * 5 * 3 * 8
+
+
+class TestBatchPropagation:
+    def test_positions_batch_matches_per_time(self):
+        pop = _pop()
+        prop = Propagator(pop)
+        times = np.array([0.0, 123.4, 5000.0, 86400.0])
+        batch = prop.positions_batch(times)
+        assert batch.shape == (4, len(pop), 3)
+        for k, t in enumerate(times):
+            np.testing.assert_allclose(batch[k], prop.positions(float(t)), atol=1e-9)
+
+    def test_positions_batch_validation(self):
+        prop = Propagator(_pop())
+        with pytest.raises(ValueError, match="1-D"):
+            prop.positions_batch(np.zeros((2, 2)))
+
+    def test_batch_respects_solver_choice(self):
+        pop = _pop()
+        newton = Propagator(pop, solver="newton").positions_batch(np.array([10.0, 20.0]))
+        contour = Propagator(pop, solver="contour").positions_batch(np.array([10.0, 20.0]))
+        np.testing.assert_allclose(newton, contour, atol=1e-6)

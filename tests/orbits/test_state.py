@@ -1,0 +1,96 @@
+"""State-vector <-> element conversions (rv2coe / coe2rv)."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import MU_EARTH
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.orbits.kepler import mean_to_true
+from repro.orbits.propagation import Propagator
+from repro.orbits.state import elements_to_state, state_to_elements
+
+
+def test_elements_to_state_matches_propagator():
+    el = KeplerElements(a=8000.0, e=0.1, i=0.7, raan=1.1, argp=2.2, m0=0.6)
+    nu = float(mean_to_true(el.m0, el.e))
+    pos, vel = elements_to_state(el, nu)
+    pop = OrbitalElementsArray.from_elements([el])
+    prop = Propagator(pop)
+    np.testing.assert_allclose(pos, prop.positions(0.0)[0], atol=1e-8)
+    np.testing.assert_allclose(vel, prop.velocities(0.0)[0], atol=1e-10)
+
+
+def test_round_trip_general_orbit():
+    el = KeplerElements(a=9500.0, e=0.25, i=1.0, raan=2.5, argp=4.0, m0=1.5)
+    nu = float(mean_to_true(el.m0, el.e))
+    pos, vel = elements_to_state(el, nu)
+    back, nu_back = state_to_elements(pos, vel)
+    assert back.a == pytest.approx(el.a, rel=1e-10)
+    assert back.e == pytest.approx(el.e, abs=1e-10)
+    assert back.i == pytest.approx(el.i, abs=1e-10)
+    assert back.raan == pytest.approx(el.raan, abs=1e-10)
+    assert back.argp == pytest.approx(el.argp, abs=1e-9)
+    assert nu_back == pytest.approx(nu, abs=1e-9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    a=st.floats(min_value=6800.0, max_value=42000.0),
+    e=st.floats(min_value=0.0, max_value=0.7),
+    i=st.floats(min_value=0.01, max_value=math.pi - 0.01),
+    raan=st.floats(min_value=0.0, max_value=2 * math.pi - 1e-6),
+    argp=st.floats(min_value=0.0, max_value=2 * math.pi - 1e-6),
+    nu=st.floats(min_value=0.0, max_value=2 * math.pi - 1e-6),
+)
+def test_round_trip_position_property(a, e, i, raan, argp, nu):
+    """coe2rv followed by rv2coe reproduces the same physical state."""
+    el = KeplerElements(a=a, e=e, i=i, raan=raan, argp=argp, m0=0.0)
+    pos, vel = elements_to_state(el, nu)
+    back, nu_back = state_to_elements(pos, vel)
+    pos2, vel2 = elements_to_state(back, nu_back)
+    np.testing.assert_allclose(pos2, pos, rtol=1e-7, atol=1e-6)
+    np.testing.assert_allclose(vel2, vel, rtol=1e-7, atol=1e-9)
+
+
+def test_circular_equatorial_special_case():
+    r = 7000.0
+    v = math.sqrt(MU_EARTH / r)
+    el, nu = state_to_elements(np.array([r, 0.0, 0.0]), np.array([0.0, v, 0.0]))
+    assert el.a == pytest.approx(r, rel=1e-12)
+    assert el.e == pytest.approx(0.0, abs=1e-12)
+    assert el.i == pytest.approx(0.0, abs=1e-12)
+    assert nu == pytest.approx(0.0, abs=1e-9)
+
+
+def test_circular_inclined_special_case():
+    r = 7000.0
+    v = math.sqrt(MU_EARTH / r)
+    # Start at the ascending node of a 45-degree inclined circular orbit.
+    incl = math.radians(45)
+    vel = np.array([0.0, v * math.cos(incl), v * math.sin(incl)])
+    el, nu = state_to_elements(np.array([r, 0.0, 0.0]), vel)
+    assert el.e == pytest.approx(0.0, abs=1e-12)
+    assert el.i == pytest.approx(incl, abs=1e-12)
+    assert nu == pytest.approx(0.0, abs=1e-9)  # measured from the node
+
+
+def test_hyperbolic_state_rejected():
+    r = 7000.0
+    v_escape = math.sqrt(2 * MU_EARTH / r)
+    with pytest.raises(ValueError, match="not elliptic"):
+        state_to_elements(np.array([r, 0, 0]), np.array([0, v_escape * 1.01, 0]))
+
+
+def test_rectilinear_state_rejected():
+    with pytest.raises(ValueError, match="rectilinear"):
+        state_to_elements(np.array([7000.0, 0, 0]), np.array([1.0, 0, 0]))
+
+
+def test_zero_position_rejected():
+    with pytest.raises(ValueError):
+        state_to_elements(np.zeros(3), np.array([1.0, 0, 0]))

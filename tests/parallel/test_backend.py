@@ -1,0 +1,134 @@
+"""Execution backends: partitioning, thread pools, phase timers."""
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel.backend import (
+    BACKENDS,
+    PhaseTimer,
+    chunk_ranges,
+    default_thread_count,
+    parallel_for,
+    resolve_backend,
+)
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        assert chunk_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split_distributes_remainder(self):
+        ranges = chunk_ranges(10, 3)
+        sizes = [e - s for s, e in ranges]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        ranges = chunk_ranges(2, 8)
+        assert [r for r in ranges if r[0] < r[1]] == [(0, 1), (1, 2)]
+
+    def test_contiguous_cover(self):
+        ranges = chunk_ranges(97, 7)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 97
+        for (s0, e0), (s1, e1) in zip(ranges, ranges[1:]):
+            assert e0 == s1
+
+    def test_zero_items(self):
+        assert chunk_ranges(0, 4) == [(0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, 0)
+
+
+class TestParallelFor:
+    def test_covers_all_indices(self):
+        seen = []
+        lock = threading.Lock()
+
+        def work(s, e):
+            with lock:
+                seen.extend(range(s, e))
+
+        parallel_for(work, 100, n_threads=4)
+        assert sorted(seen) == list(range(100))
+
+    def test_results_in_chunk_order(self):
+        out = parallel_for(lambda s, e: (s, e), 10, n_threads=3)
+        assert out == chunk_ranges(10, 3)
+
+    def test_single_thread_runs_inline(self):
+        tid = []
+
+        def work(s, e):
+            tid.append(threading.get_ident())
+
+        parallel_for(work, 5, n_threads=1)
+        assert tid == [threading.get_ident()]
+
+    def test_exception_propagates(self):
+        def bad(s, e):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_for(bad, 10, n_threads=2)
+
+
+class TestBackendNames:
+    def test_known(self):
+        for b in BACKENDS:
+            assert resolve_backend(b) == b
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_backend("cuda")
+
+    def test_env_thread_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "5")
+        assert default_thread_count() == 5
+        monkeypatch.setenv("REPRO_NUM_THREADS", "0")
+        with pytest.raises(ValueError):
+            default_thread_count()
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        t = PhaseTimer()
+        with t.phase("A"):
+            time.sleep(0.01)
+        with t.phase("A"):
+            time.sleep(0.01)
+        with t.phase("B"):
+            pass
+        assert t.totals["A"] >= 0.02
+        assert t.total == pytest.approx(sum(t.totals.values()))
+
+    def test_fractions_sum_to_one(self):
+        t = PhaseTimer()
+        t.add("A", 3.0)
+        t.add("B", 1.0)
+        fr = t.fractions()
+        assert fr["A"] == pytest.approx(0.75)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_fractions_empty(self):
+        assert PhaseTimer().fractions() == {}
+
+    def test_merge(self):
+        a = PhaseTimer()
+        a.add("X", 1.0)
+        b = PhaseTimer()
+        b.add("X", 2.0)
+        b.add("Y", 1.0)
+        a.merge(b)
+        assert a.totals == {"X": 3.0, "Y": 1.0}
+
+    def test_phase_records_on_exception(self):
+        t = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with t.phase("A"):
+                raise RuntimeError()
+        assert "A" in t.totals

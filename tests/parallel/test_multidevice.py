@@ -1,0 +1,71 @@
+"""Multi-device orchestration: exactness and accounting."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+from repro.parallel.multidevice import partition_steps, screen_grid_multidevice
+from repro.population.generator import generate_population
+
+CFG = ScreeningConfig(threshold_km=5.0, duration_s=1200.0, seconds_per_sample=2.0)
+
+
+class TestPartition:
+    def test_round_robin_covers_all_steps(self):
+        shards = partition_steps(10, 3)
+        merged = np.sort(np.concatenate(shards))
+        np.testing.assert_array_equal(merged, np.arange(10))
+        assert [len(s) for s in shards] == [4, 3, 3]
+
+    def test_single_device(self):
+        shards = partition_steps(5, 1)
+        np.testing.assert_array_equal(shards[0], np.arange(5))
+
+    def test_more_devices_than_steps(self):
+        shards = partition_steps(2, 4)
+        assert sum(len(s) for s in shards) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_steps(10, 0)
+
+
+class TestMultideviceScreening:
+    def test_matches_single_device_exactly(self, crossing_pair):
+        single = screen(crossing_pair, CFG, method="grid", backend="vectorized")
+        for n_devices in (1, 2, 4):
+            multi, reports = screen_grid_multidevice(crossing_pair, CFG, n_devices)
+            assert multi.unique_pairs() == single.unique_pairs()
+            assert multi.n_conjunctions == single.n_conjunctions
+            np.testing.assert_allclose(
+                np.sort(multi.pca_km), np.sort(single.pca_km), atol=1e-9
+            )
+            assert len(reports) == n_devices
+
+    def test_matches_on_population(self):
+        pop = generate_population(300, seed=17)
+        cfg = ScreeningConfig(threshold_km=10.0, duration_s=600.0, seconds_per_sample=2.0)
+        single = screen(pop, cfg, method="grid", backend="vectorized")
+        multi, reports = screen_grid_multidevice(pop, cfg, n_devices=3)
+        assert multi.unique_pairs() == single.unique_pairs()
+        assert sum(r.records for r in reports) == multi.candidates_refined
+
+    def test_device_reports(self, crossing_pair):
+        _, reports = screen_grid_multidevice(
+            crossing_pair, CFG, n_devices=2, device_budget_bytes=2**30
+        )
+        total_steps = sum(r.steps_processed for r in reports)
+        assert total_steps == len(CFG.sample_times())
+        for r in reports:
+            assert r.plan is not None
+            assert r.plan.parallel_steps > 0
+            assert r.peak_bytes > 0
+
+    def test_step_counts_balanced(self):
+        pop = generate_population(100, seed=3)
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=300.0, seconds_per_sample=2.0)
+        _, reports = screen_grid_multidevice(pop, cfg, n_devices=4)
+        counts = [r.steps_processed for r in reports]
+        assert max(counts) - min(counts) <= 1

@@ -1,0 +1,86 @@
+"""Extra-P-style power-law fitting."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.extrap import (
+    DEFAULT_EXPONENT_CANDIDATES,
+    PowerLawModel,
+    fit_power_law,
+    paper_conjunction_model,
+)
+
+
+class TestPowerLawModel:
+    def test_predict(self):
+        m = PowerLawModel(("n", "t"), (2.0, 1.0), 0.5)
+        assert m.predict(n=10.0, t=3.0) == pytest.approx(150.0)
+
+    def test_missing_parameter(self):
+        m = PowerLawModel(("n",), (1.0,), 1.0)
+        with pytest.raises(ValueError, match="missing"):
+            m.predict(t=1.0)
+
+    def test_nonpositive_parameter(self):
+        m = PowerLawModel(("n",), (1.0,), 1.0)
+        with pytest.raises(ValueError):
+            m.predict(n=0.0)
+
+    def test_paper_models_eq3_eq4(self):
+        grid = paper_conjunction_model("grid")
+        assert grid.coefficient == pytest.approx(2.32e-9)
+        assert grid.exponents == (2.0, 4.0 / 3.0, 1.0, 7.0 / 4.0)
+        hybrid = paper_conjunction_model("hybrid")
+        assert hybrid.coefficient == pytest.approx(2.14e-9)
+        assert hybrid.exponents == (2.0, 5.0 / 3.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            paper_conjunction_model("legacy")
+
+    def test_paper_model_magnitude(self):
+        # 64k satellites, 9 s sampling, 1 hour, 2 km threshold: order
+        # 10^5..10^6 conjunction records (the Section V-D regime).
+        c = paper_conjunction_model("grid").predict(n=64000.0, s=9.0, t=3600.0, d=2.0)
+        assert 1e5 < c < 1e7
+
+
+class TestFit:
+    def test_recovers_exact_power_law(self, rng):
+        true = PowerLawModel(("n", "s"), (2.0, 4.0 / 3.0), 3.0e-5)
+        obs = []
+        for _ in range(20):
+            n = float(rng.uniform(100, 10000))
+            s = float(rng.uniform(1, 20))
+            obs.append(({"n": n, "s": s}, true.predict(n=n, s=s)))
+        fitted = fit_power_law(["n", "s"], obs)
+        assert fitted.exponents == (2.0, 4.0 / 3.0)
+        assert fitted.coefficient == pytest.approx(3.0e-5, rel=1e-6)
+        assert fitted.residual < 1e-12
+
+    def test_robust_to_noise(self, rng):
+        true = PowerLawModel(("n",), (2.0,), 1e-3)
+        obs = []
+        for _ in range(40):
+            n = float(rng.uniform(100, 100000))
+            noisy = true.predict(n=n) * float(rng.lognormal(0.0, 0.05))
+            obs.append(({"n": n}, noisy))
+        fitted = fit_power_law(["n"], obs)
+        assert fitted.exponents == (2.0,)
+        assert fitted.coefficient == pytest.approx(1e-3, rel=0.1)
+
+    def test_constant_parameter_pinned_to_zero(self, rng):
+        obs = [({"n": float(n), "d": 2.0}, float(n) ** 2) for n in (10, 30, 100, 300)]
+        fitted = fit_power_law(["n", "d"], obs)
+        assert fitted.exponents[1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two observations"):
+            fit_power_law(["n"], [({"n": 1.0}, 1.0)])
+        with pytest.raises(ValueError, match="positive"):
+            fit_power_law(["n"], [({"n": 1.0}, 0.0), ({"n": 2.0}, 1.0)])
+        with pytest.raises(ValueError, match="missing parameter"):
+            fit_power_law(["n"], [({}, 1.0), ({"n": 2.0}, 1.0)])
+
+    def test_candidates_contain_paper_exponents(self):
+        for exp in (2.0, 4.0 / 3.0, 5.0 / 3.0, 1.0, 7.0 / 4.0):
+            assert exp in DEFAULT_EXPONENT_CANDIDATES

@@ -1,0 +1,86 @@
+"""Section V-B memory planner."""
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.memory import (
+    ENTRY_BYTES,
+    MIN_CONJUNCTIONS,
+    SLOT_BYTES,
+    conjunction_capacity,
+    plan_memory,
+)
+
+GB = 2**30
+
+
+class TestConjunctionCapacity:
+    def test_floor_applies_for_small_populations(self):
+        cap = conjunction_capacity(2000, 1.0, 3600.0, 2.0, "grid")
+        assert cap == MIN_CONJUNCTIONS * 4
+
+    def test_model_dominates_for_large_populations(self):
+        cap = conjunction_capacity(1_024_000, 9.0, 86400.0, 2.0, "grid")
+        assert cap > MIN_CONJUNCTIONS * 4
+
+    def test_variant_changes_capacity(self):
+        big_n = 1_024_000
+        grid = conjunction_capacity(big_n, 9.0, 86400.0, 2.0, "grid")
+        hybrid = conjunction_capacity(big_n, 9.0, 86400.0, 2.0, "hybrid")
+        assert grid != hybrid
+
+
+class TestPlan:
+    def test_plan_accounts_match_formulas(self):
+        n = 64000
+        plan = plan_memory(n, 9.0, 3600.0, 2.0, "grid", budget_bytes=24 * GB, auto_adjust=False)
+        assert plan.grid_hash_bytes == 2 * n * SLOT_BYTES
+        assert plan.entry_pool_bytes == n * ENTRY_BYTES
+        free = plan.budget_bytes - plan.fixed_bytes
+        assert plan.parallel_steps == free // plan.per_grid_bytes
+        assert plan.total_samples == int(3600.0 / 9.0) + 1
+        assert plan.computation_rounds >= 1
+        assert plan.total_bytes <= plan.budget_bytes
+
+    def test_rounds_cover_all_samples(self):
+        plan = plan_memory(10000, 1.0, 7200.0, 2.0, "grid", budget_bytes=1 * GB, auto_adjust=False)
+        assert plan.computation_rounds * plan.parallel_steps >= plan.total_samples
+
+    def test_auto_adjust_reduces_sps_when_memory_tight(self):
+        """The 512k/1M-satellite regime of Section V-C: a tight budget
+        forces the planner to shrink seconds-per-sample from 9 toward 1."""
+        n = 1_024_000
+        plan = plan_memory(n, 9.0, 86400.0, 2.0, "hybrid", budget_bytes=24 * GB)
+        assert plan.was_adjusted
+        assert plan.seconds_per_sample < 9.0
+        assert plan.requested_seconds_per_sample == 9.0
+
+    def test_no_adjustment_when_memory_plentiful(self):
+        plan = plan_memory(2000, 9.0, 3600.0, 2.0, "hybrid", budget_bytes=64 * GB)
+        assert not plan.was_adjusted
+        assert plan.parallel_steps >= 401  # every sample fits at once
+
+    def test_adjustment_targets_parallel_factor(self):
+        n = 400_000
+        plan = plan_memory(n, 9.0, 86400.0, 2.0, "hybrid", budget_bytes=24 * GB)
+        # Either the target factor is reached or sps bottomed out at 1.
+        assert plan.parallel_steps >= 512 or plan.seconds_per_sample == 1.0
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="cannot hold even one grid"):
+            plan_memory(1_000_000, 9.0, 3600.0, 2.0, "grid", budget_bytes=10**6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_memory(0, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB)
+        with pytest.raises(ValueError):
+            plan_memory(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=0)
+
+    def test_memory_ordering_grid_cheaper_than_hybrid(self):
+        """The paper: 'the grid-based variant is characterized by lower
+        memory consumption' — for large populations the hybrid conjunction
+        map (coarser sampling -> more candidates) outweighs."""
+        n = 1_024_000
+        grid = plan_memory(n, 1.0, 3600.0, 2.0, "grid", budget_bytes=384 * GB, auto_adjust=False)
+        hybrid = plan_memory(n, 9.0, 3600.0, 2.0, "hybrid", budget_bytes=384 * GB, auto_adjust=False)
+        assert grid.conjunction_map_bytes < hybrid.conjunction_map_bytes

@@ -1,0 +1,92 @@
+"""Runtime models and crossover prediction."""
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.extrap import PowerLawModel
+from repro.perfmodel.runtime import (
+    compare_runtimes,
+    crossover_population,
+    fit_runtime_model,
+)
+
+
+def _samples(coeff, k, sizes):
+    return [(n, coeff * n**k) for n in sizes]
+
+
+class TestFit:
+    def test_recovers_quadratic(self):
+        model = fit_runtime_model(_samples(1e-6, 2.0, [1000, 2000, 4000, 8000]))
+        assert model.exponents == (2.0,)
+        assert model.coefficient == pytest.approx(1e-6, rel=1e-6)
+
+    def test_recovers_linear(self):
+        model = fit_runtime_model(_samples(3e-4, 1.0, [500, 1000, 5000]))
+        assert model.exponents == (1.0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_runtime_model([(100, 1.0)])
+
+
+class TestCrossover:
+    def test_known_crossing(self):
+        legacy = PowerLawModel(("n",), (2.0,), 1e-6)  # quadratic
+        grid = PowerLawModel(("n",), (1.0,), 4e-3)  # linear, slower at small n
+        n_cross = crossover_population(legacy, grid)
+        # 1e-6 n^2 = 4e-3 n  ->  n = 4000.
+        assert n_cross == pytest.approx(4000.0, rel=1e-9)
+
+    def test_no_crossing_when_always_faster(self):
+        a = PowerLawModel(("n",), (2.0,), 1e-6)
+        b = PowerLawModel(("n",), (1.0,), 1e-12)  # cheaper everywhere (n>1)
+        assert crossover_population(a, b) is None
+
+    def test_equal_exponents(self):
+        a = PowerLawModel(("n",), (1.0,), 1.0)
+        b = PowerLawModel(("n",), (1.0,), 2.0)
+        assert crossover_population(a, b) is None
+
+    def test_requires_n_models(self):
+        a = PowerLawModel(("n", "s"), (1.0, 1.0), 1.0)
+        with pytest.raises(ValueError):
+            crossover_population(a, a)
+
+
+class TestComparison:
+    def _comparison(self):
+        sizes = [1000, 2000, 4000, 8000, 16000]
+        return compare_runtimes(
+            {
+                "legacy": _samples(1e-6, 2.0, sizes),
+                "grid": _samples(4e-3, 1.0, sizes),
+                "hybrid": _samples(2e-3, 1.0, sizes),
+            }
+        )
+
+    def test_winner_flips_with_n(self):
+        cmp = self._comparison()
+        assert cmp.winner_at(100) == "legacy"  # quadratic wins tiny n
+        assert cmp.winner_at(100_000) == "hybrid"
+
+    def test_crossover_table_sorted(self):
+        cmp = self._comparison()
+        rows = cmp.crossovers()
+        assert rows == sorted(rows, key=lambda r: r[2])
+        # legacy is overtaken by hybrid before grid (hybrid is cheaper).
+        overtakers = [(a, b) for a, b, _ in rows]
+        assert ("legacy", "hybrid") in overtakers
+        assert ("legacy", "grid") in overtakers
+
+    def test_fig10_shape_statement(self):
+        """The paper's statement form: beyond the crossover, the proposed
+        variant stays cheaper for every larger n."""
+        cmp = self._comparison()
+        n_cross = dict(((a, b), n) for a, b, n in cmp.crossovers())[("legacy", "grid")]
+        for n in (int(n_cross * 1.5), int(n_cross * 10)):
+            assert cmp.predict("grid", n) < cmp.predict("legacy", n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_runtimes({"only": [(1, 1.0), (2, 2.0)]})

@@ -1,0 +1,109 @@
+"""Seed catalog structure and the Table II population generator."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import TWO_PI
+from repro.population.catalog_seed import (
+    MAX_APOGEE,
+    MIN_PERIGEE,
+    clip_to_valid,
+    seed_catalog,
+)
+from repro.population.generator import generate_population
+from repro.population.kde import BivariateKDE
+
+
+class TestSeedCatalog:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(seed_catalog(), seed_catalog())
+
+    def test_all_rows_valid(self):
+        cat = seed_catalog()
+        a, e = cat[:, 0], cat[:, 1]
+        assert np.all(a * (1 - e) >= MIN_PERIGEE - 1e-9)
+        assert np.all(a * (1 + e) <= MAX_APOGEE + 1e-9)
+        assert np.all((e >= 0) & (e < 1))
+
+    def test_fig9_structure_leo_dominates(self):
+        """Fig. 9: the dominant mode is near a=7000 km, e=0.0025."""
+        cat = seed_catalog()
+        leo = (cat[:, 0] < 7100) & (cat[:, 0] > 6800)
+        assert leo.mean() > 0.3  # dominant cluster
+        assert np.median(cat[leo, 1]) < 0.01
+
+    def test_contains_geo_and_heo(self):
+        cat = seed_catalog()
+        assert ((cat[:, 0] > 42000) & (cat[:, 0] < 42400)).any()
+        assert (cat[:, 1] > 0.5).any()
+
+    def test_size_parameter(self):
+        assert seed_catalog(size=200).shape == (200, 2)
+        with pytest.raises(ValueError):
+            seed_catalog(size=5)
+
+
+class TestClipToValid:
+    def test_clips_low_perigee(self):
+        out = clip_to_valid(np.array([[6400.0, 0.0]]))
+        assert out[0, 0] >= MIN_PERIGEE
+
+    def test_clips_high_apogee(self):
+        out = clip_to_valid(np.array([[60000.0, 0.2]]))
+        assert out[0, 0] * 1.2 <= MAX_APOGEE + 1e-6
+
+    def test_extreme_eccentricity_shrunk(self):
+        out = clip_to_valid(np.array([[20000.0, 0.99]]))
+        a, e = out[0]
+        assert a * (1 - e) >= MIN_PERIGEE - 1e-9
+        assert a * (1 + e) <= MAX_APOGEE + 1e-9
+
+    def test_input_not_mutated(self):
+        src = np.array([[6400.0, 0.0]])
+        clip_to_valid(src)
+        assert src[0, 0] == 6400.0
+
+
+class TestGenerator:
+    def test_reproducible(self):
+        p1 = generate_population(100, seed=5)
+        p2 = generate_population(100, seed=5)
+        np.testing.assert_array_equal(p1.a, p2.a)
+        np.testing.assert_array_equal(p1.m0, p2.m0)
+
+    def test_different_seeds_differ(self):
+        p1 = generate_population(100, seed=5)
+        p2 = generate_population(100, seed=6)
+        assert not np.array_equal(p1.a, p2.a)
+
+    def test_table2_ranges(self):
+        """Table II: inclination in [0, pi]; RAAN, argp, M in [0, 2 pi)."""
+        pop = generate_population(3000, seed=9)
+        assert np.all((pop.i >= 0) & (pop.i <= math.pi))
+        for arr in (pop.raan, pop.argp, pop.m0):
+            assert np.all((arr >= 0) & (arr < TWO_PI))
+        # Angles roughly uniform: mean near midpoint.
+        assert abs(pop.i.mean() - math.pi / 2) < 0.1
+        assert abs(pop.raan.mean() - math.pi) < 0.2
+
+    def test_orbits_inside_simulation_volume(self):
+        pop = generate_population(3000, seed=10)
+        assert np.all(pop.perigee >= MIN_PERIGEE - 1e-6)
+        assert np.all(pop.apogee <= MAX_APOGEE + 1e-6)
+
+    def test_ae_distribution_tracks_seed(self):
+        pop = generate_population(5000, seed=3)
+        # Majority in LEO, as in Fig. 9.
+        assert (pop.a < 8000).mean() > 0.6
+
+    def test_custom_kde(self, rng):
+        data = np.column_stack([rng.normal(8000, 10, 100), np.abs(rng.normal(0, 1e-4, 100))])
+        pop = generate_population(200, seed=1, kde=BivariateKDE(data))
+        assert abs(pop.a.mean() - 8000) < 50
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_population(0)

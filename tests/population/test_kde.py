@@ -1,0 +1,82 @@
+"""Bivariate KDE: density correctness vs scipy, sampling behaviour."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import gaussian_kde
+
+from repro.population.kde import BivariateKDE
+
+
+@pytest.fixture()
+def blob_data(rng):
+    a = rng.normal([0.0, 0.0], [1.0, 0.5], size=(300, 2))
+    b = rng.normal([5.0, 3.0], [0.5, 0.2], size=(150, 2))
+    return np.vstack([a, b])
+
+
+class TestDensity:
+    def test_matches_scipy_gaussian_kde(self, blob_data):
+        ours = BivariateKDE(blob_data)
+        ref = gaussian_kde(blob_data.T)  # scipy default = Scott, full cov
+        query = np.array([[0.0, 0.0], [5.0, 3.0], [2.5, 1.5], [-3.0, 2.0]])
+        np.testing.assert_allclose(ours.evaluate(query), ref(query.T), rtol=1e-10)
+
+    def test_density_integrates_to_one(self, blob_data):
+        kde = BivariateKDE(blob_data)
+        xs, ys, dens = kde.grid_density((-6, 12), (-4, 8), resolution=120)
+        dx = xs[1] - xs[0]
+        dy = ys[1] - ys[0]
+        assert dens.sum() * dx * dy == pytest.approx(1.0, abs=0.02)
+
+    def test_density_peaks_near_clusters(self, blob_data):
+        kde = BivariateKDE(blob_data)
+        d = kde.evaluate(np.array([[0.0, 0.0], [10.0, 10.0]]))
+        assert d[0] > 100 * d[1]
+
+    def test_mode_estimate(self, blob_data):
+        # Moderate bandwidth so the two clusters stay separated (plain
+        # Scott over the inter-cluster spread merges them).
+        kde = BivariateKDE(blob_data, bw_factor=0.3)
+        mx, my = kde.mode_estimate()
+        # The tight cluster at (5, 3) has the higher density peak
+        # (150 / (0.5 * 0.2) beats 300 / (1.0 * 0.5)).
+        assert abs(mx - 5.0) < 1.0 and abs(my - 3.0) < 1.0
+
+
+class TestSampling:
+    def test_sample_shape_and_distribution(self, blob_data, rng):
+        kde = BivariateKDE(blob_data)
+        samples = kde.sample(5000, rng)
+        assert samples.shape == (5000, 2)
+        # Sample means track the data means.
+        np.testing.assert_allclose(samples.mean(axis=0), blob_data.mean(axis=0), atol=0.3)
+
+    def test_sampling_deterministic_per_rng(self, blob_data):
+        kde = BivariateKDE(blob_data)
+        s1 = kde.sample(50, np.random.default_rng(7))
+        s2 = kde.sample(50, np.random.default_rng(7))
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_bw_factor_controls_spread(self, blob_data, rng):
+        tight = BivariateKDE(blob_data, bw_factor=0.1)
+        loose = BivariateKDE(blob_data, bw_factor=3.0)
+        st = tight.sample(4000, np.random.default_rng(1))
+        sl = loose.sample(4000, np.random.default_rng(1))
+        assert sl.std(axis=0).sum() > st.std(axis=0).sum()
+
+
+class TestValidation:
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            BivariateKDE(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            BivariateKDE(np.zeros((2, 2)))
+
+    def test_bad_bandwidth(self, blob_data):
+        with pytest.raises(ValueError):
+            BivariateKDE(blob_data, bw_factor=0.0)
+
+    def test_bad_sample_size(self, blob_data, rng):
+        with pytest.raises(ValueError):
+            BivariateKDE(blob_data).sample(0, rng)

@@ -1,0 +1,107 @@
+"""Mega-constellation shells and fragmentation clouds."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import R_EARTH, TWO_PI
+from repro.orbits.elements import KeplerElements
+from repro.orbits.propagation import Propagator
+from repro.orbits.state import elements_to_state
+from repro.population.catalog_seed import MAX_APOGEE, MIN_PERIGEE
+from repro.population.scenarios import fragmentation_cloud, megaconstellation
+
+
+class TestMegaconstellation:
+    def test_shell_structure(self):
+        shell = megaconstellation(
+            n_planes=6, sats_per_plane=10, altitude_km=550.0, inclination_rad=0.93
+        )
+        assert len(shell) == 60
+        np.testing.assert_allclose(shell.a, R_EARTH + 550.0)
+        np.testing.assert_allclose(shell.i, 0.93)
+        assert len(np.unique(np.round(shell.raan, 9))) == 6
+
+    def test_in_plane_phasing_even(self):
+        shell = megaconstellation(4, 8, 550.0, 0.9)
+        plane0 = shell.m0[:8]
+        spacing = np.diff(np.sort(plane0))
+        np.testing.assert_allclose(spacing, TWO_PI / 8, atol=1e-9)
+
+    def test_walker_phasing_offsets_planes(self):
+        base = megaconstellation(4, 8, 550.0, 0.9, phasing=0.0)
+        walker = megaconstellation(4, 8, 550.0, 0.9, phasing=1.0)
+        assert not np.allclose(base.m0, walker.m0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            megaconstellation(0, 10, 550.0, 0.9)
+        with pytest.raises(ValueError):
+            megaconstellation(4, 8, -400.0, 0.9)
+        with pytest.raises(ValueError):
+            megaconstellation(4, 8, 80000.0, 0.9)
+
+    def test_no_self_conjunctions_in_phased_shell(self):
+        """Evenly phased shell objects keep their spacing over time."""
+        shell = megaconstellation(3, 12, 550.0, math.radians(53))
+        prop = Propagator(shell)
+        for t in (0.0, 300.0, 600.0):
+            pos = prop.positions(t)
+            # Closest pair within one plane stays > 1000 km for 12 slots.
+            d = np.linalg.norm(pos[0] - pos[1])
+            assert d > 1000.0
+
+
+class TestFragmentationCloud:
+    def _parent(self):
+        return KeplerElements(a=7200.0, e=0.01, i=1.4, raan=0.3, argp=0.8, m0=0.0)
+
+    def test_cloud_size_and_validity(self):
+        cloud = fragmentation_cloud(self._parent(), 200, seed=4)
+        assert len(cloud) == 200
+        assert np.all(cloud.perigee >= MIN_PERIGEE - 1e-6)
+        assert np.all(cloud.apogee <= MAX_APOGEE + 1e-6)
+        assert np.all(cloud.e < 1.0)
+
+    def test_fragments_start_at_breakup_point(self):
+        parent = self._parent()
+        nu = 0.7
+        cloud = fragmentation_cloud(parent, 50, breakup_anomaly=nu, seed=8)
+        breakup_pos, _ = elements_to_state(parent, nu)
+        pos0 = Propagator(cloud).positions(0.0)
+        np.testing.assert_allclose(pos0, np.broadcast_to(breakup_pos, pos0.shape), atol=1e-5)
+
+    def test_cloud_spreads_over_time(self):
+        """Kessler dynamics: the cloud disperses along the orbit."""
+        cloud = fragmentation_cloud(self._parent(), 100, dv_scale_kms=0.05, seed=5)
+        prop = Propagator(cloud)
+        spread_0 = np.linalg.norm(prop.positions(0.0).std(axis=0))
+        spread_late = np.linalg.norm(prop.positions(20000.0).std(axis=0))
+        assert spread_0 < 1.0
+        assert spread_late > 100.0
+
+    def test_dv_scale_controls_element_spread(self):
+        tight = fragmentation_cloud(self._parent(), 80, dv_scale_kms=0.01, seed=6)
+        wide = fragmentation_cloud(self._parent(), 80, dv_scale_kms=0.3, seed=6)
+        assert wide.a.std() > tight.a.std()
+
+    def test_deterministic(self):
+        c1 = fragmentation_cloud(self._parent(), 30, seed=9)
+        c2 = fragmentation_cloud(self._parent(), 30, seed=9)
+        np.testing.assert_array_equal(c1.a, c2.a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fragmentation_cloud(self._parent(), 0)
+        with pytest.raises(ValueError):
+            fragmentation_cloud(self._parent(), 10, dv_scale_kms=0.0)
+
+    def test_impossible_cloud_raises(self):
+        # An absurd median delta-v (50 km/s) makes essentially every draw
+        # hyperbolic or out-of-volume -> the generator must give up rather
+        # than spin forever.
+        parent = KeplerElements(a=41000.0, e=0.0, i=0.1, raan=0, argp=0, m0=0)
+        with pytest.raises(RuntimeError, match="valid cloud"):
+            fragmentation_cloud(parent, 50, dv_scale_kms=50.0, seed=1)

@@ -1,0 +1,92 @@
+"""TLE parsing and formatting."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.population.tle import TLEError, format_tle, parse_tle, parse_tle_file
+
+# ISS (ZARYA) historic record (checksums valid).
+ISS_L1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+ISS_L2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+
+
+class TestParse:
+    def test_iss_fields(self):
+        norad, el = parse_tle(ISS_L1, ISS_L2)
+        assert norad == 25544
+        assert el.i == pytest.approx(math.radians(51.6416))
+        assert el.raan == pytest.approx(math.radians(247.4627))
+        assert el.e == pytest.approx(0.0006703)
+        assert el.argp == pytest.approx(math.radians(130.5360))
+        assert el.m0 == pytest.approx(math.radians(325.0288))
+        # 15.72 rev/day -> a about 6720-6740 km.
+        assert 6700 < el.a < 6760
+
+    def test_checksum_failure(self):
+        bad = ISS_L1[:-1] + "0"
+        with pytest.raises(TLEError, match="checksum"):
+            parse_tle(bad, ISS_L2)
+
+    def test_checksum_can_be_skipped(self):
+        bad = ISS_L1[:-1] + "0"
+        norad, _ = parse_tle(bad, ISS_L2, validate_checksum=False)
+        assert norad == 25544
+
+    def test_line_number_check(self):
+        with pytest.raises(TLEError, match="line numbers"):
+            parse_tle(ISS_L2, ISS_L1)
+
+    def test_mismatched_catalog_numbers(self):
+        other = "1 00005U 58002B   00179.78495062  .00000023  00000-0  28098-4 0  4753"
+        with pytest.raises(TLEError, match="catalog numbers differ"):
+            parse_tle(other, ISS_L2)
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TLEError):
+            parse_tle("1 25544", ISS_L2)
+
+
+class TestFormatRoundTrip:
+    def test_round_trip_preserves_elements(self):
+        _, el = parse_tle(ISS_L1, ISS_L2)
+        text = format_tle(25544, el)
+        l1, l2 = text.splitlines()
+        norad, back = parse_tle(l1, l2)
+        assert norad == 25544
+        assert back.a == pytest.approx(el.a, rel=1e-7)
+        assert back.e == pytest.approx(el.e, abs=1e-7)
+        assert back.i == pytest.approx(el.i, abs=1e-6)
+        assert back.raan == pytest.approx(el.raan, abs=1e-6)
+        assert back.argp == pytest.approx(el.argp, abs=1e-6)
+        assert back.m0 == pytest.approx(el.m0, abs=1e-6)
+
+    def test_three_line_format_with_name(self):
+        _, el = parse_tle(ISS_L1, ISS_L2)
+        text = format_tle(25544, el, name="ISS (ZARYA)")
+        assert text.splitlines()[0] == "ISS (ZARYA)"
+
+    def test_norad_range(self):
+        _, el = parse_tle(ISS_L1, ISS_L2)
+        with pytest.raises(ValueError):
+            format_tle(123456, el)
+
+
+class TestParseFile:
+    def test_mixed_file(self):
+        text = "\n".join(["ISS (ZARYA)", ISS_L1, ISS_L2, "", "junk line"])
+        records = parse_tle_file(text)
+        assert len(records) == 1
+        assert records[0][0] == 25544
+
+    def test_generated_catalog_round_trip(self):
+        from repro.population.generator import generate_population
+
+        pop = generate_population(20, seed=2)
+        text = "\n".join(format_tle(k, pop[k], name=f"SYNTH-{k}") for k in range(20))
+        records = parse_tle_file(text)
+        assert len(records) == 20
+        for k, (norad, el) in enumerate(records):
+            assert norad == k
+            assert el.a == pytest.approx(pop[k].a, rel=1e-6)

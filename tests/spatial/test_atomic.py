@@ -1,0 +1,105 @@
+"""CAS-semantics atomic primitives, including multi-thread stress."""
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.constants import EMPTY_KEY
+from repro.spatial.atomic import AtomicCounter, AtomicUint64Array
+
+
+class TestAtomicArray:
+    def test_initial_fill(self):
+        arr = AtomicUint64Array(10, fill=EMPTY_KEY)
+        assert all(arr.load(k) == EMPTY_KEY for k in range(10))
+
+    def test_store_load(self):
+        arr = AtomicUint64Array(4)
+        arr.store(2, 12345)
+        assert arr.load(2) == 12345
+
+    def test_cas_success_returns_expected(self):
+        arr = AtomicUint64Array(4, fill=7)
+        old = arr.compare_and_swap(1, 7, 99)
+        assert old == 7
+        assert arr.load(1) == 99
+
+    def test_cas_failure_leaves_value(self):
+        arr = AtomicUint64Array(4, fill=7)
+        old = arr.compare_and_swap(1, 8, 99)
+        assert old == 7
+        assert arr.load(1) == 7
+
+    def test_exchange(self):
+        arr = AtomicUint64Array(2, fill=5)
+        assert arr.exchange(0, 11) == 5
+        assert arr.load(0) == 11
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AtomicUint64Array(0)
+        with pytest.raises(ValueError):
+            AtomicUint64Array(4, stripes=3)
+
+    def test_snapshot_is_a_copy(self):
+        arr = AtomicUint64Array(3, fill=1)
+        snap = arr.snapshot()
+        arr.store(0, 42)
+        assert snap[0] == 1
+
+    def test_view_is_read_only(self):
+        arr = AtomicUint64Array(3)
+        view = arr.view()
+        with pytest.raises(ValueError):
+            view[0] = 1
+
+    def test_concurrent_cas_exactly_one_winner_per_slot(self):
+        """N threads race to claim each slot: exactly one must win."""
+        arr = AtomicUint64Array(64, fill=EMPTY_KEY)
+        n_threads = 8
+        wins: "list[list[int]]" = [[] for _ in range(n_threads)]
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for slot in range(64):
+                old = arr.compare_and_swap(slot, EMPTY_KEY, tid)
+                if old == EMPTY_KEY:
+                    wins[tid].append(slot)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        claimed = [s for w in wins for s in w]
+        assert sorted(claimed) == list(range(64))  # every slot exactly once
+        for slot in range(64):
+            assert arr.load(slot) < n_threads  # holds some winner's id
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_previous(self):
+        c = AtomicCounter(10)
+        assert c.fetch_add(5) == 10
+        assert c.value == 15
+
+    def test_concurrent_increments_lose_nothing(self):
+        c = AtomicCounter()
+        n_threads, per_thread = 8, 500
+        seen: "list[set[int]]" = [set() for _ in range(n_threads)]
+
+        def worker(tid: int) -> None:
+            for _ in range(per_thread):
+                seen[tid].add(c.fetch_add(1))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        allvals = set().union(*seen)
+        assert c.value == n_threads * per_thread
+        assert allvals == set(range(n_threads * per_thread))  # unique tickets

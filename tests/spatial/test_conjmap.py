@@ -1,0 +1,158 @@
+"""Conjunction map: packing, dedup semantics, sizing, overflow."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.conjmap import (
+    MAX_OBJECTS,
+    MAX_STEPS,
+    ConjunctionMap,
+    pack_pair_key,
+    unpack_pair_key,
+)
+from repro.spatial.hashmap import HashMapFullError
+
+
+class TestPairKey:
+    def test_round_trip_scalar(self):
+        key = pack_pair_key(3, 77, 12)
+        assert unpack_pair_key(key) == (3, 77, 12)
+
+    def test_round_trip_array(self, rng):
+        i = rng.integers(0, 1000, 50)
+        j = i + rng.integers(1, 1000, 50)
+        s = rng.integers(0, 500, 50)
+        keys = pack_pair_key(i, j, s)
+        bi, bj, bs = unpack_pair_key(keys)
+        np.testing.assert_array_equal(bi, i)
+        np.testing.assert_array_equal(bj, j)
+        np.testing.assert_array_equal(bs, s)
+
+    def test_order_enforced(self):
+        with pytest.raises(ValueError):
+            pack_pair_key(5, 5, 0)
+        with pytest.raises(ValueError):
+            pack_pair_key(7, 3, 0)
+
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            pack_pair_key(0, MAX_OBJECTS, 0)
+        with pytest.raises(ValueError):
+            pack_pair_key(0, 1, MAX_STEPS)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        i=st.integers(min_value=0, max_value=MAX_OBJECTS - 2),
+        j=st.integers(min_value=1, max_value=MAX_OBJECTS - 1),
+        s=st.integers(min_value=0, max_value=MAX_STEPS - 1),
+    )
+    def test_injective_property(self, i, j, s):
+        if i >= j:
+            i, j = j, i + 1 if j == i else i
+        if i >= j:
+            return
+        assert unpack_pair_key(pack_pair_key(i, j, s)) == (i, j, s)
+
+
+class TestScalarInsert:
+    def test_insert_and_dedupe(self):
+        cm = ConjunctionMap(64)
+        assert cm.insert(1, 2, 0) is True
+        assert cm.insert(2, 1, 0) is False  # same unordered pair, same step
+        assert cm.insert(1, 2, 1) is True  # different step is a new record
+        assert cm.size == 2
+
+    def test_records_sorted(self):
+        cm = ConjunctionMap(64)
+        cm.insert(5, 6, 2)
+        cm.insert(1, 2, 0)
+        i, j, s = cm.records()
+        assert list(zip(i, j, s)) == [(1, 2, 0), (5, 6, 2)]
+
+    def test_unique_pairs(self):
+        cm = ConjunctionMap(64)
+        cm.insert(1, 2, 0)
+        cm.insert(1, 2, 5)
+        cm.insert(3, 4, 1)
+        i, j = cm.unique_pairs()
+        assert list(zip(i, j)) == [(1, 2), (3, 4)]
+
+    def test_overflow_message(self):
+        cm = ConjunctionMap(2)
+        cm.insert(0, 1, 0)
+        cm.insert(0, 1, 1)
+        with pytest.raises(HashMapFullError, match="Extra-P"):
+            cm.insert(0, 1, 2)
+
+
+class TestBatchInsert:
+    def test_batch_dedupes_within_step(self):
+        cm = ConjunctionMap(64)
+        i = np.array([1, 2, 1])
+        j = np.array([2, 1, 2])
+        added = cm.insert_batch(i, j, step=0)
+        assert added == 1
+        assert cm.size == 1
+
+    def test_batch_and_scalar_mix(self):
+        cm = ConjunctionMap(64)
+        cm.insert(1, 2, 0)
+        cm.insert_batch(np.array([3]), np.array([4]), step=1)
+        i, j, s = cm.records()
+        assert list(zip(i, j, s)) == [(1, 2, 0), (3, 4, 1)]
+
+    def test_batch_overflow(self):
+        cm = ConjunctionMap(4)
+        i = np.arange(0, 10)
+        j = i + 1
+        with pytest.raises(HashMapFullError):
+            cm.insert_batch(i, j, step=0)
+
+    def test_empty_batch(self):
+        cm = ConjunctionMap(8)
+        assert cm.insert_batch(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0) == 0
+        i, j, s = cm.records()
+        assert len(i) == 0
+
+    def test_memory_and_load(self):
+        cm = ConjunctionMap(100)
+        cm.insert_batch(np.array([1, 2]), np.array([2, 3]), 0)
+        assert cm.memory_bytes == 1600
+        assert cm.load_factor == pytest.approx(0.02)
+
+    def test_steps_kept_separate(self):
+        cm = ConjunctionMap(64)
+        for step in range(5):
+            cm.insert_batch(np.array([1]), np.array([2]), step)
+        assert cm.size == 5
+        i, j, s = cm.records()
+        np.testing.assert_array_equal(s, np.arange(5))
+
+
+class TestConcurrency:
+    def test_threaded_inserts_lose_nothing(self):
+        import threading
+
+        cm = ConjunctionMap(4096)
+        n_threads = 6
+        # Overlapping workloads: every thread inserts the same 300 records.
+        records = [(k, k + 1 + (k % 7), k % 50) for k in range(300)]
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for i, j, s in records:
+                cm.insert(i, j, s)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = {(min(i, j), max(i, j), s) for i, j, s in records}
+        ri, rj, rs = cm.records()
+        assert set(zip(ri.tolist(), rj.tolist(), rs.tolist())) == expected
+        assert cm.size == len(expected)

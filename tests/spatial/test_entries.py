@@ -1,0 +1,95 @@
+"""Entry pool: allocation, batch reservation, chain walking, thread safety."""
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.constants import NULL_INDEX
+from repro.spatial.entries import EntryPool
+
+
+class TestAllocation:
+    def test_sequential_indices(self):
+        pool = EntryPool(4)
+        idx = [pool.allocate(sat_id=k, position=np.array([1.0 * k, 0, 0])) for k in range(3)]
+        assert idx == [0, 1, 2]
+        assert pool.used == 3
+        assert pool.sat_id[1] == 1
+        np.testing.assert_allclose(pool.position[2], [2.0, 0, 0])
+
+    def test_exhaustion_raises(self):
+        pool = EntryPool(2)
+        pool.allocate(0, np.zeros(3))
+        pool.allocate(1, np.zeros(3))
+        with pytest.raises(RuntimeError, match="exhausted"):
+            pool.allocate(2, np.zeros(3))
+
+    def test_batch_allocation(self):
+        pool = EntryPool(10)
+        ids = np.array([5, 6, 7])
+        pos = np.arange(9.0).reshape(3, 3)
+        idx = pool.allocate_batch(ids, pos)
+        np.testing.assert_array_equal(idx, [0, 1, 2])
+        np.testing.assert_array_equal(pool.sat_id[:3], ids)
+        np.testing.assert_allclose(pool.position[:3], pos)
+
+    def test_batch_exhaustion(self):
+        pool = EntryPool(2)
+        with pytest.raises(RuntimeError):
+            pool.allocate_batch(np.arange(3), np.zeros((3, 3)))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EntryPool(0)
+
+    def test_reset_recycles(self):
+        pool = EntryPool(3)
+        pool.allocate(1, np.ones(3))
+        pool.reset()
+        assert pool.used == 0
+        assert pool.allocate(2, np.zeros(3)) == 0
+        assert pool.sat_id[0] == 2
+
+    def test_memory_bytes(self):
+        pool = EntryPool(10)
+        assert pool.memory_bytes == 10 * (8 + 8 + 8 + 24)
+
+    def test_concurrent_allocation_unique_indices(self):
+        pool = EntryPool(800)
+        n_threads = 8
+        grabbed: "list[list[int]]" = [[] for _ in range(n_threads)]
+
+        def worker(tid: int) -> None:
+            for k in range(100):
+                grabbed[tid].append(pool.allocate(tid * 1000 + k, np.zeros(3)))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        flat = sorted(x for g in grabbed for x in g)
+        assert flat == list(range(800))
+
+
+class TestChains:
+    def test_chain_walk(self):
+        pool = EntryPool(4)
+        a = pool.allocate(10, np.zeros(3))
+        b = pool.allocate(11, np.zeros(3))
+        c = pool.allocate(12, np.zeros(3))
+        pool.next[c] = b
+        pool.next[b] = a
+        assert pool.chain(c) == [c, b, a]
+        assert pool.chain(NULL_INDEX) == []
+
+    def test_cycle_detected(self):
+        pool = EntryPool(2)
+        a = pool.allocate(0, np.zeros(3))
+        b = pool.allocate(1, np.zeros(3))
+        pool.next[a] = b
+        pool.next[b] = a
+        with pytest.raises(RuntimeError, match="cycle"):
+            pool.chain(a)

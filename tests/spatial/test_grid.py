@@ -1,0 +1,220 @@
+"""UniformGrid: Eq. 1 cell sizing, insertion, neighbourhoods, pair emission."""
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import LEO_SPEED, SIM_HALF_EXTENT
+from repro.spatial.grid import (
+    HALF_NEIGHBOR_OFFSETS,
+    NEIGHBOR_OFFSETS,
+    UniformGrid,
+    cell_size_km,
+    interval_radius_s,
+    max_cells_per_axis,
+)
+
+
+class TestCellSize:
+    def test_eq1_formula(self):
+        assert cell_size_km(2.0, 1.0) == pytest.approx(2.0 + 7.8)
+        assert cell_size_km(2.0, 9.0) == pytest.approx(2.0 + 70.2)
+        assert cell_size_km(5.0, 0.5, speed_kms=10.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cell_size_km(0.0, 1.0)
+        with pytest.raises(ValueError):
+            cell_size_km(2.0, 0.0)
+
+    def test_eq1_worst_case_no_skip(self):
+        """Fig. 4's worst case: two objects closing at 2 x LEO speed from
+        just over the threshold cannot skip below it unseen between steps
+        when cells obey Eq. 1: each object moves at most v*s_ps, so at the
+        sample nearest the minimum they are within d + v*s_ps = g_c of each
+        other, i.e. in the same or adjacent cells."""
+        d, sps = 2.0, 1.0
+        g = cell_size_km(d, sps)
+        # Head-on worst case along one axis.
+        v = LEO_SPEED
+        # Distance at the minimum: just under the threshold.
+        d_min = d * 0.999
+        # At a sample at most sps/2 away, separation grew by <= 2*v*(sps/2).
+        worst_sample_distance = d_min + 2 * v * (sps / 2)
+        assert worst_sample_distance <= g + d  # same-or-neighbour cells territory
+        assert worst_sample_distance / g < 2.0  # cannot be two full cells apart
+
+
+class TestNeighborOffsets:
+    def test_full_neighbourhood_has_26(self):
+        assert len(NEIGHBOR_OFFSETS) == 26
+        assert (0, 0, 0) not in NEIGHBOR_OFFSETS
+
+    def test_half_neighbourhood_has_13(self):
+        assert len(HALF_NEIGHBOR_OFFSETS) == 13
+
+    def test_half_plus_mirror_is_full(self):
+        mirrored = {(-dx, -dy, -dz) for dx, dy, dz in HALF_NEIGHBOR_OFFSETS}
+        assert set(HALF_NEIGHBOR_OFFSETS) | mirrored == set(NEIGHBOR_OFFSETS)
+        assert not set(HALF_NEIGHBOR_OFFSETS) & mirrored
+
+
+class TestCoordinates:
+    def test_origin_maps_to_centre_cell(self):
+        grid = UniformGrid(10.0, capacity=4)
+        c = grid.cell_coords(np.zeros((1, 3)))[0]
+        assert (c >= 0).all()
+        # Adjacent positions map to adjacent cells.
+        c2 = grid.cell_coords(np.array([[10.0, 0.0, 0.0]]))[0]
+        assert c2[0] == c[0] + 1
+
+    def test_out_of_extent_rejected(self):
+        grid = UniformGrid(10.0, capacity=4)
+        with pytest.raises(ValueError, match="outside the simulation cube"):
+            grid.cell_coords(np.array([[SIM_HALF_EXTENT + 1.0, 0, 0]]))
+
+    def test_too_small_cells_rejected(self):
+        with pytest.raises(ValueError, match="exceeding the packable range"):
+            UniformGrid(0.001, capacity=4)
+
+
+class TestInsertionAndMembers:
+    def test_same_cell_objects_share_slot(self):
+        grid = UniformGrid(10.0, capacity=4)
+        grid.insert(0, np.array([1.0, 1.0, 1.0]))
+        grid.insert(1, np.array([2.0, 2.0, 2.0]))
+        occ = grid.occupancy()
+        assert len(occ) == 1
+        assert list(occ.values())[0] == [0, 1]
+
+    def test_distinct_cells(self):
+        grid = UniformGrid(10.0, capacity=4)
+        grid.insert(0, np.array([0.0, 0.0, 0.0]))
+        grid.insert(1, np.array([500.0, 0.0, 0.0]))
+        assert len(grid.occupancy()) == 2
+
+    def test_batch_insert(self):
+        grid = UniformGrid(10.0, capacity=8)
+        pos = np.array([[k * 100.0, 0.0, 0.0] for k in range(8)])
+        grid.insert_batch(np.arange(8), pos)
+        assert len(grid.occupancy()) == 8
+
+    def test_reset(self):
+        grid = UniformGrid(10.0, capacity=4)
+        grid.insert(0, np.zeros(3))
+        grid.reset()
+        assert grid.occupancy() == {}
+        grid.insert(1, np.zeros(3))
+        assert list(grid.occupancy().values()) == [[1]]
+
+    def test_concurrent_insert_matches_serial(self):
+        """The CAS protocol must produce identical cell contents under
+        threads — the paper's core non-blocking claim."""
+        rng = np.random.default_rng(5)
+        n = 300
+        pos = rng.uniform(-1000, 1000, size=(n, 3))
+        serial = UniformGrid(25.0, capacity=n)
+        serial.insert_batch(np.arange(n), pos)
+
+        shared = UniformGrid(25.0, capacity=n)
+        n_threads = 6
+        chunks = np.array_split(np.arange(n), n_threads)
+        barrier = threading.Barrier(n_threads)
+
+        def worker(chunk) -> None:
+            barrier.wait()
+            for k in chunk:
+                shared.insert(int(k), pos[k])
+
+        threads = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert shared.occupancy() == serial.occupancy()
+
+
+class TestCandidatePairs:
+    def test_two_objects_same_cell(self):
+        grid = UniformGrid(10.0, capacity=2)
+        grid.insert(0, np.array([1.0, 0, 0]))
+        grid.insert(1, np.array([2.0, 0, 0]))
+        assert grid.candidate_pairs() == [(0, 1)]
+
+    def test_neighbouring_cells_pair_once(self):
+        grid = UniformGrid(10.0, capacity=2)
+        grid.insert(0, np.array([1.0, 0, 0]))
+        grid.insert(1, np.array([11.0, 0, 0]))  # adjacent cell in x
+        assert grid.candidate_pairs() == [(0, 1)]
+
+    def test_far_objects_no_pairs(self):
+        grid = UniformGrid(10.0, capacity=2)
+        grid.insert(0, np.array([0.0, 0, 0]))
+        grid.insert(1, np.array([100.0, 0, 0]))
+        assert grid.candidate_pairs() == []
+
+    def test_diagonal_neighbours_pair(self):
+        grid = UniformGrid(10.0, capacity=2)
+        grid.insert(0, np.array([9.0, 9.0, 9.0]))
+        grid.insert(1, np.array([11.0, 11.0, 11.0]))
+        assert grid.candidate_pairs() == [(0, 1)]
+
+    def test_triangle_in_one_cell(self):
+        grid = UniformGrid(10.0, capacity=3)
+        for k in range(3):
+            grid.insert(k, np.array([1.0 + k, 0, 0]))
+        assert sorted(grid.candidate_pairs()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_no_duplicate_pairs_random(self, rng):
+        n = 120
+        pos = rng.uniform(-300, 300, size=(n, 3))
+        grid = UniformGrid(50.0, capacity=n)
+        grid.insert_batch(np.arange(n), pos)
+        pairs = grid.candidate_pairs()
+        assert len(pairs) == len(set(pairs))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_never_misses_close_pairs_property(self, seed):
+        """Completeness invariant: any two objects within one cell size of
+        each other must be emitted as a candidate pair."""
+        rng = np.random.default_rng(seed)
+        n = 40
+        cell = 30.0
+        pos = rng.uniform(-200, 200, size=(n, 3))
+        grid = UniformGrid(cell, capacity=n)
+        grid.insert_batch(np.arange(n), pos)
+        pairs = set(grid.candidate_pairs())
+        for a, b in itertools.combinations(range(n), 2):
+            if np.linalg.norm(pos[a] - pos[b]) <= cell:
+                assert (a, b) in pairs, (a, b, np.linalg.norm(pos[a] - pos[b]))
+
+
+class TestIntervalRadius:
+    def test_formula(self):
+        assert interval_radius_s(9.8, 7.0) == pytest.approx(2 * 9.8 / 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interval_radius_s(9.8, 0.0)
+
+    def test_max_cells(self):
+        assert max_cells_per_axis(85.0) == math.ceil(85000.0 / 85.0)
+
+
+class TestParallelCandidatePairs:
+    def test_matches_serial_emission(self, rng):
+        n = 150
+        pos = rng.uniform(-300, 300, size=(n, 3))
+        grid = UniformGrid(40.0, capacity=n)
+        grid.insert_batch(np.arange(n), pos)
+        serial = sorted(grid.candidate_pairs())
+        for n_threads in (1, 2, 4):
+            parallel = sorted(grid.candidate_pairs_parallel(n_threads=n_threads))
+            assert parallel == serial

@@ -1,0 +1,124 @@
+"""MurmurHash3 test vectors and cell-key packing properties."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import EMPTY_KEY
+from repro.spatial.hashing import (
+    CELL_BITS,
+    CELL_RANGE,
+    murmur3_32,
+    murmur3_fmix64,
+    murmur3_fmix64_array,
+    pack_cell_key,
+    unpack_cell_key,
+)
+
+
+class TestMurmur32Vectors:
+    """Published murmur3_x86_32 verification vectors."""
+
+    @pytest.mark.parametrize(
+        "data, seed, expected",
+        [
+            (b"", 0x00000000, 0x00000000),
+            (b"", 0x00000001, 0x514E28B7),
+            (b"", 0xFFFFFFFF, 0x81F16F39),
+            (b"\xff\xff\xff\xff", 0x00000000, 0x76293B50),
+            (b"!Ce\x87", 0x00000000, 0xF55B516B),
+            (b"!Ce\x87", 0x5082EDEE, 0x2362F9DE),
+            (b"!Ce", 0x00000000, 0x7E4A8634),
+            (b"!C", 0x00000000, 0xA0F7B07A),
+            (b"!", 0x00000000, 0x72661CF4),
+            (b"\x00\x00\x00\x00", 0x00000000, 0x2362F9DE),
+            (b"\x00\x00\x00", 0x00000000, 0x85F0B427),
+            (b"\x00\x00", 0x00000000, 0x30F4C306),
+            (b"\x00", 0x00000000, 0x514E28B7),
+        ],
+    )
+    def test_reference_vectors(self, data, seed, expected):
+        assert murmur3_32(data, seed) == expected
+
+    def test_deterministic(self):
+        assert murmur3_32(b"conjunction", 42) == murmur3_32(b"conjunction", 42)
+
+    def test_seed_changes_output(self):
+        assert murmur3_32(b"satellite", 1) != murmur3_32(b"satellite", 2)
+
+
+class TestFmix64:
+    def test_zero_maps_to_zero(self):
+        assert murmur3_fmix64(0) == 0
+
+    def test_avalanche_on_single_bit(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        base = murmur3_fmix64(0x123456789ABCDEF)
+        flipped = murmur3_fmix64(0x123456789ABCDEF ^ 1)
+        hamming = bin(base ^ flipped).count("1")
+        assert 16 <= hamming <= 48
+
+    def test_range_is_64_bit(self):
+        assert 0 <= murmur3_fmix64(EMPTY_KEY - 1) < 2**64
+
+    def test_scalar_matches_array(self):
+        keys = np.array([0, 1, 12345, 2**40 + 7, EMPTY_KEY - 1], dtype=np.uint64)
+        arr = murmur3_fmix64_array(keys)
+        for k, h in zip(keys.tolist(), arr.tolist()):
+            assert murmur3_fmix64(int(k)) == int(h)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_bijective_sampling(self, key):
+        # fmix64 is a bijection: distinct inputs we try never collide with
+        # the inverse check via a second application being deterministic.
+        h = murmur3_fmix64(key)
+        assert murmur3_fmix64(key) == h
+        assert 0 <= h < 2**64
+
+
+class TestCellKeyPacking:
+    def test_round_trip_scalar(self):
+        key = pack_cell_key(5, 7, 2_000_000)
+        assert unpack_cell_key(key) == (5, 7, 2_000_000)
+
+    def test_round_trip_array(self, rng):
+        coords = rng.integers(0, CELL_RANGE, size=(100, 3))
+        keys = pack_cell_key(coords[:, 0], coords[:, 1], coords[:, 2])
+        cx, cy, cz = unpack_cell_key(keys)
+        np.testing.assert_array_equal(cx, coords[:, 0])
+        np.testing.assert_array_equal(cy, coords[:, 1])
+        np.testing.assert_array_equal(cz, coords[:, 2])
+
+    def test_key_never_collides_with_empty_sentinel(self):
+        max_key = pack_cell_key(CELL_RANGE - 1, CELL_RANGE - 1, CELL_RANGE - 1)
+        assert max_key < EMPTY_KEY
+        assert max_key < 2**63
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_cell_key(CELL_RANGE, 0, 0)
+        with pytest.raises(ValueError):
+            pack_cell_key(-1, 0, 0)
+        with pytest.raises(ValueError):
+            pack_cell_key(np.array([0, CELL_RANGE]), np.array([0, 0]), np.array([0, 0]))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        cx=st.integers(min_value=0, max_value=CELL_RANGE - 1),
+        cy=st.integers(min_value=0, max_value=CELL_RANGE - 1),
+        cz=st.integers(min_value=0, max_value=CELL_RANGE - 1),
+    )
+    def test_pack_unpack_property(self, cx, cy, cz):
+        assert unpack_cell_key(pack_cell_key(cx, cy, cz)) == (cx, cy, cz)
+
+    def test_distinct_coords_give_distinct_keys(self, rng):
+        coords = rng.integers(0, CELL_RANGE, size=(500, 3))
+        unique_coords = np.unique(coords, axis=0)
+        keys = pack_cell_key(unique_coords[:, 0], unique_coords[:, 1], unique_coords[:, 2])
+        assert len(np.unique(keys)) == len(unique_coords)
+
+    def test_cell_bits_budget(self):
+        assert 3 * CELL_BITS < 64

@@ -1,0 +1,139 @@
+"""Fixed-size open-addressing hash map: CAS insertion, probing, concurrency."""
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import EMPTY_KEY, NULL_INDEX
+from repro.spatial.hashmap import FixedSizeHashMap, HashMapFullError
+
+
+class TestClaimAndLookup:
+    def test_claim_then_lookup(self):
+        hm = FixedSizeHashMap(16)
+        slot = hm.claim_slot(42)
+        assert hm.lookup(42) == slot
+
+    def test_missing_key_lookup(self):
+        hm = FixedSizeHashMap(16)
+        hm.claim_slot(1)
+        assert hm.lookup(2) == -1
+
+    def test_duplicate_claim_returns_same_slot(self):
+        hm = FixedSizeHashMap(16)
+        assert hm.claim_slot(7) == hm.claim_slot(7)
+        assert hm.size == 1
+
+    def test_collisions_resolved_by_linear_probing(self):
+        # With capacity 1 impossible beyond one key; with 4, all 3 distinct
+        # keys must land somewhere distinct.
+        hm = FixedSizeHashMap(4)
+        slots = {hm.claim_slot(k) for k in (100, 200, 300)}
+        assert len(slots) == 3
+
+    def test_full_map_raises(self):
+        hm = FixedSizeHashMap(3)
+        for k in range(3):
+            hm.claim_slot(k)
+        with pytest.raises(HashMapFullError):
+            hm.claim_slot(99)
+
+    def test_key_range_validation(self):
+        hm = FixedSizeHashMap(4)
+        with pytest.raises(ValueError):
+            hm.claim_slot(EMPTY_KEY)
+        with pytest.raises(ValueError):
+            hm.claim_slot(-1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FixedSizeHashMap(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=60, unique=True))
+    def test_insert_then_find_property(self, keys):
+        hm = FixedSizeHashMap(2 * len(keys))
+        slots = [hm.claim_slot(k) for k in keys]
+        assert len(set(slots)) == len(keys)
+        for k, s in zip(keys, slots):
+            assert hm.lookup(k) == s
+        assert hm.size == len(keys)
+
+
+class TestValues:
+    def test_default_value_is_null(self):
+        hm = FixedSizeHashMap(8)
+        slot = hm.claim_slot(5)
+        assert hm.get_value(slot) == NULL_INDEX
+
+    def test_cas_value_from_null(self):
+        hm = FixedSizeHashMap(8)
+        slot = hm.claim_slot(5)
+        old = hm.cas_value(slot, NULL_INDEX, 3)
+        assert old == NULL_INDEX
+        assert hm.get_value(slot) == 3
+
+    def test_cas_value_failure(self):
+        hm = FixedSizeHashMap(8)
+        slot = hm.claim_slot(5)
+        hm.set_value(slot, 1)
+        assert hm.cas_value(slot, 7, 9) == 1
+        assert hm.get_value(slot) == 1
+
+    def test_zero_is_a_valid_value(self):
+        # Regression guard: entry index 0 must be distinguishable from null.
+        hm = FixedSizeHashMap(8)
+        slot = hm.claim_slot(5)
+        hm.set_value(slot, 0)
+        assert hm.get_value(slot) == 0
+
+
+class TestBulkAccess:
+    def test_occupied_slots(self):
+        hm = FixedSizeHashMap(32)
+        keys = [3, 17, 99]
+        slots = sorted(hm.claim_slot(k) for k in keys)
+        assert sorted(hm.occupied_slots().tolist()) == slots
+
+    def test_load_factor_and_memory(self):
+        hm = FixedSizeHashMap(10)
+        hm.claim_slot(1)
+        hm.claim_slot(2)
+        assert hm.load_factor == pytest.approx(0.2)
+        assert hm.memory_bytes == 160
+
+    def test_keys_array_marks_empties(self):
+        hm = FixedSizeHashMap(4)
+        hm.claim_slot(1)
+        keys = hm.keys_array()
+        assert (keys == np.uint64(EMPTY_KEY)).sum() == 3
+
+
+class TestConcurrency:
+    def test_parallel_claims_no_lost_keys(self):
+        """Threads hammer overlapping key sets; every key ends up exactly once."""
+        hm = FixedSizeHashMap(512)
+        all_keys = list(range(200))
+        n_threads = 8
+        results: "list[dict[int, int]]" = [dict() for _ in range(n_threads)]
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for k in all_keys:
+                results[tid][k] = hm.claim_slot(k)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All threads agree on every key's slot.
+        for k in all_keys:
+            slots = {results[t][k] for t in range(n_threads)}
+            assert len(slots) == 1, f"key {k} mapped to multiple slots {slots}"
+        assert hm.size == len(all_keys)

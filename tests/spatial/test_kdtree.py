@@ -1,0 +1,89 @@
+"""Kd-tree: construction, radius queries, pair sweeps."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.kdtree import KDTree
+
+
+def _brute_radius(points, q, r):
+    d2 = np.einsum("ij,ij->i", points - q, points - q)
+    return np.sort(np.nonzero(d2 <= r * r)[0])
+
+
+class TestQueryRadius:
+    def test_matches_brute_force(self, rng):
+        points = rng.uniform(-100, 100, size=(500, 3))
+        tree = KDTree(points)
+        for _ in range(25):
+            q = rng.uniform(-100, 100, size=3)
+            r = float(rng.uniform(1.0, 40.0))
+            np.testing.assert_array_equal(
+                tree.query_radius(q, r), _brute_radius(points, q, r)
+            )
+
+    def test_point_on_itself(self, rng):
+        points = rng.uniform(-10, 10, size=(50, 3))
+        tree = KDTree(points)
+        hits = tree.query_radius(points[7], 1e-9)
+        assert 7 in hits.tolist()
+
+    def test_no_hits(self, rng):
+        points = rng.uniform(-10, 10, size=(50, 3))
+        tree = KDTree(points)
+        assert len(tree.query_radius(np.array([1000.0, 0, 0]), 1.0)) == 0
+
+    def test_small_input_is_single_leaf(self):
+        points = np.arange(9.0).reshape(3, 3)
+        tree = KDTree(points)
+        assert tree.n_nodes == 1
+        assert tree.query_radius(points[1], 0.1).tolist() == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((5, 2)))
+        tree = KDTree(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            tree.query_radius(np.zeros(3), 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_query_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 120))
+        points = rng.uniform(-50, 50, size=(n, 3))
+        tree = KDTree(points)
+        q = rng.uniform(-50, 50, size=3)
+        r = float(rng.uniform(0.5, 30.0))
+        np.testing.assert_array_equal(tree.query_radius(q, r), _brute_radius(points, q, r))
+
+
+class TestPairsWithin:
+    def test_matches_brute_force(self, rng):
+        points = rng.uniform(-50, 50, size=(120, 3))
+        tree = KDTree(points)
+        i, j = tree.pairs_within(15.0)
+        got = set(zip(i.tolist(), j.tolist()))
+        expected = set()
+        for a in range(len(points)):
+            for b in range(a + 1, len(points)):
+                if np.linalg.norm(points[a] - points[b]) <= 15.0:
+                    expected.add((a, b))
+        assert got == expected
+
+    def test_each_pair_once(self, rng):
+        points = rng.uniform(-20, 20, size=(80, 3))
+        tree = KDTree(points)
+        i, j = tree.pairs_within(10.0)
+        assert np.all(i < j)
+        pairs = list(zip(i.tolist(), j.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    def test_memory_accounting(self, rng):
+        tree = KDTree(rng.uniform(-10, 10, size=(200, 3)))
+        assert tree.memory_bytes > 200 * 8

@@ -1,0 +1,94 @@
+"""Loose octree: containment, queries, pair sweeps."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.octree import LooseOctree
+
+
+def _brute_radius(points, q, r):
+    d2 = np.einsum("ij,ij->i", points - q, points - q)
+    return np.sort(np.nonzero(d2 <= r * r)[0])
+
+
+class TestBuild:
+    def test_counts_preserved(self, rng):
+        points = rng.uniform(-500, 500, size=(300, 3))
+        tree = LooseOctree(object_radius=10.0)
+        tree.build(points)
+        total = sum(tree.depth_histogram.values())
+        assert total == 300
+
+    def test_deep_placement_for_clustered_points(self, rng):
+        points = rng.uniform(-5, 5, size=(100, 3))
+        tree = LooseOctree(object_radius=1.0, max_depth=12)
+        tree.build(points)
+        hist = tree.depth_histogram
+        assert max(hist) >= 8  # clustered points sink deep
+
+    def test_rebuild_resets(self, rng):
+        tree = LooseOctree(object_radius=10.0)
+        tree.build(rng.uniform(-100, 100, size=(50, 3)))
+        nodes_first = tree.n_nodes
+        tree.build(rng.uniform(-100, 100, size=(10, 3)))
+        assert sum(tree.depth_histogram.values()) == 10
+        assert tree.n_nodes <= nodes_first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LooseOctree(object_radius=0.0)
+        with pytest.raises(ValueError):
+            LooseOctree(object_radius=1.0, max_depth=0)
+        with pytest.raises(ValueError):
+            LooseOctree(object_radius=1.0, looseness=0.5)
+        tree = LooseOctree(object_radius=1.0)
+        with pytest.raises(ValueError):
+            tree.build(np.zeros((3, 2)))
+        with pytest.raises(RuntimeError):
+            LooseOctree(object_radius=1.0).query_radius(np.zeros(3), 1.0)
+
+
+class TestQueries:
+    def test_matches_brute_force(self, rng):
+        points = rng.uniform(-400, 400, size=(400, 3))
+        tree = LooseOctree(object_radius=5.0)
+        tree.build(points)
+        for _ in range(20):
+            q = rng.uniform(-400, 400, size=3)
+            r = float(rng.uniform(5.0, 80.0))
+            np.testing.assert_array_equal(
+                tree.query_radius(q, r), _brute_radius(points, q, r)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_query_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 150))
+        points = rng.uniform(-200, 200, size=(n, 3))
+        tree = LooseOctree(object_radius=8.0)
+        tree.build(points)
+        q = rng.uniform(-200, 200, size=3)
+        r = float(rng.uniform(1.0, 50.0))
+        np.testing.assert_array_equal(tree.query_radius(q, r), _brute_radius(points, q, r))
+
+    def test_pairs_match_kdtree(self, rng):
+        from repro.spatial.kdtree import KDTree
+
+        points = rng.uniform(-100, 100, size=(150, 3))
+        tree = LooseOctree(object_radius=5.0)
+        tree.build(points)
+        kd = KDTree(points)
+        oct_pairs = set(zip(*(x.tolist() for x in tree.pairs_within(25.0))))
+        kd_pairs = set(zip(*(x.tolist() for x in kd.pairs_within(25.0))))
+        assert oct_pairs == kd_pairs
+
+    def test_pair_order(self, rng):
+        points = rng.uniform(-50, 50, size=(60, 3))
+        tree = LooseOctree(object_radius=5.0)
+        tree.build(points)
+        i, j = tree.pairs_within(20.0)
+        assert np.all(i < j)

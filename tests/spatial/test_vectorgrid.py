@@ -1,0 +1,227 @@
+"""Data-parallel grids: equivalence with the serial grid, CAS rounds."""
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.grid import UniformGrid
+from repro.spatial.vectorgrid import SortedGrid, VectorHashGrid, compute_cell_keys
+
+
+def _random_points(rng, n, span=400.0):
+    return rng.uniform(-span, span, size=(n, 3))
+
+
+def _pair_set(i, j):
+    return set(zip(i.tolist(), j.tolist()))
+
+
+class TestComputeCellKeys:
+    def test_matches_uniform_grid(self, rng):
+        pos = _random_points(rng, 50)
+        grid = UniformGrid(30.0, capacity=50)
+        np.testing.assert_array_equal(
+            compute_cell_keys(pos, 30.0), grid.cell_keys(pos)
+        )
+
+    def test_out_of_extent_rejected(self):
+        with pytest.raises(ValueError):
+            compute_cell_keys(np.array([[1e6, 0, 0]]), 30.0)
+
+
+class TestSortedGrid:
+    def test_occupancy_matches_serial(self, rng):
+        n = 200
+        pos = _random_points(rng, n)
+        serial = UniformGrid(25.0, capacity=n)
+        serial.insert_batch(np.arange(n), pos)
+        sg = SortedGrid(25.0)
+        sg.build(np.arange(n), pos)
+        assert sg.occupancy() == serial.occupancy()
+
+    def test_pairs_match_serial(self, rng):
+        n = 150
+        pos = _random_points(rng, n, span=250.0)
+        serial = UniformGrid(40.0, capacity=n)
+        serial.insert_batch(np.arange(n), pos)
+        sg = SortedGrid(40.0)
+        sg.build(np.arange(n), pos)
+        i, j = sg.candidate_pairs()
+        assert _pair_set(i, j) == set(serial.candidate_pairs())
+
+    def test_empty_cells_no_pairs(self):
+        sg = SortedGrid(10.0)
+        sg.build(np.array([0]), np.array([[0.0, 0.0, 0.0]]))
+        i, j = sg.candidate_pairs()
+        assert len(i) == 0
+
+    def test_requires_build(self):
+        sg = SortedGrid(10.0)
+        with pytest.raises(RuntimeError, match="not built"):
+            sg.candidate_pairs()
+
+    def test_pair_order_normalised(self, rng):
+        n = 80
+        pos = _random_points(rng, n, span=150.0)
+        sg = SortedGrid(50.0)
+        sg.build(np.arange(n), pos)
+        i, j = sg.candidate_pairs()
+        assert np.all(i < j)
+
+    def test_dense_cell_fallback(self, rng):
+        """More than _DENSE_CELL_LIMIT objects in one cell exercises the
+        per-cell fallback path."""
+        n = 150
+        pos = rng.uniform(0.0, 5.0, size=(n, 3))  # all in one 30 km cell
+        sg = SortedGrid(30.0)
+        sg.build(np.arange(n), pos)
+        i, j = sg.candidate_pairs()
+        assert len(i) == n * (n - 1) // 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_completeness_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 30
+        cell = 45.0
+        pos = rng.uniform(-150, 150, size=(n, 3))
+        sg = SortedGrid(cell)
+        sg.build(np.arange(n), pos)
+        pairs = _pair_set(*sg.candidate_pairs())
+        for a, b in itertools.combinations(range(n), 2):
+            if np.linalg.norm(pos[a] - pos[b]) <= cell:
+                assert (a, b) in pairs
+
+
+class TestVectorHashGrid:
+    def test_occupancy_matches_serial(self, rng):
+        n = 200
+        pos = _random_points(rng, n)
+        serial = UniformGrid(25.0, capacity=n)
+        serial.insert_batch(np.arange(n), pos)
+        vg = VectorHashGrid(25.0, capacity=n)
+        vg.build(np.arange(n), pos)
+        assert vg.occupancy() == serial.occupancy()
+
+    def test_pairs_match_sorted_grid(self, rng):
+        n = 150
+        pos = _random_points(rng, n, span=250.0)
+        sg = SortedGrid(40.0)
+        sg.build(np.arange(n), pos)
+        vg = VectorHashGrid(40.0, capacity=n)
+        vg.build(np.arange(n), pos)
+        assert _pair_set(*vg.candidate_pairs()) == _pair_set(*sg.candidate_pairs())
+
+    def test_lookup_hits_and_misses(self, rng):
+        n = 60
+        pos = _random_points(rng, n)
+        vg = VectorHashGrid(30.0, capacity=n)
+        vg.build(np.arange(n), pos)
+        keys = compute_cell_keys(pos, 30.0)
+        slots = vg.lookup(keys)
+        assert (slots >= 0).all()
+        assert (vg.table_keys[slots] == keys).all()
+        # A key that cannot exist (outside any occupied coordinate) misses.
+        missing = vg.lookup(np.array([keys.max() + np.uint64(12345)]))
+        assert missing[0] == -1
+
+    def test_round_counters(self, rng):
+        n = 100
+        pos = _random_points(rng, n)
+        vg = VectorHashGrid(30.0, capacity=n)
+        vg.build(np.arange(n), pos)
+        assert vg.insert_rounds >= 1
+        assert vg.attach_rounds >= 1
+        # Attach rounds equal the deepest cell occupancy.
+        deepest = max(len(m) for m in vg.occupancy().values())
+        assert vg.attach_rounds == deepest
+
+    def test_capacity_enforced(self, rng):
+        vg = VectorHashGrid(30.0, capacity=3)
+        with pytest.raises(RuntimeError, match="exceeds grid capacity"):
+            vg.build(np.arange(5), _random_points(rng, 5))
+
+    def test_empty_build_pairs(self):
+        vg = VectorHashGrid(30.0, capacity=4)
+        i, j = vg.candidate_pairs()
+        assert len(i) == 0
+
+    def test_single_dense_cell(self, rng):
+        n = 90
+        pos = rng.uniform(0.0, 4.0, size=(n, 3))
+        vg = VectorHashGrid(30.0, capacity=n)
+        vg.build(np.arange(n), pos)
+        i, j = vg.candidate_pairs()
+        assert len(i) == n * (n - 1) // 2
+        assert vg.attach_rounds == n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorHashGrid(0.0, capacity=4)
+        with pytest.raises(ValueError):
+            VectorHashGrid(30.0, capacity=0)
+        with pytest.raises(ValueError):
+            SortedGrid(-1.0)
+
+
+class TestThreeWayEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_all_grid_implementations_agree(self, seed):
+        """The paper's CPU hash grid, the GPU CAS-round emulation, and the
+        sort-based grouping must produce identical candidate sets."""
+        rng = np.random.default_rng(seed)
+        n = 60
+        cell = 35.0
+        pos = rng.uniform(-250, 250, size=(n, 3))
+        ids = np.arange(n)
+
+        serial = UniformGrid(cell, capacity=n)
+        serial.insert_batch(ids, pos)
+        sg = SortedGrid(cell)
+        sg.build(ids, pos)
+        vg = VectorHashGrid(cell, capacity=n)
+        vg.build(ids, pos)
+
+        ref = set(serial.candidate_pairs())
+        assert _pair_set(*sg.candidate_pairs()) == ref
+        assert _pair_set(*vg.candidate_pairs()) == ref
+        assert sg.occupancy() == vg.occupancy() == serial.occupancy()
+
+
+class TestScipyOracle:
+    """Independent oracle: scipy's cKDTree pair query must be a subset of
+    the grid's candidate emission (the grid's 27-cell neighbourhood covers
+    strictly more than the sphere of one cell size)."""
+
+    def test_grid_covers_ckdtree_pairs(self, rng):
+        from scipy.spatial import cKDTree
+
+        n = 400
+        cell = 35.0
+        pos = rng.uniform(-600, 600, size=(n, 3))
+        sg = SortedGrid(cell)
+        sg.build(np.arange(n), pos)
+        grid_pairs = _pair_set(*sg.candidate_pairs())
+        tree_pairs = set(map(tuple, cKDTree(pos).query_pairs(cell)))
+        tree_pairs = {(min(a, b), max(a, b)) for a, b in tree_pairs}
+        assert tree_pairs <= grid_pairs
+
+    def test_grid_emits_nothing_beyond_neighbourhood(self, rng):
+        """Converse bound: no candidate pair is farther apart than the
+        neighbourhood diagonal 2*sqrt(3)*cell."""
+        from scipy.spatial import cKDTree
+
+        n = 300
+        cell = 40.0
+        pos = rng.uniform(-400, 400, size=(n, 3))
+        sg = SortedGrid(cell)
+        sg.build(np.arange(n), pos)
+        i, j = sg.candidate_pairs()
+        if len(i):
+            d = np.linalg.norm(pos[i] - pos[j], axis=1)
+            assert d.max() <= 2.0 * np.sqrt(3.0) * cell + 1e-9

@@ -1,0 +1,97 @@
+"""Command-line interface."""
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_screen_small_population(capsys):
+    rc = main(
+        [
+            "screen", "--objects", "100", "--seed", "3", "--method", "grid",
+            "--duration-s", "300", "--sps", "2", "--threshold-km", "5",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "generated 100 synthetic objects" in out
+    assert "grid/vectorized" in out
+    assert "phase breakdown" in out
+
+
+def test_generate_and_screen_catalog(tmp_path, capsys):
+    out_file = tmp_path / "cat.tle"
+    assert main(["generate", "--objects", "30", "--seed", "1", "--output", str(out_file)]) == 0
+    text = out_file.read_text()
+    assert text.count("\n1 ") + text.startswith("1 ") >= 30 or "SYNTH-0" in text
+
+    rc = main(
+        [
+            "screen", "--catalog", str(out_file), "--method", "hybrid",
+            "--duration-s", "300", "--hybrid-sps", "10", "--threshold-km", "5",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "loaded 30 objects" in out
+    assert "hybrid/vectorized" in out
+
+
+def test_plan_output(capsys):
+    rc = main(["plan", "--objects", "64000", "--budget-gb", "24", "--variant", "hybrid"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "parallel steps" in out
+    assert "conjunction map" in out
+
+
+def test_plan_auto_adjust_visible(capsys):
+    rc = main(
+        [
+            "plan", "--objects", "1024000", "--budget-gb", "24",
+            "--variant", "hybrid", "--duration-s", "86400",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "auto-adjusted" in out
+
+
+def test_missing_subcommand_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_screen_rejects_unknown_method():
+    with pytest.raises(SystemExit):
+        main(["screen", "--method", "octree"])
+
+
+def test_screen_with_exports(tmp_path, capsys):
+    csv_path = tmp_path / "out.csv"
+    cdm_path = tmp_path / "out.cdm"
+    rc = main(
+        [
+            "screen", "--objects", "200", "--seed", "21", "--method", "grid",
+            "--duration-s", "600", "--sps", "2", "--threshold-km", "10",
+            "--output", str(csv_path), "--cdm", str(cdm_path),
+        ]
+    )
+    assert rc == 0
+    assert csv_path.read_text().startswith("object_i,object_j,tca_s,pca_km")
+    out = capsys.readouterr().out
+    assert "conjunction rows" in out
+    assert "CDM records" in out
+
+
+def test_screen_with_report_flag(capsys):
+    rc = main(
+        [
+            "screen", "--objects", "300", "--seed", "7", "--method", "grid",
+            "--duration-s", "600", "--sps", "2", "--threshold-km", "10", "--report",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "phase budget" in out

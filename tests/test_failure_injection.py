@@ -1,0 +1,90 @@
+"""Failure injection: capacity exhaustion, overflow recovery, bad inputs.
+
+Fixed-size structures must fail loudly and recoverably, and the pipeline's
+overflow-regrow path (the runtime patch over an Extra-P underestimate)
+must preserve results.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.api import screen
+from repro.detection.gridbased import _regrow
+from repro.detection.types import ScreeningConfig
+from repro.orbits.elements import OrbitalElementsArray
+from repro.population.generator import generate_population
+from repro.spatial.conjmap import ConjunctionMap
+from repro.spatial.grid import UniformGrid
+from repro.spatial.hashmap import HashMapFullError
+
+
+class TestConjunctionMapOverflowRecovery:
+    def test_regrow_preserves_records(self):
+        cm = ConjunctionMap(16)
+        cm.insert(1, 2, 0)
+        cm.insert_batch(np.array([3, 5]), np.array([4, 6]), step=1)
+        grown = _regrow(cm)
+        assert grown.capacity == 32
+        i, j, s = grown.records()
+        assert list(zip(i, j, s)) == [(1, 2, 0), (3, 4, 1), (5, 6, 1)]
+
+    def test_screening_survives_tiny_conjunction_map(self, monkeypatch, crossing_pair):
+        """Force a pathologically small initial map: the pipeline must
+        regrow transparently and produce identical results."""
+        import repro.detection.gridbased as gb
+
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=6000.0, seconds_per_sample=1.0)
+        reference = screen(crossing_pair, cfg, method="grid")
+
+        monkeypatch.setattr(
+            gb, "_make_conjmap", lambda n, config, variant, sps: ConjunctionMap(2)
+        )
+        squeezed = screen(crossing_pair, cfg, method="grid")
+        assert squeezed.unique_pairs() == reference.unique_pairs()
+        assert squeezed.n_conjunctions == reference.n_conjunctions
+
+
+class TestCapacityExhaustion:
+    def test_grid_over_capacity_raises_cleanly(self):
+        grid = UniformGrid(10.0, capacity=2)
+        grid.insert(0, np.zeros(3))
+        grid.insert(1, np.array([500.0, 0, 0]))
+        with pytest.raises(RuntimeError, match="exhausted"):
+            grid.insert(2, np.array([1000.0, 0, 0]))
+
+    def test_conjmap_overflow_error_is_actionable(self):
+        cm = ConjunctionMap(2)
+        cm.insert(0, 1, 0)
+        cm.insert(0, 1, 1)
+        with pytest.raises(HashMapFullError, match="seconds-per-sample"):
+            cm.insert(0, 1, 2)
+
+
+class TestHostileInputs:
+    def test_population_escaping_volume_fails_at_grid(self):
+        # An orbit with apogee beyond the simulation cube: propagation is
+        # fine, the grid must reject it with a clear message.
+        pop = OrbitalElementsArray(
+            a=np.array([50000.0]), e=np.array([0.0]), i=np.array([0.1]),
+            raan=np.array([0.0]), argp=np.array([0.0]), m0=np.array([0.0]),
+        )
+        cfg = ScreeningConfig(threshold_km=2.0, duration_s=60.0, seconds_per_sample=2.0)
+        with pytest.raises(ValueError, match="simulation cube"):
+            screen(pop, cfg, method="grid")
+
+    def test_single_object_population_screens_cleanly(self):
+        pop = generate_population(1, seed=0)
+        cfg = ScreeningConfig(threshold_km=2.0, duration_s=120.0, seconds_per_sample=2.0)
+        for method in ("grid", "hybrid", "legacy"):
+            result = screen(pop, cfg, method=method)
+            assert result.n_conjunctions == 0, method
+
+    def test_duplicate_object_is_reported_not_crashed(self):
+        """Two identical element sets (a cataloguing error) are permanently
+        at zero distance: the screeners must flag them, not die."""
+        pop = generate_population(1, seed=3)
+        doubled = OrbitalElementsArray.concatenate([pop, pop])
+        cfg = ScreeningConfig(threshold_km=2.0, duration_s=120.0, seconds_per_sample=2.0)
+        result = screen(doubled, cfg, method="grid")
+        assert (0, 1) in result.unique_pairs()

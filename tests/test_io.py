@@ -1,0 +1,85 @@
+"""Result interchange: CSV / JSON / CDM round trips."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.types import ScreeningResult, empty_result
+from repro.io import format_cdm, from_json, read_csv, to_json, write_csv
+from repro.parallel.backend import PhaseTimer
+
+
+@pytest.fixture()
+def result():
+    timers = PhaseTimer()
+    timers.add("INS", 1.0)
+    timers.add("CD", 3.0)
+    return ScreeningResult(
+        method="hybrid",
+        backend="vectorized",
+        i=np.array([1, 5]),
+        j=np.array([2, 9]),
+        tca_s=np.array([10.5, 300.25]),
+        pca_km=np.array([0.75, 1.9]),
+        candidates_refined=12,
+        timers=timers,
+        filter_stats={"apogee_perigee": {"seen": 10, "excluded": 4}},
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, result, tmp_path):
+        path = tmp_path / "conj.csv"
+        assert write_csv(result, path) == 2
+        i, j, tca, pca = read_csv(path)
+        np.testing.assert_array_equal(i, [1, 5])
+        np.testing.assert_array_equal(j, [2, 9])
+        np.testing.assert_allclose(tca, [10.5, 300.25])
+        np.testing.assert_allclose(pca, [0.75, 1.9])
+
+    def test_empty_result(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_csv(empty_result("grid", "serial"), path) == 0
+        i, j, tca, pca = read_csv(path)
+        assert len(i) == 0
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "junk.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="bad header"):
+            read_csv(path)
+
+
+class TestJson:
+    def test_round_trip(self, result):
+        back = from_json(to_json(result))
+        assert back.method == "hybrid"
+        assert back.backend == "vectorized"
+        assert back.candidates_refined == 12
+        assert back.unique_pairs() == result.unique_pairs()
+        assert back.timers.totals == {"INS": 1.0, "CD": 3.0}
+        assert back.filter_stats == result.filter_stats
+
+    def test_conjunctions_sorted(self, result):
+        back = from_json(to_json(result))
+        assert [c.tca_s for c in back.conjunctions()] == [10.5, 300.25]
+
+
+class TestCdm:
+    def test_one_block_per_conjunction(self, result):
+        text = format_cdm(result)
+        assert text.count("CDM_ID") == 2
+        assert "OBJECT1_DESIGNATOR  = 1" in text
+        assert "COLLISION_PROBABILITY" in text
+
+    def test_probability_ordering(self, result):
+        # Closer approach (0.75 km) must carry a higher P_c than 1.9 km.
+        text = format_cdm(result)
+        probs = [
+            float(line.split("=")[1]) for line in text.splitlines()
+            if line.startswith("COLLISION_PROBABILITY")
+        ]
+        assert probs[0] > probs[1]
+
+    def test_empty(self):
+        assert format_cdm(empty_result("grid", "serial")) == ""

@@ -1,0 +1,80 @@
+"""Terminal report rendering."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.types import ScreeningResult, empty_result
+from repro.parallel.backend import PhaseTimer
+from repro.report import busiest_objects, full_report, histogram, phase_budget, timeline
+
+
+@pytest.fixture()
+def result():
+    timers = PhaseTimer()
+    timers.add("INS", 1.0)
+    timers.add("CD", 2.0)
+    timers.add("REF", 1.0)
+    return ScreeningResult(
+        method="grid",
+        backend="vectorized",
+        i=np.array([1, 1, 3, 5]),
+        j=np.array([2, 4, 4, 6]),
+        tca_s=np.array([10.0, 500.0, 550.0, 900.0]),
+        pca_km=np.array([0.5, 1.5, 1.8, 0.2]),
+        candidates_refined=9,
+        timers=timers,
+    )
+
+
+def test_histogram_bins_and_counts(result):
+    text = histogram(result.pca_km, bins=4, label="PCA")
+    assert text.startswith("PCA:")
+    assert len(text.splitlines()) == 5
+    # Total count across bins equals the sample count.
+    total = sum(int(line.rsplit(" ", 1)[1]) for line in text.splitlines()[1:])
+    assert total == 4
+
+
+def test_histogram_empty():
+    assert "(no data)" in histogram(np.empty(0), label="x")
+
+
+def test_histogram_validation(result):
+    with pytest.raises(ValueError):
+        histogram(result.pca_km, bins=0)
+
+
+def test_timeline_slots(result):
+    text = timeline(result, duration_s=1000.0, slots=10)
+    lines = text.splitlines()
+    assert len(lines) == 11
+    total = sum(int(line.rsplit(" ", 1)[1]) for line in lines[1:])
+    assert total == 4
+
+
+def test_timeline_empty():
+    assert "(no conjunctions)" in timeline(empty_result("grid", "serial"), 100.0)
+
+
+def test_busiest_objects_ranking(result):
+    text = busiest_objects(result, top=3)
+    lines = text.splitlines()
+    # Objects 1 and 4 appear twice each.
+    assert "2 conjunctions" in lines[1]
+    assert "2 conjunctions" in lines[2]
+
+
+def test_phase_budget_percentages(result):
+    text = phase_budget(result)
+    assert "CD" in text and "50.0%" in text
+
+
+def test_phase_budget_empty():
+    assert "(no timings)" in phase_budget(empty_result("grid", "serial"))
+
+
+def test_full_report_combines_everything(result):
+    text = full_report(result, duration_s=1000.0)
+    for fragment in ("grid/vectorized", "phase budget", "PCA distribution", "busiest objects"):
+        assert fragment in text

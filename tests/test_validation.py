@@ -1,0 +1,42 @@
+"""Brute-force oracle vs every screening variant."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+from repro.population.generator import generate_population
+from repro.validation import brute_force_screen
+
+CFG = ScreeningConfig(threshold_km=5.0, duration_s=6000.0, seconds_per_sample=1.0)
+
+
+def test_oracle_finds_engineered_conjunctions(crossing_pair):
+    ref = brute_force_screen(crossing_pair, CFG)
+    assert ref.n_conjunctions == 2
+    conjs = ref.conjunctions()
+    assert conjs[0].pca_km == pytest.approx(1.22, abs=0.01)
+    assert conjs[1].tca_s == pytest.approx(2914.5, abs=1.0)
+
+
+@pytest.mark.parametrize("method", ["grid", "hybrid", "legacy", "kdtree"])
+def test_variants_match_oracle_on_population(method):
+    pop = generate_population(250, seed=77)
+    cfg = ScreeningConfig(threshold_km=10.0, duration_s=900.0, seconds_per_sample=2.0)
+    oracle = brute_force_screen(pop, cfg, oversample=4)
+    got = screen(pop, cfg, method=method)
+    assert got.unique_pairs() == oracle.unique_pairs(), method
+    # PCA values match per pair to refinement accuracy.
+    oracle_best = {}
+    for c in oracle.conjunctions():
+        key = (c.i, c.j)
+        oracle_best[key] = min(oracle_best.get(key, np.inf), c.pca_km)
+    for c in got.conjunctions():
+        assert c.pca_km == pytest.approx(oracle_best[(c.i, c.j)], abs=1e-3)
+
+
+def test_oracle_validation():
+    pop = generate_population(10, seed=1)
+    with pytest.raises(ValueError):
+        brute_force_screen(pop, CFG, oversample=0)
