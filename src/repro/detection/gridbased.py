@@ -26,9 +26,9 @@ from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer, parallel_for, resolve_backend
 from repro.perfmodel.memory import conjunction_capacity, plan_memory
-from repro.spatial.conjmap import ConjunctionMap
+from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError
 from repro.spatial.grid import UniformGrid, cell_size_km
-from repro.spatial.hashmap import HashMapFullError
+from repro.spatial.hashing import MAX_ROUND_STEPS
 from repro.spatial.vectorgrid import SortedGrid, VectorHashGrid
 
 
@@ -123,23 +123,50 @@ def collect_grid_candidates(
     backend: str,
     timers: PhaseTimer,
     round_size: "int | None" = None,
+    fused: bool = True,
 ) -> ConjunctionMap:
-    """Steps 2-3: per sampling step, build the grid and record candidates.
+    """Steps 2-3: per computation round, build grids and record candidates.
 
     Shared by the grid-based and hybrid variants (which differ only in the
     sampling step / cell size feeding this loop and in what happens to the
     records afterwards).  On conjunction-map overflow the map is regrown
-    and the step replayed — the runtime analogue of the paper's "treat the
-    Extra-P model as a base size assumption".
+    and the interrupted step (or round) replayed — the runtime analogue of
+    the paper's "treat the Extra-P model as a base size assumption".  Only
+    :class:`ConjunctionMapFullError` triggers that recovery: a grid
+    hash-map overflow raised in the same phase is a sizing bug and must
+    propagate, not regrow the wrong structure and replay forever.
 
     ``round_size`` is the Section V-B parallelisation factor ``p``: that
-    many steps are processed per computation round, with the propagation
-    of the whole round batched into one fused Kepler solve (the paper's
-    simultaneous grids).  ``None`` chooses a small default round.
+    many steps are processed per computation round.  On the vectorized
+    backend (with ``fused``, the default) the whole round is one fused
+    pass: one batched Kepler solve over ``p * n`` lanes, one multi-step
+    grid build keyed by compound (step, cell) keys, one pair emission and
+    one conjunction-map batch merge — no Python loop over the round's
+    steps.  The serial and threads backends (and ``fused=False``) keep the
+    per-step loop as the reference semantics; the differential tests prove
+    both paths emit the identical record set.  ``None`` chooses a default
+    round size.
     """
     if round_size is None:
-        round_size = 8 if backend == "vectorized" else 1
-    round_size = max(1, min(round_size, len(times)))
+        round_size = 16 if backend == "vectorized" else 1
+    round_size = max(1, min(round_size, len(times), MAX_ROUND_STEPS))
+
+    if backend == "vectorized" and fused:
+        chunk_start = 0
+        while chunk_start < len(times):
+            chunk = times[chunk_start : chunk_start + round_size]
+            with timers.phase("INS"):
+                positions = propagator.positions_batch(chunk)
+                grid = _build_round_grid(ids, positions, cell, config)
+            try:
+                with timers.phase("CD"):
+                    ci, cj, csteps = grid.candidate_pair_steps()
+                    conj.insert_batch(ci, cj, csteps + chunk_start)
+            except ConjunctionMapFullError:
+                conj = _regrow(conj)
+                continue  # replay this round into the regrown map
+            chunk_start += len(chunk)
+        return conj
 
     step = 0
     round_start = -1
@@ -169,11 +196,22 @@ def collect_grid_candidates(
                     pairs = grid.candidate_pairs()
                     for a, b in pairs:
                         conj.insert(a, b, step)
-        except HashMapFullError:
+        except ConjunctionMapFullError:
             conj = _regrow(conj)
             continue  # replay this step into the regrown map
         step += 1
     return conj
+
+
+def _build_round_grid(ids, positions, cell, config: ScreeningConfig):
+    """One multi-step grid covering a whole round (positions ``(p, n, 3)``)."""
+    lanes = positions.shape[0] * len(ids)
+    if config.grid_impl == "hashmap":
+        grid = VectorHashGrid(cell, capacity=lanes)
+    else:
+        grid = SortedGrid(cell)
+    grid.build_rounds(ids, positions)
+    return grid
 
 
 def _build_grid(ids, positions, cell, config: ScreeningConfig, backend: str):
@@ -199,10 +237,7 @@ def _build_grid(ids, positions, cell, config: ScreeningConfig, backend: str):
 def _regrow(old: ConjunctionMap) -> ConjunctionMap:
     new = ConjunctionMap(old.capacity * 2)
     i, j, step = old.records()
-    # Re-insert existing records batch-wise, grouped by step.
-    for s in np.unique(step):
-        mask = step == s
-        new.insert_batch(i[mask], j[mask], int(s))
+    new.insert_batch(i, j, step)
     return new
 
 

@@ -69,7 +69,8 @@ def screen_hybrid(
         ids = np.arange(n, dtype=np.int64)
 
     conj = collect_grid_candidates(
-        propagator, ids, times, cell, conj, config, backend, timers
+        propagator, ids, times, cell, conj, config, backend, timers,
+        round_size=plan.parallel_steps if plan is not None else None,
     )
 
     with timers.phase("COP"):

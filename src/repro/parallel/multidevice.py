@@ -25,9 +25,8 @@ from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer
 from repro.perfmodel.memory import MemoryPlan, conjunction_capacity, plan_memory
-from repro.spatial.conjmap import ConjunctionMap
+from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError
 from repro.spatial.grid import cell_size_km
-from repro.spatial.hashmap import HashMapFullError
 from repro.spatial.vectorgrid import SortedGrid
 
 
@@ -103,12 +102,10 @@ def screen_grid_multidevice(
                 with timers.phase("CD"):
                     ci, cj = grid.candidate_pairs()
                     conj.insert_batch(ci, cj, step)
-            except HashMapFullError:
+            except ConjunctionMapFullError:
                 bigger = ConjunctionMap(conj.capacity * 2)
                 ri, rj, rs = conj.records()
-                for s in np.unique(rs):
-                    m = rs == s
-                    bigger.insert_batch(ri[m], rj[m], int(s))
+                bigger.insert_batch(ri, rj, rs)
                 conj = bigger
                 continue
             peak = max(peak, conj.memory_bytes + 16 * 2 * n + 48 * n)

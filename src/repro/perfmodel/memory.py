@@ -92,6 +92,36 @@ class MemoryPlan:
         return self.grid_hash_bytes + self.entry_pool_bytes
 
     @property
+    def round_lanes(self) -> int:
+        """(satellite, step) lanes one fused round processes: ``p * n``.
+
+        The vectorized backend builds *one* multi-step grid per round
+        instead of ``p`` per-step grids; its key/entry arrays are sized for
+        this many lanes (Section V-B's simultaneous grids collapsed into a
+        single compound-keyed structure).
+        """
+        return self.parallel_steps * self.n_satellites
+
+    @property
+    def fused_grid_slots(self) -> int:
+        """Hash slots of the fused multi-step grid: 2 slots per lane.
+
+        The same 2x slot factor the paper gives each per-step grid, applied
+        to the whole round's lanes — byte-identical to ``p`` separate grid
+        hash areas (``p * a_gh``), just allocated as one table.
+        """
+        return 2 * self.round_lanes
+
+    @property
+    def fused_round_bytes(self) -> int:
+        """Footprint of one fused round's grid + entry lanes.
+
+        Equals ``parallel_steps * per_grid_bytes``: fusing reshapes the
+        allocation, it does not change the Section V-B budget arithmetic.
+        """
+        return self.parallel_steps * self.per_grid_bytes
+
+    @property
     def fixed_bytes(self) -> int:
         return self.satellite_bytes + self.solver_bytes + self.conjunction_map_bytes
 

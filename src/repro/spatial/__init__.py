@@ -15,14 +15,17 @@
   records with the paper's sizing rule.
 """
 from repro.spatial.atomic import AtomicCounter, AtomicUint64Array
-from repro.spatial.conjmap import ConjunctionMap
+from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError
 from repro.spatial.entries import EntryPool
 from repro.spatial.grid import HALF_NEIGHBOR_OFFSETS, NEIGHBOR_OFFSETS, UniformGrid, cell_size_km
 from repro.spatial.hashing import (
+    MAX_ROUND_STEPS,
     murmur3_32,
     murmur3_fmix64,
     pack_cell_key,
+    pack_step_cell_key,
     unpack_cell_key,
+    unpack_step_cell_key,
 )
 from repro.spatial.hashmap import FixedSizeHashMap
 from repro.spatial.kdtree import KDTree
@@ -33,11 +36,13 @@ __all__ = [
     "AtomicCounter",
     "AtomicUint64Array",
     "ConjunctionMap",
+    "ConjunctionMapFullError",
     "EntryPool",
     "FixedSizeHashMap",
     "HALF_NEIGHBOR_OFFSETS",
     "KDTree",
     "LooseOctree",
+    "MAX_ROUND_STEPS",
     "NEIGHBOR_OFFSETS",
     "SortedGrid",
     "UniformGrid",
@@ -46,5 +51,7 @@ __all__ = [
     "murmur3_32",
     "murmur3_fmix64",
     "pack_cell_key",
+    "pack_step_cell_key",
     "unpack_cell_key",
+    "unpack_step_cell_key",
 ]

@@ -9,14 +9,30 @@ different steps are kept.
 The map is fixed-size (sized up front from the Extra-P model of Section
 V-B, see :mod:`repro.perfmodel.memory`) and uses the same open-addressing
 CAS insertion as the grid hash map.  A vectorised ``insert_batch`` mirrors
-the GPU path: a whole step's pairs are deduplicated and inserted with array
-operations.
+the GPU path: a whole round's pairs (with per-record step indices) are
+deduplicated and merged with array operations.
+
+Both insertion paths may legitimately see the same record more than once —
+most importantly when an overflow regrows the map and the interrupted
+step/round is replayed, re-offering records the regrow already copied over.
+``records()``, ``size`` and ``load_factor`` therefore always reflect the
+*deduplicated* record set across both paths, making replay idempotent.
 """
 from __future__ import annotations
 
 import numpy as np
 
 from repro.spatial.hashmap import FixedSizeHashMap, HashMapFullError
+
+
+class ConjunctionMapFullError(HashMapFullError):
+    """The conjunction map specifically (not a grid hash map) overflowed.
+
+    A distinct type so the overflow→regrow→replay recovery in the
+    detection loops can react to conjunction-map pressure without
+    misreading an unrelated grid-hashmap overflow raised in the same
+    phase — regrowing the wrong structure would replay forever.
+    """
 
 #: Bit widths of the packed (i, j, step) record key: ids up to ~1M objects
 #: (20 bits each), steps up to 2^23 samples.
@@ -69,19 +85,21 @@ class ConjunctionMap:
 
     def __init__(self, capacity: int) -> None:
         self._map = FixedSizeHashMap(capacity)
+        #: Sorted, deduplicated record keys from the batch path.
         self._step_keys: np.ndarray = np.empty(0, dtype=np.uint64)
-        self._batches: list[np.ndarray] = []
-        self._batch_total = 0
+        #: Cached deduplicated record count across both paths (None = stale).
+        self._size_cache: "int | None" = 0
 
     @property
     def capacity(self) -> int:
         return self._map.capacity
 
     def insert(self, i: int, j: int, step: int) -> bool:
-        """Insert one record; returns True if it was new.
+        """Insert one record; returns True if it claimed a fresh CAS slot.
 
         Thread-safe (CAS claim on the record key); duplicates — the same
-        pair discovered from both satellites' cells — are absorbed.
+        pair discovered from both satellites' cells, or a record replayed
+        after a regrow — are absorbed by the key-level dedup.
         """
         lo, hi = (i, j) if i < j else (j, i)
         key = pack_pair_key(lo, hi, step)
@@ -89,50 +107,75 @@ class ConjunctionMap:
         try:
             self._map.claim_slot(key)
         except HashMapFullError as exc:
-            raise HashMapFullError(
+            raise ConjunctionMapFullError(
                 f"conjunction map (capacity {self.capacity}) overflowed; the Extra-P "
                 "size model underestimated this population - increase the size margin "
                 "or reduce seconds-per-sample (Section V-B)"
             ) from exc
-        return self._map.insert_count > before
+        fresh = self._map.insert_count > before
+        if fresh:
+            self._size_cache = None
+        return fresh
 
-    def insert_batch(self, i: np.ndarray, j: np.ndarray, step: int) -> int:
-        """Vectorised insert of one step's candidate pairs; returns #new.
+    def insert_batch(self, i: np.ndarray, j: np.ndarray, step) -> int:
+        """Vectorised insert of candidate pairs; returns #new records.
 
-        The GPU-analogue path: normalise, pack, deduplicate within the
-        batch with ``np.unique``, and append — cross-step deduplication is
-        unnecessary because the step is part of the key, and cross-batch
-        duplicates cannot occur because each step is one batch.
+        The GPU-analogue path: normalise, pack, deduplicate and merge with
+        array operations.  ``step`` is either one int applied to the whole
+        batch (a per-step batch) or an array of per-record step indices (a
+        fused multi-step round).  Records already present — from earlier
+        batches or the CAS path — are absorbed, so replaying a round after
+        a regrow cannot duplicate records.
         """
         if len(i) == 0:
             return 0
         lo = np.minimum(i, j)
         hi = np.maximum(i, j)
-        keys = np.unique(pack_pair_key(lo, hi, np.full(len(lo), step, dtype=np.int64)))
-        if self.size + len(keys) > self.capacity:
-            raise HashMapFullError(
+        if np.ndim(step) == 0:
+            steps = np.full(len(lo), int(step), dtype=np.int64)
+        else:
+            steps = np.asarray(step, dtype=np.int64)
+        keys = np.unique(pack_pair_key(lo, hi, steps))
+        merged = np.union1d(self._step_keys, keys)
+        total = self._deduped_total(merged)
+        if total > self.capacity:
+            raise ConjunctionMapFullError(
                 f"conjunction map (capacity {self.capacity}) overflowed; the Extra-P "
                 "size model underestimated this population (Section V-B)"
             )
-        self._batches.append(keys)
-        self._batch_total += len(keys)
-        return len(keys)
+        added = len(merged) - len(self._step_keys)
+        self._step_keys = merged
+        self._size_cache = total
+        return added
 
-    def _flush(self) -> None:
-        if self._batches:
-            parts = [self._step_keys] if self._step_keys.size else []
-            parts.extend(self._batches)
-            self._step_keys = np.concatenate(parts)
-            self._batches = []
+    def _cas_keys(self) -> np.ndarray:
+        occupied = self._map.occupied_slots()
+        if occupied.size == 0:
+            return np.empty(0, dtype=np.uint64)
+        return self._map.keys_array()[occupied].astype(np.uint64)
+
+    def _deduped_total(self, step_keys: np.ndarray) -> int:
+        """Distinct records across ``step_keys`` (sorted unique) and the CAS table."""
+        cas = self._cas_keys()
+        if cas.size == 0:
+            return len(step_keys)
+        if step_keys.size == 0:
+            return len(cas)
+        pos = np.searchsorted(step_keys, cas)
+        present = (pos < len(step_keys)) & (
+            step_keys[np.minimum(pos, len(step_keys) - 1)] == cas
+        )
+        return len(step_keys) + len(cas) - int(present.sum())
 
     @property
     def size(self) -> int:
-        """Number of stored records across both insertion paths.
+        """Number of *distinct* stored records across both insertion paths.
 
-        Maintained incrementally (CAS inserts count fresh claims, batch
-        inserts count deduplicated keys), so this is O(1).
+        Cached after each batch merge; recomputed lazily after CAS inserts.
         """
-        return self._map.insert_count + self._batch_total
+        if self._size_cache is None:
+            self._size_cache = self._deduped_total(self._step_keys)
+        return self._size_cache
 
     @property
     def load_factor(self) -> float:
@@ -144,17 +187,20 @@ class ConjunctionMap:
         return self.capacity * 16
 
     def records(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-        """All stored records as ``(i, j, step)`` arrays, sorted by key."""
-        self._flush()
+        """All distinct records as ``(i, j, step)`` arrays, sorted by key.
+
+        Deduplicates across the CAS and batch insertion paths: after an
+        overflow→regrow→replay cycle the same record can legitimately sit
+        in both, and refinement must see it exactly once.
+        """
         keys = [self._step_keys] if self._step_keys.size else []
-        cas_keys = self._map.keys_array()
-        occupied = self._map.occupied_slots()
-        if occupied.size:
-            keys.append(cas_keys[occupied].astype(np.uint64))
+        cas = self._cas_keys()
+        if cas.size:
+            keys.append(cas)
         if not keys:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy(), empty.copy()
-        all_keys = np.sort(np.concatenate(keys))
+        all_keys = np.unique(np.concatenate(keys))
         return unpack_pair_key(all_keys)
 
     def unique_pairs(self) -> "tuple[np.ndarray, np.ndarray]":

@@ -26,6 +26,17 @@ CELL_BITS = 21
 CELL_RANGE = 1 << CELL_BITS
 _CELL_MASK = CELL_RANGE - 1
 
+#: Bits per axis in a compound (step, cell) key used by fused multi-step
+#: grid builds (Section V-B's ``p`` simultaneous grids in one key space):
+#: 16*3 = 48 bits of cell coordinates plus 15 bits of within-round step
+#: index = 63 bits, again strictly below the EMPTY sentinel.
+STEP_CELL_BITS = 16
+STEP_CELL_RANGE = 1 << STEP_CELL_BITS
+_STEP_CELL_MASK = STEP_CELL_RANGE - 1
+#: Maximum sampling steps a single fused round may cover.
+ROUND_STEP_BITS = 15
+MAX_ROUND_STEPS = 1 << ROUND_STEP_BITS
+
 
 def murmur3_fmix64(key: int) -> int:
     """MurmurHash3 64-bit finaliser (scalar).
@@ -142,6 +153,70 @@ def unpack_cell_key(key):
         (k & mask).astype(np.int64),
         ((k >> np.uint64(CELL_BITS)) & mask).astype(np.int64),
         ((k >> np.uint64(2 * CELL_BITS)) & mask).astype(np.int64),
+    )
+
+
+def pack_step_cell_key(step, cx, cy, cz):
+    """Pack a within-round step index and cell coordinates into one key.
+
+    The step occupies the *high* bits, so sorting compound keys groups all
+    cells of one step together and two cells can only compare equal when
+    they belong to the same step — neighbour expansion with these keys can
+    never pair satellites across different sampling steps.
+
+    Coordinates must lie in ``[0, 2^16)`` (cells of at least ~1.3 km over
+    the 85,000 km simulation cube) and ``step`` in ``[0, 2^15)``.  Accepts
+    scalars (returns ``int``) or integer arrays (returns uint64 array).
+    """
+    if np.ndim(step) == 0 and np.ndim(cx) == 0:
+        if not 0 <= int(step) < MAX_ROUND_STEPS:
+            raise ValueError(f"step={step} outside packable range [0, {MAX_ROUND_STEPS})")
+        for name, val in (("cx", cx), ("cy", cy), ("cz", cz)):
+            if not 0 <= int(val) < STEP_CELL_RANGE:
+                raise ValueError(f"{name}={val} outside packable range [0, {STEP_CELL_RANGE})")
+        return (
+            int(cx)
+            | (int(cy) << STEP_CELL_BITS)
+            | (int(cz) << (2 * STEP_CELL_BITS))
+            | (int(step) << (3 * STEP_CELL_BITS))
+        )
+    s_a = np.asarray(step, dtype=np.uint64)
+    cx_a = np.asarray(cx, dtype=np.uint64)
+    cy_a = np.asarray(cy, dtype=np.uint64)
+    cz_a = np.asarray(cz, dtype=np.uint64)
+    if (s_a >= MAX_ROUND_STEPS).any():
+        raise ValueError(f"step index outside packable range [0, {MAX_ROUND_STEPS})")
+    if (
+        (cx_a >= STEP_CELL_RANGE).any()
+        or (cy_a >= STEP_CELL_RANGE).any()
+        or (cz_a >= STEP_CELL_RANGE).any()
+    ):
+        raise ValueError("cell coordinates outside compound-key packable range")
+    return (
+        cx_a
+        | (cy_a << np.uint64(STEP_CELL_BITS))
+        | (cz_a << np.uint64(2 * STEP_CELL_BITS))
+        | (s_a << np.uint64(3 * STEP_CELL_BITS))
+    )
+
+
+def unpack_step_cell_key(key):
+    """Invert :func:`pack_step_cell_key`; returns ``(step, cx, cy, cz)``."""
+    if np.ndim(key) == 0:
+        k = int(key)
+        return (
+            k >> (3 * STEP_CELL_BITS),
+            k & _STEP_CELL_MASK,
+            (k >> STEP_CELL_BITS) & _STEP_CELL_MASK,
+            (k >> (2 * STEP_CELL_BITS)) & _STEP_CELL_MASK,
+        )
+    k = np.asarray(key, dtype=np.uint64)
+    mask = np.uint64(_STEP_CELL_MASK)
+    return (
+        (k >> np.uint64(3 * STEP_CELL_BITS)).astype(np.int64),
+        (k & mask).astype(np.int64),
+        ((k >> np.uint64(STEP_CELL_BITS)) & mask).astype(np.int64),
+        ((k >> np.uint64(2 * STEP_CELL_BITS)) & mask).astype(np.int64),
     )
 
 

@@ -21,9 +21,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.constants import EMPTY_KEY, NULL_INDEX, SIM_HALF_EXTENT
+from repro.constants import EMPTY_KEY, NULL_INDEX, SIM_EXTENT, SIM_HALF_EXTENT
 from repro.spatial.grid import HALF_NEIGHBOR_OFFSETS
-from repro.spatial.hashing import CELL_RANGE, murmur3_fmix64_array, pack_cell_key, unpack_cell_key
+from repro.spatial.hashing import (
+    CELL_BITS,
+    CELL_RANGE,
+    MAX_ROUND_STEPS,
+    STEP_CELL_BITS,
+    STEP_CELL_RANGE,
+    murmur3_fmix64_array,
+    pack_cell_key,
+    pack_step_cell_key,
+    unpack_cell_key,
+    unpack_step_cell_key,
+)
 
 _EMPTY_U64 = np.uint64(EMPTY_KEY)
 
@@ -39,6 +50,42 @@ def compute_cell_keys(positions: np.ndarray, cell_size: float) -> np.ndarray:
         )
     coords = np.floor((pos + SIM_HALF_EXTENT) / cell_size).astype(np.int64)
     return pack_cell_key(coords[:, 0], coords[:, 1], coords[:, 2])
+
+
+def compute_step_cell_keys(positions: np.ndarray, cell_size: float) -> np.ndarray:
+    """Compound (step, cell) keys for a ``(p, n, 3)`` round of positions.
+
+    One flat uint64 array of ``p * n`` lane keys, lane order step-major
+    (all of step 0, then all of step 1, ...).  Because the step index sits
+    in the key's high bits, a single sort/group or hash build over these
+    keys partitions the lanes into per-(step, cell) groups — the fused
+    equivalent of building ``p`` independent grids.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    if pos.ndim != 3 or pos.shape[-1] != 3:
+        raise ValueError(f"positions must have shape (p, n, 3), got {pos.shape}")
+    p = pos.shape[0]
+    if p > MAX_ROUND_STEPS:
+        raise ValueError(f"round of {p} steps exceeds the packable maximum {MAX_ROUND_STEPS}")
+    if SIM_EXTENT / cell_size >= STEP_CELL_RANGE:
+        raise ValueError(
+            f"cell size {cell_size} km needs more than {STEP_CELL_RANGE} cells per "
+            "axis, too fine for the compound (step, cell) key space"
+        )
+    if np.any(np.abs(pos) > SIM_HALF_EXTENT):
+        worst = float(np.abs(pos).max())
+        raise ValueError(
+            f"position component {worst:.1f} km outside the simulation cube "
+            f"(half extent {SIM_HALF_EXTENT:.0f} km)"
+        )
+    coords = np.floor((pos + SIM_HALF_EXTENT) / cell_size).astype(np.int64)
+    steps = np.repeat(np.arange(p, dtype=np.int64), pos.shape[1])
+    return pack_step_cell_key(
+        steps,
+        coords[:, :, 0].ravel(),
+        coords[:, :, 1].ravel(),
+        coords[:, :, 2].ravel(),
+    )
 
 
 class SortedGrid:
@@ -60,6 +107,7 @@ class SortedGrid:
             raise ValueError(f"cell size must be positive, got {cell_size}")
         self.cell_size = cell_size
         self.sorted_ids: np.ndarray | None = None
+        self.sorted_steps: np.ndarray | None = None
         self.unique_keys: np.ndarray | None = None
         self.start: np.ndarray | None = None
         self.counts: np.ndarray | None = None
@@ -67,11 +115,29 @@ class SortedGrid:
     def build(self, sat_ids: np.ndarray, positions: np.ndarray) -> None:
         """Group the population by cell key (one argsort, no hashing)."""
         keys = compute_cell_keys(positions, self.cell_size)
-        ids = np.asarray(sat_ids, dtype=np.int64)
+        self._finalise(keys, np.asarray(sat_ids, dtype=np.int64), None)
+
+    def build_rounds(self, sat_ids: np.ndarray, positions: np.ndarray) -> None:
+        """Fused build of a whole round: ``positions`` has shape (p, n, 3).
+
+        One sort over ``p * n`` compound (step, cell) keys replaces ``p``
+        separate per-step builds — the Section V-B "simultaneous grids"
+        realised inside a single key space.  Emission must then go through
+        :meth:`candidate_pair_steps`, which labels each pair with the
+        within-round step index it was found at.
+        """
+        pos = np.asarray(positions, dtype=np.float64)
+        keys = compute_step_cell_keys(pos, self.cell_size)
+        p = pos.shape[0]
+        ids = np.tile(np.asarray(sat_ids, dtype=np.int64), p)
+        steps = np.repeat(np.arange(p, dtype=np.int64), pos.shape[1])
+        self._finalise(keys, ids, steps)
+
+    def _finalise(self, keys: np.ndarray, ids: np.ndarray, steps: "np.ndarray | None") -> None:
         order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
         self.sorted_ids = ids[order]
-        self.unique_keys, self.start, self.counts = _group_sorted(sorted_keys)
+        self.sorted_steps = None if steps is None else steps[order]
+        self.unique_keys, self.start, self.counts = _group_sorted(keys[order])
 
     def occupancy(self) -> "dict[int, list[int]]":
         """Mapping packed cell key -> sorted satellite ids (for tests)."""
@@ -84,44 +150,49 @@ class SortedGrid:
     def candidate_pairs(self) -> "tuple[np.ndarray, np.ndarray]":
         """Unordered candidate pairs ``(i, j)`` with ``i < j`` elementwise."""
         self._require_built()
-        chunks_i: list[np.ndarray] = []
-        chunks_j: list[np.ndarray] = []
-        intra = _intra_cell_pairs(self.sorted_ids, self.start, self.counts)
-        if intra is not None:
-            chunks_i.append(intra[0])
-            chunks_j.append(intra[1])
-
-        ux, uy, uz = unpack_cell_key(self.unique_keys)
-        for dx, dy, dz in HALF_NEIGHBOR_OFFSETS:
-            nx, ny, nz = ux + dx, uy + dy, uz + dz
-            valid = (
-                (nx >= 0) & (nx < CELL_RANGE)
-                & (ny >= 0) & (ny < CELL_RANGE)
-                & (nz >= 0) & (nz < CELL_RANGE)
-            )
-            if not valid.any():
-                continue
-            src = np.nonzero(valid)[0]
-            nkeys = pack_cell_key(nx[src], ny[src], nz[src])
-            pos = np.searchsorted(self.unique_keys, nkeys)
-            found = (pos < len(self.unique_keys)) & (self.unique_keys[np.minimum(pos, len(self.unique_keys) - 1)] == nkeys)
-            if not found.any():
-                continue
-            a_cells = src[found]
-            b_cells = pos[found]
-            cross = _cross_cell_pairs(self.sorted_ids, self.start, self.counts, a_cells, b_cells)
-            if cross is not None:
-                chunks_i.append(cross[0])
-                chunks_j.append(cross[1])
-
-        if not chunks_i:
+        if self.sorted_steps is not None:
+            raise RuntimeError("multi-step build: use candidate_pair_steps()")
+        pairs = self._index_pairs()
+        if pairs is None:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy()
-        i = np.concatenate(chunks_i)
-        j = np.concatenate(chunks_j)
-        lo = np.minimum(i, j)
-        hi = np.maximum(i, j)
-        return lo, hi
+        i = self.sorted_ids[pairs[0]]
+        j = self.sorted_ids[pairs[1]]
+        return np.minimum(i, j), np.maximum(i, j)
+
+    def candidate_pair_steps(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Candidate pairs with the within-round step each was found at.
+
+        Returns ``(i, j, step)`` with ``i < j`` elementwise.  Both members
+        of a pair always share one (step, cell)-keyed cell pair, so the
+        step label is exact, never inferred.
+        """
+        self._require_built()
+        pairs = self._index_pairs()
+        if pairs is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        i = self.sorted_ids[pairs[0]]
+        j = self.sorted_ids[pairs[1]]
+        if self.sorted_steps is None:
+            steps = np.zeros(len(i), dtype=np.int64)
+        else:
+            steps = self.sorted_steps[pairs[0]]
+        return np.minimum(i, j), np.maximum(i, j), steps
+
+    def _index_pairs(self) -> "tuple[np.ndarray, np.ndarray] | None":
+        unique_keys = self.unique_keys
+
+        def find(nkeys: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+            pos = np.searchsorted(unique_keys, nkeys)
+            found = (pos < len(unique_keys)) & (
+                unique_keys[np.minimum(pos, len(unique_keys) - 1)] == nkeys
+            )
+            return pos, found
+
+        return _emit_index_pairs(
+            unique_keys, self.start, self.counts, self.sorted_steps is not None, find
+        )
 
     @property
     def n_occupied_cells(self) -> int:
@@ -167,17 +238,41 @@ class VectorHashGrid:
         self.entry_next = np.empty(0, dtype=np.int64)
         self.entry_slot = np.empty(0, dtype=np.int64)
         self.sat_ids = np.empty(0, dtype=np.int64)
+        self.lane_steps: np.ndarray | None = None
         self.insert_rounds = 0
         self.attach_rounds = 0
 
     def build(self, sat_ids: np.ndarray, positions: np.ndarray) -> None:
         """Insert the whole batch through CAS-conflict-resolution rounds."""
         ids = np.asarray(sat_ids, dtype=np.int64)
-        n = len(ids)
-        if n > self.capacity:
-            raise RuntimeError(f"batch of {n} exceeds grid capacity {self.capacity}")
+        if len(ids) > self.capacity:
+            raise RuntimeError(f"batch of {len(ids)} exceeds grid capacity {self.capacity}")
         keys = compute_cell_keys(positions, self.cell_size)
+        self._build_lanes(ids, keys, None)
+
+    def build_rounds(self, sat_ids: np.ndarray, positions: np.ndarray) -> None:
+        """Fused CAS-round build of a whole round (positions ``(p, n, 3)``).
+
+        Every (satellite, step) lane of the round contends in the same
+        table under its compound (step, cell) key, so one pass of the CAS
+        machinery covers all ``p`` simultaneous grids.  Capacity must hold
+        ``p * n`` lanes.
+        """
+        pos = np.asarray(positions, dtype=np.float64)
+        keys = compute_step_cell_keys(pos, self.cell_size)
+        p, per_step = pos.shape[0], pos.shape[1]
+        if p * per_step > self.capacity:
+            raise RuntimeError(
+                f"round of {p * per_step} lanes exceeds grid capacity {self.capacity}"
+            )
+        ids = np.tile(np.asarray(sat_ids, dtype=np.int64), p)
+        steps = np.repeat(np.arange(p, dtype=np.int64), per_step)
+        self._build_lanes(ids, keys, steps)
+
+    def _build_lanes(self, ids: np.ndarray, keys: np.ndarray, steps: "np.ndarray | None") -> None:
+        n = len(ids)
         self.sat_ids = ids
+        self.lane_steps = steps
         self.entry_next = np.full(n, NULL_INDEX, dtype=np.int64)
         self.entry_slot = np.full(n, NULL_INDEX, dtype=np.int64)
 
@@ -270,55 +365,56 @@ class VectorHashGrid:
         the same cell partition as the linked lists; neighbour cells are
         located with the vectorised hash :meth:`lookup` rather than a sort.
         """
+        if self.lane_steps is not None:
+            raise RuntimeError("multi-step build: use candidate_pair_steps()")
         if len(self.sat_ids) == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy()
-        order = np.argsort(self.entry_slot, kind="stable")
-        sorted_slots = self.entry_slot[order]
+        order, pairs = self._index_pairs()
+        if pairs is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
         sorted_ids = self.sat_ids[order]
-        slots_u, start, counts = _group_sorted(sorted_slots)
-        cell_keys = self.table_keys[slots_u]
+        i = sorted_ids[pairs[0]]
+        j = sorted_ids[pairs[1]]
+        return np.minimum(i, j), np.maximum(i, j)
 
-        chunks_i: list[np.ndarray] = []
-        chunks_j: list[np.ndarray] = []
-        intra = _intra_cell_pairs(sorted_ids, start, counts)
-        if intra is not None:
-            chunks_i.append(intra[0])
-            chunks_j.append(intra[1])
+    def candidate_pair_steps(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Candidate pairs as ``(i, j, step)``; see SortedGrid's variant."""
+        empty = np.empty(0, dtype=np.int64)
+        if len(self.sat_ids) == 0:
+            return empty, empty.copy(), empty.copy()
+        order, pairs = self._index_pairs()
+        if pairs is None:
+            return empty, empty.copy(), empty.copy()
+        sorted_ids = self.sat_ids[order]
+        i = sorted_ids[pairs[0]]
+        j = sorted_ids[pairs[1]]
+        if self.lane_steps is None:
+            steps = np.zeros(len(i), dtype=np.int64)
+        else:
+            steps = self.lane_steps[order][pairs[0]]
+        return np.minimum(i, j), np.maximum(i, j), steps
+
+    def _index_pairs(self) -> "tuple[np.ndarray, tuple[np.ndarray, np.ndarray] | None]":
+        """CSR-group the resolved slots; emit positional pairs into that order."""
+        order = np.argsort(self.entry_slot, kind="stable")
+        slots_u, start, counts = _group_sorted(self.entry_slot[order])
+        cell_keys = self.table_keys[slots_u]
 
         # slot -> dense cell index for the occupied slots
         slot_to_cell = np.full(self.n_slots, NULL_INDEX, dtype=np.int64)
         slot_to_cell[slots_u] = np.arange(len(slots_u), dtype=np.int64)
 
-        ux, uy, uz = unpack_cell_key(cell_keys)
-        for dx, dy, dz in HALF_NEIGHBOR_OFFSETS:
-            nx, ny, nz = ux + dx, uy + dy, uz + dz
-            valid = (
-                (nx >= 0) & (nx < CELL_RANGE)
-                & (ny >= 0) & (ny < CELL_RANGE)
-                & (nz >= 0) & (nz < CELL_RANGE)
-            )
-            if not valid.any():
-                continue
-            src = np.nonzero(valid)[0]
-            nkeys = pack_cell_key(nx[src], ny[src], nz[src])
+        def find(nkeys: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
             n_slot = self.lookup(nkeys)
             found = n_slot != NULL_INDEX
-            if not found.any():
-                continue
-            a_cells = src[found]
-            b_cells = slot_to_cell[n_slot[found]]
-            cross = _cross_cell_pairs(sorted_ids, start, counts, a_cells, b_cells)
-            if cross is not None:
-                chunks_i.append(cross[0])
-                chunks_j.append(cross[1])
+            return slot_to_cell[np.where(found, n_slot, 0)], found
 
-        if not chunks_i:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty.copy()
-        i = np.concatenate(chunks_i)
-        j = np.concatenate(chunks_j)
-        return np.minimum(i, j), np.maximum(i, j)
+        pairs = _emit_index_pairs(
+            cell_keys, start, counts, self.lane_steps is not None, find
+        )
+        return order, pairs
 
     @property
     def memory_bytes(self) -> int:
@@ -329,6 +425,7 @@ class VectorHashGrid:
             + self.entry_next.nbytes
             + self.entry_slot.nbytes
             + self.sat_ids.nbytes
+            + (self.lane_steps.nbytes if self.lane_steps is not None else 0)
         )
 
 
@@ -359,15 +456,77 @@ def _group_sorted(sorted_vals: np.ndarray) -> "tuple[np.ndarray, np.ndarray, np.
 _DENSE_CELL_LIMIT = 64
 
 
-def _members_matrix(sorted_ids: np.ndarray, start: np.ndarray, cells: np.ndarray, c: int) -> np.ndarray:
-    """Member ids of the given equal-size cells as a ``(len(cells), c)`` matrix."""
-    return sorted_ids[start[cells][:, None] + np.arange(c, dtype=np.int64)[None, :]]
+def _position_matrix(start: np.ndarray, cells: np.ndarray, c: int) -> np.ndarray:
+    """Member *positions* of the given equal-size cells, ``(len(cells), c)``.
+
+    Positions index the grid's sorted lane order; callers map them through
+    the sorted id (and, for multi-step builds, step) arrays.
+    """
+    return start[cells][:, None] + np.arange(c, dtype=np.int64)[None, :]
 
 
-def _intra_cell_pairs(
-    sorted_ids: np.ndarray, start: np.ndarray, counts: np.ndarray
+def _emit_index_pairs(
+    unique_keys: np.ndarray,
+    start: np.ndarray,
+    counts: np.ndarray,
+    multi_step: bool,
+    find,
 ) -> "tuple[np.ndarray, np.ndarray] | None":
-    """All within-cell unordered pairs, grouped by cell size for vectorisation."""
+    """Positional candidate pairs over intra-cell and half-neighbour cells.
+
+    ``find(nkeys) -> (cell_indices, found_mask)`` locates occupied
+    neighbour cells (searchsorted for :class:`SortedGrid`, hash lookup for
+    :class:`VectorHashGrid`).  With ``multi_step`` the keys are compound
+    (step, cell) keys: offsets apply to the cell coordinates only and the
+    step bits ride along unchanged, so a neighbour can only match within
+    the same sampling step.
+    """
+    if len(unique_keys) == 0:
+        return None
+    chunks_i: list[np.ndarray] = []
+    chunks_j: list[np.ndarray] = []
+    intra = _intra_cell_index_pairs(start, counts)
+    if intra is not None:
+        chunks_i.append(intra[0])
+        chunks_j.append(intra[1])
+
+    if multi_step:
+        _, ux, uy, uz = unpack_step_cell_key(unique_keys)
+        coord_range, bits = STEP_CELL_RANGE, STEP_CELL_BITS
+    else:
+        ux, uy, uz = unpack_cell_key(unique_keys)
+        coord_range, bits = CELL_RANGE, CELL_BITS
+    # Packing is linear in the cell coordinates, so while the offset stays
+    # in range a neighbour's key is just key + delta (the step bits, when
+    # present, sit above the coordinates and ride along unchanged).
+    for dx, dy, dz in HALF_NEIGHBOR_OFFSETS:
+        nx, ny, nz = ux + dx, uy + dy, uz + dz
+        valid = (
+            (nx >= 0) & (nx < coord_range)
+            & (ny >= 0) & (ny < coord_range)
+            & (nz >= 0) & (nz < coord_range)
+        )
+        if not valid.any():
+            continue
+        src = np.nonzero(valid)[0]
+        delta = np.uint64((dx + (dy << bits) + (dz << (2 * bits))) % (1 << 64))
+        dst, found = find(unique_keys[src] + delta)
+        if not found.any():
+            continue
+        cross = _cross_cell_index_pairs(start, counts, src[found], dst[found])
+        if cross is not None:
+            chunks_i.append(cross[0])
+            chunks_j.append(cross[1])
+
+    if not chunks_i:
+        return None
+    return np.concatenate(chunks_i), np.concatenate(chunks_j)
+
+
+def _intra_cell_index_pairs(
+    start: np.ndarray, counts: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """All within-cell position pairs, grouped by cell size for vectorisation."""
     multi = np.nonzero(counts > 1)[0]
     if multi.size == 0:
         return None
@@ -376,26 +535,25 @@ def _intra_cell_pairs(
     small = multi[counts[multi] <= _DENSE_CELL_LIMIT]
     for c in np.unique(counts[small]):
         cells = small[counts[small] == c]
-        members = _members_matrix(sorted_ids, start, cells, int(c))
+        posm = _position_matrix(start, cells, int(c))
         iu, ju = np.triu_indices(int(c), k=1)
-        chunks_i.append(members[:, iu].ravel())
-        chunks_j.append(members[:, ju].ravel())
+        chunks_i.append(posm[:, iu].ravel())
+        chunks_j.append(posm[:, ju].ravel())
     for cell in multi[counts[multi] > _DENSE_CELL_LIMIT]:
-        members = sorted_ids[start[cell] : start[cell] + counts[cell]]
+        members = np.arange(start[cell], start[cell] + counts[cell], dtype=np.int64)
         iu, ju = np.triu_indices(len(members), k=1)
         chunks_i.append(members[iu])
         chunks_j.append(members[ju])
     return np.concatenate(chunks_i), np.concatenate(chunks_j)
 
 
-def _cross_cell_pairs(
-    sorted_ids: np.ndarray,
+def _cross_cell_index_pairs(
     start: np.ndarray,
     counts: np.ndarray,
     a_cells: np.ndarray,
     b_cells: np.ndarray,
 ) -> "tuple[np.ndarray, np.ndarray] | None":
-    """Full cartesian product of members across each (a, b) cell pair.
+    """Full cartesian product of member positions across each (a, b) cell pair.
 
     Cell pairs are grouped by their ``(|a|, |b|)`` size combination so each
     group expands with one broadcast; combinations involving an oversize
@@ -415,14 +573,14 @@ def _cross_cell_pairs(
             mask = combo == code
             va = int(code) // (_DENSE_CELL_LIMIT + 1)
             vb = int(code) % (_DENSE_CELL_LIMIT + 1)
-            a_m = _members_matrix(sorted_ids, start, a_cells[mask], va)  # (k, va)
-            b_m = _members_matrix(sorted_ids, start, b_cells[mask], vb)  # (k, vb)
+            a_m = _position_matrix(start, a_cells[mask], va)  # (k, va)
+            b_m = _position_matrix(start, b_cells[mask], vb)  # (k, vb)
             k = a_m.shape[0]
             chunks_i.append(np.broadcast_to(a_m[:, :, None], (k, va, vb)).reshape(-1))
             chunks_j.append(np.broadcast_to(b_m[:, None, :], (k, va, vb)).reshape(-1))
     for a_cell, b_cell in zip(a_cells[~dense], b_cells[~dense]):
-        a_m = sorted_ids[start[a_cell] : start[a_cell] + counts[a_cell]]
-        b_m = sorted_ids[start[b_cell] : start[b_cell] + counts[b_cell]]
+        a_m = np.arange(start[a_cell], start[a_cell] + counts[a_cell], dtype=np.int64)
+        b_m = np.arange(start[b_cell], start[b_cell] + counts[b_cell], dtype=np.int64)
         grid_a, grid_b = np.meshgrid(a_m, b_m, indexing="ij")
         chunks_i.append(grid_a.ravel())
         chunks_j.append(grid_b.ravel())

@@ -1,0 +1,69 @@
+"""Differential tests: fused-round vectorized collection vs per-step loops.
+
+The serial (and per-step vectorized) loop is the reference semantics; the
+fused path — one multi-step grid build and one conjunction-map batch merge
+per round — must emit the *identical* deduplicated record set for every
+round size, including ones that do not divide the step count.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.gridbased import _make_conjmap, collect_grid_candidates
+from repro.detection.types import ScreeningConfig
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer
+from repro.population.generator import generate_population
+from repro.spatial.grid import cell_size_km
+
+
+def _collect(pop, cfg, backend, **kwargs):
+    cell = cell_size_km(cfg.threshold_km, cfg.seconds_per_sample)
+    times = cfg.sample_times()
+    conj = _make_conjmap(len(pop), cfg, "grid", cfg.seconds_per_sample)
+    propagator = Propagator(pop, solver=cfg.solver)
+    ids = np.arange(len(pop), dtype=np.int64)
+    result = collect_grid_candidates(
+        propagator, ids, times, cell, conj, cfg, backend, PhaseTimer(), **kwargs
+    )
+    i, j, s = result.records()
+    return set(zip(i.tolist(), j.tolist(), s.tolist()))
+
+
+class TestFusedRoundDifferential:
+    @pytest.fixture(scope="class")
+    def pop(self):
+        return generate_population(250, seed=17)
+
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return ScreeningConfig(threshold_km=10.0, duration_s=600.0, seconds_per_sample=2.0)
+
+    @pytest.fixture(scope="class")
+    def serial_records(self, pop, cfg):
+        return _collect(pop, cfg, "serial")
+
+    @pytest.mark.parametrize("round_size", [1, 7, 16, 301])
+    def test_fused_matches_serial_reference(self, pop, cfg, serial_records, round_size):
+        """round sizes: degenerate (1), non-dividing (7), default-ish (16),
+        larger than the step count (301 > 301 steps clamps to all steps)."""
+        fused = _collect(pop, cfg, "vectorized", round_size=round_size)
+        assert fused == serial_records
+
+    def test_fused_matches_per_step_vectorized(self, pop, cfg):
+        fused = _collect(pop, cfg, "vectorized", round_size=16)
+        per_step = _collect(pop, cfg, "vectorized", fused=False, round_size=16)
+        assert fused == per_step
+
+    def test_fused_hashmap_impl_matches(self, pop, serial_records):
+        cfg = ScreeningConfig(
+            threshold_km=10.0, duration_s=600.0, seconds_per_sample=2.0,
+            grid_impl="hashmap",
+        )
+        fused = _collect(pop, cfg, "vectorized", round_size=11)
+        assert fused == serial_records
+
+    def test_fused_matches_threads(self, pop, cfg, serial_records):
+        threads = _collect(pop, cfg, "threads")
+        assert threads == serial_records

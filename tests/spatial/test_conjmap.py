@@ -10,6 +10,7 @@ from repro.spatial.conjmap import (
     MAX_OBJECTS,
     MAX_STEPS,
     ConjunctionMap,
+    ConjunctionMapFullError,
     pack_pair_key,
     unpack_pair_key,
 )
@@ -130,6 +131,76 @@ class TestBatchInsert:
         assert cm.size == 5
         i, j, s = cm.records()
         np.testing.assert_array_equal(s, np.arange(5))
+
+    def test_per_record_step_array(self):
+        """A fused round inserts pairs from several steps in one batch."""
+        cm = ConjunctionMap(64)
+        added = cm.insert_batch(
+            np.array([1, 3, 1]), np.array([2, 4, 2]), np.array([0, 0, 1])
+        )
+        assert added == 3
+        i, j, s = cm.records()
+        assert list(zip(i, j, s)) == [(1, 2, 0), (3, 4, 0), (1, 2, 1)]
+
+    def test_step_array_deduped_within_batch(self):
+        cm = ConjunctionMap(64)
+        added = cm.insert_batch(
+            np.array([1, 2, 1]), np.array([2, 1, 2]), np.array([7, 7, 7])
+        )
+        assert added == 1
+        assert cm.size == 1
+
+    def test_overflow_error_type(self):
+        cm = ConjunctionMap(4)
+        with pytest.raises(ConjunctionMapFullError):
+            cm.insert_batch(np.arange(0, 10), np.arange(1, 11), step=0)
+        # The specific type still satisfies the generic hashmap error.
+        assert issubclass(ConjunctionMapFullError, HashMapFullError)
+
+    def test_failed_batch_leaves_map_unchanged(self):
+        cm = ConjunctionMap(4)
+        cm.insert_batch(np.array([1, 3]), np.array([2, 4]), step=0)
+        with pytest.raises(ConjunctionMapFullError):
+            cm.insert_batch(np.arange(10, 20), np.arange(20, 30), step=1)
+        assert cm.size == 2
+        i, j, s = cm.records()
+        assert list(zip(i, j, s)) == [(1, 2, 0), (3, 4, 0)]
+
+
+class TestReplayIdempotence:
+    """The overflow→regrow→replay contract: re-offering records that a
+    regrow already copied must never duplicate them (the seed code
+    concatenated the CAS and batch paths in records() without dedup)."""
+
+    def test_batch_then_cas_replay_dedupes(self):
+        cm = ConjunctionMap(64)
+        # Regrow copied a completed step over via the batch path...
+        cm.insert_batch(np.array([1, 3, 5]), np.array([2, 4, 6]), step=0)
+        # ...then the interrupted step is replayed via CAS inserts.
+        for a, b in [(1, 2), (3, 4), (5, 6)]:
+            cm.insert(a, b, 0)
+        i, j, s = cm.records()
+        assert list(zip(i, j, s)) == [(1, 2, 0), (3, 4, 0), (5, 6, 0)]
+        assert cm.size == 3
+        assert cm.load_factor == pytest.approx(3 / 64)
+
+    def test_repeated_batches_dedupe(self):
+        cm = ConjunctionMap(64)
+        for _ in range(3):  # a replayed fused round re-offers its batch
+            cm.insert_batch(np.array([1, 3]), np.array([2, 4]), np.array([0, 1]))
+        assert cm.size == 2
+        i, j, s = cm.records()
+        assert list(zip(i, j, s)) == [(1, 2, 0), (3, 4, 1)]
+
+    def test_unique_pairs_after_mixed_replay(self):
+        cm = ConjunctionMap(64)
+        cm.insert_batch(np.array([1, 1]), np.array([2, 2]), np.array([0, 1]))
+        cm.insert(1, 2, 0)
+        cm.insert(1, 2, 1)
+        cm.insert(3, 4, 0)
+        i, j = cm.unique_pairs()
+        assert list(zip(i, j)) == [(1, 2), (3, 4)]
+        assert cm.size == 3
 
 
 class TestConcurrency:

@@ -10,11 +10,17 @@ from repro.constants import EMPTY_KEY
 from repro.spatial.hashing import (
     CELL_BITS,
     CELL_RANGE,
+    MAX_ROUND_STEPS,
+    ROUND_STEP_BITS,
+    STEP_CELL_BITS,
+    STEP_CELL_RANGE,
     murmur3_32,
     murmur3_fmix64,
     murmur3_fmix64_array,
     pack_cell_key,
+    pack_step_cell_key,
     unpack_cell_key,
+    unpack_step_cell_key,
 )
 
 
@@ -122,3 +128,56 @@ class TestCellKeyPacking:
 
     def test_cell_bits_budget(self):
         assert 3 * CELL_BITS < 64
+
+
+class TestStepCellKeyPacking:
+    def test_round_trip_scalar(self):
+        key = pack_step_cell_key(17, 5, 7, 60_000)
+        assert unpack_step_cell_key(key) == (17, 5, 7, 60_000)
+
+    def test_round_trip_array(self, rng):
+        coords = rng.integers(0, STEP_CELL_RANGE, size=(100, 3))
+        steps = rng.integers(0, MAX_ROUND_STEPS, size=100)
+        keys = pack_step_cell_key(steps, coords[:, 0], coords[:, 1], coords[:, 2])
+        s, cx, cy, cz = unpack_step_cell_key(keys)
+        np.testing.assert_array_equal(s, steps)
+        np.testing.assert_array_equal(cx, coords[:, 0])
+        np.testing.assert_array_equal(cy, coords[:, 1])
+        np.testing.assert_array_equal(cz, coords[:, 2])
+
+    def test_key_never_collides_with_empty_sentinel(self):
+        top = STEP_CELL_RANGE - 1
+        max_key = pack_step_cell_key(MAX_ROUND_STEPS - 1, top, top, top)
+        assert max_key < EMPTY_KEY
+        assert max_key < 2**63
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_step_cell_key(MAX_ROUND_STEPS, 0, 0, 0)
+        with pytest.raises(ValueError):
+            pack_step_cell_key(0, STEP_CELL_RANGE, 0, 0)
+        with pytest.raises(ValueError):
+            pack_step_cell_key(-1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            pack_step_cell_key(np.array([0, 0]), np.array([0, STEP_CELL_RANGE]), np.array([0, 0]), np.array([0, 0]))
+
+    def test_step_occupies_high_bits(self):
+        """Sorting compound keys groups all cells of one step contiguously,
+        and equal cells at different steps never compare equal."""
+        k_low = pack_step_cell_key(0, STEP_CELL_RANGE - 1, STEP_CELL_RANGE - 1, STEP_CELL_RANGE - 1)
+        k_high = pack_step_cell_key(1, 0, 0, 0)
+        assert k_low < k_high
+        assert pack_step_cell_key(0, 3, 4, 5) != pack_step_cell_key(1, 3, 4, 5)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        step=st.integers(min_value=0, max_value=MAX_ROUND_STEPS - 1),
+        cx=st.integers(min_value=0, max_value=STEP_CELL_RANGE - 1),
+        cy=st.integers(min_value=0, max_value=STEP_CELL_RANGE - 1),
+        cz=st.integers(min_value=0, max_value=STEP_CELL_RANGE - 1),
+    )
+    def test_pack_unpack_property(self, step, cx, cy, cz):
+        assert unpack_step_cell_key(pack_step_cell_key(step, cx, cy, cz)) == (step, cx, cy, cz)
+
+    def test_bit_budget(self):
+        assert 3 * STEP_CELL_BITS + ROUND_STEP_BITS < 64

@@ -9,7 +9,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.spatial.grid import UniformGrid
-from repro.spatial.vectorgrid import SortedGrid, VectorHashGrid, compute_cell_keys
+from repro.spatial.vectorgrid import (
+    SortedGrid,
+    VectorHashGrid,
+    compute_cell_keys,
+    compute_step_cell_keys,
+)
 
 
 def _random_points(rng, n, span=400.0):
@@ -191,6 +196,131 @@ class TestThreeWayEquivalence:
         assert _pair_set(*sg.candidate_pairs()) == ref
         assert _pair_set(*vg.candidate_pairs()) == ref
         assert sg.occupancy() == vg.occupancy() == serial.occupancy()
+
+
+def _pair_step_set(i, j, s):
+    return set(zip(i.tolist(), j.tolist(), s.tolist()))
+
+
+class TestMultiStepBuild:
+    """Fused multi-step (round) builds: one grid covering p sampling steps."""
+
+    def test_step_cell_keys_shape_and_validation(self, rng):
+        pos = rng.uniform(-300, 300, size=(4, 25, 3))
+        keys = compute_step_cell_keys(pos, 30.0)
+        assert keys.shape == (100,)
+        with pytest.raises(ValueError, match=r"\(p, n, 3\)"):
+            compute_step_cell_keys(pos[0], 30.0)
+        with pytest.raises(ValueError, match="too fine"):
+            compute_step_cell_keys(pos, 0.5)
+        with pytest.raises(ValueError, match="simulation cube"):
+            compute_step_cell_keys(np.full((2, 2, 3), 1e6), 30.0)
+
+    def test_fused_equals_per_step_sorted(self, rng):
+        """The fused round emits exactly the union of per-step pair sets,
+        each labelled with its step."""
+        n, p, cell = 120, 6, 40.0
+        pos = rng.uniform(-250, 250, size=(p, n, 3))
+        ids = np.arange(n)
+        fused = SortedGrid(cell)
+        fused.build_rounds(ids, pos)
+        fi, fj, fs = fused.candidate_pair_steps()
+        expected = set()
+        for step in range(p):
+            sg = SortedGrid(cell)
+            sg.build(ids, pos[step])
+            i, j = sg.candidate_pairs()
+            expected |= {(a, b, step) for a, b in zip(i.tolist(), j.tolist())}
+        assert _pair_step_set(fi, fj, fs) == expected
+
+    def test_fused_hashgrid_matches_fused_sorted(self, rng):
+        n, p, cell = 80, 5, 35.0
+        pos = rng.uniform(-200, 200, size=(p, n, 3))
+        ids = np.arange(n)
+        sg = SortedGrid(cell)
+        sg.build_rounds(ids, pos)
+        vg = VectorHashGrid(cell, capacity=p * n)
+        vg.build_rounds(ids, pos)
+        assert _pair_step_set(*vg.candidate_pair_steps()) == _pair_step_set(
+            *sg.candidate_pair_steps()
+        )
+
+    def test_no_cross_step_pairs(self, rng):
+        """A satellite stationary across steps must never pair with itself,
+        and two satellites co-located at *different* steps never pair."""
+        # Satellite 0 sits at the origin at both steps; satellite 1 is at
+        # the origin only at step 1 and far away at step 0.
+        pos = np.array(
+            [
+                [[0.0, 0.0, 0.0], [500.0, 500.0, 500.0]],  # step 0
+                [[0.0, 0.0, 0.0], [0.1, 0.1, 0.1]],  # step 1
+            ]
+        )
+        sg = SortedGrid(30.0)
+        sg.build_rounds(np.array([0, 1]), pos)
+        i, j, s = sg.candidate_pair_steps()
+        assert _pair_step_set(i, j, s) == {(0, 1, 1)}
+
+    def test_single_step_round_equals_plain_build(self, rng):
+        n = 60
+        pos = rng.uniform(-150, 150, size=(n, 3))
+        plain = SortedGrid(45.0)
+        plain.build(np.arange(n), pos)
+        fused = SortedGrid(45.0)
+        fused.build_rounds(np.arange(n), pos[None, :, :])
+        pi, pj = plain.candidate_pairs()
+        fi, fj, fs = fused.candidate_pair_steps()
+        assert _pair_set(fi, fj) == _pair_set(pi, pj)
+        assert (fs == 0).all()
+
+    def test_candidate_pairs_refuses_multi_step(self, rng):
+        sg = SortedGrid(30.0)
+        sg.build_rounds(np.arange(10), rng.uniform(-100, 100, size=(3, 10, 3)))
+        with pytest.raises(RuntimeError, match="candidate_pair_steps"):
+            sg.candidate_pairs()
+        vg = VectorHashGrid(30.0, capacity=30)
+        vg.build_rounds(np.arange(10), rng.uniform(-100, 100, size=(3, 10, 3)))
+        with pytest.raises(RuntimeError, match="candidate_pair_steps"):
+            vg.candidate_pairs()
+
+    def test_hashgrid_round_capacity_enforced(self, rng):
+        vg = VectorHashGrid(30.0, capacity=10)
+        with pytest.raises(RuntimeError, match="exceeds grid capacity"):
+            vg.build_rounds(np.arange(4), rng.uniform(-100, 100, size=(3, 4, 3)))
+
+    def test_pair_steps_on_single_step_build(self, rng):
+        """candidate_pair_steps also works after a plain build (step 0)."""
+        n = 40
+        pos = rng.uniform(-100, 100, size=(n, 3))
+        vg = VectorHashGrid(40.0, capacity=n)
+        vg.build(np.arange(n), pos)
+        i, j, s = vg.candidate_pair_steps()
+        assert (s == 0).all()
+        sg = SortedGrid(40.0)
+        sg.build(np.arange(n), pos)
+        assert _pair_set(i, j) == _pair_set(*sg.candidate_pairs())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_fused_differential_property(self, seed):
+        """Property: for random rounds, fused emission == union of per-step
+        emissions for both implementations."""
+        rng = np.random.default_rng(seed)
+        n, p, cell = 40, 4, 45.0
+        pos = rng.uniform(-150, 150, size=(p, n, 3))
+        ids = np.arange(n)
+        expected = set()
+        for step in range(p):
+            sg = SortedGrid(cell)
+            sg.build(ids, pos[step])
+            i, j = sg.candidate_pairs()
+            expected |= {(a, b, step) for a, b in zip(i.tolist(), j.tolist())}
+        fused_sorted = SortedGrid(cell)
+        fused_sorted.build_rounds(ids, pos)
+        assert _pair_step_set(*fused_sorted.candidate_pair_steps()) == expected
+        fused_hash = VectorHashGrid(cell, capacity=p * n)
+        fused_hash.build_rounds(ids, pos)
+        assert _pair_step_set(*fused_hash.candidate_pair_steps()) == expected
 
 
 class TestScipyOracle:
