@@ -1,0 +1,180 @@
+"""REF-engine ablation: convergence-aware compaction + warm-started Kepler.
+
+Four variants of :func:`repro.detection.pca_tca.refine_batch` run on the
+identical candidate load of a dense Walker-shell screening:
+
+* ``fixed-cold``    — 60 golden iterations, fixed 10-iteration cold Newton
+  (the seed kernel, byte-for-byte: the baseline);
+* ``fixed-warm``    — 60 golden iterations, warm-started convergent Newton;
+* ``compact-cold``  — active-lane compaction to ``brent_tol``, cold Newton;
+* ``compact-warm``  — compaction + warm starts (the PR's default engine).
+
+The acceptance gate: ``compact-warm`` at least 2x faster than
+``fixed-cold`` on a >= 20k-candidate load, with the byte-identical kept
+record set and TCA/PCA within ``brent_tol``.  Timings, per-variant
+telemetry and the perf-model summary land in
+``benchmarks/results/BENCH_ref.json``.
+
+``REPRO_BENCH_CHECK_ONLY=1`` (the CI smoke mode) shrinks the shell and
+skips the wall-clock assertions — correctness invariants still run.
+"""
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.detection.gridbased import _make_conjmap, collect_grid_candidates
+from repro.detection.pca_tca import interval_radii, refine_batch
+from repro.detection.types import ScreeningConfig
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer, RefTelemetry
+from repro.perfmodel.runtime import ref_phase_summary
+from repro.population.scenarios import megaconstellation
+from repro.spatial.grid import cell_size_km
+
+CHECK_ONLY = os.environ.get("REPRO_BENCH_CHECK_ONLY", "") == "1"
+
+CFG = ScreeningConfig(threshold_km=10.0, duration_s=3000.0, seconds_per_sample=2.0)
+PLANES, SATS = 48, 30
+MIN_CANDIDATES = 20_000
+if CHECK_ONLY:
+    CFG = ScreeningConfig(threshold_km=10.0, duration_s=1500.0, seconds_per_sample=2.0)
+    PLANES, SATS = 12, 30
+    MIN_CANDIDATES = 500
+
+#: (name, golden tol, warm_start) of each ablation variant.
+VARIANTS = [
+    ("fixed-cold", None, False),
+    ("fixed-warm", None, True),
+    ("compact-cold", CFG.brent_tol, False),
+    ("compact-warm", CFG.brent_tol, True),
+]
+
+_RESULTS: "dict[str, dict]" = {}
+_CANDIDATES: "dict[str, object]" = {}
+
+
+def _candidate_load():
+    """One shared CD pass: the (pair, step) records every variant refines."""
+    if "records" not in _CANDIDATES:
+        pop = megaconstellation(PLANES, SATS, 550.0, math.radians(53))
+        cell = cell_size_km(CFG.threshold_km, CFG.seconds_per_sample)
+        times = CFG.sample_times()
+        conj = _make_conjmap(len(pop), CFG, "grid", CFG.seconds_per_sample)
+        prop = Propagator(pop, solver=CFG.solver)
+        ids = np.arange(len(pop), dtype=np.int64)
+        conj = collect_grid_candidates(
+            prop, ids, times, cell, conj, CFG, "vectorized", PhaseTimer(),
+        )
+        rec_i, rec_j, rec_step = conj.records()
+        _CANDIDATES["population"] = pop
+        _CANDIDATES["records"] = (
+            rec_i, rec_j, times[rec_step], interval_radii(pop, rec_i, rec_j, cell)
+        )
+    return _CANDIDATES["population"], _CANDIDATES["records"]
+
+
+@pytest.mark.parametrize("name, tol, warm", VARIANTS, ids=[v[0] for v in VARIANTS])
+def test_ref_variant(benchmark, name, tol, warm):
+    pop, (rec_i, rec_j, centers, radii) = _candidate_load()
+    assert len(rec_i) >= MIN_CANDIDATES, (
+        f"scenario produced only {len(rec_i)} candidates"
+    )
+    samples: "list[tuple[float, RefTelemetry]]" = []
+
+    def run():
+        tele = RefTelemetry()
+        t0 = time.perf_counter()
+        keep, tca, pca = refine_batch(
+            pop, rec_i, rec_j, centers, radii, CFG.threshold_km,
+            tol=tol, warm_start=warm, telemetry=tele,
+        )
+        samples.append((time.perf_counter() - t0, tele))
+        return keep, tca, pca
+
+    keep, tca, pca = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    best_s, tele = min(samples, key=lambda s: s[0])
+    _RESULTS[name] = {
+        "seconds": best_s,
+        "keep": keep,
+        "tca": tca,
+        "pca": pca,
+        "telemetry": tele.as_dict(),
+        "model": ref_phase_summary(tele),
+    }
+    benchmark.extra_info.update(
+        candidates=len(rec_i), kept=len(keep), ref_s=round(best_s, 4),
+        mean_kepler_iterations=round(tele.mean_kepler_iterations, 2),
+        golden_iterations=tele.golden_iterations,
+    )
+
+
+def test_ref_compaction_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    pop, (rec_i, *_rest) = _candidate_load()
+    base = _RESULTS["fixed-cold"]
+
+    mode = " (check-only smoke)" if CHECK_ONLY else ""
+    report.section(
+        f"REF engine ablation{mode} - {len(rec_i)} candidates, "
+        f"{len(pop)}-sat shell, threshold {CFG.threshold_km} km"
+    )
+    header = ["variant", "REF", "speedup", "kept", "mean kep it", "golden it"]
+    rows = []
+    payload = {
+        "check_only": CHECK_ONLY,
+        "scenario": {
+            "planes": PLANES, "sats_per_plane": SATS,
+            "threshold_km": CFG.threshold_km, "duration_s": CFG.duration_s,
+            "seconds_per_sample": CFG.seconds_per_sample,
+            "brent_tol": CFG.brent_tol, "candidates": len(rec_i),
+        },
+        "variants": {},
+    }
+    for name, _tol, _warm in VARIANTS:
+        r = _RESULTS[name]
+        speedup = base["seconds"] / r["seconds"] if r["seconds"] > 0 else float("inf")
+        rows.append([
+            name, f"{r['seconds']:.3f}s", f"{speedup:.2f}x", len(r["keep"]),
+            f"{r['telemetry']['mean_kepler_iterations']:.2f}",
+            r["telemetry"]["golden_iterations"],
+        ])
+        payload["variants"][name] = {
+            "ref_seconds": r["seconds"],
+            "speedup_vs_fixed_cold": speedup,
+            "kept_records": len(r["keep"]),
+            "max_abs_dtca_s": float(np.abs(r["tca"] - base["tca"]).max())
+            if len(r["tca"]) else 0.0,
+            "max_abs_dpca_km": float(np.abs(r["pca"] - base["pca"]).max())
+            if len(r["pca"]) else 0.0,
+            "telemetry": r["telemetry"],
+            "model": r["model"],
+        }
+    report.table(header, rows)
+    report.row("  baseline = seed kernel (60 golden iterations, fixed "
+               "10-iteration cold Newton); identical kept records verified")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_ref.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Correctness gates: every variant keeps the byte-identical record set
+    # and agrees on TCA/PCA at the brent_tol scale.
+    for name, _tol, _warm in VARIANTS[1:]:
+        r = _RESULTS[name]
+        np.testing.assert_array_equal(r["keep"], base["keep"], err_msg=name)
+        assert np.abs(r["tca"] - base["tca"]).max() <= CFG.brent_tol, name
+        assert np.abs(r["pca"] - base["pca"]).max() <= 1e-6, name
+
+    # Performance gate (skipped in the CI smoke mode): the PR's default
+    # engine at least doubles the seed baseline's REF throughput.
+    if not CHECK_ONLY:
+        speedup = base["seconds"] / _RESULTS["compact-warm"]["seconds"]
+        assert speedup >= 2.0, (
+            f"compact-warm speedup {speedup:.2f}x below the 2x acceptance gate"
+        )

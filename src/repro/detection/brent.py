@@ -114,29 +114,84 @@ def brent_minimize(
 
 
 def golden_minimize_batch(
-    f: Callable[[np.ndarray], np.ndarray],
+    f: Callable[..., np.ndarray],
     a: np.ndarray,
     b: np.ndarray,
     iterations: int = 60,
     polish: int = 2,
+    tol: "float | None" = None,
+    telemetry=None,
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
     """Minimise ``f`` elementwise on the intervals ``[a[k], b[k]]``.
 
-    ``f`` maps an array of abscissae to an array of values (evaluating every
-    problem in the batch at once).  A fixed-iteration golden-section
-    contraction is branch-free across the batch — the SIMT-friendly
-    formulation — and ``polish`` parabolic steps sharpen the result to
-    near-Brent accuracy.  60 iterations contract the interval by
-    ``0.618^60 ~ 3e-13``.
+    Two execution modes:
+
+    * **Fixed-iteration** (``tol=None``) — the SIMT-friendly reference:
+      every lane runs all ``iterations`` golden-section contractions
+      (``0.618^60 ~ 3e-13`` of the initial span), branch-free across the
+      batch.  ``f`` maps an abscissa array to a value array.
+    * **Convergence-aware compaction** (``tol`` set) — the GPU
+      retire-finished-threads analogue: once a lane's interval contracts
+      below ``tol`` it is scattered to the result arrays and the surviving
+      lanes are gathered into a dense active set, so later iterations (and
+      their distance evaluations) run only on live lanes, with early exit
+      when the batch drains.  ``f`` must then accept ``(x, lanes)`` where
+      ``lanes`` indexes the original batch — the contract that lets a
+      warm-started distance kernel address its per-lane caches.
+
+    Both modes finish with ``polish`` parabolic steps over the full batch.
+    ``telemetry`` (a :class:`repro.parallel.backend.RefTelemetry`-like
+    object) observes lanes entered, iterations run and lanes retired per
+    iteration.
 
     Returns ``(x, fx, at_edge)`` arrays; ``at_edge`` flags minima within
     ``1e-6 * span`` of an interval endpoint.
     """
-    lo = np.asarray(a, dtype=np.float64).copy()
-    hi = np.asarray(b, dtype=np.float64).copy()
-    if np.any(lo >= hi):
+    a0 = np.asarray(a, dtype=np.float64)
+    b0 = np.asarray(b, dtype=np.float64)
+    if np.any(a0 >= b0):
         raise ValueError("every interval must satisfy a < b")
-    span0 = hi - lo
+    if tol is not None and tol <= 0.0:
+        raise ValueError(f"tolerance must be positive, got {tol}")
+    span0 = b0 - a0
+    if telemetry is not None:
+        telemetry.record_lanes(a0.size)
+
+    if tol is None:
+        x, fx, width = _golden_fixed(f, a0, b0, iterations, telemetry)
+        evalf = f
+    else:
+        x, fx, width = _golden_compacted(f, a0, b0, iterations, tol, telemetry)
+        all_lanes = np.arange(a0.size, dtype=np.int64)
+        evalf = lambda xs: f(xs, all_lanes)  # noqa: E731
+
+    # Parabolic polish: fit through (x-h, x, x+h) and step to the vertex.
+    h = np.maximum(width * 0.5, 1e-9)
+    for _ in range(polish):
+        xl = x - h
+        xr = x + h
+        fl = evalf(xl)
+        fr = evalf(xr)
+        denom = fl - 2.0 * fx + fr
+        safe = np.abs(denom) > 1e-300
+        step = np.where(safe, 0.5 * h * (fl - fr) / np.where(safe, denom, 1.0), 0.0)
+        step = np.clip(step, -h, h)
+        x_new = np.clip(x + step, a0, b0)
+        f_new = evalf(x_new)
+        better = f_new < fx
+        x = np.where(better, x_new, x)
+        fx = np.where(better, f_new, fx)
+        h = h * 0.25
+
+    edge_tol = 1e-6 * span0
+    at_edge = ((x - a0) <= edge_tol) | ((b0 - x) <= edge_tol)
+    return x, fx, at_edge
+
+
+def _golden_fixed(f, a0, b0, iterations, telemetry):
+    """Fixed-iteration golden contraction over the full batch (reference)."""
+    lo = a0.copy()
+    hi = b0.copy()
     x1 = hi - _GOLD_RATIO * (hi - lo)
     x2 = lo + _GOLD_RATIO * (hi - lo)
     f1 = f(x1)
@@ -161,27 +216,65 @@ def golden_minimize_batch(
         f1 = np.where(take_left, f_fresh, f2)
         x2 = np.where(take_left, x1_old, x_fresh)
         f2 = np.where(take_left, f1_old, f_fresh)
+        if telemetry is not None:
+            telemetry.record_golden_iteration(0)
     x = np.where(f1 < f2, x1, x2)
     fx = np.minimum(f1, f2)
+    return x, fx, hi - lo
 
-    # Parabolic polish: fit through (x-h, x, x+h) and step to the vertex.
-    h = np.maximum((hi - lo) * 0.5, 1e-9)
-    for _ in range(polish):
-        xl = x - h
-        xr = x + h
-        fl = f(xl)
-        fr = f(xr)
-        denom = fl - 2.0 * fx + fr
-        safe = np.abs(denom) > 1e-300
-        step = np.where(safe, 0.5 * h * (fl - fr) / np.where(safe, denom, 1.0), 0.0)
-        step = np.clip(step, -h, h)
-        x_new = np.clip(x + step, np.asarray(a), np.asarray(b))
-        f_new = f(x_new)
-        better = f_new < fx
-        x = np.where(better, x_new, x)
-        fx = np.where(better, f_new, fx)
-        h = h * 0.25
 
-    edge_tol = 1e-6 * span0
-    at_edge = ((x - np.asarray(a)) <= edge_tol) | ((np.asarray(b) - x) <= edge_tol)
-    return x, fx, at_edge
+def _golden_compacted(f, a0, b0, iterations, tol, telemetry):
+    """Convergence-aware contraction: retire lanes below ``tol``, gather the
+    survivors into a dense active set, early-exit when the batch drains."""
+    m = a0.size
+    x_out = np.empty(m, dtype=np.float64)
+    fx_out = np.empty(m, dtype=np.float64)
+    width_out = np.empty(m, dtype=np.float64)
+
+    idx = np.arange(m, dtype=np.int64)  # active lane -> original lane
+    lo = a0.copy()
+    hi = b0.copy()
+    x1 = hi - _GOLD_RATIO * (hi - lo)
+    x2 = lo + _GOLD_RATIO * (hi - lo)
+    f1 = np.asarray(f(x1, idx), dtype=np.float64)
+    f2 = np.asarray(f(x2, idx), dtype=np.float64)
+
+    it = 0
+    while idx.size and it < iterations:
+        take_left = f1 < f2
+        # In-place contraction of the dense active intervals (same update
+        # rule as the fixed mode, expressed with copyto instead of fresh
+        # np.where temporaries).
+        np.copyto(hi, x2, where=take_left)
+        np.copyto(lo, x1, where=~take_left)
+        width = hi - lo
+        x_fresh = np.where(take_left, hi - _GOLD_RATIO * width, lo + _GOLD_RATIO * width)
+        f_fresh = np.asarray(f(x_fresh, idx), dtype=np.float64)
+        x1_old, f1_old = x1, f1
+        x1 = np.where(take_left, x_fresh, x2)
+        f1 = np.where(take_left, f_fresh, f2)
+        x2 = np.where(take_left, x1_old, x_fresh)
+        f2 = np.where(take_left, f1_old, f_fresh)
+        it += 1
+
+        done = width <= tol
+        retired = int(np.count_nonzero(done))
+        if retired:
+            # Scatter finished lanes to the results...
+            sel = idx[done]
+            x_out[sel] = np.where(f1[done] < f2[done], x1[done], x2[done])
+            fx_out[sel] = np.minimum(f1[done], f2[done])
+            width_out[sel] = width[done]
+            # ... and compact the survivors into a dense set.
+            live = ~done
+            idx = idx[live]
+            lo, hi = lo[live], hi[live]
+            x1, x2, f1, f2 = x1[live], x2[live], f1[live], f2[live]
+        if telemetry is not None:
+            telemetry.record_golden_iteration(retired)
+
+    if idx.size:  # iteration cap hit with lanes still live
+        x_out[idx] = np.where(f1 < f2, x1, x2)
+        fx_out[idx] = np.minimum(f1, f2)
+        width_out[idx] = hi - lo
+    return x_out, fx_out, width_out

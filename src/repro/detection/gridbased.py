@@ -24,7 +24,7 @@ from repro.detection.pca_tca import (
 from repro.detection.types import ScreeningConfig, ScreeningResult
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
-from repro.parallel.backend import PhaseTimer, parallel_for, resolve_backend
+from repro.parallel.backend import PhaseTimer, RefTelemetry, parallel_for, resolve_backend
 from repro.perfmodel.memory import conjunction_capacity, plan_memory
 from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError
 from repro.spatial.grid import UniformGrid, cell_size_km
@@ -80,7 +80,8 @@ def screen_grid(
             rec_i, rec_j = rec_i[keep], rec_j[keep]
             centers, radii = centers[keep], radii[keep]
         i, j, tca, pca = refine_records(
-            population, rec_i, rec_j, centers, radii, config, backend
+            population, rec_i, rec_j, centers, radii, config, backend,
+            telemetry=timers.ref,
         )
         i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
 
@@ -100,6 +101,7 @@ def screen_grid(
             "conjunction_records": conj.size,
             "memory_plan": plan,
             "sieved_records": sieved_away,
+            "ref_telemetry": timers.ref.as_dict(),
         },
     )
 
@@ -284,6 +286,13 @@ def sieve_records(
     return keep
 
 
+#: Lane count of one REF chunk.  The chunk grid is *fixed* — independent of
+#: backend and thread count — so every backend hands the identical lane
+#: batches to the identical kernel and the refined record set is
+#: bit-for-bit reproducible across serial/threads/vectorized.
+REF_CHUNK_LANES = 16384
+
+
 def refine_records(
     population: OrbitalElementsArray,
     rec_i: np.ndarray,
@@ -292,18 +301,75 @@ def refine_records(
     radii: np.ndarray,
     config: ScreeningConfig,
     backend: str,
+    telemetry: "RefTelemetry | None" = None,
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
-    """Step 4: PCA/TCA for every (pair, step) record (shared with hybrid)."""
+    """Step 4: PCA/TCA for every (pair, step) record (shared with hybrid).
+
+    All backends route through the convergence-aware batch engine
+    (:func:`repro.detection.pca_tca.refine_batch` with active-lane
+    compaction and warm-started Kepler solves) over a fixed chunk grid:
+    the serial backend walks the chunks in order, the threads backend
+    spreads them over the pool, the vectorized backend is simply the same
+    loop with chunk-sized batches.  ``config.ref_engine = "scalar"`` keeps
+    the per-candidate Brent oracle for the serial/threads backends — the
+    reference the differential tests hold the batch engine against.
+    """
     if len(rec_i) == 0:
         e = np.empty(0, dtype=np.int64)
         f = np.empty(0, dtype=np.float64)
         return e, e.copy(), f, f.copy()
 
-    if backend == "vectorized":
-        keep, tca, pca = refine_batch(
-            population, rec_i, rec_j, centers, radii, config.threshold_km
+    if backend != "vectorized" and config.ref_engine == "scalar":
+        return _refine_records_scalar(
+            population, rec_i, rec_j, centers, radii, config, backend, telemetry
         )
-        return rec_i[keep], rec_j[keep], tca, pca
+
+    n = len(rec_i)
+    bounds = [(s, min(s + REF_CHUNK_LANES, n)) for s in range(0, n, REF_CHUNK_LANES)]
+    results: "list[tuple | None]" = [None] * len(bounds)
+    chunk_tele: "list[RefTelemetry | None]" = [None] * len(bounds)
+
+    def refine_chunks(first: int, last: int) -> None:
+        for c in range(first, last):
+            s, e = bounds[c]
+            tele = RefTelemetry() if telemetry is not None else None
+            keep, tca, pca = refine_batch(
+                population,
+                rec_i[s:e],
+                rec_j[s:e],
+                centers[s:e],
+                radii[s:e],
+                config.threshold_km,
+                tol=config.brent_tol,
+                telemetry=tele,
+            )
+            results[c] = (keep + s, tca, pca)
+            chunk_tele[c] = tele
+
+    n_threads = config.n_threads if backend == "threads" else 1
+    parallel_for(refine_chunks, len(bounds), n_threads=n_threads)
+    if telemetry is not None:
+        for tele in chunk_tele:
+            if tele is not None:
+                telemetry.merge(tele)
+
+    keep = np.concatenate([r[0] for r in results])
+    tca = np.concatenate([r[1] for r in results])
+    pca = np.concatenate([r[2] for r in results])
+    return rec_i[keep], rec_j[keep], tca, pca
+
+
+def _refine_records_scalar(
+    population: OrbitalElementsArray,
+    rec_i: np.ndarray,
+    rec_j: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+    config: ScreeningConfig,
+    backend: str,
+    telemetry: "RefTelemetry | None" = None,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """The scalar Brent oracle: one candidate at a time (pre-PR-2 path)."""
 
     def refine_range(start: int, end: int):
         out = []
@@ -315,6 +381,7 @@ def refine_records(
                 float(radii[k]),
                 config.threshold_km,
                 tol=config.brent_tol,
+                telemetry=telemetry,
             )
             if hit is not None:
                 out.append((int(rec_i[k]), int(rec_j[k]), hit[0], hit[1]))

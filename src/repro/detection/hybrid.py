@@ -111,6 +111,7 @@ def screen_hybrid(
             radii,
             config,
             backend,
+            telemetry=timers.ref,
         )
 
         # Non-coplanar pairs: node-window search over the whole span.
@@ -120,6 +121,7 @@ def screen_hybrid(
             surv_j[~coplanar],
             config,
             backend,
+            telemetry=timers.ref,
         )
 
         i = np.concatenate([ci, ni])
@@ -149,6 +151,7 @@ def screen_hybrid(
             "grid_pairs": len(uniq_i),
             "filtered_pairs": len(surv_i),
             "coplanar_pairs": int(coplanar.sum()),
+            "ref_telemetry": timers.ref.as_dict(),
         },
     )
 
@@ -173,6 +176,7 @@ def _refine_noncoplanar(
     pair_j: np.ndarray,
     config: ScreeningConfig,
     backend: str,
+    telemetry=None,
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
     """Node-window scan of the surviving non-coplanar pairs.
 
@@ -223,6 +227,7 @@ def _refine_noncoplanar(
                 config.threshold_km,
                 samples_per_period=config.legacy_samples_per_period,
                 brent_tol=config.brent_tol,
+                telemetry=telemetry,
             ):
                 out.append((a, b, tca, pca))
         return out

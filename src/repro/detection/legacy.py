@@ -128,6 +128,7 @@ def screen_legacy(
                     config.threshold_km,
                     samples_per_period=config.legacy_samples_per_period,
                     brent_tol=config.brent_tol,
+                    telemetry=timers.ref,
                 ):
                     hits.append((a, b, tca, pca))
 
@@ -154,5 +155,9 @@ def screen_legacy(
         candidates_refined=len(surv_i),
         timers=timers,
         filter_stats=chain.stats(),
-        extra={"total_pairs": n * (n - 1) // 2, "surviving_pairs": len(surv_i)},
+        extra={
+            "total_pairs": n * (n - 1) // 2,
+            "surviving_pairs": len(surv_i),
+            "ref_telemetry": timers.ref.as_dict(),
+        },
     )

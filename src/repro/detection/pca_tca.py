@@ -26,6 +26,7 @@ from repro.constants import MU_EARTH, TWO_PI
 from repro.detection.brent import brent_minimize, golden_minimize_batch
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.frames import perifocal_to_eci_matrix
+from repro.orbits.kepler import solve_kepler_bisect
 
 #: How far beyond an interval edge the probe looks, as a fraction of the
 #: interval radius.
@@ -99,6 +100,7 @@ def refine_candidate(
     radius: float,
     threshold_km: float,
     tol: float = 1e-6,
+    telemetry=None,
 ) -> "tuple[float, float] | None":
     """Scalar PCA/TCA search on ``[center - radius, center + radius]``.
 
@@ -112,6 +114,8 @@ def refine_candidate(
     a = center - radius
     b = center + radius
     res = brent_minimize(dist, a, b, tol=tol)
+    if telemetry is not None:
+        telemetry.record_brent(res.iterations)
     if res.at_edge:
         probe = radius * EDGE_PROBE_FRACTION
         if abs(res.x - a) <= abs(b - res.x):
@@ -125,32 +129,64 @@ def refine_candidate(
     return None
 
 
+#: Convergence tolerance of the warm-started Newton solve inside the batch
+#: distance kernel.  Near-machine tightness matters: the distance function
+#: is flat at its minimum, so a residual of 1e-12 in eccentric anomaly can
+#: shift the refined TCA by several microseconds — above ``brent_tol``.
+#: Newton converges quadratically from a warm start, so the extra decade
+#: costs well under one additional iteration per lane on average.
+REF_KEPLER_TOL = 1e-14
+
+#: Iteration cap of that solve; unconverged lanes fall back to bisection.
+REF_KEPLER_MAX_ITER = 20
+
+#: Newton iterations of the seed's fixed cold kernel (the ablation baseline).
+FIXED_KEPLER_ITERS = 10
+
+
 class BatchPairDistance:
     """Distance of many pairs, each at its own time, in one array op.
 
     ``__call__(t)`` takes per-pair times ``t`` of shape ``(m,)`` and
     returns the ``(m,)`` distances — the function signature
-    :func:`golden_minimize_batch` expects.  All orbital data is gathered
-    once at construction.
+    :func:`golden_minimize_batch` expects.  ``__call__(t, lanes)`` restricts
+    the evaluation to the given lane subset, the contract of the
+    compaction mode.  All orbital data is gathered once at construction.
+
+    With ``warm_start`` (the default) each side carries its previous
+    eccentric-anomaly solution per lane: golden-section probes move every
+    lane's time only slightly between evaluations, so the warm Newton solve
+    needs 1–2 iterations instead of the fixed 10 cold iterations of the
+    seed kernel (``warm_start=False`` preserves those numerics exactly, as
+    the ablation baseline).
     """
 
     def __init__(
-        self, population: OrbitalElementsArray, pair_i: np.ndarray, pair_j: np.ndarray
+        self,
+        population: OrbitalElementsArray,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        warm_start: bool = True,
+        telemetry=None,
     ) -> None:
-        self._side_i = _BatchSide(population, pair_i)
-        self._side_j = _BatchSide(population, pair_j)
+        self._side_i = _BatchSide(population, pair_i, warm_start, telemetry)
+        self._side_j = _BatchSide(population, pair_j, warm_start, telemetry)
 
-    def __call__(self, t: np.ndarray) -> np.ndarray:
-        diff = self._side_i.positions(t) - self._side_j.positions(t)
+    def __call__(self, t: np.ndarray, lanes: "np.ndarray | None" = None) -> np.ndarray:
+        diff = self._side_i.positions(t, lanes)
+        np.subtract(diff, self._side_j.positions(t, lanes), out=diff)
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
 
 class _BatchSide:
     """Gathered orbit data of one side of a pair batch."""
 
-    __slots__ = ("m0", "n", "e", "pa", "qb", "foc")
+    __slots__ = ("m0", "n", "e", "pa", "qb", "foc", "warm_start", "telemetry", "_E")
 
-    def __init__(self, pop: OrbitalElementsArray, idx: np.ndarray) -> None:
+    def __init__(
+        self, pop: OrbitalElementsArray, idx: np.ndarray, warm_start: bool = True,
+        telemetry=None,
+    ) -> None:
         rot = perifocal_to_eci_matrix(pop.i[idx], pop.raan[idx], pop.argp[idx])
         a = pop.a[idx]
         e = pop.e[idx]
@@ -161,16 +197,84 @@ class _BatchSide:
         self.pa = rot[:, :, 0] * a[:, None]
         self.qb = rot[:, :, 1] * b[:, None]
         self.foc = rot[:, :, 0] * (a * e)[:, None]
+        self.warm_start = warm_start
+        self.telemetry = telemetry
+        #: Per-lane eccentric anomaly of the previous evaluation.
+        self._E: "np.ndarray | None" = None
 
-    def positions(self, t: np.ndarray) -> np.ndarray:
-        m = np.mod(self.m0 + self.n * t, TWO_PI)
-        E = m + self.e * np.sin(m)
-        for _ in range(10):
-            f = E - self.e * np.sin(E) - m
-            E = E - f / (1.0 - self.e * np.cos(E))
+    def positions(self, t: np.ndarray, lanes: "np.ndarray | None" = None) -> np.ndarray:
+        if lanes is None:
+            m0, n, e = self.m0, self.n, self.e
+            pa, qb, foc = self.pa, self.qb, self.foc
+            warm = self._E if self.warm_start else None
+        else:
+            m0, n, e = self.m0[lanes], self.n[lanes], self.e[lanes]
+            pa, qb, foc = self.pa[lanes], self.qb[lanes], self.foc[lanes]
+            warm = self._E[lanes] if self.warm_start and self._E is not None else None
+        m = np.mod(m0 + n * t, TWO_PI)
+        E = self._solve(m, e, warm)
+        if self.warm_start:
+            if self._E is None:
+                self._E = np.zeros(len(self.m0), dtype=np.float64)
+                self._E[:] = self.m0  # neutral seed for lanes never evaluated
+            if lanes is None:
+                self._E[:] = E
+            else:
+                self._E[lanes] = E
         c = np.cos(E)[:, None]
         s = np.sin(E)[:, None]
-        return self.pa * c - self.foc + self.qb * s
+        out = pa * c
+        np.subtract(out, foc, out=out)
+        out += qb * s
+        return out
+
+    def _solve(self, m: np.ndarray, e: np.ndarray, warm: "np.ndarray | None") -> np.ndarray:
+        if not self.warm_start:
+            # The seed's fixed-iteration cold kernel, byte-for-byte: the
+            # ablation baseline of benchmarks/test_ref_compaction.py.
+            E = m + e * np.sin(m)
+            for _ in range(FIXED_KEPLER_ITERS):
+                f = E - e * np.sin(E) - m
+                E = E - f / (1.0 - e * np.cos(E))
+            if self.telemetry is not None:
+                self.telemetry.record_kepler(m.size, FIXED_KEPLER_ITERS * m.size)
+            return E
+        # Warm-started convergence-checked Newton with preallocated scratch
+        # (allocation-free per iteration).  ``E0 = M + e sin(E_prev)`` is
+        # wrap-safe: the periodic term e sin E is what varies slowly.
+        E = m + e * np.sin(m if warm is None else warm)
+        f = np.empty_like(E)
+        fp = np.empty_like(E)
+        absf = np.empty_like(E)
+        converged = np.zeros(E.shape, dtype=bool)
+        active = np.empty(E.shape, dtype=bool)
+        iterations = 0
+        for iterations in range(1, REF_KEPLER_MAX_ITER + 1):
+            np.sin(E, out=f)
+            np.multiply(e, f, out=f)
+            np.subtract(E, f, out=f)
+            np.subtract(f, m, out=f)  # residual
+            np.abs(f, out=absf)
+            np.less(absf, REF_KEPLER_TOL, out=converged)
+            if converged.all():
+                break
+            np.cos(E, out=fp)
+            np.multiply(e, fp, out=fp)
+            np.subtract(1.0, fp, out=fp)
+            np.divide(f, fp, out=f)
+            np.clip(f, -1.0, 1.0, out=f)
+            np.logical_not(converged, out=active)
+            np.multiply(f, active, out=f)
+            np.subtract(E, f, out=E)
+        if self.telemetry is not None:
+            self.telemetry.record_kepler(m.size, iterations * m.size)
+        if not converged.all():
+            # Post-update recheck, then the guaranteed fallback.
+            resid = np.abs(E - e * np.sin(E) - m)
+            bad = ~(resid < REF_KEPLER_TOL)
+            if bad.any():
+                E[bad] = solve_kepler_bisect(m[bad], e[bad], tol=REF_KEPLER_TOL)
+        return E
 
 
 def interval_radii(
@@ -204,6 +308,9 @@ def refine_batch(
     radii: np.ndarray,
     threshold_km: float,
     iterations: int = 60,
+    tol: "float | None" = None,
+    warm_start: bool = True,
+    telemetry=None,
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
     """Data-parallel PCA/TCA refinement of a candidate batch.
 
@@ -211,6 +318,13 @@ def refine_batch(
     produced an accepted conjunction, with their times and distances.
     Implements the same edge-probe-and-discard rule as the scalar path,
     vectorised: edge minima whose outward probe is lower are dropped.
+
+    ``tol`` switches the golden search into convergence-aware compaction
+    (lanes retire once their interval is below ``tol`` seconds; iterations
+    run only on the survivors); ``tol=None`` keeps the fixed-iteration
+    schedule.  ``warm_start`` selects the warm-started convergence-checked
+    Kepler kernel over the seed's fixed cold one.  ``telemetry`` observes
+    the engine's work counters.
     """
     if len(pair_i) == 0:
         return (
@@ -218,10 +332,14 @@ def refine_batch(
             np.empty(0, dtype=np.float64),
             np.empty(0, dtype=np.float64),
         )
-    dist = BatchPairDistance(population, pair_i, pair_j)
+    dist = BatchPairDistance(
+        population, pair_i, pair_j, warm_start=warm_start, telemetry=telemetry
+    )
     a = centers - radii
     b = centers + radii
-    x, fx, at_edge = golden_minimize_batch(dist, a, b, iterations=iterations)
+    x, fx, at_edge = golden_minimize_batch(
+        dist, a, b, iterations=iterations, tol=tol, telemetry=telemetry
+    )
 
     discard = np.zeros(len(x), dtype=bool)
     if at_edge.any():
@@ -232,8 +350,7 @@ def refine_batch(
             a[edge_idx] - radii[edge_idx] * EDGE_PROBE_FRACTION,
             b[edge_idx] + radii[edge_idx] * EDGE_PROBE_FRACTION,
         )
-        sub = BatchPairDistance(population, pair_i[edge_idx], pair_j[edge_idx])
-        beyond = sub(probe_t)
+        beyond = dist(probe_t, edge_idx)
         discard[edge_idx] = beyond < fx[edge_idx]
 
     accept = (~discard) & (fx <= threshold_km)

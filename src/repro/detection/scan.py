@@ -25,6 +25,7 @@ def scan_pair_windows(
     threshold_km: float,
     samples_per_period: int = 30,
     brent_tol: float = 1e-6,
+    telemetry=None,
 ) -> "list[tuple[float, float]]":
     """All (tca, pca) with ``pca <= threshold`` inside the given windows.
 
@@ -56,6 +57,8 @@ def scan_pair_windows(
             if b <= a:
                 continue
             res = brent_minimize(dist, a, b, tol=brent_tol)
+            if telemetry is not None:
+                telemetry.record_brent(res.iterations)
             if res.fx <= threshold_km:
                 found.append((res.x, res.fx))
     return _dedupe(found, tol_s=1.0)

@@ -54,6 +54,13 @@ class ScreeningConfig:
     #: Grid implementation for the vectorized backend: ``sorted`` (sort-
     #: based grouping) or ``hashmap`` (CAS-round open-addressing emulation).
     grid_impl: str = "sorted"
+    #: PCA/TCA refinement engine: ``batch`` routes every backend through
+    #: the shared convergence-aware batch kernel (active-lane compaction +
+    #: warm-started Kepler solves, chunked over a fixed lane grid);
+    #: ``scalar`` keeps the per-candidate Brent loop on the serial/threads
+    #: backends — the differential-test oracle.  The vectorized backend
+    #: always uses the batch engine.
+    ref_engine: str = "batch"
     #: Optional memory budget in bytes for the Section V-B planner; when
     #: set, the effective seconds-per-sample may be reduced automatically.
     memory_budget_bytes: "int | None" = None
@@ -71,6 +78,8 @@ class ScreeningConfig:
             )
         if self.grid_impl not in ("sorted", "hashmap"):
             raise ValueError(f"grid_impl must be 'sorted' or 'hashmap', got {self.grid_impl!r}")
+        if self.ref_engine not in ("batch", "scalar"):
+            raise ValueError(f"ref_engine must be 'batch' or 'scalar', got {self.ref_engine!r}")
         if self.legacy_samples_per_period < 4:
             raise ValueError("legacy_samples_per_period must be at least 4")
 

@@ -43,45 +43,93 @@ def _broadcast(mean_anomaly, e) -> "tuple[np.ndarray, np.ndarray, bool]":
         raise ValueError("eccentricity must lie in [0, 1) for elliptic orbits")
     scalar = m.ndim == 0 and ecc.ndim == 0
     m, ecc = np.broadcast_arrays(np.atleast_1d(m), np.atleast_1d(ecc))
-    return np.mod(m, TWO_PI).astype(np.float64), ecc.astype(np.float64), scalar
+    # np.mod materialises a fresh writable M; the eccentricity stays a
+    # broadcast *view* — solvers only read it, so no p*n copy is made.
+    return np.mod(m, TWO_PI), ecc, scalar
 
 
 def _ret(E: np.ndarray, scalar: bool):
     return float(E[0]) if scalar else E
 
 
-def solve_kepler_newton(mean_anomaly, e, tol: float = TOL):
+def _starter(m: np.ndarray, ecc: np.ndarray, warm_start) -> np.ndarray:
+    """Initial guess ``E0``: cold ``M + e sin M``, or warm ``M + e sin E_prev``.
+
+    The warm form carries a previous solution through the periodic term
+    ``e sin E`` rather than through ``E`` itself, so it stays valid across
+    the ``mod 2*pi`` wrap of the mean anomaly: ``E - M = e sin E`` is what
+    actually varies slowly between nearby solves.
+    """
+    if warm_start is None:
+        return m + ecc * np.sin(m)
+    warm = np.asarray(warm_start, dtype=np.float64)
+    return m + ecc * np.sin(np.broadcast_to(warm, m.shape))
+
+
+def solve_kepler_newton(mean_anomaly, e, tol: float = TOL, warm_start=None, telemetry=None):
     """Solve Kepler's equation by Newton–Raphson iteration.
 
-    Uses the starter ``E0 = M + e*sin(M)`` and falls back to bisection for
-    any element that fails to converge within :data:`MAX_ITER` iterations,
-    so the result is always accurate to ``tol``.
+    Uses the starter ``E0 = M + e*sin(M)`` — or, when ``warm_start`` holds a
+    previous per-lane eccentric anomaly, ``E0 = M + e*sin(E_prev)`` (1–2
+    iterations instead of ~5 when the anomaly moved only slightly) — and
+    falls back to bisection for any element that fails to converge within
+    :data:`MAX_ITER` iterations, so the result is always accurate to
+    ``tol``.  The iteration reuses preallocated scratch via ``out=`` ufuncs:
+    no per-iteration temporaries.  ``telemetry`` (anything with a
+    ``record_kepler(lanes, iterations)`` method) observes the work done.
     """
     m, ecc, scalar = _broadcast(mean_anomaly, e)
-    E = m + ecc * np.sin(m)
-    converged = np.zeros(m.shape, dtype=bool)
-    for _ in range(MAX_ITER):
-        f = E - ecc * np.sin(E) - m
-        converged = np.abs(f) < tol
+    E = _starter(m, ecc, warm_start)
+    # Scratch buffers reused by every iteration (allocation-free hot loop).
+    f = np.empty_like(E)
+    fp = np.empty_like(E)
+    absf = np.empty_like(E)
+    converged = np.zeros(E.shape, dtype=bool)
+    active = np.empty(E.shape, dtype=bool)
+    iterations = 0
+    for iterations in range(1, MAX_ITER + 1):
+        np.sin(E, out=f)
+        np.multiply(ecc, f, out=f)
+        np.subtract(E, f, out=f)
+        np.subtract(f, m, out=f)  # f = E - e sin E - M
+        np.abs(f, out=absf)
+        np.less(absf, tol, out=converged)
         if converged.all():
             break
-        fp = 1.0 - ecc * np.cos(E)
-        step = f / fp
+        np.cos(E, out=fp)
+        np.multiply(ecc, fp, out=fp)
+        np.subtract(1.0, fp, out=fp)  # f' = 1 - e cos E
+        np.divide(f, fp, out=f)
         # Damp absurd steps near e -> 1, M -> 0 where fp is tiny.
-        np.clip(step, -1.0, 1.0, out=step)
-        E = E - np.where(converged, 0.0, step)
+        np.clip(f, -1.0, 1.0, out=f)
+        np.logical_not(converged, out=active)
+        np.multiply(f, active, out=f)  # freeze already-converged lanes
+        np.subtract(E, f, out=E)
+    if telemetry is not None:
+        telemetry.record_kepler(E.size, iterations * E.size)
     if not converged.all():
-        bad = ~converged
-        E[bad] = solve_kepler_bisect(m[bad], ecc[bad], tol=tol)
+        # Recheck the residual *after* the final in-loop update: lanes that
+        # converged on the very last iteration would otherwise be re-solved
+        # by bisection on a stale mask.
+        np.sin(E, out=f)
+        np.multiply(ecc, f, out=f)
+        np.subtract(E, f, out=f)
+        np.subtract(f, m, out=f)
+        np.abs(f, out=absf)
+        np.less(absf, tol, out=converged)
+        if not converged.all():
+            bad = ~converged
+            E[bad] = solve_kepler_bisect(m[bad], ecc[bad], tol=tol)
     return _ret(E, scalar)
 
 
-def solve_kepler_halley(mean_anomaly, e, tol: float = TOL):
+def solve_kepler_halley(mean_anomaly, e, tol: float = TOL, warm_start=None, telemetry=None):
     """Solve Kepler's equation by Halley's third-order iteration."""
     m, ecc, scalar = _broadcast(mean_anomaly, e)
-    E = m + ecc * np.sin(m)
-    converged = np.zeros(m.shape, dtype=bool)
-    for _ in range(MAX_ITER):
+    E = _starter(m, ecc, warm_start)
+    converged = np.zeros(E.shape, dtype=bool)
+    iterations = 0
+    for iterations in range(1, MAX_ITER + 1):
         sin_e = np.sin(E)
         cos_e = np.cos(E)
         f = E - ecc * sin_e - m
@@ -94,9 +142,16 @@ def solve_kepler_halley(mean_anomaly, e, tol: float = TOL):
         step = f / denom
         np.clip(step, -1.0, 1.0, out=step)
         E = E - np.where(converged, 0.0, step)
+    if telemetry is not None:
+        telemetry.record_kepler(E.size, iterations * E.size)
     if not converged.all():
-        bad = ~converged
-        E[bad] = solve_kepler_bisect(m[bad], ecc[bad], tol=tol)
+        # Same post-loop recheck as the Newton solver: the in-loop mask is
+        # stale by one update when the cap is hit.
+        f = E - ecc * np.sin(E) - m
+        converged = np.abs(f) < tol
+        if not converged.all():
+            bad = ~converged
+            E[bad] = solve_kepler_bisect(m[bad], ecc[bad], tol=tol)
     return _ret(E, scalar)
 
 
@@ -213,13 +268,22 @@ SOLVERS = {
 }
 
 
-def mean_to_eccentric(M, e, solver: str = "newton"):
+#: Solvers that accept ``warm_start`` / ``telemetry`` keyword arguments.
+WARM_SOLVERS = ("newton", "halley")
+
+
+def mean_to_eccentric(M, e, solver: str = "newton", warm_start=None, telemetry=None):
     """Eccentric anomaly from mean anomaly using the named solver.
 
     ``solver`` is one of ``newton``, ``halley``, ``bisect``, ``contour``.
+    ``warm_start`` (a previous per-lane eccentric anomaly, broadcastable to
+    the solve shape) seeds the iterative solvers; the direct solvers ignore
+    it.  ``telemetry`` observes iteration counts where supported.
     """
     if solver not in SOLVERS:
         raise ValueError(f"unknown Kepler solver {solver!r}; choose from {sorted(SOLVERS)}")
+    if solver in WARM_SOLVERS:
+        return SOLVERS[solver](M, e, warm_start=warm_start, telemetry=telemetry)
     return SOLVERS[solver](M, e)
 
 

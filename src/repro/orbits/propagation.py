@@ -18,7 +18,7 @@ import numpy as np
 from repro.constants import MU_EARTH, TWO_PI
 from repro.orbits.elements import KeplerElements, OrbitalElementsArray
 from repro.orbits.frames import perifocal_to_eci_matrix
-from repro.orbits.kepler import mean_to_eccentric
+from repro.orbits.kepler import WARM_SOLVERS, mean_to_eccentric
 
 
 class Propagator:
@@ -33,6 +33,12 @@ class Propagator:
         ``contour``).  The contour solver is the analogue of the paper's
         GPU Kepler solver.
 
+    warm_start:
+        Carry each satellite's last solved eccentric anomaly across calls
+        and use it to seed the next Newton/Halley solve (consecutive
+        sampling steps move ``E`` only slightly, so the warm solve needs
+        1–2 iterations instead of ~5).  Direct solvers ignore the cache.
+
     Notes
     -----
     The constructor performs the one-time precomputation (the paper's
@@ -42,9 +48,20 @@ class Propagator:
     multiply-adds per object.
     """
 
-    def __init__(self, population: OrbitalElementsArray, solver: str = "newton") -> None:
+    def __init__(
+        self,
+        population: OrbitalElementsArray,
+        solver: str = "newton",
+        warm_start: bool = True,
+        telemetry=None,
+    ) -> None:
         self.population = population
         self.solver = solver
+        self.warm_start = warm_start and solver in WARM_SOLVERS
+        self.telemetry = telemetry
+        #: Last solved eccentric anomaly per satellite, shape ``(n,)``;
+        #: None until the first solve.
+        self._warm_E: "np.ndarray | None" = None
         rot = perifocal_to_eci_matrix(population.i, population.raan, population.argp)
         a = population.a
         e = population.e
@@ -69,7 +86,16 @@ class Propagator:
     def eccentric_anomaly(self, t: float) -> np.ndarray:
         """Eccentric anomaly of every object at time ``t`` seconds past epoch."""
         m = self.population.mean_anomaly_at(t)
-        return mean_to_eccentric(m, self.population.e, solver=self.solver)
+        E = mean_to_eccentric(
+            m,
+            self.population.e,
+            solver=self.solver,
+            warm_start=self._warm_E if self.warm_start else None,
+            telemetry=self.telemetry,
+        )
+        if self.warm_start:
+            self._warm_E = np.atleast_1d(E)
+        return E
 
     def positions(self, t: float) -> np.ndarray:
         """ECI positions of all objects at time ``t``, km, shape ``(n, 3)``.
@@ -97,8 +123,24 @@ class Propagator:
             raise ValueError(f"times must be 1-D, got shape {t_arr.shape}")
         pop = self.population
         m = np.mod(pop.m0[None, :] + pop.n[None, :] * t_arr[:, None], TWO_PI)  # (p, n)
-        e_tiled = np.broadcast_to(pop.e[None, :], m.shape)
-        E = mean_to_eccentric(m.ravel(), e_tiled.ravel(), solver=self.solver).reshape(m.shape)
+        if self.solver != "contour":
+            # The 2-D broadcast view of e goes straight into the solver — no
+            # materialised p*n eccentricity array.  The per-satellite warm
+            # cache seeds every step of the round; the last step's solution
+            # seeds the next round.
+            E = mean_to_eccentric(
+                m,
+                pop.e[None, :],
+                solver=self.solver,
+                warm_start=self._warm_E[None, :] if self.warm_start and self._warm_E is not None else None,
+                telemetry=self.telemetry,
+            )
+            if self.warm_start and len(t_arr):
+                self._warm_E = E[-1].copy()
+        else:
+            # Direct solvers (contour) are written for 1-D batches: flatten.
+            e_tiled = np.broadcast_to(pop.e[None, :], m.shape)
+            E = mean_to_eccentric(m.ravel(), e_tiled.ravel(), solver=self.solver).reshape(m.shape)
         cos_e = np.cos(E)[:, :, None]
         sin_e = np.sin(E)[:, :, None]
         return self._pa[None, :, :] * cos_e - self._focus_offset[None, :, :] + self._qb[None, :, :] * sin_e

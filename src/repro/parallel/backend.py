@@ -86,6 +86,85 @@ def parallel_for(
 
 
 @dataclass
+class RefTelemetry:
+    """Work counters of the convergence-aware REF engine.
+
+    Mirrors what a GPU profiler would report for the refinement kernel:
+    how many golden-section iterations actually ran, how the active lane
+    set drained (``lanes_retired_per_iteration``), and how many Newton
+    iterations the warm-started Kepler solves spent — versus the
+    fixed-iteration cold-start baseline the seed implementation hard-coded.
+    """
+
+    #: Golden-section iterations executed (compaction mode counts only the
+    #: iterations that still had live lanes).
+    golden_iterations: int = 0
+    #: Total minimisation lanes entered into batch refinement.
+    lanes_total: int = 0
+    #: Lanes retired at each golden iteration, in execution order.
+    lanes_retired_per_iteration: "list[int]" = field(default_factory=list)
+    #: Kepler lane-solves (one per (lane, evaluation, side)).
+    kepler_lanes: int = 0
+    #: Newton/Halley iterations summed over all lane-solves.
+    kepler_iterations: int = 0
+    #: Scalar Brent refinements (the serial oracle / legacy scan path).
+    brent_calls: int = 0
+    #: Iterations spent inside those scalar Brent refinements.
+    brent_iterations: int = 0
+
+    #: Newton iterations per lane-solve the seed's fixed-iteration REF
+    #: kernel always spent (cold start, no convergence check).
+    FIXED_BASELINE_KEPLER_ITERS = 10
+
+    def record_golden_iteration(self, lanes_retired: int = 0) -> None:
+        self.golden_iterations += 1
+        self.lanes_retired_per_iteration.append(int(lanes_retired))
+
+    def record_lanes(self, lanes: int) -> None:
+        self.lanes_total += int(lanes)
+
+    def record_kepler(self, lanes: int, iterations: int) -> None:
+        self.kepler_lanes += int(lanes)
+        self.kepler_iterations += int(iterations)
+
+    def record_brent(self, iterations: int) -> None:
+        self.brent_calls += 1
+        self.brent_iterations += int(iterations)
+
+    @property
+    def mean_kepler_iterations(self) -> float:
+        """Mean Newton iterations per lane-solve (1–2 when warm-started)."""
+        return self.kepler_iterations / self.kepler_lanes if self.kepler_lanes else 0.0
+
+    @property
+    def kepler_iterations_saved(self) -> int:
+        """Iterations avoided versus the fixed 10-iteration cold kernel."""
+        return max(self.FIXED_BASELINE_KEPLER_ITERS * self.kepler_lanes - self.kepler_iterations, 0)
+
+    def merge(self, other: "RefTelemetry") -> None:
+        self.golden_iterations += other.golden_iterations
+        self.lanes_total += other.lanes_total
+        self.lanes_retired_per_iteration.extend(other.lanes_retired_per_iteration)
+        self.kepler_lanes += other.kepler_lanes
+        self.kepler_iterations += other.kepler_iterations
+        self.brent_calls += other.brent_calls
+        self.brent_iterations += other.brent_iterations
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "golden_iterations": self.golden_iterations,
+            "lanes_total": self.lanes_total,
+            "lanes_retired_per_iteration": list(self.lanes_retired_per_iteration),
+            "kepler_lanes": self.kepler_lanes,
+            "kepler_iterations": self.kepler_iterations,
+            "mean_kepler_iterations": self.mean_kepler_iterations,
+            "kepler_iterations_saved": self.kepler_iterations_saved,
+            "brent_calls": self.brent_calls,
+            "brent_iterations": self.brent_iterations,
+        }
+
+
+@dataclass
 class PhaseTimer:
     """Accumulates wall-clock seconds per named phase.
 
@@ -93,9 +172,11 @@ class PhaseTimer:
     propagation), ``CD`` (conjunction detection / pair emission),
     ``COP`` (coplanarity + orbital filters, hybrid only), ``REF``
     (PCA/TCA refinement), ``ALLOC`` (up-front memory allocation).
+    ``ref`` collects the REF engine's work counters alongside its seconds.
     """
 
     totals: "dict[str, float]" = field(default_factory=dict)
+    ref: RefTelemetry = field(default_factory=RefTelemetry)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -122,3 +203,4 @@ class PhaseTimer:
     def merge(self, other: "PhaseTimer") -> None:
         for k, v in other.totals.items():
             self.add(k, v)
+        self.ref.merge(other.ref)

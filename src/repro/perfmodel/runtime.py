@@ -96,3 +96,43 @@ def compare_runtimes(
     return RuntimeComparison(
         models={name: fit_runtime_model(samples) for name, samples in samples_by_variant.items()}
     )
+
+
+# ---------------------------------------------------------------------------
+# REF-phase work model (PR 2): what did convergence-awareness buy?
+# ---------------------------------------------------------------------------
+
+#: Golden-section iterations the seed's fixed-iteration REF kernel always ran.
+FIXED_GOLDEN_ITERATIONS = 60
+#: Distance evaluations outside the golden loop (2 bracket probes + 3 per
+#: parabolic polish step x 2 steps).
+FIXED_EXTRA_EVALS = 2 + 6
+
+
+def ref_phase_summary(telemetry) -> "dict[str, float]":
+    """Digest a :class:`repro.parallel.backend.RefTelemetry` into the
+    quantities the Fig. 9-style phase breakdown cares about.
+
+    ``modelled_speedup`` is the analytic work ratio against the seed's REF
+    kernel — every lane minimised for :data:`FIXED_GOLDEN_ITERATIONS`
+    golden iterations with a cold 10-iteration Kepler solve per distance
+    evaluation — using the *measured* Kepler iteration total as the actual
+    cost.  Wall-clock speedups land below this bound (fixed per-call
+    overheads dilute it), so benches report both.
+    """
+    lanes = telemetry.lanes_total
+    baseline_lane_evals = lanes * (FIXED_GOLDEN_ITERATIONS + FIXED_EXTRA_EVALS)
+    # Two Kepler lane-solves (one per satellite of the pair) per evaluation.
+    baseline_kepler_iters = baseline_lane_evals * 2 * telemetry.FIXED_BASELINE_KEPLER_ITERS
+    actual = telemetry.kepler_iterations
+    retired = telemetry.lanes_retired_per_iteration
+    return {
+        "lanes_total": float(lanes),
+        "golden_iterations": float(telemetry.golden_iterations),
+        "mean_kepler_iterations": telemetry.mean_kepler_iterations,
+        "kepler_iterations_saved": float(telemetry.kepler_iterations_saved),
+        "lanes_retired_peak_iteration": float(
+            max(range(len(retired)), key=retired.__getitem__) if retired else 0
+        ),
+        "modelled_speedup": (baseline_kepler_iters / actual) if actual else 1.0,
+    }

@@ -133,3 +133,133 @@ class TestGoldenBatch:
         x, fx, edge = golden_minimize_batch(f, a, b)
         np.testing.assert_allclose(x, targets, atol=1e-5)
         assert not edge.any()
+
+
+class _Telemetry:
+    """Minimal stand-in for RefTelemetry: records what golden reports."""
+
+    def __init__(self):
+        self.lanes = 0
+        self.iterations = []
+
+    def record_lanes(self, lanes):
+        self.lanes += lanes
+
+    def record_golden_iteration(self, lanes_retired=0):
+        self.iterations.append(lanes_retired)
+
+
+class TestGoldenCompaction:
+    """Convergence-aware mode: ``tol`` set, lane-aware callback contract."""
+
+    @staticmethod
+    def _lane_aware_quadratic(targets):
+        def f(x, lanes):
+            assert lanes.dtype == np.int64
+            assert len(lanes) == len(x)
+            return (x - targets[lanes]) ** 2
+
+        return f
+
+    def test_matches_fixed_mode(self):
+        rng = np.random.default_rng(7)
+        targets = rng.uniform(-20, 20, 200)
+        a = targets - rng.uniform(0.5, 8.0, 200)
+        b = targets + rng.uniform(0.5, 8.0, 200)
+        x_fixed, fx_fixed, edge_fixed = golden_minimize_batch(
+            lambda x: (x - targets) ** 2, a, b
+        )
+        x_c, fx_c, edge_c = golden_minimize_batch(
+            self._lane_aware_quadratic(targets), a, b, tol=1e-10
+        )
+        np.testing.assert_allclose(x_c, x_fixed, atol=1e-7)
+        np.testing.assert_array_equal(edge_c, edge_fixed)
+
+    def test_callback_receives_original_lane_indices(self):
+        """After compaction the lanes array must index the *original* batch."""
+        targets = np.array([0.0, 5.0, -3.0, 8.0])
+        seen = []
+
+        def f(x, lanes):
+            seen.append(lanes.copy())
+            return (x - targets[lanes]) ** 2
+
+        # Wildly different spans: narrow lanes retire long before wide ones.
+        a = targets - np.array([1e-4, 50.0, 1e-4, 50.0])
+        b = targets + np.array([1e-4, 50.0, 1e-4, 50.0])
+        golden_minimize_batch(f, a, b, tol=1e-6)
+        # Some call must have run on the compacted survivors {1, 3} only.
+        assert any(set(lanes.tolist()) == {1, 3} for lanes in seen)
+        for lanes in seen:
+            assert set(lanes.tolist()) <= {0, 1, 2, 3}
+
+    def test_early_exit_on_converged_batch(self):
+        tele = _Telemetry()
+        targets = np.linspace(-1, 1, 50)
+        golden_minimize_batch(
+            self._lane_aware_quadratic(targets),
+            targets - 1.0,
+            targets + 1.0,
+            tol=1e-6,
+            telemetry=tele,
+        )
+        assert tele.lanes == 50
+        # 0.618^k <= 1e-6 / 2 needs k ~ 31 << 60: the loop exited early.
+        assert 0 < len(tele.iterations) < 60
+        assert sum(tele.iterations) == 50  # every lane retired exactly once
+
+    def test_fixed_mode_telemetry_counts_full_schedule(self):
+        tele = _Telemetry()
+        golden_minimize_batch(
+            lambda x: (x - 0.5) ** 2, np.zeros(3), np.ones(3), telemetry=tele
+        )
+        assert tele.lanes == 3
+        assert len(tele.iterations) == 60
+        assert sum(tele.iterations) == 0  # fixed mode never retires lanes
+
+    def test_iteration_cap_still_returns_all_lanes(self):
+        """A tol far below what the cap can reach drains via the cap path."""
+        targets = np.array([2.0, -4.0])
+        x, fx, _ = golden_minimize_batch(
+            self._lane_aware_quadratic(targets),
+            targets - 100.0,
+            targets + 100.0,
+            iterations=5,
+            tol=1e-300,
+        )
+        assert np.all(np.isfinite(x)) and np.all(np.isfinite(fx))
+        np.testing.assert_allclose(x, targets, atol=40.0)  # coarse but live
+
+    def test_edge_detection_in_compaction_mode(self):
+        def f(x, lanes):
+            return np.where(lanes == 0, x, (x - 0.5) ** 2)
+
+        x, fx, edge = golden_minimize_batch(f, np.zeros(2), np.ones(2), tol=1e-8)
+        assert edge.tolist() == [True, False]
+        assert x[0] == pytest.approx(0.0, abs=1e-5)
+        assert x[1] == pytest.approx(0.5, abs=1e-6)
+
+    def test_tol_validation(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            golden_minimize_batch(
+                lambda x, lanes: x, np.zeros(1), np.ones(1), tol=0.0
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_compaction_equals_fixed_property(self, seed):
+        rng = np.random.default_rng(seed)
+        m = 12
+        targets = rng.uniform(-10, 10, m)
+        a = targets - rng.uniform(0.5, 5.0, m)
+        b = targets + rng.uniform(0.5, 5.0, m)
+        scale = rng.uniform(0.1, 10.0, m)
+
+        x, fx, edge = golden_minimize_batch(
+            lambda t, lanes: scale[lanes] * (t - targets[lanes]) ** 2,
+            a,
+            b,
+            tol=1e-9,
+        )
+        np.testing.assert_allclose(x, targets, atol=1e-5)
+        assert not edge.any()

@@ -71,6 +71,44 @@ class TestEventTracking:
             campaign.run(0)
 
 
+class TestRefEngineAgreement:
+    """Campaigns must see the same events whichever REF engine runs."""
+
+    def test_batch_and_scalar_engines_find_identical_events(self, periodic_pair):
+        cfg_scalar = ScreeningConfig(
+            threshold_km=CFG.threshold_km, duration_s=CFG.duration_s,
+            seconds_per_sample=CFG.seconds_per_sample,
+            hybrid_seconds_per_sample=CFG.hybrid_seconds_per_sample,
+            ref_engine="scalar",
+        )
+        batch = ScreeningCampaign(periodic_pair, CFG, method="grid", backend="serial")
+        batch.run(3)
+        scalar = ScreeningCampaign(
+            periodic_pair, cfg_scalar, method="grid", backend="serial"
+        )
+        scalar.run(3)
+        assert len(batch.events) == len(scalar.events)
+        for b, s in zip(
+            sorted(batch.events, key=lambda ev: ev.tca_abs_s),
+            sorted(scalar.events, key=lambda ev: ev.tca_abs_s),
+        ):
+            assert (b.i, b.j) == (s.i, s.j)
+            assert b.tca_abs_s == pytest.approx(s.tca_abs_s, abs=1e-3)
+            assert b.pca_km == pytest.approx(s.pca_km, abs=1e-4)
+
+    def test_backends_agree_within_campaign(self, periodic_pair):
+        runs = {}
+        for backend in ("serial", "threads", "vectorized"):
+            campaign = ScreeningCampaign(
+                periodic_pair, CFG, method="grid", backend=backend
+            )
+            campaign.run(2)
+            runs[backend] = sorted(
+                (ev.i, ev.j, round(ev.tca_abs_s, 6)) for ev in campaign.events
+            )
+        assert runs["serial"] == runs["threads"] == runs["vectorized"]
+
+
 class TestRiskSummary:
     def test_sorted_by_probability(self, periodic_pair):
         campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")

@@ -8,9 +8,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.orbits.kepler as kepler
 from repro.constants import TWO_PI
 from repro.orbits.kepler import (
     SOLVERS,
+    WARM_SOLVERS,
     eccentric_to_mean,
     eccentric_to_true,
     mean_to_eccentric,
@@ -140,6 +142,126 @@ def test_contour_matches_newton_batch():
         np.testing.assert_allclose(
             solve_kepler_contour(m, e), solve_kepler_newton(m, e), atol=1e-9
         )
+
+
+class _KeplerTelemetry:
+    """Records what the solvers report so tests can count iterations."""
+
+    def __init__(self):
+        self.lanes = 0
+        self.iterations = 0
+
+    def record_kepler(self, lanes, iterations):
+        self.lanes += lanes
+        self.iterations += iterations
+
+
+WARM_CAPABLE = [solve_kepler_newton, solve_kepler_halley]
+
+
+class TestWarmStart:
+    @pytest.mark.parametrize("solver", WARM_CAPABLE)
+    def test_warm_result_equals_cold(self, solver):
+        rng = np.random.default_rng(11)
+        m = rng.uniform(0, TWO_PI, 300)
+        e = rng.uniform(0.0, 0.85, 300)
+        cold = solver(m, e)
+        # A realistic warm seed: the solution of a slightly earlier epoch.
+        warm_seed = solver(np.mod(m - 0.01, TWO_PI), e)
+        warm = solver(m, e, warm_start=warm_seed)
+        np.testing.assert_allclose(warm, cold, atol=1e-9)
+
+    @pytest.mark.parametrize("solver", WARM_CAPABLE)
+    def test_warm_start_survives_mean_anomaly_wrap(self, solver):
+        """E_prev near 2*pi must stay a valid seed after M wraps past 0."""
+        e = 0.6
+        m_prev = TWO_PI - 0.005
+        e_prev = solver(m_prev, e)
+        m_next = 0.005  # wrapped
+        warm = solver(m_next, e, warm_start=e_prev)
+        assert abs(warm - e * math.sin(warm) - m_next) < 1e-9
+
+    def test_warm_start_reduces_newton_iterations(self):
+        rng = np.random.default_rng(23)
+        m = rng.uniform(0, TWO_PI, 500)
+        e = np.full(500, 0.7)
+        E_prev = solve_kepler_newton(np.mod(m - 1e-4, TWO_PI), e)
+        cold_tele = _KeplerTelemetry()
+        solve_kepler_newton(m, e, telemetry=cold_tele)
+        warm_tele = _KeplerTelemetry()
+        solve_kepler_newton(m, e, warm_start=E_prev, telemetry=warm_tele)
+        assert warm_tele.iterations < cold_tele.iterations
+
+    @pytest.mark.parametrize("solver", WARM_CAPABLE)
+    def test_garbage_warm_start_still_converges(self, solver):
+        """The sine bounds any seed into [M - e, M + e]: never diverges."""
+        m = np.linspace(0.1, TWO_PI - 0.1, 64)
+        for bad_seed in (1e6, -273.15, 0.0):
+            E = solver(m, 0.8, warm_start=np.full(64, bad_seed))
+            residual = np.abs(E - 0.8 * np.sin(E) - m)
+            assert residual.max() < 1e-9
+
+    def test_mean_to_eccentric_forwards_warm_start(self):
+        m, e = 2.0, 0.5
+        seed = solve_kepler_newton(1.99, e)
+        for name in WARM_SOLVERS:
+            out = mean_to_eccentric(m, e, solver=name, warm_start=seed)
+            assert abs(out - e * math.sin(out) - m) < 1e-9
+        # Non-iterative solvers simply ignore the keyword.
+        out = mean_to_eccentric(m, e, solver="bisect", warm_start=seed)
+        assert abs(out - e * math.sin(out) - m) < 1e-9
+
+    def test_telemetry_counts_lanes(self):
+        tele = _KeplerTelemetry()
+        solve_kepler_newton(np.linspace(0.1, 6.0, 40), 0.3, telemetry=tele)
+        assert tele.lanes == 40
+        assert tele.iterations >= 40  # at least one pass over every lane
+
+
+class TestStaleConvergedMaskRegression:
+    """The in-loop ``converged`` mask is one update stale when the cap is
+    hit; the residual must be rechecked before the bisection fallback, or
+    lanes that converged on the very last iteration get re-solved."""
+
+    @staticmethod
+    def _iterations_to_converge(solver, m, e):
+        tele = _KeplerTelemetry()
+        solver(np.atleast_1d(m), np.atleast_1d(e), telemetry=tele)
+        return tele.iterations // 1  # scalar lane: iterations == loop count
+
+    @pytest.mark.parametrize("solver", WARM_CAPABLE)
+    def test_no_bisect_when_cap_equals_last_converging_update(
+        self, solver, monkeypatch
+    ):
+        m, e = 1.0, 0.5
+        k = self._iterations_to_converge(solver, m, e)
+        assert k > 2, "scenario must need several iterations"
+        # With the cap one below the in-loop detection count, the final
+        # update still happens — the solver just never *observes* the
+        # convergence inside the loop.  The post-loop recheck must.
+        monkeypatch.setattr(kepler, "MAX_ITER", k - 1)
+
+        def _bisect_must_not_run(*args, **kwargs):
+            raise AssertionError("bisection fallback ran on a stale mask")
+
+        monkeypatch.setattr(kepler, "solve_kepler_bisect", _bisect_must_not_run)
+        E = solver(m, e)
+        assert abs(E - e * math.sin(E) - m) < 1e-9
+
+    @pytest.mark.parametrize("solver", WARM_CAPABLE)
+    def test_truly_unconverged_lanes_still_fall_back(self, solver, monkeypatch):
+        monkeypatch.setattr(kepler, "MAX_ITER", 1)
+        calls = []
+        real_bisect = solve_kepler_bisect
+
+        def _spy(m, e, tol=kepler.TOL):
+            calls.append(len(np.atleast_1d(m)))
+            return real_bisect(m, e, tol=tol)
+
+        monkeypatch.setattr(kepler, "solve_kepler_bisect", _spy)
+        E = solver(2.0, 0.95)  # high eccentricity: one iteration is not enough
+        assert calls, "the guaranteed fallback must engage"
+        assert abs(E - 0.95 * math.sin(E) - 2.0) < 1e-9
 
 
 def test_contour_with_per_element_eccentricity():

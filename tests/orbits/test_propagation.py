@@ -135,6 +135,56 @@ class TestConservation:
         assert Propagator(pop).memory_bytes == len(pop) * 5 * 3 * 8
 
 
+class TestWarmStartCache:
+    """The propagator's per-lane eccentric-anomaly cache must only ever
+    accelerate the solve, never change what it converges to."""
+
+    def test_second_batch_call_matches_fresh_propagator(self):
+        pop = _pop()
+        warm = Propagator(pop)
+        times1 = np.linspace(0.0, 4000.0, 9)
+        times2 = times1 + 11.0
+        warm.positions_batch(times1)  # primes the cache
+        cached = warm.positions_batch(times2)
+        fresh = Propagator(pop).positions_batch(times2)
+        np.testing.assert_allclose(cached, fresh, atol=1e-6)
+
+    def test_scalar_calls_warm_each_other(self):
+        pop = _pop()
+        warm = Propagator(pop)
+        seq = [warm.positions(float(t)) for t in np.linspace(0, 8000, 25)]
+        cold = Propagator(pop, warm_start=False)
+        for t, p in zip(np.linspace(0, 8000, 25), seq):
+            np.testing.assert_allclose(p, cold.positions(float(t)), atol=1e-6)
+
+    def test_warm_start_disabled_is_deterministic(self):
+        pop = _pop()
+        prop = Propagator(pop, warm_start=False)
+        times = np.array([0.0, 500.0, 1000.0])
+        first = prop.positions_batch(times)
+        second = prop.positions_batch(times)
+        np.testing.assert_array_equal(first, second)
+
+    def test_warm_start_auto_disabled_for_direct_solvers(self):
+        pop = _pop()
+        assert Propagator(pop, solver="newton").warm_start
+        assert Propagator(pop, solver="halley").warm_start
+        assert not Propagator(pop, solver="contour").warm_start
+        assert not Propagator(pop, solver="bisect").warm_start
+
+    def test_contour_batch_still_consistent(self):
+        """The contour solver keeps the flattened path; results must agree
+        with the warm 2-D Newton path."""
+        pop = _pop()
+        times = np.array([0.0, 321.0, 7777.0])
+        contour = Propagator(pop, solver="contour").positions_batch(times)
+        newton = Propagator(pop, solver="newton")
+        newton.positions_batch(times - 5.0)  # prime the warm cache
+        np.testing.assert_allclose(
+            newton.positions_batch(times), contour, atol=1e-6
+        )
+
+
 class TestBatchPropagation:
     def test_positions_batch_matches_per_time(self):
         pop = _pop()
