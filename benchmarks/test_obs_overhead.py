@@ -1,0 +1,132 @@
+"""NullTracer overhead: the observability hooks must be free when off.
+
+The PR 3 instrumentation threads ``tracer.span(...)`` / ``metrics`` hooks
+through every hot loop (grid rounds, phase timers, filter chains).  With
+the default :data:`repro.obs.NULL_TRACER` and ``metrics=None`` each site
+costs one attribute check (``tracer.enabled``) — this bench proves the
+end-to-end cost on a real grid screen stays **under 2%** against the
+pre-instrumentation baseline.
+
+The baseline is reconstructed in-process: ``PhaseTimer.phase`` is
+monkeypatched back to the seed's tracer-free implementation and the
+gridbased collection loop is timed with the same populations.  Both
+variants run interleaved (A/B/A/B...) with a warm-up pass, and the
+*minimum* over repeats is compared — the standard way to strip scheduler
+noise from a micro-benchmark.
+
+Results land in ``benchmarks/results/BENCH_obs.json``.
+``REPRO_BENCH_CHECK_ONLY=1`` (the CI smoke mode) shrinks the load and
+skips the wall-clock assertion — the plumbing still runs.
+"""
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+from repro.obs import MetricsRegistry, Tracer
+from repro.parallel.backend import PhaseTimer
+
+CHECK_ONLY = os.environ.get("REPRO_BENCH_CHECK_ONLY", "") == "1"
+
+N_OBJECTS = 2000 if not CHECK_ONLY else 300
+REPEATS = 5 if not CHECK_ONLY else 2
+CFG = ScreeningConfig(
+    threshold_km=5.0,
+    duration_s=600.0 if not CHECK_ONLY else 120.0,
+    seconds_per_sample=2.0,
+)
+MAX_OVERHEAD = 0.02
+
+
+@contextlib.contextmanager
+def _seed_phase_timer():
+    """Swap ``PhaseTimer.phase`` for the seed's tracer-free version."""
+    import time as _time
+    from contextlib import contextmanager
+
+    @contextmanager
+    def seed_phase(self, name):
+        start = _time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + _time.perf_counter() - start
+
+    original = PhaseTimer.phase
+    PhaseTimer.phase = seed_phase
+    try:
+        yield
+    finally:
+        PhaseTimer.phase = original
+
+
+def _time_screen(pop) -> float:
+    start = time.perf_counter()
+    screen(pop, CFG, method="grid", backend="vectorized")
+    return time.perf_counter() - start
+
+
+def test_null_tracer_overhead(population_factory, report):
+    pop = population_factory(N_OBJECTS)
+
+    # Warm up caches / JIT-free numpy paths once per variant.
+    with _seed_phase_timer():
+        _time_screen(pop)
+    _time_screen(pop)
+
+    baseline_times: "list[float]" = []
+    instrumented_times: "list[float]" = []
+    for _ in range(REPEATS):
+        with _seed_phase_timer():
+            baseline_times.append(_time_screen(pop))
+        instrumented_times.append(_time_screen(pop))
+
+    baseline = min(baseline_times)
+    instrumented = min(instrumented_times)
+    overhead = instrumented / baseline - 1.0
+
+    # One traced run for the record: how many spans a real trace carries.
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    start = time.perf_counter()
+    screen(pop, CFG, method="grid", backend="vectorized", tracer=tracer, metrics=metrics)
+    traced_s = time.perf_counter() - start
+    n_spans = len(tracer.records())
+
+    payload = {
+        "experiment": "obs_null_tracer_overhead",
+        "objects": N_OBJECTS,
+        "duration_s": CFG.duration_s,
+        "repeats": REPEATS,
+        "check_only": CHECK_ONLY,
+        "baseline_min_s": baseline,
+        "instrumented_min_s": instrumented,
+        "overhead_fraction": overhead,
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "traced_run_s": traced_s,
+        "traced_spans": n_spans,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    report.section("observability: NullTracer overhead")
+    report.table(
+        ["variant", "min wall (s)", "overhead"],
+        [
+            ["seed PhaseTimer (baseline)", f"{baseline:.4f}", "-"],
+            ["null tracer (default)", f"{instrumented:.4f}", f"{100 * overhead:+.2f}%"],
+            ["real tracer + metrics", f"{traced_s:.4f}", f"{100 * (traced_s / baseline - 1):+.2f}%"],
+        ],
+    )
+
+    assert n_spans > 0
+    if not CHECK_ONLY:
+        assert overhead < MAX_OVERHEAD, (
+            f"null-tracer instrumentation costs {100 * overhead:.2f}% "
+            f"(limit {100 * MAX_OVERHEAD:.0f}%)"
+        )

@@ -43,6 +43,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_screen.add_argument("--cdm", type=str, help="write CDM-style records to this file")
     p_screen.add_argument("--report", action="store_true",
                           help="print the full analyst report (histograms, timeline)")
+    p_screen.add_argument("--grid-impl", choices=("sorted", "hashmap"), default="sorted",
+                          help="vectorized grid implementation")
+    p_screen.add_argument("--trace", type=str, metavar="PATH",
+                          help="write a Chrome trace (load at ui.perfetto.dev)")
+    p_screen.add_argument("--trace-jsonl", type=str, metavar="PATH",
+                          help="write the span/metrics event stream as JSONL")
+    p_screen.add_argument("--metrics", action="store_true",
+                          help="collect and print structure-health metrics and the candidate funnel")
 
     p_gen = sub.add_parser("generate", help="write a synthetic population as TLEs")
     p_gen.add_argument("--objects", type=int, default=2000)
@@ -82,9 +90,23 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         seconds_per_sample=args.sps,
         hybrid_seconds_per_sample=args.hybrid_sps,
         n_threads=args.threads,
+        grid_impl=args.grid_impl,
     )
+    tracer = None
+    metrics = None
+    if args.trace or args.trace_jsonl:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    if args.metrics or args.trace or args.trace_jsonl:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     start = time.perf_counter()
-    result = screen(pop, config, method=args.method, backend=args.backend)
+    result = screen(
+        pop, config, method=args.method, backend=args.backend,
+        tracer=tracer, metrics=metrics,
+    )
     elapsed = time.perf_counter() - start
     print(result.summary())
     print(f"wall time {elapsed:.3f} s; phase breakdown:")
@@ -106,6 +128,21 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         with open(args.cdm, "w", encoding="utf-8") as fh:
             fh.write(format_cdm(result))
         print(f"wrote CDM records to {args.cdm}")
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        n_spans = write_chrome_trace(tracer, args.trace, metrics)
+        print(f"wrote {n_spans} spans to {args.trace} (load at ui.perfetto.dev)")
+    if args.trace_jsonl:
+        from repro.obs import write_jsonl
+
+        n_lines = write_jsonl(tracer, args.trace_jsonl, metrics)
+        print(f"wrote {n_lines} JSONL events to {args.trace_jsonl}")
+    if args.metrics:
+        from repro.report import metrics_table
+
+        print()
+        print(metrics_table(metrics))
     if args.report:
         from repro.report import full_report
 

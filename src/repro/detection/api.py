@@ -6,6 +6,7 @@ from repro.detection.hybrid import screen_hybrid
 from repro.detection.kdtree_variant import screen_kdtree
 from repro.detection.legacy import screen_legacy
 from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.obs.tracer import NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 
 #: The implemented screening methods.  ``grid``/``hybrid`` are the paper's
@@ -19,6 +20,8 @@ def screen(
     config: "ScreeningConfig | None" = None,
     method: str = "hybrid",
     backend: str = "vectorized",
+    tracer=None,
+    metrics=None,
 ) -> ScreeningResult:
     """Screen a population for conjunctions.
 
@@ -38,21 +41,38 @@ def screen(
         ``threads`` (thread pool over the shared CAS structures — the
         OpenMP analogue) or ``serial``.  The legacy method is
         single-threaded by definition and ignores this argument.
+    tracer:
+        A :class:`repro.obs.Tracer` receiving the run's span tree
+        (``window`` → ``phase:*`` → ``round`` → …).  ``None`` (the
+        default) uses the zero-overhead null tracer.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` receiving structure-health
+        counters and the per-stage candidate funnel.  ``None`` disables
+        metrics collection.
 
     Returns
     -------
     ScreeningResult
-        Detected conjunctions plus phase timings, filter statistics and
-        memory metadata.
+        Detected conjunctions plus phase timings, filter statistics,
+        memory metadata and (when requested) the metrics registry.
     """
     if config is None:
         config = ScreeningConfig()
-    if method == "grid":
-        return screen_grid(population, config, backend=backend)
-    if method == "hybrid":
-        return screen_hybrid(population, config, backend=backend)
-    if method == "legacy":
-        return screen_legacy(population, config)
-    if method == "kdtree":
+    if tracer is None:
+        tracer = NULL_TRACER
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    with tracer.span(
+        "window", method=method, backend=backend, objects=len(population)
+    ):
+        if method == "grid":
+            return screen_grid(
+                population, config, backend=backend, tracer=tracer, metrics=metrics
+            )
+        if method == "hybrid":
+            return screen_hybrid(
+                population, config, backend=backend, tracer=tracer, metrics=metrics
+            )
+        if method == "legacy":
+            return screen_legacy(population, config, tracer=tracer, metrics=metrics)
         return screen_kdtree(population, config)
-    raise ValueError(f"unknown method {method!r}; choose from {METHODS}")

@@ -22,6 +22,8 @@ from repro.detection.pca_tca import (
     refine_candidate,
 )
 from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.obs.collect import observe_conjmap, observe_grid
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer, RefTelemetry, parallel_for, resolve_backend
@@ -36,10 +38,18 @@ def screen_grid(
     population: OrbitalElementsArray,
     config: ScreeningConfig,
     backend: str = "vectorized",
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> ScreeningResult:
-    """Run the grid-based variant; see module docstring for the pipeline."""
+    """Run the grid-based variant; see module docstring for the pipeline.
+
+    ``tracer`` receives the run's span tree (phases, rounds); ``metrics``
+    — a :class:`repro.obs.metrics.MetricsRegistry` — receives the hot
+    structures' health counters and the candidate funnel.  Both default to
+    off with negligible overhead.
+    """
     backend = resolve_backend(backend)
-    timers = PhaseTimer()
+    timers = PhaseTimer(tracer=tracer)
     n = len(population)
 
     with timers.phase("ALLOC"):
@@ -62,13 +72,17 @@ def screen_grid(
             )
             round_size = plan.parallel_steps
 
-    conj = collect_grid_candidates(
-        propagator, ids, times, cell, conj, config, backend, timers,
-        round_size=round_size,
-    )
+    with tracer.span("phase:GRID"):
+        conj = collect_grid_candidates(
+            propagator, ids, times, cell, conj, config, backend, timers,
+            round_size=round_size, tracer=tracer, metrics=metrics,
+        )
+    if metrics is not None:
+        observe_conjmap(metrics, conj)
 
     with timers.phase("REF"):
         rec_i, rec_j, rec_step = conj.records()
+        n_records = len(rec_i)
         centers = times[rec_step]
         radii = interval_radii(population, rec_i, rec_j, cell)
         sieved_away = 0
@@ -83,7 +97,15 @@ def screen_grid(
             population, rec_i, rec_j, centers, radii, config, backend,
             telemetry=timers.ref,
         )
+        raw_hits = len(i)
         i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+
+    if metrics is not None:
+        funnel = metrics.funnel("screen")
+        funnel.record("emit", metrics.counter("cd.pairs_emitted").value, n_records)
+        funnel.record("sieve", n_records, n_records - sieved_away)
+        funnel.record("refine", n_records - sieved_away, raw_hits)
+        funnel.record("merge", raw_hits, len(i))
 
     return ScreeningResult(
         method="grid",
@@ -94,6 +116,7 @@ def screen_grid(
         pca_km=pca,
         candidates_refined=len(rec_i),
         timers=timers,
+        metrics=metrics,
         extra={
             "cell_size_km": cell,
             "n_steps": len(times),
@@ -126,6 +149,8 @@ def collect_grid_candidates(
     timers: PhaseTimer,
     round_size: "int | None" = None,
     fused: bool = True,
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> ConjunctionMap:
     """Steps 2-3: per computation round, build grids and record candidates.
 
@@ -153,20 +178,32 @@ def collect_grid_candidates(
         round_size = 16 if backend == "vectorized" else 1
     round_size = max(1, min(round_size, len(times), MAX_ROUND_STEPS))
 
+    trace_rounds = tracer.enabled
+
     if backend == "vectorized" and fused:
         chunk_start = 0
         while chunk_start < len(times):
             chunk = times[chunk_start : chunk_start + round_size]
-            with timers.phase("INS"):
-                positions = propagator.positions_batch(chunk)
-                grid = _build_round_grid(ids, positions, cell, config)
-            try:
-                with timers.phase("CD"):
-                    ci, cj, csteps = grid.candidate_pair_steps()
-                    conj.insert_batch(ci, cj, csteps + chunk_start)
-            except ConjunctionMapFullError:
-                conj = _regrow(conj)
-                continue  # replay this round into the regrown map
+            span = (
+                tracer.span("round", start_step=chunk_start, n_steps=len(chunk))
+                if trace_rounds
+                else NULL_SPAN
+            )
+            with span:
+                with timers.phase("INS"):
+                    positions = propagator.positions_batch(chunk)
+                    grid = _build_round_grid(ids, positions, cell, config)
+                try:
+                    with timers.phase("CD"):
+                        ci, cj, csteps = grid.candidate_pair_steps()
+                        conj.insert_batch(ci, cj, csteps + chunk_start)
+                except ConjunctionMapFullError:
+                    conj = _regrow(conj)
+                    continue  # replay this round into the regrown map
+                if metrics is not None:
+                    metrics.counter("cd.pairs_emitted").add(len(ci))
+                    metrics.counter("cd.rounds").add(1)
+                    observe_grid(metrics, grid)
             chunk_start += len(chunk)
         return conj
 
@@ -175,32 +212,45 @@ def collect_grid_candidates(
     round_positions: "np.ndarray | None" = None
     while step < len(times):
         chunk_start = (step // round_size) * round_size
-        if chunk_start != round_start:
+        span = (
+            tracer.span("round", start_step=step, n_steps=1)
+            if trace_rounds
+            else NULL_SPAN
+        )
+        with span:
+            if chunk_start != round_start:
+                with timers.phase("INS"):
+                    chunk = times[chunk_start : chunk_start + round_size]
+                    round_positions = propagator.positions_batch(chunk)
+                round_start = chunk_start
             with timers.phase("INS"):
-                chunk = times[chunk_start : chunk_start + round_size]
-                round_positions = propagator.positions_batch(chunk)
-            round_start = chunk_start
-        with timers.phase("INS"):
-            positions = round_positions[step - round_start]
-            grid = _build_grid(ids, positions, cell, config, backend)
-        try:
-            with timers.phase("CD"):
-                if backend == "vectorized":
-                    ci, cj = grid.candidate_pairs()
-                    conj.insert_batch(ci, cj, step)
-                elif backend == "threads":
-                    # Section IV-A3: non-empty slots are examined in
-                    # parallel, each thread inserting into the shared map.
-                    pairs = grid.candidate_pairs_parallel(n_threads=config.n_threads)
-                    for a, b in pairs:
-                        conj.insert(a, b, step)
-                else:
-                    pairs = grid.candidate_pairs()
-                    for a, b in pairs:
-                        conj.insert(a, b, step)
-        except ConjunctionMapFullError:
-            conj = _regrow(conj)
-            continue  # replay this step into the regrown map
+                positions = round_positions[step - round_start]
+                grid = _build_grid(ids, positions, cell, config, backend)
+            try:
+                with timers.phase("CD"):
+                    if backend == "vectorized":
+                        ci, cj = grid.candidate_pairs()
+                        conj.insert_batch(ci, cj, step)
+                        emitted = len(ci)
+                    elif backend == "threads":
+                        # Section IV-A3: non-empty slots are examined in
+                        # parallel, each thread inserting into the shared map.
+                        pairs = grid.candidate_pairs_parallel(n_threads=config.n_threads)
+                        for a, b in pairs:
+                            conj.insert(a, b, step)
+                        emitted = len(pairs)
+                    else:
+                        pairs = grid.candidate_pairs()
+                        for a, b in pairs:
+                            conj.insert(a, b, step)
+                        emitted = len(pairs)
+            except ConjunctionMapFullError:
+                conj = _regrow(conj)
+                continue  # replay this step into the regrown map
+            if metrics is not None:
+                metrics.counter("cd.pairs_emitted").add(emitted)
+                metrics.counter("cd.rounds").add(1)
+                observe_grid(metrics, grid)
         step += 1
     return conj
 

@@ -32,6 +32,8 @@ from repro.filters.chain import FilterChain
 from repro.filters.coplanarity import coplanar_mask
 from repro.filters.orbit_path import _node_anomalies, orbit_path_filter
 from repro.filters.time_filter import pair_overlap_windows
+from repro.obs.collect import observe_conjmap
+from repro.obs.tracer import NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer, parallel_for, resolve_backend
@@ -43,10 +45,16 @@ def screen_hybrid(
     population: OrbitalElementsArray,
     config: ScreeningConfig,
     backend: str = "vectorized",
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> ScreeningResult:
-    """Run the hybrid variant; see module docstring for the pipeline."""
+    """Run the hybrid variant; see module docstring for the pipeline.
+
+    ``tracer`` / ``metrics`` are the optional ``repro.obs`` instruments
+    (span tree, structure health, candidate funnel); both default to off.
+    """
     backend = resolve_backend(backend)
-    timers = PhaseTimer()
+    timers = PhaseTimer(tracer=tracer)
     n = len(population)
 
     with timers.phase("ALLOC"):
@@ -68,14 +76,24 @@ def screen_hybrid(
         propagator = Propagator(population, solver=config.solver)
         ids = np.arange(n, dtype=np.int64)
 
-    conj = collect_grid_candidates(
-        propagator, ids, times, cell, conj, config, backend, timers,
-        round_size=plan.parallel_steps if plan is not None else None,
-    )
+    with tracer.span("phase:GRID"):
+        conj = collect_grid_candidates(
+            propagator, ids, times, cell, conj, config, backend, timers,
+            round_size=plan.parallel_steps if plan is not None else None,
+            tracer=tracer, metrics=metrics,
+        )
+    if metrics is not None:
+        observe_conjmap(metrics, conj)
+    funnel = metrics.funnel("screen") if metrics is not None else None
 
     with timers.phase("COP"):
         rec_i, rec_j, rec_step = conj.records()
         uniq_i, uniq_j = conj.unique_pairs()
+        if funnel is not None:
+            funnel.record(
+                "emit", metrics.counter("cd.pairs_emitted").value, len(rec_i)
+            )
+            funnel.record("pairs", len(rec_i), len(uniq_i))
         chain = FilterChain()
         chain.add(
             "apogee_perigee",
@@ -87,12 +105,17 @@ def screen_hybrid(
                 pop, pi, pj, config.threshold_km, config.coplanar_tol_rad
             ),
         )
+        if funnel is not None:
+            chain.attach_funnel(funnel)
         surv_i, surv_j = chain.apply(population, uniq_i, uniq_j)
         coplanar = (
             coplanar_mask(population, surv_i, surv_j, config.coplanar_tol_rad)
             if len(surv_i)
             else np.zeros(0, dtype=bool)
         )
+        if funnel is not None:
+            # The classifier splits (coplanar vs not) without dropping pairs.
+            funnel.record("classify", len(surv_i), len(surv_i))
 
     with timers.phase("REF"):
         # Coplanar pairs: grid-style per-(pair, step) refinement.
@@ -128,9 +151,16 @@ def screen_hybrid(
         j = np.concatenate([cj, nj])
         tca = np.concatenate([ctca, ntca])
         pca = np.concatenate([cpca, npca])
+        raw_hits = len(i)
         i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
 
     candidates = int(rec_mask_cop.sum()) + len(noncop_set)
+    if funnel is not None:
+        # Coplanar pairs expand into per-step records; non-coplanar pairs
+        # become one node-window scan each.
+        funnel.record("expand", len(surv_i), candidates)
+        funnel.record("refine", candidates, raw_hits)
+        funnel.record("merge", raw_hits, len(i))
     return ScreeningResult(
         method="hybrid",
         backend=backend,
@@ -141,6 +171,7 @@ def screen_hybrid(
         candidates_refined=candidates,
         timers=timers,
         filter_stats=chain.stats(),
+        metrics=metrics,
         extra={
             "cell_size_km": cell,
             "n_steps": len(times),

@@ -23,6 +23,7 @@ from repro.filters.chain import FilterChain
 from repro.filters.coplanarity import coplanar_mask, plane_angles
 from repro.filters.orbit_path import _node_anomalies, orbit_path_filter
 from repro.filters.time_filter import pair_overlap_windows
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.parallel.backend import PhaseTimer
 
@@ -46,11 +47,23 @@ def iter_pair_blocks(n: int, block: int = _BLOCK):
 
 
 def screen_legacy(
-    population: OrbitalElementsArray, config: ScreeningConfig
+    population: OrbitalElementsArray,
+    config: ScreeningConfig,
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> ScreeningResult:
-    """Run the single-threaded legacy baseline."""
-    timers = PhaseTimer()
+    """Run the single-threaded legacy baseline.
+
+    ``tracer`` / ``metrics`` are the optional ``repro.obs`` instruments;
+    the chunked filter blocks become ``round`` spans and their per-stage
+    counts accumulate into one funnel.
+    """
+    timers = PhaseTimer(tracer=tracer)
     n = len(population)
+    funnel = metrics.funnel("screen") if metrics is not None else None
+    total_pairs = n * (n - 1) // 2
+    if funnel is not None:
+        funnel.record("pairs", total_pairs, total_pairs)
     chain = FilterChain()
     chain.add(
         "apogee_perigee",
@@ -63,11 +76,21 @@ def screen_legacy(
         ),
     )
 
+    if funnel is not None:
+        chain.attach_funnel(funnel)
+
     with timers.phase("FILTER"):
         surv_i_parts: "list[np.ndarray]" = []
         surv_j_parts: "list[np.ndarray]" = []
-        for pair_i, pair_j in iter_pair_blocks(n):
-            keep_i, keep_j = chain.apply(population, pair_i, pair_j)
+        trace_rounds = tracer.enabled
+        for block, (pair_i, pair_j) in enumerate(iter_pair_blocks(n)):
+            span = (
+                tracer.span("round", block=block, n_pairs=len(pair_i))
+                if trace_rounds
+                else NULL_SPAN
+            )
+            with span:
+                keep_i, keep_j = chain.apply(population, pair_i, pair_j)
             if len(keep_i):
                 surv_i_parts.append(keep_i)
                 surv_j_parts.append(keep_j)
@@ -132,6 +155,7 @@ def screen_legacy(
                 ):
                     hits.append((a, b, tca, pca))
 
+        raw_hits = len(hits)
         if hits:
             arr = np.array(hits, dtype=np.float64)
             i = arr[:, 0].astype(np.int64)
@@ -145,6 +169,10 @@ def screen_legacy(
             tca = np.empty(0, dtype=np.float64)
             pca = np.empty(0, dtype=np.float64)
 
+    if funnel is not None:
+        funnel.record("scan", len(surv_i), raw_hits)
+        funnel.record("merge", raw_hits, len(i))
+
     return ScreeningResult(
         method="legacy",
         backend="serial",
@@ -155,8 +183,9 @@ def screen_legacy(
         candidates_refined=len(surv_i),
         timers=timers,
         filter_stats=chain.stats(),
+        metrics=metrics,
         extra={
-            "total_pairs": n * (n - 1) // 2,
+            "total_pairs": total_pairs,
             "surviving_pairs": len(surv_i),
             "ref_telemetry": timers.ref.as_dict(),
         },

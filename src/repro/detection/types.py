@@ -121,6 +121,9 @@ class ScreeningResult:
     timers: PhaseTimer = field(default_factory=PhaseTimer)
     filter_stats: "dict[str, dict[str, int]]" = field(default_factory=dict)
     extra: "dict[str, object]" = field(default_factory=dict)
+    #: The run's metrics registry (``repro.obs``) when metrics collection
+    #: was requested; ``None`` otherwise.
+    metrics: "object | None" = None
 
     @property
     def n_conjunctions(self) -> int:

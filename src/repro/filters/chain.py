@@ -49,13 +49,29 @@ class FilterChain:
     Each stage only sees the pairs that survived all previous stages (the
     classical chain structure), so cheap filters placed first save the
     expensive ones most of their work.
+
+    When a :class:`repro.obs.metrics.Funnel` is attached (see
+    :meth:`attach_funnel`), every application additionally records one
+    funnel row per stage — pairs in, pairs surviving — accumulating across
+    chunked calls, which is how the legacy baseline's block loop sums into
+    one per-stage funnel.
     """
 
     stages: "list[FilterStage]" = field(default_factory=list)
+    #: Optional candidate funnel receiving per-stage in/out counts.
+    funnel: "object | None" = None
+    #: Stage-name prefix inside the funnel (namespaces the chain's rows).
+    funnel_prefix: str = "filter:"
 
     def add(self, name: str, fn: StageFn) -> "FilterChain":
         """Append a stage; returns self for chaining."""
         self.stages.append(FilterStage(name, fn))
+        return self
+
+    def attach_funnel(self, funnel, prefix: str = "filter:") -> "FilterChain":
+        """Record per-stage survival into ``funnel``; returns self."""
+        self.funnel = funnel
+        self.funnel_prefix = prefix
         return self
 
     def apply(
@@ -64,10 +80,20 @@ class FilterChain:
         """Run the chain; returns the surviving ``(pair_i, pair_j)``."""
         for stage in self.stages:
             if len(pair_i) == 0:
-                break
+                # Keep the funnel's stage shape (0 in, 0 out) without
+                # invoking stage functions on empty inputs.
+                if self.funnel is not None:
+                    self.funnel.record(f"{self.funnel_prefix}{stage.name}", 0, 0)
+                continue
             mask = stage.apply(population, pair_i, pair_j)
-            pair_i = pair_i[mask]
-            pair_j = pair_j[mask]
+            kept_i = pair_i[mask]
+            kept_j = pair_j[mask]
+            if self.funnel is not None:
+                self.funnel.record(
+                    f"{self.funnel_prefix}{stage.name}", len(pair_i), len(kept_i)
+                )
+            pair_i = kept_i
+            pair_j = kept_j
         return pair_i, pair_j
 
     def stats(self) -> "dict[str, dict[str, int]]":

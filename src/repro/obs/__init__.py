@@ -1,0 +1,56 @@
+"""Pipeline observability: structured tracing, metrics, and exporters.
+
+The evaluation of the source paper is built on per-phase and
+per-data-structure measurements (Section V-C1 phase breakdown, V-C3
+efficiency, the hash-map load discussion).  This package makes those
+quantities first-class citizens of every screening run:
+
+* :mod:`repro.obs.tracer` — nested, named spans with a zero-overhead
+  :class:`~repro.obs.tracer.NullTracer` default.  The span tree of one run
+  nests window → phase → round → chunk.
+* :mod:`repro.obs.metrics` — a mergeable registry of counters, gauges,
+  fixed-bucket histograms and candidate funnels, instrumenting the hot
+  structures (hash-map load, probe lengths, CAS conflict rounds, grid cell
+  occupancy) and the per-stage candidate funnel.
+* :mod:`repro.obs.collect` — the collectors that read those quantities off
+  the spatial data structures after each build.
+* :mod:`repro.obs.export` — JSONL event stream and Chrome trace-event
+  format (loadable in Perfetto / ``chrome://tracing``).
+
+See DESIGN.md §7 for the span hierarchy, the metric name registry, and the
+trace schema.
+"""
+from __future__ import annotations
+
+from repro.obs.export import (
+    to_chrome_trace,
+    trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    FixedHistogram,
+    Funnel,
+    FunnelStage,
+    Gauge,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "FixedHistogram",
+    "Funnel",
+    "FunnelStage",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "to_chrome_trace",
+    "trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]

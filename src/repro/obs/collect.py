@@ -1,0 +1,126 @@
+"""Collectors: read health metrics off the spatial data structures.
+
+Each collector derives its numbers **from the structure's arrays after the
+build finished** — not from racy in-flight counters — so the recorded
+values are deterministic for a given table layout and can be re-derived
+in tests (``tests/obs/test_integration.py`` recomputes them directly from
+the same arrays).
+
+Metric families (full table in DESIGN.md §7):
+
+* ``hashmap.*`` — the grid hash table: occupied slots, peak load factor,
+  probe-length histogram (displacement from the key's home slot + 1), and
+  the vectorized build's CAS conflict-resolution round counters.
+* ``grid.*`` — cell-occupancy distribution and occupied-cell / lane
+  volume per build.
+* ``cd.*`` — candidate-pair emission volume (the neighbour-scan output).
+* ``conjmap.*`` — conjunction-map record count, capacity, load factor.
+
+Structure metrics depend on the backend's table layout (a serial
+per-step ``UniformGrid`` and a fused multi-step ``VectorHashGrid`` hash
+different key sets), so only pipeline-level counters (``cd.*``,
+``conjmap.*``, funnels) are comparable across backends; ``hashmap.*`` and
+``grid.*`` are comparable across *runs* of the same backend.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import EMPTY_KEY
+from repro.obs.metrics import MetricsRegistry
+from repro.spatial.hashing import HASH_FUNCTIONS, murmur3_fmix64_array
+
+#: Probe-length histogram buckets (a probe length of 1 = no displacement).
+PROBE_LENGTH_EDGES = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0)
+
+#: Cell-occupancy histogram buckets (satellites per occupied cell).
+OCCUPANCY_EDGES = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0)
+
+
+def probe_lengths(table_keys: np.ndarray, hash_name: str = "murmur3") -> np.ndarray:
+    """Probe length of every occupied slot, recomputed from the key array.
+
+    For an open-addressing table with linear probing (Eq. 2), the probe
+    length of a stored key is its circular displacement from the home slot
+    ``hash(key) mod M`` plus one.  This is exact regardless of insertion
+    order or thread interleaving, because linear probing never moves a
+    stored key.
+    """
+    keys = np.asarray(table_keys, dtype=np.uint64)
+    n_slots = len(keys)
+    occupied = np.nonzero(keys != np.uint64(EMPTY_KEY))[0]
+    if occupied.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if hash_name == "murmur3":
+        home = (murmur3_fmix64_array(keys[occupied]) % np.uint64(n_slots)).astype(np.int64)
+    else:
+        fn = HASH_FUNCTIONS[hash_name]
+        home = np.fromiter(
+            (fn(int(k)) % n_slots for k in keys[occupied]), dtype=np.int64,
+            count=occupied.size,
+        )
+    return (occupied - home) % n_slots + 1
+
+
+def observe_hashmap_table(
+    metrics: MetricsRegistry,
+    table_keys: np.ndarray,
+    hash_name: str = "murmur3",
+    prefix: str = "hashmap",
+) -> None:
+    """Record load factor and probe-length histogram of one hash table."""
+    keys = np.asarray(table_keys, dtype=np.uint64)
+    lengths = probe_lengths(keys, hash_name)
+    metrics.counter(f"{prefix}.tables").add(1)
+    metrics.counter(f"{prefix}.slots").add(len(keys))
+    metrics.counter(f"{prefix}.occupied").add(int(lengths.size))
+    metrics.gauge(f"{prefix}.load_factor").record(lengths.size / max(len(keys), 1))
+    metrics.histogram(f"{prefix}.probe_length", PROBE_LENGTH_EDGES).observe(lengths)
+
+
+def observe_occupancy(metrics: MetricsRegistry, cell_counts: np.ndarray) -> None:
+    """Record the cell-occupancy distribution of one grid build."""
+    counts = np.asarray(cell_counts, dtype=np.int64)
+    metrics.counter("grid.builds").add(1)
+    metrics.counter("grid.occupied_cells").add(int(counts.size))
+    metrics.counter("grid.lanes").add(int(counts.sum()))
+    metrics.histogram("grid.cell_occupancy", OCCUPANCY_EDGES).observe(counts)
+
+
+def observe_grid(metrics: MetricsRegistry, grid) -> None:
+    """Dispatch on the grid implementation and record its health metrics.
+
+    Accepts :class:`~repro.spatial.vectorgrid.SortedGrid` (occupancy
+    only — it has no hash table), :class:`~repro.spatial.vectorgrid
+    .VectorHashGrid` (occupancy + table + CAS round counters) and
+    :class:`~repro.spatial.grid.UniformGrid` (occupancy + table).
+    """
+    from repro.spatial.grid import UniformGrid
+    from repro.spatial.vectorgrid import SortedGrid, VectorHashGrid, _group_sorted
+
+    if isinstance(grid, SortedGrid):
+        observe_occupancy(metrics, grid.counts)
+    elif isinstance(grid, VectorHashGrid):
+        order = np.argsort(grid.entry_slot, kind="stable")
+        _, _, counts = _group_sorted(grid.entry_slot[order])
+        observe_occupancy(metrics, counts)
+        observe_hashmap_table(metrics, grid.table_keys)
+        metrics.counter("hashmap.cas_insert_rounds").add(grid.insert_rounds)
+        metrics.counter("hashmap.cas_attach_rounds").add(grid.attach_rounds)
+    elif isinstance(grid, UniformGrid):
+        used = grid.entries.used
+        slots = grid.entries.slot[:used]
+        counts = np.bincount(slots[slots >= 0])
+        observe_occupancy(metrics, counts[counts > 0])
+        observe_hashmap_table(metrics, grid.cells.keys_array(), grid.cells.hash_name)
+        metrics.counter("hashmap.inserts").add(grid.cells.insert_count)
+        metrics.counter("hashmap.insert_probes").add(grid.cells.probe_count)
+    else:  # pragma: no cover - future grid impls must register here
+        raise TypeError(f"no collector for grid type {type(grid).__name__}")
+
+
+def observe_conjmap(metrics: MetricsRegistry, conj) -> None:
+    """Record the conjunction map's end-of-collection health."""
+    metrics.counter("conjmap.records").add(conj.size)
+    metrics.counter("conjmap.capacity").add(conj.capacity)
+    metrics.gauge("conjmap.load_factor").record(conj.load_factor)

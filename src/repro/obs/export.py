@@ -1,0 +1,111 @@
+"""Trace exporters: Chrome trace-event JSON and a JSONL event stream.
+
+*Chrome trace* (:func:`write_chrome_trace`) emits the ``traceEvents``
+array format understood by Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``: one complete ("ph": "X") event per finished span,
+timestamps and durations in microseconds, span/parent ids carried in
+``args`` so the hierarchy survives the round trip exactly.
+
+*JSONL* (:func:`write_jsonl`) streams one JSON object per line: a
+``meta`` header, one ``span`` event per finished span, and optional
+``metrics`` / ``funnel`` snapshot records — easy to ingest with any
+log pipeline.
+
+Schemas are specified in DESIGN.md §7 and validated (without external
+dependencies) by ``tests/obs/schema.py``, which the CI ``obs-smoke`` job
+runs against a real traced screen.
+"""
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanRecord, Tracer
+
+#: Schema version stamped into both export formats.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _event(record: SpanRecord) -> "dict[str, object]":
+    """One Chrome complete event for a finished span."""
+    args: "dict[str, object]" = {"span_id": record.span_id, "parent_id": record.parent_id}
+    args.update(record.attrs)
+    return {
+        "name": record.name,
+        "ph": "X",
+        "ts": record.start_s * 1e6,
+        "dur": record.duration_s * 1e6,
+        "pid": 1,
+        "tid": record.thread,
+        "cat": "repro",
+        "args": args,
+    }
+
+
+def trace_events(tracer: Tracer) -> "list[dict[str, object]]":
+    """The Chrome ``traceEvents`` list of all finished spans."""
+    return [_event(r) for r in tracer.records()]
+
+
+def to_chrome_trace(
+    tracer: Tracer, metrics: "MetricsRegistry | None" = None
+) -> "dict[str, object]":
+    """The full Chrome trace object (JSON-serialisable)."""
+    out: "dict[str, object]" = {
+        "traceEvents": trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"schema_version": TRACE_SCHEMA_VERSION, "producer": "repro.obs"},
+    }
+    if metrics is not None:
+        out["otherData"]["metrics"] = metrics.as_dict()  # type: ignore[index]
+    return out
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, metrics: "MetricsRegistry | None" = None
+) -> int:
+    """Write the Chrome trace file; returns the number of span events."""
+    trace = to_chrome_trace(tracer, metrics)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+    return len(trace["traceEvents"])  # type: ignore[arg-type]
+
+
+def jsonl_events(
+    tracer: Tracer, metrics: "MetricsRegistry | None" = None
+) -> "list[dict[str, object]]":
+    """The JSONL event stream as a list of records."""
+    events: "list[dict[str, object]]" = [
+        {"type": "meta", "schema_version": TRACE_SCHEMA_VERSION, "producer": "repro.obs"}
+    ]
+    for r in tracer.records():
+        events.append(
+            {
+                "type": "span",
+                "span_id": r.span_id,
+                "parent_id": r.parent_id,
+                "name": r.name,
+                "start_s": r.start_s,
+                "duration_s": r.duration_s,
+                "thread": r.thread,
+                "attrs": r.attrs,
+            }
+        )
+    if metrics is not None:
+        snapshot = metrics.as_dict()
+        events.append({"type": "metrics", **{k: snapshot[k] for k in ("counters", "gauges", "histograms")}})
+        for name, funnel in snapshot["funnels"].items():  # type: ignore[union-attr]
+            events.append({"type": "funnel", "name": name, **funnel})
+    return events
+
+
+def write_jsonl(
+    tracer: Tracer, path: str, metrics: "MetricsRegistry | None" = None
+) -> int:
+    """Write the JSONL event stream; returns the number of lines."""
+    events = jsonl_events(tracer, metrics)
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event) + "\n")
+    return len(events)

@@ -1,0 +1,229 @@
+"""Mergeable metrics: counters, gauges, fixed-bucket histograms, funnels.
+
+One :class:`MetricsRegistry` per screening run (or per worker chunk),
+merged like :class:`repro.parallel.backend.RefTelemetry`: counters and
+histogram buckets *add*, gauges keep their *maximum* — every combiner is
+commutative and associative, so merged totals are independent of chunk
+arrival order and thread scheduling.
+
+Histograms use **fixed** bucket edges chosen at creation (the upper bound
+of each bucket, ascending, plus an implicit overflow bucket), so two
+registries instrumenting the same quantity always merge bucket-for-bucket.
+
+A :class:`Funnel` tracks the candidate pipeline: an ordered list of stages
+with pairs-in / pairs-out counts.  Self-consistency (stage N's out equals
+stage N+1's in) is checked by :meth:`Funnel.check`, and the CI smoke job
+asserts it on a real traced run.
+
+Metric names follow the registry table in DESIGN.md §7.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += int(amount)
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+@dataclass
+class Gauge:
+    """A max-tracking gauge (e.g. peak load factor).
+
+    ``record`` keeps the maximum observed value: the only last-value-free
+    combiner that merges deterministically regardless of chunk order.
+    """
+
+    name: str
+    value: float = 0.0
+    observed: bool = False
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        if not self.observed or value > self.value:
+            self.value = value
+        self.observed = True
+
+    def merge(self, other: "Gauge") -> None:
+        if other.observed:
+            self.record(other.value)
+
+
+@dataclass
+class FixedHistogram:
+    """Fixed-bucket histogram: bucket ``k`` counts values ``<= edges[k]``
+    (and above the previous edge); one extra overflow bucket at the end."""
+
+    name: str
+    edges: "tuple[float, ...]"
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.edges or list(self.edges) != sorted(set(self.edges)):
+            raise ValueError(f"histogram edges must be ascending and distinct, got {self.edges}")
+        if self.counts is None:
+            self.counts = np.zeros(len(self.edges) + 1, dtype=np.int64)
+
+    def observe(self, values) -> None:
+        vals = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if vals.size == 0:
+            return
+        idx = np.searchsorted(np.asarray(self.edges, dtype=np.float64), vals, side="left")
+        np.add.at(self.counts, idx, 1)
+        self.total += float(vals.sum())
+        self.n += int(vals.size)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def merge(self, other: "FixedHistogram") -> None:
+        if tuple(other.edges) != tuple(self.edges):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: edges {self.edges} != {other.edges}"
+            )
+        self.counts += other.counts
+        self.total += other.total
+        self.n += other.n
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "edges": list(self.edges),
+            "counts": self.counts.tolist(),
+            "total": self.total,
+            "n": self.n,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class FunnelStage:
+    """One stage of the candidate funnel: candidates in, candidates out."""
+
+    name: str
+    n_in: int = 0
+    n_out: int = 0
+
+    @property
+    def survival(self) -> float:
+        return self.n_out / self.n_in if self.n_in else 1.0
+
+
+class Funnel:
+    """Ordered pipeline stages with in/out candidate counts.
+
+    Stages appear in first-recorded order (the pipeline's code order);
+    re-recording a stage accumulates, which is how the legacy baseline's
+    chunked filter blocks sum into one funnel row.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._stages: "dict[str, FunnelStage]" = {}
+
+    def record(self, stage: str, n_in: int, n_out: int) -> None:
+        entry = self._stages.get(stage)
+        if entry is None:
+            entry = self._stages[stage] = FunnelStage(stage)
+        entry.n_in += int(n_in)
+        entry.n_out += int(n_out)
+
+    @property
+    def stages(self) -> "list[FunnelStage]":
+        return list(self._stages.values())
+
+    def check(self) -> "list[str]":
+        """Adjacency violations: stage N's out must equal stage N+1's in."""
+        out = []
+        stages = self.stages
+        for a, b in zip(stages, stages[1:]):
+            if a.n_out != b.n_in:
+                out.append(
+                    f"funnel {self.name!r}: stage {a.name!r} emits {a.n_out} "
+                    f"but stage {b.name!r} receives {b.n_in}"
+                )
+        return out
+
+    def merge(self, other: "Funnel") -> None:
+        for stage in other.stages:
+            self.record(stage.name, stage.n_in, stage.n_out)
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "stages": [
+                {"name": s.name, "in": s.n_in, "out": s.n_out, "survival": s.survival}
+                for s in self.stages
+            ]
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use and mergeable."""
+
+    def __init__(self) -> None:
+        self.counters: "dict[str, Counter]" = {}
+        self.gauges: "dict[str, Gauge]" = {}
+        self.histograms: "dict[str, FixedHistogram]" = {}
+        self.funnels: "dict[str, Funnel]" = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, edges: "tuple[float, ...] | None" = None) -> FixedHistogram:
+        h = self.histograms.get(name)
+        if h is None:
+            if edges is None:
+                raise ValueError(f"histogram {name!r} does not exist yet; pass its edges")
+            h = self.histograms[name] = FixedHistogram(name, tuple(edges))
+        elif edges is not None and tuple(edges) != tuple(h.edges):
+            raise ValueError(f"histogram {name!r} already exists with edges {h.edges}")
+        return h
+
+    def funnel(self, name: str) -> Funnel:
+        f = self.funnels.get(name)
+        if f is None:
+            f = self.funnels[name] = Funnel(name)
+        return f
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Combine another registry into this one (commutative totals)."""
+        for name, c in other.counters.items():
+            self.counter(name).merge(c)
+        for name, g in other.gauges.items():
+            self.gauge(name).merge(g)
+        for name, h in other.histograms.items():
+            self.histogram(name, h.edges).merge(h)
+        for name, f in other.funnels.items():
+            self.funnel(name).merge(f)
+
+    def as_dict(self) -> "dict[str, object]":
+        """Plain-dict snapshot with deterministically sorted names."""
+        return {
+            "counters": {k: self.counters[k].value for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k].value for k in sorted(self.gauges)},
+            "histograms": {k: self.histograms[k].as_dict() for k in sorted(self.histograms)},
+            "funnels": {k: self.funnels[k].as_dict() for k in sorted(self.funnels)},
+        }

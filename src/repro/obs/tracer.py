@@ -1,0 +1,183 @@
+"""Nested-span tracing with a zero-overhead null default.
+
+A :class:`Tracer` records a tree of named, wall-clock-timed spans.  Spans
+nest through ``with`` blocks; each thread keeps its own span stack (a
+worker thread's spans attach under whatever span was open on *that*
+thread, or become roots), and finished spans are appended to one shared
+record list.
+
+The default throughout the pipeline is :data:`NULL_TRACER`: calling
+``span()`` on it returns a shared no-op context manager, so the
+instrumented hot loops pay one attribute lookup and one call per span
+site — the micro-benchmark ``benchmarks/test_obs_overhead.py`` holds this
+under 2% of a gridbased screen.
+
+Span names follow the registry in DESIGN.md §7:
+
+* ``window`` — one screening run (attrs: method, backend, objects);
+* ``campaign.window`` — one campaign window wrapping its ``window``;
+* ``phase:<NAME>`` — a pipeline phase (ALLOC, GRID, INS, CD, COP, REF);
+* ``round`` — one computation round of the grid build (attrs:
+  start_step, n_steps);
+* ``chunk`` — one fixed-lane REF chunk (attrs: start, end).
+"""
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    #: Parent span id, or -1 for a root span.
+    parent_id: int
+    name: str
+    #: Start time in seconds since the tracer's epoch.
+    start_s: float
+    duration_s: float
+    #: Small dense thread index (0 = the first thread seen).
+    thread: int
+    attrs: "dict[str, object]" = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-overhead default: every span is the shared no-op span."""
+
+    __slots__ = ()
+
+    #: False — instrumentation sites may skip attr-dict construction.
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """A live span; finalises into a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start", "_thread")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: "dict[str, object]") -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id = -1
+        self._start = 0.0
+        self._thread = 0
+
+    def set(self, **attrs) -> None:
+        """Attach (or update) span attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._exit(self)
+        return False
+
+
+class Tracer:
+    """Collects a hierarchical span tree across threads.
+
+    Thread-safe: each thread has its own open-span stack; the finished
+    record list and the id/thread-index counters are lock-protected.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._records: "list[SpanRecord]" = []
+        self._local = threading.local()
+        self._next_id = 0
+        self._thread_ids: "dict[int, int]" = {}
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a new span; use as a context manager."""
+        return _Span(self, name, attrs)
+
+    # -- internal ------------------------------------------------------
+
+    def _stack(self) -> "list[_Span]":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _enter(self, span: _Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else -1
+        ident = threading.get_ident()
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            span._thread = self._thread_ids.setdefault(ident, len(self._thread_ids))
+        span._start = time.perf_counter()
+        stack.append(span)
+
+    def _exit(self, span: _Span) -> None:
+        end = time.perf_counter()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        record = SpanRecord(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            start_s=span._start - self._epoch,
+            duration_s=end - span._start,
+            thread=span._thread,
+            attrs=dict(span.attrs),
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # -- queries -------------------------------------------------------
+
+    def records(self) -> "list[SpanRecord]":
+        """All finished spans, sorted by start time."""
+        with self._lock:
+            return sorted(self._records, key=lambda r: (r.start_s, r.span_id))
+
+    def spans(self, name: str) -> "list[SpanRecord]":
+        """Finished spans with the given name, sorted by start time."""
+        return [r for r in self.records() if r.name == name]
+
+    def ancestry(self, record: SpanRecord) -> "list[SpanRecord]":
+        """Parent chain of a span, nearest first."""
+        by_id = {r.span_id: r for r in self.records()}
+        out: "list[SpanRecord]" = []
+        parent = record.parent_id
+        while parent != -1 and parent in by_id:
+            out.append(by_id[parent])
+            parent = by_id[parent].parent_id
+        return out

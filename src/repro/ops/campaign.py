@@ -28,6 +28,7 @@ from repro.analysis.poc import collision_probability
 from repro.constants import TWO_PI
 from repro.detection.api import screen
 from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.obs.tracer import NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.j2 import j2_secular_rates
 
@@ -82,6 +83,10 @@ class ScreeningCampaign:
     tca_match_tol_s:
         Re-detections of a pair within this absolute-TCA tolerance merge
         into one tracked event.
+    tracer, metrics:
+        Optional ``repro.obs`` instruments shared by every window: each
+        :meth:`run_window` wraps its screen in a ``campaign.window`` span
+        and funnels/counters accumulate across windows.
     """
 
     def __init__(
@@ -92,6 +97,8 @@ class ScreeningCampaign:
         backend: str = "vectorized",
         use_j2: bool = False,
         tca_match_tol_s: float = 30.0,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.population = population
         self.config = config
@@ -99,6 +106,8 @@ class ScreeningCampaign:
         self.backend = backend
         self.use_j2 = use_j2
         self.tca_match_tol_s = tca_match_tol_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.events: "list[TrackedEvent]" = []
         self.days: "list[CampaignDay]" = []
         self._clock_s = 0.0
@@ -131,7 +140,11 @@ class ScreeningCampaign:
         window = len(self.days)
         start = self._clock_s
         snapshot = self._advanced_population(start)
-        result = screen(snapshot, self.config, method=self.method, backend=self.backend)
+        with self.tracer.span("campaign.window", window=window, start_s=start):
+            result = screen(
+                snapshot, self.config, method=self.method, backend=self.backend,
+                tracer=self.tracer, metrics=self.metrics,
+            )
 
         new = reobserved = 0
         for c in result.conjunctions():

@@ -24,6 +24,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.obs.tracer import NULL_TRACER
+
 #: The recognised backend names.
 BACKENDS = ("serial", "threads", "vectorized")
 
@@ -38,8 +40,13 @@ def resolve_backend(name: str) -> str:
 def default_thread_count() -> int:
     """Thread-pool width: honours ``REPRO_NUM_THREADS``, else CPU count."""
     env = os.environ.get("REPRO_NUM_THREADS")
-    if env:
-        count = int(env)
+    if env is not None and env.strip():
+        try:
+            count = int(env.strip())
+        except ValueError:
+            raise ValueError(
+                f"REPRO_NUM_THREADS must be a positive integer, got {env!r}"
+            ) from None
         if count <= 0:
             raise ValueError(f"REPRO_NUM_THREADS must be positive, got {count}")
         return count
@@ -142,9 +149,21 @@ class RefTelemetry:
         return max(self.FIXED_BASELINE_KEPLER_ITERS * self.kepler_lanes - self.kepler_iterations, 0)
 
     def merge(self, other: "RefTelemetry") -> None:
+        """Combine another telemetry; order-insensitive.
+
+        ``lanes_retired_per_iteration`` aggregates by *iteration index*
+        (element-wise sum, padding the shorter series) rather than
+        concatenating, so merged telemetry is identical no matter in which
+        order the threads backend's chunks arrive.
+        """
         self.golden_iterations += other.golden_iterations
         self.lanes_total += other.lanes_total
-        self.lanes_retired_per_iteration.extend(other.lanes_retired_per_iteration)
+        mine = self.lanes_retired_per_iteration
+        for k, retired in enumerate(other.lanes_retired_per_iteration):
+            if k < len(mine):
+                mine[k] += retired
+            else:
+                mine.append(retired)
         self.kepler_lanes += other.kepler_lanes
         self.kepler_iterations += other.kepler_iterations
         self.brent_calls += other.brent_calls
@@ -173,18 +192,28 @@ class PhaseTimer:
     ``COP`` (coplanarity + orbital filters, hybrid only), ``REF``
     (PCA/TCA refinement), ``ALLOC`` (up-front memory allocation).
     ``ref`` collects the REF engine's work counters alongside its seconds.
+
+    An obs citizen since PR 3: when a real :class:`repro.obs.Tracer` is
+    attached, every timed phase also emits a ``phase:<NAME>`` span into
+    the run's span tree.  The default is the zero-overhead null tracer.
     """
 
     totals: "dict[str, float]" = field(default_factory=dict)
     ref: RefTelemetry = field(default_factory=RefTelemetry)
+    tracer: "object" = NULL_TRACER
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
+        span = self.tracer.span(f"phase:{name}") if self.tracer.enabled else None
+        if span is not None:
+            span.__enter__()
         start = time.perf_counter()
         try:
             yield
         finally:
             self.totals[name] = self.totals.get(name, 0.0) + time.perf_counter() - start
+            if span is not None:
+                span.__exit__(None, None, None)
 
     def add(self, name: str, seconds: float) -> None:
         self.totals[name] = self.totals.get(name, 0.0) + seconds

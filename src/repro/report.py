@@ -78,6 +78,61 @@ def phase_budget(result: ScreeningResult, width: int = 40) -> str:
     return "\n".join(lines)
 
 
+def funnel_table(funnel, width: int = 30) -> str:
+    """The candidate funnel as a per-stage survival table.
+
+    ``funnel`` is a :class:`repro.obs.metrics.Funnel`; stages with zero
+    input render a 100% survival bar of zero length (nothing to reject),
+    a full-rejection stage renders an empty bar and ``0.0%``.
+    """
+    stages = funnel.stages
+    if not stages:
+        return f"funnel {funnel.name!r}: (no stages)"
+    name_w = max(len(s.name) for s in stages)
+    lines = [f"funnel {funnel.name!r}:"]
+    for s in stages:
+        bar = _BAR * int(round(s.survival * width)) if s.n_in else ""
+        lines.append(
+            f"  {s.name:>{name_w}}  {s.n_in:>10} -> {s.n_out:<10} "
+            f"{100 * s.survival:5.1f}%  {bar}"
+        )
+    for problem in funnel.check():
+        lines.append(f"  ! {problem}")
+    return "\n".join(lines)
+
+
+def metrics_table(metrics) -> str:
+    """Counters, gauges, histograms and funnels of one run, as text.
+
+    ``metrics`` is a :class:`repro.obs.metrics.MetricsRegistry`.
+    """
+    if metrics is None:
+        return "metrics: (not collected)"
+    snap = metrics.as_dict()
+    lines = []
+    if snap["counters"]:
+        lines.append("counters:")
+        name_w = max(len(k) for k in snap["counters"])
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<{name_w}}  {value}")
+    if snap["gauges"]:
+        lines.append("gauges:")
+        name_w = max(len(k) for k in snap["gauges"])
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:<{name_w}}  {value:.4f}")
+    for name, hist in snap["histograms"].items():
+        lines.append(f"histogram {name} (mean {hist['mean']:.2f}, n {hist['n']}):")
+        edges = hist["edges"]
+        labels = [f"<= {e:g}" for e in edges] + [f"> {edges[-1]:g}"]
+        peak = max(max(hist["counts"]), 1)
+        for label, count in zip(labels, hist["counts"]):
+            bar = _BAR * int(round(count / peak * 30))
+            lines.append(f"  {label:>10}  {bar} {count}")
+    for funnel in metrics.funnels.values():
+        lines.append(funnel_table(funnel))
+    return "\n".join(lines) if lines else "metrics: (empty)"
+
+
 def full_report(result: ScreeningResult, duration_s: float) -> str:
     """Everything above, stacked — the CLI's ``--report`` output."""
     parts = [
@@ -91,4 +146,6 @@ def full_report(result: ScreeningResult, duration_s: float) -> str:
         "",
         busiest_objects(result),
     ]
+    if result.metrics is not None:
+        parts.extend(["", metrics_table(result.metrics)])
     return "\n".join(parts)

@@ -259,12 +259,36 @@ class TestRefTelemetry:
         a.merge(b)
         assert a.lanes_total == 15
         assert a.golden_iterations == 3
-        assert a.lanes_retired_per_iteration == [4, 5, 0]
+        # Element-wise by iteration index: [4] + [5, 0] -> [9, 0].
+        assert a.lanes_retired_per_iteration == [9, 0]
         assert a.kepler_lanes == 15
         assert a.kepler_iterations == 80
         assert a.brent_calls == 1
         assert a.brent_iterations == 7
         assert a.mean_kepler_iterations == pytest.approx(80 / 15)
+
+    def test_merge_is_order_insensitive(self):
+        """Chunk arrival order must not change the merged telemetry."""
+
+        def chunks():
+            out = []
+            for retired in ([3, 2, 1], [4, 4], [1]):
+                t = RefTelemetry()
+                t.record_lanes(sum(retired))
+                for r in retired:
+                    t.record_golden_iteration(r)
+                t.record_kepler(sum(retired), 2 * sum(retired))
+                out.append(t)
+            return out
+
+        forward = RefTelemetry()
+        for t in chunks():
+            forward.merge(t)
+        backward = RefTelemetry()
+        for t in reversed(chunks()):
+            backward.merge(t)
+        assert forward.as_dict() == backward.as_dict()
+        assert forward.lanes_retired_per_iteration == [8, 6, 1]
 
 
 class TestConfigValidation:

@@ -1,0 +1,169 @@
+"""Dependency-free validators for the ``repro.obs`` export schemas.
+
+Shared by the unit tests and the CI ``obs-smoke`` job (which runs them
+against a real traced CLI screen).  Each validator returns a list of
+human-readable problems; an empty list means the document conforms.
+
+Run as a script to validate a trace file::
+
+    python -m tests.obs.schema TRACE.json
+
+exits non-zero listing the problems if the trace (or its embedded funnel)
+is malformed.
+"""
+from __future__ import annotations
+
+import json
+import numbers
+
+#: Required keys of one Chrome trace event and their types.
+_EVENT_KEYS = {
+    "name": str,
+    "ph": str,
+    "ts": numbers.Real,
+    "dur": numbers.Real,
+    "pid": numbers.Integral,
+    "tid": numbers.Integral,
+    "cat": str,
+    "args": dict,
+}
+
+
+def validate_chrome_trace(trace: "dict") -> "list[str]":
+    """Structural validation of a Chrome trace document."""
+    problems: "list[str]" = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace must contain a 'traceEvents' list"]
+    other = trace.get("otherData")
+    if not isinstance(other, dict) or not isinstance(other.get("schema_version"), int):
+        problems.append("otherData.schema_version (int) is required")
+    seen_ids: "set[int]" = set()
+    for k, ev in enumerate(events):
+        where = f"traceEvents[{k}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, typ in _EVENT_KEYS.items():
+            if key not in ev:
+                problems.append(f"{where}: missing key {key!r}")
+            elif not isinstance(ev[key], typ):
+                problems.append(f"{where}: {key!r} has type {type(ev[key]).__name__}")
+        if ev.get("ph") != "X":
+            problems.append(f"{where}: ph must be 'X', got {ev.get('ph')!r}")
+        if isinstance(ev.get("dur"), numbers.Real) and ev["dur"] < 0:
+            problems.append(f"{where}: negative duration {ev['dur']}")
+        args = ev.get("args")
+        if isinstance(args, dict):
+            sid, pid = args.get("span_id"), args.get("parent_id")
+            if not isinstance(sid, int) or not isinstance(pid, int):
+                problems.append(f"{where}: args.span_id/parent_id must be ints")
+            elif sid in seen_ids:
+                problems.append(f"{where}: duplicate span_id {sid}")
+            else:
+                seen_ids.add(sid)
+    # Parent references must resolve (or be -1 for roots).
+    for k, ev in enumerate(events):
+        args = ev.get("args", {}) if isinstance(ev, dict) else {}
+        pid = args.get("parent_id")
+        if isinstance(pid, int) and pid != -1 and pid not in seen_ids:
+            problems.append(f"traceEvents[{k}]: parent_id {pid} refers to no span")
+    return problems
+
+
+def validate_nesting(trace: "dict") -> "list[str]":
+    """Hierarchy validation: window → phase:* → round.
+
+    Every ``round`` span must have a ``phase:*`` ancestor and a ``window``
+    ancestor; every ``phase:*`` span must sit under a ``window``.
+    """
+    problems: "list[str]" = []
+    events = trace.get("traceEvents", [])
+    by_id = {
+        ev["args"]["span_id"]: ev
+        for ev in events
+        if isinstance(ev, dict) and isinstance(ev.get("args"), dict)
+        and isinstance(ev["args"].get("span_id"), int)
+    }
+
+    def ancestor_names(ev: "dict") -> "list[str]":
+        names = []
+        pid = ev["args"].get("parent_id", -1)
+        while pid != -1 and pid in by_id:
+            parent = by_id[pid]
+            names.append(parent["name"])
+            pid = parent["args"].get("parent_id", -1)
+        return names
+
+    windows = [ev for ev in by_id.values() if ev["name"] == "window"]
+    if not windows:
+        problems.append("no 'window' span in trace")
+    for ev in by_id.values():
+        if ev["name"] == "round":
+            anc = ancestor_names(ev)
+            if not any(name.startswith("phase:") for name in anc):
+                problems.append(f"round span {ev['args']['span_id']} has no phase:* ancestor")
+            if "window" not in anc:
+                problems.append(f"round span {ev['args']['span_id']} has no window ancestor")
+        elif ev["name"].startswith("phase:"):
+            if "window" not in ancestor_names(ev):
+                problems.append(f"{ev['name']} span {ev['args']['span_id']} has no window ancestor")
+    return problems
+
+
+def validate_funnel(funnel: "dict", n_conjunctions: "int | None" = None) -> "list[str]":
+    """Self-consistency of one exported funnel snapshot.
+
+    Adjacent stages must hand off exactly (stage N's out == stage N+1's
+    in); when ``n_conjunctions`` is given, the final stage's out must
+    equal it.
+    """
+    problems: "list[str]" = []
+    stages = funnel.get("stages")
+    if not isinstance(stages, list) or not stages:
+        return ["funnel must contain a non-empty 'stages' list"]
+    for s in stages:
+        for key in ("name", "in", "out"):
+            if key not in s:
+                problems.append(f"funnel stage missing key {key!r}: {s}")
+    for a, b in zip(stages, stages[1:]):
+        if a.get("out") != b.get("in"):
+            problems.append(
+                f"stage {a.get('name')!r} emits {a.get('out')} but "
+                f"stage {b.get('name')!r} receives {b.get('in')}"
+            )
+    if n_conjunctions is not None and stages[-1].get("out") != n_conjunctions:
+        problems.append(
+            f"final stage {stages[-1].get('name')!r} out {stages[-1].get('out')} "
+            f"!= {n_conjunctions} conjunctions"
+        )
+    return problems
+
+
+def validate_trace_file(path: str) -> "list[str]":
+    """Validate a Chrome trace file: structure, nesting, embedded funnels."""
+    with open(path, "r", encoding="utf-8") as fh:
+        trace = json.load(fh)
+    problems = validate_chrome_trace(trace)
+    problems += validate_nesting(trace)
+    metrics = trace.get("otherData", {}).get("metrics")
+    if isinstance(metrics, dict):
+        for name, funnel in metrics.get("funnels", {}).items():
+            problems += [f"funnel {name!r}: {p}" for p in validate_funnel(funnel)]
+    return problems
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI job
+    import sys
+
+    failures = 0
+    for arg in sys.argv[1:]:
+        found = validate_trace_file(arg)
+        for problem in found:
+            print(f"{arg}: {problem}")
+        failures += len(found)
+        if not found:
+            print(f"{arg}: OK")
+    sys.exit(1 if failures else 0)

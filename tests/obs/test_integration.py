@@ -1,0 +1,183 @@
+"""End-to-end observability: spans, funnels and structure metrics on
+real screening runs, validated with the same helpers the CI smoke job
+uses (``tests/obs/schema.py``)."""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import EMPTY_KEY
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+from repro.obs import MetricsRegistry, Tracer, to_chrome_trace
+from repro.obs.collect import observe_grid
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.population.generator import generate_population
+from repro.spatial.hashing import murmur3_fmix64_array
+from repro.spatial.vectorgrid import VectorHashGrid
+from tests.obs.schema import validate_chrome_trace, validate_funnel, validate_nesting
+
+
+@pytest.fixture(scope="module")
+def crossing_population() -> OrbitalElementsArray:
+    el1 = KeplerElements(a=7000.0, e=0.001, i=math.radians(50), raan=0.0, argp=0.0, m0=0.0)
+    el2 = KeplerElements(a=7001.0, e=0.001, i=math.radians(55), raan=0.0, argp=0.0, m0=1e-4)
+    return OrbitalElementsArray.from_elements([el1, el2])
+
+
+CFG = ScreeningConfig(threshold_km=5.0, duration_s=900.0, seconds_per_sample=2.0,
+                      hybrid_seconds_per_sample=10.0)
+
+
+class TestSpanTree:
+    @pytest.mark.parametrize("method", ["grid", "hybrid", "legacy"])
+    def test_window_phase_round_nesting(self, crossing_population, method):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        backend = "serial" if method == "legacy" else "vectorized"
+        screen(crossing_population, CFG, method=method, backend=backend,
+               tracer=tracer, metrics=metrics)
+        trace = to_chrome_trace(tracer, metrics)
+        assert validate_chrome_trace(trace) == []
+        assert validate_nesting(trace) == []
+        assert tracer.spans("window")
+        assert tracer.spans("round")
+
+    def test_window_attrs(self, crossing_population):
+        tracer = Tracer()
+        screen(crossing_population, CFG, method="grid", tracer=tracer)
+        (window,) = tracer.spans("window")
+        assert window.attrs == {"method": "grid", "backend": "vectorized", "objects": 2}
+
+    def test_null_tracer_collects_nothing(self, crossing_population):
+        result = screen(crossing_population, CFG, method="grid")
+        assert result.metrics is None
+
+
+class TestFunnel:
+    @pytest.mark.parametrize("method", ["grid", "hybrid", "legacy"])
+    def test_self_consistent_and_ends_at_conjunctions(self, crossing_population, method):
+        metrics = MetricsRegistry()
+        backend = "serial" if method == "legacy" else "vectorized"
+        result = screen(crossing_population, CFG, method=method, backend=backend,
+                        metrics=metrics)
+        assert result.n_conjunctions > 0  # the engineered crossing pair
+        funnel = metrics.funnels["screen"]
+        assert funnel.check() == []
+        assert funnel.stages[-1].n_out == result.n_conjunctions
+        snapshot = metrics.as_dict()["funnels"]["screen"]
+        assert validate_funnel(snapshot, result.n_conjunctions) == []
+
+    def test_full_rejection_keeps_chain_consistent(self):
+        # Two orbits whose altitude bands never come near each other: the
+        # apogee/perigee filter rejects 100% and every later stage sees 0.
+        el1 = KeplerElements(a=7000.0, e=0.0, i=1.0, raan=0.0, argp=0.0, m0=0.0)
+        el2 = KeplerElements(a=9000.0, e=0.0, i=1.0, raan=0.0, argp=0.0, m0=0.0)
+        pop = OrbitalElementsArray.from_elements([el1, el2])
+        metrics = MetricsRegistry()
+        result = screen(pop, CFG, method="legacy", metrics=metrics)
+        funnel = metrics.funnels["screen"]
+        assert result.n_conjunctions == 0
+        assert funnel.check() == []
+        by_name = {s.name: s for s in funnel.stages}
+        assert by_name["filter:apogee_perigee"].n_out == 0
+
+
+class TestStructureMetrics:
+    def test_hashmap_metrics_agree_with_arrays(self, rng):
+        """Recorded hash-map health must equal values recomputed directly
+        from the finished table's key array."""
+        positions = rng.uniform(-500.0, 500.0, size=(64, 3))
+        ids = np.arange(64, dtype=np.int64)
+        grid = VectorHashGrid(10.0, capacity=64)
+        grid.build(ids, positions)
+        metrics = MetricsRegistry()
+        observe_grid(metrics, grid)
+
+        keys = grid.table_keys
+        occupied = np.nonzero(keys != np.uint64(EMPTY_KEY))[0]
+        assert metrics.counters["hashmap.occupied"].value == len(occupied)
+        assert metrics.counters["hashmap.slots"].value == grid.n_slots
+        assert metrics.gauges["hashmap.load_factor"].value == pytest.approx(
+            len(occupied) / grid.n_slots
+        )
+        # Brute-force probe lengths: circular displacement from home + 1.
+        home = (murmur3_fmix64_array(keys[occupied]) % np.uint64(grid.n_slots)).astype(np.int64)
+        lengths = (occupied - home) % grid.n_slots + 1
+        hist = metrics.histograms["hashmap.probe_length"]
+        assert hist.n == len(occupied)
+        assert hist.total == pytest.approx(float(lengths.sum()))
+        expected = np.zeros(len(hist.edges) + 1, dtype=np.int64)
+        idx = np.searchsorted(np.asarray(hist.edges), lengths, side="left")
+        np.add.at(expected, idx, 1)
+        assert hist.counts.tolist() == expected.tolist()
+        # Every satellite landed in some cell.
+        assert metrics.counters["grid.lanes"].value == 64
+
+    def test_serial_screen_reports_cas_probe_counters(self, crossing_population):
+        metrics = MetricsRegistry()
+        screen(crossing_population, CFG, method="grid", backend="serial",
+               metrics=metrics)
+        counters = {k: c.value for k, c in metrics.counters.items()}
+        # UniformGrid's FixedSizeHashMap surfaces its live CAS counters.
+        assert counters["hashmap.inserts"] > 0
+        assert counters["hashmap.insert_probes"] >= counters["hashmap.inserts"]
+
+    def test_screen_with_hashmap_grid_reports_cas_rounds(self):
+        pop = generate_population(300, seed=13)
+        cfg = ScreeningConfig(threshold_km=10.0, duration_s=600.0,
+                              seconds_per_sample=2.0, grid_impl="hashmap")
+        metrics = MetricsRegistry()
+        screen(pop, cfg, method="grid", metrics=metrics)
+        counters = {k: c.value for k, c in metrics.counters.items()}
+        assert counters["hashmap.tables"] == counters["grid.builds"] > 0
+        assert counters["hashmap.cas_insert_rounds"] >= counters["hashmap.tables"]
+        assert 0.0 < metrics.gauges["hashmap.load_factor"].value <= 1.0
+        # Aggregated occupancy equals total inserted lanes across builds.
+        hist = metrics.histograms["grid.cell_occupancy"]
+        assert hist.total == counters["grid.lanes"]
+
+
+class TestCampaignTracing:
+    def test_campaign_windows_wrap_screens(self, crossing_population):
+        from repro.ops.campaign import ScreeningCampaign
+
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        campaign = ScreeningCampaign(
+            crossing_population, CFG, method="grid",
+            tracer=tracer, metrics=metrics,
+        )
+        campaign.run(2)
+        campaign_spans = tracer.spans("campaign.window")
+        assert [s.attrs["window"] for s in campaign_spans] == [0, 1]
+        windows = tracer.spans("window")
+        assert len(windows) == 2
+        for w in windows:
+            assert [a.name for a in tracer.ancestry(w)][:1] == ["campaign.window"]
+        # One shared registry accumulates across windows.
+        assert metrics.counters["cd.rounds"].value > 0
+        assert metrics.funnels["screen"].check() == []
+
+
+class TestCrossBackendDeterminism:
+    def test_pipeline_counters_identical_across_backends(self):
+        """The funnel and pipeline-level counters are bit-identical no
+        matter which backend produced them (structure metrics are
+        layout-specific and excluded; see repro.obs.collect)."""
+        pop = generate_population(400, seed=11)
+        snapshots = {}
+        for backend in ("vectorized", "serial", "threads"):
+            metrics = MetricsRegistry()
+            screen(pop, CFG, method="grid", backend=backend, metrics=metrics)
+            snap = metrics.as_dict()
+            snapshots[backend] = {
+                "cd.pairs_emitted": snap["counters"]["cd.pairs_emitted"],
+                "conjmap.records": snap["counters"]["conjmap.records"],
+                "grid.lanes": snap["counters"]["grid.lanes"],
+                "funnel": snap["funnels"]["screen"],
+            }
+        assert snapshots["serial"] == snapshots["vectorized"]
+        assert snapshots["threads"] == snapshots["vectorized"]

@@ -1,0 +1,157 @@
+"""Metrics registry: instruments, merging, funnel consistency."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Counter, FixedHistogram, Funnel, Gauge
+
+
+class TestCounter:
+    def test_add_and_merge(self):
+        a, b = Counter("x"), Counter("x")
+        a.add()
+        a.add(4)
+        b.add(10)
+        a.merge(b)
+        assert a.value == 15
+
+
+class TestGauge:
+    def test_records_maximum(self):
+        g = Gauge("load")
+        g.record(0.5)
+        g.record(0.2)
+        assert g.value == 0.5
+
+    def test_merge_keeps_max_and_ignores_unobserved(self):
+        a, b, empty = Gauge("g"), Gauge("g"), Gauge("g")
+        a.record(0.3)
+        b.record(0.7)
+        a.merge(b)
+        assert a.value == 0.7
+        a.merge(empty)
+        assert a.value == 0.7
+
+    def test_unobserved_merge_adopts_value(self):
+        a, b = Gauge("g"), Gauge("g")
+        b.record(-2.0)
+        a.merge(b)
+        assert a.value == -2.0 and a.observed
+
+
+class TestFixedHistogram:
+    def test_bucket_placement_le_semantics(self):
+        h = FixedHistogram("h", (1.0, 2.0, 4.0))
+        h.observe([0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0])
+        # buckets: <=1, <=2, <=4, overflow
+        assert h.counts.tolist() == [2, 2, 2, 1]
+        assert h.n == 7
+        assert h.mean == pytest.approx(np.mean([0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0]))
+
+    def test_empty_observe_is_noop(self):
+        h = FixedHistogram("h", (1.0,))
+        h.observe(np.empty(0))
+        assert h.n == 0 and h.counts.tolist() == [0, 0]
+
+    def test_merge_adds_bucketwise(self):
+        a = FixedHistogram("h", (1.0, 2.0))
+        b = FixedHistogram("h", (1.0, 2.0))
+        a.observe([0.5])
+        b.observe([1.5, 5.0])
+        a.merge(b)
+        assert a.counts.tolist() == [1, 1, 1]
+        assert a.n == 3
+
+    def test_merge_rejects_different_edges(self):
+        a = FixedHistogram("h", (1.0, 2.0))
+        b = FixedHistogram("h", (1.0, 3.0))
+        with pytest.raises(ValueError, match="edges"):
+            a.merge(b)
+
+    def test_edges_must_be_ascending(self):
+        with pytest.raises(ValueError):
+            FixedHistogram("h", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            FixedHistogram("h", (1.0, 1.0))
+
+
+class TestFunnel:
+    def test_accumulates_per_stage(self):
+        f = Funnel("screen")
+        f.record("filter", 100, 40)
+        f.record("filter", 50, 10)
+        (stage,) = f.stages
+        assert (stage.n_in, stage.n_out) == (150, 50)
+        assert stage.survival == pytest.approx(50 / 150)
+
+    def test_check_flags_adjacency_violation(self):
+        f = Funnel("screen")
+        f.record("a", 100, 40)
+        f.record("b", 39, 10)
+        problems = f.check()
+        assert len(problems) == 1 and "emits 40" in problems[0]
+
+    def test_check_passes_consistent_chain(self):
+        f = Funnel("screen")
+        f.record("a", 100, 40)
+        f.record("b", 40, 0)
+        f.record("c", 0, 0)
+        assert f.check() == []
+
+    def test_merge(self):
+        a, b = Funnel("f"), Funnel("f")
+        a.record("s", 10, 5)
+        b.record("s", 4, 1)
+        b.record("t", 1, 1)
+        a.merge(b)
+        assert [(s.name, s.n_in, s.n_out) for s in a.stages] == [("s", 14, 6), ("t", 1, 1)]
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        m = MetricsRegistry()
+        assert m.counter("c") is m.counter("c")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.histogram("h", (1.0,)) is m.histogram("h")
+        assert m.funnel("f") is m.funnel("f")
+
+    def test_histogram_requires_edges_on_first_use(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="edges"):
+            m.histogram("h")
+        m.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError, match="already exists"):
+            m.histogram("h", (1.0, 3.0))
+
+    def _worker_registry(self, counter_val, gauge_val, hist_vals):
+        m = MetricsRegistry()
+        m.counter("c").add(counter_val)
+        m.gauge("g").record(gauge_val)
+        m.histogram("h", (1.0, 4.0)).observe(hist_vals)
+        m.funnel("f").record("s", counter_val, counter_val // 2)
+        return m
+
+    def test_merge_is_order_insensitive(self):
+        """Bit-identical totals regardless of chunk arrival order — the
+        property that makes serial/threads/vectorized metrics comparable."""
+        chunks = [(5, 0.25, [0.5]), (7, 0.75, [2.0, 9.0]), (1, 0.5, [1.0])]
+        forward = MetricsRegistry()
+        for c in chunks:
+            forward.merge(self._worker_registry(*c))
+        backward = MetricsRegistry()
+        for c in reversed(chunks):
+            backward.merge(self._worker_registry(*c))
+        assert forward.as_dict() == backward.as_dict()
+        assert forward.counters["c"].value == 13
+        assert forward.gauges["g"].value == 0.75
+
+    def test_as_dict_sorted_and_json_safe(self):
+        import json
+
+        m = self._worker_registry(3, 0.5, [1.0])
+        m.counter("a").add(1)
+        snap = m.as_dict()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+        json.dumps(snap)  # must be JSON-serialisable as-is

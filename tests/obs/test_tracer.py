@@ -1,0 +1,85 @@
+"""Tracer: span nesting, threading, the null default."""
+from __future__ import annotations
+
+import threading
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestTracer:
+    def test_nesting_assigns_parents(self):
+        tr = Tracer()
+        with tr.span("window"):
+            with tr.span("phase:GRID"):
+                with tr.span("round", start_step=0):
+                    pass
+            with tr.span("phase:REF"):
+                pass
+        records = {r.name: r for r in tr.records()}
+        assert records["window"].parent_id == -1
+        assert records["phase:GRID"].parent_id == records["window"].span_id
+        assert records["round"].parent_id == records["phase:GRID"].span_id
+        assert records["phase:REF"].parent_id == records["window"].span_id
+
+    def test_records_sorted_by_start(self):
+        tr = Tracer()
+        for name in ("a", "b", "c"):
+            with tr.span(name):
+                pass
+        assert [r.name for r in tr.records()] == ["a", "b", "c"]
+
+    def test_attrs_and_set(self):
+        tr = Tracer()
+        with tr.span("round", start_step=3) as span:
+            span.set(n_steps=16)
+        (rec,) = tr.records()
+        assert rec.attrs == {"start_step": 3, "n_steps": 16}
+
+    def test_durations_non_negative_and_contained(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        by_name = {r.name: r for r in tr.records()}
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert inner.duration_s >= 0.0
+        assert outer.start_s <= inner.start_s
+        assert inner.start_s + inner.duration_s <= outer.start_s + outer.duration_s + 1e-6
+
+    def test_worker_thread_spans_are_roots_with_own_thread_index(self):
+        tr = Tracer()
+
+        def work():
+            with tr.span("worker"):
+                pass
+
+        with tr.span("main"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        by_name = {r.name: r for r in tr.records()}
+        # The worker had no open span on its own stack -> root span.
+        assert by_name["worker"].parent_id == -1
+        assert by_name["worker"].thread != by_name["main"].thread
+
+    def test_ancestry(self):
+        tr = Tracer()
+        with tr.span("window"):
+            with tr.span("phase:GRID"):
+                with tr.span("round"):
+                    pass
+        (rnd,) = tr.spans("round")
+        assert [r.name for r in tr.ancestry(rnd)] == ["phase:GRID", "window"]
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_span(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        span = NULL_TRACER.span("anything", attrs=1)
+        assert span is NULL_SPAN
+
+    def test_usable_as_context_manager(self):
+        with NULL_TRACER.span("x") as span:
+            span.set(a=1)

@@ -93,6 +93,27 @@ class TestBackendNames:
         with pytest.raises(ValueError):
             default_thread_count()
 
+    def test_env_thread_count_non_integer(self, monkeypatch):
+        """A non-numeric value must raise a clear error naming the env var,
+        not crash with a bare int() traceback."""
+        monkeypatch.setenv("REPRO_NUM_THREADS", "auto")
+        with pytest.raises(ValueError, match="REPRO_NUM_THREADS.*'auto'"):
+            default_thread_count()
+
+    def test_env_thread_count_whitespace_and_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", " 4 ")
+        assert default_thread_count() == 4
+        # Empty / blank values fall back to the CPU count.
+        monkeypatch.setenv("REPRO_NUM_THREADS", "")
+        assert default_thread_count() >= 1
+        monkeypatch.setenv("REPRO_NUM_THREADS", "  ")
+        assert default_thread_count() >= 1
+
+    def test_env_thread_count_negative(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "-2")
+        with pytest.raises(ValueError, match="REPRO_NUM_THREADS"):
+            default_thread_count()
+
 
 class TestPhaseTimer:
     def test_accumulates(self):

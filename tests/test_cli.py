@@ -95,3 +95,40 @@ def test_screen_with_report_flag(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "phase budget" in out
+
+
+def test_screen_with_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    from tests.obs.schema import validate_trace_file
+
+    trace_path = tmp_path / "trace.json"
+    jsonl_path = tmp_path / "trace.jsonl"
+    rc = main(
+        [
+            "screen", "--objects", "200", "--seed", "21", "--method", "hybrid",
+            "--duration-s", "300", "--threshold-km", "5",
+            "--trace", str(trace_path), "--trace-jsonl", str(jsonl_path), "--metrics",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "spans to" in out and "funnel 'screen'" in out
+    # The written trace passes the same validators the CI smoke job runs.
+    assert validate_trace_file(str(trace_path)) == []
+    lines = [json.loads(line) for line in jsonl_path.read_text().splitlines()]
+    assert lines[0]["type"] == "meta"
+    assert {rec["type"] for rec in lines} >= {"meta", "span", "metrics", "funnel"}
+
+
+def test_screen_hashmap_grid_impl_flag(capsys):
+    rc = main(
+        [
+            "screen", "--objects", "150", "--seed", "5", "--method", "grid",
+            "--duration-s", "300", "--sps", "2", "--threshold-km", "10",
+            "--grid-impl", "hashmap", "--metrics",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "hashmap.probe_length" in out

@@ -5,8 +5,18 @@ import numpy as np
 import pytest
 
 from repro.detection.types import ScreeningResult, empty_result
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Funnel
 from repro.parallel.backend import PhaseTimer
-from repro.report import busiest_objects, full_report, histogram, phase_budget, timeline
+from repro.report import (
+    busiest_objects,
+    full_report,
+    funnel_table,
+    histogram,
+    metrics_table,
+    phase_budget,
+    timeline,
+)
 
 
 @pytest.fixture()
@@ -78,3 +88,68 @@ def test_full_report_combines_everything(result):
     text = full_report(result, duration_s=1000.0)
     for fragment in ("grid/vectorized", "phase budget", "PCA distribution", "busiest objects"):
         assert fragment in text
+
+
+def test_histogram_constant_values_single_bin():
+    # All-identical values collapse to one populated bin; np.histogram
+    # widens the range itself, and the renderer must not divide by zero.
+    text = histogram(np.full(7, 3.25), bins=1, label="constant")
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[1].rstrip().endswith("7")
+    # Same values over several bins: every value lands in one bin.
+    multi = histogram(np.full(7, 3.25), bins=5)
+    counts = [int(line.rsplit(" ", 1)[1]) for line in multi.splitlines()]
+    assert sum(counts) == 7 and max(counts) == 7
+
+
+def test_timeline_empty_result():
+    text = timeline(empty_result("hybrid", "vectorized"), duration_s=500.0, slots=8)
+    assert "(no conjunctions)" in text
+
+
+def test_funnel_table_with_full_rejection_stage():
+    f = Funnel("screen")
+    f.record("pairs", 100, 100)
+    f.record("filter", 100, 0)  # 100% rejection
+    f.record("scan", 0, 0)
+    text = funnel_table(f)
+    lines = text.splitlines()
+    assert "funnel 'screen'" in lines[0]
+    assert "100 -> 0" in text and "0.0%" in text
+    assert "100.0%" in text  # the zero-input stage renders as full survival
+    assert "!" not in text  # consistent chain -> no violation rows
+
+
+def test_funnel_table_reports_violations():
+    f = Funnel("bad")
+    f.record("a", 10, 5)
+    f.record("b", 4, 4)
+    assert "!" in funnel_table(f)
+
+
+def test_funnel_table_empty():
+    assert "(no stages)" in funnel_table(Funnel("empty"))
+
+
+def test_metrics_table_renders_all_instruments():
+    m = MetricsRegistry()
+    m.counter("cd.pairs_emitted").add(42)
+    m.gauge("hashmap.load_factor").record(0.5)
+    m.histogram("hashmap.probe_length", (1.0, 2.0)).observe([1.0, 1.0, 5.0])
+    m.funnel("screen").record("emit", 42, 10)
+    text = metrics_table(m)
+    for fragment in ("cd.pairs_emitted", "42", "hashmap.load_factor", "0.5000",
+                     "histogram hashmap.probe_length", "> 2", "funnel 'screen'"):
+        assert fragment in text
+
+
+def test_metrics_table_none():
+    assert "(not collected)" in metrics_table(None)
+
+
+def test_full_report_includes_metrics_when_collected(result):
+    m = MetricsRegistry()
+    m.counter("cd.rounds").add(3)
+    result.metrics = m
+    assert "cd.rounds" in full_report(result, duration_s=1000.0)
