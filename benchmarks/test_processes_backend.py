@@ -1,0 +1,134 @@
+"""Serial vs. processes executor ablation for multi-device screening.
+
+The same grid screening load runs three ways — single-device
+``screen_grid``, the multi-device ``serial`` executor, and the
+multi-device ``processes`` executor (one OS process per device shard,
+population published through shared memory) — and the wall-clock of each
+lands in ``benchmarks/results/BENCH_procs.json``.
+
+There is **no performance gate**: process pools pay a real spawn +
+interpreter-import cost, so whether they win depends on the load size and
+the host.  The benchmark exists to *measure* that trade honestly; the
+acceptance gate is correctness — all three runs must produce the
+bit-identical conjunction set.
+
+``REPRO_BENCH_CHECK_ONLY=1`` (the CI smoke mode) shrinks the population
+and the screening span so the job finishes in seconds.
+"""
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+from repro.parallel.multidevice import screen_grid_multidevice
+from repro.population.scenarios import megaconstellation
+
+CHECK_ONLY = os.environ.get("REPRO_BENCH_CHECK_ONLY", "") == "1"
+
+N_DEVICES = 2
+if CHECK_ONLY:
+    PLANES, SATS = 12, 30
+    CFG = ScreeningConfig(threshold_km=10.0, duration_s=600.0, seconds_per_sample=2.0)
+else:
+    PLANES, SATS = 48, 30
+    CFG = ScreeningConfig(threshold_km=10.0, duration_s=1800.0, seconds_per_sample=2.0)
+N_OBJECTS = PLANES * SATS
+
+#: (label, runner) of each measured configuration.
+_RESULTS: "dict[str, dict]" = {}
+
+
+def _population():
+    return megaconstellation(PLANES, SATS, 550.0, math.radians(53))
+
+
+def _run(label: str, fn):
+    t0 = time.perf_counter()
+    out = fn()
+    elapsed = time.perf_counter() - t0
+    result = out[0] if isinstance(out, tuple) else out
+    _RESULTS[label] = {
+        "seconds": elapsed,
+        "i": result.i,
+        "j": result.j,
+        "tca": result.tca_s,
+        "pca": result.pca_km,
+        "n_conjunctions": result.n_conjunctions,
+        "candidates_refined": result.candidates_refined,
+        "timers": dict(result.timers.totals),
+    }
+    return result
+
+
+@pytest.mark.parametrize("label", ["single-device", "serial", "processes"])
+def test_executor_variant(benchmark, label):
+    pop = _population()
+    if label == "single-device":
+        fn = lambda: screen(pop, CFG, method="grid", backend="vectorized")
+    else:
+        fn = lambda: screen_grid_multidevice(pop, CFG, N_DEVICES, executor=label)
+    result = benchmark.pedantic(lambda: _run(label, fn), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        n_objects=N_OBJECTS, n_devices=N_DEVICES,
+        conjunctions=result.n_conjunctions,
+        wall_s=round(_RESULTS[label]["seconds"], 3),
+    )
+
+
+def test_processes_backend_report(report):
+    base = _RESULTS["single-device"]
+
+    mode = " (check-only smoke)" if CHECK_ONLY else ""
+    report.section(
+        f"Process-sharded screening{mode} - {N_OBJECTS} objects, "
+        f"{N_DEVICES} devices, {CFG.duration_s:.0f} s span"
+    )
+    header = ["executor", "wall", "vs single", "conjunctions", "candidates"]
+    rows = []
+    payload = {
+        "check_only": CHECK_ONLY,
+        "scenario": {
+            "n_objects": N_OBJECTS,
+            "n_devices": N_DEVICES,
+            "threshold_km": CFG.threshold_km,
+            "duration_s": CFG.duration_s,
+            "seconds_per_sample": CFG.seconds_per_sample,
+        },
+        "executors": {},
+    }
+    for label in ("single-device", "serial", "processes"):
+        r = _RESULTS[label]
+        ratio = base["seconds"] / r["seconds"] if r["seconds"] > 0 else float("inf")
+        rows.append([
+            label, f"{r['seconds']:.3f}s", f"{ratio:.2f}x",
+            r["n_conjunctions"], r["candidates_refined"],
+        ])
+        payload["executors"][label] = {
+            "wall_seconds": r["seconds"],
+            "speedup_vs_single_device": ratio,
+            "n_conjunctions": r["n_conjunctions"],
+            "candidates_refined": r["candidates_refined"],
+            "phase_seconds": r["timers"],
+        }
+    report.table(header, rows)
+    report.row("  correctness gate: all three conjunction sets bit-identical "
+               "(no perf gate - spawn cost is load-dependent)")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_procs.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    # The acceptance gate: executor choice never changes the answer.
+    for label in ("serial", "processes"):
+        r = _RESULTS[label]
+        np.testing.assert_array_equal(r["i"], base["i"], err_msg=label)
+        np.testing.assert_array_equal(r["j"], base["j"], err_msg=label)
+        np.testing.assert_array_equal(r["tca"], base["tca"], err_msg=label)
+        np.testing.assert_array_equal(r["pca"], base["pca"], err_msg=label)

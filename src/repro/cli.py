@@ -15,6 +15,7 @@ import time
 from repro.detection.api import METHODS, screen
 from repro.detection.types import ScreeningConfig
 from repro.parallel.backend import BACKENDS
+from repro.parallel.multidevice import EXECUTORS
 from repro.perfmodel.memory import plan_memory
 from repro.population.generator import generate_population
 from repro.population.tle import format_tle, parse_tle_file
@@ -45,6 +46,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="print the full analyst report (histograms, timeline)")
     p_screen.add_argument("--grid-impl", choices=("sorted", "hashmap"), default="sorted",
                           help="vectorized grid implementation")
+    p_screen.add_argument("--n-devices", type=int, metavar="D",
+                          help="shard the sampling steps over D virtual devices "
+                               "(grid variant; Section VI multi-GPU analogue)")
+    p_screen.add_argument("--executor", choices=EXECUTORS, default="serial",
+                          help="how the device shards run (with --n-devices): "
+                               "'serial' in-process, 'processes' one OS process per shard")
     p_screen.add_argument("--trace", type=str, metavar="PATH",
                           help="write a Chrome trace (load at ui.perfetto.dev)")
     p_screen.add_argument("--trace-jsonl", type=str, metavar="PATH",
@@ -102,13 +109,33 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
+    reports = None
     start = time.perf_counter()
-    result = screen(
-        pop, config, method=args.method, backend=args.backend,
-        tracer=tracer, metrics=metrics,
-    )
+    if args.n_devices:
+        if args.method != "grid":
+            raise SystemExit("--n-devices shards the grid variant; use --method grid")
+        from repro.parallel.multidevice import screen_grid_multidevice
+
+        result, reports = screen_grid_multidevice(
+            pop, config, args.n_devices, executor=args.executor,
+            tracer=tracer, metrics=metrics,
+        )
+    elif args.executor != "serial":
+        raise SystemExit("--executor requires --n-devices")
+    else:
+        result = screen(
+            pop, config, method=args.method, backend=args.backend,
+            tracer=tracer, metrics=metrics,
+        )
     elapsed = time.perf_counter() - start
     print(result.summary())
+    if reports is not None:
+        print(f"sharded over {len(reports)} devices ({args.executor} executor):")
+        for r in reports:
+            print(f"  device {r.device}: {r.steps_processed} steps, {r.records} records, "
+                  f"map capacity {r.conjunction_map_capacity}, "
+                  f"peak {r.peak_bytes / 2**20:.1f} MiB"
+                  + (f", {r.regrows} regrows" if r.regrows else ""))
     print(f"wall time {elapsed:.3f} s; phase breakdown:")
     for name, frac in sorted(result.timers.fractions().items(), key=lambda kv: -kv[1]):
         print(f"  {name:>6}: {100.0 * frac:5.1f}%  ({result.timers.totals[name]:.3f} s)")

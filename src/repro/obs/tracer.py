@@ -78,7 +78,13 @@ NULL_TRACER = NullTracer()
 
 
 class _Span:
-    """A live span; finalises into a :class:`SpanRecord` on exit."""
+    """A live span; finalises into a :class:`SpanRecord` on exit.
+
+    Exiting through an exception marks the record with an ``error`` attr
+    (the exception type name), so a phase that blew up — e.g. a
+    conjunction-map overflow mid-CD — is distinguishable from a clean
+    phase of the same duration.
+    """
 
     __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start", "_thread")
 
@@ -99,7 +105,9 @@ class _Span:
         self._tracer._enter(self)
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._exit(self)
         return False
 
@@ -115,11 +123,16 @@ class Tracer:
 
     def __init__(self) -> None:
         self._epoch = time.perf_counter()
+        #: Wall-clock time of the epoch, anchoring this tracer's relative
+        #: timeline so spans recorded by *other processes* can be shifted
+        #: onto it (see :meth:`adopt`).
+        self._epoch_unix = time.time()
         self._lock = threading.Lock()
         self._records: "list[SpanRecord]" = []
         self._local = threading.local()
         self._next_id = 0
-        self._thread_ids: "dict[int, int]" = {}
+        self._thread_ids: "dict[object, int]" = {}
+        self._adoptions = 0
 
     def span(self, name: str, **attrs) -> _Span:
         """Open a new span; use as a context manager."""
@@ -160,6 +173,60 @@ class Tracer:
         )
         with self._lock:
             self._records.append(record)
+
+    # -- cross-process re-parenting ------------------------------------
+
+    @property
+    def epoch_unix(self) -> float:
+        """Wall-clock time of this tracer's epoch (for cross-process shifts)."""
+        return self._epoch_unix
+
+    def adopt(
+        self,
+        records: "list[SpanRecord]",
+        parent_id: int = -1,
+        epoch_unix: "float | None" = None,
+    ) -> int:
+        """Graft finished spans from another tracer into this span tree.
+
+        The worker processes of the ``processes`` executor each run their
+        own :class:`Tracer`; the parent calls ``adopt`` with each worker's
+        finished records to merge them into one tree:
+
+        * every adopted span gets a fresh span id from this tracer's
+          counter (ids stay unique across the merged trace);
+        * parent links *within* ``records`` are preserved through the id
+          remap; spans that were roots in the source tracer attach under
+          ``parent_id`` (typically the parent's open ``window`` span);
+        * source thread indices map to fresh dense thread indices here, so
+          each worker renders as its own track;
+        * ``epoch_unix`` — the source tracer's :attr:`epoch_unix` — shifts
+          the records' start times onto this tracer's timeline.
+
+        Returns the number of adopted spans.
+        """
+        offset = (epoch_unix - self._epoch_unix) if epoch_unix is not None else 0.0
+        with self._lock:
+            self._adoptions += 1
+            id_map: "dict[int, int]" = {}
+            for r in records:
+                id_map[r.span_id] = self._next_id
+                self._next_id += 1
+            for r in records:
+                thread_key = ("adopted", self._adoptions, r.thread)
+                thread = self._thread_ids.setdefault(thread_key, len(self._thread_ids))
+                self._records.append(
+                    SpanRecord(
+                        span_id=id_map[r.span_id],
+                        parent_id=id_map.get(r.parent_id, parent_id),
+                        name=r.name,
+                        start_s=r.start_s + offset,
+                        duration_s=r.duration_s,
+                        thread=thread,
+                        attrs=dict(r.attrs),
+                    )
+                )
+        return len(records)
 
     # -- queries -------------------------------------------------------
 

@@ -109,6 +109,11 @@ class ScreeningCampaign:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.events: "list[TrackedEvent]" = []
+        #: Tracked events grouped by (i, j): event matching per detected
+        #: conjunction scans only the pair's own events instead of the
+        #: whole track list (which made long campaigns
+        #: O(windows x events x conjunctions)).
+        self._events_by_pair: "dict[tuple[int, int], list[TrackedEvent]]" = {}
         self.days: "list[CampaignDay]" = []
         self._clock_s = 0.0
         if use_j2:
@@ -151,12 +156,12 @@ class ScreeningCampaign:
             tca_abs = start + c.tca_s
             match = self._find_event(c.i, c.j, tca_abs)
             if match is None:
-                self.events.append(
-                    TrackedEvent(
-                        i=c.i, j=c.j, tca_abs_s=tca_abs, pca_km=c.pca_km,
-                        first_seen_window=window, last_seen_window=window,
-                    )
+                event = TrackedEvent(
+                    i=c.i, j=c.j, tca_abs_s=tca_abs, pca_km=c.pca_km,
+                    first_seen_window=window, last_seen_window=window,
                 )
+                self.events.append(event)
+                self._events_by_pair.setdefault((c.i, c.j), []).append(event)
                 new += 1
             else:
                 match.update(tca_abs, c.pca_km, window)
@@ -177,8 +182,8 @@ class ScreeningCampaign:
         return [self.run_window() for _ in range(n_windows)]
 
     def _find_event(self, i: int, j: int, tca_abs_s: float) -> "TrackedEvent | None":
-        for ev in self.events:
-            if ev.i == i and ev.j == j and abs(ev.tca_abs_s - tca_abs_s) <= self.tca_match_tol_s:
+        for ev in self._events_by_pair.get((i, j), ()):
+            if abs(ev.tca_abs_s - tca_abs_s) <= self.tca_match_tol_s:
                 return ev
         return None
 

@@ -14,4 +14,35 @@ from repro.parallel.backend import (
     resolve_backend,
 )
 
-__all__ = ["BACKENDS", "PhaseTimer", "chunk_ranges", "parallel_for", "resolve_backend"]
+#: Multidevice names re-exported lazily (PEP 562): ``multidevice`` imports
+#: the detection pipeline, which imports ``parallel.backend`` — an eager
+#: re-export here would close that cycle during package init.
+_MULTIDEVICE_EXPORTS = (
+    "EXECUTORS",
+    "DeviceReport",
+    "partition_steps",
+    "resolve_executor",
+    "screen_grid_multidevice",
+)
+
+
+def __getattr__(name: str):
+    if name in _MULTIDEVICE_EXPORTS:
+        from repro.parallel import multidevice
+
+        return getattr(multidevice, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BACKENDS",
+    "EXECUTORS",
+    "DeviceReport",
+    "PhaseTimer",
+    "chunk_ranges",
+    "parallel_for",
+    "partition_steps",
+    "resolve_backend",
+    "resolve_executor",
+    "screen_grid_multidevice",
+]

@@ -18,6 +18,7 @@ consumption.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -210,10 +211,18 @@ class PhaseTimer:
         start = time.perf_counter()
         try:
             yield
-        finally:
+        except BaseException:
+            # The phase blew up (e.g. ConjunctionMapFullError mid-CD): the
+            # elapsed time still counts, but the span must close with the
+            # live exception info so the trace shows an errored phase
+            # rather than a clean one.
             self.totals[name] = self.totals.get(name, 0.0) + time.perf_counter() - start
             if span is not None:
-                span.__exit__(None, None, None)
+                span.__exit__(*sys.exc_info())
+            raise
+        self.totals[name] = self.totals.get(name, 0.0) + time.perf_counter() - start
+        if span is not None:
+            span.__exit__(None, None, None)
 
     def add(self, name: str, seconds: float) -> None:
         self.totals[name] = self.totals.get(name, 0.0) + seconds

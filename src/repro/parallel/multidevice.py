@@ -8,9 +8,21 @@ device runs the grid candidate collection inside its own memory budget
 (its own grids and conjunction map), and the per-device record sets merge
 before the shared refinement stage.
 
+Two executors run the device shards (DESIGN.md §8):
+
+* ``serial`` — the shards run one after another in this process, the
+  reference semantics (and the honest single-host baseline);
+* ``processes`` — each shard runs in a real OS process
+  (:mod:`repro.parallel.processes`): the population's element arrays are
+  published once through shared memory, workers return compact record
+  arrays, and their phase timers / metrics / trace spans merge back with
+  the order-insensitive combiners.
+
 Because sampling steps are embarrassingly parallel (each step has its own
-grid; Section V-E), the partition is exact: the merged result is
-bit-identical to the single-device run, which the test suite asserts.
+grid; Section V-E) and the merged records are re-sorted into the global
+conjunction-map key order before refinement, the result is bit-identical
+to the single-device run *on every executor*, which the test suite
+asserts.
 """
 from __future__ import annotations
 
@@ -21,13 +33,30 @@ import numpy as np
 from repro.detection.gridbased import refine_records
 from repro.detection.pca_tca import interval_radii, merge_conjunctions
 from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.obs.collect import observe_conjmap, observe_grid
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer
-from repro.perfmodel.memory import MemoryPlan, conjunction_capacity, plan_memory
-from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError
+from repro.perfmodel.memory import (
+    MemoryPlan,
+    device_conjunction_capacity,
+    grid_instance_bytes,
+    plan_device_memory,
+)
+from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError, pack_pair_key
 from repro.spatial.grid import cell_size_km
 from repro.spatial.vectorgrid import SortedGrid
+
+#: The recognised shard executors.
+EXECUTORS = ("serial", "processes")
+
+
+def resolve_executor(name: str) -> str:
+    """Validate and normalise an executor name."""
+    if name not in EXECUTORS:
+        raise ValueError(f"unknown executor {name!r}; choose from {EXECUTORS}")
+    return name
 
 
 @dataclass(frozen=True)
@@ -40,6 +69,20 @@ class DeviceReport:
     conjunction_map_capacity: int
     peak_bytes: int
     plan: "MemoryPlan | None"
+    #: Conjunction-map overflow → regrow → replay cycles this shard hit.
+    regrows: int = 0
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """What one device shard's collection loop reports back."""
+
+    device: int
+    steps_processed: int
+    records: int
+    conjunction_map_capacity: int
+    peak_bytes: int
+    regrows: int
 
 
 def partition_steps(n_steps: int, n_devices: int) -> "list[np.ndarray]":
@@ -53,44 +96,49 @@ def partition_steps(n_steps: int, n_devices: int) -> "list[np.ndarray]":
     return [np.arange(d, n_steps, n_devices, dtype=np.int64) for d in range(n_devices)]
 
 
-def screen_grid_multidevice(
-    population: OrbitalElementsArray,
+def run_device_shard(
+    propagator: Propagator,
+    ids: np.ndarray,
+    times: np.ndarray,
+    steps: np.ndarray,
+    cell: float,
     config: ScreeningConfig,
+    device: int,
     n_devices: int,
-    device_budget_bytes: "int | None" = None,
-) -> "tuple[ScreeningResult, list[DeviceReport]]":
-    """Grid-based screening with steps sharded over virtual devices.
+    timers: PhaseTimer,
+    tracer=NULL_TRACER,
+    metrics=None,
+    initial_capacity: "int | None" = None,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, ShardStats]":
+    """One device's candidate collection over its step shard.
 
-    Returns the merged :class:`ScreeningResult` (identical to a
-    single-device run) plus per-device reports.  When
-    ``device_budget_bytes`` is given, each device additionally computes its
-    Section V-B memory plan against that budget, demonstrating how D
-    devices multiply the effective parallelisation factor.
+    The per-shard kernel shared by both executors: the ``serial`` executor
+    calls it inline, the ``processes`` executor calls it inside each
+    worker.  Emits a ``device`` span (wrapping the shard's ``phase:INS`` /
+    ``phase:CD`` spans) when a real tracer is attached, feeds ``metrics``
+    with the grid / conjunction-map health counters, and on conjunction-map
+    overflow regrows the map and replays the interrupted step — the replay
+    is idempotent because :class:`ConjunctionMap` deduplicates records.
+
+    Returns the shard's deduplicated ``(i, j, step)`` record arrays (step
+    indices are *global*) plus its :class:`ShardStats`.
     """
-    timers = PhaseTimer()
-    n = len(population)
-    with timers.phase("ALLOC"):
-        cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
-        times = config.sample_times()
-        shards = partition_steps(len(times), n_devices)
-        propagator = Propagator(population, solver=config.solver)
-        ids = np.arange(n, dtype=np.int64)
-
-    reports: "list[DeviceReport]" = []
-    all_i: "list[np.ndarray]" = []
-    all_j: "list[np.ndarray]" = []
-    all_steps: "list[np.ndarray]" = []
-
-    for device, steps in enumerate(shards):
-        capacity = max(
-            conjunction_capacity(
-                n, config.seconds_per_sample, config.duration_s, config.threshold_km, "grid"
-            )
-            // n_devices,
-            1000,
+    n = len(ids)
+    if initial_capacity is None:
+        initial_capacity = device_conjunction_capacity(
+            n, config.seconds_per_sample, config.duration_s, config.threshold_km,
+            "grid", n_devices,
         )
-        conj = ConjunctionMap(capacity)
-        peak = 0
+    conj = ConjunctionMap(initial_capacity)
+    grid_bytes = grid_instance_bytes(n)
+    peak = 0
+    regrows = 0
+    span = (
+        tracer.span("device", device=device, n_steps=len(steps))
+        if tracer.enabled
+        else NULL_SPAN
+    )
+    with span:
         k = 0
         while k < len(steps):
             step = int(steps[k])
@@ -107,45 +155,166 @@ def screen_grid_multidevice(
                 ri, rj, rs = conj.records()
                 bigger.insert_batch(ri, rj, rs)
                 conj = bigger
-                continue
-            peak = max(peak, conj.memory_bytes + 16 * 2 * n + 48 * n)
+                regrows += 1
+                continue  # replay this step into the regrown map
+            if metrics is not None:
+                metrics.counter("cd.pairs_emitted").add(len(ci))
+                metrics.counter("cd.rounds").add(1)
+                observe_grid(metrics, grid)
+            peak = max(peak, conj.memory_bytes + grid_bytes)
             k += 1
-        ri, rj, rs = conj.records()
-        all_i.append(ri)
-        all_j.append(rj)
-        all_steps.append(rs)
-        plan = None
-        if device_budget_bytes is not None:
-            plan = plan_memory(
-                n,
-                config.seconds_per_sample,
-                config.duration_s / n_devices,
-                config.threshold_km,
-                "grid",
-                device_budget_bytes,
-                auto_adjust=False,
-            )
-        reports.append(
-            DeviceReport(
-                device=device,
-                steps_processed=len(steps),
-                records=len(ri),
-                conjunction_map_capacity=conj.capacity,
-                peak_bytes=peak,
-                plan=plan,
-            )
-        )
+    if metrics is not None:
+        observe_conjmap(metrics, conj)
+    ri, rj, rs = conj.records()
+    stats = ShardStats(
+        device=device,
+        steps_processed=len(steps),
+        records=len(ri),
+        conjunction_map_capacity=conj.capacity,
+        peak_bytes=peak,
+        regrows=regrows,
+    )
+    return ri, rj, rs, stats
 
-    with timers.phase("REF"):
-        rec_i = np.concatenate(all_i)
-        rec_j = np.concatenate(all_j)
-        rec_step = np.concatenate(all_steps)
-        centers = times[rec_step]
-        radii = interval_radii(population, rec_i, rec_j, cell)
-        i, j, tca, pca = refine_records(
-            population, rec_i, rec_j, centers, radii, config, "vectorized"
+
+def screen_grid_multidevice(
+    population: OrbitalElementsArray,
+    config: ScreeningConfig,
+    n_devices: int,
+    device_budget_bytes: "int | None" = None,
+    executor: str = "serial",
+    tracer=None,
+    metrics=None,
+    initial_capacity: "int | None" = None,
+) -> "tuple[ScreeningResult, list[DeviceReport]]":
+    """Grid-based screening with steps sharded over virtual devices.
+
+    Returns the merged :class:`ScreeningResult` — bit-identical to a
+    single-device run and across executors — plus per-device reports.
+
+    Parameters
+    ----------
+    executor:
+        ``serial`` runs the shards in-process one after another;
+        ``processes`` runs each shard in a real OS process with the
+        population published through shared memory (see
+        :mod:`repro.parallel.processes`).
+    tracer, metrics:
+        The ``repro.obs`` instruments, threaded exactly like the three
+        main variants: the run emits a ``window`` span, one ``device``
+        span per shard, ``phase:*`` spans, the structure-health counters
+        and the ``screen`` candidate funnel.
+    device_budget_bytes:
+        When given, each device's report carries its Section V-B memory
+        plan against that budget, computed for the shard the device
+        actually executes (its ``partition_steps`` share, not
+        ``duration_s / n_devices``).
+    initial_capacity:
+        Override of each shard's initial conjunction-map slot count
+        (default: the full-run capacity divided across devices).  Used by
+        tests to force overflow → regrow → replay inside a shard.
+    """
+    executor = resolve_executor(executor)
+    if tracer is None:
+        tracer = NULL_TRACER
+    timers = PhaseTimer(tracer=tracer)
+    n = len(population)
+
+    window = (
+        tracer.span(
+            "window", method="grid-multidevice", backend="vectorized",
+            objects=n, n_devices=n_devices, executor=executor,
         )
-        i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+        if tracer.enabled
+        else NULL_SPAN
+    )
+    with window:
+        with timers.phase("ALLOC"):
+            cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
+            times = config.sample_times()
+            shards = partition_steps(len(times), n_devices)
+            ids = np.arange(n, dtype=np.int64)
+
+        if executor == "processes":
+            from repro.parallel.processes import run_shards_in_processes
+
+            shard_results = run_shards_in_processes(
+                population, config, n_devices, cell,
+                timers=timers, tracer=tracer, metrics=metrics,
+                initial_capacity=initial_capacity,
+                parent_span_id=window.span_id if tracer.enabled else -1,
+            )
+        else:
+            propagator = Propagator(population, solver=config.solver)
+            shard_results = []
+            for device, steps in enumerate(shards):
+                shard_results.append(
+                    run_device_shard(
+                        propagator, ids, times, steps, cell, config,
+                        device, n_devices, timers,
+                        tracer=tracer, metrics=metrics,
+                        initial_capacity=initial_capacity,
+                    )
+                )
+
+        reports: "list[DeviceReport]" = []
+        all_i: "list[np.ndarray]" = []
+        all_j: "list[np.ndarray]" = []
+        all_steps: "list[np.ndarray]" = []
+        for ri, rj, rs, stats in shard_results:
+            all_i.append(ri)
+            all_j.append(rj)
+            all_steps.append(rs)
+            plan = None
+            if device_budget_bytes is not None:
+                plan = plan_device_memory(
+                    n,
+                    config.seconds_per_sample,
+                    config.duration_s,
+                    config.threshold_km,
+                    "grid",
+                    device_budget_bytes,
+                    n_devices=n_devices,
+                    device_steps=len(shards[stats.device]),
+                )
+            reports.append(
+                DeviceReport(
+                    device=stats.device,
+                    steps_processed=stats.steps_processed,
+                    records=stats.records,
+                    conjunction_map_capacity=stats.conjunction_map_capacity,
+                    peak_bytes=stats.peak_bytes,
+                    plan=plan,
+                    regrows=stats.regrows,
+                )
+            )
+
+        with timers.phase("REF"):
+            rec_i = np.concatenate(all_i)
+            rec_j = np.concatenate(all_j)
+            rec_step = np.concatenate(all_steps)
+            if len(rec_i):
+                # Restore the global conjunction-map key order: each shard
+                # is key-sorted but the shards interleave round-robin, and
+                # refinement must see the identical record ordering (hence
+                # identical REF chunking) as the single-device run for the
+                # merged result to be bit-identical.
+                order = np.argsort(pack_pair_key(rec_i, rec_j, rec_step))
+                rec_i, rec_j, rec_step = rec_i[order], rec_j[order], rec_step[order]
+            centers = times[rec_step]
+            radii = interval_radii(population, rec_i, rec_j, cell)
+            i, j, tca, pca = refine_records(
+                population, rec_i, rec_j, centers, radii, config, "vectorized",
+                telemetry=timers.ref,
+            )
+            raw_hits = len(i)
+            i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+
+    if metrics is not None:
+        funnel = metrics.funnel("screen")
+        funnel.record("emit", metrics.counter("cd.pairs_emitted").value, len(rec_i))
+        funnel.record("refine", len(rec_i), raw_hits)
+        funnel.record("merge", raw_hits, len(i))
 
     result = ScreeningResult(
         method="grid-multidevice",
@@ -156,10 +325,13 @@ def screen_grid_multidevice(
         pca_km=pca,
         candidates_refined=len(rec_i),
         timers=timers,
+        metrics=metrics,
         extra={
             "n_devices": n_devices,
+            "executor": executor,
             "cell_size_km": cell,
             "n_steps": len(times),
+            "ref_telemetry": timers.ref.as_dict(),
         },
     )
     return result, reports

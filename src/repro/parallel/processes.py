@@ -1,0 +1,240 @@
+"""Process-sharded execution of multi-device screening shards.
+
+The ``processes`` executor of
+:func:`repro.parallel.multidevice.screen_grid_multidevice`: every device
+shard runs in a real OS process, which is what actually buys the paper's
+Section VI memory relief on one host — each worker owns its grids and
+conjunction map, and CPython's GIL stops mattering for the Python-level
+shard loops.
+
+Design (DESIGN.md §8):
+
+* **Shared-memory population.**  The population's six element arrays are
+  published **once** into a single ``multiprocessing.shared_memory``
+  block (:class:`SharedPopulation`); each worker attaches by name and
+  reconstructs the :class:`~repro.orbits.elements.OrbitalElementsArray`
+  as zero-copy views.  Workers never receive the population through
+  pickling.
+* **Spawn-safe workers.**  The pool uses the ``spawn`` start method — the
+  only one that is safe regardless of the parent's thread state — so the
+  worker entry point is a module-level function taking one picklable
+  :class:`ShardTask`.
+* **Compact returns.**  A worker ships back a :class:`ShardOutcome`:
+  deduplicated ``(i, j, step)`` record *arrays* (never Python object
+  lists), its :class:`~repro.parallel.backend.PhaseTimer`, its
+  :class:`~repro.obs.metrics.MetricsRegistry`, and its finished trace
+  spans.
+* **Observability re-parenting.**  The parent merges worker timers and
+  metrics with the existing commutative combiners and grafts worker span
+  trees under its own ``window`` span via
+  :meth:`repro.obs.tracer.Tracer.adopt`, so a traced ``processes`` run
+  yields one schema-valid span tree with a ``device`` span per shard.
+
+Merging is order-insensitive end to end: outcomes are keyed by device
+index, every metric combiner is commutative, and the caller re-sorts the
+concatenated records into conjunction-map key order — so the merged
+result is bit-identical to the single-device run no matter how the OS
+schedules the workers.
+"""
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.detection.types import ScreeningConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, SpanRecord, Tracer
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer
+
+#: The element arrays published for the workers, in block row order.
+ELEMENT_FIELDS = ("a", "e", "i", "raan", "argp", "m0")
+
+
+class SharedPopulation:
+    """A population's element arrays in one POSIX shared-memory block.
+
+    Layout: a C-contiguous ``(6, n)`` float64 block, one row per field of
+    :data:`ELEMENT_FIELDS`.  The creating (parent) process owns the
+    segment and must call :meth:`close` (which also unlinks it); workers
+    attach by name via :func:`attach_population` and only close.
+    """
+
+    def __init__(self, population: OrbitalElementsArray) -> None:
+        n = len(population)
+        self.n = n
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=len(ELEMENT_FIELDS) * n * 8
+        )
+        block = np.ndarray((len(ELEMENT_FIELDS), n), dtype=np.float64, buffer=self._shm.buf)
+        for row, name in enumerate(ELEMENT_FIELDS):
+            block[row] = getattr(population, name)
+        del block
+        self.name = self._shm.name
+
+    def close(self) -> None:
+        """Release and unlink the segment (parent side)."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+
+def attach_population(
+    shm_name: str, n: int
+) -> "tuple[shared_memory.SharedMemory, OrbitalElementsArray]":
+    """Attach to a published population (worker side), zero-copy.
+
+    Returns the segment handle (the caller must drop every array derived
+    from the population before closing it) and the reconstructed
+    population whose element arrays are views into the shared block.
+    """
+    shm = shared_memory.SharedMemory(name=shm_name)
+    block = np.ndarray((len(ELEMENT_FIELDS), n), dtype=np.float64, buffer=shm.buf)
+    population = OrbitalElementsArray(*(block[row] for row in range(len(ELEMENT_FIELDS))))
+    return shm, population
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs, picklable and population-free."""
+
+    shm_name: str
+    n_objects: int
+    config: ScreeningConfig
+    device: int
+    n_devices: int
+    cell: float
+    initial_capacity: "int | None"
+    trace: bool
+    collect_metrics: bool
+
+
+@dataclass
+class ShardOutcome:
+    """One worker's compact result set."""
+
+    stats: "object"  # repro.parallel.multidevice.ShardStats
+    rec_i: np.ndarray
+    rec_j: np.ndarray
+    rec_step: np.ndarray
+    timers: PhaseTimer
+    metrics: "MetricsRegistry | None"
+    spans: "list[SpanRecord]" = field(default_factory=list)
+    #: Wall-clock epoch of the worker's tracer, for span time-shifting.
+    epoch_unix: float = 0.0
+
+
+def _screen_shard_worker(task: ShardTask) -> ShardOutcome:
+    """Worker entry point: run one device shard against the shared block."""
+    from repro.parallel.multidevice import partition_steps, run_device_shard
+
+    shm, population = attach_population(task.shm_name, task.n_objects)
+    try:
+        tracer = Tracer() if task.trace else NULL_TRACER
+        timers = PhaseTimer(tracer=tracer)
+        metrics = MetricsRegistry() if task.collect_metrics else None
+        propagator = Propagator(population, solver=task.config.solver)
+        ids = np.arange(task.n_objects, dtype=np.int64)
+        times = task.config.sample_times()
+        steps = partition_steps(len(times), task.n_devices)[task.device]
+        rec_i, rec_j, rec_step, stats = run_device_shard(
+            propagator, ids, times, steps, task.cell, task.config,
+            task.device, task.n_devices, timers,
+            tracer=tracer, metrics=metrics,
+            initial_capacity=task.initial_capacity,
+        )
+        # A live Tracer is not picklable (lock + thread-local state); ship
+        # its finished records instead and strip it off the timer.
+        spans = tracer.records() if task.trace else []
+        epoch_unix = tracer.epoch_unix if task.trace else 0.0
+        timers.tracer = NULL_TRACER
+        return ShardOutcome(
+            stats=stats,
+            rec_i=rec_i,
+            rec_j=rec_j,
+            rec_step=rec_step,
+            timers=timers,
+            metrics=metrics,
+            spans=spans,
+            epoch_unix=epoch_unix,
+        )
+    finally:
+        # Drop every view into the block before closing, or mmap refuses
+        # to release the exported buffer.
+        del population
+        if "propagator" in locals():
+            del propagator
+        # Close only — the parent owns and unlinks the segment.  The
+        # attach-side resource_tracker registration (CPython gh-82300) is
+        # harmless here: pool children share the parent's tracker process,
+        # whose per-type cache is a set, so the duplicate registration
+        # collapses and the parent's unlink unregisters the one entry.
+        shm.close()
+
+
+def run_shards_in_processes(
+    population: OrbitalElementsArray,
+    config: ScreeningConfig,
+    n_devices: int,
+    cell: float,
+    timers: PhaseTimer,
+    tracer=NULL_TRACER,
+    metrics: "MetricsRegistry | None" = None,
+    initial_capacity: "int | None" = None,
+    parent_span_id: int = -1,
+) -> "list[tuple[np.ndarray, np.ndarray, np.ndarray, object]]":
+    """Run every device shard in its own OS process and merge the results.
+
+    Publishes ``population`` once through shared memory, fans the shard
+    tasks out over a spawn-safe :class:`ProcessPoolExecutor`, then merges
+    each worker's phase timers / metrics with the commutative combiners
+    and adopts its spans under ``parent_span_id``.  Returns the per-shard
+    ``(rec_i, rec_j, rec_step, stats)`` tuples ordered by device index —
+    the same shape the serial executor produces inline.
+    """
+    shared = SharedPopulation(population)
+    tasks = [
+        ShardTask(
+            shm_name=shared.name,
+            n_objects=shared.n,
+            config=config,
+            device=device,
+            n_devices=n_devices,
+            cell=cell,
+            initial_capacity=initial_capacity,
+            trace=bool(getattr(tracer, "enabled", False)),
+            collect_metrics=metrics is not None,
+        )
+        for device in range(n_devices)
+    ]
+    max_workers = min(n_devices, os.cpu_count() or 1)
+    outcomes: "list[ShardOutcome | None]" = [None] * n_devices
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=get_context("spawn")
+        ) as pool:
+            futures = {pool.submit(_screen_shard_worker, task): task.device for task in tasks}
+            for future, device in futures.items():
+                outcomes[device] = future.result()
+    finally:
+        shared.close()
+
+    results = []
+    for outcome in outcomes:
+        assert outcome is not None
+        timers.merge(outcome.timers)
+        if metrics is not None and outcome.metrics is not None:
+            metrics.merge(outcome.metrics)
+        if getattr(tracer, "enabled", False) and outcome.spans:
+            tracer.adopt(
+                outcome.spans, parent_id=parent_span_id, epoch_unix=outcome.epoch_unix
+            )
+        results.append((outcome.rec_i, outcome.rec_j, outcome.rec_step, outcome.stats))
+    return results

@@ -42,6 +42,45 @@ TARGET_PARALLEL_FACTOR = 512
 #: Floor on the conjunction-map base size.
 MIN_CONJUNCTIONS = 10_000
 
+#: Floor on one *device shard's* conjunction-map slots: dividing the
+#: full-run capacity across many devices must never starve a shard.
+MIN_DEVICE_CONJUNCTIONS = 1_000
+
+
+def grid_instance_bytes(n_satellites: int) -> int:
+    """Footprint of one per-step grid instance: ``a_gh + a_l``.
+
+    The hash area (2 slots per satellite at :data:`SLOT_BYTES`) plus the
+    entry pool (:data:`ENTRY_BYTES` per satellite) — the single source of
+    truth for the per-grid constants, shared by :class:`MemoryPlan` and
+    the multi-device peak-byte accounting.
+    """
+    return 2 * n_satellites * SLOT_BYTES + n_satellites * ENTRY_BYTES
+
+
+def device_conjunction_capacity(
+    n_satellites: int,
+    seconds_per_sample: float,
+    duration_s: float,
+    threshold_km: float,
+    variant: str,
+    n_devices: int,
+) -> int:
+    """Conjunction-map slots one device shard allocates.
+
+    The full-run capacity divided across devices (each device sees about
+    ``1/D`` of the records under round-robin step sharding), floored at
+    :data:`MIN_DEVICE_CONJUNCTIONS`.  This is exactly what
+    ``screen_grid_multidevice`` allocates per shard, so device memory
+    plans and the runtime agree by construction.
+    """
+    if n_devices <= 0:
+        raise ValueError(f"n_devices must be positive, got {n_devices}")
+    full = conjunction_capacity(
+        n_satellites, seconds_per_sample, duration_s, threshold_km, variant
+    )
+    return max(full // n_devices, MIN_DEVICE_CONJUNCTIONS)
+
 
 def conjunction_capacity(
     n_satellites: int,
@@ -142,16 +181,25 @@ def _plan_once(
     threshold_km: float,
     variant: str,
     budget_bytes: int,
+    conj_slots: "int | None" = None,
+    total_samples: "int | None" = None,
 ) -> MemoryPlan:
+    """One planning pass.  ``conj_slots`` / ``total_samples`` override the
+    duration-derived defaults for device shards, whose conjunction map and
+    step count are fixed by the sharding, not by the full-run formulas."""
     a_s = n * SATELLITE_RECORD_BYTES
     a_k = n * SOLVER_RECORD_BYTES
-    conj_slots = conjunction_capacity(n, seconds_per_sample, duration_s, threshold_km, variant)
+    if conj_slots is None:
+        conj_slots = conjunction_capacity(n, seconds_per_sample, duration_s, threshold_km, variant)
     a_ch = conj_slots * SLOT_BYTES
     a_gh = 2 * n * SLOT_BYTES
     a_l = n * ENTRY_BYTES
     free = budget_bytes - a_s - a_k - a_ch
     p = max(int(free // (a_gh + a_l)), 0)
-    o = max(int(math.ceil(duration_s / seconds_per_sample)) + 1, 2)
+    if total_samples is None:
+        o = max(int(math.ceil(duration_s / seconds_per_sample)) + 1, 2)
+    else:
+        o = int(total_samples)
     r_c = int(math.ceil(o / p)) if p > 0 else 0
     return MemoryPlan(
         n_satellites=n,
@@ -218,3 +266,56 @@ def plan_memory(
             "requested_seconds_per_sample": requested,
         }
     )
+
+
+def plan_device_memory(
+    n_satellites: int,
+    seconds_per_sample: float,
+    duration_s: float,
+    threshold_km: float,
+    variant: str,
+    budget_bytes: int,
+    n_devices: int,
+    device_steps: int,
+) -> MemoryPlan:
+    """The Section V-B plan of **one device shard** of a multi-device run.
+
+    Unlike scaling the duration by ``1/D`` (which rounds the step count
+    through the sampling formula and re-runs the Extra-P model on a
+    fictitious time span), the device plan reflects the shard the device
+    actually executes:
+
+    * ``total_samples`` is ``device_steps`` — the length of the device's
+      round-robin step shard from ``partition_steps``;
+    * the conjunction map gets :func:`device_conjunction_capacity` slots —
+      the same per-device allocation the runtime makes.
+
+    Raises :class:`ValueError` when the budget cannot hold a single grid
+    instance, like :func:`plan_memory`.
+    """
+    if n_satellites <= 0:
+        raise ValueError(f"n_satellites must be positive, got {n_satellites}")
+    if budget_bytes <= 0:
+        raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+    if device_steps < 0:
+        raise ValueError(f"device_steps must be non-negative, got {device_steps}")
+    conj_slots = device_conjunction_capacity(
+        n_satellites, seconds_per_sample, duration_s, threshold_km, variant, n_devices
+    )
+    plan = _plan_once(
+        n_satellites,
+        seconds_per_sample,
+        duration_s,
+        threshold_km,
+        variant,
+        budget_bytes,
+        conj_slots=conj_slots,
+        total_samples=device_steps,
+    )
+    if plan.parallel_steps == 0:
+        raise ValueError(
+            f"memory budget {budget_bytes} B cannot hold even one grid instance for "
+            f"{n_satellites} satellites (fixed allocations {plan.fixed_bytes} B, "
+            f"per-grid {plan.per_grid_bytes} B)"
+        )
+    return plan

@@ -72,6 +72,99 @@ class TestTracer:
         (rnd,) = tr.spans("round")
         assert [r.name for r in tr.ancestry(rnd)] == ["phase:GRID", "window"]
 
+    def test_span_exited_with_exception_is_marked_errored(self):
+        tr = Tracer()
+        try:
+            with tr.span("phase:CD"):
+                raise ValueError("overflow")
+        except ValueError:
+            pass
+        (rec,) = tr.records()
+        assert rec.attrs["error"] == "ValueError"
+
+    def test_explicit_error_attr_wins(self):
+        tr = Tracer()
+        try:
+            with tr.span("x", error="custom") as span:
+                raise ValueError()
+        except ValueError:
+            pass
+        (rec,) = tr.records()
+        assert rec.attrs["error"] == "custom"
+
+
+class TestAdopt:
+    """Grafting finished span records from another tracer (the
+    cross-process re-parenting behind the ``processes`` executor)."""
+
+    @staticmethod
+    def _worker_tracer() -> Tracer:
+        tr = Tracer()
+        with tr.span("device", device=0):
+            with tr.span("phase:INS"):
+                pass
+        return tr
+
+    def test_roots_attach_under_the_given_parent(self):
+        child = self._worker_tracer()
+        parent = Tracer()
+        with parent.span("window") as window:
+            n = parent.adopt(child.records(), parent_id=window.span_id)
+        assert n == 2
+        by_name = {r.name: r for r in parent.records()}
+        assert by_name["device"].parent_id == by_name["window"].span_id
+        assert by_name["phase:INS"].parent_id == by_name["device"].span_id
+
+    def test_ids_are_reassigned_uniquely(self):
+        child = self._worker_tracer()
+        parent = Tracer()
+        with parent.span("window") as window:
+            parent.adopt(child.records(), parent_id=window.span_id)
+            parent.adopt(child.records(), parent_id=window.span_id)
+        ids = [r.span_id for r in parent.records()]
+        assert len(ids) == len(set(ids)) == 5
+
+    def test_adoptions_get_fresh_thread_indices(self):
+        """Two workers both report thread 0; the parent must keep their
+        timelines on separate tracks."""
+        child_a, child_b = self._worker_tracer(), self._worker_tracer()
+        parent = Tracer()
+        parent.adopt(child_a.records())
+        parent.adopt(child_b.records())
+        devices = [r for r in parent.records() if r.name == "device"]
+        phase_threads = {
+            r.parent_id: r.thread for r in parent.records() if r.name == "phase:INS"
+        }
+        assert len(devices) == 2
+        assert devices[0].thread != devices[1].thread  # two workers, two tracks
+        for dev in devices:  # a worker's spans stay on its own track
+            assert phase_threads[dev.span_id] == dev.thread
+
+    def test_epoch_shift_translates_start_times(self):
+        child = self._worker_tracer()
+        parent = Tracer()
+        offset = 5.0
+        (original, _) = child.records()
+        parent.adopt(child.records(), epoch_unix=parent.epoch_unix + offset)
+        adopted = parent.records()[0]
+        assert adopted.start_s == original.start_s + offset
+        assert adopted.duration_s == original.duration_s
+
+    def test_attrs_are_copied_not_shared(self):
+        child = self._worker_tracer()
+        parent = Tracer()
+        records = child.records()
+        parent.adopt(records)
+        parent.records()[0].attrs["mutated"] = True
+        assert "mutated" not in records[0].attrs
+
+    def test_default_parent_is_root(self):
+        child = self._worker_tracer()
+        parent = Tracer()
+        parent.adopt(child.records())
+        by_name = {r.name: r for r in parent.records()}
+        assert by_name["device"].parent_id == -1
+
 
 class TestNullTracer:
     def test_disabled_and_shared_span(self):

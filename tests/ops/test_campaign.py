@@ -10,6 +10,7 @@ from repro.detection.types import ScreeningConfig
 from repro.ops.campaign import ScreeningCampaign
 from repro.orbits.elements import KeplerElements, OrbitalElementsArray
 from repro.orbits.propagation import Propagator
+from repro.population.scenarios import megaconstellation
 
 CFG = ScreeningConfig(threshold_km=5.0, duration_s=2000.0, seconds_per_sample=1.0,
                       hybrid_seconds_per_sample=8.0)
@@ -130,3 +131,62 @@ class TestRiskSummary:
         campaign = ScreeningCampaign(periodic_pair, CFG)
         with pytest.raises(ValueError):
             campaign.risk_summary(sigma0_km=0.0)
+
+
+class TestEventIndexRegression:
+    """The (i, j)-indexed event lookup must be observationally identical
+    to the original linear scan over the whole track list."""
+
+    def test_dense_50_window_campaign_matches_brute_force(self):
+        """50 windows over a dense population: replay every window's
+        conjunctions through the old O(events) linear scan and demand the
+        identical track list, event for event and sighting for sighting."""
+        pop = megaconstellation(6, 10, 550.0, math.radians(53))
+        cfg = ScreeningConfig(threshold_km=25.0, duration_s=400.0, seconds_per_sample=5.0)
+        campaign = ScreeningCampaign(pop, cfg, method="grid")
+        campaign.run(50)
+
+        # Brute force: the pre-index first-match semantics, replayed from
+        # the recorded per-window results.
+        brute: "list[dict]" = []
+        for day in campaign.days:
+            for c in day.result.conjunctions():
+                tca_abs = day.start_s + c.tca_s
+                match = None
+                for ev in brute:  # the old linear scan, verbatim
+                    if (
+                        ev["i"] == c.i and ev["j"] == c.j
+                        and abs(ev["tca_abs_s"] - tca_abs) <= campaign.tca_match_tol_s
+                    ):
+                        match = ev
+                        break
+                if match is None:
+                    brute.append({
+                        "i": c.i, "j": c.j, "tca_abs_s": tca_abs, "pca_km": c.pca_km,
+                        "first": day.window, "last": day.window, "sightings": 1,
+                    })
+                else:
+                    match["last"] = day.window
+                    match["sightings"] += 1
+                    if c.pca_km < match["pca_km"]:
+                        match["pca_km"] = c.pca_km
+                        match["tca_abs_s"] = tca_abs
+
+        assert len(campaign.events) == len(brute)
+        assert campaign.total_conjunctions_seen >= 50  # actually dense
+        for ev, ref in zip(campaign.events, brute):
+            assert (ev.i, ev.j) == (ref["i"], ref["j"])
+            assert ev.tca_abs_s == ref["tca_abs_s"]
+            assert ev.pca_km == ref["pca_km"]
+            assert ev.first_seen_window == ref["first"]
+            assert ev.last_seen_window == ref["last"]
+            assert ev.sightings == ref["sightings"]
+
+    def test_index_and_track_list_stay_in_sync(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")
+        campaign.run(3)
+        indexed = [ev for evs in campaign._events_by_pair.values() for ev in evs]
+        assert len(indexed) == len(campaign.events)
+        assert all(ev in campaign.events for ev in indexed)
+        for (i, j), evs in campaign._events_by_pair.items():
+            assert all((ev.i, ev.j) == (i, j) for ev in evs)

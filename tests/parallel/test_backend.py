@@ -153,3 +153,28 @@ class TestPhaseTimer:
             with t.phase("A"):
                 raise RuntimeError()
         assert "A" in t.totals
+
+    def test_phase_span_closes_clean_on_success(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        t = PhaseTimer(tracer=tracer)
+        with t.phase("CD"):
+            pass
+        (span,) = tracer.spans("phase:CD")
+        assert "error" not in span.attrs
+
+    def test_phase_span_marked_errored_on_exception(self):
+        """A phase that blows up must close its span with the live
+        exception info — the trace shows an errored phase, not a phase
+        that silently 'succeeded' (the old ``(None, None, None)`` exit)."""
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        t = PhaseTimer(tracer=tracer)
+        with pytest.raises(RuntimeError, match="boom"):
+            with t.phase("CD"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans("phase:CD")
+        assert span.attrs["error"] == "RuntimeError"
+        assert t.totals["CD"] >= 0.0  # elapsed time still accumulated

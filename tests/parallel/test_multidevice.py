@@ -6,8 +6,16 @@ import pytest
 
 from repro.detection.api import screen
 from repro.detection.types import ScreeningConfig
-from repro.parallel.multidevice import partition_steps, screen_grid_multidevice
+from repro.obs import MetricsRegistry, Tracer, to_chrome_trace
+from repro.parallel.multidevice import (
+    EXECUTORS,
+    partition_steps,
+    resolve_executor,
+    screen_grid_multidevice,
+)
+from repro.perfmodel.memory import device_conjunction_capacity, grid_instance_bytes
 from repro.population.generator import generate_population
+from tests.obs.schema import validate_chrome_trace, validate_funnel, validate_nesting
 
 CFG = ScreeningConfig(threshold_km=5.0, duration_s=1200.0, seconds_per_sample=2.0)
 
@@ -69,3 +77,120 @@ class TestMultideviceScreening:
         _, reports = screen_grid_multidevice(pop, cfg, n_devices=4)
         counts = [r.steps_processed for r in reports]
         assert max(counts) - min(counts) <= 1
+
+
+class TestExecutors:
+    def test_resolve_known(self):
+        for name in EXECUTORS:
+            assert resolve_executor(name) == name
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("threads")
+
+    def test_screen_rejects_unknown_executor(self, crossing_pair):
+        with pytest.raises(ValueError, match="unknown executor"):
+            screen_grid_multidevice(crossing_pair, CFG, 2, executor="mpi")
+
+
+class TestSerialExecutorBitIdentity:
+    @pytest.mark.parametrize("n_devices", [1, 2, 4])
+    def test_bit_identical_to_single_device(self, crossing_pair, n_devices):
+        single = screen(crossing_pair, CFG, method="grid", backend="vectorized")
+        multi, _ = screen_grid_multidevice(
+            crossing_pair, CFG, n_devices, executor="serial"
+        )
+        np.testing.assert_array_equal(multi.i, single.i)
+        np.testing.assert_array_equal(multi.j, single.j)
+        np.testing.assert_array_equal(multi.tca_s, single.tca_s)
+        np.testing.assert_array_equal(multi.pca_km, single.pca_km)
+
+    def test_bit_identical_on_population(self):
+        pop = generate_population(300, seed=17)
+        cfg = ScreeningConfig(threshold_km=10.0, duration_s=600.0, seconds_per_sample=2.0)
+        single = screen(pop, cfg, method="grid", backend="vectorized")
+        multi, _ = screen_grid_multidevice(pop, cfg, n_devices=3)
+        np.testing.assert_array_equal(multi.i, single.i)
+        np.testing.assert_array_equal(multi.j, single.j)
+        np.testing.assert_array_equal(multi.tca_s, single.tca_s)
+        np.testing.assert_array_equal(multi.pca_km, single.pca_km)
+
+
+class TestObservability:
+    def test_tracer_and_metrics_thread_through(self, crossing_pair):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        result, _ = screen_grid_multidevice(
+            crossing_pair, CFG, 2, tracer=tracer, metrics=metrics
+        )
+        (window,) = tracer.spans("window")
+        assert window.attrs["method"] == "grid-multidevice"
+        assert window.attrs["n_devices"] == 2
+        assert window.attrs["executor"] == "serial"
+        devices = tracer.spans("device")
+        assert sorted(s.attrs["device"] for s in devices) == [0, 1]
+        for dev in devices:
+            assert dev.parent_id == window.span_id
+        trace = to_chrome_trace(tracer, metrics)
+        assert validate_chrome_trace(trace) == []
+        assert validate_nesting(trace) == []
+        funnel = metrics.funnels["screen"]
+        assert funnel.check() == []
+        assert funnel.stages[-1].n_out == result.n_conjunctions
+        snapshot = metrics.as_dict()["funnels"]["screen"]
+        assert validate_funnel(snapshot, result.n_conjunctions) == []
+
+    def test_untraced_run_has_no_instruments(self, crossing_pair):
+        result, _ = screen_grid_multidevice(crossing_pair, CFG, 2)
+        assert result.metrics is None
+
+
+class TestMemoryAccounting:
+    def test_peak_bytes_derive_from_the_planner_constants(self, crossing_pair):
+        """Each shard's peak is its conjunction map plus one per-step grid
+        instance, both priced by ``perfmodel.memory`` — not hardcoded."""
+        _, reports = screen_grid_multidevice(crossing_pair, CFG, n_devices=2)
+        n = len(crossing_pair)
+        for r in reports:
+            # No regrows here: the map never grew, so the peak is exactly
+            # final-capacity slots plus the per-grid footprint.
+            assert r.regrows == 0
+            assert r.peak_bytes == r.conjunction_map_capacity * 16 + grid_instance_bytes(n)
+
+    def test_device_capacity_matches_runtime_allocation(self, crossing_pair):
+        _, reports = screen_grid_multidevice(crossing_pair, CFG, n_devices=2)
+        expected = device_conjunction_capacity(
+            len(crossing_pair), CFG.seconds_per_sample, CFG.duration_s,
+            CFG.threshold_km, "grid", 2,
+        )
+        for r in reports:
+            assert r.conjunction_map_capacity == expected
+
+    def test_device_plans_reflect_actual_shards(self, crossing_pair):
+        """The plan of device d uses d's round-robin shard length, not
+        ``duration_s / n_devices`` pushed back through the sampling formula."""
+        n_devices = 3
+        _, reports = screen_grid_multidevice(
+            crossing_pair, CFG, n_devices, device_budget_bytes=2**30
+        )
+        shards = partition_steps(len(CFG.sample_times()), n_devices)
+        for r in reports:
+            assert r.plan is not None
+            assert r.plan.total_samples == len(shards[r.device]) == r.steps_processed
+            assert r.plan.conjunction_map_slots == r.conjunction_map_capacity
+            assert r.plan.computation_rounds * r.plan.parallel_steps >= r.plan.total_samples
+
+
+class TestOverflowRecovery:
+    def test_starved_shard_regrows_and_replays(self, crossing_pair):
+        baseline, _ = screen_grid_multidevice(crossing_pair, CFG, 2)
+        starved, reports = screen_grid_multidevice(
+            crossing_pair, CFG, 2, initial_capacity=8
+        )
+        assert any(r.regrows > 0 for r in reports)
+        np.testing.assert_array_equal(starved.i, baseline.i)
+        np.testing.assert_array_equal(starved.j, baseline.j)
+        np.testing.assert_array_equal(starved.tca_s, baseline.tca_s)
+        np.testing.assert_array_equal(starved.pca_km, baseline.pca_km)
+        # Replays are idempotent: no record is double-counted.
+        assert starved.candidates_refined == baseline.candidates_refined

@@ -1,0 +1,173 @@
+"""The ``processes`` executor: shared-memory publication, bit-identity
+with the serial executor, observability re-parenting, and in-shard
+overflow recovery — all against real spawned OS processes."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.api import screen
+from repro.detection.types import ScreeningConfig
+from repro.obs import MetricsRegistry, Tracer, to_chrome_trace
+from repro.parallel.multidevice import screen_grid_multidevice
+from repro.parallel.processes import (
+    ELEMENT_FIELDS,
+    SharedPopulation,
+    attach_population,
+)
+from tests.obs.schema import validate_chrome_trace, validate_funnel, validate_nesting
+
+CFG = ScreeningConfig(threshold_km=5.0, duration_s=1200.0, seconds_per_sample=2.0)
+
+
+class TestSharedPopulation:
+    def test_publish_attach_round_trip(self, crossing_pair):
+        shared = SharedPopulation(crossing_pair)
+        try:
+            shm, pop = attach_population(shared.name, shared.n)
+            try:
+                assert len(pop) == len(crossing_pair)
+                for name in ELEMENT_FIELDS:
+                    np.testing.assert_array_equal(
+                        getattr(pop, name), getattr(crossing_pair, name)
+                    )
+            finally:
+                del pop
+                shm.close()
+        finally:
+            shared.close()
+
+    def test_attached_arrays_are_views_into_the_block(self, crossing_pair):
+        """The worker-side population must be zero-copy: mutating the block
+        through the segment must show through the element arrays."""
+        shared = SharedPopulation(crossing_pair)
+        try:
+            shm, pop = attach_population(shared.name, shared.n)
+            try:
+                block = np.ndarray(
+                    (len(ELEMENT_FIELDS), shared.n), dtype=np.float64, buffer=shm.buf
+                )
+                block[0, 0] = 12345.0
+                assert pop.a[0] == 12345.0
+                del block
+            finally:
+                del pop
+                shm.close()
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent(self, crossing_pair):
+        shared = SharedPopulation(crossing_pair)
+        shared.close()
+        shared.close()  # second close/unlink must not raise
+
+
+class TestProcessesBitIdentity:
+    """Acceptance gate: the processes executor is bit-identical to the
+    serial executor and to plain ``screen_grid`` for every device count."""
+
+    @pytest.mark.parametrize("n_devices", [1, 2, 4])
+    def test_matches_serial_and_single_device(self, crossing_pair, n_devices):
+        single = screen(crossing_pair, CFG, method="grid", backend="vectorized")
+        serial, _ = screen_grid_multidevice(
+            crossing_pair, CFG, n_devices, executor="serial"
+        )
+        procs, reports = screen_grid_multidevice(
+            crossing_pair, CFG, n_devices, executor="processes"
+        )
+        for result in (serial, procs):
+            np.testing.assert_array_equal(result.i, single.i)
+            np.testing.assert_array_equal(result.j, single.j)
+            np.testing.assert_array_equal(result.tca_s, single.tca_s)
+            np.testing.assert_array_equal(result.pca_km, single.pca_km)
+        assert procs.extra["executor"] == "processes"
+        assert len(reports) == n_devices
+        assert sum(r.steps_processed for r in reports) == len(CFG.sample_times())
+
+    def test_reports_match_serial_executor(self, crossing_pair):
+        _, serial_reports = screen_grid_multidevice(
+            crossing_pair, CFG, 2, executor="serial"
+        )
+        _, procs_reports = screen_grid_multidevice(
+            crossing_pair, CFG, 2, executor="processes"
+        )
+        assert procs_reports == serial_reports
+
+
+class TestProcessesObservability:
+    @pytest.fixture(scope="class")
+    def traced_run(self, crossing_pair):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        result, reports = screen_grid_multidevice(
+            crossing_pair, CFG, 2, executor="processes",
+            tracer=tracer, metrics=metrics,
+        )
+        return result, reports, tracer, metrics
+
+    def test_trace_schema_valid_with_device_spans(self, traced_run):
+        _, _, tracer, metrics = traced_run
+        trace = to_chrome_trace(tracer, metrics)
+        assert validate_chrome_trace(trace) == []
+        assert validate_nesting(trace) == []
+        devices = tracer.spans("device")
+        assert sorted(s.attrs["device"] for s in devices) == [0, 1]
+
+    def test_worker_spans_reparent_under_the_window(self, traced_run):
+        _, _, tracer, _ = traced_run
+        (window,) = tracer.spans("window")
+        assert window.attrs["executor"] == "processes"
+        for dev in tracer.spans("device"):
+            assert dev.parent_id == window.span_id
+        # The workers' phase spans hang off their device span, never float.
+        for span in tracer.records():
+            if span.name.startswith("phase:") and span.parent_id != window.span_id:
+                names = [a.name for a in tracer.ancestry(span)]
+                assert "device" in names and "window" in names
+
+    def test_funnel_merges_to_conjunction_count(self, traced_run):
+        result, _, _, metrics = traced_run
+        funnel = metrics.funnels["screen"]
+        assert funnel.check() == []
+        assert funnel.stages[-1].n_out == result.n_conjunctions
+        snapshot = metrics.as_dict()["funnels"]["screen"]
+        assert validate_funnel(snapshot, result.n_conjunctions) == []
+
+    def test_metrics_match_serial_executor(self, traced_run, crossing_pair):
+        """Counter merging across processes is lossless: the pipeline-level
+        counters equal the serial executor's bit for bit."""
+        _, _, _, metrics = traced_run
+        serial_metrics = MetricsRegistry()
+        screen_grid_multidevice(
+            crossing_pair, CFG, 2, executor="serial", metrics=serial_metrics
+        )
+        procs = metrics.as_dict()
+        serial = serial_metrics.as_dict()
+        for key in ("cd.pairs_emitted", "cd.rounds", "grid.lanes"):
+            assert procs["counters"][key] == serial["counters"][key]
+        assert procs["funnels"]["screen"] == serial["funnels"]["screen"]
+
+    def test_worker_phase_timers_merge(self, traced_run):
+        result, _, _, _ = traced_run
+        assert result.timers.totals["INS"] > 0.0
+        assert result.timers.totals["CD"] > 0.0
+        assert "REF" in result.timers.totals
+
+
+class TestProcessesOverflowRecovery:
+    def test_regrow_replay_inside_a_worker(self, crossing_pair):
+        """A starved conjunction map inside a spawned shard must overflow,
+        regrow, replay — and still merge to the identical result with no
+        duplicated records."""
+        baseline, _ = screen_grid_multidevice(
+            crossing_pair, CFG, 2, executor="processes"
+        )
+        starved, reports = screen_grid_multidevice(
+            crossing_pair, CFG, 2, executor="processes", initial_capacity=8
+        )
+        assert any(r.regrows > 0 for r in reports)
+        np.testing.assert_array_equal(starved.i, baseline.i)
+        np.testing.assert_array_equal(starved.j, baseline.j)
+        np.testing.assert_array_equal(starved.tca_s, baseline.tca_s)
+        np.testing.assert_array_equal(starved.pca_km, baseline.pca_km)
+        assert starved.candidates_refined == baseline.candidates_refined

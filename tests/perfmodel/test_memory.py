@@ -6,8 +6,12 @@ import pytest
 from repro.perfmodel.memory import (
     ENTRY_BYTES,
     MIN_CONJUNCTIONS,
+    MIN_DEVICE_CONJUNCTIONS,
     SLOT_BYTES,
     conjunction_capacity,
+    device_conjunction_capacity,
+    grid_instance_bytes,
+    plan_device_memory,
     plan_memory,
 )
 
@@ -84,3 +88,75 @@ class TestPlan:
         grid = plan_memory(n, 1.0, 3600.0, 2.0, "grid", budget_bytes=384 * GB, auto_adjust=False)
         hybrid = plan_memory(n, 9.0, 3600.0, 2.0, "hybrid", budget_bytes=384 * GB, auto_adjust=False)
         assert grid.conjunction_map_bytes < hybrid.conjunction_map_bytes
+
+
+class TestGridInstanceBytes:
+    def test_matches_plan_per_grid_cost(self):
+        """One source of truth: the helper equals the plan's per-grid
+        accounting, so multidevice peak bytes can't drift from Section V-B."""
+        n = 64000
+        plan = plan_memory(n, 9.0, 3600.0, 2.0, "grid", budget_bytes=24 * GB, auto_adjust=False)
+        assert grid_instance_bytes(n) == plan.per_grid_bytes
+        assert grid_instance_bytes(n) == 2 * n * SLOT_BYTES + n * ENTRY_BYTES
+
+
+class TestDeviceCapacity:
+    def test_divides_full_capacity(self):
+        full = conjunction_capacity(1_024_000, 9.0, 86400.0, 2.0, "grid")
+        per_device = device_conjunction_capacity(1_024_000, 9.0, 86400.0, 2.0, "grid", 4)
+        assert per_device == full // 4
+
+    def test_floor_protects_starved_shards(self):
+        cap = device_conjunction_capacity(2000, 1.0, 3600.0, 2.0, "grid", 10**6)
+        assert cap == MIN_DEVICE_CONJUNCTIONS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            device_conjunction_capacity(2000, 1.0, 3600.0, 2.0, "grid", 0)
+
+
+class TestDevicePlan:
+    def test_reflects_the_actual_shard(self):
+        """total_samples is the device's round-robin shard length, not a
+        duration re-derivation; the map gets the runtime's per-device slots."""
+        plan = plan_device_memory(
+            64000, 9.0, 3600.0, 2.0, "grid", budget_bytes=24 * GB,
+            n_devices=3, device_steps=134,
+        )
+        assert plan.total_samples == 134
+        assert plan.conjunction_map_slots == device_conjunction_capacity(
+            64000, 9.0, 3600.0, 2.0, "grid", 3
+        )
+        assert plan.computation_rounds * plan.parallel_steps >= 134
+        assert plan.total_bytes <= plan.budget_bytes
+
+    def test_smaller_map_than_full_run_plan(self):
+        full = plan_memory(1_024_000, 9.0, 3600.0, 2.0, "grid",
+                           budget_bytes=384 * GB, auto_adjust=False)
+        device = plan_device_memory(
+            1_024_000, 9.0, 3600.0, 2.0, "grid", budget_bytes=384 * GB,
+            n_devices=4, device_steps=full.total_samples // 4,
+        )
+        assert device.conjunction_map_bytes < full.conjunction_map_bytes
+        assert device.per_grid_bytes == full.per_grid_bytes
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="cannot hold even one grid"):
+            plan_device_memory(
+                1_000_000, 9.0, 3600.0, 2.0, "grid", budget_bytes=10**6,
+                n_devices=2, device_steps=100,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_device_memory(0, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB,
+                               n_devices=2, device_steps=10)
+        with pytest.raises(ValueError):
+            plan_device_memory(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=0,
+                               n_devices=2, device_steps=10)
+        with pytest.raises(ValueError):
+            plan_device_memory(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB,
+                               n_devices=2, device_steps=-1)
+        with pytest.raises(ValueError):
+            plan_device_memory(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB,
+                               n_devices=0, device_steps=10)

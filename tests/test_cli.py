@@ -132,3 +132,45 @@ def test_screen_hashmap_grid_impl_flag(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "hashmap.probe_length" in out
+
+
+def test_screen_multidevice_serial(capsys):
+    rc = main(
+        ["screen", "--objects", "50", "--seed", "3", "--method", "grid",
+         "--duration-s", "300", "--threshold-km", "5", "--sps", "2",
+         "--n-devices", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sharded over 2 devices (serial executor)" in out
+    assert "device 0:" in out and "device 1:" in out
+    assert "grid-multidevice" in out
+
+
+def test_screen_multidevice_processes_executor(capsys):
+    rc = main(
+        ["screen", "--objects", "30", "--seed", "3", "--method", "grid",
+         "--duration-s", "200", "--threshold-km", "5", "--sps", "2",
+         "--n-devices", "2", "--executor", "processes"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sharded over 2 devices (processes executor)" in out
+
+
+def test_screen_n_devices_requires_grid_method():
+    with pytest.raises(SystemExit, match="--method grid"):
+        main(["screen", "--objects", "20", "--method", "hybrid",
+              "--n-devices", "2"])
+
+
+def test_screen_executor_requires_n_devices():
+    with pytest.raises(SystemExit, match="--executor requires --n-devices"):
+        main(["screen", "--objects", "20", "--method", "grid",
+              "--duration-s", "200", "--executor", "processes"])
+
+
+def test_screen_rejects_unknown_executor():
+    with pytest.raises(SystemExit):
+        main(["screen", "--method", "grid", "--n-devices", "2",
+              "--executor", "mpi"])
