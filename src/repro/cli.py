@@ -46,6 +46,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="print the full analyst report (histograms, timeline)")
     p_screen.add_argument("--grid-impl", choices=("sorted", "hashmap"), default="sorted",
                           help="vectorized grid implementation")
+    p_screen.add_argument("--precision", choices=("fp64", "mixed"), default="fp64",
+                          help="arithmetic policy: 'mixed' runs the broad phase "
+                               "(propagation, grid keys, candidate emission) in "
+                               "float32 with an error-bounded cell pad; refinement "
+                               "always stays float64")
     p_screen.add_argument("--n-devices", type=int, metavar="D",
                           help="shard the sampling steps over D virtual devices "
                                "(grid variant; Section VI multi-GPU analogue)")
@@ -71,6 +76,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--threshold-km", type=float, default=2.0)
     p_plan.add_argument("--duration-s", type=float, default=3600.0)
     p_plan.add_argument("--sps", type=float, default=9.0)
+    p_plan.add_argument("--precision", choices=("fp64", "mixed"), default="fp64",
+                        help="price the per-grid bytes for this arithmetic policy")
     return parser
 
 
@@ -98,6 +105,7 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         hybrid_seconds_per_sample=args.hybrid_sps,
         n_threads=args.threads,
         grid_impl=args.grid_impl,
+        precision=args.precision,
     )
     tracer = None
     metrics = None
@@ -195,8 +203,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         threshold_km=args.threshold_km,
         variant=args.variant,
         budget_bytes=int(args.budget_gb * 2**30),
+        precision=args.precision,
     )
-    print(f"memory plan for {plan.n_satellites} objects ({plan.variant} variant):")
+    print(f"memory plan for {plan.n_satellites} objects "
+          f"({plan.variant} variant, {plan.precision} precision):")
     print(f"  seconds per sample : {plan.requested_seconds_per_sample} -> {plan.seconds_per_sample}"
           + ("  (auto-adjusted)" if plan.was_adjusted else ""))
     print(f"  satellite data     : {plan.satellite_bytes / 2**20:10.2f} MiB")

@@ -53,10 +53,18 @@ def screen_grid(
     n = len(population)
 
     with timers.phase("ALLOC"):
-        cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
+        # The grid bins positions with the (precision-padded) cell; REF
+        # search intervals keep using the unpadded Eq. (1) cell so the
+        # refinement of a given record is identical across precisions.
+        cell = cell_size_km(
+            config.threshold_km, config.seconds_per_sample, precision=config.precision
+        )
+        ref_cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
         times = config.sample_times()
         conj = _make_conjmap(n, config, "grid", config.seconds_per_sample)
-        propagator = Propagator(population, solver=config.solver)
+        propagator = Propagator(
+            population, solver=config.solver, precision=config.precision
+        )
         ids = np.arange(n, dtype=np.int64)
         plan = None
         round_size = None
@@ -69,6 +77,7 @@ def screen_grid(
                 "grid",
                 config.memory_budget_bytes,
                 auto_adjust=False,
+                precision=config.precision,
             )
             round_size = plan.parallel_steps
 
@@ -84,7 +93,7 @@ def screen_grid(
         rec_i, rec_j, rec_step = conj.records()
         n_records = len(rec_i)
         centers = times[rec_step]
-        radii = interval_radii(population, rec_i, rec_j, cell)
+        radii = interval_radii(population, rec_i, rec_j, ref_cell)
         sieved_away = 0
         if config.use_smart_sieve and len(rec_i):
             keep = sieve_records(
@@ -101,6 +110,7 @@ def screen_grid(
         i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
 
     if metrics is not None:
+        metrics.counter(f"screen.precision_{config.precision}").add(1)
         funnel = metrics.funnel("screen")
         funnel.record("emit", metrics.counter("cd.pairs_emitted").value, n_records)
         funnel.record("sieve", n_records, n_records - sieved_away)
@@ -119,6 +129,8 @@ def screen_grid(
         metrics=metrics,
         extra={
             "cell_size_km": cell,
+            "ref_cell_size_km": ref_cell,
+            "precision": config.precision,
             "n_steps": len(times),
             "conjunction_map_capacity": conj.capacity,
             "conjunction_records": conj.size,
@@ -193,17 +205,18 @@ def collect_grid_candidates(
                 with timers.phase("INS"):
                     positions = propagator.positions_batch(chunk)
                     grid = _build_round_grid(ids, positions, cell, config)
+                with timers.phase("CD"):
+                    ci, cj, csteps = grid.candidate_pair_steps()
                 try:
                     with timers.phase("CD"):
-                        ci, cj, csteps = grid.candidate_pair_steps()
                         conj.insert_batch(ci, cj, csteps + chunk_start)
                 except ConjunctionMapFullError:
-                    conj = _regrow(conj)
+                    conj = _regrow(conj, incoming=len(ci), metrics=metrics)
                     continue  # replay this round into the regrown map
                 if metrics is not None:
                     metrics.counter("cd.pairs_emitted").add(len(ci))
                     metrics.counter("cd.rounds").add(1)
-                    observe_grid(metrics, grid)
+                    observe_grid(metrics, grid, precision=config.precision)
             chunk_start += len(chunk)
         return conj
 
@@ -230,27 +243,27 @@ def collect_grid_candidates(
                 with timers.phase("CD"):
                     if backend == "vectorized":
                         ci, cj = grid.candidate_pairs()
-                        conj.insert_batch(ci, cj, step)
                         emitted = len(ci)
+                        conj.insert_batch(ci, cj, step)
                     elif backend == "threads":
                         # Section IV-A3: non-empty slots are examined in
                         # parallel, each thread inserting into the shared map.
                         pairs = grid.candidate_pairs_parallel(n_threads=config.n_threads)
+                        emitted = len(pairs)
                         for a, b in pairs:
                             conj.insert(a, b, step)
-                        emitted = len(pairs)
                     else:
                         pairs = grid.candidate_pairs()
+                        emitted = len(pairs)
                         for a, b in pairs:
                             conj.insert(a, b, step)
-                        emitted = len(pairs)
             except ConjunctionMapFullError:
-                conj = _regrow(conj)
+                conj = _regrow(conj, incoming=emitted, metrics=metrics)
                 continue  # replay this step into the regrown map
             if metrics is not None:
                 metrics.counter("cd.pairs_emitted").add(emitted)
                 metrics.counter("cd.rounds").add(1)
-                observe_grid(metrics, grid)
+                observe_grid(metrics, grid, precision=config.precision)
         step += 1
     return conj
 
@@ -286,10 +299,26 @@ def _build_grid(ids, positions, cell, config: ScreeningConfig, backend: str):
     return grid
 
 
-def _regrow(old: ConjunctionMap) -> ConjunctionMap:
-    new = ConjunctionMap(old.capacity * 2)
+def _next_pow2(x: int) -> int:
+    """Smallest power of two >= ``x`` (1 for non-positive ``x``)."""
+    return 1 if x <= 1 else 1 << (x - 1).bit_length()
+
+
+def _regrow(old: ConjunctionMap, incoming: int = 0, metrics=None) -> ConjunctionMap:
+    """Regrow an overflowed conjunction map in **one** step.
+
+    Sized to ``max(2·capacity, next_pow2(records + incoming))``: a round
+    whose candidate batch dwarfs the current capacity regrows once instead
+    of doubling (and replaying the whole round) log2 times.  ``incoming``
+    is the size of the batch whose insertion overflowed — an upper bound,
+    since deduplication may absorb part of it.
+    """
+    capacity = max(old.capacity * 2, _next_pow2(old.size + incoming))
+    new = ConjunctionMap(capacity)
     i, j, step = old.records()
     new.insert_batch(i, j, step)
+    if metrics is not None:
+        metrics.counter("conjmap.regrows").add(1)
     return new
 
 
@@ -308,12 +337,21 @@ def sieve_records(
     interval ``[c - r, c + r]``, padded for gravitational curvature; a
     record whose segment provably stays above the threshold needs no Brent
     search.  States are computed once per distinct sample time.
+
+    Records are grouped by sample time with one stable argsort and
+    contiguous CSR slices (like the grids' ``_group_sorted``) — the old
+    per-unique-time ``centers == t`` full scans were O(records × unique
+    steps), quadratic over a fine-sampled span.
     """
     from repro.filters.smart_sieve import curvature_pad_km
+    from repro.spatial.vectorgrid import _group_sorted
 
     keep = np.ones(len(rec_i), dtype=bool)
-    for t in np.unique(centers):
-        sel = np.nonzero(centers == t)[0]
+    order = np.argsort(centers, kind="stable")
+    uniq_t, start, counts = _group_sorted(centers[order])
+    for g in range(len(uniq_t)):
+        t = uniq_t[g]
+        sel = order[start[g] : start[g] + counts[g]]
         pos, vel = propagator.states(float(t))
         ii = rec_i[sel]
         jj = rec_j[sel]

@@ -68,12 +68,18 @@ def screen_hybrid(
                 config.threshold_km,
                 "hybrid",
                 config.memory_budget_bytes,
+                precision=config.precision,
             )
             sps = plan.seconds_per_sample
-        cell = cell_size_km(config.threshold_km, sps)
+        # Padded cell for the float32 grid build; unpadded cell for the
+        # refinement intervals (see screen_grid).
+        cell = cell_size_km(config.threshold_km, sps, precision=config.precision)
+        ref_cell = cell_size_km(config.threshold_km, sps)
         times = config.sample_times(sps)
         conj = _make_conjmap(n, config, "hybrid", sps)
-        propagator = Propagator(population, solver=config.solver)
+        propagator = Propagator(
+            population, solver=config.solver, precision=config.precision
+        )
         ids = np.arange(n, dtype=np.int64)
 
     with tracer.span("phase:GRID"):
@@ -84,6 +90,7 @@ def screen_hybrid(
         )
     if metrics is not None:
         observe_conjmap(metrics, conj)
+        metrics.counter(f"screen.precision_{config.precision}").add(1)
     funnel = metrics.funnel("screen") if metrics is not None else None
 
     with timers.phase("COP"):
@@ -124,7 +131,7 @@ def screen_hybrid(
         rec_mask_cop = _records_in(rec_i, rec_j, cop_set)
         centers = times[rec_step[rec_mask_cop]]
         radii = interval_radii(
-            population, rec_i[rec_mask_cop], rec_j[rec_mask_cop], cell
+            population, rec_i[rec_mask_cop], rec_j[rec_mask_cop], ref_cell
         )
         ci, cj, ctca, cpca = refine_records(
             population,
@@ -174,6 +181,8 @@ def screen_hybrid(
         metrics=metrics,
         extra={
             "cell_size_km": cell,
+            "ref_cell_size_km": ref_cell,
+            "precision": config.precision,
             "n_steps": len(times),
             "seconds_per_sample": sps,
             "memory_plan": plan,

@@ -64,6 +64,14 @@ class ScreeningConfig:
     #: Optional memory budget in bytes for the Section V-B planner; when
     #: set, the effective seconds-per-sample may be reduced automatically.
     memory_budget_bytes: "int | None" = None
+    #: Pipeline-wide arithmetic policy.  ``fp64`` runs everything in double
+    #: precision (the reference).  ``mixed`` runs the broad phase (INS
+    #: propagation, cell keys, candidate emission) in float32 — the GPU's
+    #: native throughput currency — with the cell size padded by the
+    #: worst-case float32 rounding error (:func:`repro.spatial.grid
+    #: .fp32_cell_pad_km`) so no true conjunction is ever missed, while REF
+    #: keeps solving in float64 from the float64 elements.
+    precision: str = "fp64"
 
     def __post_init__(self) -> None:
         if self.threshold_km <= 0.0:
@@ -80,6 +88,8 @@ class ScreeningConfig:
             raise ValueError(f"grid_impl must be 'sorted' or 'hashmap', got {self.grid_impl!r}")
         if self.ref_engine not in ("batch", "scalar"):
             raise ValueError(f"ref_engine must be 'batch' or 'scalar', got {self.ref_engine!r}")
+        if self.precision not in ("fp64", "mixed"):
+            raise ValueError(f"precision must be 'fp64' or 'mixed', got {self.precision!r}")
         if self.legacy_samples_per_period < 4:
             raise ValueError("legacy_samples_per_period must be at least 4")
 

@@ -87,17 +87,22 @@ def observe_occupancy(metrics: MetricsRegistry, cell_counts: np.ndarray) -> None
     metrics.histogram("grid.cell_occupancy", OCCUPANCY_EDGES).observe(counts)
 
 
-def observe_grid(metrics: MetricsRegistry, grid) -> None:
+def observe_grid(metrics: MetricsRegistry, grid, precision: str = "fp64") -> None:
     """Dispatch on the grid implementation and record its health metrics.
 
     Accepts :class:`~repro.spatial.vectorgrid.SortedGrid` (occupancy
     only — it has no hash table), :class:`~repro.spatial.vectorgrid
     .VectorHashGrid` (occupancy + table + CAS round counters) and
     :class:`~repro.spatial.grid.UniformGrid` (occupancy + table).
+
+    ``precision`` is the pipeline's arithmetic policy: each build is also
+    counted under ``grid.builds_fp64`` / ``grid.builds_mixed``, so merged
+    registries record which precision produced the structure metrics.
     """
     from repro.spatial.grid import UniformGrid
     from repro.spatial.vectorgrid import SortedGrid, VectorHashGrid, _group_sorted
 
+    metrics.counter(f"grid.builds_{precision}").add(1)
     if isinstance(grid, SortedGrid):
         observe_occupancy(metrics, grid.counts)
     elif isinstance(grid, VectorHashGrid):

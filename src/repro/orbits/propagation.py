@@ -39,6 +39,18 @@ class Propagator:
         sampling steps move ``E`` only slightly, so the warm solve needs
         1–2 iterations instead of ~5).  Direct solvers ignore the cache.
 
+    precision:
+        ``fp64`` (default) emits float64 positions.  ``mixed`` emits
+        float32 positions for the broad phase: the Kepler solve and the
+        warm-start cache stay float64 (authoritative — float32 anomalies
+        would drift the cache and blow the error budget), and only the
+        final rotation runs in float32 (cast trig of the fp64 anomaly,
+        float32 copies of the scaled basis vectors).  Per-axis error is
+        bounded by a few float32 ulps of the orbital radius, which the
+        grid's :func:`repro.spatial.grid.fp32_cell_pad_km` pad covers.
+        ``states``/``velocities``/``speeds`` (refinement inputs) always
+        stay float64.
+
     Notes
     -----
     The constructor performs the one-time precomputation (the paper's
@@ -54,11 +66,17 @@ class Propagator:
         solver: str = "newton",
         warm_start: bool = True,
         telemetry=None,
+        precision: str = "fp64",
     ) -> None:
+        if precision not in ("fp64", "mixed"):
+            raise ValueError(f"precision must be 'fp64' or 'mixed', got {precision!r}")
         self.population = population
         self.solver = solver
         self.warm_start = warm_start and solver in WARM_SOLVERS
         self.telemetry = telemetry
+        self.precision = precision
+        #: Lazily materialised float32 copies of the scaled basis vectors.
+        self._basis32: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
         #: Last solved eccentric anomaly per satellite, shape ``(n,)``;
         #: None until the first solve.
         self._warm_E: "np.ndarray | None" = None
@@ -97,14 +115,31 @@ class Propagator:
             self._warm_E = np.atleast_1d(E)
         return E
 
+    def _fp32_basis(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        if self._basis32 is None:
+            self._basis32 = (
+                self._pa.astype(np.float32),
+                self._qb.astype(np.float32),
+                self._focus_offset.astype(np.float32),
+            )
+        return self._basis32
+
     def positions(self, t: float) -> np.ndarray:
         """ECI positions of all objects at time ``t``, km, shape ``(n, 3)``.
 
         Uses the ellipse parameterisation
         ``r = P*a*(cos E - e) + Q*b*sin E``, which avoids the extra
-        eccentric-to-true conversion in the hot path.
+        eccentric-to-true conversion in the hot path.  With
+        ``precision="mixed"`` the rotation runs in float32 (the Kepler
+        solve above it stays float64) and the result is a float32 array.
         """
         E = self.eccentric_anomaly(t)
+        if self.precision == "mixed":
+            e32 = E.astype(np.float32)
+            cos_e = np.cos(e32)[:, None]
+            sin_e = np.sin(e32)[:, None]
+            pa, qb, foc = self._fp32_basis()
+            return pa * cos_e - foc + qb * sin_e
         cos_e = np.cos(E)[:, None]
         sin_e = np.sin(E)[:, None]
         return self._pa * cos_e - self._focus_offset + self._qb * sin_e
@@ -141,6 +176,16 @@ class Propagator:
             # Direct solvers (contour) are written for 1-D batches: flatten.
             e_tiled = np.broadcast_to(pop.e[None, :], m.shape)
             E = mean_to_eccentric(m.ravel(), e_tiled.ravel(), solver=self.solver).reshape(m.shape)
+        if self.precision == "mixed":
+            # The float32 bulk path: trig of the float64-solved anomaly in
+            # float32, FMA against the float32 basis copies.  Halves the
+            # (p, n, 3) round traffic, which dominates once the warm-started
+            # Kepler solves converge in 1-2 iterations.
+            e32 = E.astype(np.float32)
+            cos_e = np.cos(e32)[:, :, None]
+            sin_e = np.sin(e32)[:, :, None]
+            pa, qb, foc = self._fp32_basis()
+            return pa[None, :, :] * cos_e - foc[None, :, :] + qb[None, :, :] * sin_e
         cos_e = np.cos(E)[:, :, None]
         sin_e = np.sin(E)[:, :, None]
         return self._pa[None, :, :] * cos_e - self._focus_offset[None, :, :] + self._qb[None, :, :] * sin_e

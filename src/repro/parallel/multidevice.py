@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.detection.gridbased import refine_records
+from repro.detection.gridbased import _regrow, refine_records
 from repro.detection.pca_tca import interval_radii, merge_conjunctions
 from repro.detection.types import ScreeningConfig, ScreeningResult
 from repro.obs.collect import observe_conjmap, observe_grid
@@ -130,7 +130,7 @@ def run_device_shard(
             "grid", n_devices,
         )
     conj = ConjunctionMap(initial_capacity)
-    grid_bytes = grid_instance_bytes(n)
+    grid_bytes = grid_instance_bytes(n, config.precision)
     peak = 0
     regrows = 0
     span = (
@@ -146,21 +146,19 @@ def run_device_shard(
                 positions = propagator.positions(float(times[step]))
                 grid = SortedGrid(cell)
                 grid.build(ids, positions)
+            with timers.phase("CD"):
+                ci, cj = grid.candidate_pairs()
             try:
                 with timers.phase("CD"):
-                    ci, cj = grid.candidate_pairs()
                     conj.insert_batch(ci, cj, step)
             except ConjunctionMapFullError:
-                bigger = ConjunctionMap(conj.capacity * 2)
-                ri, rj, rs = conj.records()
-                bigger.insert_batch(ri, rj, rs)
-                conj = bigger
+                conj = _regrow(conj, incoming=len(ci), metrics=metrics)
                 regrows += 1
                 continue  # replay this step into the regrown map
             if metrics is not None:
                 metrics.counter("cd.pairs_emitted").add(len(ci))
                 metrics.counter("cd.rounds").add(1)
-                observe_grid(metrics, grid)
+                observe_grid(metrics, grid, precision=config.precision)
             peak = max(peak, conj.memory_bytes + grid_bytes)
             k += 1
     if metrics is not None:
@@ -230,7 +228,11 @@ def screen_grid_multidevice(
     )
     with window:
         with timers.phase("ALLOC"):
-            cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
+            cell = cell_size_km(
+                config.threshold_km, config.seconds_per_sample,
+                precision=config.precision,
+            )
+            ref_cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
             times = config.sample_times()
             shards = partition_steps(len(times), n_devices)
             ids = np.arange(n, dtype=np.int64)
@@ -245,7 +247,9 @@ def screen_grid_multidevice(
                 parent_span_id=window.span_id if tracer.enabled else -1,
             )
         else:
-            propagator = Propagator(population, solver=config.solver)
+            propagator = Propagator(
+                population, solver=config.solver, precision=config.precision
+            )
             shard_results = []
             for device, steps in enumerate(shards):
                 shard_results.append(
@@ -276,6 +280,7 @@ def screen_grid_multidevice(
                     device_budget_bytes,
                     n_devices=n_devices,
                     device_steps=len(shards[stats.device]),
+                    precision=config.precision,
                 )
             reports.append(
                 DeviceReport(
@@ -302,7 +307,7 @@ def screen_grid_multidevice(
                 order = np.argsort(pack_pair_key(rec_i, rec_j, rec_step))
                 rec_i, rec_j, rec_step = rec_i[order], rec_j[order], rec_step[order]
             centers = times[rec_step]
-            radii = interval_radii(population, rec_i, rec_j, cell)
+            radii = interval_radii(population, rec_i, rec_j, ref_cell)
             i, j, tca, pca = refine_records(
                 population, rec_i, rec_j, centers, radii, config, "vectorized",
                 telemetry=timers.ref,
@@ -311,6 +316,7 @@ def screen_grid_multidevice(
             i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
 
     if metrics is not None:
+        metrics.counter(f"screen.precision_{config.precision}").add(1)
         funnel = metrics.funnel("screen")
         funnel.record("emit", metrics.counter("cd.pairs_emitted").value, len(rec_i))
         funnel.record("refine", len(rec_i), raw_hits)
@@ -330,6 +336,8 @@ def screen_grid_multidevice(
             "n_devices": n_devices,
             "executor": executor,
             "cell_size_km": cell,
+            "ref_cell_size_km": ref_cell,
+            "precision": config.precision,
             "n_steps": len(times),
             "ref_telemetry": timers.ref.as_dict(),
         },

@@ -140,7 +140,11 @@ def _screen_shard_worker(task: ShardTask) -> ShardOutcome:
         tracer = Tracer() if task.trace else NULL_TRACER
         timers = PhaseTimer(tracer=tracer)
         metrics = MetricsRegistry() if task.collect_metrics else None
-        propagator = Propagator(population, solver=task.config.solver)
+        # The config rides the pickled task, so the precision policy (and
+        # with it the float32 broad phase) reaches every worker unchanged.
+        propagator = Propagator(
+            population, solver=task.config.solver, precision=task.config.precision
+        )
         ids = np.arange(task.n_objects, dtype=np.int64)
         times = task.config.sample_times()
         steps = partition_steps(len(times), task.n_devices)[task.device]

@@ -35,6 +35,15 @@ SLOT_BYTES = 16
 #: Bytes per linked-list satellite entry: id, slot, next, 3 coordinates.
 ENTRY_BYTES = 6 * 8
 
+#: Mixed-precision (``precision="mixed"``) per-slot cost: the modelled GPU
+#: layout narrows the per-step key and value to 32 bits (a per-step grid
+#: never needs more than 32-bit cell keys or satellite indices).
+SLOT_BYTES_MIXED = 8
+
+#: Mixed-precision per-entry cost: 32-bit id/slot/next plus three float32
+#: coordinates — exactly half of :data:`ENTRY_BYTES`.
+ENTRY_BYTES_MIXED = 6 * 4
+
 #: The paper's target parallelisation factor: one CUDA block of the grid
 #: conjunction-detection kernel.
 TARGET_PARALLEL_FACTOR = 512
@@ -47,14 +56,22 @@ MIN_CONJUNCTIONS = 10_000
 MIN_DEVICE_CONJUNCTIONS = 1_000
 
 
-def grid_instance_bytes(n_satellites: int) -> int:
+def grid_instance_bytes(n_satellites: int, precision: str = "fp64") -> int:
     """Footprint of one per-step grid instance: ``a_gh + a_l``.
 
     The hash area (2 slots per satellite at :data:`SLOT_BYTES`) plus the
     entry pool (:data:`ENTRY_BYTES` per satellite) — the single source of
     truth for the per-grid constants, shared by :class:`MemoryPlan` and
     the multi-device peak-byte accounting.
+
+    ``precision="mixed"`` prices the float32 broad phase
+    (:data:`SLOT_BYTES_MIXED` / :data:`ENTRY_BYTES_MIXED`): 40 bytes per
+    satellite instead of 80, which doubles the parallelisation factor
+    ``p`` under a fixed budget.  Note this models the paper's CUDA layout;
+    the numpy emulation keeps 64-bit compound keys at runtime.
     """
+    if precision == "mixed":
+        return 2 * n_satellites * SLOT_BYTES_MIXED + n_satellites * ENTRY_BYTES_MIXED
     return 2 * n_satellites * SLOT_BYTES + n_satellites * ENTRY_BYTES
 
 
@@ -125,6 +142,10 @@ class MemoryPlan:
     #: Total samples ``o`` and computation rounds ``r_c``.
     total_samples: int
     computation_rounds: int
+    #: Arithmetic policy the grid/round bytes were priced for ("fp64" or
+    #: "mixed"); fixed allocations (elements, solver data, conjunction map)
+    #: stay float64 under both.
+    precision: str = "fp64"
 
     @property
     def per_grid_bytes(self) -> int:
@@ -183,17 +204,24 @@ def _plan_once(
     budget_bytes: int,
     conj_slots: "int | None" = None,
     total_samples: "int | None" = None,
+    precision: str = "fp64",
 ) -> MemoryPlan:
     """One planning pass.  ``conj_slots`` / ``total_samples`` override the
     duration-derived defaults for device shards, whose conjunction map and
-    step count are fixed by the sharding, not by the full-run formulas."""
+    step count are fixed by the sharding, not by the full-run formulas.
+
+    ``precision`` prices the per-grid byte costs by dtype; the fixed
+    allocations (float64 elements, solver data, the 64-bit-record
+    conjunction map) are precision-independent."""
+    slot_b = SLOT_BYTES_MIXED if precision == "mixed" else SLOT_BYTES
+    entry_b = ENTRY_BYTES_MIXED if precision == "mixed" else ENTRY_BYTES
     a_s = n * SATELLITE_RECORD_BYTES
     a_k = n * SOLVER_RECORD_BYTES
     if conj_slots is None:
         conj_slots = conjunction_capacity(n, seconds_per_sample, duration_s, threshold_km, variant)
     a_ch = conj_slots * SLOT_BYTES
-    a_gh = 2 * n * SLOT_BYTES
-    a_l = n * ENTRY_BYTES
+    a_gh = 2 * n * slot_b
+    a_l = n * entry_b
     free = budget_bytes - a_s - a_k - a_ch
     p = max(int(free // (a_gh + a_l)), 0)
     if total_samples is None:
@@ -216,6 +244,7 @@ def _plan_once(
         parallel_steps=p,
         total_samples=o,
         computation_rounds=r_c,
+        precision=precision,
     )
 
 
@@ -228,6 +257,7 @@ def plan_memory(
     budget_bytes: int,
     auto_adjust: bool = True,
     target_parallel: int = TARGET_PARALLEL_FACTOR,
+    precision: str = "fp64",
 ) -> MemoryPlan:
     """Plan a run's memory, optionally auto-reducing ``s_ps``.
 
@@ -249,11 +279,17 @@ def plan_memory(
         raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
     requested = seconds_per_sample
     sps = seconds_per_sample
-    plan = _plan_once(n_satellites, sps, duration_s, threshold_km, variant, budget_bytes)
+    plan = _plan_once(
+        n_satellites, sps, duration_s, threshold_km, variant, budget_bytes,
+        precision=precision,
+    )
     if auto_adjust:
         while plan.parallel_steps < min(target_parallel, plan.total_samples) and sps > 1.0:
             sps = max(sps - 1.0, 1.0)
-            plan = _plan_once(n_satellites, sps, duration_s, threshold_km, variant, budget_bytes)
+            plan = _plan_once(
+                n_satellites, sps, duration_s, threshold_km, variant, budget_bytes,
+                precision=precision,
+            )
     if plan.parallel_steps == 0:
         raise ValueError(
             f"memory budget {budget_bytes} B cannot hold even one grid instance for "
@@ -277,6 +313,7 @@ def plan_device_memory(
     budget_bytes: int,
     n_devices: int,
     device_steps: int,
+    precision: str = "fp64",
 ) -> MemoryPlan:
     """The Section V-B plan of **one device shard** of a multi-device run.
 
@@ -311,6 +348,7 @@ def plan_device_memory(
         budget_bytes,
         conj_slots=conj_slots,
         total_samples=device_steps,
+        precision=precision,
     )
     if plan.parallel_steps == 0:
         raise ValueError(

@@ -36,18 +36,62 @@ HALF_NEIGHBOR_OFFSETS: "tuple[tuple[int, int, int], ...]" = tuple(
 )
 
 
-def cell_size_km(threshold_km: float, seconds_per_sample: float, speed_kms: float = LEO_SPEED) -> float:
+#: Machine epsilon of IEEE-754 binary32 (one unit in the last place of a
+#: mantissa-normalised value): 2^-23.
+FP32_EPS = 2.0 ** -23
+
+#: Safety factor on the per-axis float32 rounding budget.  The mixed-
+#: precision position is not a single rounded value but the result of a
+#: short fp32 chain (cast basis vectors, fp32 trig of the fp64-solved
+#: anomaly, a three-term multiply-add), each link contributing up to half
+#: an ulp per axis — four ulps comfortably dominates the chain's worst
+#: case (DESIGN.md §10).
+FP32_ULP_SLACK = 4.0
+
+
+def fp32_cell_pad_km(half_extent_km: float = SIM_HALF_EXTENT) -> float:
+    """Error-bounded cell pad ``ε_fp32`` for the mixed-precision broad phase.
+
+    A float32 coordinate inside the simulation cube carries an absolute
+    rounding error of at most ``half_extent · 2^-23`` per axis (scaled by
+    :data:`FP32_ULP_SLACK` for the arithmetic chain); over three axes that
+    is a factor ``√3``, and a *pair* of objects can each err by that much —
+    factor 2.  Padding the cell size by this bound restores Eq. (1)'s
+    guarantee — no sub-threshold approach can be skipped — under float32
+    positions (≈ 70 m at the 42 500 km half extent, ~2 % of a typical
+    broad-phase cell).
+    """
+    return 2.0 * math.sqrt(3.0) * half_extent_km * FP32_EPS * FP32_ULP_SLACK
+
+
+def cell_size_km(
+    threshold_km: float,
+    seconds_per_sample: float,
+    speed_kms: float = LEO_SPEED,
+    precision: str = "fp64",
+) -> float:
     """Grid cell side length from Eq. (1): ``g_c = d + v * s_ps``.
 
     ``d`` is the screening threshold and ``v * s_ps`` is the farthest a
     satellite can travel between samples, which prevents the worst case of
     Fig. 4 (two satellites jumping past each other between samples).
+
+    With ``precision="mixed"`` the cell gains the :func:`fp32_cell_pad_km`
+    error bound — ``g_c = d + v·s_ps + ε_fp32`` — so float32 positions keep
+    the no-skip guarantee.  Refinement intervals must keep using the
+    *unpadded* fp64 cell (the pad covers measurement error of the grid
+    coordinates, not the physics).
     """
     if threshold_km <= 0.0:
         raise ValueError(f"screening threshold must be positive, got {threshold_km}")
     if seconds_per_sample <= 0.0:
         raise ValueError(f"seconds per sample must be positive, got {seconds_per_sample}")
-    return threshold_km + speed_kms * seconds_per_sample
+    if precision not in ("fp64", "mixed"):
+        raise ValueError(f"precision must be 'fp64' or 'mixed', got {precision!r}")
+    base = threshold_km + speed_kms * seconds_per_sample
+    if precision == "mixed":
+        base += fp32_cell_pad_km()
+    return base
 
 
 class UniformGrid:
@@ -86,9 +130,14 @@ class UniformGrid:
         """Integer cell coordinates of ECI positions; shape ``(n, 3)``.
 
         Positions are offset by the half extent of the simulation cube so
-        the coordinates are non-negative and packable.
+        the coordinates are non-negative and packable.  The input dtype is
+        preserved: float32 positions (mixed precision) are binned with
+        float32 arithmetic, so every backend — serial, threads, vectorized
+        — assigns the identical cells for the identical position bits.
         """
-        pos = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        pos = np.atleast_2d(np.asarray(positions))
+        if pos.dtype != np.float32:
+            pos = pos.astype(np.float64, copy=False)
         if np.any(np.abs(pos) > SIM_HALF_EXTENT):
             worst = float(np.abs(pos).max())
             raise ValueError(
@@ -117,7 +166,7 @@ class UniformGrid:
            retrying with the freshly observed head on contention, so no
            concurrent insert is ever lost.
         """
-        key = int(self.cell_keys(np.asarray(position, dtype=np.float64)[None, :])[0])
+        key = int(self.cell_keys(np.asarray(position)[None, :])[0])
         slot = self.cells.claim_slot(key)
         entry = self.entries.allocate(sat_id, position)
         self.entries.slot[entry] = slot

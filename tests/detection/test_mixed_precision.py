@@ -1,0 +1,234 @@
+"""Mixed-precision broad phase: the safety guarantee and its plumbing.
+
+The contract of ``precision="mixed"`` (DESIGN.md §10):
+
+* the float32 broad phase plus the error-bounded cell pad never loses a
+  true conjunction — every conjunction the fp64 pipeline reports is
+  *covered* by a mixed-mode candidate record (same pair, a sampling step
+  whose refinement interval contains the TCA);
+* REF still solves in float64 from the float64 elements, so the final
+  ``(i, j, tca, pca)`` sets agree across precisions (same pairs and
+  counts, TCA/PCA equal to far below the physical tolerance);
+* within mixed mode, every backend and both grid implementations emit the
+  bit-identical candidate-record set and final conjunction list (the fp32
+  positions come from one shared batch kernel, and the cell binning
+  preserves their dtype everywhere).
+
+Plus unit coverage of the pieces: the float32 propagation error really is
+below the pad budget, the warm-start cache stays float64-authoritative,
+the cell pad arithmetic, and the dtype-priced memory plan.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import SIM_HALF_EXTENT
+from repro.detection.api import screen
+from repro.detection.gridbased import _make_conjmap, collect_grid_candidates
+from repro.detection.types import ScreeningConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer
+from repro.perfmodel.memory import grid_instance_bytes, plan_memory
+from repro.population.generator import generate_population
+from repro.population.scenarios import megaconstellation
+from repro.spatial.grid import (
+    FP32_EPS,
+    FP32_ULP_SLACK,
+    UniformGrid,
+    cell_size_km,
+    fp32_cell_pad_km,
+)
+from repro.spatial.vectorgrid import compute_cell_keys
+
+BASE_CFG = dict(threshold_km=5.0, duration_s=600.0, seconds_per_sample=2.0)
+
+
+def _scenarios():
+    return [
+        ("lowdense", generate_population(300, seed=7)),
+        ("catalog", generate_population(500, seed=42)),
+        ("walker", megaconstellation(6, 25, 550.0, math.radians(53))),
+    ]
+
+
+def _collect_records(population, config):
+    """The (i, j, step) candidate-record arrays of one grid collection."""
+    cell = cell_size_km(
+        config.threshold_km, config.seconds_per_sample, precision=config.precision
+    )
+    times = config.sample_times()
+    conj = _make_conjmap(len(population), config, "grid", config.seconds_per_sample)
+    prop = Propagator(population, solver=config.solver, precision=config.precision)
+    ids = np.arange(len(population), dtype=np.int64)
+    conj = collect_grid_candidates(
+        prop, ids, times, cell, conj, config, "vectorized", PhaseTimer()
+    )
+    return conj.records(), times
+
+
+class TestPrecisionPolicy:
+    def test_config_validates_precision(self):
+        assert ScreeningConfig(precision="mixed").precision == "mixed"
+        with pytest.raises(ValueError, match="precision"):
+            ScreeningConfig(precision="fp32")
+
+    def test_cell_pad_value_and_padding(self):
+        pad = fp32_cell_pad_km()
+        assert pad == 2.0 * math.sqrt(3.0) * SIM_HALF_EXTENT * FP32_EPS * FP32_ULP_SLACK
+        # ~70 m at the 42 500 km half extent: a ~2 % cell inflation.
+        assert 0.05 < pad < 0.1
+        base = cell_size_km(5.0, 2.0)
+        assert cell_size_km(5.0, 2.0, precision="mixed") == base + pad
+        with pytest.raises(ValueError, match="precision"):
+            cell_size_km(5.0, 2.0, precision="fp32")
+
+
+class TestFloat32Propagation:
+    def test_positions_dtype_and_error_budget(self):
+        """Per-axis fp32 error stays below the pad's per-axis allowance."""
+        pop = generate_population(400, seed=3)
+        p64 = Propagator(pop, precision="fp64")
+        p32 = Propagator(pop, precision="mixed")
+        times = np.arange(16, dtype=np.float64) * 5.0
+        r64 = p64.positions_batch(times)
+        r32 = p32.positions_batch(times)
+        assert r64.dtype == np.float64
+        assert r32.dtype == np.float32
+        per_axis_budget = SIM_HALF_EXTENT * FP32_EPS * FP32_ULP_SLACK
+        err = np.abs(r32.astype(np.float64) - r64)
+        assert float(err.max()) < per_axis_budget
+
+    def test_warm_cache_stays_float64(self):
+        pop = generate_population(50, seed=3)
+        prop = Propagator(pop, precision="mixed")
+        prop.positions_batch(np.array([0.0, 2.0, 4.0]))
+        assert prop._warm_E.dtype == np.float64
+        assert prop.positions(6.0).dtype == np.float32
+        # REF inputs remain float64 regardless of the policy.
+        pos, vel = prop.states(6.0)
+        assert pos.dtype == np.float64 and vel.dtype == np.float64
+
+    def test_invalid_precision_rejected(self):
+        pop = generate_population(10, seed=3)
+        with pytest.raises(ValueError, match="precision"):
+            Propagator(pop, precision="fp16")
+
+
+class TestFloat32CellBinning:
+    def test_key_computation_preserves_float32(self):
+        """Serial UniformGrid and vectorized keys bin fp32 identically."""
+        pop = generate_population(300, seed=11)
+        prop = Propagator(pop, precision="mixed")
+        pos32 = prop.positions(0.0)
+        assert pos32.dtype == np.float32
+        cell = cell_size_km(5.0, 2.0, precision="mixed")
+        vec_keys = compute_cell_keys(pos32, cell)
+        grid = UniformGrid(cell, capacity=len(pop))
+        serial_keys = grid.cell_keys(pos32)
+        np.testing.assert_array_equal(vec_keys, serial_keys)
+        # And fp32 binning differs from binning the fp64-cast positions in
+        # general; the point is both paths use the SAME arithmetic.
+        assert grid.cell_coords(pos32).dtype == np.int64
+
+
+@pytest.mark.parametrize(
+    "name, population", _scenarios(), ids=[s[0] for s in _scenarios()]
+)
+@pytest.mark.parametrize("grid_impl", ["sorted", "hashmap"])
+class TestMixedVsFp64Differential:
+    def test_coverage_and_final_sets(self, name, population, grid_impl):
+        """Every fp64 conjunction is covered by a mixed candidate record,
+        and the post-REF conjunction sets agree across precisions."""
+        cfg64 = ScreeningConfig(**BASE_CFG, grid_impl=grid_impl, precision="fp64")
+        cfg32 = ScreeningConfig(**BASE_CFG, grid_impl=grid_impl, precision="mixed")
+
+        r64 = screen(population, cfg64, method="grid", backend="vectorized")
+        r32 = screen(population, cfg32, method="grid", backend="vectorized")
+
+        # --- candidate coverage of the true conjunctions -------------------
+        (mi, mj, mstep), times = _collect_records(population, cfg32)
+        sps = cfg32.seconds_per_sample
+        mixed_records = set(zip(mi.tolist(), mj.tolist(), mstep.tolist()))
+        for a, b, tca in zip(r64.i.tolist(), r64.j.tolist(), r64.tca_s.tolist()):
+            nearest = int(round(tca / sps))
+            covering = [
+                (a, b, s)
+                for s in range(max(nearest - 1, 0), min(nearest + 2, len(times)))
+                if (a, b, s) in mixed_records
+            ]
+            assert covering, (
+                f"{name}/{grid_impl}: fp64 conjunction ({a}, {b}) at t={tca:.2f}s "
+                "has no covering mixed-precision candidate record"
+            )
+
+        # --- final-set identity after the shared fp64 REF ------------------
+        np.testing.assert_array_equal(r64.i, r32.i)
+        np.testing.assert_array_equal(r64.j, r32.j)
+        assert r64.n_conjunctions == r32.n_conjunctions
+        # Both refinements solve in fp64 over (near-)identical intervals;
+        # agreement is far tighter than the 1e-6 s Brent tolerance.
+        np.testing.assert_allclose(r32.tca_s, r64.tca_s, atol=1e-4)
+        np.testing.assert_allclose(r32.pca_km, r64.pca_km, atol=1e-6)
+
+    def test_mixed_backends_bit_identical(self, name, population, grid_impl):
+        """serial and vectorized agree bit-for-bit within mixed mode."""
+        cfg = ScreeningConfig(**BASE_CFG, grid_impl=grid_impl, precision="mixed")
+        r_vec = screen(population, cfg, method="grid", backend="vectorized")
+        r_ser = screen(population, cfg, method="grid", backend="serial")
+        np.testing.assert_array_equal(r_vec.i, r_ser.i)
+        np.testing.assert_array_equal(r_vec.j, r_ser.j)
+        np.testing.assert_array_equal(r_vec.tca_s, r_ser.tca_s)
+        np.testing.assert_array_equal(r_vec.pca_km, r_ser.pca_km)
+
+
+class TestMixedHybridAndMetrics:
+    def test_hybrid_mixed_agrees_with_fp64(self):
+        pop = generate_population(400, seed=9)
+        cfg64 = ScreeningConfig(**BASE_CFG, precision="fp64")
+        cfg32 = ScreeningConfig(**BASE_CFG, precision="mixed")
+        r64 = screen(pop, cfg64, method="hybrid", backend="vectorized")
+        r32 = screen(pop, cfg32, method="hybrid", backend="vectorized")
+        np.testing.assert_array_equal(r64.i, r32.i)
+        np.testing.assert_array_equal(r64.j, r32.j)
+        np.testing.assert_allclose(r32.tca_s, r64.tca_s, atol=1e-4)
+        np.testing.assert_allclose(r32.pca_km, r64.pca_km, atol=1e-6)
+        assert r32.extra["precision"] == "mixed"
+        assert r32.extra["cell_size_km"] == pytest.approx(
+            r32.extra["ref_cell_size_km"] + fp32_cell_pad_km()
+        )
+
+    def test_metrics_record_active_precision(self):
+        pop = generate_population(200, seed=5)
+        cfg = ScreeningConfig(**BASE_CFG, precision="mixed")
+        metrics = MetricsRegistry()
+        screen(pop, cfg, method="grid", backend="vectorized", metrics=metrics)
+        assert metrics.counter("screen.precision_mixed").value == 1
+        assert metrics.counter("grid.builds_mixed").value > 0
+        assert metrics.counter("grid.builds_fp64").value == 0
+
+
+class TestMixedMemoryPlan:
+    def test_mixed_doubles_parallel_steps(self):
+        budget = 2 * 2**30
+        p64 = plan_memory(100_000, 1.0, 3600.0, 2.0, "grid", budget, auto_adjust=False)
+        p32 = plan_memory(
+            100_000, 1.0, 3600.0, 2.0, "grid", budget, auto_adjust=False,
+            precision="mixed",
+        )
+        assert p32.precision == "mixed" and p64.precision == "fp64"
+        assert p32.per_grid_bytes * 2 == p64.per_grid_bytes
+        # Fixed allocations are unchanged, so p a bit more than doubles.
+        assert p32.parallel_steps >= 2 * p64.parallel_steps
+        assert p32.fixed_bytes == p64.fixed_bytes
+
+    def test_grid_instance_bytes_by_precision(self):
+        n = 1000
+        assert grid_instance_bytes(n) == 80 * n
+        assert grid_instance_bytes(n, "mixed") == 40 * n
+        # Default (fp64) result unchanged: the multidevice peak-byte
+        # accounting and its tests rely on it.
+        assert grid_instance_bytes(n) == grid_instance_bytes(n, "fp64")

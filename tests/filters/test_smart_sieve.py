@@ -145,3 +145,81 @@ class TestSieveProperty:
                 )
                 if true_min <= threshold:
                     assert keep[0], (seed, t0, true_min)
+
+
+class TestSieveRecordsGrouping:
+    """The argsort/CSR grouping of ``sieve_records`` must reproduce the old
+    per-unique-time ``centers == t`` scan loop exactly — same keep mask,
+    same per-group math (including the shared ``r.max()`` curvature pad)."""
+
+    @staticmethod
+    def _reference_sieve(propagator, rec_i, rec_j, centers, radii, threshold_km):
+        keep = np.ones(len(rec_i), dtype=bool)
+        for t in np.unique(centers):
+            sel = np.nonzero(centers == t)[0]
+            pos, vel = propagator.states(float(t))
+            ii = rec_i[sel]
+            jj = rec_j[sel]
+            dr = pos[ii] - pos[jj]
+            dv = vel[ii] - vel[jj]
+            r = radii[sel]
+            vv = np.einsum("ij,ij->i", dv, dv)
+            rv = np.einsum("ij,ij->i", dr, dv)
+            tau = np.clip(
+                np.where(vv > 1e-300, -rv / np.maximum(vv, 1e-300), 0.0), -r, r
+            )
+            closest = dr + dv * tau[:, None]
+            d_min = np.sqrt(np.einsum("ij,ij->i", closest, closest))
+            r_orbit = np.minimum(
+                np.sqrt(np.einsum("ij,ij->i", pos[ii], pos[ii])),
+                np.sqrt(np.einsum("ij,ij->i", pos[jj], pos[jj])),
+            )
+            pad = 1.5 * curvature_pad_km(r_orbit, float(r.max()))
+            keep[sel] = d_min <= threshold_km + pad
+        return keep
+
+    def test_matches_reference_loop_on_real_records(self, small_population):
+        from repro.detection.gridbased import sieve_records
+
+        prop = Propagator(small_population)
+        n = len(small_population)
+        rng = np.random.default_rng(17)
+        n_rec = 400
+        rec_i = rng.integers(0, n, n_rec)
+        rec_j = (rec_i + 1 + rng.integers(0, n - 1, n_rec)) % n
+        # Unsorted, duplicated sample times — the case the argsort groups.
+        centers = rng.choice(np.arange(0.0, 120.0, 7.5), size=n_rec)
+        radii = rng.uniform(2.0, 6.0, n_rec)
+        got = sieve_records(prop, rec_i, rec_j, centers, radii, threshold_km=5.0)
+        want = self._reference_sieve(prop, rec_i, rec_j, centers, radii, 5.0)
+        np.testing.assert_array_equal(got, want)
+
+    def test_keeps_engineered_conjunction(self, crossing_pair):
+        """The kept branch: records straddling a real conjunction survive
+        both the new grouping and the reference loop identically."""
+        from repro.detection.gridbased import sieve_records
+
+        prop = Propagator(crossing_pair)
+        centers = np.array([-10.0, 0.0, 0.0, 10.0, 300.0])
+        rec_i = np.zeros(len(centers), dtype=np.int64)
+        rec_j = np.ones(len(centers), dtype=np.int64)
+        radii = np.full(len(centers), 5.0)
+        got = sieve_records(prop, rec_i, rec_j, centers, radii, threshold_km=5.0)
+        want = self._reference_sieve(prop, rec_i, rec_j, centers, radii, 5.0)
+        np.testing.assert_array_equal(got, want)
+        assert got[1] and got[2]  # the steps containing the encounter survive
+
+    def test_single_group_and_empty(self, small_population):
+        from repro.detection.gridbased import sieve_records
+
+        prop = Propagator(small_population)
+        empty = np.empty(0, dtype=np.int64)
+        keep = sieve_records(prop, empty, empty, empty.astype(float), empty.astype(float), 2.0)
+        assert keep.shape == (0,)
+        rec_i = np.array([0, 1, 2])
+        rec_j = np.array([3, 4, 5])
+        centers = np.full(3, 30.0)
+        radii = np.full(3, 4.0)
+        got = sieve_records(prop, rec_i, rec_j, centers, radii, 2.0)
+        want = self._reference_sieve(prop, rec_i, rec_j, centers, radii, 2.0)
+        np.testing.assert_array_equal(got, want)

@@ -142,3 +142,56 @@ class TestHostileInputs:
         cfg = ScreeningConfig(threshold_km=2.0, duration_s=120.0, seconds_per_sample=2.0)
         result = screen(doubled, cfg, method="grid")
         assert (0, 1) in result.unique_pairs()
+
+
+class TestRegrowSizing:
+    """A batch far bigger than the capacity must regrow *once*, not log2 times."""
+
+    def test_huge_incoming_batch_sizes_in_one_step(self):
+        cm = ConjunctionMap(4)
+        grown = _regrow(cm, incoming=1000)
+        assert grown.capacity == 1024  # next_pow2(0 + 1000), not 8
+
+    def test_doubling_floor_kept_for_small_batches(self):
+        cm = ConjunctionMap(64)
+        cm.insert(1, 2, 0)
+        grown = _regrow(cm, incoming=3)
+        assert grown.capacity == 128  # 2 * capacity dominates
+
+    def test_records_preserved_with_incoming(self):
+        cm = ConjunctionMap(8)
+        cm.insert_batch(np.array([1, 3, 5]), np.array([2, 4, 6]), step=7)
+        grown = _regrow(cm, incoming=500)
+        i, j, s = grown.records()
+        assert list(zip(i, j, s)) == [(1, 2, 7), (3, 4, 7), (5, 6, 7)]
+        assert grown.capacity == 512
+
+    def test_regrow_counts_into_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cm = ConjunctionMap(4)
+        _regrow(cm, incoming=10, metrics=metrics)
+        _regrow(cm, incoming=10, metrics=metrics)
+        assert metrics.counter("conjmap.regrows").value == 2
+
+    def test_fused_overflow_regrows_once(self, monkeypatch):
+        """A fused vectorized round whose batch dwarfs a tiny map triggers
+        exactly one overflow/regrow cycle end to end."""
+        import repro.detection.gridbased as gb
+        from repro.obs.metrics import MetricsRegistry
+
+        base = generate_population(16, seed=4)
+        pop = OrbitalElementsArray.concatenate([base, base])
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=120.0, seconds_per_sample=2.0)
+        monkeypatch.setattr(
+            gb, "_make_conjmap", lambda n, config, variant, sps: ConjunctionMap(2)
+        )
+        metrics = MetricsRegistry()
+        result = screen(pop, cfg, method="grid", backend="vectorized", metrics=metrics)
+        assert result.candidates_refined > 2  # the tiny map really overflowed
+        # One regrow per overflowing round (64 fused steps -> at most the
+        # round count), never the log2(batch/2) doublings of the old code.
+        regrows = metrics.counter("conjmap.regrows").value
+        rounds = metrics.counter("cd.rounds").value
+        assert 1 <= regrows <= rounds
