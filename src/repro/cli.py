@@ -51,6 +51,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(propagation, grid keys, candidate emission) in "
                                "float32 with an error-bounded cell pad; refinement "
                                "always stays float64")
+    p_screen.add_argument("--no-coherence", action="store_true",
+                          help="disable the temporal-coherence pair cache and "
+                               "re-emit every candidate pair at every step "
+                               "(the paper's original behaviour)")
     p_screen.add_argument("--n-devices", type=int, metavar="D",
                           help="shard the sampling steps over D virtual devices "
                                "(grid variant; Section VI multi-GPU analogue)")
@@ -106,6 +110,7 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         n_threads=args.threads,
         grid_impl=args.grid_impl,
         precision=args.precision,
+        use_coherence=not args.no_coherence,
     )
     tracer = None
     metrics = None

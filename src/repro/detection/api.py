@@ -31,7 +31,11 @@ def screen(
         The orbits to screen (see :mod:`repro.population` for generators).
     config:
         Screening parameters; defaults to the paper's evaluation setup
-        (2 km threshold, one hour span).
+        (2 km threshold, one hour span).  By default the vectorized grid
+        backends emit candidate pairs through the temporal-coherence
+        cache (``config.use_coherence``) — identical results, most
+        cell-pair work skipped on quiet steps; set it to ``False`` to
+        force the paper's re-emit-every-step behaviour.
     method:
         ``grid`` (purely grid-based), ``hybrid`` (grid + orbital filters,
         the fastest when memory allows) or ``legacy`` (the O(n^2)

@@ -22,16 +22,20 @@ from repro.detection.pca_tca import (
     refine_candidate,
 )
 from repro.detection.types import ScreeningConfig, ScreeningResult
-from repro.obs.collect import observe_conjmap, observe_grid
+from repro.obs.collect import observe_coherence, observe_conjmap, observe_grid
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer, RefTelemetry, parallel_for, resolve_backend
-from repro.perfmodel.memory import conjunction_capacity, plan_memory
+from repro.perfmodel.memory import (
+    coherence_budget_bytes,
+    conjunction_capacity,
+    plan_memory,
+)
 from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError
 from repro.spatial.grid import UniformGrid, cell_size_km
 from repro.spatial.hashing import MAX_ROUND_STEPS
-from repro.spatial.vectorgrid import SortedGrid, VectorHashGrid
+from repro.spatial.vectorgrid import CoherentPairEmitter, SortedGrid, VectorHashGrid
 
 
 def screen_grid(
@@ -192,6 +196,16 @@ def collect_grid_candidates(
 
     trace_rounds = tracer.enabled
 
+    # The temporal-coherence emitter only serves the vectorized grids
+    # (SortedGrid / VectorHashGrid); the serial and threads backends keep
+    # the reference per-object emission the differential tests pin it to.
+    emitter = None
+    if backend == "vectorized" and config.use_coherence:
+        emitter = CoherentPairEmitter(
+            len(ids),
+            budget_bytes=coherence_budget_bytes(len(ids), config.memory_budget_bytes),
+        )
+
     if backend == "vectorized" and fused:
         chunk_start = 0
         while chunk_start < len(times):
@@ -206,18 +220,27 @@ def collect_grid_candidates(
                     positions = propagator.positions_batch(chunk)
                     grid = _build_round_grid(ids, positions, cell, config)
                 with timers.phase("CD"):
-                    ci, cj, csteps = grid.candidate_pair_steps()
-                try:
-                    with timers.phase("CD"):
-                        conj.insert_batch(ci, cj, csteps + chunk_start)
-                except ConjunctionMapFullError:
-                    conj = _regrow(conj, incoming=len(ci), metrics=metrics)
-                    continue  # replay this round into the regrown map
+                    if emitter is not None:
+                        ci, cj, csteps = emitter.round_pairs(grid)
+                    else:
+                        ci, cj, csteps = grid.candidate_pair_steps()
+                    # Insert-only overflow replay: the emitted arrays are
+                    # already in hand, so a full map only costs a regrow and
+                    # a batch retry — never a second Kepler solve or grid
+                    # build (insert_batch raises before mutating).
+                    while True:
+                        try:
+                            conj.insert_batch(ci, cj, csteps + chunk_start)
+                            break
+                        except ConjunctionMapFullError:
+                            conj = _regrow(conj, incoming=len(ci), metrics=metrics)
                 if metrics is not None:
                     metrics.counter("cd.pairs_emitted").add(len(ci))
                     metrics.counter("cd.rounds").add(1)
                     observe_grid(metrics, grid, precision=config.precision)
             chunk_start += len(chunk)
+        if metrics is not None and emitter is not None:
+            observe_coherence(metrics, emitter.stats)
         return conj
 
     step = 0
@@ -239,32 +262,47 @@ def collect_grid_candidates(
             with timers.phase("INS"):
                 positions = round_positions[step - round_start]
                 grid = _build_grid(ids, positions, cell, config, backend)
-            try:
-                with timers.phase("CD"):
-                    if backend == "vectorized":
+            with timers.phase("CD"):
+                if backend == "vectorized":
+                    if emitter is not None:
+                        ci, cj, _ = emitter.round_pairs(grid)
+                    else:
                         ci, cj = grid.candidate_pairs()
-                        emitted = len(ci)
-                        conj.insert_batch(ci, cj, step)
-                    elif backend == "threads":
+                    emitted = len(ci)
+                    while True:
+                        try:
+                            conj.insert_batch(ci, cj, step)
+                            break
+                        except ConjunctionMapFullError:
+                            conj = _regrow(conj, incoming=emitted, metrics=metrics)
+                else:
+                    if backend == "threads":
                         # Section IV-A3: non-empty slots are examined in
                         # parallel, each thread inserting into the shared map.
                         pairs = grid.candidate_pairs_parallel(n_threads=config.n_threads)
-                        emitted = len(pairs)
-                        for a, b in pairs:
-                            conj.insert(a, b, step)
                     else:
                         pairs = grid.candidate_pairs()
-                        emitted = len(pairs)
-                        for a, b in pairs:
+                    emitted = len(pairs)
+                    # Resume from the failing pair after a mid-step overflow
+                    # — the step's earlier inserts are already in the
+                    # regrown map, so replaying from pair 0 (as the seed
+                    # code did) only re-walks slots for dedup to discard.
+                    k = 0
+                    while k < emitted:
+                        a, b = pairs[k]
+                        try:
                             conj.insert(a, b, step)
-            except ConjunctionMapFullError:
-                conj = _regrow(conj, incoming=emitted, metrics=metrics)
-                continue  # replay this step into the regrown map
+                        except ConjunctionMapFullError:
+                            conj = _regrow(conj, incoming=emitted - k, metrics=metrics)
+                            continue
+                        k += 1
             if metrics is not None:
                 metrics.counter("cd.pairs_emitted").add(emitted)
                 metrics.counter("cd.rounds").add(1)
                 observe_grid(metrics, grid, precision=config.precision)
         step += 1
+    if metrics is not None and emitter is not None:
+        observe_coherence(metrics, emitter.stats)
     return conj
 
 

@@ -64,6 +64,15 @@ class ScreeningConfig:
     #: Optional memory budget in bytes for the Section V-B planner; when
     #: set, the effective seconds-per-sample may be reduced automatically.
     memory_budget_bytes: "int | None" = None
+    #: Whether the vectorized grid backends emit candidate pairs through
+    #: the temporal-coherence cache (:class:`repro.spatial.vectorgrid
+    #: .CoherentPairEmitter`): consecutive sampling steps diff each
+    #: object's cell membership and replay the cached pairs of unchanged
+    #: cell adjacencies instead of re-probing every occupied cell.  The
+    #: emitted pair set is identical either way (the differential tests
+    #: pin it); turning this off recovers the paper's
+    #: re-emit-every-step behaviour for benchmarking.
+    use_coherence: bool = True
     #: Pipeline-wide arithmetic policy.  ``fp64`` runs everything in double
     #: precision (the reference).  ``mixed`` runs the broad phase (INS
     #: propagation, cell keys, candidate emission) in float32 — the GPU's

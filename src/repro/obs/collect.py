@@ -129,3 +129,23 @@ def observe_conjmap(metrics: MetricsRegistry, conj) -> None:
     metrics.counter("conjmap.records").add(conj.size)
     metrics.counter("conjmap.capacity").add(conj.capacity)
     metrics.gauge("conjmap.load_factor").record(conj.load_factor)
+
+
+def observe_coherence(metrics: MetricsRegistry, stats) -> None:
+    """Record one coherent pair emitter's lifetime counters.
+
+    ``stats`` is a :class:`repro.spatial.vectorgrid.CoherenceStats`.  The
+    headline gauge is ``cd.coherence_hit_rate`` — the fraction of emitted
+    candidate pairs served from the cross-step cache; ``cd.probes`` vs
+    ``cd.probes_full_equiv`` quantifies how many neighbour-cell probes the
+    cache actually saved against re-probing every occupied cell each step.
+    """
+    metrics.counter("cd.coherent_steps").add(stats.coherent_steps)
+    metrics.counter("cd.coherence_full_rebuilds").add(stats.full_rebuilds)
+    metrics.counter("cd.coherence_budget_drops").add(stats.budget_drops)
+    metrics.counter("cd.pairs_replayed").add(stats.pairs_replayed)
+    metrics.counter("cd.cell_pairs_replayed").add(stats.cell_pairs_replayed)
+    metrics.counter("cd.cell_pairs_recomputed").add(stats.cell_pairs_recomputed)
+    metrics.counter("cd.probes").add(stats.probes)
+    metrics.counter("cd.probes_full_equiv").add(stats.probes_full_equiv)
+    metrics.gauge("cd.coherence_hit_rate").record(stats.hit_rate)

@@ -33,20 +33,21 @@ import numpy as np
 from repro.detection.gridbased import _regrow, refine_records
 from repro.detection.pca_tca import interval_radii, merge_conjunctions
 from repro.detection.types import ScreeningConfig, ScreeningResult
-from repro.obs.collect import observe_conjmap, observe_grid
+from repro.obs.collect import observe_coherence, observe_conjmap, observe_grid
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer
 from repro.perfmodel.memory import (
     MemoryPlan,
+    coherence_budget_bytes,
     device_conjunction_capacity,
     grid_instance_bytes,
     plan_device_memory,
 )
 from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError, pack_pair_key
 from repro.spatial.grid import cell_size_km
-from repro.spatial.vectorgrid import SortedGrid
+from repro.spatial.vectorgrid import CoherentPairEmitter, SortedGrid
 
 #: The recognised shard executors.
 EXECUTORS = ("serial", "processes")
@@ -133,36 +134,51 @@ def run_device_shard(
     grid_bytes = grid_instance_bytes(n, config.precision)
     peak = 0
     regrows = 0
+    # Each shard owns a private coherence emitter, created here so both
+    # executors (inline and worker-process) get a fresh cache per shard:
+    # the round-robin shard sees every D-th step, and diffing across a
+    # shard boundary would compare cells D steps apart.  Under heavy
+    # striding the emitter's churn guard falls back to full emission.
+    emitter = (
+        CoherentPairEmitter(n, budget_bytes=coherence_budget_bytes(n))
+        if config.use_coherence
+        else None
+    )
     span = (
         tracer.span("device", device=device, n_steps=len(steps))
         if tracer.enabled
         else NULL_SPAN
     )
     with span:
-        k = 0
-        while k < len(steps):
+        for k in range(len(steps)):
             step = int(steps[k])
             with timers.phase("INS"):
                 positions = propagator.positions(float(times[step]))
                 grid = SortedGrid(cell)
                 grid.build(ids, positions)
             with timers.phase("CD"):
-                ci, cj = grid.candidate_pairs()
-            try:
-                with timers.phase("CD"):
-                    conj.insert_batch(ci, cj, step)
-            except ConjunctionMapFullError:
-                conj = _regrow(conj, incoming=len(ci), metrics=metrics)
-                regrows += 1
-                continue  # replay this step into the regrown map
+                if emitter is not None:
+                    ci, cj, _ = emitter.round_pairs(grid)
+                else:
+                    ci, cj = grid.candidate_pairs()
+                # Insert-only replay: the emitted arrays survive the regrow,
+                # so overflow never re-propagates or rebuilds the grid.
+                while True:
+                    try:
+                        conj.insert_batch(ci, cj, step)
+                        break
+                    except ConjunctionMapFullError:
+                        conj = _regrow(conj, incoming=len(ci), metrics=metrics)
+                        regrows += 1
             if metrics is not None:
                 metrics.counter("cd.pairs_emitted").add(len(ci))
                 metrics.counter("cd.rounds").add(1)
                 observe_grid(metrics, grid, precision=config.precision)
             peak = max(peak, conj.memory_bytes + grid_bytes)
-            k += 1
     if metrics is not None:
         observe_conjmap(metrics, conj)
+        if emitter is not None:
+            observe_coherence(metrics, emitter.stats)
     ri, rj, rs = conj.records()
     stats = ShardStats(
         device=device,

@@ -35,6 +35,12 @@ index, every metric combiner is commutative, and the caller re-sorts the
 concatenated records into conjunction-map key order — so the merged
 result is bit-identical to the single-device run no matter how the OS
 schedules the workers.
+
+Temporal-coherence state is per-shard by construction: ``run_device_shard``
+creates its :class:`~repro.spatial.vectorgrid.CoherentPairEmitter` inside
+the shard body, so a worker process can never observe (or corrupt) another
+shard's cell-membership cache, and a reused pool starts every shard with a
+cold cache.
 """
 from __future__ import annotations
 

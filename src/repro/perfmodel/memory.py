@@ -55,6 +55,58 @@ MIN_CONJUNCTIONS = 10_000
 #: full-run capacity across many devices must never starve a shard.
 MIN_DEVICE_CONJUNCTIONS = 1_000
 
+#: Bytes per cached candidate pair in the temporal-coherence cache: two
+#: int64 satellite-id lanes.
+COHERENCE_PAIR_BYTES = 2 * 8
+
+#: Bytes per cached cell adjacency: two uint64 cell keys plus the int64
+#: CSR count and start offsets into the pair lanes.
+COHERENCE_ADJACENCY_BYTES = 4 * 8
+
+#: Floor on the coherence-cache budget — below this the cache would drop
+#: constantly and coherence might as well be off.
+MIN_COHERENCE_BUDGET_BYTES = 1 << 20
+
+
+def coherence_cache_bytes(
+    n_objects: int, n_cells: int, n_adjacencies: int, n_pairs: int
+) -> int:
+    """A-priori footprint of one coherence cache (planning estimate).
+
+    Per-object previous cell keys (8 B), previous occupied-cell key set
+    (8 B per cell), the adjacency index (:data:`COHERENCE_ADJACENCY_BYTES`
+    each) and the cached pair lanes (:data:`COHERENCE_PAIR_BYTES` each).
+    The emitter reports its *actual* footprint at runtime
+    (``CoherentPairEmitter.cache_bytes``); this helper prices scenarios in
+    advance for budget planning and the DESIGN.md arithmetic.
+    """
+    return (
+        8 * n_objects
+        + 8 * n_cells
+        + COHERENCE_ADJACENCY_BYTES * n_adjacencies
+        + COHERENCE_PAIR_BYTES * n_pairs
+    )
+
+
+def coherence_budget_bytes(
+    n_objects: int, memory_budget_bytes: "int | None" = None
+) -> int:
+    """Byte budget for the temporal-coherence cache.
+
+    In the sparse-occupancy regime the cache holds about one occupied
+    cell and a handful of adjacencies per object, so ~64 B per object is
+    generous headroom; with an explicit Section V-B run budget the cache
+    is capped at an eighth of it (it sits outside the paper's allocation
+    formula, so it must never crowd out the planned structures).  Either
+    way the budget never drops below
+    :data:`MIN_COHERENCE_BUDGET_BYTES` — an over-budget cache drops and
+    rebuilds, it never raises.
+    """
+    budget = max(64 * n_objects, MIN_COHERENCE_BUDGET_BYTES)
+    if memory_budget_bytes is not None:
+        budget = max(min(budget, memory_budget_bytes // 8), MIN_COHERENCE_BUDGET_BYTES)
+    return budget
+
 
 def grid_instance_bytes(n_satellites: int, precision: str = "fp64") -> int:
     """Footprint of one per-step grid instance: ``a_gh + a_l``.

@@ -35,6 +35,14 @@ HALF_NEIGHBOR_OFFSETS: "tuple[tuple[int, int, int], ...]" = tuple(
     off for off in NEIGHBOR_OFFSETS if off > (0, 0, 0)
 )
 
+#: The full 26-offset stencil ordered positive-half first: entries ``0..12``
+#: are :data:`HALF_NEIGHBOR_OFFSETS`, entries ``13..25`` their negations.
+#: The coherent emitter probes newly-occupied cells in all 26 directions
+#: and uses the index parity (``< 13``) to keep each new-new cell pair once.
+FULL_NEIGHBOR_OFFSETS: "tuple[tuple[int, int, int], ...]" = HALF_NEIGHBOR_OFFSETS + tuple(
+    (-dx, -dy, -dz) for dx, dy, dz in HALF_NEIGHBOR_OFFSETS
+)
+
 
 #: Machine epsilon of IEEE-754 binary32 (one unit in the last place of a
 #: mantissa-normalised value): 2^-23.

@@ -70,6 +70,38 @@ class TestFunnel:
         snapshot = metrics.as_dict()["funnels"]["screen"]
         assert validate_funnel(snapshot, result.n_conjunctions) == []
 
+    @pytest.mark.parametrize("backend", ["serial", "vectorized"])
+    def test_consistent_through_overflow_regrow(self, monkeypatch, backend):
+        """Regression: a round that overflowed and replayed used to skip its
+        ``cd.pairs_emitted`` increment entirely, so the funnel's emit stage
+        undercounted against the conjunction-map contents.  Forced regrows
+        must leave the funnel self-consistent and the emission volume
+        identical to an unsqueezed run."""
+        import repro.detection.gridbased as gb
+        from repro.spatial.conjmap import ConjunctionMap
+
+        base = generate_population(12, seed=4)
+        pop = OrbitalElementsArray.concatenate([base, base])
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=60.0, seconds_per_sample=2.0)
+        clean = MetricsRegistry()
+        screen(pop, cfg, method="grid", backend=backend, metrics=clean)
+
+        monkeypatch.setattr(
+            gb, "_make_conjmap", lambda n, config, variant, sps: ConjunctionMap(2)
+        )
+        squeezed = MetricsRegistry()
+        result = screen(pop, cfg, method="grid", backend=backend, metrics=squeezed)
+        assert squeezed.counter("conjmap.regrows").value > 0  # really overflowed
+        assert (
+            squeezed.counter("cd.pairs_emitted").value
+            == clean.counter("cd.pairs_emitted").value
+            > 0
+        )
+        funnel = squeezed.funnels["screen"]
+        assert funnel.check() == []
+        snapshot = squeezed.as_dict()["funnels"]["screen"]
+        assert validate_funnel(snapshot, result.n_conjunctions) == []
+
     def test_full_rejection_keeps_chain_consistent(self):
         # Two orbits whose altitude bands never come near each other: the
         # apogee/perigee filter rejects 100% and every later stage sees 0.

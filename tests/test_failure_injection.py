@@ -68,6 +68,67 @@ class TestConjunctionMapOverflowRecovery:
         assert len(records) == len(set(records)) == 6
         assert grown.size == 6
 
+    def test_fused_overflow_replay_is_insert_only(self, monkeypatch):
+        """Regression: the fused round loop used to `continue` to the top of
+        the round on ConjunctionMapFullError, re-running the batched Kepler
+        solve and grid build although the emitted arrays were already in
+        hand.  The replay must be insert-only: exactly one propagation per
+        round no matter how often the map overflows."""
+        import repro.detection.gridbased as gb
+        from repro.orbits.propagation import Propagator
+
+        base = generate_population(16, seed=4)
+        pop = OrbitalElementsArray.concatenate([base, base])
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=120.0, seconds_per_sample=2.0)
+        reference = screen(pop, cfg, method="grid", backend="vectorized")
+
+        calls = {"n": 0}
+        orig = Propagator.positions_batch
+
+        def counting(self, times):
+            calls["n"] += 1
+            return orig(self, times)
+
+        monkeypatch.setattr(Propagator, "positions_batch", counting)
+        monkeypatch.setattr(
+            gb, "_make_conjmap", lambda n, config, variant, sps: ConjunctionMap(2)
+        )
+        squeezed = screen(pop, cfg, method="grid", backend="vectorized")
+        n_steps = len(cfg.sample_times())
+        rounds = -(-n_steps // 16)  # default vectorized round size
+        assert calls["n"] == rounds  # one propagation per round, replays free
+        assert squeezed.unique_pairs() == reference.unique_pairs()
+        assert squeezed.n_conjunctions == reference.n_conjunctions
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_mid_step_overflow_resumes_without_grid_rebuild(self, monkeypatch, backend):
+        """Regression: the per-pair insert loop used to `continue` the whole
+        step after a mid-step overflow, rebuilding the grid and re-walking
+        every pair from index 0.  It must resume from the failing pair:
+        exactly one grid build per step, overflow or not."""
+        import repro.detection.gridbased as gb
+
+        base = generate_population(12, seed=4)
+        pop = OrbitalElementsArray.concatenate([base, base])
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=60.0, seconds_per_sample=2.0)
+        reference = screen(pop, cfg, method="grid", backend="serial")
+
+        builds = {"n": 0}
+        orig = gb._build_grid
+
+        def counting(ids, positions, cell, config, backend_):
+            builds["n"] += 1
+            return orig(ids, positions, cell, config, backend_)
+
+        monkeypatch.setattr(gb, "_build_grid", counting)
+        monkeypatch.setattr(
+            gb, "_make_conjmap", lambda n, config, variant, sps: ConjunctionMap(2)
+        )
+        squeezed = screen(pop, cfg, method="grid", backend=backend)
+        assert builds["n"] == len(cfg.sample_times())
+        assert squeezed.unique_pairs() == reference.unique_pairs()
+        assert squeezed.n_conjunctions == reference.n_conjunctions
+
     @pytest.mark.parametrize("backend", ["serial", "threads", "vectorized"])
     def test_all_backends_agree_through_regrow_cycle(self, monkeypatch, backend):
         """Regression: with a tiny initial conjunction map every backend
