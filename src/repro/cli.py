@@ -57,7 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(the paper's original behaviour)")
     p_screen.add_argument("--n-devices", type=int, metavar="D",
                           help="shard the sampling steps over D virtual devices "
-                               "(grid variant; Section VI multi-GPU analogue)")
+                               "(grid variant; Section VI multi-GPU analogue); "
+                               "an explicit value wins over REPRO_NUM_PROCS")
+    p_screen.add_argument("--device-budget-gb", type=float, metavar="GB",
+                          help="per-device memory budget: derives the streamed "
+                               "round size from the Section V-B plan (out-of-core "
+                               "streaming when a full fused round does not fit)")
     p_screen.add_argument("--executor", choices=EXECUTORS, default="serial",
                           help="how the device shards run (with --n-devices): "
                                "'serial' in-process, 'processes' one OS process per shard")
@@ -124,17 +129,31 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         metrics = MetricsRegistry()
     reports = None
     start = time.perf_counter()
-    if args.n_devices:
+    n_devices = args.n_devices
+    if not n_devices and args.executor != "serial":
+        # --n-devices wins; the environment fills in only when the flag is
+        # absent, with the same validation REPRO_NUM_THREADS gets.
+        from repro.parallel.backend import _env_count
+
+        try:
+            n_devices = _env_count("REPRO_NUM_PROCS")
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    if n_devices:
         if args.method != "grid":
             raise SystemExit("--n-devices shards the grid variant; use --method grid")
         from repro.parallel.multidevice import screen_grid_multidevice
 
+        budget = (
+            int(args.device_budget_gb * 2**30) if args.device_budget_gb else None
+        )
         result, reports = screen_grid_multidevice(
-            pop, config, args.n_devices, executor=args.executor,
+            pop, config, n_devices, executor=args.executor,
+            device_budget_bytes=budget,
             tracer=tracer, metrics=metrics,
         )
     elif args.executor != "serial":
-        raise SystemExit("--executor requires --n-devices")
+        raise SystemExit("--executor requires --n-devices (or set REPRO_NUM_PROCS)")
     else:
         result = screen(
             pop, config, method=args.method, backend=args.backend,

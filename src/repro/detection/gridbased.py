@@ -12,6 +12,9 @@ Pipeline (the paper's step structure):
 """
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.detection.pca_tca import (
@@ -154,6 +157,89 @@ def _make_conjmap(
     return ConjunctionMap(capacity)
 
 
+@dataclass(frozen=True)
+class RoundDescriptor:
+    """One fused round's step slice — the lightweight unit of round work.
+
+    A shard (or a single-device run) is described by a list of these
+    instead of a population-sized payload: global step indices plus their
+    absolute sample times.  ``steps`` maps a grid's within-round step
+    labels back to global step numbers (``steps[csteps]``), which is what
+    keeps record step indices global no matter how the rounds are sliced
+    or sharded.
+    """
+
+    index: int
+    #: Global sampling-step indices of this slice (round-robin shards are
+    #: strided; single-device rounds are contiguous).
+    steps: np.ndarray
+    #: Absolute sample times of those steps.
+    times: np.ndarray
+
+
+def shard_round_descriptors(
+    times: np.ndarray, steps: np.ndarray, round_size: int
+) -> "list[RoundDescriptor]":
+    """Slice a shard's step list into fused-round descriptors.
+
+    ``steps`` holds *global* step indices (a ``partition_steps`` shard, or
+    ``arange(len(times))`` for a single device); each descriptor covers up
+    to ``round_size`` of them.  An empty shard yields no descriptors.
+    """
+    if round_size <= 0:
+        raise ValueError(f"round_size must be positive, got {round_size}")
+    steps = np.asarray(steps, dtype=np.int64)
+    out = []
+    for index, start in enumerate(range(0, len(steps), round_size)):
+        sl = steps[start : start + round_size]
+        out.append(RoundDescriptor(index=index, steps=sl, times=times[sl]))
+    return out
+
+
+def stream_round_positions(
+    propagator: Propagator,
+    descriptors: "list[RoundDescriptor]",
+    timers: PhaseTimer,
+    prefetch: bool = True,
+):
+    """Yield ``(descriptor, positions)`` through a bounded double buffer.
+
+    While the consumer runs round ``k``'s grid build and pair emission,
+    one background thread propagates round ``k+1``'s positions — numpy's
+    ufuncs release the GIL, so INS genuinely overlaps CD.  The buffer is
+    bounded at one round in flight (two position slices resident: the one
+    being consumed and the one being filled), which is exactly what
+    :func:`repro.perfmodel.memory.plan_stream_rounds` budgets.
+
+    Propagation order is strictly sequential — slice ``k+1`` is only
+    submitted once slice ``k``'s solve returned — so the warm-start cache
+    sees the identical solve sequence as the unprefetched loop and the
+    positions are bit-identical to it.  The ``INS`` timer records only the
+    time the consumer actually *waits* for a prefetched slice.
+    """
+    if not descriptors:
+        return
+    if not prefetch or len(descriptors) == 1:
+        for rd in descriptors:
+            with timers.phase("INS"):
+                positions = propagator.positions_batch(rd.times)
+            yield rd, positions
+        return
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        with timers.phase("INS"):
+            positions = propagator.positions_batch(descriptors[0].times)
+        for k, rd in enumerate(descriptors):
+            pending = (
+                pool.submit(propagator.positions_batch, descriptors[k + 1].times)
+                if k + 1 < len(descriptors)
+                else None
+            )
+            yield rd, positions
+            if pending is not None:
+                with timers.phase("INS"):
+                    positions = pending.result()
+
+
 def collect_grid_candidates(
     propagator: Propagator,
     ids: np.ndarray,
@@ -207,17 +293,17 @@ def collect_grid_candidates(
         )
 
     if backend == "vectorized" and fused:
-        chunk_start = 0
-        while chunk_start < len(times):
-            chunk = times[chunk_start : chunk_start + round_size]
+        descriptors = shard_round_descriptors(
+            times, np.arange(len(times), dtype=np.int64), round_size
+        )
+        for rd, positions in stream_round_positions(propagator, descriptors, timers):
             span = (
-                tracer.span("round", start_step=chunk_start, n_steps=len(chunk))
+                tracer.span("round", start_step=int(rd.steps[0]), n_steps=len(rd.steps))
                 if trace_rounds
                 else NULL_SPAN
             )
             with span:
                 with timers.phase("INS"):
-                    positions = propagator.positions_batch(chunk)
                     grid = _build_round_grid(ids, positions, cell, config)
                 with timers.phase("CD"):
                     if emitter is not None:
@@ -230,7 +316,7 @@ def collect_grid_candidates(
                     # build (insert_batch raises before mutating).
                     while True:
                         try:
-                            conj.insert_batch(ci, cj, csteps + chunk_start)
+                            conj.insert_batch(ci, cj, rd.steps[csteps])
                             break
                         except ConjunctionMapFullError:
                             conj = _regrow(conj, incoming=len(ci), metrics=metrics)
@@ -238,7 +324,6 @@ def collect_grid_candidates(
                     metrics.counter("cd.pairs_emitted").add(len(ci))
                     metrics.counter("cd.rounds").add(1)
                     observe_grid(metrics, grid, precision=config.precision)
-            chunk_start += len(chunk)
         if metrics is not None and emitter is not None:
             observe_coherence(metrics, emitter.stats)
         return conj

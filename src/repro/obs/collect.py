@@ -131,6 +131,27 @@ def observe_conjmap(metrics: MetricsRegistry, conj) -> None:
     metrics.gauge("conjmap.load_factor").record(conj.load_factor)
 
 
+def observe_pool(
+    metrics: MetricsRegistry,
+    rounds_resident: int,
+    merge_seconds: float,
+    windows: int = 1,
+) -> None:
+    """Record one persistent process pool's per-window accounting.
+
+    ``procs.rounds_resident`` counts the streamed rounds the pool's
+    workers executed against *resident* state (population attach, solver
+    data, coherence cache all reused rather than rebuilt) —  the volume of
+    work the persistent pool amortised its spawn cost over.
+    ``procs.merge_seconds`` is the parent-side cost of the once-per-window
+    shard-local merge (attach + copy + re-sort), the term that replaced
+    per-round result shipping.
+    """
+    metrics.counter("procs.rounds_resident").add(int(rounds_resident))
+    metrics.counter("procs.windows").add(int(windows))
+    metrics.gauge("procs.merge_seconds").record(float(merge_seconds))
+
+
 def observe_coherence(metrics: MetricsRegistry, stats) -> None:
     """Record one coherent pair emitter's lifetime counters.
 

@@ -87,6 +87,18 @@ class ScreeningCampaign:
         Optional ``repro.obs`` instruments shared by every window: each
         :meth:`run_window` wraps its screen in a ``campaign.window`` span
         and funnels/counters accumulate across windows.
+    n_devices, executor:
+        Shard each window's sampling steps over virtual devices
+        (``method="grid"`` only).  With ``executor="processes"`` the
+        campaign holds **one** :class:`repro.parallel.processes
+        .PersistentShardPool` open across all its windows — the pool's
+        workers keep the population attach and solver data resident, and
+        each window only refreshes the shared block in place.  Call
+        :meth:`close` (or use the campaign as a context manager) to tear
+        the pool down.
+    device_budget_bytes:
+        Per-device byte budget for the streamed-round plan of each
+        window.
     """
 
     def __init__(
@@ -99,7 +111,14 @@ class ScreeningCampaign:
         tca_match_tol_s: float = 30.0,
         tracer=None,
         metrics=None,
+        n_devices: "int | None" = None,
+        executor: str = "serial",
+        device_budget_bytes: "int | None" = None,
     ) -> None:
+        if n_devices is not None and method != "grid":
+            raise ValueError("n_devices shards the grid variant; use method='grid'")
+        if executor != "serial" and n_devices is None:
+            raise ValueError(f"executor={executor!r} requires n_devices")
         self.population = population
         self.config = config
         self.method = method
@@ -108,6 +127,10 @@ class ScreeningCampaign:
         self.tca_match_tol_s = tca_match_tol_s
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.n_devices = n_devices
+        self.executor = executor
+        self.device_budget_bytes = device_budget_bytes
+        self._pool = None
         self.events: "list[TrackedEvent]" = []
         #: Tracked events grouped by (i, j): event matching per detected
         #: conjunction scans only the pair's own events instead of the
@@ -120,6 +143,26 @@ class ScreeningCampaign:
             self._j2_rates = j2_secular_rates(population)
 
     # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ScreeningCampaign":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the persistent worker pool (no-op without one)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def _shard_pool(self):
+        """The campaign-lifetime worker pool, created on first use."""
+        if self._pool is None:
+            from repro.parallel.processes import PersistentShardPool
+
+            self._pool = PersistentShardPool(self.n_devices)
+        return self._pool
 
     def _advanced_population(self, start_s: float) -> OrbitalElementsArray:
         """The catalog with every epoch advanced to ``start_s``."""
@@ -146,10 +189,24 @@ class ScreeningCampaign:
         start = self._clock_s
         snapshot = self._advanced_population(start)
         with self.tracer.span("campaign.window", window=window, start_s=start):
-            result = screen(
-                snapshot, self.config, method=self.method, backend=self.backend,
-                tracer=self.tracer, metrics=self.metrics,
-            )
+            if self.n_devices is not None:
+                from repro.parallel.multidevice import screen_grid_multidevice
+
+                pool = (
+                    self._shard_pool() if self.executor == "processes" else None
+                )
+                result, _reports = screen_grid_multidevice(
+                    snapshot, self.config, self.n_devices,
+                    device_budget_bytes=self.device_budget_bytes,
+                    executor=self.executor,
+                    tracer=self.tracer, metrics=self.metrics,
+                    pool=pool,
+                )
+            else:
+                result = screen(
+                    snapshot, self.config, method=self.method, backend=self.backend,
+                    tracer=self.tracer, metrics=self.metrics,
+                )
 
         new = reobserved = 0
         for c in result.conjunctions():

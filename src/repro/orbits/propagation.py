@@ -93,6 +93,16 @@ class Propagator:
         self._p_unit = rot[:, :, 0]
         self._q_unit = rot[:, :, 1]
 
+    def reset_warm_start(self) -> None:
+        """Drop the warm-start cache: the next solve starts cold.
+
+        A resident propagator (the persistent process pool keeps one per
+        worker across screening windows) must start every window with the
+        same cold cache a freshly constructed propagator has, so a reused
+        pool solves the identical Newton sequences as a fresh run.
+        """
+        self._warm_E = None
+
     @property
     def memory_bytes(self) -> int:
         """Approximate size of the precomputed solver data (``a_k``)."""

@@ -38,18 +38,43 @@ def resolve_backend(name: str) -> str:
     return name
 
 
+def _env_count(var: str) -> "int | None":
+    """Parse a positive-integer worker count from an environment variable.
+
+    Returns ``None`` when the variable is unset or blank; raises
+    :class:`ValueError` (naming the variable) on anything that is not a
+    positive integer, so both the thread and the process override fail
+    with the same actionable message.
+    """
+    env = os.environ.get(var)
+    if env is None or not env.strip():
+        return None
+    try:
+        count = int(env.strip())
+    except ValueError:
+        raise ValueError(f"{var} must be a positive integer, got {env!r}") from None
+    if count <= 0:
+        raise ValueError(f"{var} must be positive, got {count}")
+    return count
+
+
 def default_thread_count() -> int:
     """Thread-pool width: honours ``REPRO_NUM_THREADS``, else CPU count."""
-    env = os.environ.get("REPRO_NUM_THREADS")
-    if env is not None and env.strip():
-        try:
-            count = int(env.strip())
-        except ValueError:
-            raise ValueError(
-                f"REPRO_NUM_THREADS must be a positive integer, got {env!r}"
-            ) from None
-        if count <= 0:
-            raise ValueError(f"REPRO_NUM_THREADS must be positive, got {count}")
+    count = _env_count("REPRO_NUM_THREADS")
+    if count is not None:
+        return count
+    return os.cpu_count() or 1
+
+
+def default_process_count() -> int:
+    """Device/worker-process count: honours ``REPRO_NUM_PROCS``, else CPUs.
+
+    The process analogue of :func:`default_thread_count`, with identical
+    validation semantics.  The CLI consults it when ``--n-devices`` is not
+    given; an explicit ``--n-devices`` always wins over the environment.
+    """
+    count = _env_count("REPRO_NUM_PROCS")
+    if count is not None:
         return count
     return os.cpu_count() or 1
 

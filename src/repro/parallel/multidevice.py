@@ -30,7 +30,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.detection.gridbased import _regrow, refine_records
+from repro.detection.gridbased import (
+    _build_round_grid,
+    _regrow,
+    refine_records,
+    shard_round_descriptors,
+    stream_round_positions,
+)
 from repro.detection.pca_tca import interval_radii, merge_conjunctions
 from repro.detection.types import ScreeningConfig, ScreeningResult
 from repro.obs.collect import observe_coherence, observe_conjmap, observe_grid
@@ -43,11 +49,12 @@ from repro.perfmodel.memory import (
     coherence_budget_bytes,
     device_conjunction_capacity,
     grid_instance_bytes,
-    plan_device_memory,
+    plan_stream_rounds,
 )
 from repro.spatial.conjmap import ConjunctionMap, ConjunctionMapFullError, pack_pair_key
 from repro.spatial.grid import cell_size_km
-from repro.spatial.vectorgrid import CoherentPairEmitter, SortedGrid
+from repro.spatial.hashing import MAX_ROUND_STEPS
+from repro.spatial.vectorgrid import CoherentPairEmitter
 
 #: The recognised shard executors.
 EXECUTORS = ("serial", "processes")
@@ -72,6 +79,10 @@ class DeviceReport:
     plan: "MemoryPlan | None"
     #: Conjunction-map overflow → regrow → replay cycles this shard hit.
     regrows: int = 0
+    #: Streamed fused rounds the shard executed over its step shard.
+    rounds: int = 0
+    #: Resolved steps-per-round the shard's grids were sized for.
+    round_size: int = 1
 
 
 @dataclass(frozen=True)
@@ -84,6 +95,8 @@ class ShardStats:
     conjunction_map_capacity: int
     peak_bytes: int
     regrows: int
+    rounds: int = 0
+    round_size: int = 1
 
 
 def partition_steps(n_steps: int, n_devices: int) -> "list[np.ndarray]":
@@ -110,16 +123,31 @@ def run_device_shard(
     tracer=NULL_TRACER,
     metrics=None,
     initial_capacity: "int | None" = None,
+    round_size: "int | None" = None,
+    emitter: "CoherentPairEmitter | None" = None,
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, ShardStats]":
     """One device's candidate collection over its step shard.
 
     The per-shard kernel shared by both executors: the ``serial`` executor
     calls it inline, the ``processes`` executor calls it inside each
-    worker.  Emits a ``device`` span (wrapping the shard's ``phase:INS`` /
-    ``phase:CD`` spans) when a real tracer is attached, feeds ``metrics``
-    with the grid / conjunction-map health counters, and on conjunction-map
-    overflow regrows the map and replays the interrupted step — the replay
-    is idempotent because :class:`ConjunctionMap` deduplicates records.
+    worker.  The shard's steps are sliced into fused rounds of
+    ``round_size`` steps (the Section V-B parallelisation factor resolved
+    by the caller, or a conservative default): each round is one batched
+    Kepler solve, one multi-step grid build and one pair-emission pass,
+    streamed through :func:`~repro.detection.gridbased
+    .stream_round_positions`'s double buffer so the next round's
+    propagation overlaps this round's grid work.  Emits a ``device`` span
+    (wrapping the shard's ``phase:INS`` / ``phase:CD`` spans) when a real
+    tracer is attached, feeds ``metrics`` with the grid / conjunction-map
+    health counters, and on conjunction-map overflow regrows the map and
+    replays the interrupted round — the replay is idempotent because
+    :class:`ConjunctionMap` deduplicates records.
+
+    ``emitter`` lets a persistent worker pass its *resident* coherence
+    emitter; it is reset with ``fresh_window()`` here, so a reused emitter
+    starts every shard exactly like a freshly constructed one (bit-identity
+    across pool reuse).  ``None`` creates a private per-shard emitter when
+    ``config.use_coherence`` asks for one.
 
     Returns the shard's deduplicated ``(i, j, step)`` record arrays (step
     indices are *global*) plus its :class:`ShardStats`.
@@ -130,42 +158,44 @@ def run_device_shard(
             n, config.seconds_per_sample, config.duration_s, config.threshold_km,
             "grid", n_devices,
         )
+    if round_size is None:
+        round_size = 16
+    round_size = max(1, min(round_size, max(len(steps), 1), MAX_ROUND_STEPS))
     conj = ConjunctionMap(initial_capacity)
     grid_bytes = grid_instance_bytes(n, config.precision)
     peak = 0
     regrows = 0
-    # Each shard owns a private coherence emitter, created here so both
-    # executors (inline and worker-process) get a fresh cache per shard:
-    # the round-robin shard sees every D-th step, and diffing across a
-    # shard boundary would compare cells D steps apart.  Under heavy
-    # striding the emitter's churn guard falls back to full emission.
-    emitter = (
-        CoherentPairEmitter(n, budget_bytes=coherence_budget_bytes(n))
-        if config.use_coherence
-        else None
-    )
+    rounds = 0
+    # Coherence state is per-shard by construction: the round-robin shard
+    # sees every D-th step, and diffing across a shard boundary would
+    # compare cells D steps apart.  A resident emitter (persistent pool)
+    # is reset to cold; otherwise a fresh one is created here.  Under
+    # heavy striding the emitter's churn guard falls back to full
+    # emission.
+    if emitter is not None:
+        emitter.fresh_window()
+    elif config.use_coherence:
+        emitter = CoherentPairEmitter(n, budget_bytes=coherence_budget_bytes(n))
     span = (
-        tracer.span("device", device=device, n_steps=len(steps))
+        tracer.span("device", device=device, n_steps=len(steps), round_size=round_size)
         if tracer.enabled
         else NULL_SPAN
     )
     with span:
-        for k in range(len(steps)):
-            step = int(steps[k])
+        descriptors = shard_round_descriptors(times, steps, round_size)
+        for rd, positions in stream_round_positions(propagator, descriptors, timers):
             with timers.phase("INS"):
-                positions = propagator.positions(float(times[step]))
-                grid = SortedGrid(cell)
-                grid.build(ids, positions)
+                grid = _build_round_grid(ids, positions, cell, config)
             with timers.phase("CD"):
                 if emitter is not None:
-                    ci, cj, _ = emitter.round_pairs(grid)
+                    ci, cj, csteps = emitter.round_pairs(grid)
                 else:
-                    ci, cj = grid.candidate_pairs()
+                    ci, cj, csteps = grid.candidate_pair_steps()
                 # Insert-only replay: the emitted arrays survive the regrow,
                 # so overflow never re-propagates or rebuilds the grid.
                 while True:
                     try:
-                        conj.insert_batch(ci, cj, step)
+                        conj.insert_batch(ci, cj, rd.steps[csteps])
                         break
                     except ConjunctionMapFullError:
                         conj = _regrow(conj, incoming=len(ci), metrics=metrics)
@@ -174,7 +204,11 @@ def run_device_shard(
                 metrics.counter("cd.pairs_emitted").add(len(ci))
                 metrics.counter("cd.rounds").add(1)
                 observe_grid(metrics, grid, precision=config.precision)
-            peak = max(peak, conj.memory_bytes + grid_bytes)
+            rounds += 1
+            # Planned allocation accounting: every round's grid is priced
+            # at the resolved round width (the up-front allocation the
+            # Section V-B plan budgets), not the last round's remainder.
+            peak = max(peak, conj.memory_bytes + round_size * grid_bytes)
     if metrics is not None:
         observe_conjmap(metrics, conj)
         if emitter is not None:
@@ -187,6 +221,8 @@ def run_device_shard(
         conjunction_map_capacity=conj.capacity,
         peak_bytes=peak,
         regrows=regrows,
+        rounds=rounds,
+        round_size=round_size,
     )
     return ri, rj, rs, stats
 
@@ -200,6 +236,8 @@ def screen_grid_multidevice(
     tracer=None,
     metrics=None,
     initial_capacity: "int | None" = None,
+    round_size: "int | None" = None,
+    pool=None,
 ) -> "tuple[ScreeningResult, list[DeviceReport]]":
     """Grid-based screening with steps sharded over virtual devices.
 
@@ -227,12 +265,30 @@ def screen_grid_multidevice(
         Override of each shard's initial conjunction-map slot count
         (default: the full-run capacity divided across devices).  Used by
         tests to force overflow → regrow → replay inside a shard.
+    round_size:
+        Steps per fused shard round.  ``None`` derives it from the device
+        budget via :func:`~repro.perfmodel.memory.plan_stream_rounds`
+        (streaming down to one step per round when a full fused round does
+        not fit) or falls back to the shard kernel's default.  Resolved
+        here, in the parent, so every executor runs the identical round
+        schedule.
+    pool:
+        A live :class:`repro.parallel.processes.PersistentShardPool` to
+        run the shards on (``executor="processes"`` only).  ``None`` spins
+        up a one-shot pool for this call.
     """
     executor = resolve_executor(executor)
     if tracer is None:
         tracer = NULL_TRACER
     timers = PhaseTimer(tracer=tracer)
     n = len(population)
+    if pool is not None:
+        if executor != "processes":
+            raise ValueError("pool= requires executor='processes'")
+        if pool.n_devices != n_devices:
+            raise ValueError(
+                f"pool has {pool.n_devices} devices, run asked for {n_devices}"
+            )
 
     window = (
         tracer.span(
@@ -252,16 +308,46 @@ def screen_grid_multidevice(
             times = config.sample_times()
             shards = partition_steps(len(times), n_devices)
             ids = np.arange(n, dtype=np.int64)
+            stream_plan = None
+            budget = (
+                device_budget_bytes
+                if device_budget_bytes is not None
+                else config.memory_budget_bytes
+            )
+            if round_size is None and budget is not None:
+                # Plan against the widest shard; round-robin shards differ
+                # by at most one step, so one plan fits every device.
+                stream_plan = plan_stream_rounds(
+                    n,
+                    config.seconds_per_sample,
+                    config.duration_s,
+                    config.threshold_km,
+                    "grid",
+                    budget,
+                    n_devices=n_devices,
+                    device_steps=len(shards[0]),
+                    precision=config.precision,
+                )
+                round_size = stream_plan.round_size
 
         if executor == "processes":
             from repro.parallel.processes import run_shards_in_processes
 
-            shard_results = run_shards_in_processes(
-                population, config, n_devices, cell,
-                timers=timers, tracer=tracer, metrics=metrics,
-                initial_capacity=initial_capacity,
-                parent_span_id=window.span_id if tracer.enabled else -1,
-            )
+            parent_span_id = window.span_id if tracer.enabled else -1
+            if pool is not None:
+                shard_results = pool.run_window(
+                    population, config, cell,
+                    timers=timers, tracer=tracer, metrics=metrics,
+                    initial_capacity=initial_capacity, round_size=round_size,
+                    parent_span_id=parent_span_id,
+                )
+            else:
+                shard_results = run_shards_in_processes(
+                    population, config, n_devices, cell,
+                    timers=timers, tracer=tracer, metrics=metrics,
+                    initial_capacity=initial_capacity, round_size=round_size,
+                    parent_span_id=parent_span_id,
+                )
         else:
             propagator = Propagator(
                 population, solver=config.solver, precision=config.precision
@@ -274,6 +360,7 @@ def screen_grid_multidevice(
                         device, n_devices, timers,
                         tracer=tracer, metrics=metrics,
                         initial_capacity=initial_capacity,
+                        round_size=round_size,
                     )
                 )
 
@@ -287,7 +374,10 @@ def screen_grid_multidevice(
             all_steps.append(rs)
             plan = None
             if device_budget_bytes is not None:
-                plan = plan_device_memory(
+                # Same arithmetic as plan_device_memory, but through the
+                # streaming planner so a budget too tight for one fused
+                # grid instance degrades (round_size=1) instead of raising.
+                plan = plan_stream_rounds(
                     n,
                     config.seconds_per_sample,
                     config.duration_s,
@@ -297,7 +387,7 @@ def screen_grid_multidevice(
                     n_devices=n_devices,
                     device_steps=len(shards[stats.device]),
                     precision=config.precision,
-                )
+                ).plan
             reports.append(
                 DeviceReport(
                     device=stats.device,
@@ -307,6 +397,8 @@ def screen_grid_multidevice(
                     peak_bytes=stats.peak_bytes,
                     plan=plan,
                     regrows=stats.regrows,
+                    rounds=stats.rounds,
+                    round_size=stats.round_size,
                 )
             )
 
@@ -351,6 +443,8 @@ def screen_grid_multidevice(
         extra={
             "n_devices": n_devices,
             "executor": executor,
+            "round_size": round_size,
+            "stream_plan": stream_plan,
             "cell_size_km": cell,
             "ref_cell_size_km": ref_cell,
             "precision": config.precision,

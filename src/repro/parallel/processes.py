@@ -7,44 +7,54 @@ Section VI memory relief on one host — each worker owns its grids and
 conjunction map, and CPython's GIL stops mattering for the Python-level
 shard loops.
 
-Design (DESIGN.md §8):
+Design (DESIGN.md §8) — the **persistent pool** architecture:
 
+* **Persistent per-device workers.**  :class:`PersistentShardPool` keeps
+  one spawn-safe, single-worker executor per virtual device alive across
+  screening windows.  Workers attach the shared-memory population *once*
+  and hold their shard state **resident** between windows: the attached
+  population views, the precomputed Kepler solver data
+  (:class:`~repro.orbits.propagation.Propagator`), and the
+  temporal-coherence emitter all survive in the worker's module state
+  (``_RESIDENT``) instead of being rebuilt per dispatch.  A window
+  dispatch ships only a lightweight :class:`WindowTask` descriptor.
 * **Shared-memory population.**  The population's six element arrays are
   published **once** into a single ``multiprocessing.shared_memory``
   block (:class:`SharedPopulation`); each worker attaches by name and
   reconstructs the :class:`~repro.orbits.elements.OrbitalElementsArray`
-  as zero-copy views.  Workers never receive the population through
-  pickling.
-* **Spawn-safe workers.**  The pool uses the ``spawn`` start method — the
-  only one that is safe regardless of the parent's thread state — so the
-  worker entry point is a module-level function taking one picklable
-  :class:`ShardTask`.
-* **Compact returns.**  A worker ships back a :class:`ShardOutcome`:
-  deduplicated ``(i, j, step)`` record *arrays* (never Python object
-  lists), its :class:`~repro.parallel.backend.PhaseTimer`, its
-  :class:`~repro.obs.metrics.MetricsRegistry`, and its finished trace
-  spans.
-* **Observability re-parenting.**  The parent merges worker timers and
-  metrics with the existing commutative combiners and grafts worker span
-  trees under its own ``window`` span via
-  :meth:`repro.obs.tracer.Tracer.adopt`, so a traced ``processes`` run
-  yields one schema-valid span tree with a ``device`` span per shard.
+  as zero-copy views.  Re-publishing a same-sized population overwrites
+  the block in place and bumps a version counter — workers re-derive
+  their resident solver data when the version moves, and never receive
+  the population through pickling.
+* **Shard-local results, merged once per window.**  A worker writes its
+  deduplicated ``(i, j, step)`` record arrays into its *own* shared-memory
+  result block (grown geometrically, reused across windows) and ships only
+  the block name and record count.  The parent attaches, copies the arrays
+  out, and re-sorts the concatenation into conjunction-map key order —
+  one merge per window, not one result pickle per round.
+* **Leak-safe teardown.**  Every attach/create pairs with a ``finally``
+  or ``atexit`` release: workers register :func:`_release_resident` so a
+  pool shutdown (clean or after a mid-round shard failure) drops all
+  views, closes the population attach and unlinks the worker's result
+  block; the parent's :meth:`PersistentShardPool.close` additionally
+  unlinks any result block a dead worker left behind.  The attach-side
+  ``resource_tracker`` registration (CPython gh-82300) is harmless:
+  pool children share the parent's tracker process, whose per-type cache
+  is a set, so duplicate registrations collapse and whichever side
+  unlinks unregisters the one entry.
 
 Merging is order-insensitive end to end: outcomes are keyed by device
 index, every metric combiner is commutative, and the caller re-sorts the
 concatenated records into conjunction-map key order — so the merged
 result is bit-identical to the single-device run no matter how the OS
-schedules the workers.
-
-Temporal-coherence state is per-shard by construction: ``run_device_shard``
-creates its :class:`~repro.spatial.vectorgrid.CoherentPairEmitter` inside
-the shard body, so a worker process can never observe (or corrupt) another
-shard's cell-membership cache, and a reused pool starts every shard with a
-cold cache.
+schedules the workers.  Resident state is scrubbed at window entry
+(``Propagator.reset_warm_start``, ``CoherentPairEmitter.fresh_window``)
+so a reused pool starts every window exactly like a fresh process.
 """
 from __future__ import annotations
 
-import os
+import atexit
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context, shared_memory
@@ -52,14 +62,20 @@ from multiprocessing import get_context, shared_memory
 import numpy as np
 
 from repro.detection.types import ScreeningConfig
+from repro.obs.collect import observe_pool
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, SpanRecord, Tracer
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer
+from repro.perfmodel.memory import coherence_budget_bytes
+from repro.spatial.vectorgrid import CoherentPairEmitter
 
 #: The element arrays published for the workers, in block row order.
 ELEMENT_FIELDS = ("a", "e", "i", "raan", "argp", "m0")
+
+#: Smallest worker result block, bytes (grown geometrically from here).
+MIN_RESULT_BLOCK_BYTES = 4096
 
 
 class SharedPopulation:
@@ -69,26 +85,50 @@ class SharedPopulation:
     :data:`ELEMENT_FIELDS`.  The creating (parent) process owns the
     segment and must call :meth:`close` (which also unlinks it); workers
     attach by name via :func:`attach_population` and only close.
+
+    :meth:`update` overwrites the block in place with a same-sized
+    population and bumps :attr:`version` — how a persistent pool re-feeds
+    its already-attached workers a new window's advanced elements without
+    re-publishing (or re-attaching) anything.
     """
 
     def __init__(self, population: OrbitalElementsArray) -> None:
         n = len(population)
         self.n = n
+        self.version = 0
+        self._closed = False
         self._shm = shared_memory.SharedMemory(
             create=True, size=len(ELEMENT_FIELDS) * n * 8
         )
-        block = np.ndarray((len(ELEMENT_FIELDS), n), dtype=np.float64, buffer=self._shm.buf)
+        self.name = self._shm.name
+        self._write(population)
+
+    def _write(self, population: OrbitalElementsArray) -> None:
+        block = np.ndarray((len(ELEMENT_FIELDS), self.n), dtype=np.float64, buffer=self._shm.buf)
         for row, name in enumerate(ELEMENT_FIELDS):
             block[row] = getattr(population, name)
         del block
-        self.name = self._shm.name
+        self.version += 1
+
+    def update(self, population: OrbitalElementsArray) -> None:
+        """Overwrite the block with a same-sized population (version bump)."""
+        if self._closed:
+            raise RuntimeError("SharedPopulation is closed")
+        if len(population) != self.n:
+            raise ValueError(
+                f"population size changed: block holds {self.n}, got {len(population)}"
+            )
+        self._write(population)
 
     def close(self) -> None:
-        """Release and unlink the segment (parent side)."""
+        """Release and unlink the segment (parent side).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         self._shm.close()
         try:
             self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - double close
+        except FileNotFoundError:  # pragma: no cover - double unlink
             pass
 
 
@@ -108,15 +148,23 @@ def attach_population(
 
 
 @dataclass(frozen=True)
-class ShardTask:
-    """Everything one worker needs, picklable and population-free."""
+class WindowTask:
+    """One window's dispatch descriptor: picklable and population-free.
+
+    Everything that varies per window rides here; everything heavy
+    (population block, solver data, coherence cache) is resident in the
+    worker and keyed by ``(shm_name, version)``.
+    """
 
     shm_name: str
     n_objects: int
+    #: :attr:`SharedPopulation.version` of the block's current contents.
+    version: int
     config: ScreeningConfig
     device: int
     n_devices: int
     cell: float
+    round_size: "int | None"
     initial_capacity: "int | None"
     trace: bool
     collect_metrics: bool
@@ -124,12 +172,16 @@ class ShardTask:
 
 @dataclass
 class ShardOutcome:
-    """One worker's compact result set."""
+    """One worker's compact per-window result.
+
+    The record arrays live in the worker's shard-local shared-memory
+    block (:attr:`result_name` / :attr:`n_records`); only accounting and
+    observability payloads travel through the future.
+    """
 
     stats: "object"  # repro.parallel.multidevice.ShardStats
-    rec_i: np.ndarray
-    rec_j: np.ndarray
-    rec_step: np.ndarray
+    result_name: str
+    n_records: int
     timers: PhaseTimer
     metrics: "MetricsRegistry | None"
     spans: "list[SpanRecord]" = field(default_factory=list)
@@ -137,56 +189,339 @@ class ShardOutcome:
     epoch_unix: float = 0.0
 
 
-def _screen_shard_worker(task: ShardTask) -> ShardOutcome:
-    """Worker entry point: run one device shard against the shared block."""
+# ---------------------------------------------------------------------------
+# Worker-side resident state.
+#
+# Lives in the worker process's module globals, keyed so that a changed
+# population (new block name or bumped version) transparently re-derives
+# exactly the stale pieces.  ``_release_resident`` is registered via the
+# pool initializer's ``atexit`` hook, so a worker exiting for *any*
+# orderly reason (pool shutdown, pool crash-recovery respawn) releases
+# its attach and unlinks its result block.
+# ---------------------------------------------------------------------------
+
+_RESIDENT: "dict[str, object]" = {}
+
+
+def _release_resident() -> None:
+    """Drop all views, close the population attach, unlink the result block."""
+    _RESIDENT.pop("prop", None)
+    _RESIDENT.pop("prop_key", None)
+    _RESIDENT.pop("pop", None)
+    _RESIDENT.pop("pop_key", None)
+    _RESIDENT.pop("emitter", None)
+    _RESIDENT.pop("emitter_key", None)
+    shm = _RESIDENT.pop("pop_shm", None)
+    if shm is not None:
+        shm.close()
+    result = _RESIDENT.pop("result", None)
+    if result is not None:
+        result.close()
+        try:
+            result.unlink()
+        except FileNotFoundError:  # pragma: no cover - parent beat us to it
+            pass
+
+
+def _pool_worker_init() -> None:
+    """Worker initializer: guarantee resident-state release at exit."""
+    atexit.register(_release_resident)
+
+
+def _resident_population(shm_name: str, n: int, version: int) -> OrbitalElementsArray:
+    """The worker's resident population, (re)derived as needed.
+
+    Same block and version: return the cached zero-copy views.  Bumped
+    version: re-wrap the (in-place updated) block so derived quantities
+    (the cached mean motion) recompute.  New block name: drop every view
+    of the old block, close it, attach the new one.
+    """
+    key = (shm_name, n, version)
+    if _RESIDENT.get("pop_key") == key:
+        return _RESIDENT["pop"]
+    # Invalidate everything derived from the old contents *before*
+    # touching the segment handles — views must die before close().
+    _RESIDENT.pop("pop", None)
+    _RESIDENT.pop("pop_key", None)
+    _RESIDENT.pop("prop", None)
+    _RESIDENT.pop("prop_key", None)
+    shm = _RESIDENT.get("pop_shm")
+    if shm is not None and shm.name != shm_name:
+        _RESIDENT.pop("pop_shm").close()
+        shm = None
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=shm_name)
+        _RESIDENT["pop_shm"] = shm
+    block = np.ndarray((len(ELEMENT_FIELDS), n), dtype=np.float64, buffer=shm.buf)
+    population = OrbitalElementsArray(*(block[row] for row in range(len(ELEMENT_FIELDS))))
+    _RESIDENT["pop"] = population
+    _RESIDENT["pop_key"] = key
+    return population
+
+
+def _resident_propagator(task: WindowTask, population: OrbitalElementsArray) -> Propagator:
+    """The worker's resident solver data, rebuilt only when inputs change.
+
+    A cache hit still calls :meth:`Propagator.reset_warm_start` — every
+    window must start from the cold cache a fresh process would have, so
+    pool reuse stays bit-identical to fresh serial runs.
+    """
+    key = (task.shm_name, task.version, task.config.solver, task.config.precision)
+    if _RESIDENT.get("prop_key") == key:
+        prop: Propagator = _RESIDENT["prop"]
+        prop.reset_warm_start()
+        return prop
+    prop = Propagator(
+        population, solver=task.config.solver, precision=task.config.precision
+    )
+    _RESIDENT["prop"] = prop
+    _RESIDENT["prop_key"] = key
+    return prop
+
+
+def _resident_emitter(task: WindowTask) -> CoherentPairEmitter:
+    """The worker's resident coherence emitter (reset per window downstream)."""
+    budget = coherence_budget_bytes(task.n_objects)
+    key = (task.n_objects, budget)
+    if _RESIDENT.get("emitter_key") == key:
+        return _RESIDENT["emitter"]
+    emitter = CoherentPairEmitter(task.n_objects, budget_bytes=budget)
+    _RESIDENT["emitter"] = emitter
+    _RESIDENT["emitter_key"] = key
+    return emitter
+
+
+def _ship_records(
+    rec_i: np.ndarray, rec_j: np.ndarray, rec_step: np.ndarray
+) -> "tuple[str, int]":
+    """Write the shard's records into the worker's shard-local block.
+
+    The block is worker-owned and reused across windows; when a window's
+    records outgrow it, the old block is closed **and unlinked** before a
+    doubled replacement is created (no orphaned generations).  Layout:
+    a ``(3, n_records)`` int64 array — rows ``i``, ``j``, ``step``.
+    """
+    n_records = len(rec_i)
+    needed = max(3 * n_records * 8, MIN_RESULT_BLOCK_BYTES)
+    result = _RESIDENT.get("result")
+    if result is not None and result.size < needed:
+        result.close()
+        try:
+            result.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+        result = None
+    if result is None:
+        size = 1 << (needed - 1).bit_length()
+        result = shared_memory.SharedMemory(create=True, size=size)
+        _RESIDENT["result"] = result
+    block = np.ndarray((3, n_records), dtype=np.int64, buffer=result.buf)
+    block[0] = rec_i
+    block[1] = rec_j
+    block[2] = rec_step
+    del block
+    return result.name, n_records
+
+
+def _pool_run_window(task: WindowTask) -> ShardOutcome:
+    """Worker entry point: run one window's device shard on resident state."""
     from repro.parallel.multidevice import partition_steps, run_device_shard
 
-    shm, population = attach_population(task.shm_name, task.n_objects)
-    try:
-        tracer = Tracer() if task.trace else NULL_TRACER
-        timers = PhaseTimer(tracer=tracer)
-        metrics = MetricsRegistry() if task.collect_metrics else None
-        # The config rides the pickled task, so the precision policy (and
-        # with it the float32 broad phase) reaches every worker unchanged.
-        propagator = Propagator(
-            population, solver=task.config.solver, precision=task.config.precision
-        )
-        ids = np.arange(task.n_objects, dtype=np.int64)
-        times = task.config.sample_times()
-        steps = partition_steps(len(times), task.n_devices)[task.device]
-        rec_i, rec_j, rec_step, stats = run_device_shard(
-            propagator, ids, times, steps, task.cell, task.config,
-            task.device, task.n_devices, timers,
-            tracer=tracer, metrics=metrics,
-            initial_capacity=task.initial_capacity,
-        )
-        # A live Tracer is not picklable (lock + thread-local state); ship
-        # its finished records instead and strip it off the timer.
-        spans = tracer.records() if task.trace else []
-        epoch_unix = tracer.epoch_unix if task.trace else 0.0
-        timers.tracer = NULL_TRACER
-        return ShardOutcome(
-            stats=stats,
-            rec_i=rec_i,
-            rec_j=rec_j,
-            rec_step=rec_step,
-            timers=timers,
-            metrics=metrics,
-            spans=spans,
-            epoch_unix=epoch_unix,
-        )
-    finally:
-        # Drop every view into the block before closing, or mmap refuses
-        # to release the exported buffer.
-        del population
-        if "propagator" in locals():
-            del propagator
-        # Close only — the parent owns and unlinks the segment.  The
-        # attach-side resource_tracker registration (CPython gh-82300) is
-        # harmless here: pool children share the parent's tracker process,
-        # whose per-type cache is a set, so the duplicate registration
-        # collapses and the parent's unlink unregisters the one entry.
-        shm.close()
+    population = _resident_population(task.shm_name, task.n_objects, task.version)
+    propagator = _resident_propagator(task, population)
+    emitter = _resident_emitter(task) if task.config.use_coherence else None
+    tracer = Tracer() if task.trace else NULL_TRACER
+    timers = PhaseTimer(tracer=tracer)
+    metrics = MetricsRegistry() if task.collect_metrics else None
+    ids = np.arange(task.n_objects, dtype=np.int64)
+    times = task.config.sample_times()
+    steps = partition_steps(len(times), task.n_devices)[task.device]
+    rec_i, rec_j, rec_step, stats = run_device_shard(
+        propagator, ids, times, steps, task.cell, task.config,
+        task.device, task.n_devices, timers,
+        tracer=tracer, metrics=metrics,
+        initial_capacity=task.initial_capacity,
+        round_size=task.round_size,
+        emitter=emitter,
+    )
+    result_name, n_records = _ship_records(rec_i, rec_j, rec_step)
+    # A live Tracer is not picklable (lock + thread-local state); ship
+    # its finished records instead and strip it off the timer.
+    spans = tracer.records() if task.trace else []
+    epoch_unix = tracer.epoch_unix if task.trace else 0.0
+    timers.tracer = NULL_TRACER
+    return ShardOutcome(
+        stats=stats,
+        result_name=result_name,
+        n_records=n_records,
+        timers=timers,
+        metrics=metrics,
+        spans=spans,
+        epoch_unix=epoch_unix,
+    )
+
+
+class PersistentShardPool:
+    """A pool of per-device worker processes that persists across windows.
+
+    One single-worker spawn executor per virtual device pins each device's
+    resident state (population attach, solver data, coherence cache,
+    result block) to one OS process for the pool's lifetime — dispatching
+    a window costs one :class:`WindowTask` pickle per device instead of a
+    process spawn plus a population ship.
+
+    Use as a context manager, or call :meth:`close` — teardown shuts the
+    workers down (their ``atexit`` hooks release all shared-memory
+    attachments), then sweeps any result block a worker failed to unlink,
+    then unlinks the population block.
+    """
+
+    def __init__(self, n_devices: int) -> None:
+        if n_devices <= 0:
+            raise ValueError(f"n_devices must be positive, got {n_devices}")
+        self.n_devices = n_devices
+        ctx = get_context("spawn")
+        self._executors = [
+            ProcessPoolExecutor(
+                max_workers=1, mp_context=ctx, initializer=_pool_worker_init
+            )
+            for _ in range(n_devices)
+        ]
+        self._shared: "SharedPopulation | None" = None
+        #: Per-device attachments to the workers' result blocks.
+        self._attached: "dict[int, shared_memory.SharedMemory]" = {}
+        #: Windows dispatched over the pool's lifetime.
+        self.windows = 0
+        self._closed = False
+
+    def __enter__(self) -> "PersistentShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def publish(self, population: OrbitalElementsArray) -> SharedPopulation:
+        """Publish (or in-place refresh) the population block."""
+        if self._shared is not None and self._shared.n == len(population):
+            self._shared.update(population)
+        else:
+            if self._shared is not None:
+                self._shared.close()
+            self._shared = SharedPopulation(population)
+        return self._shared
+
+    def _read_records(
+        self, device: int, result_name: str, n_records: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Copy one shard's records out of its shard-local block."""
+        shm = self._attached.get(device)
+        if shm is not None and shm.name != result_name:
+            shm.close()
+            shm = None
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=result_name)
+            self._attached[device] = shm
+        block = np.ndarray((3, n_records), dtype=np.int64, buffer=shm.buf)
+        rec_i, rec_j, rec_step = block[0].copy(), block[1].copy(), block[2].copy()
+        del block
+        return rec_i, rec_j, rec_step
+
+    def run_window(
+        self,
+        population: OrbitalElementsArray,
+        config: ScreeningConfig,
+        cell: float,
+        timers: PhaseTimer,
+        tracer=NULL_TRACER,
+        metrics: "MetricsRegistry | None" = None,
+        initial_capacity: "int | None" = None,
+        round_size: "int | None" = None,
+        parent_span_id: int = -1,
+    ) -> "list[tuple[np.ndarray, np.ndarray, np.ndarray, object]]":
+        """Run one screening window's shards on the resident workers.
+
+        Publishes/refreshes the population, fans a :class:`WindowTask`
+        out to every device's worker, then performs the once-per-window
+        merge: worker timers and metrics fold in through the commutative
+        combiners, span trees graft under ``parent_span_id``, and each
+        shard's records are copied out of its shard-local block.  Returns
+        the per-shard ``(rec_i, rec_j, rec_step, stats)`` tuples ordered
+        by device index — the same shape the serial executor produces
+        inline.
+        """
+        if self._closed:
+            raise RuntimeError("PersistentShardPool is closed")
+        shared = self.publish(population)
+        trace = bool(getattr(tracer, "enabled", False))
+        tasks = [
+            WindowTask(
+                shm_name=shared.name,
+                n_objects=shared.n,
+                version=shared.version,
+                config=config,
+                device=device,
+                n_devices=self.n_devices,
+                cell=cell,
+                round_size=round_size,
+                initial_capacity=initial_capacity,
+                trace=trace,
+                collect_metrics=metrics is not None,
+            )
+            for device in range(self.n_devices)
+        ]
+        futures = [
+            self._executors[device].submit(_pool_run_window, task)
+            for device, task in enumerate(tasks)
+        ]
+        outcomes = [future.result() for future in futures]
+
+        merge_start = time.perf_counter()
+        results = []
+        rounds_resident = 0
+        for device, outcome in enumerate(outcomes):
+            timers.merge(outcome.timers)
+            if metrics is not None and outcome.metrics is not None:
+                metrics.merge(outcome.metrics)
+            if trace and outcome.spans:
+                tracer.adopt(
+                    outcome.spans, parent_id=parent_span_id, epoch_unix=outcome.epoch_unix
+                )
+            rec_i, rec_j, rec_step = self._read_records(
+                device, outcome.result_name, outcome.n_records
+            )
+            rounds_resident += getattr(outcome.stats, "rounds", 0)
+            results.append((rec_i, rec_j, rec_step, outcome.stats))
+        self.windows += 1
+        if metrics is not None:
+            observe_pool(
+                metrics,
+                rounds_resident=rounds_resident,
+                merge_seconds=time.perf_counter() - merge_start,
+            )
+        return results
+
+    def close(self) -> None:
+        """Shut the workers down and release every shared-memory segment.
+
+        Idempotent.  Worker ``atexit`` hooks normally unlink the result
+        blocks; the sweep here covers workers that died without running
+        them, so the pool never orphans a block whichever side crashed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+        for shm in self._attached.values():
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass  # the worker's atexit hook got there first — normal
+            shm.close()
+        self._attached.clear()
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
 
 
 def run_shards_in_processes(
@@ -198,53 +533,25 @@ def run_shards_in_processes(
     tracer=NULL_TRACER,
     metrics: "MetricsRegistry | None" = None,
     initial_capacity: "int | None" = None,
+    round_size: "int | None" = None,
     parent_span_id: int = -1,
 ) -> "list[tuple[np.ndarray, np.ndarray, np.ndarray, object]]":
     """Run every device shard in its own OS process and merge the results.
 
-    Publishes ``population`` once through shared memory, fans the shard
-    tasks out over a spawn-safe :class:`ProcessPoolExecutor`, then merges
-    each worker's phase timers / metrics with the commutative combiners
-    and adopts its spans under ``parent_span_id``.  Returns the per-shard
-    ``(rec_i, rec_j, rec_step, stats)`` tuples ordered by device index —
-    the same shape the serial executor produces inline.
+    The one-shot convenience wrapper: spins up a
+    :class:`PersistentShardPool` for a single window and tears it down in
+    a ``finally`` — so even a shard failure mid-round cannot orphan the
+    population or result blocks.  Callers screening repeatedly should
+    hold a pool open themselves (see
+    :class:`repro.ops.campaign.ScreeningCampaign`) to amortise the spawn.
     """
-    shared = SharedPopulation(population)
-    tasks = [
-        ShardTask(
-            shm_name=shared.name,
-            n_objects=shared.n,
-            config=config,
-            device=device,
-            n_devices=n_devices,
-            cell=cell,
-            initial_capacity=initial_capacity,
-            trace=bool(getattr(tracer, "enabled", False)),
-            collect_metrics=metrics is not None,
-        )
-        for device in range(n_devices)
-    ]
-    max_workers = min(n_devices, os.cpu_count() or 1)
-    outcomes: "list[ShardOutcome | None]" = [None] * n_devices
+    pool = PersistentShardPool(n_devices)
     try:
-        with ProcessPoolExecutor(
-            max_workers=max_workers, mp_context=get_context("spawn")
-        ) as pool:
-            futures = {pool.submit(_screen_shard_worker, task): task.device for task in tasks}
-            for future, device in futures.items():
-                outcomes[device] = future.result()
+        return pool.run_window(
+            population, config, cell,
+            timers=timers, tracer=tracer, metrics=metrics,
+            initial_capacity=initial_capacity, round_size=round_size,
+            parent_span_id=parent_span_id,
+        )
     finally:
-        shared.close()
-
-    results = []
-    for outcome in outcomes:
-        assert outcome is not None
-        timers.merge(outcome.timers)
-        if metrics is not None and outcome.metrics is not None:
-            metrics.merge(outcome.metrics)
-        if getattr(tracer, "enabled", False) and outcome.spans:
-            tracer.adopt(
-                outcome.spans, parent_id=parent_span_id, epoch_unix=outcome.epoch_unix
-            )
-        results.append((outcome.rec_i, outcome.rec_j, outcome.rec_step, outcome.stats))
-    return results
+        pool.close()

@@ -112,6 +112,46 @@ def fit_power_law(
     )
 
 
+def crossover_point(
+    model_a: PowerLawModel,
+    model_b: PowerLawModel,
+    parameter: str,
+    lo: float,
+    hi: float,
+    fixed: "dict[str, float] | None" = None,
+    tolerance: float = 1e-3,
+) -> "float | None":
+    """Smallest ``parameter`` value in ``[lo, hi]`` where ``model_a <= model_b``.
+
+    The scaling-benchmark question "from which n does the process pool
+    beat single-device?" asked of two fitted runtime models.  Both models
+    are monotone power laws of ``parameter`` (all other parameters pinned
+    via ``fixed``), so their log-ratio is monotone and log-space bisection
+    finds the crossing.  Returns ``lo`` when ``model_a`` already wins at
+    the low end, ``None`` when it never wins inside the bracket.
+    """
+    if not (0.0 < lo <= hi):
+        raise ValueError(f"need 0 < lo <= hi, got lo={lo}, hi={hi}")
+    params = dict(fixed or {})
+
+    def gap(x: float) -> float:
+        params[parameter] = x
+        return math.log(model_a.predict(**params)) - math.log(model_b.predict(**params))
+
+    if gap(lo) <= 0.0:
+        return lo
+    if gap(hi) > 0.0:
+        return None
+    log_lo, log_hi = math.log(lo), math.log(hi)
+    while log_hi - log_lo > tolerance:
+        mid = 0.5 * (log_lo + log_hi)
+        if gap(math.exp(mid)) <= 0.0:
+            log_hi = mid
+        else:
+            log_lo = mid
+    return math.exp(log_hi)
+
+
 def paper_conjunction_model(variant: str) -> PowerLawModel:
     """The paper's published conjunction-count models (Eqs. 3 and 4).
 

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 
 from repro.perfmodel.extrap import paper_conjunction_model
+from repro.spatial.hashing import MAX_ROUND_STEPS
 
 #: Bytes per satellite for the initial element data ``a_s``: six float64
 #: elements plus the cached mean motion.
@@ -353,6 +354,117 @@ def plan_memory(
             **plan.__dict__,
             "requested_seconds_per_sample": requested,
         }
+    )
+
+
+def position_step_bytes(n_satellites: int, precision: str = "fp64") -> int:
+    """Bytes one sampling step's position block occupies: ``n`` 3-vectors.
+
+    ``fp64`` positions are 24 B per satellite; the mixed broad phase emits
+    float32 positions at 12 B.  The streaming planner charges *two* of
+    these per in-flight round step (the double buffer: the round being
+    screened plus the slice being prefetched).
+    """
+    per_axis = 4 if precision == "mixed" else 8
+    return 3 * per_axis * n_satellites
+
+
+@dataclass(frozen=True)
+class StreamPlan:
+    """A device shard's out-of-core round plan.
+
+    When the Section V-B parallelisation factor of a full fused round does
+    not fit the device budget, the shard *streams*: it slices its step
+    shard into rounds of ``round_size`` steps and pipes each slice's
+    positions through a bounded double buffer (compute the current slice's
+    grid while the next slice propagates).  ``round_size`` is the largest
+    slice whose grid lanes **plus** two position buffers fit the budget's
+    free space — never zero, so a 1M-object shard degrades to
+    one-step-at-a-time streaming instead of failing.
+    """
+
+    plan: MemoryPlan
+    #: Steps per streamed round actually dispatched to the shard kernel.
+    round_size: int
+    #: True when the budget forced ``round_size`` below the requested
+    #: fused-round width — the shard is genuinely out-of-core.
+    streamed: bool
+    #: Bytes held by the two in-flight position slices.
+    buffer_bytes: int
+
+    @property
+    def rounds(self) -> int:
+        """Streamed rounds the shard will run over its step shard."""
+        o = self.plan.total_samples
+        return int(math.ceil(o / self.round_size)) if o else 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Peak planned footprint: fixed allocations + one resident round."""
+        return (
+            self.plan.fixed_bytes
+            + self.round_size * self.plan.per_grid_bytes
+            + self.buffer_bytes
+        )
+
+
+def plan_stream_rounds(
+    n_satellites: int,
+    seconds_per_sample: float,
+    duration_s: float,
+    threshold_km: float,
+    variant: str,
+    budget_bytes: int,
+    n_devices: int,
+    device_steps: int,
+    requested_round_size: "int | None" = None,
+    precision: str = "fp64",
+) -> StreamPlan:
+    """Plan one device shard's streamed rounds under a byte budget.
+
+    Unlike :func:`plan_device_memory` this never raises on a tight budget:
+    when even one fused grid instance does not fit, the shard streams
+    single steps (``round_size=1``) — the out-of-core degradation the 1M
+    workload needs.  ``requested_round_size`` caps the round width (the
+    caller's preferred fused-round size); ``None`` means "as wide as the
+    budget and the shard allow", bounded by :data:`MAX_ROUND_STEPS`.
+    """
+    if n_satellites <= 0:
+        raise ValueError(f"n_satellites must be positive, got {n_satellites}")
+    if budget_bytes <= 0:
+        raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+    if device_steps < 0:
+        raise ValueError(f"device_steps must be non-negative, got {device_steps}")
+    conj_slots = device_conjunction_capacity(
+        n_satellites, seconds_per_sample, duration_s, threshold_km, variant, n_devices
+    )
+    plan = _plan_once(
+        n_satellites,
+        seconds_per_sample,
+        duration_s,
+        threshold_km,
+        variant,
+        budget_bytes,
+        conj_slots=conj_slots,
+        total_samples=device_steps,
+        precision=precision,
+    )
+    pos_bytes = position_step_bytes(n_satellites, precision)
+    free = budget_bytes - plan.fixed_bytes
+    # Each in-flight round step costs one grid slice plus two position
+    # buffers (current + prefetch).  Floor at one step: streaming exists
+    # precisely so tight budgets degrade instead of raising.
+    fit = max(int(free // (plan.per_grid_bytes + 2 * pos_bytes)), 1)
+    cap = requested_round_size if requested_round_size is not None else MAX_ROUND_STEPS
+    if cap <= 0:
+        raise ValueError(f"requested_round_size must be positive, got {cap}")
+    round_size = max(1, min(fit, cap, max(device_steps, 1), MAX_ROUND_STEPS))
+    wanted = min(cap, max(device_steps, 1), MAX_ROUND_STEPS)
+    return StreamPlan(
+        plan=plan,
+        round_size=round_size,
+        streamed=round_size < wanted,
+        buffer_bytes=2 * round_size * pos_bytes,
     )
 
 

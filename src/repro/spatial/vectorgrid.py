@@ -982,6 +982,19 @@ class CoherentPairEmitter:
         self._pair_i = np.empty(0, dtype=np.int64)
         self._pair_j = np.empty(0, dtype=np.int64)
 
+    def fresh_window(self) -> None:
+        """Reset the emitter to its just-constructed state for a new window.
+
+        A resident shard worker (the persistent process pool) keeps one
+        emitter instance alive across screening windows; calling this at
+        window start drops both the cross-step cache *and* the lifetime
+        stats, so a reused emitter emits — and reports — exactly what a
+        freshly constructed one would.  Within a window the cache stays
+        resident across rounds, which is where the coherence win lives.
+        """
+        self.stats = CoherenceStats()
+        self.reset()
+
     def cache_bytes(self) -> int:
         """Actual byte footprint of the coherence cache."""
         prev = 0 if self._prev_cells is None else self._prev_cells.nbytes

@@ -10,6 +10,7 @@ from repro.parallel.backend import (
     BACKENDS,
     PhaseTimer,
     chunk_ranges,
+    default_process_count,
     default_thread_count,
     parallel_for,
     resolve_backend,
@@ -113,6 +114,30 @@ class TestBackendNames:
         monkeypatch.setenv("REPRO_NUM_THREADS", "-2")
         with pytest.raises(ValueError, match="REPRO_NUM_THREADS"):
             default_thread_count()
+
+    def test_env_process_count(self, monkeypatch):
+        """REPRO_NUM_PROCS mirrors REPRO_NUM_THREADS' validation exactly."""
+        monkeypatch.setenv("REPRO_NUM_PROCS", "3")
+        assert default_process_count() == 3
+        monkeypatch.setenv("REPRO_NUM_PROCS", " 4 ")
+        assert default_process_count() == 4
+        monkeypatch.setenv("REPRO_NUM_PROCS", "")
+        assert default_process_count() >= 1
+        monkeypatch.setenv("REPRO_NUM_PROCS", "0")
+        with pytest.raises(ValueError, match="REPRO_NUM_PROCS"):
+            default_process_count()
+        monkeypatch.setenv("REPRO_NUM_PROCS", "-1")
+        with pytest.raises(ValueError, match="REPRO_NUM_PROCS"):
+            default_process_count()
+        monkeypatch.setenv("REPRO_NUM_PROCS", "many")
+        with pytest.raises(ValueError, match="REPRO_NUM_PROCS.*'many'"):
+            default_process_count()
+
+    def test_env_process_and_thread_counts_are_independent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "7")
+        monkeypatch.setenv("REPRO_NUM_PROCS", "2")
+        assert default_thread_count() == 7
+        assert default_process_count() == 2
 
 
 class TestPhaseTimer:

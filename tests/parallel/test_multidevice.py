@@ -147,15 +147,20 @@ class TestObservability:
 
 class TestMemoryAccounting:
     def test_peak_bytes_derive_from_the_planner_constants(self, crossing_pair):
-        """Each shard's peak is its conjunction map plus one per-step grid
-        instance, both priced by ``perfmodel.memory`` — not hardcoded."""
+        """Each shard's peak is its conjunction map plus one fused round's
+        grid instances, all priced by ``perfmodel.memory`` — not hardcoded."""
         _, reports = screen_grid_multidevice(crossing_pair, CFG, n_devices=2)
         n = len(crossing_pair)
         for r in reports:
             # No regrows here: the map never grew, so the peak is exactly
-            # final-capacity slots plus the per-grid footprint.
+            # final-capacity slots plus one round's grid footprint.
             assert r.regrows == 0
-            assert r.peak_bytes == r.conjunction_map_capacity * 16 + grid_instance_bytes(n)
+            assert r.round_size >= 1
+            assert r.rounds * r.round_size >= r.steps_processed
+            assert r.peak_bytes == (
+                r.conjunction_map_capacity * 16
+                + r.round_size * grid_instance_bytes(n)
+            )
 
     def test_device_capacity_matches_runtime_allocation(self, crossing_pair):
         _, reports = screen_grid_multidevice(crossing_pair, CFG, n_devices=2)

@@ -12,6 +12,7 @@ from repro.obs import MetricsRegistry, Tracer, to_chrome_trace
 from repro.parallel.multidevice import screen_grid_multidevice
 from repro.parallel.processes import (
     ELEMENT_FIELDS,
+    PersistentShardPool,
     SharedPopulation,
     attach_population,
 )
@@ -60,6 +61,39 @@ class TestSharedPopulation:
         shared = SharedPopulation(crossing_pair)
         shared.close()
         shared.close()  # second close/unlink must not raise
+
+    def test_in_place_update_bumps_version_and_rewrites(self, crossing_pair):
+        shared = SharedPopulation(crossing_pair)
+        try:
+            v0 = shared.version
+            shifted = type(crossing_pair)(
+                a=crossing_pair.a + 1.0, e=crossing_pair.e, i=crossing_pair.i,
+                raan=crossing_pair.raan, argp=crossing_pair.argp,
+                m0=crossing_pair.m0,
+            )
+            shared.update(shifted)
+            assert shared.version == v0 + 1
+            shm, pop = attach_population(shared.name, shared.n)
+            try:
+                np.testing.assert_array_equal(pop.a, crossing_pair.a + 1.0)
+            finally:
+                del pop
+                shm.close()
+        finally:
+            shared.close()
+
+    def test_update_rejects_resized_population(self, crossing_pair):
+        shared = SharedPopulation(crossing_pair)
+        try:
+            smaller = type(crossing_pair)(
+                a=crossing_pair.a[:-1], e=crossing_pair.e[:-1],
+                i=crossing_pair.i[:-1], raan=crossing_pair.raan[:-1],
+                argp=crossing_pair.argp[:-1], m0=crossing_pair.m0[:-1],
+            )
+            with pytest.raises(ValueError, match="size changed"):
+                shared.update(smaller)
+        finally:
+            shared.close()
 
 
 class TestProcessesBitIdentity:
@@ -171,3 +205,91 @@ class TestProcessesOverflowRecovery:
         np.testing.assert_array_equal(starved.tca_s, baseline.tca_s)
         np.testing.assert_array_equal(starved.pca_km, baseline.pca_km)
         assert starved.candidates_refined == baseline.candidates_refined
+
+
+class TestPersistentPool:
+    """Pool reuse across windows: resident worker state must never leak
+    between windows (stale warm-start, grid or coherence caches)."""
+
+    def test_two_windows_on_one_pool_match_fresh_serial_runs(self, crossing_pair):
+        """The satellite acceptance test: two consecutive campaign windows
+        through one persistent pool, bit-identical to two fresh serial
+        windows over the same advancing epochs."""
+        from repro.ops.campaign import ScreeningCampaign
+
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=600.0, seconds_per_sample=2.0)
+        with ScreeningCampaign(
+            crossing_pair, cfg, method="grid",
+            n_devices=2, executor="processes",
+        ) as pooled:
+            pooled_days = pooled.run(2)
+            assert pooled._pool is not None
+            assert pooled._pool.windows == 2
+        serial = ScreeningCampaign(
+            crossing_pair, cfg, method="grid", n_devices=2, executor="serial"
+        )
+        serial_days = serial.run(2)
+        for dp, ds in zip(pooled_days, serial_days):
+            np.testing.assert_array_equal(dp.result.i, ds.result.i)
+            np.testing.assert_array_equal(dp.result.j, ds.result.j)
+            np.testing.assert_array_equal(dp.result.tca_s, ds.result.tca_s)
+            np.testing.assert_array_equal(dp.result.pca_km, ds.result.pca_km)
+            assert dp.result.candidates_refined == ds.result.candidates_refined
+
+    def test_reused_pool_windows_match_one_shot_runs(self, crossing_pair):
+        """Dispatching the same window twice over one pool returns the
+        identical records both times (resident propagator/emitter reset)."""
+        one_shot, one_reports = screen_grid_multidevice(
+            crossing_pair, CFG, 2, executor="processes"
+        )
+        with PersistentShardPool(2) as pool:
+            first, first_reports = screen_grid_multidevice(
+                crossing_pair, CFG, 2, executor="processes", pool=pool
+            )
+            second, second_reports = screen_grid_multidevice(
+                crossing_pair, CFG, 2, executor="processes", pool=pool
+            )
+            assert pool.windows == 2
+        for result, reports in ((first, first_reports), (second, second_reports)):
+            np.testing.assert_array_equal(result.i, one_shot.i)
+            np.testing.assert_array_equal(result.j, one_shot.j)
+            np.testing.assert_array_equal(result.tca_s, one_shot.tca_s)
+            np.testing.assert_array_equal(result.pca_km, one_shot.pca_km)
+            assert reports == one_reports
+
+    def test_pool_metrics_account_resident_rounds_and_merge(self, crossing_pair):
+        metrics = MetricsRegistry()
+        with PersistentShardPool(2) as pool:
+            _, reports = screen_grid_multidevice(
+                crossing_pair, CFG, 2, executor="processes",
+                pool=pool, metrics=metrics,
+            )
+        snapshot = metrics.as_dict()
+        assert snapshot["counters"]["procs.rounds_resident"] == sum(
+            r.rounds for r in reports
+        )
+        assert snapshot["counters"]["procs.windows"] == 1
+        assert snapshot["gauges"]["procs.merge_seconds"] >= 0.0
+
+    def test_closed_pool_refuses_windows(self, crossing_pair):
+        pool = PersistentShardPool(2)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            screen_grid_multidevice(
+                crossing_pair, CFG, 2, executor="processes", pool=pool
+            )
+
+    def test_pool_device_count_must_match_run(self, crossing_pair):
+        with PersistentShardPool(2) as pool:
+            with pytest.raises(ValueError, match="devices"):
+                screen_grid_multidevice(
+                    crossing_pair, CFG, 3, executor="processes", pool=pool
+                )
+
+    def test_pool_requires_processes_executor(self, crossing_pair):
+        with PersistentShardPool(2) as pool:
+            with pytest.raises(ValueError, match="processes"):
+                screen_grid_multidevice(
+                    crossing_pair, CFG, 2, executor="serial", pool=pool
+                )

@@ -7,6 +7,7 @@ import pytest
 from repro.perfmodel.extrap import (
     DEFAULT_EXPONENT_CANDIDATES,
     PowerLawModel,
+    crossover_point,
     fit_power_law,
     paper_conjunction_model,
 )
@@ -84,3 +85,39 @@ class TestFit:
     def test_candidates_contain_paper_exponents(self):
         for exp in (2.0, 4.0 / 3.0, 5.0 / 3.0, 1.0, 7.0 / 4.0):
             assert exp in DEFAULT_EXPONENT_CANDIDATES
+
+
+class TestCrossoverPoint:
+    """Where a fixed-overhead parallel model starts beating a steeper
+    single-device model — the scaling benchmark's headline number."""
+
+    def test_analytic_crossing_found(self):
+        # 2n vs 0.1 n^1.5 cross at n = 400.
+        single = PowerLawModel(("n",), (1.5,), 0.1)
+        pooled = PowerLawModel(("n",), (1.0,), 2.0)
+        x = crossover_point(pooled, single, "n", 10.0, 1e6)
+        assert x == pytest.approx(400.0, rel=1e-3)
+
+    def test_already_winning_returns_lo(self):
+        cheap = PowerLawModel(("n",), (1.0,), 1.0)
+        dear = PowerLawModel(("n",), (1.0,), 2.0)
+        assert crossover_point(cheap, dear, "n", 100.0, 1e6) == 100.0
+
+    def test_never_winning_returns_none(self):
+        dear = PowerLawModel(("n",), (2.0,), 2.0)
+        cheap = PowerLawModel(("n",), (1.0,), 1.0)
+        assert crossover_point(dear, cheap, "n", 10.0, 100.0) is None
+
+    def test_fixed_parameters_are_pinned(self):
+        # With s pinned to 4, a = 4n and b = 0.04 n^1.5 cross at n = 10^4.
+        a = PowerLawModel(("n", "s"), (1.0, 1.0), 1.0)
+        b = PowerLawModel(("n", "s"), (1.5, 1.0), 0.01)
+        x = crossover_point(a, b, "n", 10.0, 1e8, fixed={"s": 4.0})
+        assert x == pytest.approx(1e4, rel=1e-3)
+
+    def test_validation(self):
+        m = PowerLawModel(("n",), (1.0,), 1.0)
+        with pytest.raises(ValueError, match="lo"):
+            crossover_point(m, m, "n", 0.0, 10.0)
+        with pytest.raises(ValueError, match="lo"):
+            crossover_point(m, m, "n", 100.0, 10.0)

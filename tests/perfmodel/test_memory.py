@@ -13,7 +13,10 @@ from repro.perfmodel.memory import (
     grid_instance_bytes,
     plan_device_memory,
     plan_memory,
+    plan_stream_rounds,
+    position_step_bytes,
 )
+from repro.spatial.hashing import MAX_ROUND_STEPS
 
 GB = 2**30
 
@@ -160,3 +163,89 @@ class TestDevicePlan:
         with pytest.raises(ValueError):
             plan_device_memory(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB,
                                n_devices=0, device_steps=10)
+
+
+class TestPositionStepBytes:
+    def test_fp64_is_three_doubles_per_satellite(self):
+        assert position_step_bytes(1000) == 24_000
+
+    def test_mixed_halves_the_block(self):
+        assert position_step_bytes(1000, precision="mixed") == 12_000
+
+
+class TestStreamPlan:
+    def test_roomy_budget_grants_the_requested_round(self):
+        sp = plan_stream_rounds(
+            64000, 9.0, 3600.0, 2.0, "grid", budget_bytes=24 * GB,
+            n_devices=2, device_steps=200, requested_round_size=16,
+        )
+        assert sp.round_size == 16
+        assert not sp.streamed
+        assert sp.rounds == 13  # ceil(200 / 16)
+        assert sp.buffer_bytes == 2 * 16 * position_step_bytes(64000)
+        assert sp.total_bytes <= 24 * GB
+
+    def test_tight_budget_narrows_the_round_instead_of_raising(self):
+        """The budget that makes plan_device_memory raise ('cannot hold
+        even one grid') must stream at round_size=1 here."""
+        with pytest.raises(ValueError, match="cannot hold even one grid"):
+            plan_device_memory(
+                1_000_000, 9.0, 3600.0, 2.0, "grid", budget_bytes=10**6,
+                n_devices=2, device_steps=100,
+            )
+        sp = plan_stream_rounds(
+            1_000_000, 9.0, 3600.0, 2.0, "grid", budget_bytes=10**6,
+            n_devices=2, device_steps=100,
+        )
+        assert sp.round_size == 1
+        assert sp.streamed
+        assert sp.rounds == 100
+
+    def test_paper_scale_fits_half_gig_device(self):
+        """The 1M-object check-only tier: 4 devices x 512 MB, two steps per
+        shard — the plan must fit the budget it was given."""
+        budget = 512 * 2**20
+        sp = plan_stream_rounds(
+            1_024_000, 2.0, 12.0, 5.0, "grid", budget_bytes=budget,
+            n_devices=4, device_steps=2,
+        )
+        assert 1 <= sp.round_size <= 2
+        assert sp.total_bytes <= budget
+
+    def test_round_never_exceeds_the_shard(self):
+        sp = plan_stream_rounds(
+            1000, 2.0, 600.0, 5.0, "grid", budget_bytes=24 * GB,
+            n_devices=4, device_steps=3,
+        )
+        assert sp.round_size == 3  # shard-bounded, not budget-bounded
+        assert not sp.streamed
+
+    def test_round_capped_at_max_round_steps(self):
+        sp = plan_stream_rounds(
+            100, 2.0, 600.0, 5.0, "grid", budget_bytes=1024 * GB,
+            n_devices=1, device_steps=10 * MAX_ROUND_STEPS,
+        )
+        assert sp.round_size <= MAX_ROUND_STEPS
+
+    def test_underlying_plan_matches_plan_device_memory(self):
+        """plan_stream_rounds wraps the same arithmetic as
+        plan_device_memory when the budget is viable."""
+        kw = dict(budget_bytes=24 * GB, n_devices=3, device_steps=134)
+        sp = plan_stream_rounds(64000, 9.0, 3600.0, 2.0, "grid", **kw)
+        plan = plan_device_memory(64000, 9.0, 3600.0, 2.0, "grid", **kw)
+        assert sp.plan == plan
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_stream_rounds(0, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB,
+                               n_devices=2, device_steps=10)
+        with pytest.raises(ValueError):
+            plan_stream_rounds(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=0,
+                               n_devices=2, device_steps=10)
+        with pytest.raises(ValueError):
+            plan_stream_rounds(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB,
+                               n_devices=2, device_steps=-1)
+        with pytest.raises(ValueError, match="requested_round_size"):
+            plan_stream_rounds(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB,
+                               n_devices=2, device_steps=10,
+                               requested_round_size=0)

@@ -164,8 +164,41 @@ def test_screen_n_devices_requires_grid_method():
               "--n-devices", "2"])
 
 
-def test_screen_executor_requires_n_devices():
+def test_screen_executor_requires_n_devices(monkeypatch):
+    monkeypatch.delenv("REPRO_NUM_PROCS", raising=False)
     with pytest.raises(SystemExit, match="--executor requires --n-devices"):
+        main(["screen", "--objects", "20", "--method", "grid",
+              "--duration-s", "200", "--executor", "processes"])
+
+
+def test_screen_executor_processes_honours_env_procs(monkeypatch, capsys):
+    """Without --n-devices, REPRO_NUM_PROCS supplies the device count."""
+    monkeypatch.setenv("REPRO_NUM_PROCS", "2")
+    rc = main(
+        ["screen", "--objects", "30", "--seed", "7", "--method", "grid",
+         "--duration-s", "200", "--threshold-km", "5", "--sps", "2",
+         "--executor", "processes"]
+    )
+    assert rc == 0
+    assert "sharded over 2 devices (processes executor)" in capsys.readouterr().out
+
+
+def test_screen_n_devices_flag_wins_over_env_procs(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_NUM_PROCS", "4")
+    rc = main(
+        ["screen", "--objects", "30", "--seed", "7", "--method", "grid",
+         "--duration-s", "200", "--threshold-km", "5", "--sps", "2",
+         "--n-devices", "2", "--executor", "processes"]
+    )
+    assert rc == 0
+    assert "sharded over 2 devices (processes executor)" in capsys.readouterr().out
+
+
+def test_screen_invalid_env_procs_fails_actionably(monkeypatch):
+    """A bad REPRO_NUM_PROCS exits naming the variable, same as the
+    REPRO_NUM_THREADS contract — not a bare int() traceback."""
+    monkeypatch.setenv("REPRO_NUM_PROCS", "lots")
+    with pytest.raises(SystemExit, match="REPRO_NUM_PROCS"):
         main(["screen", "--objects", "20", "--method", "grid",
               "--duration-s", "200", "--executor", "processes"])
 

@@ -6,6 +6,8 @@ must preserve results.
 """
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,8 @@ from repro.detection.api import screen
 from repro.detection.gridbased import _regrow
 from repro.detection.types import ScreeningConfig
 from repro.orbits.elements import OrbitalElementsArray
+from repro.parallel.multidevice import screen_grid_multidevice
+from repro.parallel.processes import PersistentShardPool
 from repro.population.generator import generate_population
 from repro.spatial.conjmap import ConjunctionMap
 from repro.spatial.grid import UniformGrid
@@ -203,6 +207,66 @@ class TestHostileInputs:
         cfg = ScreeningConfig(threshold_km=2.0, duration_s=120.0, seconds_per_sample=2.0)
         result = screen(doubled, cfg, method="grid")
         assert (0, 1) in result.unique_pairs()
+
+
+def _shm_blocks() -> "set[str]":
+    """The multiprocessing shared-memory segments currently in /dev/shm."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs platforms
+        pytest.skip("no /dev/shm to audit on this platform")
+
+
+class TestSharedMemoryHygiene:
+    """The processes executor must leave /dev/shm exactly as it found it —
+    population block, per-worker result blocks — clean run or not."""
+
+    def test_clean_processes_run_leaves_no_blocks(self, crossing_pair):
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=300.0, seconds_per_sample=2.0)
+        before = _shm_blocks()
+        screen_grid_multidevice(crossing_pair, cfg, 2, executor="processes")
+        assert _shm_blocks() - before == set()
+
+    def test_worker_failure_does_not_orphan_blocks(self):
+        """A shard raising mid-round (hostile orbit escaping the simulation
+        cube inside the spawned worker) must surface the original error in
+        the parent AND unwind every shared-memory block."""
+        hostile = OrbitalElementsArray(
+            a=np.array([50000.0, 7000.0]), e=np.array([0.0, 0.001]),
+            i=np.array([0.1, 0.9]), raan=np.array([0.0, 1.0]),
+            argp=np.array([0.0, 2.0]), m0=np.array([0.0, 3.0]),
+        )
+        cfg = ScreeningConfig(threshold_km=2.0, duration_s=60.0, seconds_per_sample=2.0)
+        before = _shm_blocks()
+        with pytest.raises(ValueError, match="simulation cube"):
+            screen_grid_multidevice(hostile, cfg, 2, executor="processes")
+        assert _shm_blocks() - before == set()
+
+    def test_pool_survives_a_failed_window(self, crossing_pair):
+        """A persistent pool is not poisoned by one bad window: the next
+        window over the same workers still merges correctly, and closing
+        the pool releases every block."""
+        hostile = OrbitalElementsArray(
+            a=np.array([50000.0, 7000.0]), e=np.array([0.0, 0.001]),
+            i=np.array([0.1, 0.9]), raan=np.array([0.0, 1.0]),
+            argp=np.array([0.0, 2.0]), m0=np.array([0.0, 3.0]),
+        )
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=300.0, seconds_per_sample=2.0)
+        reference, _ = screen_grid_multidevice(crossing_pair, cfg, 2, executor="processes")
+        before = _shm_blocks()
+        with PersistentShardPool(2) as pool:
+            with pytest.raises(ValueError, match="simulation cube"):
+                screen_grid_multidevice(
+                    hostile, cfg, 2, executor="processes", pool=pool
+                )
+            recovered, _ = screen_grid_multidevice(
+                crossing_pair, cfg, 2, executor="processes", pool=pool
+            )
+        np.testing.assert_array_equal(recovered.i, reference.i)
+        np.testing.assert_array_equal(recovered.j, reference.j)
+        np.testing.assert_array_equal(recovered.tca_s, reference.tca_s)
+        np.testing.assert_array_equal(recovered.pca_km, reference.pca_km)
+        assert _shm_blocks() - before == set()
 
 
 class TestRegrowSizing:
