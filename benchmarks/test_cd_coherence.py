@@ -35,6 +35,7 @@ from benchmarks.conftest import RESULTS_DIR
 from repro.detection.gridbased import _make_conjmap, collect_grid_candidates
 from repro.detection.types import ScreeningConfig
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import PerfLedger, expect
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer
 from repro.population.scenarios import megaconstellation
@@ -58,6 +59,8 @@ if CHECK_ONLY:
 
 _POP: "dict[str, object]" = {}
 _RESULTS: "dict[float, dict]" = {}
+#: Every repetition's CD seconds, gated min-of-k through repro.obs.perf.
+_LEDGER = PerfLedger()
 
 
 def _population():
@@ -92,7 +95,7 @@ def _collect(sps: float, use_coherence: bool):
 def test_cd_coherence_speedup(benchmark, sps):
     pop = _population()
     assert len(pop) >= MIN_OBJECTS
-    samples: "list[tuple[float, float]]" = []
+    phase = f"CD@sps={sps}"
     keep: "dict[str, object]" = {}
 
     def run():
@@ -102,14 +105,15 @@ def test_cd_coherence_speedup(benchmark, sps):
         # reported one: replay must never alter the emitted records.
         for off_col, on_col in zip(rec_off, rec_on):
             np.testing.assert_array_equal(off_col, on_col)
-        samples.append((cd_off, cd_on))
+        _LEDGER.add(phase, "off", cd_off)
+        _LEDGER.add(phase, "on", cd_on)
         keep["records"] = rec_on
         keep["metrics"] = metrics
         return rec_on
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=1)
-    cd_off = min(s[0] for s in samples)
-    cd_on = min(s[1] for s in samples)
+    cd_off = _LEDGER.best_s(phase, "off")
+    cd_on = _LEDGER.best_s(phase, "on")
     metrics = keep["metrics"]
     counters = {k: c.value for k, c in metrics.counters.items()}
     _RESULTS[sps] = {
@@ -182,8 +186,11 @@ def test_cd_coherence_report(benchmark, report):
     assert 0.0 < gated["coherence_hit_rate"] <= 1.0
     assert gated["probes"] < gated["probes_full_equiv"]
 
-    # Performance gate: the documented speedup at the finest sweep point.
-    assert gated["speedup"] >= GATE_SPEEDUP, (
-        f"CD speedup {gated['speedup']:.2f}x below the {GATE_SPEEDUP}x gate "
-        f"at sps={SWEEP[0]}"
+    # Performance gate: the documented speedup at the finest sweep point,
+    # min-of-k over every recorded repetition (rtol 0 — the threshold
+    # already encodes the expected margin).
+    gate = (
+        expect(_LEDGER).phase(f"CD@sps={SWEEP[0]}").speedup_vs("off", "on")
+        >= GATE_SPEEDUP
     )
+    assert gate, gate

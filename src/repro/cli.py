@@ -5,6 +5,8 @@ Subcommands
 ``screen``    generate (or load) a population and run a screening method
 ``generate``  write a synthetic population as a TLE catalog
 ``plan``      print the Section V-B memory plan for a configuration
+``analyze``   trace analytics on an exported trace (overlap, critical path)
+``ledger``    append to / regression-check the BENCH_ledger.json trajectory
 """
 from __future__ import annotations
 
@@ -72,6 +74,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write the span/metrics event stream as JSONL")
     p_screen.add_argument("--metrics", action="store_true",
                           help="collect and print structure-health metrics and the candidate funnel")
+    p_screen.add_argument("--heartbeat", type=float, metavar="N",
+                          help="emit a JSONL progress line to stderr every N "
+                               "seconds (elapsed, CD rounds, rate, RSS, /dev/shm)")
+    p_screen.add_argument("--sample-resources", action="store_true",
+                          help="sample RSS / /dev/shm / worker CPU during the run; "
+                               "watermarks print after the run and export as "
+                               "Perfetto counter tracks with --trace")
 
     p_gen = sub.add_parser("generate", help="write a synthetic population as TLEs")
     p_gen.add_argument("--objects", type=int, default=2000)
@@ -87,6 +96,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--sps", type=float, default=9.0)
     p_plan.add_argument("--precision", choices=("fp64", "mixed"), default="fp64",
                         help="price the per-grid bytes for this arithmetic policy")
+
+    p_an = sub.add_parser("analyze", help="trace analytics on an exported trace")
+    p_an.add_argument("trace", type=str,
+                      help="a --trace (Chrome) or --trace-jsonl export")
+    p_an.add_argument("--window", type=str, default="window",
+                      help="span name bounding the report (default: window)")
+    p_an.add_argument("--diff", type=str, metavar="OTHER",
+                      help="second trace: attribute the timing difference per span name")
+    p_an.add_argument("--check", action="store_true",
+                      help="verify the critical-path accounting (busy + idle == wall) "
+                           "and exit non-zero on inconsistency")
+
+    p_led = sub.add_parser(
+        "ledger", help="append to / regression-check BENCH_ledger.json")
+    p_led.add_argument("--results-dir", type=str, default="benchmarks/results",
+                       help="directory holding the BENCH_*.json artifacts")
+    p_led.add_argument("--ledger", type=str, default=None,
+                       help="ledger path (default: <results-dir>/BENCH_ledger.json)")
+    p_led.add_argument("--append", action="store_true",
+                       help="ingest the artifacts as one new trajectory point")
+    p_led.add_argument("--fail-on-regression", action="store_true",
+                       help="exit non-zero if the newest entries regress vs the rolling best")
+    p_led.add_argument("--rtol", type=float, default=0.5,
+                       help="relative tolerance of the regression gate (default 0.5)")
     return parser
 
 
@@ -123,10 +156,22 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    if args.metrics or args.trace or args.trace_jsonl:
+    if args.metrics or args.trace or args.trace_jsonl or args.heartbeat or args.sample_resources:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
+    heartbeat = None
+    if args.heartbeat:
+        from repro.obs.resources import Heartbeat
+
+        heartbeat = Heartbeat(metrics, interval_s=args.heartbeat).start()
+    sampler = None
+    if args.sample_resources:
+        from repro.obs.resources import ResourceSampler
+
+        sampler = ResourceSampler(
+            metrics, tracer=tracer, include_children=True
+        ).start()
     reports = None
     start = time.perf_counter()
     n_devices = args.n_devices
@@ -160,6 +205,10 @@ def _cmd_screen(args: argparse.Namespace) -> int:
             tracer=tracer, metrics=metrics,
         )
     elapsed = time.perf_counter() - start
+    if sampler is not None:
+        sampler.stop()
+    if heartbeat is not None:
+        heartbeat.stop()
     print(result.summary())
     if reports is not None:
         print(f"sharded over {len(reports)} devices ({args.executor} executor):")
@@ -169,8 +218,18 @@ def _cmd_screen(args: argparse.Namespace) -> int:
                   f"peak {r.peak_bytes / 2**20:.1f} MiB"
                   + (f", {r.regrows} regrows" if r.regrows else ""))
     print(f"wall time {elapsed:.3f} s; phase breakdown:")
-    for name, frac in sorted(result.timers.fractions().items(), key=lambda kv: -kv[1]):
+    for name, frac in sorted(
+        result.timers.fractions().items(), key=lambda kv: (-kv[1], kv[0])
+    ):
         print(f"  {name:>6}: {100.0 * frac:5.1f}%  ({result.timers.totals[name]:.3f} s)")
+    if sampler is not None:
+        marks = sampler.watermarks()
+        print(
+            f"resource watermarks: peak RSS {marks['peak_rss_bytes'] / 2**20:.1f} MiB, "
+            f"peak /dev/shm {marks['peak_shm_bytes'] / 2**20:.1f} MiB, "
+            f"peak worker RSS {marks['peak_child_rss_bytes'] / 2**20:.1f} MiB, "
+            f"cpu {marks['cpu_s']:.2f} s over {marks['n_samples']} samples"
+        )
     for c in result.conjunctions()[: args.max_print]:
         print(f"  {c.i:>7} - {c.j:<7}  TCA {c.tca_s:10.2f} s   PCA {c.pca_km:7.4f} km")
     remaining = result.n_conjunctions - args.max_print
@@ -246,6 +305,85 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import load_records, overlap_report, phase_stats
+    from repro.obs.analysis import diff as trace_diff
+    from repro.report import critical_path_table, overlap_table
+
+    records = load_records(args.trace)
+    if not records:
+        raise SystemExit(f"{args.trace}: no span records")
+    rep = overlap_report(records, window=args.window)
+    print(overlap_table(rep))
+    print()
+    print(critical_path_table(rep.critical))
+    print()
+    print("per-phase time (inclusive / exclusive):")
+    for stat in phase_stats(records, prefix="phase:").values():
+        print(
+            f"  {stat.name:>12}  {stat.inclusive_s:8.3f}s / {stat.exclusive_s:8.3f}s "
+            f"({stat.count} spans)"
+        )
+    if args.diff:
+        other = load_records(args.diff)
+        result = trace_diff(records, other)
+        print()
+        print(f"diff vs {args.diff} (positive = second run slower):")
+        for d in result.deltas[:15]:
+            print(
+                f"  {d.name:>16}  {d.a_exclusive_s:8.3f}s -> {d.b_exclusive_s:8.3f}s "
+                f"({d.delta_s:+.3f}s, x{d.ratio:.2f})"
+            )
+    if args.check:
+        cp = rep.critical
+        residual = abs(cp.busy_s + cp.gap_s - cp.wall_s)
+        problems = []
+        if residual > 1e-6 + 1e-6 * cp.wall_s:
+            problems.append(
+                f"critical path does not partition the window: busy {cp.busy_s:.6f} "
+                f"+ idle {cp.gap_s:.6f} != wall {cp.wall_s:.6f}"
+            )
+        if rep.tracks and not 0.0 <= rep.parallel_efficiency <= 1.0 + 1e-9:
+            problems.append(
+                f"parallel efficiency {rep.parallel_efficiency} outside [0, 1]"
+            )
+        busy_total = sum(rep.concurrency_s)
+        if busy_total - rep.wall_s > 1e-6 + 1e-6 * rep.wall_s:
+            problems.append(
+                f"concurrency profile covers {busy_total:.6f}s > wall {rep.wall_s:.6f}s"
+            )
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("checks passed: critical-path accounting and concurrency profile consistent")
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.ledger import BenchLedger
+
+    path = args.ledger or os.path.join(args.results_dir, "BENCH_ledger.json")
+    ledger = BenchLedger.load_or_create(path)
+    if args.append:
+        added = ledger.ingest_results_dir(args.results_dir)
+        ledger.save(path)
+        print(f"appended {len(added)} artifact entries to {path} "
+              f"({len(ledger.entries)} total)")
+    else:
+        print(f"{path}: {len(ledger.entries)} entries")
+    regressions = ledger.check_regressions(rtol=args.rtol)
+    for reg in regressions:
+        print(repr(reg))
+    if not regressions:
+        print(f"no regressions vs rolling best (rtol {args.rtol:g})")
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "screen":
@@ -254,6 +392,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_generate(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
     raise AssertionError("unreachable")
 
 

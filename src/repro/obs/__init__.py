@@ -15,19 +15,44 @@ quantities first-class citizens of every screening run:
 * :mod:`repro.obs.collect` — the collectors that read those quantities off
   the spatial data structures after each build.
 * :mod:`repro.obs.export` — JSONL event stream and Chrome trace-event
-  format (loadable in Perfetto / ``chrome://tracing``).
+  format (loadable in Perfetto / ``chrome://tracing``), including counter
+  tracks for sampled series.
+* :mod:`repro.obs.analysis` — what the spans *mean*: per-phase
+  inclusive/exclusive time, cross-track overlap & utilization
+  (:func:`~repro.obs.analysis.overlap_report`), the window critical path,
+  and run-vs-run regression attribution (:func:`~repro.obs.analysis.diff`).
+* :mod:`repro.obs.perf` — declarative, noise-aware benchmark gates
+  (``expect(ledger).phase("CD").speedup_vs("serial") >= 1.3``).
+* :mod:`repro.obs.ledger` — the append-only ``BENCH_ledger.json``
+  trajectory over all BENCH artifacts, with rolling-best regression
+  detection.
+* :mod:`repro.obs.resources` — ``/proc``-based resource watermarks
+  (RSS, /dev/shm, per-worker CPU) and the ``--heartbeat`` progress
+  emitter.
 
 See DESIGN.md §7 for the span hierarchy, the metric name registry, and the
-trace schema.
+trace schema; DESIGN.md §12 for the analytics, ledger, and watermark
+semantics.
 """
 from __future__ import annotations
 
+from repro.obs.analysis import (
+    CriticalPath,
+    OverlapReport,
+    PhaseStat,
+    critical_path,
+    diff,
+    overlap_report,
+    phase_stats,
+)
 from repro.obs.export import (
+    counter_events,
     to_chrome_trace,
     trace_events,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.ledger import BenchLedger, validate_ledger
 from repro.obs.metrics import (
     Counter,
     FixedHistogram,
@@ -35,22 +60,51 @@ from repro.obs.metrics import (
     FunnelStage,
     Gauge,
     MetricsRegistry,
+    Series,
 )
+from repro.obs.perf import (
+    GateResult,
+    PerfExpectation,
+    PerfLedger,
+    PerfRegression,
+    expect,
+    expect_value,
+)
+from repro.obs.resources import Heartbeat, ResourceSampler
 from repro.obs.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
 __all__ = [
+    "BenchLedger",
     "Counter",
+    "CriticalPath",
     "FixedHistogram",
     "Funnel",
     "FunnelStage",
     "Gauge",
+    "GateResult",
+    "Heartbeat",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OverlapReport",
+    "PerfExpectation",
+    "PerfLedger",
+    "PerfRegression",
+    "PhaseStat",
+    "ResourceSampler",
+    "Series",
     "SpanRecord",
     "Tracer",
+    "counter_events",
+    "critical_path",
+    "diff",
+    "expect",
+    "expect_value",
+    "overlap_report",
+    "phase_stats",
     "to_chrome_trace",
     "trace_events",
+    "validate_ledger",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,562 @@
+"""Trace analytics: what the recorded spans *mean*.
+
+``repro.obs.tracer`` records spans and ``repro.obs.export`` writes them
+out; this module closes the loop by computing the quantities the ROADMAP's
+pipelining refactor needs proven from a trace:
+
+* :func:`phase_stats` — per-span-name **inclusive** (own wall) and
+  **exclusive** (own wall minus direct children) time.  Exclusive time is
+  what attributes a regression to a specific span rather than to
+  everything above it.
+* :func:`overlap_report` — per-track (thread / adopted worker process)
+  busy time and utilization over a window, the cross-track concurrency
+  profile (how many tracks were busy simultaneously, for how long), and
+  the window's **critical path**.
+* :func:`critical_path` — a backward greedy walk over the leaf spans:
+  from the window's end, repeatedly step to the leaf span that finishes
+  latest before the current time, clipping overlaps.  The resulting chain
+  partitions the window into span contributions and idle gaps
+  (``sum(contributions) + sum(gaps) == wall``), so "what should I
+  optimise next" has a number attached.
+* :func:`diff` — span-name-level comparison of two runs (by exclusive
+  time), sorted by regression size.
+
+Every entry point accepts a live :class:`~repro.obs.tracer.Tracer`, a
+plain ``list[SpanRecord]``, or a path to an exported Chrome-trace /
+JSONL file (:func:`load_records` sniffs the format), so post-hoc analysis
+of a CI artifact uses the same code path as in-process assertions.
+
+Definitions (see DESIGN.md §12): a track's *busy time* is the measure of
+the union of its span intervals — nested spans do not double-count.
+*Utilization* is busy time over the window wall.  *Overlap* is the
+measure of time during which at least two tracks are busy — the quantity
+that will prove INS/CD/REF actually pipeline.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.obs.tracer import SpanRecord, Tracer
+
+
+def load_chrome_trace(path: str) -> "list[SpanRecord]":
+    """Rebuild span records from an exported Chrome trace file.
+
+    Counter events (``"ph": "C"``, the watermark tracks) carry no span
+    structure and are skipped; complete events round-trip exactly because
+    the exporter stores span/parent ids in ``args``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        trace = json.load(fh)
+    records: "list[SpanRecord]" = []
+    for ev in trace.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args", {}))
+        span_id = args.pop("span_id", -1)
+        parent_id = args.pop("parent_id", -1)
+        records.append(
+            SpanRecord(
+                span_id=int(span_id),
+                parent_id=int(parent_id),
+                name=str(ev["name"]),
+                start_s=float(ev["ts"]) / 1e6,
+                duration_s=float(ev["dur"]) / 1e6,
+                thread=int(ev.get("tid", 0)),
+                attrs=args,
+            )
+        )
+    records.sort(key=lambda r: (r.start_s, r.span_id))
+    return records
+
+
+def load_jsonl(path: str) -> "list[SpanRecord]":
+    """Rebuild span records from an exported JSONL event stream."""
+    records: "list[SpanRecord]" = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            ev = json.loads(line)
+            if ev.get("type") != "span":
+                continue
+            records.append(
+                SpanRecord(
+                    span_id=int(ev["span_id"]),
+                    parent_id=int(ev["parent_id"]),
+                    name=str(ev["name"]),
+                    start_s=float(ev["start_s"]),
+                    duration_s=float(ev["duration_s"]),
+                    thread=int(ev["thread"]),
+                    attrs=dict(ev.get("attrs", {})),
+                )
+            )
+    records.sort(key=lambda r: (r.start_s, r.span_id))
+    return records
+
+
+def load_records(source) -> "list[SpanRecord]":
+    """Normalise any span source into a sorted ``list[SpanRecord]``.
+
+    Accepts a :class:`Tracer`, a list of records, or a path to a
+    Chrome-trace (``{...}`` JSON document) or JSONL export.
+    """
+    if isinstance(source, Tracer):
+        return source.records()
+    if isinstance(source, (list, tuple)):
+        return sorted(source, key=lambda r: (r.start_s, r.span_id))
+    path = str(source)
+    with open(path, "r", encoding="utf-8") as fh:
+        head = fh.read(64).lstrip()
+    # A Chrome trace is one JSON object; JSONL's first record is the
+    # one-line meta header.  Both start with '{' — sniff the meta key.
+    if head.startswith("{\"type\""):
+        return load_jsonl(path)
+    if head.startswith("{"):
+        try:
+            return load_chrome_trace(path)
+        except json.JSONDecodeError:
+            return load_jsonl(path)
+    raise ValueError(f"{path}: not a Chrome trace or JSONL export")
+
+
+# ---------------------------------------------------------------------------
+# Per-name inclusive / exclusive time.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregate timing of every span sharing one name."""
+
+    name: str
+    count: int
+    #: Sum of the spans' own wall-clock durations.
+    inclusive_s: float
+    #: Inclusive minus the summed durations of *direct* children.
+    exclusive_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.inclusive_s / self.count if self.count else 0.0
+
+
+def phase_stats(source, prefix: "str | None" = None) -> "dict[str, PhaseStat]":
+    """Per-name inclusive/exclusive time over all spans in ``source``.
+
+    ``prefix`` restricts the result (e.g. ``"phase:"`` for the pipeline
+    phases).  Exclusive time is clamped at zero: a child recorded on
+    another thread can outlive its parent by scheduling jitter, and a
+    negative exclusive would just be that jitter with a sign.
+    """
+    records = load_records(source)
+    child_sum: "dict[int, float]" = {}
+    for r in records:
+        if r.parent_id != -1:
+            child_sum[r.parent_id] = child_sum.get(r.parent_id, 0.0) + r.duration_s
+    agg: "dict[str, list[float]]" = {}
+    for r in records:
+        if prefix is not None and not r.name.startswith(prefix):
+            continue
+        excl = max(r.duration_s - child_sum.get(r.span_id, 0.0), 0.0)
+        entry = agg.setdefault(r.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += r.duration_s
+        entry[2] += excl
+    return {
+        name: PhaseStat(name=name, count=int(c), inclusive_s=inc, exclusive_s=exc)
+        for name, (c, inc, exc) in sorted(agg.items())
+    }
+
+
+# ---------------------------------------------------------------------------
+# Interval machinery.
+# ---------------------------------------------------------------------------
+
+
+def _union(intervals: "list[tuple[float, float]]") -> "list[tuple[float, float]]":
+    """Merge overlapping ``(start, end)`` intervals; result is sorted."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            if end > last_end:
+                merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _measure(intervals: "list[tuple[float, float]]") -> float:
+    return sum(end - start for start, end in intervals)
+
+
+# ---------------------------------------------------------------------------
+# Critical path.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CriticalPathEntry:
+    """One step of the critical-path walk."""
+
+    span: SpanRecord
+    #: The portion of the span attributed to the path (overlaps clipped).
+    start_s: float
+    end_s: float
+    #: Idle time between this span's end and the next path entry's start.
+    gap_after_s: float
+
+    @property
+    def contribution_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The chain of leaf spans that bounds the window's wall clock."""
+
+    entries: "tuple[CriticalPathEntry, ...]"
+    window_start_s: float
+    window_end_s: float
+
+    @property
+    def wall_s(self) -> float:
+        return self.window_end_s - self.window_start_s
+
+    @property
+    def busy_s(self) -> float:
+        return sum(e.contribution_s for e in self.entries)
+
+    @property
+    def gap_s(self) -> float:
+        """Idle time on the path (``busy_s + gap_s == wall_s``)."""
+        return self.wall_s - self.busy_s
+
+    def by_name(self) -> "dict[str, float]":
+        """Path contribution per span name, descending."""
+        totals: "dict[str, float]" = {}
+        for e in self.entries:
+            totals[e.span.name] = totals.get(e.span.name, 0.0) + e.contribution_s
+        return dict(sorted(totals.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+def critical_path(
+    source,
+    window_start_s: "float | None" = None,
+    window_end_s: "float | None" = None,
+) -> CriticalPath:
+    """Backward greedy critical path over the leaf spans of ``source``.
+
+    Starting at the window's end, repeatedly pick the leaf span with the
+    latest end at or before the cursor (preferring, among spans covering
+    the cursor, the one starting earliest — the longest backward step),
+    clip its contribution to the cursor, and jump to its start.  Time not
+    covered by any leaf span becomes a gap entry on the preceding span.
+    The walk partitions ``[start, end]`` exactly:
+    ``path.busy_s + path.gap_s == path.wall_s``.
+    """
+    records = load_records(source)
+    if not records:
+        return CriticalPath(entries=(), window_start_s=0.0, window_end_s=0.0)
+    has_children = {r.parent_id for r in records if r.parent_id != -1}
+    leaves = [r for r in records if r.span_id not in has_children]
+    start = (
+        window_start_s
+        if window_start_s is not None
+        else min(r.start_s for r in records)
+    )
+    end = (
+        window_end_s
+        if window_end_s is not None
+        else max(r.start_s + r.duration_s for r in records)
+    )
+    entries: "list[CriticalPathEntry]" = []
+    cursor = end
+    eps = 1e-12
+    # Deterministic candidate order: latest end first, then earliest
+    # start (the longest step back), then ids.
+    pool = sorted(
+        leaves,
+        key=lambda r: (-(r.start_s + r.duration_s), r.start_s, r.span_id),
+    )
+    while cursor > start + eps:
+        best = None
+        for r in pool:
+            if r.start_s >= cursor - eps:
+                continue
+            r_end = r.start_s + r.duration_s
+            if best is None:
+                best = r
+                continue
+            b_end = best.start_s + best.duration_s
+            # Prefer the span reaching closest to the cursor; among spans
+            # covering the cursor, the earliest start wins.
+            r_reach = min(r_end, cursor)
+            b_reach = min(b_end, cursor)
+            if r_reach > b_reach + eps or (
+                abs(r_reach - b_reach) <= eps and r.start_s < best.start_s
+            ):
+                best = r
+        if best is None:
+            break
+        b_end = min(best.start_s + best.duration_s, cursor)
+        gap_after = cursor - b_end
+        clip_start = max(best.start_s, start)
+        entries.append(
+            CriticalPathEntry(
+                span=best, start_s=clip_start, end_s=b_end, gap_after_s=gap_after
+            )
+        )
+        cursor = clip_start
+        pool = [r for r in pool if r.start_s < cursor - eps]
+    # Any idle time before the first span on the path surfaces through
+    # the wall - busy accounting (gap_s); no synthetic entry needed.
+    entries.reverse()
+    return CriticalPath(
+        entries=tuple(entries), window_start_s=start, window_end_s=end
+    )
+
+
+# ---------------------------------------------------------------------------
+# Overlap / utilization.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrackStats:
+    """Busy time of one track (thread or adopted worker) in the window."""
+
+    track: int
+    spans: int
+    busy_s: float
+    utilization: float
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Cross-track utilization and overlap of one traced window."""
+
+    window_name: str
+    window_start_s: float
+    window_end_s: float
+    tracks: "tuple[TrackStats, ...]"
+    #: Measure of time with >= 2 tracks simultaneously busy.
+    overlap_s: float
+    #: seconds spent at each concurrency level k >= 1 (index k-1).
+    concurrency_s: "tuple[float, ...]"
+    critical: CriticalPath
+
+    @property
+    def wall_s(self) -> float:
+        return self.window_end_s - self.window_start_s
+
+    @property
+    def n_tracks(self) -> int:
+        return len(self.tracks)
+
+    @property
+    def busy_total_s(self) -> float:
+        return sum(t.busy_s for t in self.tracks)
+
+    @property
+    def max_concurrency(self) -> int:
+        return len(self.concurrency_s)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Busy time over the track-seconds available (1.0 = all tracks
+        saturated); the number the pipelining refactor must raise."""
+        denom = self.n_tracks * self.wall_s
+        return self.busy_total_s / denom if denom > 0 else 0.0
+
+    @property
+    def effective_parallelism(self) -> float:
+        """Busy time over wall time — the realised speedup upper bound."""
+        return self.busy_total_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "window": self.window_name,
+            "wall_s": self.wall_s,
+            "tracks": [
+                {
+                    "track": t.track,
+                    "spans": t.spans,
+                    "busy_s": t.busy_s,
+                    "utilization": t.utilization,
+                }
+                for t in self.tracks
+            ],
+            "overlap_s": self.overlap_s,
+            "concurrency_s": list(self.concurrency_s),
+            "parallel_efficiency": self.parallel_efficiency,
+            "effective_parallelism": self.effective_parallelism,
+            "critical_path": {
+                "busy_s": self.critical.busy_s,
+                "gap_s": self.critical.gap_s,
+                "by_name": self.critical.by_name(),
+            },
+        }
+
+
+def overlap_report(source, window: str = "window") -> OverlapReport:
+    """Per-track utilization, cross-track overlap and the critical path.
+
+    The report covers the extent of the spans named ``window`` (all of
+    them, for a multi-window trace) or, when none exist, the full extent
+    of the trace.  Tracks are the tracer's dense thread indices — each
+    adopted worker process renders as its own track, so on a 2-device
+    ``executor="processes"`` run this reports whether the two shards
+    actually ran concurrently.
+    """
+    records = load_records(source)
+    if not records:
+        return OverlapReport(
+            window_name=window,
+            window_start_s=0.0,
+            window_end_s=0.0,
+            tracks=(),
+            overlap_s=0.0,
+            concurrency_s=(),
+            critical=CriticalPath(entries=(), window_start_s=0.0, window_end_s=0.0),
+        )
+    windows = [r for r in records if r.name == window]
+    bounds_src = windows if windows else records
+    start = min(r.start_s for r in bounds_src)
+    end = max(r.start_s + r.duration_s for r in bounds_src)
+
+    by_track: "dict[int, list[tuple[float, float]]]" = {}
+    span_count: "dict[int, int]" = {}
+    for r in records:
+        r_start = max(r.start_s, start)
+        r_end = min(r.start_s + r.duration_s, end)
+        if r_end <= r_start:
+            continue
+        by_track.setdefault(r.thread, []).append((r_start, r_end))
+        span_count[r.thread] = span_count.get(r.thread, 0) + 1
+
+    wall = end - start
+    tracks = []
+    busy_by_track: "dict[int, list[tuple[float, float]]]" = {}
+    for track in sorted(by_track):
+        busy = _union(by_track[track])
+        busy_by_track[track] = busy
+        busy_s = _measure(busy)
+        tracks.append(
+            TrackStats(
+                track=track,
+                spans=span_count[track],
+                busy_s=busy_s,
+                utilization=busy_s / wall if wall > 0 else 0.0,
+            )
+        )
+
+    # Concurrency profile: sweep the per-track busy unions.
+    events: "list[tuple[float, int]]" = []
+    for busy in busy_by_track.values():
+        for s, e in busy:
+            events.append((s, 1))
+            events.append((e, -1))
+    events.sort()
+    concurrency: "list[float]" = []
+    active = 0
+    prev = start
+    for t, delta in events:
+        if t > prev and active > 0:
+            while len(concurrency) < active:
+                concurrency.append(0.0)
+            concurrency[active - 1] += t - prev
+        prev = t
+        active += delta
+    overlap_s = sum(concurrency[1:])
+
+    critical = critical_path(records, window_start_s=start, window_end_s=end)
+    return OverlapReport(
+        window_name=window,
+        window_start_s=start,
+        window_end_s=end,
+        tracks=tuple(tracks),
+        overlap_s=overlap_s,
+        concurrency_s=tuple(concurrency),
+        critical=critical,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Run-vs-run diff.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanDelta:
+    """One span name's timing change between two runs."""
+
+    name: str
+    a_count: int
+    b_count: int
+    a_exclusive_s: float
+    b_exclusive_s: float
+    a_inclusive_s: float
+    b_inclusive_s: float
+
+    @property
+    def delta_s(self) -> float:
+        """Exclusive-time change, positive = run B slower."""
+        return self.b_exclusive_s - self.a_exclusive_s
+
+    @property
+    def ratio(self) -> float:
+        if self.a_exclusive_s > 0.0:
+            return self.b_exclusive_s / self.a_exclusive_s
+        return float("inf") if self.b_exclusive_s > 0.0 else 1.0
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Span-level attribution of the timing difference of two runs."""
+
+    deltas: "tuple[SpanDelta, ...]"
+
+    @property
+    def total_delta_s(self) -> float:
+        return sum(d.delta_s for d in self.deltas)
+
+    def regressions(self, min_delta_s: float = 0.0) -> "tuple[SpanDelta, ...]":
+        """Deltas where run B spent more exclusive time than run A."""
+        return tuple(d for d in self.deltas if d.delta_s > min_delta_s)
+
+
+def diff(run_a, run_b) -> TraceDiff:
+    """Attribute the timing difference between two runs to span names.
+
+    Exclusive time (a span's own wall minus its direct children) is the
+    comparison basis, so a regression shows up at the span that actually
+    got slower, not at every ancestor containing it.  Deltas are sorted
+    by descending absolute change.
+    """
+    stats_a = phase_stats(run_a)
+    stats_b = phase_stats(run_b)
+    names = sorted(set(stats_a) | set(stats_b))
+    deltas = []
+    for name in names:
+        a = stats_a.get(name)
+        b = stats_b.get(name)
+        deltas.append(
+            SpanDelta(
+                name=name,
+                a_count=a.count if a else 0,
+                b_count=b.count if b else 0,
+                a_exclusive_s=a.exclusive_s if a else 0.0,
+                b_exclusive_s=b.exclusive_s if b else 0.0,
+                a_inclusive_s=a.inclusive_s if a else 0.0,
+                b_inclusive_s=b.inclusive_s if b else 0.0,
+            )
+        )
+    deltas.sort(key=lambda d: (-abs(d.delta_s), d.name))
+    return TraceDiff(deltas=tuple(deltas))

@@ -4,7 +4,10 @@
 array format understood by Perfetto (https://ui.perfetto.dev) and
 ``chrome://tracing``: one complete ("ph": "X") event per finished span,
 timestamps and durations in microseconds, span/parent ids carried in
-``args`` so the hierarchy survives the round trip exactly.
+``args`` so the hierarchy survives the round trip exactly.  Sampled
+:class:`~repro.obs.metrics.Series` (resource watermarks) additionally
+export as counter ("ph": "C") events, rendering as counter tracks
+alongside the spans.
 
 *JSONL* (:func:`write_jsonl`) streams one JSON object per line: a
 ``meta`` header, one ``span`` event per finished span, and optional
@@ -47,16 +50,43 @@ def trace_events(tracer: Tracer) -> "list[dict[str, object]]":
     return [_event(r) for r in tracer.records()]
 
 
+def counter_events(metrics: MetricsRegistry) -> "list[dict[str, object]]":
+    """Chrome counter ("ph": "C") events for every sampled time series.
+
+    A :class:`~repro.obs.metrics.Series` (e.g. the RSS and /dev/shm
+    watermarks recorded by ``obs.resources.ResourceSampler``) renders in
+    Perfetto as a counter track alongside the span tracks, provided its
+    timestamps share the spans' clock (``Tracer.elapsed_s``).
+    """
+    events: "list[dict[str, object]]" = []
+    for name in sorted(metrics.series):
+        for t_s, value in metrics.series[name].sorted_samples():
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": t_s * 1e6,
+                    "pid": 1,
+                    "tid": 0,
+                    "cat": "repro",
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
 def to_chrome_trace(
     tracer: Tracer, metrics: "MetricsRegistry | None" = None
 ) -> "dict[str, object]":
     """The full Chrome trace object (JSON-serialisable)."""
+    events = trace_events(tracer)
     out: "dict[str, object]" = {
-        "traceEvents": trace_events(tracer),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"schema_version": TRACE_SCHEMA_VERSION, "producer": "repro.obs"},
     }
     if metrics is not None:
+        events.extend(counter_events(metrics))
         out["otherData"]["metrics"] = metrics.as_dict()  # type: ignore[index]
     return out
 
@@ -94,7 +124,12 @@ def jsonl_events(
         )
     if metrics is not None:
         snapshot = metrics.as_dict()
-        events.append({"type": "metrics", **{k: snapshot[k] for k in ("counters", "gauges", "histograms")}})
+        events.append(
+            {
+                "type": "metrics",
+                **{k: snapshot[k] for k in ("counters", "gauges", "histograms", "series")},
+            }
+        )
         for name, funnel in snapshot["funnels"].items():  # type: ignore[union-attr]
             events.append({"type": "funnel", "name": name, **funnel})
     return events

@@ -1,0 +1,352 @@
+"""The performance-regression ledger: a trajectory over BENCH artifacts.
+
+Every benchmark module writes a ``benchmarks/results/BENCH_*.json``
+artifact, but until now each run overwrote the last — the repo had no
+memory of whether PR N made the grid build faster or slower than PR N-1.
+``BENCH_ledger.json`` fixes that: an append-only document where each
+**entry** snapshots the numeric scalars of one artifact from one run,
+stamped with the git SHA, a host fingerprint, and a wall-clock timestamp.
+
+Layout (``LEDGER_SCHEMA_VERSION`` = 1)::
+
+    {
+      "schema_version": 1,
+      "entries": [
+        {
+          "artifact": "BENCH_cd",
+          "sha": "1c7ed58...",
+          "timestamp_unix": 1754650000.0,
+          "host": {"machine": "x86_64", "cpus": 4, "python": "3.11.9"},
+          "check_only": true,
+          "metrics": {"sweep[0].speedup": 1.41, "paper_scale.wall_s": 2.3}
+        },
+        ...
+      ]
+    }
+
+Metrics are the artifact's numeric leaves flattened to dotted/indexed
+paths (:func:`flatten_metrics`).  Regression detection
+(:meth:`BenchLedger.check_regressions`) compares the newest entry of each
+artifact against the **rolling best** of the comparable history and
+flags metrics that moved the wrong way beyond a relative tolerance:
+
+* metric direction is inferred from the name — "speedup", "hit_rate",
+  "efficiency" are higher-better; names ending in ``_s`` or ``_bytes``
+  or containing "overhead" are lower-better; anything else is tracked
+  but never gated;
+* entries are only comparable within a **cohort**: same artifact and
+  same ``check_only`` flag, and — for wall-clock (lower-better) metrics
+  — the same host fingerprint, because seconds measured on different
+  machines do not compare;
+* the CI gate uses a deliberately loose ``rtol`` (default 0.5): the
+  ledger exists to catch step-function regressions across PRs, not to
+  re-litigate benchmark noise the :mod:`repro.obs.perf` gates already
+  bound per-run.
+"""
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+
+LEDGER_SCHEMA_VERSION = 1
+
+#: Substrings marking a flattened metric as higher-better.
+_HIGHER_BETTER = ("speedup", "hit_rate", "efficiency", "survival")
+#: Substrings / suffixes marking a metric as lower-better (wall-clock-ish).
+_LOWER_BETTER_CONTAINS = ("overhead",)
+_LOWER_BETTER_SUFFIX = ("_s", "_bytes")
+
+
+def metric_direction(name: str) -> int:
+    """+1 if higher is better, -1 if lower is better, 0 if ungated."""
+    leaf = name.rsplit(".", 1)[-1]
+    if any(tok in leaf for tok in _HIGHER_BETTER):
+        return 1
+    if any(tok in leaf for tok in _LOWER_BETTER_CONTAINS):
+        return -1
+    base = leaf.split("[", 1)[0]
+    if base.endswith(_LOWER_BETTER_SUFFIX):
+        return -1
+    return 0
+
+
+def flatten_metrics(obj, prefix: str = "") -> "dict[str, float]":
+    """Flatten nested dicts/lists to dotted/indexed paths of numeric leaves.
+
+    Booleans are excluded (they are flags, not measurements); strings and
+    nulls are skipped.  ``{"sweep": [{"speedup": 2.0}]}`` becomes
+    ``{"sweep[0].speedup": 2.0}``.
+    """
+    out: "dict[str, float]" = {}
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_metrics(obj[key], path))
+    elif isinstance(obj, (list, tuple)):
+        for i, item in enumerate(obj):
+            out.update(flatten_metrics(item, f"{prefix}[{i}]"))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        value = float(obj)
+        if value == value and abs(value) != float("inf"):
+            out[prefix] = value
+    return out
+
+
+def host_fingerprint() -> "dict[str, object]":
+    """A coarse host identity: enough to refuse cross-host time compares."""
+    return {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+    }
+
+
+def git_sha(repo_root: "str | None" = None) -> str:
+    """The current commit SHA, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def validate_ledger(doc) -> "list[str]":
+    """Schema-validate a ledger document; returns human-readable errors."""
+    errors: "list[str]" = []
+    if not isinstance(doc, dict):
+        return [f"ledger must be a JSON object, got {type(doc).__name__}"]
+    if doc.get("schema_version") != LEDGER_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {LEDGER_SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        return errors + ["entries must be a list"]
+    for k, entry in enumerate(entries):
+        where = f"entries[{k}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for key, types in (
+            ("artifact", str),
+            ("sha", str),
+            ("timestamp_unix", (int, float)),
+            ("host", dict),
+            ("check_only", bool),
+            ("metrics", dict),
+        ):
+            if key not in entry:
+                errors.append(f"{where}: missing key {key!r}")
+            elif not isinstance(entry[key], types):
+                errors.append(
+                    f"{where}.{key}: expected {types}, got {type(entry[key]).__name__}"
+                )
+        metrics = entry.get("metrics")
+        if isinstance(metrics, dict):
+            for name, value in metrics.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    errors.append(
+                        f"{where}.metrics[{name!r}]: values must be numbers, "
+                        f"got {type(value).__name__}"
+                    )
+    return errors
+
+
+@dataclass(frozen=True)
+class LedgerRegression:
+    """One metric of one artifact that moved the wrong way."""
+
+    artifact: str
+    metric: str
+    #: +1 higher-better, -1 lower-better.
+    direction: int
+    value: float
+    best: float
+    best_sha: str
+    rtol: float
+
+    def __repr__(self) -> str:
+        arrow = "dropped below" if self.direction > 0 else "rose above"
+        return (
+            f"<REGRESSION {self.artifact}:{self.metric} = {self.value:.6g} "
+            f"{arrow} rolling best {self.best:.6g} (from {self.best_sha[:12]}) "
+            f"beyond rtol={self.rtol:g}>"
+        )
+
+
+class BenchLedger:
+    """Load, extend, validate and regression-check ``BENCH_ledger.json``."""
+
+    def __init__(self, doc: "dict | None" = None) -> None:
+        if doc is None:
+            doc = {"schema_version": LEDGER_SCHEMA_VERSION, "entries": []}
+        errors = validate_ledger(doc)
+        if errors:
+            raise ValueError("invalid ledger: " + "; ".join(errors))
+        self.doc = doc
+
+    @classmethod
+    def load(cls, path: str) -> "BenchLedger":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls(json.load(fh))
+
+    @classmethod
+    def load_or_create(cls, path: str) -> "BenchLedger":
+        if os.path.exists(path):
+            return cls.load(path)
+        return cls()
+
+    def save(self, path: str) -> None:
+        errors = validate_ledger(self.doc)
+        if errors:
+            raise ValueError("refusing to save invalid ledger: " + "; ".join(errors))
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.doc, fh, indent=1)
+            fh.write("\n")
+
+    @property
+    def entries(self) -> "list[dict]":
+        return self.doc["entries"]
+
+    # -- ingestion -----------------------------------------------------
+
+    def append_artifact(
+        self,
+        artifact: str,
+        payload: dict,
+        sha: "str | None" = None,
+        timestamp_unix: "float | None" = None,
+        host: "dict | None" = None,
+    ) -> dict:
+        """Append one trajectory point for a BENCH payload; returns it."""
+        entry = {
+            "artifact": artifact,
+            "sha": sha if sha is not None else git_sha(),
+            "timestamp_unix": (
+                float(timestamp_unix) if timestamp_unix is not None else time.time()
+            ),
+            "host": host if host is not None else host_fingerprint(),
+            "check_only": bool(payload.get("check_only", False)),
+            "metrics": flatten_metrics(payload),
+        }
+        self.entries.append(entry)
+        return entry
+
+    def ingest_results_dir(
+        self, results_dir: str, sha: "str | None" = None
+    ) -> "list[dict]":
+        """Append an entry for every ``BENCH_*.json`` in a results dir."""
+        sha = sha if sha is not None else git_sha()
+        host = host_fingerprint()
+        now = time.time()
+        added = []
+        for fname in sorted(os.listdir(results_dir)):
+            if not fname.startswith("BENCH_") or not fname.endswith(".json"):
+                continue
+            if fname == "BENCH_ledger.json":
+                continue
+            with open(os.path.join(results_dir, fname), "r", encoding="utf-8") as fh:
+                try:
+                    payload = json.load(fh)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(f"{fname}: not valid JSON ({exc})") from exc
+            if not isinstance(payload, dict):
+                continue
+            added.append(
+                self.append_artifact(
+                    fname[: -len(".json")],
+                    payload,
+                    sha=sha,
+                    timestamp_unix=now,
+                    host=host,
+                )
+            )
+        return added
+
+    # -- regression detection ------------------------------------------
+
+    def check_regressions(self, rtol: float = 0.5) -> "list[LedgerRegression]":
+        """Compare each artifact's newest entry against its rolling best.
+
+        The comparable history of an entry is every *earlier* entry with
+        the same artifact and ``check_only`` flag; lower-better (time-
+        like) metrics additionally require an identical host fingerprint.
+        A higher-better metric regresses when it falls below
+        ``best * (1 - rtol)``; a lower-better one when it exceeds
+        ``best * (1 + rtol)``.
+        """
+        regressions: "list[LedgerRegression]" = []
+        latest: "dict[str, dict]" = {}
+        for entry in self.entries:
+            latest[entry["artifact"]] = entry
+        for artifact in sorted(latest):
+            current = latest[artifact]
+            history = [
+                e
+                for e in self.entries
+                if e is not current
+                and e["artifact"] == artifact
+                and e["check_only"] == current["check_only"]
+            ]
+            if not history:
+                continue
+            for metric in sorted(current["metrics"]):
+                direction = metric_direction(metric)
+                if direction == 0:
+                    continue
+                pool = history
+                if direction < 0:
+                    pool = [e for e in history if e["host"] == current["host"]]
+                values = [
+                    (e["metrics"][metric], e["sha"])
+                    for e in pool
+                    if metric in e["metrics"]
+                ]
+                if not values:
+                    continue
+                if direction > 0:
+                    best, best_sha = max(values)
+                    bad = current["metrics"][metric] < best * (1.0 - rtol)
+                else:
+                    best, best_sha = min(values)
+                    # A zero best gives the relative gate no scale
+                    # (anything > 0 would flag); skip those metrics.
+                    bad = best > 0.0 and current["metrics"][metric] > best * (1.0 + rtol)
+                if bad:
+                    regressions.append(
+                        LedgerRegression(
+                            artifact=artifact,
+                            metric=metric,
+                            direction=direction,
+                            value=current["metrics"][metric],
+                            best=best,
+                            best_sha=best_sha,
+                            rtol=rtol,
+                        )
+                    )
+        return regressions
+
+    # -- queries -------------------------------------------------------
+
+    def trajectory(self, artifact: str, metric: str) -> "list[tuple[str, float]]":
+        """(sha, value) points of one metric over the ledger, in order."""
+        return [
+            (e["sha"], e["metrics"][metric])
+            for e in self.entries
+            if e["artifact"] == artifact and metric in e["metrics"]
+        ]

@@ -1,10 +1,11 @@
-"""Mergeable metrics: counters, gauges, fixed-bucket histograms, funnels.
+"""Mergeable metrics: counters, gauges, histograms, funnels, series.
 
 One :class:`MetricsRegistry` per screening run (or per worker chunk),
 merged like :class:`repro.parallel.backend.RefTelemetry`: counters and
-histogram buckets *add*, gauges keep their *maximum* — every combiner is
-commutative and associative, so merged totals are independent of chunk
-arrival order and thread scheduling.
+histogram buckets *add*, gauges keep their *maximum*, series concatenate
+and re-sort on their timestamps — every combiner is commutative and
+associative, so merged totals are independent of chunk arrival order and
+thread scheduling.
 
 Histograms use **fixed** bucket edges chosen at creation (the upper bound
 of each bucket, ascending, plus an implicit overflow bucket), so two
@@ -19,6 +20,7 @@ Metric names follow the registry table in DESIGN.md §7.
 """
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,6 +54,11 @@ class Gauge:
 
     def record(self, value: float) -> None:
         value = float(value)
+        if value != value:
+            # NaN: "value > self.value" is False for every later record, so
+            # a single NaN first observation would freeze the gauge at NaN
+            # forever.  A NaN carries no magnitude — drop it.
+            return
         if not self.observed or value > self.value:
             self.value = value
         self.observed = True
@@ -64,13 +71,22 @@ class Gauge:
 @dataclass
 class FixedHistogram:
     """Fixed-bucket histogram: bucket ``k`` counts values ``<= edges[k]``
-    (and above the previous edge); one extra overflow bucket at the end."""
+    (and above the previous edge); one extra overflow bucket at the end.
+
+    Non-finite observations (NaN, ±inf) are excluded: a single NaN would
+    poison ``total`` (and therefore ``mean``) permanently, and an inf in
+    the overflow bucket would make ``mean`` inconsistent with the counted
+    ``n``.  They are tallied in :attr:`dropped` instead, so the drop is
+    visible rather than silent.
+    """
 
     name: str
     edges: "tuple[float, ...]"
     counts: np.ndarray = field(default=None)  # type: ignore[assignment]
     total: float = 0.0
     n: int = 0
+    #: Non-finite observations excluded from the buckets and the mean.
+    dropped: int = 0
 
     def __post_init__(self) -> None:
         if not self.edges or list(self.edges) != sorted(set(self.edges)):
@@ -79,9 +95,15 @@ class FixedHistogram:
             self.counts = np.zeros(len(self.edges) + 1, dtype=np.int64)
 
     def observe(self, values) -> None:
-        vals = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        vals = np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel()
         if vals.size == 0:
             return
+        finite = np.isfinite(vals)
+        if not finite.all():
+            self.dropped += int(vals.size - finite.sum())
+            vals = vals[finite]
+            if vals.size == 0:
+                return
         idx = np.searchsorted(np.asarray(self.edges, dtype=np.float64), vals, side="left")
         np.add.at(self.counts, idx, 1)
         self.total += float(vals.sum())
@@ -99,6 +121,7 @@ class FixedHistogram:
         self.counts += other.counts
         self.total += other.total
         self.n += other.n
+        self.dropped += other.dropped
 
     def as_dict(self) -> "dict[str, object]":
         return {
@@ -107,6 +130,51 @@ class FixedHistogram:
             "total": self.total,
             "n": self.n,
             "mean": self.mean,
+            "dropped": self.dropped,
+        }
+
+
+@dataclass
+class Series:
+    """A timestamped sample series (e.g. sampled RSS over a run).
+
+    The time-series counterpart of :class:`Gauge`: ``record`` appends a
+    ``(t_s, value)`` sample, and the merged combiner concatenates then
+    re-sorts on ``(t_s, value)`` — a canonical order, so merging shard
+    series is order-insensitive like every other instrument here.
+    Timestamps are seconds on the producer's chosen clock; samplers align
+    them with a tracer's epoch so counter tracks render on the span
+    timeline (see :meth:`repro.obs.tracer.Tracer.elapsed_s`).
+    """
+
+    name: str
+    samples: "list[tuple[float, float]]" = field(default_factory=list)
+
+    def record(self, t_s: float, value: float) -> None:
+        self.samples.append((float(t_s), float(value)))
+
+    def merge(self, other: "Series") -> None:
+        self.samples.extend(other.samples)
+        self.samples.sort()
+
+    def sorted_samples(self) -> "list[tuple[float, float]]":
+        return sorted(self.samples)
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+    def as_dict(self) -> "dict[str, object]":
+        samples = self.sorted_samples()
+        return {
+            "t_s": [t for t, _ in samples],
+            "values": [v for _, v in samples],
+            "n": len(samples),
+            "max": self.max,
         }
 
 
@@ -134,10 +202,19 @@ class Funnel:
     def __init__(self, name: str) -> None:
         self.name = name
         self._stages: "dict[str, FunnelStage]" = {}
+        #: Observed precedence constraints: ``(a, b)`` when stage ``a``
+        #: was first recorded immediately before stage ``b`` in some
+        #: funnel folded into this one.  Merging unions these sets, and
+        #: the stage order is recomputed from the union — a pure
+        #: function of the constraints, so the merged order cannot
+        #: depend on shard arrival order.
+        self._order_edges: "set[tuple[str, str]]" = set()
 
     def record(self, stage: str, n_in: int, n_out: int) -> None:
         entry = self._stages.get(stage)
         if entry is None:
+            if self._stages:
+                self._order_edges.add((next(reversed(self._stages)), stage))
             entry = self._stages[stage] = FunnelStage(stage)
         entry.n_in += int(n_in)
         entry.n_out += int(n_out)
@@ -159,8 +236,31 @@ class Funnel:
         return out
 
     def merge(self, other: "Funnel") -> None:
+        """Fold another funnel in, keeping one deterministic stage order.
+
+        Naively appending unseen stages would make the merged stage order
+        depend on which shard arrived first (a shard that skipped a stage
+        — e.g. one whose chunk rejected everything before a later filter —
+        records a *subset* of the pipeline's stages).  Instead the merged
+        order is a deterministic topological sort of the union of both
+        funnels' observed precedence constraints — unioning sets and
+        sorting the result commutes *and* associates, so any number of
+        shards merged in any order yields one identical stage order
+        (property-tested in ``tests/obs/test_merge_properties.py``).
+        Stage pairs no shard co-observed carry no constraint and fall
+        back to lexicographic order inside the sort.
+        """
+        self._order_edges |= other._order_edges
         for stage in other.stages:
-            self.record(stage.name, stage.n_in, stage.n_out)
+            entry = self._stages.get(stage.name)
+            if entry is None:
+                entry = self._stages[stage.name] = FunnelStage(stage.name)
+            entry.n_in += stage.n_in
+            entry.n_out += stage.n_out
+        self._stages = {
+            name: self._stages[name]
+            for name in _stage_topo_order(set(self._stages), self._order_edges)
+        }
 
     def as_dict(self) -> "dict[str, object]":
         return {
@@ -171,6 +271,40 @@ class Funnel:
         }
 
 
+def _stage_topo_order(
+    nodes: "set[str]", edges: "set[tuple[str, str]]"
+) -> "list[str]":
+    """Deterministic topological order of stage names.
+
+    Kahn's algorithm taking the lexicographically smallest ready node
+    each step; a constraint cycle (impossible for honest subsequences of
+    one pipeline order, but kept deterministic anyway) is broken by
+    releasing the smallest remaining node.  The output depends only on
+    ``(nodes, edges)``, never on insertion or merge order.
+    """
+    indegree = {n: 0 for n in nodes}
+    successors: "dict[str, list[str]]" = {n: [] for n in nodes}
+    for a, b in edges:
+        if a in indegree and b in indegree:
+            successors[a].append(b)
+            indegree[b] += 1
+    ready = [n for n in nodes if indegree[n] == 0]
+    heapq.heapify(ready)
+    remaining = set(nodes)
+    order: "list[str]" = []
+    while remaining:
+        node = heapq.heappop(ready) if ready else min(remaining)
+        if node not in remaining:
+            continue
+        remaining.discard(node)
+        order.append(node)
+        for succ in successors[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0 and succ in remaining:
+                heapq.heappush(ready, succ)
+    return order
+
+
 class MetricsRegistry:
     """Named metric instruments, created on first use and mergeable."""
 
@@ -179,6 +313,7 @@ class MetricsRegistry:
         self.gauges: "dict[str, Gauge]" = {}
         self.histograms: "dict[str, FixedHistogram]" = {}
         self.funnels: "dict[str, Funnel]" = {}
+        self.series: "dict[str, Series]" = {}
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
@@ -208,6 +343,12 @@ class MetricsRegistry:
             f = self.funnels[name] = Funnel(name)
         return f
 
+    def timeseries(self, name: str) -> Series:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = Series(name)
+        return s
+
     def merge(self, other: "MetricsRegistry") -> None:
         """Combine another registry into this one (commutative totals)."""
         for name, c in other.counters.items():
@@ -218,6 +359,8 @@ class MetricsRegistry:
             self.histogram(name, h.edges).merge(h)
         for name, f in other.funnels.items():
             self.funnel(name).merge(f)
+        for name, s in other.series.items():
+            self.timeseries(name).merge(s)
 
     def as_dict(self) -> "dict[str, object]":
         """Plain-dict snapshot with deterministically sorted names."""
@@ -226,4 +369,5 @@ class MetricsRegistry:
             "gauges": {k: self.gauges[k].value for k in sorted(self.gauges)},
             "histograms": {k: self.histograms[k].as_dict() for k in sorted(self.histograms)},
             "funnels": {k: self.funnels[k].as_dict() for k in sorted(self.funnels)},
+            "series": {k: self.series[k].as_dict() for k in sorted(self.series)},
         }

@@ -1,0 +1,264 @@
+"""Declarative, noise-aware performance assertions for the benchmarks.
+
+The benchmark modules under ``benchmarks/`` used to gate performance with
+ad-hoc ``assert speedup >= X`` lines, each reinventing sampling and the
+failure message.  This module centralises the pattern:
+
+* a :class:`PerfLedger` collects named timing samples
+  (``ledger.add("CD", "coherent", seconds)`` — typically k repeats);
+* :func:`expect` starts a fluent assertion over the ledger; comparisons
+  build a :class:`GateResult` that is truthy/falsy *and* renders the full
+  evidence (samples, min-of-k, tolerance) in its repr, so a plain
+  ``assert expect(...)...`` failure message explains itself;
+* noise handling is explicit: values compare by **min-of-k** (the least
+  noisy location statistic for run time: noise is one-sided) and an
+  optional relative tolerance ``rtol`` loosens the threshold.
+
+Example::
+
+    ledger = PerfLedger()
+    for _ in range(3):
+        ledger.add("CD", "serial", time_serial())
+        ledger.add("CD", "coherent", time_coherent())
+    assert expect(ledger, rtol=0.05).phase("CD").speedup_vs("serial") >= 1.3
+
+The same :class:`GateResult` machinery backs scalar gates
+(``expect_value("warm_speedup", 1.02) >= 1.0``) so one-off numbers from a
+benchmark artifact gate the same way.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PerfRegression(AssertionError):
+    """Raised by :meth:`GateResult.check` when a gate fails."""
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """The outcome of one performance comparison.
+
+    Truthiness is the verdict, so the object drops straight into an
+    ``assert``; the repr carries the evidence either way.
+    """
+
+    passed: bool
+    description: str
+    value: float
+    threshold: float
+    op: str
+    rtol: float
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def __repr__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        tol = f" (rtol={self.rtol:g})" if self.rtol else ""
+        extra = f"; {self.detail}" if self.detail else ""
+        return (
+            f"<{verdict}: {self.description} = {self.value:.6g} "
+            f"{self.op} {self.threshold:.6g}{tol}{extra}>"
+        )
+
+    def check(self) -> "GateResult":
+        """Raise :class:`PerfRegression` on failure; return self on pass."""
+        if not self.passed:
+            raise PerfRegression(repr(self))
+        return self
+
+
+@dataclass
+class _SampleSet:
+    """All timing samples recorded for one (phase, subject)."""
+
+    seconds: "list[float]" = field(default_factory=list)
+
+    @property
+    def best_s(self) -> float:
+        """Min-of-k: run-time noise is one-sided, so the minimum is the
+        least-contaminated estimate of the true cost."""
+        if not self.seconds:
+            raise ValueError("no samples recorded")
+        return min(self.seconds)
+
+
+class PerfLedger:
+    """Named timing samples, keyed by (phase, subject).
+
+    *Phase* is the workload being measured ("CD", "screen", "window");
+    *subject* is the variant under comparison ("serial", "coherent",
+    "warm").  ``add`` appends one repeat's wall seconds.
+    """
+
+    def __init__(self) -> None:
+        self._samples: "dict[tuple[str, str], _SampleSet]" = {}
+
+    def add(self, phase: str, subject: str, seconds: float) -> None:
+        key = (str(phase), str(subject))
+        entry = self._samples.get(key)
+        if entry is None:
+            entry = self._samples[key] = _SampleSet()
+        entry.seconds.append(float(seconds))
+
+    def samples(self, phase: str, subject: str) -> "list[float]":
+        entry = self._samples.get((phase, subject))
+        return list(entry.seconds) if entry else []
+
+    def best_s(self, phase: str, subject: str) -> float:
+        entry = self._samples.get((phase, subject))
+        if entry is None:
+            known = sorted(f"{p}/{s}" for p, s in self._samples)
+            raise KeyError(
+                f"no samples for phase={phase!r} subject={subject!r}; "
+                f"ledger has: {known}"
+            )
+        return entry.best_s
+
+    def subjects(self, phase: str) -> "list[str]":
+        return sorted(s for p, s in self._samples if p == phase)
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            f"{p}/{s}": {
+                "samples_s": list(e.seconds),
+                "best_s": e.best_s,
+                "k": len(e.seconds),
+            }
+            for (p, s), e in sorted(self._samples.items())
+        }
+
+
+def _tolerant(value: float, threshold: float, op: str, rtol: float) -> bool:
+    """Compare with a relative tolerance that always *loosens* the gate."""
+    if op == ">=":
+        return value >= threshold * (1.0 - rtol)
+    if op == "<=":
+        return value <= threshold * (1.0 + rtol)
+    raise ValueError(f"unsupported gate op {op!r}")
+
+
+@dataclass(frozen=True)
+class PerfExpectation:
+    """A computed performance metric awaiting its threshold.
+
+    Comparison operators finish the gate and return a
+    :class:`GateResult`; use ``.check()`` on the result (or assert its
+    truthiness) to enforce it.
+    """
+
+    description: str
+    value: float
+    rtol: float
+    detail: str = ""
+
+    def _gate(self, threshold: float, op: str) -> GateResult:
+        return GateResult(
+            passed=_tolerant(self.value, float(threshold), op, self.rtol),
+            description=self.description,
+            value=self.value,
+            threshold=float(threshold),
+            op=op,
+            rtol=self.rtol,
+            detail=self.detail,
+        )
+
+    def __ge__(self, threshold: float) -> GateResult:
+        return self._gate(threshold, ">=")
+
+    def __le__(self, threshold: float) -> GateResult:
+        return self._gate(threshold, "<=")
+
+
+class _PhaseExpectation:
+    """Fluent accessor for one phase's samples in a ledger."""
+
+    def __init__(self, ledger: PerfLedger, phase: str, rtol: float) -> None:
+        self._ledger = ledger
+        self._phase = phase
+        self._rtol = rtol
+
+    def best(self, subject: str) -> PerfExpectation:
+        """The subject's min-of-k seconds (gate with ``<=``)."""
+        samples = self._ledger.samples(self._phase, subject)
+        return PerfExpectation(
+            description=f"{self._phase}:{subject} best_s",
+            value=self._ledger.best_s(self._phase, subject),
+            rtol=self._rtol,
+            detail=f"samples={['%.4g' % s for s in samples]}",
+        )
+
+    def speedup_vs(self, baseline: str, subject: "str | None" = None) -> PerfExpectation:
+        """baseline best over subject best — >1 means subject is faster.
+
+        ``subject`` defaults to the only non-baseline subject recorded
+        for the phase (the common two-variant benchmark shape).
+        """
+        if subject is None:
+            others = [s for s in self._ledger.subjects(self._phase) if s != baseline]
+            if len(others) != 1:
+                raise ValueError(
+                    f"phase {self._phase!r} has subjects {others}; "
+                    "pass subject= explicitly"
+                )
+            subject = others[0]
+        base_s = self._ledger.best_s(self._phase, baseline)
+        subj_s = self._ledger.best_s(self._phase, subject)
+        value = base_s / subj_s if subj_s > 0 else float("inf")
+        return PerfExpectation(
+            description=f"{self._phase}: speedup of {subject} vs {baseline}",
+            value=value,
+            rtol=self._rtol,
+            detail=(
+                f"{baseline} best={base_s:.4g}s "
+                f"{['%.4g' % s for s in self._ledger.samples(self._phase, baseline)]}, "
+                f"{subject} best={subj_s:.4g}s "
+                f"{['%.4g' % s for s in self._ledger.samples(self._phase, subject)]}"
+            ),
+        )
+
+    def ratio_vs(self, baseline: str, subject: str) -> PerfExpectation:
+        """subject best over baseline best — gate overheads with ``<=``."""
+        base_s = self._ledger.best_s(self._phase, baseline)
+        subj_s = self._ledger.best_s(self._phase, subject)
+        value = subj_s / base_s if base_s > 0 else float("inf")
+        return PerfExpectation(
+            description=f"{self._phase}: ratio of {subject} vs {baseline}",
+            value=value,
+            rtol=self._rtol,
+            detail=f"{baseline} best={base_s:.4g}s, {subject} best={subj_s:.4g}s",
+        )
+
+
+class _Expect:
+    """Entry point of the fluent API (see :func:`expect`)."""
+
+    def __init__(self, ledger: PerfLedger, rtol: float) -> None:
+        self._ledger = ledger
+        self._rtol = rtol
+
+    def phase(self, name: str) -> _PhaseExpectation:
+        return _PhaseExpectation(self._ledger, name, self._rtol)
+
+
+def expect(ledger: PerfLedger, rtol: float = 0.0) -> _Expect:
+    """Start a fluent performance assertion over a ledger.
+
+    ``rtol`` loosens every threshold built from this expectation by the
+    given relative fraction (``>= t`` passes at ``t*(1-rtol)``; ``<= t``
+    passes at ``t*(1+rtol)``) — set it to the noise floor of the hosting
+    hardware, keep it 0 for gates that encode semantics rather than
+    speed.
+    """
+    return _Expect(ledger, float(rtol))
+
+
+def expect_value(
+    description: str, value: float, rtol: float = 0.0, detail: str = ""
+) -> PerfExpectation:
+    """Gate a scalar that was computed elsewhere (e.g. from an artifact)."""
+    return PerfExpectation(
+        description=description, value=float(value), rtol=float(rtol), detail=detail
+    )

@@ -1,0 +1,387 @@
+"""Runtime resource watermarks and heartbeat progress for long runs.
+
+PR 7's out-of-core claim — 1M objects screened under 512 MB per device —
+was, until now, a *planned* number (``plan_stream_rounds`` arithmetic
+plus each worker's own allocation accounting).  This module measures it:
+
+* :class:`ResourceSampler` — a daemon thread sampling ``/proc`` at a
+  fixed interval: the process's RSS and CPU seconds, total ``/dev/shm``
+  usage (where :class:`~repro.parallel.processes.SharedPopulation` and
+  the shard result blocks live), and optionally the RSS/CPU of child
+  processes (the :class:`~repro.parallel.processes.PersistentShardPool`
+  workers, discovered by a PPid scan because the pool spawns them
+  internally).  Samples land on a
+  :class:`~repro.obs.metrics.MetricsRegistry` as ``res.*`` time series —
+  stamped with :meth:`Tracer.elapsed_s` when a tracer is given, so the
+  exported Perfetto counter tracks line up with the spans — and
+  :meth:`ResourceSampler.watermarks` reduces them to the peak values the
+  benchmarks assert against budgets.
+* :class:`Heartbeat` — a daemon thread emitting one JSON line every N
+  seconds (progress counter, rate, ETA, current RSS / shm), so a
+  multi-hour screening campaign is observable from a log tail instead
+  of silent until the final table.
+
+Everything degrades gracefully off-Linux: a missing ``/proc`` file makes
+the corresponding reading 0 rather than raising, so importing and even
+running the sampler on other platforms is harmless (it just measures
+nothing).
+"""
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def read_rss_bytes(pid: "int | None" = None) -> int:
+    """Resident set size of a process from ``/proc/<pid>/status`` (0 if
+    unreadable)."""
+    pid = os.getpid() if pid is None else pid
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
+_CLK_TCK = float(os.sysconf("SC_CLK_TCK")) if hasattr(os, "sysconf") else 100.0
+
+
+def read_cpu_seconds(pid: "int | None" = None) -> float:
+    """User+system CPU seconds of a process from ``/proc/<pid>/stat``."""
+    pid = os.getpid() if pid is None else pid
+    try:
+        with open(f"/proc/{pid}/stat", "r", encoding="ascii") as fh:
+            data = fh.read()
+        # The comm field is parenthesised and may contain spaces; fields
+        # 14/15 (utime/stime) are counted after the closing paren.
+        rest = data.rsplit(")", 1)[1].split()
+        return (float(rest[11]) + float(rest[12])) / _CLK_TCK
+    except (OSError, ValueError, IndexError):
+        return 0.0
+
+
+def read_shm_bytes(prefix: "str | None" = None) -> int:
+    """Total bytes of files under ``/dev/shm`` (optionally name-filtered).
+
+    This is where multiprocessing shared memory lives on Linux — the
+    :class:`SharedPopulation` block and the shard result blocks — so it
+    is the measured counterpart of the planner's shared-memory budget.
+    """
+    total = 0
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return 0
+    for name in names:
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        try:
+            total += os.stat(os.path.join("/dev/shm", name)).st_size
+        except OSError:
+            continue
+    return total
+
+
+def child_pids(pid: "int | None" = None) -> "list[int]":
+    """Direct children of a process, by PPid scan of ``/proc``.
+
+    The :class:`PersistentShardPool` spawns its workers internally and
+    does not expose their pids until a window returns, so the sampler
+    discovers them from the process table instead.
+    """
+    pid = os.getpid() if pid is None else pid
+    target = str(pid)
+    out: "list[int]" = []
+    try:
+        entries = os.listdir("/proc")
+    except OSError:
+        return out
+    for entry in entries:
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/status", "r", encoding="ascii") as fh:
+                for line in fh:
+                    if line.startswith("PPid:"):
+                        if line.split()[1] == target:
+                            out.append(int(entry))
+                        break
+        except (OSError, ValueError, IndexError):
+            continue
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One tick of the sampler."""
+
+    t_s: float
+    rss_bytes: int
+    cpu_s: float
+    shm_bytes: int
+    #: pid -> (rss_bytes, cpu_s) of each sampled child process.
+    children: "dict[int, tuple[int, float]]" = field(default_factory=dict)
+
+
+class ResourceSampler:
+    """Samples process/host resources on a daemon thread.
+
+    Use as a context manager around the region to measure::
+
+        metrics = MetricsRegistry()
+        with ResourceSampler(metrics, tracer=tracer, include_children=True):
+            screen_grid_multidevice(...)
+        peaks = sampler.watermarks()
+
+    ``interval_s`` defaults to 200 ms.  The ``/proc`` reads themselves
+    are tens of microseconds, but on a single-CPU host every thread
+    wakeup also costs a GIL handoff against the numpy main thread
+    (~1-2 ms), so the tick rate — not the tick work — sets the overhead;
+    at the default rate it stays under 1% of the ``test_obs_overhead.py``
+    workload (gated there).  Series recorded on the registry (all in
+    ``res.``):
+
+    * ``res.rss_bytes`` / ``res.cpu_s`` — this process;
+    * ``res.shm_bytes`` — total ``/dev/shm`` usage;
+    * ``res.children.rss_bytes`` — summed over sampled children;
+    * ``res.child_peak.rss_bytes`` — max over sampled children.
+    """
+
+    def __init__(
+        self,
+        metrics: "MetricsRegistry | None" = None,
+        tracer=None,
+        interval_s: float = 0.2,
+        include_children: bool = False,
+        shm_prefix: "str | None" = None,
+        pid: "int | None" = None,
+    ) -> None:
+        self.metrics = metrics
+        self._tracer = tracer
+        self.interval_s = float(interval_s)
+        self.include_children = include_children
+        self.shm_prefix = shm_prefix
+        self._pid = os.getpid() if pid is None else pid
+        self.samples: "list[ResourceSample]" = []
+        #: Wall seconds spent inside :meth:`sample_once` over the run —
+        #: the sampler's directly measured self-cost, which on a
+        #: single-CPU host is the time it steals from the workload.
+        self.sampling_cost_s = 0.0
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._epoch = time.perf_counter()
+
+    # -- clock ---------------------------------------------------------
+
+    def _now_s(self) -> float:
+        if self._tracer is not None and getattr(self._tracer, "enabled", False):
+            return self._tracer.elapsed_s()
+        return time.perf_counter() - self._epoch
+
+    # -- sampling ------------------------------------------------------
+
+    def sample_once(self) -> ResourceSample:
+        """Take one sample immediately (also usable without the thread)."""
+        tick_start = time.perf_counter()
+        children: "dict[int, tuple[int, float]]" = {}
+        if self.include_children:
+            for pid in child_pids(self._pid):
+                children[pid] = (read_rss_bytes(pid), read_cpu_seconds(pid))
+        sample = ResourceSample(
+            t_s=self._now_s(),
+            rss_bytes=read_rss_bytes(self._pid),
+            cpu_s=read_cpu_seconds(self._pid),
+            shm_bytes=read_shm_bytes(self.shm_prefix),
+            children=children,
+        )
+        self.samples.append(sample)
+        if self.metrics is not None:
+            t = sample.t_s
+            self.metrics.timeseries("res.rss_bytes").record(t, sample.rss_bytes)
+            self.metrics.timeseries("res.cpu_s").record(t, sample.cpu_s)
+            self.metrics.timeseries("res.shm_bytes").record(t, sample.shm_bytes)
+            if children:
+                rss = [r for r, _ in children.values()]
+                self.metrics.timeseries("res.children.rss_bytes").record(t, sum(rss))
+                self.metrics.timeseries("res.child_peak.rss_bytes").record(t, max(rss))
+        self.sampling_cost_s += time.perf_counter() - tick_start
+        return sample
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self.sample_once()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.sample_once()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- reductions ----------------------------------------------------
+
+    def watermarks(self) -> "dict[str, float]":
+        """Peak values over all samples — what budget assertions use."""
+        if not self.samples:
+            return {
+                "peak_rss_bytes": 0.0,
+                "peak_shm_bytes": 0.0,
+                "peak_child_rss_bytes": 0.0,
+                "cpu_s": 0.0,
+                "sampling_cost_s": 0.0,
+                "n_samples": 0,
+            }
+        child_peaks = [
+            max((rss for rss, _ in s.children.values()), default=0)
+            for s in self.samples
+        ]
+        return {
+            "peak_rss_bytes": float(max(s.rss_bytes for s in self.samples)),
+            "peak_shm_bytes": float(max(s.shm_bytes for s in self.samples)),
+            "peak_child_rss_bytes": float(max(child_peaks)),
+            "cpu_s": self.samples[-1].cpu_s - self.samples[0].cpu_s,
+            "sampling_cost_s": self.sampling_cost_s,
+            "n_samples": len(self.samples),
+        }
+
+    def peak_child_rss_by_pid(self) -> "dict[int, int]":
+        """Per-child peak RSS over the run — the per-worker budget view."""
+        peaks: "dict[int, int]" = {}
+        for s in self.samples:
+            for pid, (rss, _) in s.children.items():
+                if rss > peaks.get(pid, 0):
+                    peaks[pid] = rss
+        return peaks
+
+
+class Heartbeat:
+    """Emits one JSON progress line every ``interval_s`` seconds.
+
+    Progress is read from a counter on a shared
+    :class:`MetricsRegistry` (default ``cd.rounds`` — incremented once
+    per CD round by every executor); rate and ETA derive from its delta
+    since the previous beat.  Each line is a single JSON object::
+
+        {"type": "heartbeat", "elapsed_s": 12.0, "progress": 840,
+         "rate_per_s": 70.0, "eta_s": 36.0, "rss_bytes": ..., "shm_bytes": ...}
+
+    ``sink`` is any ``line -> None`` callable (default: write to stderr);
+    ``extra`` is an optional zero-argument callable whose dict result is
+    merged into every beat (the campaign adds windows/events counts).
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        interval_s: float,
+        counter: str = "cd.rounds",
+        total: "int | None" = None,
+        sink=None,
+        extra=None,
+    ) -> None:
+        self.metrics = metrics
+        self.interval_s = float(interval_s)
+        self.counter = counter
+        self.total = total
+        self._sink = sink if sink is not None else self._stderr_sink
+        self._extra = extra
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._epoch = time.perf_counter()
+        self._last_progress = 0
+        self._last_t = 0.0
+        self.beats = 0
+
+    @staticmethod
+    def _stderr_sink(line: str) -> None:
+        sys.stderr.write(line + "\n")
+        sys.stderr.flush()
+
+    def beat(self) -> "dict[str, object]":
+        """Emit one heartbeat line now; returns the emitted record."""
+        now = time.perf_counter() - self._epoch
+        progress = self.metrics.counters.get(self.counter)
+        value = progress.value if progress is not None else 0
+        dt = now - self._last_t
+        rate = (value - self._last_progress) / dt if dt > 0 else 0.0
+        record: "dict[str, object]" = {
+            "type": "heartbeat",
+            "elapsed_s": round(now, 3),
+            "progress": value,
+            "counter": self.counter,
+            "rate_per_s": round(rate, 3),
+            "rss_bytes": read_rss_bytes(),
+            "shm_bytes": read_shm_bytes(),
+        }
+        if self.total is not None:
+            record["total"] = self.total
+            remaining = max(self.total - value, 0)
+            record["eta_s"] = round(remaining / rate, 3) if rate > 0 else None
+        if self._extra is not None:
+            try:
+                record.update(self._extra())
+            except Exception as exc:  # a broken callback must not kill the beat
+                record["extra_error"] = type(exc).__name__
+        self._last_progress = value
+        self._last_t = now
+        self.beats += 1
+        self._sink(json.dumps(record))
+        return record
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.beat()
+
+    def start(self) -> "Heartbeat":
+        if self._thread is not None:
+            raise RuntimeError("heartbeat already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_beat: bool = True) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        if final_beat:
+            self.beat()
+
+    def __enter__(self) -> "Heartbeat":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

@@ -181,6 +181,15 @@ class Tracer:
         """Wall-clock time of this tracer's epoch (for cross-process shifts)."""
         return self._epoch_unix
 
+    def elapsed_s(self) -> float:
+        """Seconds since this tracer's epoch — the span-timeline clock.
+
+        Samplers (:class:`repro.obs.resources.ResourceSampler`) stamp
+        their series with this clock so exported counter tracks line up
+        with the spans in Perfetto.
+        """
+        return time.perf_counter() - self._epoch
+
     def adopt(
         self,
         records: "list[SpanRecord]",

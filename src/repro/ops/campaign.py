@@ -99,6 +99,15 @@ class ScreeningCampaign:
     device_budget_bytes:
         Per-device byte budget for the streamed-round plan of each
         window.
+    heartbeat_s:
+        Emit a JSONL progress line (elapsed, windows done, tracked
+        events, rate, RSS) every this many seconds while the campaign
+        runs — see :class:`repro.obs.resources.Heartbeat`.  The beat
+        thread starts on the first :meth:`run_window` and stops with
+        :meth:`close`.
+    heartbeat_sink:
+        Optional ``line -> None`` callable receiving each beat (default:
+        stderr).
     """
 
     def __init__(
@@ -114,6 +123,8 @@ class ScreeningCampaign:
         n_devices: "int | None" = None,
         executor: str = "serial",
         device_budget_bytes: "int | None" = None,
+        heartbeat_s: "float | None" = None,
+        heartbeat_sink=None,
     ) -> None:
         if n_devices is not None and method != "grid":
             raise ValueError("n_devices shards the grid variant; use method='grid'")
@@ -130,6 +141,9 @@ class ScreeningCampaign:
         self.n_devices = n_devices
         self.executor = executor
         self.device_budget_bytes = device_budget_bytes
+        self.heartbeat_s = heartbeat_s
+        self._heartbeat_sink = heartbeat_sink
+        self._heartbeat = None
         self._pool = None
         self.events: "list[TrackedEvent]" = []
         #: Tracked events grouped by (i, j): event matching per detected
@@ -151,10 +165,34 @@ class ScreeningCampaign:
         self.close()
 
     def close(self) -> None:
-        """Release the persistent worker pool (no-op without one)."""
+        """Release the worker pool and stop the heartbeat (no-ops without)."""
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
+            self._heartbeat = None
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+
+    def _ensure_heartbeat(self) -> None:
+        if self.heartbeat_s is None or self._heartbeat is not None:
+            return
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.resources import Heartbeat
+
+        if self.metrics is None:
+            # The beat reads progress counters off the registry, so a
+            # campaign asked to emit heartbeats collects metrics too.
+            self.metrics = MetricsRegistry()
+        self._heartbeat = Heartbeat(
+            self.metrics,
+            interval_s=self.heartbeat_s,
+            sink=self._heartbeat_sink,
+            extra=lambda: {
+                "windows": len(self.days),
+                "events": len(self.events),
+                "conjunctions": self.total_conjunctions_seen,
+            },
+        ).start()
 
     def _shard_pool(self):
         """The campaign-lifetime worker pool, created on first use."""
@@ -187,6 +225,7 @@ class ScreeningCampaign:
         list; returns the window summary."""
         window = len(self.days)
         start = self._clock_s
+        self._ensure_heartbeat()
         snapshot = self._advanced_population(start)
         with self.tracer.span("campaign.window", window=window, start_s=start):
             if self.n_devices is not None:

@@ -54,6 +54,7 @@ so a reused pool starts every window exactly like a fresh process.
 from __future__ import annotations
 
 import atexit
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -187,6 +188,8 @@ class ShardOutcome:
     spans: "list[SpanRecord]" = field(default_factory=list)
     #: Wall-clock epoch of the worker's tracer, for span time-shifting.
     epoch_unix: float = 0.0
+    #: OS pid of the worker that ran the window (resource attribution).
+    pid: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -358,6 +361,7 @@ def _pool_run_window(task: WindowTask) -> ShardOutcome:
         metrics=metrics,
         spans=spans,
         epoch_unix=epoch_unix,
+        pid=os.getpid(),
     )
 
 
@@ -392,6 +396,9 @@ class PersistentShardPool:
         self._attached: "dict[int, shared_memory.SharedMemory]" = {}
         #: Windows dispatched over the pool's lifetime.
         self.windows = 0
+        #: device -> worker OS pid, learned from each window's outcomes
+        #: (spawned lazily by the executors, so empty until a dispatch).
+        self._worker_pids: "dict[int, int]" = {}
         self._closed = False
 
     def __enter__(self) -> "PersistentShardPool":
@@ -479,6 +486,8 @@ class PersistentShardPool:
         results = []
         rounds_resident = 0
         for device, outcome in enumerate(outcomes):
+            if outcome.pid:
+                self._worker_pids[device] = outcome.pid
             timers.merge(outcome.timers)
             if metrics is not None and outcome.metrics is not None:
                 metrics.merge(outcome.metrics)
@@ -499,6 +508,17 @@ class PersistentShardPool:
                 merge_seconds=time.perf_counter() - merge_start,
             )
         return results
+
+    def worker_pids(self) -> "dict[int, int]":
+        """device -> worker OS pid of every worker seen so far.
+
+        Populated from window outcomes (a worker reports its pid with
+        each result), so it is empty before the first dispatch and
+        refreshes if the executor respawns a crashed worker.  Resource
+        monitors (:class:`repro.obs.resources.ResourceSampler`) use this
+        to attribute per-worker RSS/CPU.
+        """
+        return dict(self._worker_pids)
 
     def close(self) -> None:
         """Shut the workers down and release every shared-memory segment.

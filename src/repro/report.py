@@ -72,7 +72,8 @@ def phase_budget(result: ScreeningResult, width: int = 40) -> str:
     if not fractions:
         return "phase budget: (no timings)"
     lines = [f"phase budget ({result.timers.total:.3f} s total):"]
-    for name, frac in sorted(fractions.items(), key=lambda kv: -kv[1]):
+    # Name tie-break so equal-share phases render in one stable order.
+    for name, frac in sorted(fractions.items(), key=lambda kv: (-kv[1], kv[0])):
         bar = _BAR * int(round(frac * width))
         lines.append(f"  {name:>6} {100 * frac:5.1f}%  {bar}")
     return "\n".join(lines)
@@ -128,9 +129,67 @@ def metrics_table(metrics) -> str:
         for label, count in zip(labels, hist["counts"]):
             bar = _BAR * int(round(count / peak * 30))
             lines.append(f"  {label:>10}  {bar} {count}")
-    for funnel in metrics.funnels.values():
-        lines.append(funnel_table(funnel))
+    if snap["series"]:
+        lines.append("series:")
+        name_w = max(len(k) for k in snap["series"])
+        for name, series in snap["series"].items():
+            lines.append(
+                f"  {name:<{name_w}}  n={series['n']}  max={series['max']:.4g}"
+            )
+    # Funnels sorted by name: as_dict sorts every other family, and the
+    # report must diff cleanly across runs regardless of creation order.
+    for name in sorted(metrics.funnels):
+        lines.append(funnel_table(metrics.funnels[name]))
     return "\n".join(lines) if lines else "metrics: (empty)"
+
+
+def overlap_table(report, width: int = 30) -> str:
+    """An :class:`repro.obs.analysis.OverlapReport` as a terminal table.
+
+    Per-track utilization bars, the concurrency profile, and the overlap
+    summary the pipelining refactor is gated on.
+    """
+    if not report.tracks:
+        return "overlap: (no spans)"
+    lines = [
+        f"overlap report ({report.window_name!r}, wall {report.wall_s:.3f} s, "
+        f"{report.n_tracks} tracks):"
+    ]
+    for t in report.tracks:
+        bar = _BAR * int(round(t.utilization * width))
+        lines.append(
+            f"  track {t.track:>3}  {t.busy_s:8.3f}s busy "
+            f"{100 * t.utilization:5.1f}%  {bar}"
+        )
+    for k, seconds in enumerate(report.concurrency_s, start=1):
+        share = seconds / report.wall_s if report.wall_s > 0 else 0.0
+        bar = _BAR * int(round(share * width))
+        lines.append(f"  >= {k} busy  {seconds:8.3f}s {100 * share:5.1f}%  {bar}")
+    lines.append(
+        f"  overlap {report.overlap_s:.3f}s | parallel efficiency "
+        f"{100 * report.parallel_efficiency:.1f}% | effective parallelism "
+        f"{report.effective_parallelism:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def critical_path_table(path, width: int = 30, top: int = 12) -> str:
+    """A :class:`repro.obs.analysis.CriticalPath` as a per-name table."""
+    if not path.entries:
+        return "critical path: (no spans)"
+    lines = [
+        f"critical path (wall {path.wall_s:.3f} s = "
+        f"{path.busy_s:.3f} s on-path + {path.gap_s:.3f} s idle):"
+    ]
+    by_name = path.by_name()
+    for name, seconds in list(by_name.items())[:top]:
+        share = seconds / path.wall_s if path.wall_s > 0 else 0.0
+        bar = _BAR * int(round(share * width))
+        lines.append(f"  {name:>16}  {seconds:8.3f}s {100 * share:5.1f}%  {bar}")
+    hidden = len(by_name) - top
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more span names")
+    return "\n".join(lines)
 
 
 def full_report(result: ScreeningResult, duration_s: float) -> str:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import numbers
 
-#: Required keys of one Chrome trace event and their types.
+#: Required keys of one Chrome complete ("ph": "X") span event.
 _EVENT_KEYS = {
     "name": str,
     "ph": str,
@@ -28,9 +28,25 @@ _EVENT_KEYS = {
     "args": dict,
 }
 
+#: Required keys of one Chrome counter ("ph": "C") event — no duration,
+#: no span ids; the sampled value lives in args.value.
+_COUNTER_KEYS = {
+    "name": str,
+    "ph": str,
+    "ts": numbers.Real,
+    "pid": numbers.Integral,
+    "tid": numbers.Integral,
+    "cat": str,
+    "args": dict,
+}
+
 
 def validate_chrome_trace(trace: "dict") -> "list[str]":
-    """Structural validation of a Chrome trace document."""
+    """Structural validation of a Chrome trace document.
+
+    Accepts complete ("X") span events and counter ("C") events — the
+    watermark tracks exported from sampled :class:`Series`.
+    """
     problems: "list[str]" = []
     if not isinstance(trace, dict):
         return [f"trace must be a JSON object, got {type(trace).__name__}"]
@@ -46,13 +62,24 @@ def validate_chrome_trace(trace: "dict") -> "list[str]":
         if not isinstance(ev, dict):
             problems.append(f"{where}: not an object")
             continue
+        ph = ev.get("ph")
+        if ph == "C":
+            for key, typ in _COUNTER_KEYS.items():
+                if key not in ev:
+                    problems.append(f"{where}: missing key {key!r}")
+                elif not isinstance(ev[key], typ):
+                    problems.append(f"{where}: {key!r} has type {type(ev[key]).__name__}")
+            args = ev.get("args")
+            if isinstance(args, dict) and not isinstance(args.get("value"), numbers.Real):
+                problems.append(f"{where}: counter event needs numeric args.value")
+            continue
         for key, typ in _EVENT_KEYS.items():
             if key not in ev:
                 problems.append(f"{where}: missing key {key!r}")
             elif not isinstance(ev[key], typ):
                 problems.append(f"{where}: {key!r} has type {type(ev[key]).__name__}")
-        if ev.get("ph") != "X":
-            problems.append(f"{where}: ph must be 'X', got {ev.get('ph')!r}")
+        if ph != "X":
+            problems.append(f"{where}: ph must be 'X' or 'C', got {ph!r}")
         if isinstance(ev.get("dur"), numbers.Real) and ev["dur"] < 0:
             problems.append(f"{where}: negative duration {ev['dur']}")
         args = ev.get("args")
@@ -66,6 +93,8 @@ def validate_chrome_trace(trace: "dict") -> "list[str]":
                 seen_ids.add(sid)
     # Parent references must resolve (or be -1 for roots).
     for k, ev in enumerate(events):
+        if not isinstance(ev, dict) or ev.get("ph") == "C":
+            continue
         args = ev.get("args", {}) if isinstance(ev, dict) else {}
         pid = args.get("parent_id")
         if isinstance(pid, int) and pid != -1 and pid not in seen_ids:

@@ -1,0 +1,305 @@
+"""Trace analytics: phase stats, critical path, overlap, diff.
+
+The synthetic-span tests pin the arithmetic (hand-checkable interval
+layouts); the acceptance test at the bottom runs a real 2-device
+``executor="processes"`` screen and cross-checks the trace-derived
+per-phase totals against the independently measured PhaseTimer totals.
+"""
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.detection.types import ScreeningConfig
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.analysis import (
+    critical_path,
+    diff,
+    load_records,
+    overlap_report,
+    phase_stats,
+)
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.tracer import SpanRecord
+
+
+def span(sid, parent, name, start, dur, thread=0, **attrs):
+    return SpanRecord(
+        span_id=sid, parent_id=parent, name=name,
+        start_s=start, duration_s=dur, thread=thread, attrs=attrs,
+    )
+
+
+class TestPhaseStats:
+    def test_inclusive_and_exclusive(self):
+        records = [
+            span(0, -1, "window", 0.0, 10.0),
+            span(1, 0, "phase:INS", 0.0, 4.0),
+            span(2, 0, "phase:CD", 4.0, 3.0),
+        ]
+        stats = phase_stats(records)
+        assert stats["window"].inclusive_s == pytest.approx(10.0)
+        assert stats["window"].exclusive_s == pytest.approx(3.0)  # 10 - (4 + 3)
+        assert stats["phase:INS"].exclusive_s == pytest.approx(4.0)  # leaf
+        assert stats["phase:CD"].count == 1
+
+    def test_aggregates_same_name_and_mean(self):
+        records = [
+            span(0, -1, "round", 0.0, 2.0),
+            span(1, -1, "round", 3.0, 4.0),
+        ]
+        (stat,) = phase_stats(records).values()
+        assert stat.count == 2
+        assert stat.inclusive_s == pytest.approx(6.0)
+        assert stat.mean_s == pytest.approx(3.0)
+
+    def test_prefix_filter(self):
+        records = [
+            span(0, -1, "window", 0.0, 5.0),
+            span(1, 0, "phase:CD", 0.0, 2.0),
+        ]
+        stats = phase_stats(records, prefix="phase:")
+        assert list(stats) == ["phase:CD"]
+
+    def test_exclusive_clamped_at_zero(self):
+        # A child on another thread can outlive its parent by jitter.
+        records = [
+            span(0, -1, "parent", 0.0, 1.0),
+            span(1, 0, "child", 0.0, 1.5, thread=1),
+        ]
+        assert phase_stats(records)["parent"].exclusive_s == 0.0
+
+
+class TestCriticalPath:
+    def test_partitions_window_exactly(self):
+        # Two overlapping leaves on two tracks, idle tail at the end.
+        records = [
+            span(0, -1, "A", 0.0, 4.0, thread=0),
+            span(1, -1, "B", 3.0, 6.0, thread=1),
+        ]
+        path = critical_path(records, window_start_s=0.0, window_end_s=10.0)
+        assert [e.span.name for e in path.entries] == ["A", "B"]
+        a, b = path.entries
+        # B owns [3, 9] (its full extent), A is clipped to [0, 3].
+        assert (a.start_s, a.end_s) == (0.0, 3.0)
+        assert (b.start_s, b.end_s) == (3.0, 9.0)
+        assert b.gap_after_s == pytest.approx(1.0)  # idle [9, 10]
+        assert path.busy_s == pytest.approx(9.0)
+        assert path.gap_s == pytest.approx(1.0)
+        assert path.busy_s + path.gap_s == pytest.approx(path.wall_s)
+
+    def test_interior_gap_lands_on_preceding_span(self):
+        records = [
+            span(0, -1, "A", 0.0, 2.0),
+            span(1, -1, "B", 5.0, 2.0),
+        ]
+        path = critical_path(records, window_start_s=0.0, window_end_s=8.0)
+        a, b = path.entries
+        assert a.gap_after_s == pytest.approx(3.0)  # idle [2, 5]
+        assert b.gap_after_s == pytest.approx(1.0)  # idle [7, 8]
+        assert path.gap_s == pytest.approx(4.0)
+
+    def test_only_leaves_walk(self):
+        # The parent must never appear: its children carry the time.
+        records = [
+            span(0, -1, "window", 0.0, 6.0),
+            span(1, 0, "work", 1.0, 4.0),
+        ]
+        path = critical_path(records)
+        assert [e.span.name for e in path.entries] == ["work"]
+        assert path.busy_s == pytest.approx(4.0)
+        assert path.gap_s == pytest.approx(2.0)  # [0,1] head + [5,6] tail
+
+    def test_by_name_sums_descending(self):
+        records = [
+            span(0, -1, "CD", 0.0, 3.0),
+            span(1, -1, "REF", 3.0, 1.0),
+            span(2, -1, "CD", 4.0, 3.0),
+        ]
+        totals = critical_path(records).by_name()
+        assert list(totals) == ["CD", "REF"]
+        assert totals["CD"] == pytest.approx(6.0)
+
+    def test_empty_source(self):
+        path = critical_path([])
+        assert path.entries == () and path.wall_s == 0.0
+
+
+class TestOverlapReport:
+    def _two_track_records(self):
+        return [
+            span(0, -1, "window", 0.0, 6.0, thread=0),
+            span(1, 0, "shard", 0.0, 4.0, thread=1),
+            span(2, 0, "shard", 2.0, 4.0, thread=2),
+        ]
+
+    def test_tracks_overlap_and_concurrency(self):
+        rep = overlap_report(self._two_track_records())
+        assert rep.wall_s == pytest.approx(6.0)
+        by_track = {t.track: t for t in rep.tracks}
+        assert by_track[0].busy_s == pytest.approx(6.0)  # the window span
+        assert by_track[1].busy_s == pytest.approx(4.0)
+        assert by_track[2].utilization == pytest.approx(4.0 / 6.0)
+        # Track 0 is always busy; shards overlap it, and each other in [2,4].
+        assert rep.overlap_s == pytest.approx(6.0)
+        assert rep.concurrency_s[2] == pytest.approx(2.0)  # 3 tracks at once
+        assert sum(rep.concurrency_s) <= rep.wall_s + 1e-9
+        assert rep.max_concurrency == 3
+        assert rep.busy_total_s == pytest.approx(14.0)
+        assert rep.parallel_efficiency == pytest.approx(14.0 / 18.0)
+        assert rep.effective_parallelism == pytest.approx(14.0 / 6.0)
+
+    def test_window_bounds_clip_spans(self):
+        # Without a "window" span the full extent bounds the report; with
+        # one, outside time is clipped away.
+        records = [
+            span(0, -1, "window", 2.0, 4.0, thread=0),
+            span(1, -1, "warmup", 0.0, 3.0, thread=1),
+        ]
+        rep = overlap_report(records)
+        assert rep.window_start_s == pytest.approx(2.0)
+        assert rep.window_end_s == pytest.approx(6.0)
+        by_track = {t.track: t for t in rep.tracks}
+        assert by_track[1].busy_s == pytest.approx(1.0)  # clipped to [2,3]
+
+    def test_nested_spans_do_not_double_count(self):
+        records = [
+            span(0, -1, "outer", 0.0, 4.0, thread=0),
+            span(1, 0, "inner", 1.0, 2.0, thread=0),
+        ]
+        rep = overlap_report(records)
+        (track,) = rep.tracks
+        assert track.busy_s == pytest.approx(4.0)
+        assert rep.overlap_s == 0.0
+
+    def test_as_dict_json_safe(self):
+        rep = overlap_report(self._two_track_records())
+        as_dict = json.loads(json.dumps(rep.as_dict()))
+        assert as_dict["critical_path"]["busy_s"] + as_dict["critical_path"][
+            "gap_s"
+        ] == pytest.approx(rep.wall_s)
+
+    def test_empty_source(self):
+        rep = overlap_report([])
+        assert rep.tracks == () and rep.wall_s == 0.0
+
+
+class TestDiff:
+    def test_attributes_regressions_to_exclusive_time(self):
+        run_a = [
+            span(0, -1, "window", 0.0, 5.0),
+            span(1, 0, "phase:CD", 0.0, 3.0),
+        ]
+        run_b = [
+            span(0, -1, "window", 0.0, 8.0),
+            span(1, 0, "phase:CD", 0.0, 6.0),
+        ]
+        result = diff(run_a, run_b)
+        # CD got 3 s slower; window's own (exclusive) time is unchanged,
+        # so the regression lands on CD alone.
+        assert result.deltas[0].name == "phase:CD"
+        assert result.deltas[0].delta_s == pytest.approx(3.0)
+        assert result.deltas[0].ratio == pytest.approx(2.0)
+        window = next(d for d in result.deltas if d.name == "window")
+        assert window.delta_s == pytest.approx(0.0)
+        assert result.total_delta_s == pytest.approx(3.0)
+        assert [d.name for d in result.regressions(min_delta_s=0.1)] == ["phase:CD"]
+
+    def test_handles_disjoint_names(self):
+        result = diff([span(0, -1, "old", 0.0, 1.0)], [span(0, -1, "new", 0.0, 2.0)])
+        by_name = {d.name: d for d in result.deltas}
+        assert by_name["old"].b_count == 0
+        assert by_name["new"].a_count == 0
+        assert by_name["new"].ratio == float("inf")
+
+
+class TestLoadRecords:
+    def _traced(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        metrics.timeseries("res.rss_bytes").record(0.001, 1000.0)
+        with tracer.span("window", method="grid"):
+            with tracer.span("phase:CD"):
+                pass
+        return tracer, metrics
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        tracer, metrics = self._traced()
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, path, metrics)
+        records = load_records(path)
+        # Counter events skipped; spans round-trip exactly.
+        originals = sorted(tracer.records(), key=lambda r: (r.start_s, r.span_id))
+        assert [(r.span_id, r.parent_id, r.name) for r in records] == [
+            (r.span_id, r.parent_id, r.name) for r in originals
+        ]
+        for got, want in zip(records, originals):
+            assert got.start_s == pytest.approx(want.start_s, abs=1e-9)
+            assert got.duration_s == pytest.approx(want.duration_s, abs=1e-9)
+        assert records[0].attrs["method"] == "grid"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer, metrics = self._traced()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(tracer, path, metrics)
+        records = load_records(path)
+        assert [r.name for r in records] == ["window", "phase:CD"]
+
+    def test_passthrough_and_errors(self, tmp_path):
+        tracer, _ = self._traced()
+        assert load_records(tracer) == tracer.records()
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not a trace\n")
+        with pytest.raises(ValueError, match="not a Chrome trace"):
+            load_records(str(bad))
+
+
+class TestProcessesAcceptance:
+    """ISSUE 8 acceptance: on a traced 2-device processes run, the
+    overlap report names the worker tracks and the trace-derived phase
+    totals agree with the PhaseTimer to 1%."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        from repro.parallel.multidevice import screen_grid_multidevice
+        from repro.population.generator import generate_population
+
+        pop = generate_population(400, seed=7)
+        cfg = ScreeningConfig(
+            threshold_km=5.0, duration_s=600.0, seconds_per_sample=2.0
+        )
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        result, reports = screen_grid_multidevice(
+            pop, cfg, 2, executor="processes", tracer=tracer, metrics=metrics
+        )
+        return tracer, metrics, result, reports
+
+    def test_worker_tracks_and_invariants(self, traced_run):
+        tracer, _, _, reports = traced_run
+        rep = overlap_report(tracer)
+        # Main thread plus one adopted track per device shard.
+        assert rep.n_tracks >= 1 + len(reports)
+        for track in rep.tracks:
+            assert 0.0 <= track.utilization <= 1.0 + 1e-9
+            assert track.spans > 0
+        assert rep.critical.busy_s + rep.critical.gap_s == pytest.approx(
+            rep.wall_s, rel=1e-9, abs=1e-9
+        )
+        assert sum(rep.concurrency_s) <= rep.wall_s * (1 + 1e-9)
+        assert 0.0 <= rep.parallel_efficiency <= 1.0 + 1e-9
+
+    def test_phase_totals_match_phase_timer(self, traced_run):
+        tracer, _, result, _ = traced_run
+        stats = phase_stats(tracer, prefix="phase:")
+        timer_totals = dict(result.timers.totals)
+        assert timer_totals, "processes run reported no merged phase timings"
+        for name, total in timer_totals.items():
+            traced = stats.get(f"phase:{name}")
+            assert traced is not None, f"no phase:{name} spans in the trace"
+            # Same measurement from two instruments: agree to 1%
+            # (plus a microsecond floor for near-zero phases).
+            assert traced.inclusive_s == pytest.approx(
+                total, rel=0.01, abs=1e-4
+            ), f"phase {name}: trace {traced.inclusive_s} vs timer {total}"

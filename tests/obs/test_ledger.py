@@ -1,0 +1,202 @@
+"""BENCH ledger: flattening, schema validation, regression detection."""
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    BenchLedger,
+    flatten_metrics,
+    git_sha,
+    host_fingerprint,
+    metric_direction,
+    validate_ledger,
+)
+
+HOST_A = {"machine": "x86_64", "system": "Linux", "cpus": 4, "python": "3.11"}
+HOST_B = {"machine": "aarch64", "system": "Linux", "cpus": 8, "python": "3.11"}
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name",
+        ["speedup", "sweep[0].speedup", "coherence_hit_rate",
+         "parallel_efficiency", "filter.survival"],
+    )
+    def test_higher_better(self, name):
+        assert metric_direction(name) == 1
+
+    @pytest.mark.parametrize(
+        "name",
+        ["wall_s", "paper_scale.wall_s", "overhead_fraction",
+         "peak_rss_bytes", "tiers[1].single_s"],
+    )
+    def test_lower_better(self, name):
+        assert metric_direction(name) == -1
+
+    @pytest.mark.parametrize("name", ["objects", "round_size", "host_cpus"])
+    def test_ungated(self, name):
+        assert metric_direction(name) == 0
+
+
+class TestFlattenMetrics:
+    def test_nested_paths_and_exclusions(self):
+        payload = {
+            "wall_s": 1.5,
+            "check_only": True,          # bool: excluded
+            "label": "smoke",            # string: excluded
+            "missing": None,             # null: excluded
+            "nan": float("nan"),         # non-finite: excluded
+            "sweep": [{"speedup": 2.0}, {"speedup": 1.5}],
+            "nested": {"deep": {"n": 3}},
+        }
+        assert flatten_metrics(payload) == {
+            "wall_s": 1.5,
+            "sweep[0].speedup": 2.0,
+            "sweep[1].speedup": 1.5,
+            "nested.deep.n": 3.0,
+        }
+
+
+class TestValidation:
+    def _entry(self, **overrides):
+        entry = {
+            "artifact": "BENCH_cd",
+            "sha": "abc123",
+            "timestamp_unix": 1754650000.0,
+            "host": dict(HOST_A),
+            "check_only": True,
+            "metrics": {"speedup": 1.4},
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_valid_document(self):
+        doc = {"schema_version": LEDGER_SCHEMA_VERSION, "entries": [self._entry()]}
+        assert validate_ledger(doc) == []
+
+    def test_flags_bad_version_missing_keys_and_types(self):
+        doc = {
+            "schema_version": 99,
+            "entries": [
+                self._entry(sha=123),
+                {k: v for k, v in self._entry().items() if k != "host"},
+                self._entry(metrics={"speedup": "fast"}),
+            ],
+        }
+        errors = validate_ledger(doc)
+        assert any("schema_version" in e for e in errors)
+        assert any("entries[0].sha" in e for e in errors)
+        assert any("missing key 'host'" in e for e in errors)
+        assert any("values must be numbers" in e for e in errors)
+
+    def test_constructor_and_save_refuse_invalid(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid ledger"):
+            BenchLedger({"schema_version": 0, "entries": []})
+        ledger = BenchLedger()
+        ledger.doc["entries"].append({"broken": True})
+        with pytest.raises(ValueError, match="refusing to save"):
+            ledger.save(str(tmp_path / "ledger.json"))
+
+
+class TestIngestion:
+    def test_append_and_round_trip(self, tmp_path):
+        ledger = BenchLedger()
+        entry = ledger.append_artifact(
+            "BENCH_cd",
+            {"check_only": True, "sweep": [{"speedup": 1.4}]},
+            sha="feed1234",
+            timestamp_unix=1.0,
+            host=dict(HOST_A),
+        )
+        assert entry["check_only"] is True
+        assert entry["metrics"] == {"sweep[0].speedup": 1.4}
+        path = str(tmp_path / "BENCH_ledger.json")
+        ledger.save(path)
+        again = BenchLedger.load(path)
+        assert again.entries == ledger.entries
+
+    def test_ingest_results_dir_skips_ledger_itself(self, tmp_path):
+        (tmp_path / "BENCH_cd.json").write_text(
+            json.dumps({"check_only": False, "speedup": 2.0})
+        )
+        (tmp_path / "BENCH_ledger.json").write_text(json.dumps({"schema_version": 1}))
+        (tmp_path / "report.txt").write_text("not json\n")
+        ledger = BenchLedger()
+        added = ledger.ingest_results_dir(str(tmp_path), sha="cafe")
+        assert [e["artifact"] for e in added] == ["BENCH_cd"]
+        assert added[0]["sha"] == "cafe"
+
+    def test_load_or_create(self, tmp_path):
+        assert BenchLedger.load_or_create(str(tmp_path / "missing.json")).entries == []
+
+
+class TestRegressions:
+    def _ledger_with(self, *metric_dicts, host=None, check_only=True):
+        ledger = BenchLedger()
+        for i, metrics in enumerate(metric_dicts):
+            ledger.append_artifact(
+                "BENCH_x",
+                {"check_only": check_only, **metrics},
+                sha=f"sha{i}",
+                timestamp_unix=float(i),
+                host=dict(host or HOST_A),
+            )
+        return ledger
+
+    def test_higher_better_regression_vs_rolling_best(self):
+        ledger = self._ledger_with(
+            {"speedup": 2.0}, {"speedup": 1.8}, {"speedup": 0.5}
+        )
+        (reg,) = ledger.check_regressions(rtol=0.5)
+        assert reg.metric == "speedup" and reg.direction == 1
+        assert reg.best == 2.0 and reg.best_sha == "sha0"
+        assert "dropped below" in repr(reg)
+        # Within tolerance: 1.8 >= 2.0 * 0.5.
+        assert self._ledger_with(
+            {"speedup": 2.0}, {"speedup": 1.8}
+        ).check_regressions(rtol=0.5) == []
+
+    def test_lower_better_needs_same_host(self):
+        ledger = BenchLedger()
+        ledger.append_artifact("BENCH_x", {"check_only": True, "wall_s": 1.0},
+                               sha="a", timestamp_unix=0.0, host=dict(HOST_A))
+        ledger.append_artifact("BENCH_x", {"check_only": True, "wall_s": 10.0},
+                               sha="b", timestamp_unix=1.0, host=dict(HOST_B))
+        # Cross-host seconds never compare.
+        assert ledger.check_regressions(rtol=0.5) == []
+        ledger.append_artifact("BENCH_x", {"check_only": True, "wall_s": 25.0},
+                               sha="c", timestamp_unix=2.0, host=dict(HOST_B))
+        (reg,) = ledger.check_regressions(rtol=0.5)
+        assert reg.best == 10.0 and "rose above" in repr(reg)
+
+    def test_check_only_cohorts_do_not_mix(self):
+        ledger = BenchLedger()
+        ledger.append_artifact("BENCH_x", {"check_only": False, "speedup": 4.0},
+                               sha="a", timestamp_unix=0.0, host=dict(HOST_A))
+        ledger.append_artifact("BENCH_x", {"check_only": True, "speedup": 1.1},
+                               sha="b", timestamp_unix=1.0, host=dict(HOST_A))
+        assert ledger.check_regressions(rtol=0.5) == []
+
+    def test_zero_best_skips_relative_gate(self):
+        ledger = self._ledger_with({"wall_s": 0.0}, {"wall_s": 5.0})
+        assert ledger.check_regressions(rtol=0.5) == []
+
+    def test_trajectory(self):
+        ledger = self._ledger_with({"speedup": 1.0}, {"speedup": 2.0})
+        assert ledger.trajectory("BENCH_x", "speedup") == [
+            ("sha0", 1.0), ("sha1", 2.0),
+        ]
+
+
+class TestEnvironmentStamps:
+    def test_host_fingerprint_shape(self):
+        fp = host_fingerprint()
+        assert set(fp) == {"machine", "system", "cpus", "python"}
+        assert fp["cpus"] >= 1
+
+    def test_git_sha_in_repo_and_fallback(self, tmp_path):
+        assert len(git_sha()) == 40  # this test runs inside the repo
+        assert git_sha(str(tmp_path)) == "unknown"

@@ -1,0 +1,159 @@
+"""Merge commutativity under random permutations (property-style).
+
+The parallel executors merge worker-side state back in whatever order
+shards finish, so every mergeable accumulator must produce identical
+snapshots for every arrival order.  Hypothesis drives random shard
+contents *and* random merge permutations through MetricsRegistry, Funnel
+and RefTelemetry; the snapshot must not depend on the permutation.
+"""
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Funnel
+from repro.parallel.backend import RefTelemetry
+
+#: The pipeline's canonical stage order that shard funnels subsample.
+STAGE_ORDER = ["alloc", "grid", "ins", "cd", "cop", "ref"]
+
+
+def _normalized(obj):
+    """Round floats to 12 significant digits, recursively.
+
+    Counter/gauge/funnel state merges exactly; a histogram's ``total``
+    (and the ``mean`` derived from it) accumulates float sums in merge
+    order, and float addition is only associative up to roundoff — one
+    ulp of drift across permutations is not a commutativity bug.
+    """
+    if isinstance(obj, float):
+        return float(f"{obj:.12g}")
+    if isinstance(obj, dict):
+        return {k: _normalized(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_normalized(v) for v in obj]
+    return obj
+
+
+def _shard_registry(rng: random.Random) -> MetricsRegistry:
+    m = MetricsRegistry()
+    for name in ("cd.rounds", "cd.pairs_emitted"):
+        if rng.random() < 0.8:
+            m.counter(name).add(rng.randrange(0, 100))
+    if rng.random() < 0.8:
+        m.gauge("hashmap.load_factor").record(rng.uniform(0.0, 1.0))
+    if rng.random() < 0.8:
+        m.histogram("probe_length", (1.0, 2.0, 4.0)).observe(
+            [rng.uniform(0.0, 8.0) for _ in range(rng.randrange(0, 6))]
+        )
+    if rng.random() < 0.8:
+        series = m.timeseries("res.rss_bytes")
+        for _ in range(rng.randrange(0, 4)):
+            series.record(rng.uniform(0.0, 10.0), rng.uniform(0.0, 1e9))
+    # Each shard records a random *subsequence* of the pipeline stages —
+    # the shape that used to make merged stage order arrival-dependent.
+    funnel = m.funnel("screen")
+    for stage in STAGE_ORDER:
+        if rng.random() < 0.6:
+            funnel.record(stage, rng.randrange(0, 50), rng.randrange(0, 50))
+    return m
+
+
+def _shard_telemetry(rng: random.Random) -> RefTelemetry:
+    t = RefTelemetry()
+    t.record_lanes(rng.randrange(0, 100))
+    for _ in range(rng.randrange(0, 5)):
+        t.record_golden_iteration(rng.randrange(0, 10))
+    t.record_kepler(rng.randrange(0, 50), rng.randrange(0, 200))
+    if rng.random() < 0.5:
+        t.record_brent(rng.randrange(0, 30))
+    return t
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_shards=st.integers(min_value=1, max_value=6),
+)
+def test_metrics_registry_merge_commutes(seed, n_shards):
+    rng = random.Random(seed)
+    shard_seeds = [rng.randrange(2**31) for _ in range(n_shards)]
+    order = list(range(n_shards))
+    rng.shuffle(order)
+
+    forward = MetricsRegistry()
+    for s in shard_seeds:
+        forward.merge(_shard_registry(random.Random(s)))
+    shuffled = MetricsRegistry()
+    for idx in order:
+        shuffled.merge(_shard_registry(random.Random(shard_seeds[idx])))
+
+    assert _normalized(forward.as_dict()) == _normalized(shuffled.as_dict())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_shards=st.integers(min_value=2, max_value=6),
+)
+def test_funnel_merge_stage_order_permutation_invariant(seed, n_shards):
+    rng = random.Random(seed)
+    shards = []
+    shard_sequences = []
+    for _ in range(n_shards):
+        funnel = Funnel("screen")
+        sequence = [s for s in STAGE_ORDER if rng.random() < 0.5]
+        for stage in sequence:
+            funnel.record(stage, rng.randrange(0, 50), rng.randrange(0, 50))
+        shards.append(funnel)
+        shard_sequences.append(sequence)
+    order = list(range(n_shards))
+    rng.shuffle(order)
+
+    def merged(indices):
+        out = Funnel("screen")
+        for i in indices:
+            out.merge(shards[i])
+        return out.as_dict()
+
+    base = merged(range(n_shards))
+    assert merged(order) == base
+    # Every stage pair some shard co-observed keeps its pipeline order
+    # in the merged funnel (pairs no shard related carry no constraint).
+    position = {s["name"]: k for k, s in enumerate(base["stages"])}
+    for sequence in shard_sequences:
+        for i, earlier in enumerate(sequence):
+            for later in sequence[i + 1:]:
+                assert position[earlier] < position[later], (
+                    f"{earlier} must precede {later}"
+                )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_shards=st.integers(min_value=1, max_value=6),
+)
+def test_ref_telemetry_merge_commutes(seed, n_shards):
+    rng = random.Random(seed)
+    shard_seeds = [rng.randrange(2**31) for _ in range(n_shards)]
+    order = list(range(n_shards))
+    rng.shuffle(order)
+
+    forward = RefTelemetry()
+    for s in shard_seeds:
+        forward.merge(_shard_telemetry(random.Random(s)))
+    shuffled = RefTelemetry()
+    for idx in order:
+        shuffled.merge(_shard_telemetry(random.Random(shard_seeds[idx])))
+
+    assert forward.as_dict() == shuffled.as_dict()
+    # Per-iteration retirement aggregates by index, not by concatenation.
+    assert len(forward.lanes_retired_per_iteration) == max(
+        (len(_shard_telemetry(random.Random(s)).lanes_retired_per_iteration)
+         for s in shard_seeds),
+        default=0,
+    )

@@ -1,0 +1,116 @@
+"""Perf-assertion API: ledger sampling, fluent gates, tolerances."""
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.perf import (
+    GateResult,
+    PerfLedger,
+    PerfRegression,
+    expect,
+    expect_value,
+)
+
+
+class TestPerfLedger:
+    def test_min_of_k(self):
+        ledger = PerfLedger()
+        for s in (0.5, 0.3, 0.4):
+            ledger.add("CD", "serial", s)
+        assert ledger.best_s("CD", "serial") == 0.3
+        assert ledger.samples("CD", "serial") == [0.5, 0.3, 0.4]
+
+    def test_unknown_key_lists_known(self):
+        ledger = PerfLedger()
+        ledger.add("CD", "serial", 1.0)
+        with pytest.raises(KeyError, match="CD/serial"):
+            ledger.best_s("CD", "warm")
+
+    def test_subjects_and_as_dict(self):
+        ledger = PerfLedger()
+        ledger.add("CD", "b", 1.0)
+        ledger.add("CD", "a", 2.0)
+        ledger.add("REF", "a", 3.0)
+        assert ledger.subjects("CD") == ["a", "b"]
+        snap = ledger.as_dict()
+        assert snap["CD/a"] == {"samples_s": [2.0], "best_s": 2.0, "k": 1}
+
+
+class TestGates:
+    def _ledger(self):
+        ledger = PerfLedger()
+        for serial, coherent in ((1.0, 0.52), (0.9, 0.5), (1.1, 0.6)):
+            ledger.add("CD", "serial", serial)
+            ledger.add("CD", "coherent", coherent)
+        return ledger
+
+    def test_speedup_vs_passes_and_carries_evidence(self):
+        gate = expect(self._ledger()).phase("CD").speedup_vs("serial") >= 1.3
+        assert isinstance(gate, GateResult) and gate
+        assert gate.value == pytest.approx(0.9 / 0.5)
+        assert "PASS" in repr(gate) and "serial best=0.9" in repr(gate)
+
+    def test_speedup_subject_resolution_requires_unique_other(self):
+        ledger = self._ledger()
+        ledger.add("CD", "third", 1.0)
+        with pytest.raises(ValueError, match="pass subject="):
+            expect(ledger).phase("CD").speedup_vs("serial")
+        gate = expect(ledger).phase("CD").speedup_vs("serial", "coherent") >= 1.0
+        assert gate
+
+    def test_failing_gate_is_falsy_and_check_raises(self):
+        gate = expect(self._ledger()).phase("CD").speedup_vs("serial") >= 10.0
+        assert not gate
+        assert "FAIL" in repr(gate)
+        with pytest.raises(PerfRegression, match="FAIL"):
+            gate.check()
+        passing = expect(self._ledger()).phase("CD").speedup_vs("serial") >= 1.0
+        assert passing.check() is passing
+
+    def test_ratio_vs_gates_overheads(self):
+        ledger = PerfLedger()
+        ledger.add("screen", "baseline", 1.0)
+        ledger.add("screen", "instrumented", 1.015)
+        gate = (
+            expect(ledger).phase("screen").ratio_vs("baseline", "instrumented")
+            <= 1.02
+        )
+        assert gate and gate.value == pytest.approx(1.015)
+        assert not (
+            expect(ledger).phase("screen").ratio_vs("baseline", "instrumented")
+            <= 1.01
+        )
+
+    def test_best_gates_absolute_time(self):
+        ledger = PerfLedger()
+        ledger.add("window", "warm", 2.0)
+        ledger.add("window", "warm", 1.5)
+        assert expect(ledger).phase("window").best("warm") <= 1.6
+        assert not (expect(ledger).phase("window").best("warm") <= 1.0)
+
+    def test_rtol_loosens_both_directions(self):
+        ledger = PerfLedger()
+        ledger.add("CD", "serial", 1.0)
+        ledger.add("CD", "on", 0.8)  # speedup 1.25
+        assert not (expect(ledger).phase("CD").speedup_vs("serial") >= 1.3)
+        assert expect(ledger, rtol=0.05).phase("CD").speedup_vs("serial") >= 1.3
+        assert expect_value("overhead ratio", 1.025, rtol=0.02) <= 1.01
+        assert not (expect_value("overhead ratio", 1.035, rtol=0.02) <= 1.01)
+
+    def test_zero_subject_time_is_infinite_speedup(self):
+        ledger = PerfLedger()
+        ledger.add("CD", "serial", 1.0)
+        ledger.add("CD", "cached", 0.0)
+        gate = expect(ledger).phase("CD").speedup_vs("serial") >= 100.0
+        assert gate and gate.value == float("inf")
+
+
+class TestExpectValue:
+    def test_scalar_gate_with_detail(self):
+        gate = (
+            expect_value("sampler self-cost", 0.004, detail="12 ticks")
+            <= 0.01
+        )
+        assert gate
+        assert "12 ticks" in repr(gate)
+        assert "sampler self-cost" in repr(gate)

@@ -1,0 +1,152 @@
+"""Resource sampler and heartbeat: /proc readers, watermarks, beats."""
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.resources import (
+    Heartbeat,
+    ResourceSampler,
+    child_pids,
+    read_cpu_seconds,
+    read_rss_bytes,
+    read_shm_bytes,
+)
+
+
+class TestProcReaders:
+    def test_own_process_readings(self):
+        assert read_rss_bytes() > 0
+        assert read_cpu_seconds() > 0.0
+        assert read_shm_bytes() >= 0
+
+    def test_missing_pid_reads_zero(self):
+        # A pid that cannot exist: /proc lookups fail silently.
+        assert read_rss_bytes(2**30) == 0
+        assert read_cpu_seconds(2**30) == 0.0
+        assert child_pids(2**30) == []
+
+    def test_child_discovery(self):
+        proc = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(30)"])
+        try:
+            deadline = time.time() + 5.0
+            while proc.pid not in child_pids() and time.time() < deadline:
+                time.sleep(0.05)
+            assert proc.pid in child_pids()
+            assert read_rss_bytes(proc.pid) > 0
+        finally:
+            proc.kill()
+            proc.wait()
+
+
+class TestResourceSampler:
+    def test_sample_once_records_series(self):
+        metrics = MetricsRegistry()
+        sampler = ResourceSampler(metrics)
+        sample = sampler.sample_once()
+        assert sample.rss_bytes > 0
+        assert metrics.timeseries("res.rss_bytes").n == 1
+        assert metrics.timeseries("res.cpu_s").n == 1
+        assert metrics.timeseries("res.shm_bytes").n == 1
+        assert sampler.sampling_cost_s > 0.0
+
+    def test_thread_lifecycle_and_watermarks(self):
+        sampler = ResourceSampler(interval_s=0.02)
+        with sampler:
+            time.sleep(0.1)
+        marks = sampler.watermarks()
+        # start() and stop() each take one synchronous sample.
+        assert marks["n_samples"] >= 3
+        assert marks["peak_rss_bytes"] >= read_rss_bytes() * 0.5
+        assert marks["cpu_s"] >= 0.0
+        assert marks["sampling_cost_s"] == sampler.sampling_cost_s > 0.0
+        # Timestamps are monotone non-decreasing on one clock.
+        ts = [s.t_s for s in sampler.samples]
+        assert ts == sorted(ts)
+
+    def test_empty_watermarks(self):
+        marks = ResourceSampler().watermarks()
+        assert marks["n_samples"] == 0 and marks["peak_rss_bytes"] == 0.0
+
+    def test_double_start_rejected(self):
+        sampler = ResourceSampler(interval_s=10.0)
+        with sampler:
+            with pytest.raises(RuntimeError, match="already started"):
+                sampler.start()
+        sampler.stop()  # idempotent after exit
+
+    def test_children_tracked(self):
+        proc = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(30)"])
+        try:
+            deadline = time.time() + 5.0
+            while proc.pid not in child_pids() and time.time() < deadline:
+                time.sleep(0.05)
+            metrics = MetricsRegistry()
+            sampler = ResourceSampler(metrics, include_children=True)
+            sampler.sample_once()
+            peaks = sampler.peak_child_rss_by_pid()
+            assert peaks.get(proc.pid, 0) > 0
+            assert sampler.watermarks()["peak_child_rss_bytes"] > 0
+            assert metrics.timeseries("res.child_peak.rss_bytes").n == 1
+        finally:
+            proc.kill()
+            proc.wait()
+
+    def test_tracer_clock_alignment(self):
+        tracer = Tracer()
+        time.sleep(0.01)
+        sampler = ResourceSampler(tracer=tracer)
+        sample = sampler.sample_once()
+        # Stamped on the tracer's span timeline, not the sampler's epoch.
+        assert 0.005 < sample.t_s <= tracer.elapsed_s()
+
+
+class TestHeartbeat:
+    def test_beat_contents_rate_and_eta(self):
+        metrics = MetricsRegistry()
+        lines: "list[str]" = []
+        hb = Heartbeat(metrics, interval_s=60.0, counter="cd.rounds",
+                       total=100, sink=lines.append)
+        metrics.counter("cd.rounds").add(10)
+        time.sleep(0.01)
+        record = hb.beat()
+        assert record["type"] == "heartbeat"
+        assert record["progress"] == 10 and record["total"] == 100
+        assert record["rate_per_s"] > 0
+        assert record["eta_s"] > 0
+        assert record["rss_bytes"] > 0
+        parsed = json.loads(lines[0])
+        assert parsed["counter"] == "cd.rounds"
+        # No further progress: rate drops to 0 and the ETA is unknown.
+        time.sleep(0.01)
+        record = hb.beat()
+        assert record["rate_per_s"] == 0.0 and record["eta_s"] is None
+
+    def test_thread_emits_and_final_beat(self):
+        metrics = MetricsRegistry()
+        lines: "list[str]" = []
+        with Heartbeat(metrics, interval_s=0.02, sink=lines.append) as hb:
+            metrics.counter("cd.rounds").add(5)
+            time.sleep(0.08)
+        assert hb.beats >= 2  # periodic beats plus the final one on stop
+        last = json.loads(lines[-1])
+        assert last["progress"] == 5
+
+    def test_extra_merges_and_never_kills_the_beat(self):
+        metrics = MetricsRegistry()
+        lines: "list[str]" = []
+        hb = Heartbeat(metrics, interval_s=60.0, sink=lines.append,
+                       extra=lambda: {"windows": 3})
+        assert hb.beat()["windows"] == 3
+        boom = Heartbeat(metrics, interval_s=60.0, sink=lines.append,
+                         extra=lambda: 1 / 0)
+        record = boom.beat()
+        assert record["extra_error"] == "ZeroDivisionError"
+
+    def test_stop_without_start_is_noop(self):
+        Heartbeat(MetricsRegistry(), interval_s=1.0, sink=lambda line: None).stop()

@@ -207,3 +207,83 @@ def test_screen_rejects_unknown_executor():
     with pytest.raises(SystemExit):
         main(["screen", "--method", "grid", "--n-devices", "2",
               "--executor", "mpi"])
+
+
+def test_screen_heartbeat_and_resource_watermarks(capsys):
+    import json
+
+    rc = main(
+        ["screen", "--objects", "100", "--seed", "3", "--method", "grid",
+         "--duration-s", "300", "--sps", "2", "--threshold-km", "5",
+         "--heartbeat", "60", "--sample-resources"]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "resource watermarks: peak RSS" in captured.out
+    # stop() emits a final beat even when no interval elapsed.
+    beats = [json.loads(line) for line in captured.err.splitlines() if line]
+    assert beats and beats[-1]["type"] == "heartbeat"
+    assert beats[-1]["rss_bytes"] > 0
+
+
+def _write_trace(tmp_path, name="trace.json", seed=21):
+    path = tmp_path / name
+    assert main(
+        ["screen", "--objects", "150", "--seed", str(seed), "--method", "grid",
+         "--duration-s", "300", "--sps", "2", "--threshold-km", "5",
+         "--trace", str(path)]
+    ) == 0
+    return path
+
+
+def test_analyze_trace_with_check_and_diff(tmp_path, capsys):
+    trace = _write_trace(tmp_path)
+    other = _write_trace(tmp_path, name="other.json", seed=22)
+    capsys.readouterr()  # drop the screen output
+    rc = main(["analyze", str(trace), "--check", "--diff", str(other)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "overlap report" in out
+    assert "critical path (wall" in out
+    assert "per-phase time (inclusive / exclusive):" in out
+    assert "phase:" in out
+    assert f"diff vs {other}" in out
+    assert "checks passed" in out
+
+
+def test_analyze_empty_trace_errors(tmp_path):
+    from repro.obs import Tracer, write_jsonl
+
+    path = tmp_path / "empty.jsonl"
+    write_jsonl(Tracer(), str(path), None)
+    with pytest.raises(SystemExit, match="no span records"):
+        main(["analyze", str(path)])
+
+
+def test_ledger_append_and_regression_gate(tmp_path, capsys):
+    import json
+
+    from repro.obs.ledger import BenchLedger
+
+    artifact = tmp_path / "BENCH_x.json"
+    artifact.write_text(json.dumps({"check_only": True, "speedup": 4.0}))
+    rc = main(["ledger", "--results-dir", str(tmp_path), "--append"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "appended 1 artifact entries" in out
+    assert "no regressions" in out
+    ledger_path = tmp_path / "BENCH_ledger.json"
+    assert BenchLedger.load(str(ledger_path)).entries[0]["artifact"] == "BENCH_x"
+
+    # A collapsed speedup (beyond rtol 0.5 of the rolling best) fails the gate.
+    artifact.write_text(json.dumps({"check_only": True, "speedup": 1.0}))
+    rc = main(["ledger", "--results-dir", str(tmp_path), "--append",
+               "--fail-on-regression"])
+    assert rc == 1
+    assert "dropped below" in capsys.readouterr().out
+
+
+def test_ledger_status_without_append(tmp_path, capsys):
+    rc = main(["ledger", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    assert "0 entries" in capsys.readouterr().out

@@ -6,14 +6,18 @@ import pytest
 
 from repro.detection.types import ScreeningResult, empty_result
 from repro.obs import MetricsRegistry
+from repro.obs.analysis import critical_path, overlap_report
 from repro.obs.metrics import Funnel
+from repro.obs.tracer import SpanRecord
 from repro.parallel.backend import PhaseTimer
 from repro.report import (
     busiest_objects,
+    critical_path_table,
     full_report,
     funnel_table,
     histogram,
     metrics_table,
+    overlap_table,
     phase_budget,
     timeline,
 )
@@ -153,3 +157,79 @@ def test_full_report_includes_metrics_when_collected(result):
     m.counter("cd.rounds").add(3)
     result.metrics = m
     assert "cd.rounds" in full_report(result, duration_s=1000.0)
+
+
+def _populate(m: MetricsRegistry, names) -> MetricsRegistry:
+    """Create identical instruments in the caller's chosen order."""
+    for name in names:
+        m.counter(f"count.{name}").add(1)
+        m.gauge(f"gauge.{name}").record(0.5)
+        m.timeseries(f"res.{name}").record(1.0, 2.0)
+        m.funnel(name).record("emit", 10, 5)
+    return m
+
+
+def test_metrics_table_deterministic_across_creation_order():
+    # Worker shards create instruments in whatever order their phases
+    # run; the rendered report must not depend on that order, or run
+    # reports stop diffing cleanly.
+    a = _populate(MetricsRegistry(), ["beta", "alpha", "gamma"])
+    b = _populate(MetricsRegistry(), ["gamma", "beta", "alpha"])
+    assert metrics_table(a) == metrics_table(b)
+    text = metrics_table(a)
+    # Funnel sections render in name order.
+    assert text.index("funnel 'alpha'") < text.index("funnel 'beta'") < text.index("funnel 'gamma'")
+
+
+def test_metrics_table_series_block():
+    m = MetricsRegistry()
+    m.timeseries("res.rss_bytes").record(0.0, 100.0)
+    m.timeseries("res.rss_bytes").record(1.0, 250.0)
+    text = metrics_table(m)
+    assert "series:" in text
+    assert "res.rss_bytes" in text and "n=2" in text and "max=250" in text
+
+
+def test_phase_budget_equal_shares_sort_by_name():
+    timers = PhaseTimer()
+    timers.add("REF", 1.0)
+    timers.add("CD", 1.0)
+    timers.add("INS", 2.0)
+    r = empty_result("grid", "serial")
+    r.timers = timers
+    lines = phase_budget(r).splitlines()
+    assert [line.split()[0] for line in lines[1:]] == ["INS", "CD", "REF"]
+
+
+def _span(sid, parent, name, start, dur, thread=0):
+    return SpanRecord(span_id=sid, parent_id=parent, name=name,
+                      start_s=start, duration_s=dur, thread=thread)
+
+
+def test_overlap_table_renders_tracks_and_summary():
+    records = [
+        _span(0, -1, "window", 0.0, 10.0),
+        _span(1, 0, "shard", 0.0, 8.0, thread=1),
+        _span(2, 0, "shard", 2.0, 8.0, thread=2),
+    ]
+    text = overlap_table(overlap_report(records))
+    assert "wall 10.000 s" in text and "3 tracks" in text
+    assert "track   1" in text and "80.0%" in text
+    assert ">= 2 busy" in text
+    assert "parallel efficiency" in text and "effective parallelism" in text
+
+
+def test_overlap_table_empty():
+    assert "(no spans)" in overlap_table(overlap_report([]))
+
+
+def test_critical_path_table_accounting_and_truncation():
+    records = [_span(k, -1, f"leaf{k:02d}", float(k), 1.0) for k in range(15)]
+    path = critical_path(records)
+    text = critical_path_table(path, top=12)
+    assert "wall 15.000 s = 15.000 s on-path + 0.000 s idle" in text
+    assert "... 3 more span names" in text
+
+
+def test_critical_path_table_empty():
+    assert "(no spans)" in critical_path_table(critical_path([]))
