@@ -1,0 +1,230 @@
+"""Pipelined vs barrier phase schedule: wall time and phase overlap.
+
+The tentpole claim of the round-granular producer/consumer schedule
+(DESIGN.md §13): with INS prefetching on its own thread and a REF
+consumer draining the candidate queue continuously, the three phases run
+on three tracks and the window's wall time drops below the barrier
+schedule's strict INS → CD → REF sum — at byte-identical output.
+
+Measured and asserted:
+
+* **Byte-identical conjunctions** — every repetition of the pipelined arm
+  must reproduce the barrier arm's record bytes exactly (always gated,
+  any host).
+* **Wall-time speedup** — ``window`` wall of the pipelined arm >= 1.15x
+  the barrier arm, min-of-k via ``repro.obs.perf``.
+* **Effective parallelism** — the traced pipelined window's
+  ``overlap_report`` must show busy_total / wall >= 1.3: phases genuinely
+  overlapping, not merely reordered.
+
+Both perf gates need real cores to mean anything: a 1-CPU host time-slices
+the producer, consumer and prefetch threads, so the schedule degrades to
+an interleaved barrier.  There the gates **skip with evidence** — the
+measured values and the core count still land in
+``benchmarks/results/BENCH_pipeline.json`` for the ledger, and the
+identity gate still runs.
+"""
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.detection.hybrid import screen_hybrid
+from repro.detection.types import ScreeningConfig
+from repro.obs import Tracer
+from repro.obs.analysis import overlap_report
+from repro.obs.perf import PerfLedger, expect
+from repro.population.scenarios import megaconstellation
+
+CHECK_ONLY = os.environ.get("REPRO_BENCH_CHECK_ONLY", "") == "1"
+
+THRESHOLD_KM = 5.0
+DURATION_S = 1800.0
+SPS = 1.0
+HYBRID_SPS = 9.0
+PLANES, SATS = 100, 200
+MIN_OBJECTS = 20_000
+GATE_WALL_SPEEDUP = 1.15
+GATE_PARALLELISM = 1.3
+ROUNDS = 2
+if CHECK_ONLY:
+    DURATION_S = 450.0
+    PLANES, SATS = 25, 200
+    MIN_OBJECTS = 5_000
+
+CPUS = os.cpu_count() or 1
+#: The producer, the INS prefetch and the REF consumer need at least two
+#: real cores to overlap; below that the perf gates skip with evidence.
+MULTICORE = CPUS >= 2
+
+_POP: "dict[str, object]" = {}
+_RESULTS: "dict[str, object]" = {}
+_LEDGER = PerfLedger()
+
+
+def _population():
+    if "pop" not in _POP:
+        _POP["pop"] = megaconstellation(PLANES, SATS, 550.0, math.radians(53))
+    return _POP["pop"]
+
+
+def _config(schedule: str) -> ScreeningConfig:
+    return ScreeningConfig(
+        threshold_km=THRESHOLD_KM,
+        duration_s=DURATION_S,
+        seconds_per_sample=SPS,
+        hybrid_seconds_per_sample=HYBRID_SPS,
+        schedule=schedule,
+    )
+
+
+def _run(schedule: str, tracer=None):
+    pop = _population()
+    kwargs = {} if tracer is None else {"tracer": tracer}
+    start = time.perf_counter()
+    result = screen_hybrid(pop, _config(schedule), **kwargs)
+    wall = time.perf_counter() - start
+    return wall, result
+
+
+def test_pipeline_identity_and_walltime(benchmark):
+    pop = _population()
+    assert len(pop) >= MIN_OBJECTS
+    keep: "dict[str, object]" = {}
+
+    def run():
+        barrier_wall, barrier = _run("barrier")
+        piped_wall, piped = _run("pipelined")
+        # Identity every repetition: the schedule must never change a bit
+        # of the output, fast host or slow.
+        np.testing.assert_array_equal(barrier.i, piped.i)
+        np.testing.assert_array_equal(barrier.j, piped.j)
+        assert barrier.tca_s.tobytes() == piped.tca_s.tobytes()
+        assert barrier.pca_km.tobytes() == piped.pca_km.tobytes()
+        assert piped.filter_stats == barrier.filter_stats
+        _LEDGER.add("window", "barrier", barrier_wall)
+        _LEDGER.add("window", "pipelined", piped_wall)
+        keep["barrier"] = barrier
+        keep["piped"] = piped
+        return piped
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    piped = keep["piped"]
+    _RESULTS.update(
+        barrier_wall_s=_LEDGER.best_s("window", "barrier"),
+        pipelined_wall_s=_LEDGER.best_s("window", "pipelined"),
+        conjunctions=piped.n_conjunctions,
+        pipeline=piped.extra["pipeline"],
+        pipeline_queue_bytes=piped.extra["pipeline_queue_bytes"],
+    )
+    benchmark.extra_info.update(
+        objects=len(pop),
+        barrier_wall_s=round(_RESULTS["barrier_wall_s"], 4),
+        pipelined_wall_s=round(_RESULTS["pipelined_wall_s"], 4),
+    )
+
+
+def test_pipeline_overlap_profile(benchmark):
+    """Trace one pipelined window and measure the cross-track overlap."""
+    tracer = Tracer()
+
+    def run():
+        return _run("pipelined", tracer=tracer)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rep = overlap_report(tracer)
+    _RESULTS.update(
+        effective_parallelism=rep.effective_parallelism,
+        overlap_s=rep.overlap_s,
+        wall_s=rep.wall_s,
+        tracks=len(rep.tracks),
+    )
+    # Structural facts that hold on any host: the pipelined run traces
+    # more than one busy track, and some cross-track overlap exists.
+    assert len(rep.tracks) >= 2, "producer and consumer never traced apart"
+    assert rep.overlap_s > 0.0, "no two phases were ever busy simultaneously"
+
+
+def test_pipeline_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    pop = _population()
+    speedup = _RESULTS["barrier_wall_s"] / _RESULTS["pipelined_wall_s"]
+
+    mode = " (check-only smoke)" if CHECK_ONLY else ""
+    report.section(
+        f"Pipelined phase schedule{mode} - {len(pop)} objects hybrid, "
+        f"threshold {THRESHOLD_KM} km, {DURATION_S:.0f} s window, {CPUS} CPUs"
+    )
+    report.table(
+        ["arm", "wall", "speedup", "eff. parallelism", "queue peak"],
+        [
+            ["barrier", f"{_RESULTS['barrier_wall_s']:.3f}s", "1.00x", "-", "-"],
+            [
+                "pipelined",
+                f"{_RESULTS['pipelined_wall_s']:.3f}s",
+                f"{speedup:.2f}x",
+                f"{_RESULTS['effective_parallelism']:.2f}",
+                _RESULTS["pipeline"]["queue_peak_rounds"],
+            ],
+        ],
+    )
+    gate_note = (
+        f"  gates: wall >= {GATE_WALL_SPEEDUP}x, parallelism >= "
+        f"{GATE_PARALLELISM}"
+    )
+    if not MULTICORE:
+        gate_note += f" — SKIPPED with evidence ({CPUS} CPU: threads time-slice)"
+    report.row(gate_note)
+
+    payload = {
+        "check_only": CHECK_ONLY,
+        "scenario": {
+            "planes": PLANES, "sats_per_plane": SATS, "objects": len(pop),
+            "threshold_km": THRESHOLD_KM, "duration_s": DURATION_S,
+            "seconds_per_sample": SPS, "hybrid_seconds_per_sample": HYBRID_SPS,
+        },
+        "cpus": CPUS,
+        "gates": {
+            "wall_speedup": GATE_WALL_SPEEDUP,
+            "effective_parallelism": GATE_PARALLELISM,
+            "enforced": MULTICORE,
+        },
+        "barrier_wall_s": _RESULTS["barrier_wall_s"],
+        "pipelined_wall_s": _RESULTS["pipelined_wall_s"],
+        "wall_speedup": speedup,
+        "effective_parallelism": _RESULTS["effective_parallelism"],
+        "overlap_s": _RESULTS["overlap_s"],
+        "tracks": _RESULTS["tracks"],
+        "conjunctions": _RESULTS["conjunctions"],
+        "pipeline": _RESULTS["pipeline"],
+        "pipeline_queue_bytes": _RESULTS["pipeline_queue_bytes"],
+        "identical_records": True,  # asserted per repetition above
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_pipeline.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    if not MULTICORE:
+        pytest.skip(
+            f"perf gates need >= 2 CPUs to overlap threads; host has {CPUS}. "
+            f"Evidence recorded: wall speedup {speedup:.2f}x, effective "
+            f"parallelism {_RESULTS['effective_parallelism']:.2f} "
+            "(see BENCH_pipeline.json)"
+        )
+
+    gate = (
+        expect(_LEDGER).phase("window").speedup_vs("barrier", "pipelined")
+        >= GATE_WALL_SPEEDUP
+    )
+    assert gate, gate
+    assert _RESULTS["effective_parallelism"] >= GATE_PARALLELISM, (
+        f"effective parallelism {_RESULTS['effective_parallelism']:.2f} < "
+        f"{GATE_PARALLELISM}: phases reordered but not overlapped"
+    )

@@ -53,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(propagation, grid keys, candidate emission) in "
                                "float32 with an error-bounded cell pad; refinement "
                                "always stays float64")
+    p_screen.add_argument("--schedule", choices=("barrier", "pipelined"), default="barrier",
+                          help="phase schedule: 'barrier' runs INS/CD/REF as "
+                               "strict global phases; 'pipelined' overlaps the "
+                               "INS producer, CD, and a REF consumer thread at "
+                               "round granularity (grid/hybrid, vectorized "
+                               "backend) with byte-identical results")
     p_screen.add_argument("--no-coherence", action="store_true",
                           help="disable the temporal-coherence pair cache and "
                                "re-emit every candidate pair at every step "
@@ -149,6 +155,7 @@ def _cmd_screen(args: argparse.Namespace) -> int:
         grid_impl=args.grid_impl,
         precision=args.precision,
         use_coherence=not args.no_coherence,
+        schedule=args.schedule,
     )
     tracer = None
     metrics = None

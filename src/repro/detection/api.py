@@ -66,6 +66,11 @@ def screen(
         tracer = NULL_TRACER
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    if config.schedule == "pipelined" and method in ("legacy", "kdtree"):
+        raise ValueError(
+            f"schedule='pipelined' is only implemented for the grid/hybrid "
+            f"variants; method={method!r} runs barrier-only"
+        )
     with tracer.span(
         "window", method=method, backend=backend, objects=len(population)
     ):
@@ -79,4 +84,4 @@ def screen(
             )
         if method == "legacy":
             return screen_legacy(population, config, tracer=tracer, metrics=metrics)
-        return screen_kdtree(population, config)
+        return screen_kdtree(population, config, tracer=tracer, metrics=metrics)

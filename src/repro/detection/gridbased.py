@@ -56,6 +56,11 @@ def screen_grid(
     off with negligible overhead.
     """
     backend = resolve_backend(backend)
+    if config.schedule == "pipelined" and backend != "vectorized":
+        raise ValueError(
+            "schedule='pipelined' requires the vectorized backend (the fused "
+            f"round loop is the producer), got backend={backend!r}"
+        )
     timers = PhaseTimer(tracer=tracer)
     n = len(population)
 
@@ -87,6 +92,12 @@ def screen_grid(
                 precision=config.precision,
             )
             round_size = plan.parallel_steps
+
+    if config.schedule == "pipelined":
+        return _screen_grid_pipelined(
+            population, config, backend, tracer, metrics, timers,
+            cell, ref_cell, times, conj, propagator, ids, plan, round_size,
+        )
 
     with tracer.span("phase:GRID"):
         conj = collect_grid_candidates(
@@ -138,11 +149,109 @@ def screen_grid(
             "cell_size_km": cell,
             "ref_cell_size_km": ref_cell,
             "precision": config.precision,
+            "schedule": "barrier",
             "n_steps": len(times),
             "conjunction_map_capacity": conj.capacity,
             "conjunction_records": conj.size,
             "memory_plan": plan,
             "sieved_records": sieved_away,
+            "ref_telemetry": timers.ref.as_dict(),
+        },
+    )
+
+
+def _screen_grid_pipelined(
+    population, config, backend, tracer, metrics, timers,
+    cell, ref_cell, times, conj, propagator, ids, plan, round_size,
+) -> ScreeningResult:
+    """The grid variant on the pipelined schedule (DESIGN.md §13).
+
+    The fused round loop is unchanged — same grids, same emissions, same
+    conjunction map — but each round's deduplicated record batch is also
+    handed to a REF consumer the moment CD finishes it, so refinement
+    overlaps the next rounds' INS/CD instead of waiting for the window.
+    The propagation runs under its own per-thread :class:`PhaseTimer`
+    (``ins_timers``), as does the consumer (``ref_timers``); both merge
+    into the run's timers at the end, keeping span totals and timer
+    totals consistent across the three tracks.
+    """
+    from repro.detection.pipeline import (
+        ChunkedRefiner,
+        ConsumerRunner,
+        PipelineBrokenError,
+    )
+    from repro.obs.collect import observe_pipeline
+    from repro.perfmodel.memory import pipeline_queue_bytes
+
+    ins_timers = PhaseTimer(tracer=tracer)
+    ref_timers = PhaseTimer(tracer=tracer)
+    refiner = ChunkedRefiner(population, times, ref_cell, config, timers=ref_timers)
+    runner = ConsumerRunner(
+        refiner,
+        threaded=(config.pipeline_consumer == "thread"),
+        queue_rounds=config.pipeline_queue_rounds,
+    )
+    with tracer.span("phase:GRID"):
+        try:
+            conj = collect_grid_candidates(
+                propagator, ids, times, cell, conj, config, backend, timers,
+                round_size=round_size, tracer=tracer, metrics=metrics,
+                on_round=runner.offer_round, worker_timers=ins_timers,
+            )
+        except PipelineBrokenError:
+            pass  # the consumer's own exception is re-raised by finish()
+        except BaseException:
+            runner.abort()
+            raise
+    i, j, tca, pca = runner.finish()
+    raw_hits = len(i)
+    n_records = refiner.records_fed
+    with timers.phase("REF"):
+        i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+    timers.merge(ins_timers)
+    timers.merge(ref_timers)
+
+    stats = runner.stats()
+    if metrics is not None:
+        observe_conjmap(metrics, conj)
+        observe_pipeline(metrics, stats)
+        metrics.counter(f"screen.precision_{config.precision}").add(1)
+        funnel = metrics.funnel("screen")
+        funnel.record("emit", metrics.counter("cd.pairs_emitted").value, n_records)
+        funnel.record("sieve", n_records, n_records)
+        funnel.record("refine", n_records, raw_hits)
+        funnel.record("merge", raw_hits, len(i))
+
+    return ScreeningResult(
+        method="grid",
+        backend=backend,
+        i=i,
+        j=j,
+        tca_s=tca,
+        pca_km=pca,
+        candidates_refined=n_records,
+        timers=timers,
+        metrics=metrics,
+        extra={
+            "cell_size_km": cell,
+            "ref_cell_size_km": ref_cell,
+            "precision": config.precision,
+            "schedule": "pipelined",
+            "pipeline": stats.as_dict(),
+            "pipeline_queue_bytes": pipeline_queue_bytes(
+                len(population),
+                config.seconds_per_sample,
+                config.duration_s,
+                config.threshold_km,
+                "grid",
+                round_size if round_size is not None else 16,
+                config.pipeline_queue_rounds,
+            ),
+            "n_steps": len(times),
+            "conjunction_map_capacity": conj.capacity,
+            "conjunction_records": conj.size,
+            "memory_plan": plan,
+            "sieved_records": 0,
             "ref_telemetry": timers.ref.as_dict(),
         },
     )
@@ -201,6 +310,7 @@ def stream_round_positions(
     descriptors: "list[RoundDescriptor]",
     timers: PhaseTimer,
     prefetch: bool = True,
+    worker_timers: "PhaseTimer | None" = None,
 ):
     """Yield ``(descriptor, positions)`` through a bounded double buffer.
 
@@ -216,6 +326,14 @@ def stream_round_positions(
     sees the identical solve sequence as the unprefetched loop and the
     positions are bit-identical to it.  The ``INS`` timer records only the
     time the consumer actually *waits* for a prefetched slice.
+
+    ``worker_timers`` (the pipelined schedule) moves the INS accounting to
+    the prefetch thread instead: every propagation — including the first —
+    runs inside ``worker_timers.phase("INS")`` *on that thread*, so the
+    spans land on their own trace track and record the solve's real
+    duration; the consumer's waits go untimed (they are idle, not INS).
+    ``worker_timers`` must not be the consumer's timer — PhaseTimer is not
+    thread-safe, which is exactly why it is a separate instance.
     """
     if not descriptors:
         return
@@ -225,19 +343,33 @@ def stream_round_positions(
                 positions = propagator.positions_batch(rd.times)
             yield rd, positions
         return
+
+    if worker_timers is not None:
+        def _solve(ts):
+            with worker_timers.phase("INS"):
+                return propagator.positions_batch(ts)
+    else:
+        _solve = propagator.positions_batch
+
     with ThreadPoolExecutor(max_workers=1) as pool:
-        with timers.phase("INS"):
-            positions = propagator.positions_batch(descriptors[0].times)
+        if worker_timers is not None:
+            positions = pool.submit(_solve, descriptors[0].times).result()
+        else:
+            with timers.phase("INS"):
+                positions = propagator.positions_batch(descriptors[0].times)
         for k, rd in enumerate(descriptors):
             pending = (
-                pool.submit(propagator.positions_batch, descriptors[k + 1].times)
+                pool.submit(_solve, descriptors[k + 1].times)
                 if k + 1 < len(descriptors)
                 else None
             )
             yield rd, positions
             if pending is not None:
-                with timers.phase("INS"):
+                if worker_timers is not None:
                     positions = pending.result()
+                else:
+                    with timers.phase("INS"):
+                        positions = pending.result()
 
 
 def collect_grid_candidates(
@@ -253,6 +385,8 @@ def collect_grid_candidates(
     fused: bool = True,
     tracer=NULL_TRACER,
     metrics=None,
+    on_round=None,
+    worker_timers: "PhaseTimer | None" = None,
 ) -> ConjunctionMap:
     """Steps 2-3: per computation round, build grids and record candidates.
 
@@ -275,10 +409,26 @@ def collect_grid_candidates(
     per-step loop as the reference semantics; the differential tests prove
     both paths emit the identical record set.  ``None`` chooses a default
     round size.
+
+    ``on_round`` (the pipelined schedule's CD→REF seam) is called once per
+    fused round with the raw emissions ``(ci, cj, global_steps)`` *after*
+    they are safely in the conjunction map, outside the CD timer — queue
+    backpressure inside the hook must read as idle time, not as CD.
+    ``worker_timers`` is forwarded to :func:`stream_round_positions`.
+    Both hooks require the fused vectorized path: the per-step loop has no
+    round granularity to hand over.
     """
     if round_size is None:
         round_size = 16 if backend == "vectorized" else 1
     round_size = max(1, min(round_size, len(times), MAX_ROUND_STEPS))
+
+    if (on_round is not None or worker_timers is not None) and not (
+        backend == "vectorized" and fused
+    ):
+        raise ValueError(
+            "round hooks (on_round / worker_timers) require the fused "
+            f"vectorized path, got backend={backend!r}, fused={fused}"
+        )
 
     trace_rounds = tracer.enabled
 
@@ -296,7 +446,9 @@ def collect_grid_candidates(
         descriptors = shard_round_descriptors(
             times, np.arange(len(times), dtype=np.int64), round_size
         )
-        for rd, positions in stream_round_positions(propagator, descriptors, timers):
+        for rd, positions in stream_round_positions(
+            propagator, descriptors, timers, worker_timers=worker_timers
+        ):
             span = (
                 tracer.span("round", start_step=int(rd.steps[0]), n_steps=len(rd.steps))
                 if trace_rounds
@@ -310,13 +462,14 @@ def collect_grid_candidates(
                         ci, cj, csteps = emitter.round_pairs(grid)
                     else:
                         ci, cj, csteps = grid.candidate_pair_steps()
+                    gsteps = rd.steps[csteps]
                     # Insert-only overflow replay: the emitted arrays are
                     # already in hand, so a full map only costs a regrow and
                     # a batch retry — never a second Kepler solve or grid
                     # build (insert_batch raises before mutating).
                     while True:
                         try:
-                            conj.insert_batch(ci, cj, rd.steps[csteps])
+                            conj.insert_batch(ci, cj, gsteps)
                             break
                         except ConjunctionMapFullError:
                             conj = _regrow(conj, incoming=len(ci), metrics=metrics)
@@ -324,6 +477,8 @@ def collect_grid_candidates(
                     metrics.counter("cd.pairs_emitted").add(len(ci))
                     metrics.counter("cd.rounds").add(1)
                     observe_grid(metrics, grid, precision=config.precision)
+                if on_round is not None:
+                    on_round(ci, cj, gsteps)
         if metrics is not None and emitter is not None:
             observe_coherence(metrics, emitter.stats)
         return conj

@@ -54,6 +54,11 @@ def screen_hybrid(
     (span tree, structure health, candidate funnel); both default to off.
     """
     backend = resolve_backend(backend)
+    if config.schedule == "pipelined" and backend != "vectorized":
+        raise ValueError(
+            "schedule='pipelined' requires the vectorized backend (the fused "
+            f"round loop is the producer), got backend={backend!r}"
+        )
     timers = PhaseTimer(tracer=tracer)
     n = len(population)
 
@@ -81,6 +86,12 @@ def screen_hybrid(
             population, solver=config.solver, precision=config.precision
         )
         ids = np.arange(n, dtype=np.int64)
+
+    if config.schedule == "pipelined":
+        return _screen_hybrid_pipelined(
+            population, config, backend, tracer, metrics, timers,
+            cell, ref_cell, times, conj, propagator, ids, plan, sps,
+        )
 
     with tracer.span("phase:GRID"):
         conj = collect_grid_candidates(
@@ -183,6 +194,7 @@ def screen_hybrid(
             "cell_size_km": cell,
             "ref_cell_size_km": ref_cell,
             "precision": config.precision,
+            "schedule": "barrier",
             "n_steps": len(times),
             "seconds_per_sample": sps,
             "memory_plan": plan,
@@ -191,6 +203,112 @@ def screen_hybrid(
             "grid_pairs": len(uniq_i),
             "filtered_pairs": len(surv_i),
             "coplanar_pairs": int(coplanar.sum()),
+            "ref_telemetry": timers.ref.as_dict(),
+        },
+    )
+
+
+def _screen_hybrid_pipelined(
+    population, config, backend, tracer, metrics, timers,
+    cell, ref_cell, times, conj, propagator, ids, plan, sps,
+) -> ScreeningResult:
+    """The hybrid variant on the pipelined schedule (DESIGN.md §13).
+
+    The round loop streams record batches to a
+    :class:`repro.detection.pipeline.HybridRoundConsumer`, which filters
+    each unique pair once at first sighting, chunk-refines coplanar
+    records in emission order, and node-window-scans non-coplanar pairs —
+    all overlapping the producer's INS/CD.  Records, filter statistics and
+    final conjunctions are identical to the barrier run; only the
+    schedule (and the funnel's single end-of-run accounting pass) differs.
+    """
+    from repro.detection.pipeline import (
+        ConsumerRunner,
+        HybridRoundConsumer,
+        PipelineBrokenError,
+    )
+    from repro.obs.collect import observe_pipeline
+    from repro.perfmodel.memory import pipeline_queue_bytes
+
+    ins_timers = PhaseTimer(tracer=tracer)
+    cons_timers = PhaseTimer(tracer=tracer)
+    consumer = HybridRoundConsumer(population, times, ref_cell, config, cons_timers)
+    runner = ConsumerRunner(
+        consumer,
+        threaded=(config.pipeline_consumer == "thread"),
+        queue_rounds=config.pipeline_queue_rounds,
+    )
+    round_size = plan.parallel_steps if plan is not None else None
+    with tracer.span("phase:GRID"):
+        try:
+            conj = collect_grid_candidates(
+                propagator, ids, times, cell, conj, config, backend, timers,
+                round_size=round_size, tracer=tracer, metrics=metrics,
+                on_round=runner.offer_round, worker_timers=ins_timers,
+            )
+        except PipelineBrokenError:
+            pass  # the consumer's own exception is re-raised by finish()
+        except BaseException:
+            runner.abort()
+            raise
+    i, j, tca, pca = runner.finish()
+    raw_hits = len(i)
+    with timers.phase("REF"):
+        i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+    timers.merge(ins_timers)
+    timers.merge(cons_timers)
+
+    stats = runner.stats()
+    n_records = consumer.records_total
+    candidates = consumer.cop_records + consumer.noncop_pairs
+    if metrics is not None:
+        observe_conjmap(metrics, conj)
+        observe_pipeline(metrics, stats)
+        metrics.counter(f"screen.precision_{config.precision}").add(1)
+        funnel = metrics.funnel("screen")
+        funnel.record("emit", metrics.counter("cd.pairs_emitted").value, n_records)
+        funnel.record("pairs", n_records, consumer.unique_pairs)
+        for name, st in consumer.chain.stats().items():
+            funnel.record(f"filter:{name}", st["seen"], st["seen"] - st["excluded"])
+        funnel.record("classify", consumer.surv_pairs, consumer.surv_pairs)
+        funnel.record("expand", consumer.surv_pairs, candidates)
+        funnel.record("refine", candidates, raw_hits)
+        funnel.record("merge", raw_hits, len(i))
+
+    return ScreeningResult(
+        method="hybrid",
+        backend=backend,
+        i=i,
+        j=j,
+        tca_s=tca,
+        pca_km=pca,
+        candidates_refined=candidates,
+        timers=timers,
+        filter_stats=consumer.chain.stats(),
+        metrics=metrics,
+        extra={
+            "cell_size_km": cell,
+            "ref_cell_size_km": ref_cell,
+            "precision": config.precision,
+            "schedule": "pipelined",
+            "pipeline": stats.as_dict(),
+            "pipeline_queue_bytes": pipeline_queue_bytes(
+                len(population),
+                sps,
+                config.duration_s,
+                config.threshold_km,
+                "hybrid",
+                round_size if round_size is not None else 16,
+                config.pipeline_queue_rounds,
+            ),
+            "n_steps": len(times),
+            "seconds_per_sample": sps,
+            "memory_plan": plan,
+            "conjunction_map_capacity": conj.capacity,
+            "conjunction_records": conj.size,
+            "grid_pairs": consumer.unique_pairs,
+            "filtered_pairs": consumer.surv_pairs,
+            "coplanar_pairs": consumer.cop_pairs,
             "ref_telemetry": timers.ref.as_dict(),
         },
     )

@@ -14,6 +14,8 @@ import numpy as np
 from repro.detection.gridbased import refine_records
 from repro.detection.pca_tca import interval_radii, merge_conjunctions
 from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.obs.collect import observe_conjmap
+from repro.obs.tracer import NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer
@@ -25,16 +27,25 @@ from repro.spatial.kdtree import KDTree
 
 
 def screen_kdtree(
-    population: OrbitalElementsArray, config: ScreeningConfig
+    population: OrbitalElementsArray,
+    config: ScreeningConfig,
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> ScreeningResult:
     """Kd-tree counterpart of :func:`repro.detection.gridbased.screen_grid`.
 
     The query radius equals the grid's cell size ``g_c`` (Eq. 1): any pair
     that would share or neighbour a grid cell at the decisive sample is
     within ``g_c`` at that sample, so completeness matches the grid
-    variant's guarantee.
+    variant's guarantee.  ``tracer`` / ``metrics`` are the optional
+    ``repro.obs`` instruments, threaded exactly like the other three
+    methods: phase spans ride the timer, and the run emits the
+    structure-health counters plus the ``screen`` candidate funnel.
     """
-    timers = PhaseTimer()
+    if tracer is None:
+        tracer = NULL_TRACER
+    timers = PhaseTimer(tracer=tracer)
+    pairs_emitted = 0
     n = len(population)
     with timers.phase("ALLOC"):
         radius = cell_size_km(config.threshold_km, config.seconds_per_sample)
@@ -62,6 +73,7 @@ def screen_kdtree(
             with timers.phase("CD"):
                 pi, pj = tree.pairs_within(radius)
                 conj.insert_batch(ids[pi], ids[pj], step)
+                pairs_emitted += len(pi)
         except HashMapFullError:
             bigger = ConjunctionMap(conj.capacity * 2)
             ri, rj, rs = conj.records()
@@ -79,7 +91,17 @@ def screen_kdtree(
         i, j, tca, pca = refine_records(
             population, rec_i, rec_j, centers, radii, config, "vectorized"
         )
+        raw_hits = len(i)
         i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+
+    if metrics is not None:
+        observe_conjmap(metrics, conj)
+        metrics.counter("cd.pairs_emitted").add(pairs_emitted)
+        metrics.counter(f"screen.precision_{config.precision}").add(1)
+        funnel = metrics.funnel("screen")
+        funnel.record("emit", pairs_emitted, len(rec_i))
+        funnel.record("refine", len(rec_i), raw_hits)
+        funnel.record("merge", raw_hits, len(i))
 
     return ScreeningResult(
         method="kdtree",
@@ -90,6 +112,7 @@ def screen_kdtree(
         pca_km=pca,
         candidates_refined=len(rec_i),
         timers=timers,
+        metrics=metrics,
         extra={
             "query_radius_km": radius,
             "n_steps": len(times),

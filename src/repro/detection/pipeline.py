@@ -1,0 +1,484 @@
+"""Round-granular INS → CD → REF pipelining (DESIGN.md §13).
+
+The barrier schedule runs the paper's phases strictly in sequence: every
+round's grid build and pair emission completes, then one monolithic REF
+pass refines the conjunction map.  This module supplies the
+``schedule="pipelined"`` alternative: the producer side (the existing
+fused round loop) pushes each round's deduplicated record batch onto a
+bounded :class:`CandidateQueue` the moment CD emits it, and a REF
+consumer — a dedicated thread, or the caller inline — drains the queue
+continuously through an incremental :class:`ChunkedRefiner`.  Combined
+with :func:`repro.detection.gridbased.stream_round_positions` prefetching
+round ``k+1``'s propagation on its own thread, the three phases run on
+three tracks and ``repro.obs.analysis.overlap_report`` can prove it.
+
+Byte-identity with the barrier schedule rests on three facts:
+
+* ``pack_pair_key`` stores the step in the key's **high** bits, and a
+  fused round covers a disjoint, ascending slice of steps — so the
+  concatenation of per-round sorted-unique record batches
+  (:func:`repro.spatial.conjmap.sorted_unique_records`) *is* the global
+  ``ConjunctionMap.records()`` order, with no sort barrier.
+* REF chunking happens on the same fixed ``REF_CHUNK_LANES`` grid over
+  that stream, so chunk boundaries — and therefore the exact
+  ``refine_batch`` invocations — match the barrier run's.
+* ``refine_batch`` retires lanes individually (masked updates + golden
+  compaction), so a lane's refined values do not depend on its chunk
+  mates anyway; the per-shard consumers of the multidevice composition
+  lean on this.
+
+Shutdown ordering: the producer finishes (or dies) first, then
+``close()`` (or ``close(abort=True)``) unblocks the consumer, then
+``ConsumerRunner.finish`` joins the thread and re-raises any consumer
+exception.  A consumer death marks the queue broken and empties it, so a
+producer blocked in ``put`` wakes immediately with
+:class:`PipelineBrokenError` instead of deadlocking on a full queue.
+"""
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.pca_tca import interval_radii, refine_batch
+from repro.parallel.backend import PhaseTimer, RefTelemetry
+from repro.spatial.conjmap import _ID_BITS, sorted_unique_records
+
+
+class PipelineBrokenError(RuntimeError):
+    """Raised to the *producer* when the REF consumer has failed.
+
+    The consumer's actual exception is re-raised by
+    :meth:`ConsumerRunner.finish`; this signal only tells the producer to
+    stop emitting rounds.
+    """
+
+
+class CandidateQueue:
+    """Bounded queue of per-round candidate-record batches.
+
+    Depth is measured in rounds (the producer's natural work unit and the
+    unit :func:`repro.perfmodel.memory.pipeline_queue_bytes` prices).  The
+    producer blocks in :meth:`put` when ``max_rounds`` batches are
+    pending — backpressure that bounds resident candidate memory no matter
+    how far REF falls behind.
+    """
+
+    def __init__(self, max_rounds: int) -> None:
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.max_rounds = max_rounds
+        self._items: "deque[tuple]" = deque()
+        self._cv = threading.Condition()
+        self._closed = False
+        self._broken = False
+        #: Highest number of batches simultaneously pending.
+        self.peak_depth = 0
+        #: Number of ``put`` calls that had to wait on a full queue.
+        self.backpressure_waits = 0
+
+    def put(self, batch: tuple) -> None:
+        """Enqueue one round's batch; blocks while the queue is full."""
+        with self._cv:
+            if len(self._items) >= self.max_rounds and not self._broken:
+                self.backpressure_waits += 1
+            while len(self._items) >= self.max_rounds and not self._broken:
+                self._cv.wait()
+            if self._broken:
+                raise PipelineBrokenError("REF consumer failed")
+            if self._closed:
+                raise RuntimeError("put() after close()")
+            self._items.append(batch)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+            self._cv.notify_all()
+
+    def get(self) -> "tuple | None":
+        """Dequeue the next batch; ``None`` once closed and drained."""
+        with self._cv:
+            while not self._items and not self._closed:
+                self._cv.wait()
+            if not self._items:
+                return None
+            batch = self._items.popleft()
+            self._cv.notify_all()
+            return batch
+
+    def close(self, abort: bool = False) -> None:
+        """End of stream.  ``abort`` drops pending batches (producer died)."""
+        with self._cv:
+            self._closed = True
+            if abort:
+                self._items.clear()
+            self._cv.notify_all()
+
+    def mark_broken(self) -> None:
+        """Consumer died: empty the queue and fail all future ``put`` calls."""
+        with self._cv:
+            self._broken = True
+            self._items.clear()
+            self._cv.notify_all()
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """What the pipelined schedule did, for ``extra`` and ``repro.obs``."""
+
+    consumer: str
+    rounds: int
+    records: int
+    ref_chunks: int
+    queue_capacity_rounds: int
+    queue_peak_rounds: int
+    backpressure_waits: int
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "consumer": self.consumer,
+            "rounds": self.rounds,
+            "records": self.records,
+            "ref_chunks": self.ref_chunks,
+            "queue_capacity_rounds": self.queue_capacity_rounds,
+            "queue_peak_rounds": self.queue_peak_rounds,
+            "backpressure_waits": self.backpressure_waits,
+        }
+
+
+class ChunkedRefiner:
+    """Incremental REF over a record stream, on the fixed chunk grid.
+
+    Feeding batches in emission order and refining every time
+    ``REF_CHUNK_LANES`` records have accumulated reproduces exactly the
+    chunk boundaries of :func:`repro.detection.gridbased.refine_records`
+    over the concatenated stream — the identity the differential suite
+    pins.  With ``keep_per_record=True`` the refiner additionally keeps
+    hit/TCA/PCA aligned per *record* (not just the surviving hits), which
+    is what lets a device shard ship refined results the parent can
+    re-sort into global record order.
+    """
+
+    def __init__(
+        self,
+        population,
+        times: np.ndarray,
+        ref_cell: float,
+        config,
+        timers: PhaseTimer,
+        keep_per_record: bool = False,
+    ) -> None:
+        from repro.detection.gridbased import REF_CHUNK_LANES
+
+        self._population = population
+        self._times = times
+        self._ref_cell = ref_cell
+        self._config = config
+        self._timers = timers
+        self._chunk_lanes = REF_CHUNK_LANES
+        self._keep_per_record = keep_per_record
+        self._buf: "list[tuple[np.ndarray, np.ndarray, np.ndarray]]" = []
+        self._buffered = 0
+        self._hits: "list[tuple]" = []
+        self._per_record: "list[tuple]" = []
+        self.records_fed = 0
+        self.chunks = 0
+
+    def feed_batch(self, rec_i: np.ndarray, rec_j: np.ndarray, rec_step: np.ndarray) -> None:
+        if len(rec_i) == 0:
+            return
+        self._buf.append((rec_i, rec_j, rec_step))
+        self._buffered += len(rec_i)
+        self.records_fed += len(rec_i)
+        if self._buffered < self._chunk_lanes:
+            return
+        ci, cj, cs = self._concat_buffer()
+        pos = 0
+        while len(ci) - pos >= self._chunk_lanes:
+            end = pos + self._chunk_lanes
+            self._refine_chunk(ci[pos:end], cj[pos:end], cs[pos:end])
+            pos = end
+        if pos < len(ci):
+            self._buf = [(ci[pos:], cj[pos:], cs[pos:])]
+            self._buffered = len(ci) - pos
+
+    def _concat_buffer(self):
+        if len(self._buf) == 1:
+            ci, cj, cs = self._buf[0]
+        else:
+            ci = np.concatenate([b[0] for b in self._buf])
+            cj = np.concatenate([b[1] for b in self._buf])
+            cs = np.concatenate([b[2] for b in self._buf])
+        self._buf = []
+        self._buffered = 0
+        return ci, cj, cs
+
+    def _refine_chunk(self, ci, cj, cs) -> None:
+        with self._timers.phase("REF"):
+            centers = self._times[cs]
+            radii = interval_radii(self._population, ci, cj, self._ref_cell)
+            tele = RefTelemetry()
+            keep, tca, pca = refine_batch(
+                self._population,
+                ci,
+                cj,
+                centers,
+                radii,
+                self._config.threshold_km,
+                tol=self._config.brent_tol,
+                telemetry=tele,
+            )
+            self._timers.ref.merge(tele)
+            self._hits.append((ci[keep], cj[keep], tca, pca))
+            if self._keep_per_record:
+                hit = np.zeros(len(ci), dtype=bool)
+                hit[keep] = True
+                tca_rec = np.full(len(ci), np.nan)
+                pca_rec = np.full(len(ci), np.nan)
+                tca_rec[keep] = tca
+                pca_rec[keep] = pca
+                self._per_record.append((hit, tca_rec, pca_rec))
+        self.chunks += 1
+
+    def finish(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Refine the trailing partial chunk and return the raw hits."""
+        if self._buffered:
+            self._refine_chunk(*self._concat_buffer())
+        if not self._hits:
+            e = np.empty(0, dtype=np.int64)
+            f = np.empty(0, dtype=np.float64)
+            return e, e.copy(), f, f.copy()
+        return (
+            np.concatenate([h[0] for h in self._hits]),
+            np.concatenate([h[1] for h in self._hits]),
+            np.concatenate([h[2] for h in self._hits]),
+            np.concatenate([h[3] for h in self._hits]),
+        )
+
+    def per_record_results(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Stream-aligned ``(hit, tca, pca)`` (requires ``keep_per_record``)."""
+        if not self._keep_per_record:
+            raise RuntimeError("refiner was not built with keep_per_record=True")
+        if not self._per_record:
+            return (
+                np.empty(0, dtype=bool),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+            )
+        return (
+            np.concatenate([r[0] for r in self._per_record]),
+            np.concatenate([r[1] for r in self._per_record]),
+            np.concatenate([r[2] for r in self._per_record]),
+        )
+
+
+#: Per-pair verdicts of the hybrid consumer's one-time filter pass.
+_DROPPED, _COPLANAR, _NONCOPLANAR = 0, 1, 2
+
+
+class HybridRoundConsumer:
+    """Incremental COP + REF for the pipelined hybrid variant.
+
+    Each unique pair is filtered exactly once, at its first sighting in
+    the record stream; the verdict (dropped / coplanar / non-coplanar) is
+    cached for every later record of that pair.  Coplanar records stream
+    into a :class:`ChunkedRefiner` (the emission-order mask of a cached
+    verdict commutes with the barrier's whole-stream mask, so the chunk
+    stream is identical); non-coplanar pairs get their node-window scan at
+    first sighting, and the rows are stably re-sorted into ascending
+    pair-key order at :meth:`finish` — the order the barrier's
+    ``unique_pairs()`` walk produces.
+    """
+
+    def __init__(
+        self, population, times: np.ndarray, ref_cell: float, config, timers: PhaseTimer
+    ) -> None:
+        from repro.filters.apogee_perigee import apogee_perigee_filter
+        from repro.filters.chain import FilterChain
+        from repro.filters.orbit_path import orbit_path_filter
+
+        self._population = population
+        self._config = config
+        self._timers = timers
+        self.refiner = ChunkedRefiner(population, times, ref_cell, config, timers)
+        self.chain = FilterChain()
+        self.chain.add(
+            "apogee_perigee",
+            lambda pop, pi, pj: apogee_perigee_filter(pop, pi, pj, config.threshold_km),
+        )
+        self.chain.add(
+            "orbit_path",
+            lambda pop, pi, pj: orbit_path_filter(
+                pop, pi, pj, config.threshold_km, config.coplanar_tol_rad
+            ),
+        )
+        self._verdict: "dict[int, int]" = {}
+        self._noncop_rows: "list[tuple]" = []
+        self.records_total = 0
+        self.cop_records = 0
+        self.surv_pairs = 0
+        self.cop_pairs = 0
+        self.noncop_pairs = 0
+
+    @property
+    def unique_pairs(self) -> int:
+        return len(self._verdict)
+
+    def feed_batch(self, rec_i: np.ndarray, rec_j: np.ndarray, rec_step: np.ndarray) -> None:
+        if len(rec_i) == 0:
+            return
+        self.records_total += len(rec_i)
+        pkeys = rec_i.astype(np.uint64) | (rec_j.astype(np.uint64) << np.uint64(_ID_BITS))
+        uniq, inverse = np.unique(pkeys, return_inverse=True)
+        fresh = [k for k in uniq.tolist() if k not in self._verdict]
+        if fresh:
+            self._classify_fresh_pairs(np.asarray(fresh, dtype=np.uint64))
+        verd = np.fromiter(
+            (self._verdict[k] for k in uniq.tolist()), dtype=np.int8, count=len(uniq)
+        )[inverse]
+        cop = verd == _COPLANAR
+        self.cop_records += int(cop.sum())
+        self.refiner.feed_batch(rec_i[cop], rec_j[cop], rec_step[cop])
+
+    def _classify_fresh_pairs(self, fresh_keys: np.ndarray) -> None:
+        from repro.detection.hybrid import _refine_noncoplanar
+        from repro.filters.coplanarity import coplanar_mask
+
+        mask = np.uint64((1 << _ID_BITS) - 1)
+        pi = (fresh_keys & mask).astype(np.int64)
+        pj = (fresh_keys >> np.uint64(_ID_BITS)).astype(np.int64)
+        with self._timers.phase("COP"):
+            for k in fresh_keys.tolist():
+                self._verdict[k] = _DROPPED
+            surv_i, surv_j = self.chain.apply(self._population, pi, pj)
+            coplanar = (
+                coplanar_mask(
+                    self._population, surv_i, surv_j, self._config.coplanar_tol_rad
+                )
+                if len(surv_i)
+                else np.zeros(0, dtype=bool)
+            )
+            surv_keys = surv_i.astype(np.uint64) | (
+                surv_j.astype(np.uint64) << np.uint64(_ID_BITS)
+            )
+            for k, is_cop in zip(surv_keys.tolist(), coplanar.tolist()):
+                self._verdict[k] = _COPLANAR if is_cop else _NONCOPLANAR
+            self.surv_pairs += len(surv_i)
+            self.cop_pairs += int(coplanar.sum())
+            self.noncop_pairs += int((~coplanar).sum())
+        nn_i = surv_i[~coplanar]
+        nn_j = surv_j[~coplanar]
+        if len(nn_i):
+            with self._timers.phase("REF"):
+                ni, nj, ntca, npca = _refine_noncoplanar(
+                    self._population,
+                    nn_i,
+                    nn_j,
+                    self._config,
+                    "vectorized",
+                    telemetry=self._timers.ref,
+                )
+            if len(ni):
+                self._noncop_rows.append((ni, nj, ntca, npca))
+
+    def finish(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Raw hits: coplanar chunk results, then pair-key-sorted scans."""
+        ci, cj, ctca, cpca = self.refiner.finish()
+        if self._noncop_rows:
+            ni = np.concatenate([r[0] for r in self._noncop_rows])
+            nj = np.concatenate([r[1] for r in self._noncop_rows])
+            ntca = np.concatenate([r[2] for r in self._noncop_rows])
+            npca = np.concatenate([r[3] for r in self._noncop_rows])
+            # Pairs were scanned in first-sighting order; the barrier scans
+            # them in ascending pair-key order.  A stable sort restores it
+            # (rows within one pair keep their window order).
+            order = np.argsort(
+                ni.astype(np.uint64) | (nj.astype(np.uint64) << np.uint64(_ID_BITS)),
+                kind="stable",
+            )
+            ni, nj, ntca, npca = ni[order], nj[order], ntca[order], npca[order]
+        else:
+            ni = np.empty(0, dtype=np.int64)
+            nj = np.empty(0, dtype=np.int64)
+            ntca = np.empty(0, dtype=np.float64)
+            npca = np.empty(0, dtype=np.float64)
+        return (
+            np.concatenate([ci, ni]),
+            np.concatenate([cj, nj]),
+            np.concatenate([ctca, ntca]),
+            np.concatenate([cpca, npca]),
+        )
+
+
+class ConsumerRunner:
+    """Drive a consumer from round callbacks, threaded or inline.
+
+    Threaded mode owns one ``repro-ref-consumer`` thread draining a
+    :class:`CandidateQueue`; inline mode calls the consumer synchronously
+    from :meth:`offer_round` (the serial-consumer arm of the differential
+    suite, and the sensible choice on one core).  The consumer object
+    needs ``feed_batch(i, j, step)`` and ``finish()``.
+    """
+
+    def __init__(self, consumer, threaded: bool, queue_rounds: int) -> None:
+        self._consumer = consumer
+        self._threaded = threaded
+        self._exc: "BaseException | None" = None
+        self.rounds_offered = 0
+        self.queue = CandidateQueue(queue_rounds) if threaded else None
+        self._thread = None
+        if threaded:
+            self._thread = threading.Thread(
+                target=self._drain, name="repro-ref-consumer", daemon=True
+            )
+            self._thread.start()
+
+    def _drain(self) -> None:
+        try:
+            while True:
+                batch = self.queue.get()
+                if batch is None:
+                    return
+                self._consumer.feed_batch(*batch)
+        except BaseException as exc:  # noqa: BLE001 — re-raised in finish()
+            self._exc = exc
+            self.queue.mark_broken()
+
+    def offer_round(self, ci: np.ndarray, cj: np.ndarray, gsteps: np.ndarray) -> None:
+        """CD hook: dedup/sort one round's raw emissions and hand them off.
+
+        Raises :class:`PipelineBrokenError` if the consumer has failed —
+        the producer loop should stop; :meth:`finish` re-raises the cause.
+        """
+        batch = sorted_unique_records(ci, cj, gsteps)
+        self.rounds_offered += 1
+        if self._threaded:
+            self.queue.put(batch)
+        else:
+            self._consumer.feed_batch(*batch)
+
+    def abort(self) -> None:
+        """Producer died: stop the consumer without masking the cause."""
+        if self._threaded:
+            self.queue.close(abort=True)
+            self._thread.join()
+
+    def finish(self):
+        """Close the stream, join, re-raise consumer errors, finalise."""
+        if self._threaded:
+            self.queue.close()
+            self._thread.join()
+            if self._exc is not None:
+                raise self._exc
+        return self._consumer.finish()
+
+    def stats(self) -> PipelineStats:
+        refiner = getattr(self._consumer, "refiner", self._consumer)
+        return PipelineStats(
+            consumer="thread" if self._threaded else "inline",
+            rounds=self.rounds_offered,
+            records=getattr(self._consumer, "records_total", refiner.records_fed),
+            ref_chunks=refiner.chunks,
+            queue_capacity_rounds=self.queue.max_rounds if self._threaded else 0,
+            queue_peak_rounds=self.queue.peak_depth if self._threaded else 0,
+            backpressure_waits=self.queue.backpressure_waits if self._threaded else 0,
+        )

@@ -81,6 +81,25 @@ class ScreeningConfig:
     #: .fp32_cell_pad_km`) so no true conjunction is ever missed, while REF
     #: keeps solving in float64 from the float64 elements.
     precision: str = "fp64"
+    #: Phase schedule of the grid/hybrid variants.  ``barrier`` runs the
+    #: paper's strict INS → CD → REF sequence; ``pipelined`` streams each
+    #: fused round's candidate records through a bounded queue into a
+    #: continuously draining REF consumer while the next round's INS
+    #: propagates on its own thread (DESIGN.md §13).  The conjunction
+    #: records are byte-identical either way — the differential suite in
+    #: ``tests/detection/test_pipeline.py`` pins it.
+    schedule: str = "barrier"
+    #: Bounded depth of the pipelined schedule's candidate queue, in
+    #: rounds — the producer blocks once this many round batches await
+    #: REF, capping resident candidate memory
+    #: (:func:`repro.perfmodel.memory.pipeline_queue_bytes`).
+    pipeline_queue_rounds: int = 2
+    #: REF consumer placement for ``schedule="pipelined"``: ``thread``
+    #: drains the queue on a dedicated consumer thread (the overlapping
+    #: schedule); ``inline`` feeds the same incremental consumer
+    #: synchronously after each round — no overlap, but the identical
+    #: chunk stream, which makes it the differential reference.
+    pipeline_consumer: str = "thread"
 
     def __post_init__(self) -> None:
         if self.threshold_km <= 0.0:
@@ -101,6 +120,24 @@ class ScreeningConfig:
             raise ValueError(f"precision must be 'fp64' or 'mixed', got {self.precision!r}")
         if self.legacy_samples_per_period < 4:
             raise ValueError("legacy_samples_per_period must be at least 4")
+        if self.schedule not in ("barrier", "pipelined"):
+            raise ValueError(
+                f"schedule must be 'barrier' or 'pipelined', got {self.schedule!r}"
+            )
+        if self.pipeline_queue_rounds < 1:
+            raise ValueError(
+                f"pipeline_queue_rounds must be >= 1, got {self.pipeline_queue_rounds}"
+            )
+        if self.pipeline_consumer not in ("thread", "inline"):
+            raise ValueError(
+                f"pipeline_consumer must be 'thread' or 'inline', got {self.pipeline_consumer!r}"
+            )
+        if self.schedule == "pipelined" and self.use_smart_sieve:
+            raise ValueError(
+                "schedule='pipelined' is incompatible with use_smart_sieve: the "
+                "sieve evaluates propagator states mid-REF, racing the INS "
+                "producer thread that owns the propagator; run schedule='barrier'"
+            )
 
     def sample_times(self, seconds_per_sample: "float | None" = None) -> np.ndarray:
         """The equidistant sampling instants of the screening span."""

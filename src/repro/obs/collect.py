@@ -170,3 +170,19 @@ def observe_coherence(metrics: MetricsRegistry, stats) -> None:
     metrics.counter("cd.probes").add(stats.probes)
     metrics.counter("cd.probes_full_equiv").add(stats.probes_full_equiv)
     metrics.gauge("cd.coherence_hit_rate").record(stats.hit_rate)
+
+
+def observe_pipeline(metrics: MetricsRegistry, stats) -> None:
+    """Record one pipelined-schedule run's queue and consumer accounting.
+
+    ``stats`` is a :class:`repro.detection.pipeline.PipelineStats`.
+    ``pipeline.queue_peak_rounds`` against the configured depth shows how
+    far REF actually fell behind CD; ``pipeline.backpressure_waits``
+    counts the rounds where the bounded queue made the producer wait —
+    the memory-for-latency trade the schedule is built around.
+    """
+    metrics.counter("pipeline.rounds").add(stats.rounds)
+    metrics.counter("pipeline.records_streamed").add(stats.records)
+    metrics.counter("pipeline.ref_chunks").add(stats.ref_chunks)
+    metrics.counter("pipeline.backpressure_waits").add(stats.backpressure_waits)
+    metrics.gauge("pipeline.queue_peak_rounds").record(float(stats.queue_peak_rounds))

@@ -39,15 +39,27 @@ class TrackedEvent:
 
     i: int
     j: int
-    #: TCA on the campaign's absolute timeline (seconds from campaign start).
+    #: TCA on the campaign's absolute timeline (seconds from campaign
+    #: start) of the event's **best** (smallest-PCA) sighting.
     tca_abs_s: float
     pca_km: float
     first_seen_window: int
     last_seen_window: int
     sightings: int = 1
+    #: TCA of the **most recent** sighting.  Re-detection matching keys
+    #: off this, not :attr:`tca_abs_s`: under J2 the geometry drifts a
+    #: little every window, and matching against the best sighting's
+    #: (frozen) TCA would fragment one physical event into several tracks
+    #: once the drift accumulates past the match tolerance.
+    last_tca_abs_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.last_tca_abs_s is None:
+            self.last_tca_abs_s = self.tca_abs_s
 
     def update(self, tca_abs_s: float, pca_km: float, window: int) -> None:
         self.last_seen_window = window
+        self.last_tca_abs_s = tca_abs_s
         self.sightings += 1
         if pca_km < self.pca_km:
             self.pca_km = pca_km
@@ -153,6 +165,7 @@ class ScreeningCampaign:
         self._events_by_pair: "dict[tuple[int, int], list[TrackedEvent]]" = {}
         self.days: "list[CampaignDay]" = []
         self._clock_s = 0.0
+        self._closed = False
         if use_j2:
             self._j2_rates = j2_secular_rates(population)
 
@@ -165,7 +178,13 @@ class ScreeningCampaign:
         self.close()
 
     def close(self) -> None:
-        """Release the worker pool and stop the heartbeat (no-ops without)."""
+        """Release the worker pool and stop the heartbeat (no-ops without).
+
+        Idempotent.  A closed campaign refuses further :meth:`run_window`
+        calls: quietly recreating the pool and heartbeat after close would
+        leak both when the caller never closes a second time.
+        """
+        self._closed = True
         if self._heartbeat is not None:
             self._heartbeat.stop()
             self._heartbeat = None
@@ -223,6 +242,12 @@ class ScreeningCampaign:
     def run_window(self) -> CampaignDay:
         """Screen the next window and merge its detections into the track
         list; returns the window summary."""
+        if self._closed:
+            raise RuntimeError(
+                "ScreeningCampaign is closed; run_window after close() would "
+                "silently respawn the worker pool and heartbeat thread and "
+                "leak them — create a new campaign instead"
+            )
         window = len(self.days)
         start = self._clock_s
         self._ensure_heartbeat()
@@ -278,8 +303,12 @@ class ScreeningCampaign:
         return [self.run_window() for _ in range(n_windows)]
 
     def _find_event(self, i: int, j: int, tca_abs_s: float) -> "TrackedEvent | None":
+        # Match against each event's most recent sighting, not its best
+        # one: tca_abs_s only moves when the PCA improves, so a slowly
+        # drifting TCA would walk out of tolerance of the frozen best
+        # sighting and fragment the event (see TrackedEvent.last_tca_abs_s).
         for ev in self._events_by_pair.get((i, j), ()):
-            if abs(ev.tca_abs_s - tca_abs_s) <= self.tca_match_tol_s:
+            if abs(ev.last_tca_abs_s - tca_abs_s) <= self.tca_match_tol_s:
                 return ev
         return None
 
@@ -303,7 +332,14 @@ class ScreeningCampaign:
             raise ValueError("sigma0 must be positive and growth non-negative")
         out = []
         for ev in self.events:
-            last_seen_time = (ev.last_seen_window + 1) * self.config.duration_s
+            # The observation is dated at the *start* of the window that
+            # last saw the event: the screening snapshot is the catalog
+            # propagated to the window-start epoch, so that is when the
+            # geometry was actually measured.  Dating it at the window end
+            # under-counted the lead time by up to one window (events with
+            # a TCA mid-window showed lead 0 and an optimistically small
+            # sigma).
+            last_seen_time = ev.last_seen_window * self.config.duration_s
             lead_s = max(ev.tca_abs_s - last_seen_time, 0.0)
             sigma = sigma0_km + growth_km_per_day * lead_s / 86400.0
             poc = collision_probability(ev.pca_km, sigma, hard_body_radius_km)

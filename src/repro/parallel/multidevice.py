@@ -125,7 +125,9 @@ def run_device_shard(
     initial_capacity: "int | None" = None,
     round_size: "int | None" = None,
     emitter: "CoherentPairEmitter | None" = None,
-) -> "tuple[np.ndarray, np.ndarray, np.ndarray, ShardStats]":
+    population: "OrbitalElementsArray | None" = None,
+    ref_cell: "float | None" = None,
+) -> "tuple":
     """One device's candidate collection over its step shard.
 
     The per-shard kernel shared by both executors: the ``serial`` executor
@@ -151,7 +153,21 @@ def run_device_shard(
 
     Returns the shard's deduplicated ``(i, j, step)`` record arrays (step
     indices are *global*) plus its :class:`ShardStats`.
+
+    Under ``config.schedule == "pipelined"`` the shard additionally runs
+    its *own* REF consumer (``population`` and ``ref_cell`` become
+    required): each round's record batch streams into an in-shard
+    :class:`repro.detection.pipeline.ChunkedRefiner` that keeps refined
+    results aligned per record, and the return grows a fifth element —
+    ``(hit, tca, pca)`` arrays parallel to the record arrays.  The parent
+    then only re-sorts records (carrying the refined columns through the
+    same permutation) instead of refining after the barrier; per-lane
+    independence of ``refine_batch`` makes the values bit-identical no
+    matter which shard's chunks they were refined in.
     """
+    pipelined = config.schedule == "pipelined"
+    if pipelined and (population is None or ref_cell is None):
+        raise ValueError("pipelined shards need population= and ref_cell=")
     n = len(ids)
     if initial_capacity is None:
         initial_capacity = device_conjunction_capacity(
@@ -176,6 +192,24 @@ def run_device_shard(
         emitter.fresh_window()
     elif config.use_coherence:
         emitter = CoherentPairEmitter(n, budget_bytes=coherence_budget_bytes(n))
+    runner = None
+    ins_timers = None
+    refiner = None
+    if pipelined:
+        from repro.detection.pipeline import ChunkedRefiner, ConsumerRunner
+
+        ins_timers = PhaseTimer(tracer=tracer)
+        ref_timers = PhaseTimer(tracer=tracer)
+        refiner = ChunkedRefiner(
+            population, times, ref_cell, config, timers=ref_timers,
+            keep_per_record=True,
+        )
+        runner = ConsumerRunner(
+            refiner,
+            threaded=(config.pipeline_consumer == "thread"),
+            queue_rounds=config.pipeline_queue_rounds,
+        )
+
     span = (
         tracer.span("device", device=device, n_steps=len(steps), round_size=round_size)
         if tracer.enabled
@@ -183,32 +217,61 @@ def run_device_shard(
     )
     with span:
         descriptors = shard_round_descriptors(times, steps, round_size)
-        for rd, positions in stream_round_positions(propagator, descriptors, timers):
-            with timers.phase("INS"):
-                grid = _build_round_grid(ids, positions, cell, config)
-            with timers.phase("CD"):
-                if emitter is not None:
-                    ci, cj, csteps = emitter.round_pairs(grid)
-                else:
-                    ci, cj, csteps = grid.candidate_pair_steps()
-                # Insert-only replay: the emitted arrays survive the regrow,
-                # so overflow never re-propagates or rebuilds the grid.
-                while True:
-                    try:
-                        conj.insert_batch(ci, cj, rd.steps[csteps])
-                        break
-                    except ConjunctionMapFullError:
-                        conj = _regrow(conj, incoming=len(ci), metrics=metrics)
-                        regrows += 1
-            if metrics is not None:
-                metrics.counter("cd.pairs_emitted").add(len(ci))
-                metrics.counter("cd.rounds").add(1)
-                observe_grid(metrics, grid, precision=config.precision)
-            rounds += 1
-            # Planned allocation accounting: every round's grid is priced
-            # at the resolved round width (the up-front allocation the
-            # Section V-B plan budgets), not the last round's remainder.
-            peak = max(peak, conj.memory_bytes + round_size * grid_bytes)
+        try:
+            for rd, positions in stream_round_positions(
+                propagator, descriptors, timers,
+                worker_timers=ins_timers if pipelined else None,
+            ):
+                with timers.phase("INS"):
+                    grid = _build_round_grid(ids, positions, cell, config)
+                with timers.phase("CD"):
+                    if emitter is not None:
+                        ci, cj, csteps = emitter.round_pairs(grid)
+                    else:
+                        ci, cj, csteps = grid.candidate_pair_steps()
+                    gsteps = rd.steps[csteps]
+                    # Insert-only replay: the emitted arrays survive the
+                    # regrow, so overflow never re-propagates or rebuilds
+                    # the grid.
+                    while True:
+                        try:
+                            conj.insert_batch(ci, cj, gsteps)
+                            break
+                        except ConjunctionMapFullError:
+                            conj = _regrow(conj, incoming=len(ci), metrics=metrics)
+                            regrows += 1
+                if metrics is not None:
+                    metrics.counter("cd.pairs_emitted").add(len(ci))
+                    metrics.counter("cd.rounds").add(1)
+                    observe_grid(metrics, grid, precision=config.precision)
+                if runner is not None:
+                    runner.offer_round(ci, cj, gsteps)
+                rounds += 1
+                # Planned allocation accounting: every round's grid is priced
+                # at the resolved round width (the up-front allocation the
+                # Section V-B plan budgets), not the last round's remainder.
+                peak = max(peak, conj.memory_bytes + round_size * grid_bytes)
+        except BaseException as exc:
+            if runner is not None:
+                from repro.detection.pipeline import PipelineBrokenError
+
+                if not isinstance(exc, PipelineBrokenError):
+                    runner.abort()
+                    raise
+                # Consumer failed: fall through to finish(), which re-raises
+                # the consumer's own exception.
+            else:
+                raise
+    refined = None
+    if runner is not None:
+        runner.finish()
+        refined = refiner.per_record_results()
+        timers.merge(ins_timers)
+        timers.merge(refiner._timers)
+        if metrics is not None:
+            from repro.obs.collect import observe_pipeline
+
+            observe_pipeline(metrics, runner.stats())
     if metrics is not None:
         observe_conjmap(metrics, conj)
         if emitter is not None:
@@ -224,6 +287,14 @@ def run_device_shard(
         rounds=rounds,
         round_size=round_size,
     )
+    if pipelined:
+        if len(refined[0]) != len(ri):
+            raise RuntimeError(
+                f"pipelined shard stream covered {len(refined[0])} records but "
+                f"the conjunction map holds {len(ri)} — round batches must "
+                "partition the record set"
+            )
+        return ri, rj, rs, stats, refined
     return ri, rj, rs, stats
 
 
@@ -314,6 +385,7 @@ def screen_grid_multidevice(
                 if device_budget_bytes is not None
                 else config.memory_budget_bytes
             )
+            pipelined = config.schedule == "pipelined"
             if round_size is None and budget is not None:
                 # Plan against the widest shard; round-robin shards differ
                 # by at most one step, so one plan fits every device.
@@ -327,6 +399,7 @@ def screen_grid_multidevice(
                     n_devices=n_devices,
                     device_steps=len(shards[0]),
                     precision=config.precision,
+                    queue_rounds=config.pipeline_queue_rounds if pipelined else 0,
                 )
                 round_size = stream_plan.round_size
 
@@ -361,6 +434,8 @@ def screen_grid_multidevice(
                         tracer=tracer, metrics=metrics,
                         initial_capacity=initial_capacity,
                         round_size=round_size,
+                        population=population if pipelined else None,
+                        ref_cell=ref_cell if pipelined else None,
                     )
                 )
 
@@ -368,7 +443,16 @@ def screen_grid_multidevice(
         all_i: "list[np.ndarray]" = []
         all_j: "list[np.ndarray]" = []
         all_steps: "list[np.ndarray]" = []
-        for ri, rj, rs, stats in shard_results:
+        all_hit: "list[np.ndarray]" = []
+        all_tca: "list[np.ndarray]" = []
+        all_pca: "list[np.ndarray]" = []
+        for shard_result in shard_results:
+            ri, rj, rs, stats = shard_result[:4]
+            if len(shard_result) == 5:
+                s_hit, s_tca, s_pca = shard_result[4]
+                all_hit.append(s_hit)
+                all_tca.append(s_tca)
+                all_pca.append(s_pca)
             all_i.append(ri)
             all_j.append(rj)
             all_steps.append(rs)
@@ -406,22 +490,52 @@ def screen_grid_multidevice(
             rec_i = np.concatenate(all_i)
             rec_j = np.concatenate(all_j)
             rec_step = np.concatenate(all_steps)
-            if len(rec_i):
-                # Restore the global conjunction-map key order: each shard
-                # is key-sorted but the shards interleave round-robin, and
-                # refinement must see the identical record ordering (hence
-                # identical REF chunking) as the single-device run for the
-                # merged result to be bit-identical.
-                order = np.argsort(pack_pair_key(rec_i, rec_j, rec_step))
-                rec_i, rec_j, rec_step = rec_i[order], rec_j[order], rec_step[order]
-            centers = times[rec_step]
-            radii = interval_radii(population, rec_i, rec_j, ref_cell)
-            i, j, tca, pca = refine_records(
-                population, rec_i, rec_j, centers, radii, config, "vectorized",
-                telemetry=timers.ref,
-            )
-            raw_hits = len(i)
-            i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+            if pipelined:
+                # Each shard already refined its own records through its
+                # pipeline consumer (per-lane refinement is independent of
+                # chunk composition, so shard-local chunking is bit-safe).
+                # The parent only restores global key order and applies the
+                # hit mask — no second refinement pass.
+                rec_hit = np.concatenate(all_hit) if all_hit else np.empty(0, bool)
+                rec_tca = np.concatenate(all_tca) if all_tca else np.empty(0)
+                rec_pca = np.concatenate(all_pca) if all_pca else np.empty(0)
+                if len(rec_i):
+                    order = np.argsort(pack_pair_key(rec_i, rec_j, rec_step))
+                    rec_i, rec_j, rec_step = (
+                        rec_i[order], rec_j[order], rec_step[order]
+                    )
+                    rec_hit = rec_hit[order]
+                    rec_tca, rec_pca = rec_tca[order], rec_pca[order]
+                i = rec_i[rec_hit]
+                j = rec_j[rec_hit]
+                tca = rec_tca[rec_hit]
+                pca = rec_pca[rec_hit]
+                raw_hits = len(i)
+                i, j, tca, pca = merge_conjunctions(
+                    i, j, tca, pca, config.tca_merge_tol_s
+                )
+            else:
+                if len(rec_i):
+                    # Restore the global conjunction-map key order: each
+                    # shard is key-sorted but the shards interleave
+                    # round-robin, and refinement must see the identical
+                    # record ordering (hence identical REF chunking) as the
+                    # single-device run for the merged result to be
+                    # bit-identical.
+                    order = np.argsort(pack_pair_key(rec_i, rec_j, rec_step))
+                    rec_i, rec_j, rec_step = (
+                        rec_i[order], rec_j[order], rec_step[order]
+                    )
+                centers = times[rec_step]
+                radii = interval_radii(population, rec_i, rec_j, ref_cell)
+                i, j, tca, pca = refine_records(
+                    population, rec_i, rec_j, centers, radii, config,
+                    "vectorized", telemetry=timers.ref,
+                )
+                raw_hits = len(i)
+                i, j, tca, pca = merge_conjunctions(
+                    i, j, tca, pca, config.tca_merge_tol_s
+                )
 
     if metrics is not None:
         metrics.counter(f"screen.precision_{config.precision}").add(1)
@@ -443,6 +557,7 @@ def screen_grid_multidevice(
         extra={
             "n_devices": n_devices,
             "executor": executor,
+            "schedule": config.schedule,
             "round_size": round_size,
             "stream_plan": stream_plan,
             "cell_size_km": cell,

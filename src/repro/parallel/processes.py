@@ -70,6 +70,7 @@ from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
 from repro.parallel.backend import PhaseTimer
 from repro.perfmodel.memory import coherence_budget_bytes
+from repro.spatial.grid import cell_size_km
 from repro.spatial.vectorgrid import CoherentPairEmitter
 
 #: The element arrays published for the workers, in block row order.
@@ -190,6 +191,9 @@ class ShardOutcome:
     epoch_unix: float = 0.0
     #: OS pid of the worker that ran the window (resource attribution).
     pid: int = 0
+    #: Pipelined shard: the result block carries per-record refinement
+    #: columns (tca/pca/hit) after the record rows.
+    refined: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -295,17 +299,26 @@ def _resident_emitter(task: WindowTask) -> CoherentPairEmitter:
 
 
 def _ship_records(
-    rec_i: np.ndarray, rec_j: np.ndarray, rec_step: np.ndarray
+    rec_i: np.ndarray,
+    rec_j: np.ndarray,
+    rec_step: np.ndarray,
+    refined: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None,
 ) -> "tuple[str, int]":
     """Write the shard's records into the worker's shard-local block.
 
     The block is worker-owned and reused across windows; when a window's
     records outgrow it, the old block is closed **and unlinked** before a
     doubled replacement is created (no orphaned generations).  Layout:
-    a ``(3, n_records)`` int64 array — rows ``i``, ``j``, ``step``.
+    a ``(3, n_records)`` int64 array — rows ``i``, ``j``, ``step``.  A
+    pipelined shard (``refined`` given as ``(hit, tca, pca)``) appends
+    its per-record refinement columns after the int64 block: ``n`` float64
+    TCAs, ``n`` float64 PCAs, then ``n`` uint8 hit flags.
     """
     n_records = len(rec_i)
-    needed = max(3 * n_records * 8, MIN_RESULT_BLOCK_BYTES)
+    needed = 3 * n_records * 8
+    if refined is not None:
+        needed += n_records * (8 + 8 + 1)
+    needed = max(needed, MIN_RESULT_BLOCK_BYTES)
     result = _RESIDENT.get("result")
     if result is not None and result.size < needed:
         result.close()
@@ -323,6 +336,18 @@ def _ship_records(
     block[1] = rec_j
     block[2] = rec_step
     del block
+    if refined is not None:
+        hit, tca, pca = refined
+        off = 3 * n_records * 8
+        cols = np.ndarray((2, n_records), dtype=np.float64, buffer=result.buf, offset=off)
+        cols[0] = tca
+        cols[1] = pca
+        del cols
+        flags = np.ndarray(
+            n_records, dtype=np.uint8, buffer=result.buf, offset=off + 2 * n_records * 8
+        )
+        flags[:] = hit
+        del flags
     return result.name, n_records
 
 
@@ -339,15 +364,25 @@ def _pool_run_window(task: WindowTask) -> ShardOutcome:
     ids = np.arange(task.n_objects, dtype=np.int64)
     times = task.config.sample_times()
     steps = partition_steps(len(times), task.n_devices)[task.device]
-    rec_i, rec_j, rec_step, stats = run_device_shard(
+    pipelined = task.config.schedule == "pipelined"
+    ref_cell = (
+        cell_size_km(task.config.threshold_km, task.config.seconds_per_sample)
+        if pipelined
+        else None
+    )
+    shard_result = run_device_shard(
         propagator, ids, times, steps, task.cell, task.config,
         task.device, task.n_devices, timers,
         tracer=tracer, metrics=metrics,
         initial_capacity=task.initial_capacity,
         round_size=task.round_size,
         emitter=emitter,
+        population=population if pipelined else None,
+        ref_cell=ref_cell,
     )
-    result_name, n_records = _ship_records(rec_i, rec_j, rec_step)
+    rec_i, rec_j, rec_step, stats = shard_result[:4]
+    refined = shard_result[4] if len(shard_result) == 5 else None
+    result_name, n_records = _ship_records(rec_i, rec_j, rec_step, refined=refined)
     # A live Tracer is not picklable (lock + thread-local state); ship
     # its finished records instead and strip it off the timer.
     spans = tracer.records() if task.trace else []
@@ -362,6 +397,7 @@ def _pool_run_window(task: WindowTask) -> ShardOutcome:
         spans=spans,
         epoch_unix=epoch_unix,
         pid=os.getpid(),
+        refined=refined is not None,
     )
 
 
@@ -418,9 +454,14 @@ class PersistentShardPool:
         return self._shared
 
     def _read_records(
-        self, device: int, result_name: str, n_records: int
-    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-        """Copy one shard's records out of its shard-local block."""
+        self, device: int, result_name: str, n_records: int, refined: bool = False
+    ) -> "tuple":
+        """Copy one shard's records out of its shard-local block.
+
+        With ``refined`` (pipelined shard), also copies out the appended
+        per-record ``(hit, tca, pca)`` columns — see :func:`_ship_records`
+        for the layout.
+        """
         shm = self._attached.get(device)
         if shm is not None and shm.name != result_name:
             shm.close()
@@ -431,7 +472,18 @@ class PersistentShardPool:
         block = np.ndarray((3, n_records), dtype=np.int64, buffer=shm.buf)
         rec_i, rec_j, rec_step = block[0].copy(), block[1].copy(), block[2].copy()
         del block
-        return rec_i, rec_j, rec_step
+        if not refined:
+            return rec_i, rec_j, rec_step
+        off = 3 * n_records * 8
+        cols = np.ndarray((2, n_records), dtype=np.float64, buffer=shm.buf, offset=off)
+        tca, pca = cols[0].copy(), cols[1].copy()
+        del cols
+        flags = np.ndarray(
+            n_records, dtype=np.uint8, buffer=shm.buf, offset=off + 2 * n_records * 8
+        )
+        hit = flags.astype(bool)
+        del flags
+        return rec_i, rec_j, rec_step, (hit, tca, pca)
 
     def run_window(
         self,
@@ -454,7 +506,9 @@ class PersistentShardPool:
         shard's records are copied out of its shard-local block.  Returns
         the per-shard ``(rec_i, rec_j, rec_step, stats)`` tuples ordered
         by device index — the same shape the serial executor produces
-        inline.
+        inline.  Pipelined shards (``config.schedule == "pipelined"``)
+        return five-tuples whose last element is the shard's per-record
+        ``(hit, tca, pca)`` refinement columns.
         """
         if self._closed:
             raise RuntimeError("PersistentShardPool is closed")
@@ -495,11 +549,17 @@ class PersistentShardPool:
                 tracer.adopt(
                     outcome.spans, parent_id=parent_span_id, epoch_unix=outcome.epoch_unix
                 )
-            rec_i, rec_j, rec_step = self._read_records(
-                device, outcome.result_name, outcome.n_records
+            read = self._read_records(
+                device, outcome.result_name, outcome.n_records,
+                refined=outcome.refined,
             )
             rounds_resident += getattr(outcome.stats, "rounds", 0)
-            results.append((rec_i, rec_j, rec_step, outcome.stats))
+            if outcome.refined:
+                rec_i, rec_j, rec_step, refined = read
+                results.append((rec_i, rec_j, rec_step, outcome.stats, refined))
+            else:
+                rec_i, rec_j, rec_step = read
+                results.append((rec_i, rec_j, rec_step, outcome.stats))
         self.windows += 1
         if metrics is not None:
             observe_pool(

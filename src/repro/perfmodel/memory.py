@@ -369,6 +369,42 @@ def position_step_bytes(n_satellites: int, precision: str = "fp64") -> int:
     return 3 * per_axis * n_satellites
 
 
+#: Bytes of one queued candidate record: the (i, j, step) int64 triple the
+#: pipelined schedule's CandidateQueue holds between CD and REF.
+CANDIDATE_RECORD_BYTES = 3 * 8
+
+
+def pipeline_queue_bytes(
+    n_satellites: int,
+    seconds_per_sample: float,
+    duration_s: float,
+    threshold_km: float,
+    variant: str,
+    round_size: int,
+    queue_rounds: int,
+) -> int:
+    """Planned peak bytes of the pipelined schedule's candidate queue.
+
+    The queue holds at most ``queue_rounds`` round batches; each round
+    covers ``round_size`` of the window's sampling steps, so its expected
+    record count is the Extra-P conjunction prediction prorated by the
+    round's share of the steps.  Like :func:`conjunction_capacity` this is
+    a planning estimate, not a cap — the runtime bound is the queue's
+    round depth, and the *record* count of a pathological round can
+    exceed the prorated share.
+    """
+    if round_size < 1:
+        raise ValueError(f"round_size must be >= 1, got {round_size}")
+    if queue_rounds < 1:
+        raise ValueError(f"queue_rounds must be >= 1, got {queue_rounds}")
+    capacity = conjunction_capacity(
+        n_satellites, seconds_per_sample, duration_s, threshold_km, variant
+    )
+    o = max(int(math.ceil(duration_s / seconds_per_sample)) + 1, 2)
+    per_round = int(math.ceil(capacity * min(round_size, o) / o))
+    return queue_rounds * per_round * CANDIDATE_RECORD_BYTES
+
+
 @dataclass(frozen=True)
 class StreamPlan:
     """A device shard's out-of-core round plan.
@@ -391,6 +427,9 @@ class StreamPlan:
     streamed: bool
     #: Bytes held by the two in-flight position slices.
     buffer_bytes: int
+    #: Planned bytes of the pipelined schedule's candidate queue (0 when
+    #: planning a barrier run).
+    queue_bytes: int = 0
 
     @property
     def rounds(self) -> int:
@@ -405,6 +444,7 @@ class StreamPlan:
             self.plan.fixed_bytes
             + self.round_size * self.plan.per_grid_bytes
             + self.buffer_bytes
+            + self.queue_bytes
         )
 
 
@@ -419,6 +459,7 @@ def plan_stream_rounds(
     device_steps: int,
     requested_round_size: "int | None" = None,
     precision: str = "fp64",
+    queue_rounds: int = 0,
 ) -> StreamPlan:
     """Plan one device shard's streamed rounds under a byte budget.
 
@@ -428,6 +469,12 @@ def plan_stream_rounds(
     workload needs.  ``requested_round_size`` caps the round width (the
     caller's preferred fused-round size); ``None`` means "as wide as the
     budget and the shard allow", bounded by :data:`MAX_ROUND_STEPS`.
+
+    ``queue_rounds`` > 0 plans for the pipelined schedule: the candidate
+    queue's worst-case footprint (:func:`pipeline_queue_bytes` at the
+    chosen round size) is charged against the free space and the round
+    width re-fitted once — queued-but-unrefined rounds are resident
+    memory the barrier schedule never holds.
     """
     if n_satellites <= 0:
         raise ValueError(f"n_satellites must be positive, got {n_satellites}")
@@ -460,11 +507,34 @@ def plan_stream_rounds(
         raise ValueError(f"requested_round_size must be positive, got {cap}")
     round_size = max(1, min(fit, cap, max(device_steps, 1), MAX_ROUND_STEPS))
     wanted = min(cap, max(device_steps, 1), MAX_ROUND_STEPS)
+    queue_bytes = 0
+    if queue_rounds > 0:
+        queue_bytes = pipeline_queue_bytes(
+            n_satellites,
+            seconds_per_sample,
+            duration_s,
+            threshold_km,
+            variant,
+            round_size,
+            queue_rounds,
+        )
+        refit = max(int((free - queue_bytes) // (plan.per_grid_bytes + 2 * pos_bytes)), 1)
+        round_size = max(1, min(refit, round_size))
+        queue_bytes = pipeline_queue_bytes(
+            n_satellites,
+            seconds_per_sample,
+            duration_s,
+            threshold_km,
+            variant,
+            round_size,
+            queue_rounds,
+        )
     return StreamPlan(
         plan=plan,
         round_size=round_size,
         streamed=round_size < wanted,
         buffer_bytes=2 * round_size * pos_bytes,
+        queue_bytes=queue_bytes,
     )
 
 

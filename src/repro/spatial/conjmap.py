@@ -80,6 +80,25 @@ def unpack_pair_key(key):
     )
 
 
+def sorted_unique_records(i, j, step):
+    """Normalise, deduplicate and key-sort raw (i, j, step) emissions.
+
+    Returns the records a :class:`ConjunctionMap` would hold for exactly
+    this batch, in :meth:`ConjunctionMap.records` order (ascending packed
+    key — step-major, since the step occupies the key's high bits).  The
+    pipelined schedule leans on this: because each fused round covers a
+    disjoint, ascending range of steps, concatenating the rounds' sorted
+    batches reproduces the global ``records()`` order without a barrier.
+    """
+    i = np.asarray(i)
+    j = np.asarray(j)
+    if len(i) == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), e.copy()
+    keys = np.unique(pack_pair_key(np.minimum(i, j), np.maximum(i, j), step))
+    return unpack_pair_key(keys)
+
+
 class ConjunctionMap:
     """Fixed-size deduplicating store of (i, j, step) candidate records."""
 

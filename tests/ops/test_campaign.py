@@ -153,20 +153,22 @@ class TestEventIndexRegression:
             for c in day.result.conjunctions():
                 tca_abs = day.start_s + c.tca_s
                 match = None
-                for ev in brute:  # the old linear scan, verbatim
+                for ev in brute:  # the old linear scan over all events
                     if (
                         ev["i"] == c.i and ev["j"] == c.j
-                        and abs(ev["tca_abs_s"] - tca_abs) <= campaign.tca_match_tol_s
+                        and abs(ev["last_tca_abs_s"] - tca_abs) <= campaign.tca_match_tol_s
                     ):
                         match = ev
                         break
                 if match is None:
                     brute.append({
-                        "i": c.i, "j": c.j, "tca_abs_s": tca_abs, "pca_km": c.pca_km,
+                        "i": c.i, "j": c.j, "tca_abs_s": tca_abs,
+                        "last_tca_abs_s": tca_abs, "pca_km": c.pca_km,
                         "first": day.window, "last": day.window, "sightings": 1,
                     })
                 else:
                     match["last"] = day.window
+                    match["last_tca_abs_s"] = tca_abs
                     match["sightings"] += 1
                     if c.pca_km < match["pca_km"]:
                         match["pca_km"] = c.pca_km
@@ -190,3 +192,138 @@ class TestEventIndexRegression:
         assert all(ev in campaign.events for ev in indexed)
         for (i, j), evs in campaign._events_by_pair.items():
             assert all((ev.i, ev.j) == (i, j) for ev in evs)
+
+
+def _scripted_campaign(monkeypatch, cfg, sightings):
+    """A campaign whose windows see scripted conjunctions.
+
+    ``sightings`` is one list per window of ``(i, j, tca_in_window_s,
+    pca_km)`` tuples; ``screen`` is monkeypatched to replay them, so the
+    tests exercise the event-tracking logic alone, with exact TCAs.
+    """
+    import repro.ops.campaign as campaign_mod
+    from repro.detection.types import ScreeningResult
+
+    queue = [list(rows) for rows in sightings]
+
+    def fake_screen(population, config, method, backend, tracer, metrics):
+        rows = queue.pop(0)
+        i = np.array([r[0] for r in rows], dtype=np.int64)
+        j = np.array([r[1] for r in rows], dtype=np.int64)
+        tca = np.array([r[2] for r in rows], dtype=np.float64)
+        pca = np.array([r[3] for r in rows], dtype=np.float64)
+        return ScreeningResult(
+            method=method, backend=backend, i=i, j=j, tca_s=tca, pca_km=pca,
+            candidates_refined=len(rows),
+        )
+
+    monkeypatch.setattr(campaign_mod, "screen", fake_screen)
+    pop = megaconstellation(2, 3, 550.0, math.radians(53))
+    campaign = ScreeningCampaign(pop, cfg, method="grid")
+    campaign.run(len(sightings))
+    return campaign
+
+
+class TestRiskLeadTimeRegression:
+    """The last observation is dated at window *start*, not window end."""
+
+    def test_mid_window_tca_has_nonzero_lead(self, monkeypatch):
+        # One window [0, 2000); a single event with TCA mid-window at
+        # t=1000.  The screening snapshot was propagated to the window's
+        # start epoch (t=0), so the geometry is 1000 s stale at TCA.
+        # Dating the observation at the window end (t=2000) clamped this
+        # lead to zero and reported the optimistic floor sigma0.
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=2000.0,
+                              seconds_per_sample=1.0)
+        campaign = _scripted_campaign(monkeypatch, cfg, [[(0, 1, 1000.0, 0.5)]])
+        assert len(campaign.events) == 1
+        ((ev, sigma, _poc),) = campaign.risk_summary(
+            sigma0_km=0.1, growth_km_per_day=86.4
+        )
+        # growth 86.4 km/day == 1e-3 km/s of lead: sigma = 0.1 + 1.0
+        assert sigma == pytest.approx(0.1 + 1e-3 * 1000.0)
+
+    def test_lead_measured_from_last_seen_window_start(self, monkeypatch):
+        # Seen in windows 0 and 1 (TCA drifts within tolerance); the best
+        # sighting's TCA sits at absolute t=2010, just inside window 1.
+        # The last observation happened at window 1's start (t=2000):
+        # lead is 10 s — the end-of-window anchor (t=4000) clamped it to
+        # zero.
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=2000.0,
+                              seconds_per_sample=1.0)
+        campaign = _scripted_campaign(
+            monkeypatch, cfg,
+            [[(0, 1, 1990.0, 0.8)], [(0, 1, 10.0, 0.5)]],
+        )
+        assert len(campaign.events) == 1
+        ((ev, sigma, _poc),) = campaign.risk_summary(
+            sigma0_km=0.1, growth_km_per_day=86.4
+        )
+        assert ev.tca_abs_s == pytest.approx(2010.0)
+        assert sigma == pytest.approx(0.1 + 1e-3 * 10.0)
+
+
+class TestDriftingTcaTracking:
+    """A drifting TCA must not fragment one physical event into many."""
+
+    def test_drift_past_tolerance_of_best_sighting_stays_one_event(
+        self, monkeypatch
+    ):
+        # tol=30 s; the TCA walks 25 s per window: 1000, 1025, 1050, 1075.
+        # Every re-detection is within tolerance of the *previous* one,
+        # but from window 2 on it is >30 s from the best sighting's frozen
+        # TCA (t=1000, where the PCA is smallest).  Matching against the
+        # best sighting fragmented this into a second track.
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=2000.0,
+                              seconds_per_sample=1.0)
+        drift = [
+            [(0, 1, 1000.0, 0.5)],
+            [(0, 1, 1025.0 - 2000.0 * 1, 0.8)],
+            [(0, 1, 1050.0 - 2000.0 * 2, 0.9)],
+            [(0, 1, 1075.0 - 2000.0 * 3, 0.7)],
+        ]
+        campaign = _scripted_campaign(monkeypatch, cfg, drift)
+        assert len(campaign.events) == 1
+        ev = campaign.events[0]
+        assert ev.sightings == 4
+        assert ev.first_seen_window == 0
+        assert ev.last_seen_window == 3
+        # Best-PCA sighting stays the ranked geometry...
+        assert ev.pca_km == pytest.approx(0.5)
+        assert ev.tca_abs_s == pytest.approx(1000.0)
+        # ...while matching keys off the freshest sighting.
+        assert ev.last_tca_abs_s == pytest.approx(1075.0)
+
+    def test_distinct_events_still_separate(self, monkeypatch):
+        # Two genuinely different encounters of the same pair in one
+        # window (TCAs 61 s apart, tol 30) stay two tracked events.
+        cfg = ScreeningConfig(threshold_km=5.0, duration_s=2000.0,
+                              seconds_per_sample=1.0)
+        campaign = _scripted_campaign(
+            monkeypatch, cfg, [[(0, 1, 1000.0, 0.5), (0, 1, 1061.0, 0.6)]]
+        )
+        assert len(campaign.events) == 2
+
+
+class TestClosedCampaign:
+    """run_window after close() must fail loudly, not leak a new pool."""
+
+    def test_run_window_after_close_raises(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")
+        campaign.run(1)
+        campaign.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            campaign.run_window()
+
+    def test_close_is_idempotent(self, periodic_pair):
+        campaign = ScreeningCampaign(periodic_pair, CFG, method="grid")
+        campaign.close()
+        campaign.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            campaign.run_window()
+
+    def test_context_manager_exit_closes(self, periodic_pair):
+        with ScreeningCampaign(periodic_pair, CFG, method="grid") as campaign:
+            campaign.run(1)
+        with pytest.raises(RuntimeError, match="closed"):
+            campaign.run_window()

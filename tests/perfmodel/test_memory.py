@@ -4,6 +4,7 @@ from __future__ import annotations
 import pytest
 
 from repro.perfmodel.memory import (
+    CANDIDATE_RECORD_BYTES,
     ENTRY_BYTES,
     MIN_CONJUNCTIONS,
     MIN_DEVICE_CONJUNCTIONS,
@@ -11,6 +12,7 @@ from repro.perfmodel.memory import (
     conjunction_capacity,
     device_conjunction_capacity,
     grid_instance_bytes,
+    pipeline_queue_bytes,
     plan_device_memory,
     plan_memory,
     plan_stream_rounds,
@@ -249,3 +251,66 @@ class TestStreamPlan:
             plan_stream_rounds(100, 9.0, 3600.0, 2.0, "grid", budget_bytes=GB,
                                n_devices=2, device_steps=10,
                                requested_round_size=0)
+
+
+class TestPipelineQueueBytes:
+    def test_prorates_capacity_by_round_share(self):
+        import math
+
+        capacity = conjunction_capacity(64000, 9.0, 3600.0, 2.0, "grid")
+        o = max(int(math.ceil(3600.0 / 9.0)) + 1, 2)
+        per_round = int(math.ceil(capacity * min(16, o) / o))
+        assert pipeline_queue_bytes(64000, 9.0, 3600.0, 2.0, "grid", 16, 2) == (
+            2 * per_round * CANDIDATE_RECORD_BYTES
+        )
+
+    def test_scales_linearly_in_queue_depth(self):
+        one = pipeline_queue_bytes(64000, 9.0, 3600.0, 2.0, "grid", 16, 1)
+        three = pipeline_queue_bytes(64000, 9.0, 3600.0, 2.0, "grid", 16, 3)
+        assert three == 3 * one
+
+    def test_round_wider_than_window_caps_at_full_capacity(self):
+        capacity = conjunction_capacity(1000, 2.0, 60.0, 5.0, "grid")
+        full = pipeline_queue_bytes(1000, 2.0, 60.0, 5.0, "grid", 10**6, 1)
+        assert full == capacity * CANDIDATE_RECORD_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="round_size"):
+            pipeline_queue_bytes(1000, 2.0, 60.0, 5.0, "grid", 0, 2)
+        with pytest.raises(ValueError, match="queue_rounds"):
+            pipeline_queue_bytes(1000, 2.0, 60.0, 5.0, "grid", 16, 0)
+
+
+class TestStreamPlanQueueCharge:
+    def test_queue_bytes_counted_in_total(self):
+        kw = dict(budget_bytes=24 * GB, n_devices=2, device_steps=200,
+                  requested_round_size=16)
+        barrier = plan_stream_rounds(64000, 9.0, 3600.0, 2.0, "grid", **kw)
+        piped = plan_stream_rounds(64000, 9.0, 3600.0, 2.0, "grid",
+                                   queue_rounds=2, **kw)
+        assert barrier.queue_bytes == 0
+        assert piped.queue_bytes == pipeline_queue_bytes(
+            64000, 9.0, 3600.0, 2.0, "grid", piped.round_size, 2
+        )
+        assert piped.total_bytes == barrier.total_bytes + piped.queue_bytes
+
+    def test_tight_budget_refits_round_width_for_the_queue(self):
+        """With the queue charged against free space, the pipelined plan
+        must not claim a wider round than actually fits alongside it."""
+        base = plan_stream_rounds(
+            200_000, 2.0, 3600.0, 2.0, "grid", budget_bytes=2 * GB,
+            n_devices=2, device_steps=900,
+        )
+        piped = plan_stream_rounds(
+            200_000, 2.0, 3600.0, 2.0, "grid", budget_bytes=2 * GB,
+            n_devices=2, device_steps=900, queue_rounds=4,
+        )
+        assert piped.round_size <= base.round_size
+        assert piped.total_bytes <= 2 * GB
+
+    def test_queue_floor_never_starves_the_round(self):
+        sp = plan_stream_rounds(
+            1_000_000, 9.0, 3600.0, 2.0, "grid", budget_bytes=10**6,
+            n_devices=2, device_steps=100, queue_rounds=2,
+        )
+        assert sp.round_size == 1  # still degrades, never raises

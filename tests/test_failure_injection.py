@@ -269,6 +269,49 @@ class TestSharedMemoryHygiene:
         assert _shm_blocks() - before == set()
 
 
+class TestClosedCampaignResourceLeak:
+    """run_window after ScreeningCampaign.close() used to quietly respawn
+    the worker pool and heartbeat thread — resources nothing would ever
+    close again.  Post-close use must be a loud error and must not touch
+    /dev/shm."""
+
+    def test_post_close_run_window_leaks_nothing(self, crossing_pair):
+        import threading
+
+        from repro.ops.campaign import ScreeningCampaign
+
+        cfg = ScreeningConfig(
+            threshold_km=5.0, duration_s=300.0, seconds_per_sample=2.0
+        )
+        campaign = ScreeningCampaign(
+            crossing_pair, cfg, method="grid", n_devices=2,
+            executor="processes", heartbeat_s=3600.0,
+            heartbeat_sink=lambda line: None,
+        )
+        campaign.run_window()
+        campaign.close()
+        before_blocks = _shm_blocks()
+        before_threads = threading.active_count()
+        with pytest.raises(RuntimeError, match="closed"):
+            campaign.run_window()
+        assert campaign._pool is None
+        assert campaign._heartbeat is None
+        assert _shm_blocks() - before_blocks == set()
+        assert threading.active_count() == before_threads
+
+    def test_close_without_use_is_safe(self, crossing_pair):
+        from repro.ops.campaign import ScreeningCampaign
+
+        cfg = ScreeningConfig(
+            threshold_km=5.0, duration_s=300.0, seconds_per_sample=2.0
+        )
+        campaign = ScreeningCampaign(crossing_pair, cfg, method="grid")
+        campaign.close()
+        campaign.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            campaign.run_window()
+
+
 class TestRegrowSizing:
     """A batch far bigger than the capacity must regrow *once*, not log2 times."""
 
