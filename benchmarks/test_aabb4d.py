@@ -1,0 +1,187 @@
+"""Build-once 4D AABB-tree broad phase vs the per-step grid.
+
+Both arms run the full screen (ALLOC -> INS -> CD -> REF) over identical
+populations; only ``method`` differs.  The tree amortises ONE swept-box
+build over the whole window and propagates only coarse knots up front,
+so its win regime is *fine sampling over long windows in sparse
+populations*: the grid pays full-population propagation plus a grid
+rebuild at every one of the ~7200 steps, while the tree touches only the
+objects its broad phase could not exclude.  Measured and asserted:
+
+* **Byte-identical conjunction sets** — every repetition of every sweep
+  point compares i/j/tca/pca of both arms with exact array equality.
+* **Broad-phase (INS+CD) speedup gate** — >= 1.5x at the sparse
+  fine-sampling point (200 objects, 1 s sampling, 2 h window); >= 1.2x
+  at the CI smoke scale (``REPRO_BENCH_CHECK_ONLY=1``).
+* **Honest crossover rows** — denser populations shrink the win (the
+  narrow phase converges on the grid's full workload), and coarse
+  sampling *inverts* it: the sweep margin ``v_max * K * sps / 2`` fattens
+  every box until everything overlaps everything, and the grid wins.
+  Those rows are reported unguarded in the crossover table.
+
+Timings, speedups, occupancy rejection rates and tree/bitmap footprints
+land in ``benchmarks/results/BENCH_aabb.json``.
+"""
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.detection import ScreeningConfig, screen
+from repro.obs.perf import PerfLedger, expect
+from repro.population.generator import generate_population
+
+CHECK_ONLY = os.environ.get("REPRO_BENCH_CHECK_ONLY", "") == "1"
+
+THRESHOLD_KM = 2.0
+DURATION_S = 7200.0
+GATE_SPEEDUP = 1.5
+ROUNDS = 2
+# (label, n_objects, seconds_per_sample, gated).  The first row carries
+# the speedup gate; the rest document the decay and the inversion.
+SWEEP = (
+    ("sparse fine", 200, 1.0, True),
+    ("mid fine", 400, 1.0, False),
+    ("dense fine", 1000, 1.0, False),
+    ("mid coarse", 400, 60.0, False),
+)
+if CHECK_ONLY:
+    DURATION_S = 1800.0
+    GATE_SPEEDUP = 1.2
+    SWEEP = (
+        ("sparse fine", 200, 1.0, True),
+        ("mid coarse", 200, 60.0, False),
+    )
+
+_RESULTS: "dict[str, dict]" = {}
+#: Broad-phase seconds per repetition, gated min-of-k through repro.obs.perf.
+_LEDGER = PerfLedger()
+
+
+def _broad_phase_s(res):
+    """INS + CD from the screen's own phase timers: propagation plus
+    candidate emission, excluding the (identical-input) refinement."""
+    return res.timers.totals.get("INS", 0.0) + res.timers.totals.get("CD", 0.0)
+
+
+def _assert_bitwise_equal(a, b):
+    np.testing.assert_array_equal(a.i, b.i)
+    np.testing.assert_array_equal(a.j, b.j)
+    np.testing.assert_array_equal(a.tca_s, b.tca_s)
+    np.testing.assert_array_equal(a.pca_km, b.pca_km)
+
+
+@pytest.mark.parametrize("label,n,sps,gated", SWEEP, ids=[s[0] for s in SWEEP])
+def test_aabb4d_broad_phase(benchmark, label, n, sps, gated):
+    pop = generate_population(n, seed=7)
+    config = ScreeningConfig(
+        threshold_km=THRESHOLD_KM, duration_s=DURATION_S, seconds_per_sample=sps
+    )
+    keep: "dict[str, object]" = {}
+
+    def run():
+        grid = screen(pop, config, method="grid")
+        tree = screen(pop, config, method="aabb4d")
+        # The identity gate holds for every repetition, not just the
+        # reported one: the tree is a pure broad-phase optimisation.
+        _assert_bitwise_equal(grid, tree)
+        _LEDGER.add(label, "grid", _broad_phase_s(grid))
+        _LEDGER.add(label, "aabb4d", _broad_phase_s(tree))
+        keep["grid"], keep["tree"] = grid, tree
+        return tree
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=0)
+    grid_s = _LEDGER.best_s(label, "grid")
+    tree_s = _LEDGER.best_s(label, "aabb4d")
+    tree = keep["tree"]
+    _RESULTS[label] = {
+        "label": label,
+        "objects": n,
+        "seconds_per_sample": sps,
+        "gated": gated,
+        "grid_broad_s": grid_s,
+        "aabb4d_broad_s": tree_s,
+        "speedup": grid_s / tree_s if tree_s > 0 else float("inf"),
+        "conjunctions": int(len(tree.i)),
+        "n_boxes": tree.extra["n_boxes"],
+        "occupancy_rejection_rate": tree.extra["occupancy_rejection_rate"],
+        "box_pairs": tree.extra["box_pairs"],
+        "narrow_objects": tree.extra["narrow_objects"],
+        "tree_build_s": tree.extra["tree_build_seconds"],
+        "tree_query_s": tree.extra["tree_query_seconds"],
+        "tree_bytes": tree.extra["tree_bytes"],
+        "bitmap_bytes": tree.extra["bitmap_bytes"],
+    }
+    benchmark.extra_info.update(
+        objects=n, sps=sps,
+        grid_broad_s=round(grid_s, 4), aabb4d_broad_s=round(tree_s, 4),
+        speedup=round(_RESULTS[label]["speedup"], 3),
+    )
+
+
+def test_aabb4d_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sweep = [_RESULTS[s[0]] for s in SWEEP]
+
+    mode = " (check-only smoke)" if CHECK_ONLY else ""
+    report.section(
+        f"Build-once 4D AABB-tree broad phase{mode} - threshold "
+        f"{THRESHOLD_KM} km, {DURATION_S:.0f} s window"
+    )
+    header = ["regime", "n", "sps", "grid INS+CD", "tree INS+CD",
+              "speedup", "occ. reject", "gate"]
+    rows = [
+        [
+            r["label"],
+            r["objects"],
+            r["seconds_per_sample"],
+            f"{r['grid_broad_s']:.3f}s",
+            f"{r['aabb4d_broad_s']:.3f}s",
+            f"{r['speedup']:.2f}x",
+            f"{r['occupancy_rejection_rate']:.0%}",
+            f">={GATE_SPEEDUP}x" if r["gated"] else "-",
+        ]
+        for r in sweep
+    ]
+    report.table(header, rows)
+    report.row(
+        "  crossover: density shrinks the win (narrow phase converges on "
+        "the grid's workload); coarse sampling inverts it (the sweep "
+        "margin v_max*K*sps/2 fattens every box) - the grid stays the "
+        "right default there"
+    )
+
+    payload = {
+        "check_only": CHECK_ONLY,
+        "scenario": {
+            "threshold_km": THRESHOLD_KM,
+            "duration_s": DURATION_S,
+            "population_seed": 7,
+        },
+        "gate_speedup": GATE_SPEEDUP,
+        "gate_regime": SWEEP[0][0],
+        "sweep": sweep,
+        "identical_conjunctions": True,  # asserted per repetition above
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_aabb.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Correctness gates (always on): the prefilter really rejected boxes
+    # somewhere in the sweep and the footprints are priced.
+    gated = sweep[0]
+    assert gated["tree_bytes"] > 0 and gated["bitmap_bytes"] > 0
+    assert gated["narrow_objects"] <= gated["objects"]
+    assert any(r["occupancy_rejection_rate"] > 0.0 for r in sweep)
+
+    # Performance gate: min-of-k broad-phase speedup in the sparse
+    # fine-sampling regime (rtol 0 - the threshold already encodes the
+    # expected margin).
+    gate = (
+        expect(_LEDGER).phase(SWEEP[0][0]).speedup_vs("grid", "aabb4d")
+        >= GATE_SPEEDUP
+    )
+    assert gate, gate

@@ -96,7 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_plan = sub.add_parser("plan", help="print the V-B memory plan")
     p_plan.add_argument("--objects", type=int, required=True)
     p_plan.add_argument("--budget-gb", type=float, default=24.0)
-    p_plan.add_argument("--variant", choices=("grid", "hybrid"), default="hybrid")
+    p_plan.add_argument("--variant", choices=("grid", "hybrid", "aabb4d"), default="hybrid")
     p_plan.add_argument("--threshold-km", type=float, default=2.0)
     p_plan.add_argument("--duration-s", type=float, default=3600.0)
     p_plan.add_argument("--sps", type=float, default=9.0)
@@ -303,6 +303,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     print(f"  solver data        : {plan.solver_bytes / 2**20:10.2f} MiB")
     print(f"  conjunction map    : {plan.conjunction_map_bytes / 2**20:10.2f} MiB "
           f"({plan.conjunction_map_slots} slots)")
+    if plan.tree_bytes or plan.bitmap_bytes:
+        print(f"  4D AABB tree       : {plan.tree_bytes / 2**20:10.2f} MiB")
+        print(f"  occupancy bitmap   : {plan.bitmap_bytes / 2**20:10.2f} MiB")
     print(f"  per-grid instance  : {plan.per_grid_bytes / 2**20:10.2f} MiB")
     print(f"  parallel steps (p) : {plan.parallel_steps}")
     print(f"  total samples  (o) : {plan.total_samples}")

@@ -4,9 +4,12 @@
 * :mod:`repro.detection.gridbased` — the purely grid-based variant.
 * :mod:`repro.detection.hybrid` — grid prefilter + classical orbital filters.
 * :mod:`repro.detection.kdtree_variant` — the Kd-tree comparator of [29].
+* :mod:`repro.detection.aabb4d_variant` — the build-once 4D AABB-tree
+  broad phase with the occupancy prefilter (Bak & Hobbs; Rivero et al.).
 * :mod:`repro.detection.cube` — the statistical Cube method of [21].
 * :mod:`repro.detection.api` — the top-level :func:`screen` entry point.
 """
+from repro.detection.aabb4d_variant import screen_aabb4d
 from repro.detection.api import screen
 from repro.detection.brent import BrentResult, brent_minimize, golden_minimize_batch
 from repro.detection.cube import CubeEstimate, cube_estimate
@@ -26,6 +29,7 @@ __all__ = [
     "cube_estimate",
     "golden_minimize_batch",
     "screen",
+    "screen_aabb4d",
     "screen_grid",
     "screen_hybrid",
     "screen_kdtree",

@@ -1,0 +1,264 @@
+"""Build-once 4D AABB-tree screening variant with an occupancy prefilter.
+
+The grids rebuild their spatial structure at every sampling step; this
+variant builds **one** structure per screening window (Bak & Hobbs, arxiv
+1901.10475) and removes the per-step build from the hot path entirely:
+
+1. **Broad phase** (INS + CD): propagate float64 positions only at coarse
+   *knots* (every ``config.aabb_knot_steps`` steps), wrap each object's
+   motion over each knot interval in an error-bounded swept AABB
+   (:func:`repro.spatial.aabb4d.swept_boxes`), reject provably-isolated
+   boxes with the Rivero-style altitude-shell occupancy bitmap
+   (:class:`repro.filters.occupancy.OccupancyBitmap`), and collect the
+   surviving boxes' overlaps from one 4D tree self-query.
+2. **Narrow phase**: only objects named by some box pair are propagated
+   at full sampling resolution (under the config's precision policy), and
+   a pair is emitted for a step exactly when the grid's cell-adjacency
+   criterion holds — :func:`repro.spatial.vectorgrid.compute_cell_coords`
+   is shared with the grids, so the emitted ``(i, j, step)`` records are
+   the grids' records, byte for byte.
+3. **REF** is the grid variant's refinement verbatim.
+
+Because the swept boxes are padded by one (precision-padded) grid cell
+plus the sweep margin, every grid-adjacent pair's boxes overlap (DESIGN.md
+§14), making the broad phase a strict superset of the grid's candidates —
+completeness comes from geometry, equality from the shared narrow-phase
+quantiser.  The differential suite in ``tests/detection/test_aabb4d.py``
+pins byte-identical final conjunction sets against the grid oracle across
+{sorted, hashmap} × {fp64, mixed} × {serial, processes}.
+"""
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from repro.detection.gridbased import _make_conjmap, _regrow, refine_records, sieve_records
+from repro.detection.pca_tca import interval_radii, merge_conjunctions
+from repro.detection.types import ScreeningConfig, ScreeningResult
+from repro.filters.occupancy import OccupancyBitmap
+from repro.obs.collect import observe_conjmap
+from repro.obs.tracer import NULL_TRACER
+from repro.orbits.elements import OrbitalElementsArray
+from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer
+from repro.perfmodel.memory import plan_memory
+from repro.spatial.aabb4d import AABB4DTree, knot_schedule, max_speed_kms, swept_boxes
+from repro.spatial.grid import cell_size_km, fp32_cell_pad_km
+from repro.spatial.hashmap import HashMapFullError
+from repro.spatial.vectorgrid import compute_cell_coords
+
+
+def screen_aabb4d(
+    population: OrbitalElementsArray,
+    config: ScreeningConfig,
+    tracer=NULL_TRACER,
+    metrics=None,
+) -> ScreeningResult:
+    """Build-once counterpart of :func:`repro.detection.gridbased.screen_grid`.
+
+    Emits the same conjunction records as the grid oracle (and therefore
+    byte-identical refined results); the win is the broad phase, which
+    propagates ``~n_steps / aabb_knot_steps`` knot positions instead of
+    every object at every step and builds one tree instead of one grid
+    per step.  ``tracer`` / ``metrics`` are threaded like every other
+    variant: phase spans ride the timer, the occupancy prefilter and tree
+    stages land in the ``screen`` funnel.
+    """
+    if tracer is None:
+        tracer = NULL_TRACER
+    timers = PhaseTimer(tracer=tracer)
+    n = len(population)
+
+    with timers.phase("ALLOC"):
+        cell = cell_size_km(
+            config.threshold_km, config.seconds_per_sample, precision=config.precision
+        )
+        ref_cell = cell_size_km(config.threshold_km, config.seconds_per_sample)
+        times = config.sample_times()
+        n_steps = len(times)
+        conj = _make_conjmap(n, config, "aabb4d", config.seconds_per_sample)
+        knots, starts, ends = knot_schedule(n_steps, config.aabb_knot_steps)
+        n_intervals = len(starts)
+        plan = None
+        if config.memory_budget_bytes is not None:
+            plan = plan_memory(
+                n,
+                config.seconds_per_sample,
+                config.duration_s,
+                config.threshold_km,
+                "aabb4d",
+                config.memory_budget_bytes,
+                auto_adjust=False,
+                precision=config.precision,
+                knot_steps=config.aabb_knot_steps,
+                occupancy_shell_km=config.occupancy_shell_km,
+            )
+
+    # ---- Broad phase: knot propagation + swept boxes (the INS analogue).
+    with timers.phase("INS"):
+        # Knots are always float64: the sweep margin must bound the true
+        # (reference) motion, and the float32 binning deviation is covered
+        # by the same PR-5 pad the mixed-precision grid uses.
+        knot_prop = Propagator(population, solver=config.solver)
+        knot_positions = knot_prop.positions_batch(times[knots])
+        pad = cell
+        if config.precision == "mixed":
+            pad += fp32_cell_pad_km()
+        interval_dt = times[ends] - times[starts]
+        lo, hi, box_interval, box_obj = swept_boxes(
+            knot_positions, interval_dt, max_speed_kms(population), pad
+        )
+
+    # ---- Broad phase: occupancy prefilter + one tree build + self-query.
+    with timers.phase("CD"):
+        bitmap = OccupancyBitmap(
+            lo, hi, box_interval, n_intervals, config.occupancy_shell_km
+        )
+        active = bitmap.active_mask()
+        n_boxes = len(lo)
+        n_active = int(active.sum())
+
+        t0 = _time.perf_counter()
+        tree = AABB4DTree(lo, hi, box_interval)
+        build_seconds = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        box_a, box_b = tree.query_self_pairs(active)
+        query_seconds = _time.perf_counter() - t0
+
+        # Boxes are interval-major (k * n + o): recover interval + objects
+        # and group the candidate pairs by knot interval for the narrow
+        # sweep below.  Same-interval overlap is guaranteed by the 4th
+        # tree dimension.
+        pair_interval = box_a // n
+        cand_i = box_a % n
+        cand_j = box_b % n
+        order = np.argsort(pair_interval, kind="stable")
+        pair_interval = pair_interval[order]
+        cand_i = cand_i[order]
+        cand_j = cand_j[order]
+        group_edges = np.searchsorted(pair_interval, np.arange(n_intervals + 1))
+
+        involved = np.unique(np.concatenate([cand_i, cand_j]))
+
+    # ---- Narrow phase: full-resolution sweep of only the involved
+    # objects, interval by interval, emitting via the grids' quantiser.
+    pairs_emitted = 0
+    lanes_checked = 0
+    if len(involved):
+        with timers.phase("INS"):
+            sub_population = population.subset(involved)
+            sub_prop = Propagator(
+                sub_population, solver=config.solver, precision=config.precision
+            )
+        sub_i = np.searchsorted(involved, cand_i)
+        sub_j = np.searchsorted(involved, cand_j)
+        for k in range(n_intervals):
+            g0, g1 = group_edges[k], group_edges[k + 1]
+            if g0 == g1:
+                continue
+            # Interval k owns steps [starts[k], ends[k]) half-open — the
+            # last interval also owns its end — so each step is checked
+            # exactly once across intervals (see knot_schedule).
+            s0 = int(starts[k])
+            s1 = int(ends[k]) + (1 if k == n_intervals - 1 else 0)
+            with timers.phase("INS"):
+                positions = sub_prop.positions_batch(times[s0:s1])
+            with timers.phase("CD"):
+                coords = compute_cell_coords(positions, cell)
+                pi = sub_i[g0:g1]
+                pj = sub_j[g0:g1]
+                delta = np.abs(coords[:, pi, :] - coords[:, pj, :]).max(axis=2)
+                step_idx, pair_idx = np.nonzero(delta <= 1)
+                lanes_checked += delta.size
+                gi = cand_i[g0:g1][pair_idx]
+                gj = cand_j[g0:g1][pair_idx]
+                gs = s0 + step_idx
+                while True:
+                    try:
+                        conj.insert_batch(gi, gj, gs)
+                        break
+                    except HashMapFullError:
+                        conj = _regrow(conj, incoming=len(gi), metrics=metrics)
+                pairs_emitted += len(gi)
+
+    # ---- REF: the grid variant's refinement, verbatim.
+    with timers.phase("REF"):
+        rec_i, rec_j, rec_step = conj.records()
+        n_records = len(rec_i)
+        centers = times[rec_step]
+        radii = interval_radii(population, rec_i, rec_j, ref_cell)
+        sieved_away = 0
+        if config.use_smart_sieve and len(rec_i):
+            sieve_prop = Propagator(
+                population, solver=config.solver, precision=config.precision
+            )
+            keep = sieve_records(
+                sieve_prop, rec_i, rec_j, centers, radii, config.threshold_km
+            )
+            sieved_away = int((~keep).sum())
+            rec_i, rec_j = rec_i[keep], rec_j[keep]
+            centers, radii = centers[keep], radii[keep]
+        i, j, tca, pca = refine_records(
+            population, rec_i, rec_j, centers, radii, config, "vectorized",
+            telemetry=timers.ref,
+        )
+        raw_hits = len(i)
+        i, j, tca, pca = merge_conjunctions(i, j, tca, pca, config.tca_merge_tol_s)
+
+    occupancy_rejection = 1.0 - (n_active / n_boxes) if n_boxes else 0.0
+    if metrics is not None:
+        observe_conjmap(metrics, conj)
+        metrics.counter("cd.pairs_emitted").add(pairs_emitted)
+        metrics.counter("aabb.boxes").add(n_boxes)
+        metrics.counter("aabb.boxes_active").add(n_active)
+        metrics.counter("aabb.box_pairs").add(len(box_a))
+        metrics.counter(f"screen.precision_{config.precision}").add(1)
+        funnel = metrics.funnel("screen")
+        funnel.record("occupancy", n_boxes, n_active)
+        funnel.record("tree", n_active, len(box_a))
+        # Chained in candidate units so the funnel self-check holds:
+        # box pairs fan out into per-step lanes inside the narrow stage.
+        metrics.counter("cd.lanes_checked").add(lanes_checked)
+        funnel.record("narrow", len(box_a), pairs_emitted)
+        funnel.record("emit", pairs_emitted, n_records)
+        funnel.record("sieve", n_records, n_records - sieved_away)
+        funnel.record("refine", n_records - sieved_away, raw_hits)
+        funnel.record("merge", raw_hits, len(i))
+
+    return ScreeningResult(
+        method="aabb4d",
+        backend="vectorized",
+        i=i,
+        j=j,
+        tca_s=tca,
+        pca_km=pca,
+        candidates_refined=len(rec_i),
+        timers=timers,
+        metrics=metrics,
+        extra={
+            "cell_size_km": cell,
+            "ref_cell_size_km": ref_cell,
+            "precision": config.precision,
+            "schedule": "barrier",
+            "n_steps": n_steps,
+            "knot_steps": config.aabb_knot_steps,
+            "n_intervals": n_intervals,
+            "n_boxes": n_boxes,
+            "n_boxes_active": n_active,
+            "occupancy_rejection_rate": occupancy_rejection,
+            "occupancy_shell_km": config.occupancy_shell_km,
+            "box_pairs": len(box_a),
+            "narrow_objects": len(involved),
+            "tree_build_seconds": build_seconds,
+            "tree_query_seconds": query_seconds,
+            "tree_bytes": tree.memory_bytes,
+            "bitmap_bytes": bitmap.memory_bytes,
+            "conjunction_map_capacity": conj.capacity,
+            "conjunction_records": conj.size,
+            "memory_plan": plan,
+            "sieved_records": sieved_away,
+            "ref_telemetry": timers.ref.as_dict(),
+        },
+    )

@@ -1,6 +1,7 @@
 """Top-level screening entry point."""
 from __future__ import annotations
 
+from repro.detection.aabb4d_variant import screen_aabb4d
 from repro.detection.gridbased import screen_grid
 from repro.detection.hybrid import screen_hybrid
 from repro.detection.kdtree_variant import screen_kdtree
@@ -11,8 +12,9 @@ from repro.orbits.elements import OrbitalElementsArray
 
 #: The implemented screening methods.  ``grid``/``hybrid`` are the paper's
 #: contributions, ``legacy`` its baseline, ``kdtree`` the related-work
-#: comparator of [29].
-METHODS = ("grid", "hybrid", "legacy", "kdtree")
+#: comparator of [29], ``aabb4d`` the build-once 4D-tree broad phase
+#: (Bak & Hobbs) with the Rivero-style occupancy prefilter.
+METHODS = ("grid", "hybrid", "legacy", "kdtree", "aabb4d")
 
 
 def screen(
@@ -66,7 +68,7 @@ def screen(
         tracer = NULL_TRACER
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-    if config.schedule == "pipelined" and method in ("legacy", "kdtree"):
+    if config.schedule == "pipelined" and method in ("legacy", "kdtree", "aabb4d"):
         raise ValueError(
             f"schedule='pipelined' is only implemented for the grid/hybrid "
             f"variants; method={method!r} runs barrier-only"
@@ -84,4 +86,6 @@ def screen(
             )
         if method == "legacy":
             return screen_legacy(population, config, tracer=tracer, metrics=metrics)
+        if method == "aabb4d":
+            return screen_aabb4d(population, config, tracer=tracer, metrics=metrics)
         return screen_kdtree(population, config, tracer=tracer, metrics=metrics)

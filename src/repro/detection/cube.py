@@ -26,8 +26,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import TWO_PI
+from repro.obs.tracer import NULL_TRACER
 from repro.orbits.elements import OrbitalElementsArray
 from repro.orbits.propagation import Propagator
+from repro.parallel.backend import PhaseTimer
 from repro.spatial.vectorgrid import SortedGrid
 
 
@@ -56,6 +58,8 @@ def cube_estimate(
     n_samples: int = 200,
     collision_radius_km: float = 2.0,
     seed: "int | None" = None,
+    tracer=NULL_TRACER,
+    metrics=None,
 ) -> CubeEstimate:
     """Run the Cube method over a population.
 
@@ -63,6 +67,13 @@ def cube_estimate(
     every object (the method's defining randomisation), bins positions
     into cubes of ``cube_size_km`` via the library's sorted grid, and adds
     ``v_rel * sigma / dU`` for every cohabiting pair.
+
+    ``tracer`` / ``metrics`` are the ``repro.obs`` instruments every other
+    detection entry point already takes: the run emits ``phase:INS``
+    (anomaly randomisation + propagation) and ``phase:CD`` (binning +
+    rate accumulation) spans under a ``cube`` span, plus the ``screen``
+    candidate funnel (grid pairs → same-cube pairs → distinct rated
+    pairs) and a ``cube.samples`` counter.
     """
     if cube_size_km <= 0.0:
         raise ValueError(f"cube size must be positive, got {cube_size_km}")
@@ -70,43 +81,64 @@ def cube_estimate(
         raise ValueError(f"n_samples must be positive, got {n_samples}")
     if collision_radius_km <= 0.0:
         raise ValueError(f"collision radius must be positive, got {collision_radius_km}")
+    if tracer is None:
+        tracer = NULL_TRACER
     rng = np.random.default_rng(seed)
     n = len(population)
     sigma = np.pi * collision_radius_km**2  # collision cross-section, km^2
     du = cube_size_km**3
     ids = np.arange(n, dtype=np.int64)
+    timers = PhaseTimer(tracer=tracer)
+    grid_pairs = 0
+    cohabiting_pairs = 0
 
     pair_rates: "dict[tuple[int, int], float]" = {}
-    for _ in range(n_samples):
-        randomized = OrbitalElementsArray(
-            a=population.a,
-            e=population.e,
-            i=population.i,
-            raan=population.raan,
-            argp=population.argp,
-            m0=rng.uniform(0.0, TWO_PI, size=n),
-        )
-        prop = Propagator(randomized)
-        pos, vel = prop.states(0.0)
-        grid = SortedGrid(cube_size_km)
-        grid.build(ids, pos)
-        # Cube uses *same-cube* cohabitation only (no neighbourhoods):
-        # reuse the grid's intra-cell machinery by dropping cross pairs.
-        pi, pj = grid.candidate_pairs()
-        if len(pi) == 0:
-            continue
-        same_cube = (
-            np.all(np.floor(pos[pi] / cube_size_km) == np.floor(pos[pj] / cube_size_km), axis=1)
-        )
-        pi, pj = pi[same_cube], pj[same_cube]
-        v_rel = np.linalg.norm(vel[pi] - vel[pj], axis=1)
-        rates = v_rel * sigma / du
-        for a, b, r in zip(pi.tolist(), pj.tolist(), rates.tolist()):
-            key = (a, b)
-            pair_rates[key] = pair_rates.get(key, 0.0) + r
+    with tracer.span("cube", objects=n, samples=n_samples):
+        for _ in range(n_samples):
+            with timers.phase("INS"):
+                randomized = OrbitalElementsArray(
+                    a=population.a,
+                    e=population.e,
+                    i=population.i,
+                    raan=population.raan,
+                    argp=population.argp,
+                    m0=rng.uniform(0.0, TWO_PI, size=n),
+                )
+                prop = Propagator(randomized)
+                pos, vel = prop.states(0.0)
+            with timers.phase("CD"):
+                grid = SortedGrid(cube_size_km)
+                grid.build(ids, pos)
+                # Cube uses *same-cube* cohabitation only (no
+                # neighbourhoods): reuse the grid's intra-cell machinery
+                # by dropping cross pairs.
+                pi, pj = grid.candidate_pairs()
+                grid_pairs += len(pi)
+                if len(pi) == 0:
+                    continue
+                same_cube = (
+                    np.all(
+                        np.floor(pos[pi] / cube_size_km)
+                        == np.floor(pos[pj] / cube_size_km),
+                        axis=1,
+                    )
+                )
+                pi, pj = pi[same_cube], pj[same_cube]
+                cohabiting_pairs += len(pi)
+                v_rel = np.linalg.norm(vel[pi] - vel[pj], axis=1)
+                rates = v_rel * sigma / du
+                for a, b, r in zip(pi.tolist(), pj.tolist(), rates.tolist()):
+                    key = (a, b)
+                    pair_rates[key] = pair_rates.get(key, 0.0) + r
 
     # Average over samples.
     pair_rates = {k: v / n_samples for k, v in pair_rates.items()}
+    if metrics is not None:
+        metrics.counter("cube.samples").add(n_samples)
+        metrics.counter("cd.pairs_emitted").add(cohabiting_pairs)
+        funnel = metrics.funnel("screen")
+        funnel.record("same_cube", grid_pairs, cohabiting_pairs)
+        funnel.record("rate", cohabiting_pairs, len(pair_rates))
     return CubeEstimate(
         total_rate_per_s=float(sum(pair_rates.values())),
         pair_rates=pair_rates,

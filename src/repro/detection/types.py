@@ -100,6 +100,16 @@ class ScreeningConfig:
     #: synchronously after each round — no overlap, but the identical
     #: chunk stream, which makes it the differential reference.
     pipeline_consumer: str = "thread"
+    #: Sampling steps per knot interval of the ``aabb4d`` broad phase:
+    #: each (object, interval) swept box covers this many steps, so the
+    #: broad phase propagates ~1/aabb_knot_steps as many positions as the
+    #: grids' INS.  Larger values cheapen the build but inflate the boxes
+    #: (sweep margin grows with the knot spacing), admitting more
+    #: candidates into the narrow phase.
+    aabb_knot_steps: int = 32
+    #: Altitude-shell thickness of the ``aabb4d`` occupancy prefilter, km
+    #: (:class:`repro.filters.occupancy.OccupancyBitmap`).
+    occupancy_shell_km: float = 50.0
 
     def __post_init__(self) -> None:
         if self.threshold_km <= 0.0:
@@ -131,6 +141,14 @@ class ScreeningConfig:
         if self.pipeline_consumer not in ("thread", "inline"):
             raise ValueError(
                 f"pipeline_consumer must be 'thread' or 'inline', got {self.pipeline_consumer!r}"
+            )
+        if self.aabb_knot_steps < 1:
+            raise ValueError(
+                f"aabb_knot_steps must be >= 1, got {self.aabb_knot_steps}"
+            )
+        if self.occupancy_shell_km <= 0.0:
+            raise ValueError(
+                f"occupancy_shell_km must be positive, got {self.occupancy_shell_km}"
             )
         if self.schedule == "pipelined" and self.use_smart_sieve:
             raise ValueError(

@@ -19,7 +19,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.constants import SIM_HALF_EXTENT
+from repro.filters.occupancy import DEFAULT_SHELL_KM
 from repro.perfmodel.extrap import paper_conjunction_model
+from repro.spatial.aabb4d import DEFAULT_KNOT_STEPS
 from repro.spatial.hashing import MAX_ROUND_STEPS
 
 #: Bytes per satellite for the initial element data ``a_s``: six float64
@@ -109,6 +112,56 @@ def coherence_budget_bytes(
     return budget
 
 
+def _next_pow2(x: int) -> int:
+    return 1 if x <= 1 else 1 << (x - 1).bit_length()
+
+
+def aabb_interval_count(total_samples: int, knot_steps: int = DEFAULT_KNOT_STEPS) -> int:
+    """Knot intervals of one ``aabb4d`` window — mirrors ``knot_schedule``."""
+    if total_samples < 2:
+        raise ValueError(f"need at least 2 samples, got {total_samples}")
+    if knot_steps < 1:
+        raise ValueError(f"knot_steps must be >= 1, got {knot_steps}")
+    return int(math.ceil((total_samples - 1) / knot_steps))
+
+
+def aabb_tree_bytes(
+    n_satellites: int, total_samples: int, knot_steps: int = DEFAULT_KNOT_STEPS
+) -> int:
+    """Planned footprint of the build-once 4D AABB tree.
+
+    One box per (object, knot interval); the implicit complete binary
+    tree pads the leaf count to a power of two and stores per node two
+    float64 4-vectors (lo/hi) plus an int64 max-leaf-order, and one int64
+    permutation lane per box — exactly ``AABB4DTree.memory_bytes``, priced
+    in advance so :func:`plan_memory` can charge it as a fixed allocation.
+    """
+    boxes = n_satellites * aabb_interval_count(total_samples, knot_steps)
+    leaves = _next_pow2(max(boxes, 1))
+    node_bytes = 2 * leaves * (2 * 4 * 8 + 8)
+    return node_bytes + boxes * 8
+
+
+def occupancy_bitmap_bytes(
+    n_satellites: int,
+    total_samples: int,
+    knot_steps: int = DEFAULT_KNOT_STEPS,
+    shell_km: float = DEFAULT_SHELL_KM,
+) -> int:
+    """Planned footprint of the occupancy prefilter's histogram.
+
+    The (interval × shell) crowded-prefix table (int32) plus the three
+    per-box int64 lanes (shell range and interval id) — mirrors
+    ``OccupancyBitmap.memory_bytes``.
+    """
+    if shell_km <= 0.0:
+        raise ValueError(f"shell thickness must be positive, got {shell_km}")
+    n_intervals = aabb_interval_count(total_samples, knot_steps)
+    n_shells = int(math.sqrt(3.0) * SIM_HALF_EXTENT / shell_km) + 1
+    boxes = n_satellites * n_intervals
+    return n_intervals * (n_shells + 1) * 4 + 3 * boxes * 8
+
+
 def grid_instance_bytes(n_satellites: int, precision: str = "fp64") -> int:
     """Footprint of one per-step grid instance: ``a_gh + a_l``.
 
@@ -163,8 +216,12 @@ def conjunction_capacity(
 
     One doubling is the usual open-addressing headroom; the second absorbs
     the population-dependence the Extra-P base model cannot capture.
+
+    The ``aabb4d`` variant emits the grid's records by construction (its
+    narrow phase shares the grid's cell quantiser), so it is priced with
+    the grid's Extra-P model.
     """
-    model = paper_conjunction_model(variant)
+    model = paper_conjunction_model("grid" if variant == "aabb4d" else variant)
     c_prime = model.predict(
         n=float(n_satellites), s=seconds_per_sample, t=duration_s, d=threshold_km
     )
@@ -199,6 +256,12 @@ class MemoryPlan:
     #: "mixed"); fixed allocations (elements, solver data, conjunction map)
     #: stay float64 under both.
     precision: str = "fp64"
+    #: Build-once structures of the ``aabb4d`` variant (zero for the
+    #: grid/hybrid variants): the 4D tree's node arrays and the occupancy
+    #: prefilter's histogram, both resident for the whole window and
+    #: therefore charged as fixed allocations.
+    tree_bytes: int = 0
+    bitmap_bytes: int = 0
 
     @property
     def per_grid_bytes(self) -> int:
@@ -236,7 +299,13 @@ class MemoryPlan:
 
     @property
     def fixed_bytes(self) -> int:
-        return self.satellite_bytes + self.solver_bytes + self.conjunction_map_bytes
+        return (
+            self.satellite_bytes
+            + self.solver_bytes
+            + self.conjunction_map_bytes
+            + self.tree_bytes
+            + self.bitmap_bytes
+        )
 
     @property
     def total_bytes(self) -> int:
@@ -258,6 +327,8 @@ def _plan_once(
     conj_slots: "int | None" = None,
     total_samples: "int | None" = None,
     precision: str = "fp64",
+    knot_steps: int = DEFAULT_KNOT_STEPS,
+    occupancy_shell_km: float = DEFAULT_SHELL_KM,
 ) -> MemoryPlan:
     """One planning pass.  ``conj_slots`` / ``total_samples`` override the
     duration-derived defaults for device shards, whose conjunction map and
@@ -265,7 +336,9 @@ def _plan_once(
 
     ``precision`` prices the per-grid byte costs by dtype; the fixed
     allocations (float64 elements, solver data, the 64-bit-record
-    conjunction map) are precision-independent."""
+    conjunction map) are precision-independent.  For ``variant="aabb4d"``
+    the build-once tree and occupancy histogram are charged as additional
+    fixed allocations before the per-round free space is divided."""
     slot_b = SLOT_BYTES_MIXED if precision == "mixed" else SLOT_BYTES
     entry_b = ENTRY_BYTES_MIXED if precision == "mixed" else ENTRY_BYTES
     a_s = n * SATELLITE_RECORD_BYTES
@@ -275,12 +348,17 @@ def _plan_once(
     a_ch = conj_slots * SLOT_BYTES
     a_gh = 2 * n * slot_b
     a_l = n * entry_b
-    free = budget_bytes - a_s - a_k - a_ch
-    p = max(int(free // (a_gh + a_l)), 0)
     if total_samples is None:
         o = max(int(math.ceil(duration_s / seconds_per_sample)) + 1, 2)
     else:
         o = int(total_samples)
+    a_tree = 0
+    a_bitmap = 0
+    if variant == "aabb4d" and o >= 2:
+        a_tree = aabb_tree_bytes(n, o, knot_steps)
+        a_bitmap = occupancy_bitmap_bytes(n, o, knot_steps, occupancy_shell_km)
+    free = budget_bytes - a_s - a_k - a_ch - a_tree - a_bitmap
+    p = max(int(free // (a_gh + a_l)), 0)
     r_c = int(math.ceil(o / p)) if p > 0 else 0
     return MemoryPlan(
         n_satellites=n,
@@ -298,6 +376,8 @@ def _plan_once(
         total_samples=o,
         computation_rounds=r_c,
         precision=precision,
+        tree_bytes=a_tree,
+        bitmap_bytes=a_bitmap,
     )
 
 
@@ -311,6 +391,8 @@ def plan_memory(
     auto_adjust: bool = True,
     target_parallel: int = TARGET_PARALLEL_FACTOR,
     precision: str = "fp64",
+    knot_steps: int = DEFAULT_KNOT_STEPS,
+    occupancy_shell_km: float = DEFAULT_SHELL_KM,
 ) -> MemoryPlan:
     """Plan a run's memory, optionally auto-reducing ``s_ps``.
 
@@ -334,14 +416,16 @@ def plan_memory(
     sps = seconds_per_sample
     plan = _plan_once(
         n_satellites, sps, duration_s, threshold_km, variant, budget_bytes,
-        precision=precision,
+        precision=precision, knot_steps=knot_steps,
+        occupancy_shell_km=occupancy_shell_km,
     )
     if auto_adjust:
         while plan.parallel_steps < min(target_parallel, plan.total_samples) and sps > 1.0:
             sps = max(sps - 1.0, 1.0)
             plan = _plan_once(
                 n_satellites, sps, duration_s, threshold_km, variant, budget_bytes,
-                precision=precision,
+                precision=precision, knot_steps=knot_steps,
+                occupancy_shell_km=occupancy_shell_km,
             )
     if plan.parallel_steps == 0:
         raise ValueError(
@@ -460,6 +544,8 @@ def plan_stream_rounds(
     requested_round_size: "int | None" = None,
     precision: str = "fp64",
     queue_rounds: int = 0,
+    knot_steps: int = DEFAULT_KNOT_STEPS,
+    occupancy_shell_km: float = DEFAULT_SHELL_KM,
 ) -> StreamPlan:
     """Plan one device shard's streamed rounds under a byte budget.
 
@@ -495,6 +581,8 @@ def plan_stream_rounds(
         conj_slots=conj_slots,
         total_samples=device_steps,
         precision=precision,
+        knot_steps=knot_steps,
+        occupancy_shell_km=occupancy_shell_km,
     )
     pos_bytes = position_step_bytes(n_satellites, precision)
     free = budget_bytes - plan.fixed_bytes

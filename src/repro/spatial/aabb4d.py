@@ -1,0 +1,275 @@
+"""A build-once 4D (space × time-interval) AABB tree over swept boxes.
+
+Bak & Hobbs (arxiv 1901.10475) screen n-to-n by building a 4D AABB tree
+**once per window** over each object's swept bounds instead of rebuilding a
+spatial structure every sampling step.  This module is that structure on
+this library's substrate:
+
+* The window's sampling steps are split into *knot intervals* of
+  ``knot_steps`` steps.  Positions are propagated only at the knots; the
+  swept box of one (object, interval) is the AABB of its two knot
+  positions padded by an error-bounded sweep margin (max-speed × half the
+  knot spacing) plus the broad-phase pairing margin (one grid cell, and
+  the PR-5 float32 pad under the mixed-precision policy).
+* The tree is array-backed (struct-of-arrays, no per-node Python
+  objects): an implicit complete binary tree whose leaves are the boxes
+  sorted by (interval, Morton code), with node bounds computed bottom-up
+  by one vectorised min/max reduction per level.  The fourth dimension is
+  the knot-interval index, carried in the same ``(lo, hi)`` arrays as the
+  spatial axes, so internal nodes prune by time exactly like they prune
+  by space.
+* :meth:`AABB4DTree.query_self_pairs` answers the batched n-to-n
+  self-overlap query with a level-synchronous frontier traversal — every
+  iteration is a handful of fused array ops over the whole frontier.
+
+The guarantee the detection variant builds on: if two objects are within
+``2 * cell`` of each other (∞-norm) at any sample step of an interval —
+the farthest apart two grid-adjacent satellites can be — their two boxes
+for that interval overlap, so the tree's candidate set is a superset of
+the grid's cell-adjacency emissions (DESIGN.md §14).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import MU_EARTH, SIM_HALF_EXTENT
+
+#: Default sampling steps per knot interval: one box covers this many
+#: steps, so propagation during the broad phase is this factor cheaper
+#: than the grids' every-object-every-step INS.
+DEFAULT_KNOT_STEPS = 32
+
+#: Bits per axis of the leaf-ordering Morton code.
+_MORTON_BITS = 10
+_MORTON_RANGE = 1 << _MORTON_BITS
+
+
+def max_speed_kms(population) -> np.ndarray:
+    """Per-object speed bound: the vis-viva speed at perigee, km/s.
+
+    On a Keplerian orbit the speed is maximal at perigee, so
+    ``sqrt(mu * (2/r_p - 1/a))`` bounds how far an object can drift from a
+    propagated knot over a known time span — the sweep-margin input.
+    """
+    r_p = population.perigee
+    return np.sqrt(MU_EARTH * (2.0 / r_p - 1.0 / population.a))
+
+
+def knot_schedule(n_steps: int, knot_steps: int):
+    """Split a window's step indices into knot intervals.
+
+    Returns ``(knots, starts, ends)``: the global step indices of the
+    knots (interval edges, including the final step) and per-interval
+    inclusive start/end step indices with ``ends[k] == starts[k + 1]``.
+    Interval ``k`` *owns* steps ``[starts[k], ends[k])`` half-open — the
+    last interval additionally owns its end — so the intervals partition
+    the window's steps exactly once.
+    """
+    if n_steps < 2:
+        raise ValueError(f"need at least 2 sampling steps, got {n_steps}")
+    if knot_steps < 1:
+        raise ValueError(f"knot_steps must be >= 1, got {knot_steps}")
+    starts = np.arange(0, n_steps - 1, knot_steps, dtype=np.int64)
+    ends = np.minimum(starts + knot_steps, n_steps - 1)
+    knots = np.concatenate([starts, ends[-1:]])
+    return knots, starts, ends
+
+
+def swept_boxes(
+    knot_positions: np.ndarray,
+    interval_dt_s: np.ndarray,
+    v_max_kms: np.ndarray,
+    pad_km: float,
+):
+    """Per-(object, interval) swept AABBs from knot-propagated positions.
+
+    ``knot_positions`` is ``(n_knots, n, 3)`` float64; interval ``k`` is
+    bounded by knots ``k`` and ``k + 1`` and spans ``interval_dt_s[k]``
+    seconds.  Any position of object ``o`` during interval ``k`` lies
+    within ``v_max * dt / 2`` of the nearer knot (the object cannot
+    outrun its perigee speed), so the AABB of the two knots padded by that
+    margin contains the whole sweep; ``pad_km`` adds the caller's pairing
+    margin (grid cell + precision pad) on top.
+
+    Returns ``(lo, hi, interval, obj)`` with boxes interval-major:
+    box ``k * n + o`` belongs to object ``o`` in interval ``k``.
+    """
+    if knot_positions.ndim != 3 or knot_positions.shape[-1] != 3:
+        raise ValueError(f"knot positions must be (n_knots, n, 3), got {knot_positions.shape}")
+    n_knots, n, _ = knot_positions.shape
+    if n_knots < 2:
+        raise ValueError("need at least 2 knots (1 interval)")
+    n_int = n_knots - 1
+    p0 = knot_positions[:-1]
+    p1 = knot_positions[1:]
+    margin = (
+        np.asarray(v_max_kms, dtype=np.float64)[None, :, None]
+        * np.asarray(interval_dt_s, dtype=np.float64)[:, None, None]
+        * 0.5
+        + pad_km
+    )
+    lo = (np.minimum(p0, p1) - margin).reshape(n_int * n, 3)
+    hi = (np.maximum(p0, p1) + margin).reshape(n_int * n, 3)
+    interval = np.repeat(np.arange(n_int, dtype=np.int64), n)
+    obj = np.tile(np.arange(n, dtype=np.int64), n_int)
+    return lo, hi, interval, obj
+
+
+def _spread_bits(v: np.ndarray) -> np.ndarray:
+    """Spread 10-bit lanes so consecutive bits land 3 apart (Morton)."""
+    v = v.astype(np.uint64) & np.uint64(_MORTON_RANGE - 1)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x030000FF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x0300F00F)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x030C30C3)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x09249249)
+    return v
+
+
+def morton3(centers: np.ndarray) -> np.ndarray:
+    """30-bit Morton codes of ``(n, 3)`` points inside the simulation cube."""
+    scale = _MORTON_RANGE / (2.0 * SIM_HALF_EXTENT)
+    q = np.clip(
+        ((centers + SIM_HALF_EXTENT) * scale).astype(np.int64), 0, _MORTON_RANGE - 1
+    )
+    return (
+        _spread_bits(q[:, 0])
+        | (_spread_bits(q[:, 1]) << np.uint64(1))
+        | (_spread_bits(q[:, 2]) << np.uint64(2))
+    )
+
+
+def _next_pow2(x: int) -> int:
+    return 1 if x <= 1 else 1 << (x - 1).bit_length()
+
+
+class AABB4DTree:
+    """Array-backed implicit BVH over 4D (x, y, z, interval) boxes.
+
+    Leaves are the input boxes sorted by ``(interval, morton(center))``;
+    leaf ``s`` (sorted order) lives at node ``n_leaves + s`` of a complete
+    binary tree stored in flat arrays (node ``1`` is the root, node ``i``
+    has children ``2i`` and ``2i + 1``).  Internal bounds are unions of
+    their children, built with one vectorised reduction per level —
+    construction does no per-node Python work.
+
+    ``node_max_order`` holds the highest sorted leaf order under each
+    node: the self-overlap query prunes any subtree whose leaves all
+    precede the query box, which both halves the traversal and emits each
+    unordered pair exactly once.
+    """
+
+    __slots__ = (
+        "n_boxes", "n_leaves", "node_lo", "node_hi", "node_max_order",
+        "perm", "build_seconds",
+    )
+
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        interval: np.ndarray,
+        obj: "np.ndarray | None" = None,
+    ) -> None:
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        interval = np.asarray(interval, dtype=np.int64)
+        if lo.shape != hi.shape or lo.ndim != 2 or lo.shape[1] != 3:
+            raise ValueError(f"boxes must be (n, 3) lo/hi pairs, got {lo.shape}/{hi.shape}")
+        if len(interval) != len(lo):
+            raise ValueError("interval array must match the box count")
+        b = len(lo)
+        self.n_boxes = b
+        self.n_leaves = _next_pow2(max(b, 1))
+        leaves = self.n_leaves
+
+        centers = 0.5 * (lo + hi)
+        keys = (interval.astype(np.uint64) << np.uint64(30)) | morton3(centers)
+        order = np.argsort(keys, kind="stable")
+        self.perm = order
+
+        self.node_lo = np.full((2 * leaves, 4), np.inf)
+        self.node_hi = np.full((2 * leaves, 4), -np.inf)
+        self.node_lo[leaves : leaves + b, :3] = lo[order]
+        self.node_hi[leaves : leaves + b, :3] = hi[order]
+        self.node_lo[leaves : leaves + b, 3] = interval[order]
+        self.node_hi[leaves : leaves + b, 3] = interval[order]
+        self.node_max_order = np.full(2 * leaves, -1, dtype=np.int64)
+        self.node_max_order[leaves : leaves + b] = np.arange(b, dtype=np.int64)
+
+        size = leaves
+        while size > 1:
+            half = size // 2
+            self.node_lo[half:size] = self.node_lo[size : 2 * size].reshape(half, 2, 4).min(axis=1)
+            self.node_hi[half:size] = self.node_hi[size : 2 * size].reshape(half, 2, 4).max(axis=1)
+            self.node_max_order[half:size] = (
+                self.node_max_order[size : 2 * size].reshape(half, 2).max(axis=1)
+            )
+            size = half
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident footprint of the node and permutation arrays."""
+        return (
+            self.node_lo.nbytes
+            + self.node_hi.nbytes
+            + self.node_max_order.nbytes
+            + self.perm.nbytes
+        )
+
+    def query_self_pairs(
+        self, active: "np.ndarray | None" = None
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """All overlapping box pairs ``(a, b)`` in original box indices.
+
+        Every box (optionally restricted to ``active`` boxes — the
+        occupancy prefilter's surviving set) descends the tree as a query;
+        overlap requires all four dimensions, so only boxes of the same
+        knot interval can ever pair.  The ``node_max_order`` prune keeps
+        exactly the pairs whose second member sorts after the first, so
+        each unordered pair is emitted once and self-pairs never appear.
+        The traversal is level-synchronous: each loop iteration advances
+        the whole surviving frontier by one tree level with fused array
+        ops (no per-node Python).
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if self.n_boxes < 2:
+            return empty, empty.copy()
+        leaves = self.n_leaves
+        if active is None:
+            fq = np.arange(self.n_boxes, dtype=np.int64)
+        else:
+            mask = np.asarray(active, dtype=bool)
+            if len(mask) != self.n_boxes:
+                raise ValueError("active mask must match the box count")
+            fq = np.nonzero(mask[self.perm])[0].astype(np.int64)
+        if fq.size == 0:
+            return empty, empty.copy()
+        fn = np.ones(fq.size, dtype=np.int64)
+
+        out_a: "list[np.ndarray]" = []
+        out_b: "list[np.ndarray]" = []
+        while fq.size:
+            q_lo = self.node_lo[leaves + fq]
+            q_hi = self.node_hi[leaves + fq]
+            n_lo = self.node_lo[fn]
+            n_hi = self.node_hi[fn]
+            ov = (
+                np.all(n_lo <= q_hi, axis=1)
+                & np.all(q_lo <= n_hi, axis=1)
+                & (self.node_max_order[fn] > fq)
+            )
+            fq = fq[ov]
+            fn = fn[ov]
+            is_leaf = fn >= leaves
+            if is_leaf.any():
+                out_a.append(fq[is_leaf])
+                out_b.append(fn[is_leaf] - leaves)
+            inner = ~is_leaf
+            fq = np.repeat(fq[inner], 2)
+            fn = np.repeat(fn[inner] * 2, 2)
+            fn[1::2] += 1
+        if not out_a:
+            return empty, empty.copy()
+        a = np.concatenate(out_a)
+        b = np.concatenate(out_b)
+        return self.perm[a], self.perm[b]

@@ -55,11 +55,16 @@ def _as_grid_positions(positions: np.ndarray) -> np.ndarray:
     return pos
 
 
-def compute_cell_keys(positions: np.ndarray, cell_size: float) -> np.ndarray:
-    """Packed cell keys for an ``(n, 3)`` position array (uint64 ``(n,)``).
+def compute_cell_coords(positions: np.ndarray, cell_size: float) -> np.ndarray:
+    """Integer cell coordinates of positions: ``floor((pos + half) / cell)``.
 
-    Accepts float64 or float32 positions; the binning arithmetic runs in
-    the input dtype (see :func:`_as_grid_positions`).
+    This is the single source of truth for grid quantisation: the key
+    packers below consume it, and the 4D-tree variant's narrow phase calls
+    it directly so its cell-adjacency test reproduces the grids'
+    bit-for-bit (including the dtype discipline — float32 positions are
+    binned in float32, see :func:`_as_grid_positions`).  Works for any
+    leading shape with a trailing axis of 3; returns int64 of the same
+    leading shape.
     """
     pos = _as_grid_positions(positions)
     if np.any(np.abs(pos) > SIM_HALF_EXTENT):
@@ -68,7 +73,16 @@ def compute_cell_keys(positions: np.ndarray, cell_size: float) -> np.ndarray:
             f"position component {worst:.1f} km outside the simulation cube "
             f"(half extent {SIM_HALF_EXTENT:.0f} km)"
         )
-    coords = np.floor((pos + SIM_HALF_EXTENT) / cell_size).astype(np.int64)
+    return np.floor((pos + SIM_HALF_EXTENT) / cell_size).astype(np.int64)
+
+
+def compute_cell_keys(positions: np.ndarray, cell_size: float) -> np.ndarray:
+    """Packed cell keys for an ``(n, 3)`` position array (uint64 ``(n,)``).
+
+    Accepts float64 or float32 positions; the binning arithmetic runs in
+    the input dtype (see :func:`_as_grid_positions`).
+    """
+    coords = compute_cell_coords(positions, cell_size)
     return pack_cell_key(coords[:, 0], coords[:, 1], coords[:, 2])
 
 
@@ -93,13 +107,7 @@ def compute_step_cell_keys(positions: np.ndarray, cell_size: float) -> np.ndarra
             f"cell size {cell_size} km needs more than {STEP_CELL_RANGE} cells per "
             "axis, too fine for the compound (step, cell) key space"
         )
-    if np.any(np.abs(pos) > SIM_HALF_EXTENT):
-        worst = float(np.abs(pos).max())
-        raise ValueError(
-            f"position component {worst:.1f} km outside the simulation cube "
-            f"(half extent {SIM_HALF_EXTENT:.0f} km)"
-        )
-    coords = np.floor((pos + SIM_HALF_EXTENT) / cell_size).astype(np.int64)
+    coords = compute_cell_coords(pos, cell_size)
     steps = np.repeat(np.arange(p, dtype=np.int64), pos.shape[1])
     return pack_step_cell_key(
         steps,

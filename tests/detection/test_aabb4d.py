@@ -1,0 +1,234 @@
+"""Differential suite for the build-once 4D AABB-tree variant.
+
+The tentpole guarantee: ``screen(method="aabb4d")`` produces final
+conjunction sets **byte-identical** to the grid oracle.  Within one
+precision policy every oracle flavour ({sorted, hashmap} grid, serial or
+processes executor) is itself bit-identical, so the suite compares the
+tree variant against each of them with exact array equality; across
+precision policies (fp64 vs mixed) the grids themselves only agree to
+refinement tolerance, and the tree variant mirrors that contract.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detection import ScreeningConfig, screen, screen_aabb4d
+from repro.obs import MetricsRegistry, Tracer
+from repro.orbits.elements import KeplerElements, OrbitalElementsArray
+from repro.parallel.multidevice import screen_grid_multidevice
+from repro.population.generator import generate_population
+
+CFG = dict(threshold_km=5.0, duration_s=6000.0, seconds_per_sample=1.0)
+
+
+def assert_bitwise_equal(a, b):
+    np.testing.assert_array_equal(a.i, b.i)
+    np.testing.assert_array_equal(a.j, b.j)
+    np.testing.assert_array_equal(a.tca_s, b.tca_s)
+    np.testing.assert_array_equal(a.pca_km, b.pca_km)
+
+
+@pytest.fixture(scope="module")
+def cluster_population() -> OrbitalElementsArray:
+    """A 40-object fan of coplanar-node orbits producing ~900 real
+    conjunctions: every pair shares the ascending node with slightly
+    different inclinations and radii, like the crossing_pair fixture but
+    n-to-n."""
+    rng = np.random.default_rng(42)
+    els = []
+    for k in range(40):
+        els.append(
+            KeplerElements(
+                a=7000.0 + 0.2 * k,
+                e=0.001,
+                i=math.radians(45.0 + 0.4 * k),
+                raan=0.0,
+                argp=0.0,
+                m0=float(rng.uniform(-2e-4, 2e-4)),
+            )
+        )
+    return OrbitalElementsArray.from_elements(els)
+
+
+class TestDifferentialVsGridOracle:
+    @pytest.mark.parametrize("grid_impl", ["sorted", "hashmap"])
+    @pytest.mark.parametrize("precision", ["fp64", "mixed"])
+    def test_byte_identical_vs_serial_grid(
+        self, cluster_population, grid_impl, precision
+    ):
+        cfg = ScreeningConfig(grid_impl=grid_impl, precision=precision, **CFG)
+        oracle = screen(cluster_population, cfg, method="grid")
+        tree = screen(cluster_population, cfg, method="aabb4d")
+        assert len(oracle.i) > 0, "scenario must produce conjunctions"
+        assert_bitwise_equal(oracle, tree)
+
+    @pytest.mark.parametrize("precision", ["fp64", "mixed"])
+    def test_byte_identical_vs_processes_grid(self, cluster_population, precision):
+        cfg = ScreeningConfig(precision=precision, **CFG)
+        oracle, _ = screen_grid_multidevice(
+            cluster_population, cfg, 2, executor="processes"
+        )
+        tree = screen(cluster_population, cfg, method="aabb4d")
+        assert_bitwise_equal(oracle, tree)
+
+    def test_cross_precision_tolerance(self, cluster_population):
+        """fp64 vs mixed agree like the grids do: same pairs, close values."""
+        a64 = screen(
+            cluster_population, ScreeningConfig(precision="fp64", **CFG), method="aabb4d"
+        )
+        a32 = screen(
+            cluster_population, ScreeningConfig(precision="mixed", **CFG), method="aabb4d"
+        )
+        np.testing.assert_array_equal(a64.i, a32.i)
+        np.testing.assert_array_equal(a64.j, a32.j)
+        np.testing.assert_allclose(a64.tca_s, a32.tca_s, atol=1e-4)
+        np.testing.assert_allclose(a64.pca_km, a32.pca_km, atol=1e-6)
+
+    def test_crossing_pair_scenario(self, crossing_pair):
+        cfg = ScreeningConfig(**CFG)
+        oracle = screen(crossing_pair, cfg, method="grid")
+        tree = screen(crossing_pair, cfg, method="aabb4d")
+        assert len(tree.i) == 2
+        assert_bitwise_equal(oracle, tree)
+
+    def test_candidate_records_match_grid(self, cluster_population):
+        cfg = ScreeningConfig(**CFG)
+        oracle = screen(cluster_population, cfg, method="grid")
+        tree = screen(cluster_population, cfg, method="aabb4d")
+        assert tree.extra["conjunction_records"] == oracle.extra["conjunction_records"]
+
+    @pytest.mark.parametrize("knot_steps", [1, 7, 64, 100000])
+    def test_knot_granularity_never_changes_results(
+        self, cluster_population, knot_steps
+    ):
+        """The knot spacing is a pure performance knob."""
+        cfg = ScreeningConfig(aabb_knot_steps=knot_steps, **CFG)
+        oracle = screen(cluster_population, ScreeningConfig(**CFG), method="grid")
+        tree = screen(cluster_population, cfg, method="aabb4d")
+        assert_bitwise_equal(oracle, tree)
+
+    def test_smart_sieve_composes(self, cluster_population):
+        cfg = ScreeningConfig(use_smart_sieve=True, **CFG)
+        oracle = screen(cluster_population, cfg, method="grid")
+        tree = screen(cluster_population, cfg, method="aabb4d")
+        assert_bitwise_equal(oracle, tree)
+
+    def test_sparse_population_differential(self, small_population):
+        cfg = ScreeningConfig(
+            threshold_km=2.0, duration_s=1800.0, seconds_per_sample=1.0
+        )
+        oracle = screen(small_population, cfg, method="grid")
+        tree = screen(small_population, cfg, method="aabb4d")
+        assert_bitwise_equal(oracle, tree)
+
+
+class TestScheduleContract:
+    def test_pipelined_rejects_loudly(self, crossing_pair):
+        """Satellite task: pipelined × aabb4d rejects at validation time,
+        the same contract as kdtree/legacy."""
+        cfg = ScreeningConfig(schedule="pipelined", **CFG)
+        with pytest.raises(ValueError, match="barrier-only"):
+            screen(crossing_pair, cfg, method="aabb4d")
+
+    def test_barrier_schedule_reported(self, crossing_pair):
+        res = screen(crossing_pair, ScreeningConfig(**CFG), method="aabb4d")
+        assert res.extra["schedule"] == "barrier"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="aabb_knot_steps"):
+            ScreeningConfig(aabb_knot_steps=0, **CFG)
+        with pytest.raises(ValueError, match="occupancy_shell_km"):
+            ScreeningConfig(occupancy_shell_km=-1.0, **CFG)
+
+
+class TestObservability:
+    def test_phase_spans_and_funnel(self, crossing_pair):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        res = screen(
+            crossing_pair, ScreeningConfig(**CFG), method="aabb4d",
+            tracer=tracer, metrics=metrics,
+        )
+        names = {s.name for s in tracer.records()}
+        assert {"window", "phase:ALLOC", "phase:INS", "phase:CD", "phase:REF"} <= names
+        stages = {s.name for s in metrics.funnel("screen").stages}
+        assert {"occupancy", "tree", "narrow", "emit", "refine", "merge"} <= stages
+        assert res.extra["occupancy_rejection_rate"] >= 0.0
+        assert res.extra["tree_bytes"] > 0
+        assert res.extra["bitmap_bytes"] > 0
+
+    def test_occupancy_funnel_measures_rejection(self):
+        """Two isolated shells: the prefilter's rejection is visible in
+        both the funnel stage and the result metadata."""
+        els = [
+            KeplerElements(a=7000.0, e=0.001, i=0.9, raan=0.0, argp=0.0, m0=0.0),
+            KeplerElements(a=7000.5, e=0.001, i=0.95, raan=0.0, argp=0.0, m0=1e-4),
+            KeplerElements(a=17000.0, e=0.0001, i=0.3, raan=2.0, argp=0.0, m0=3.0),
+        ]
+        pop = OrbitalElementsArray.from_elements(els)
+        metrics = MetricsRegistry()
+        res = screen_aabb4d(pop, ScreeningConfig(**CFG), metrics=metrics)
+        assert res.extra["occupancy_rejection_rate"] > 0.0
+        occ = [s for s in metrics.funnel("screen").stages if s.name == "occupancy"]
+        assert occ and occ[0].n_out < occ[0].n_in
+
+    def test_timers_cover_all_phases(self, crossing_pair):
+        res = screen(crossing_pair, ScreeningConfig(**CFG), method="aabb4d")
+        assert {"ALLOC", "INS", "CD", "REF"} <= set(res.timers.totals)
+
+
+class TestInstrumentationRegression:
+    """Satellite task: no detection entry point silently drops
+    tracer/metrics (PR 9 fixed kdtree; cube was still dropping them,
+    legacy was already threaded — both are pinned here)."""
+
+    def test_cube_threads_tracer_and_metrics(self, small_population):
+        from repro.detection import cube_estimate
+
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        cube_estimate(
+            small_population, n_samples=5, seed=9, tracer=tracer, metrics=metrics
+        )
+        names = {s.name for s in tracer.records()}
+        assert {"cube", "phase:INS", "phase:CD"} <= names
+        assert metrics.counter("cube.samples").value == 5
+        stages = {s.name for s in metrics.funnel("screen").stages}
+        assert {"same_cube", "rate"} <= stages
+
+    def test_cube_results_unchanged_by_instrumentation(self, small_population):
+        from repro.detection import cube_estimate
+
+        plain = cube_estimate(small_population, n_samples=5, seed=9)
+        traced = cube_estimate(
+            small_population, n_samples=5, seed=9,
+            tracer=Tracer(), metrics=MetricsRegistry(),
+        )
+        assert plain.total_rate_per_s == traced.total_rate_per_s
+        assert plain.pair_rates == traced.pair_rates
+
+    def test_legacy_threads_tracer_and_metrics(self, crossing_pair):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        screen(
+            crossing_pair,
+            ScreeningConfig(threshold_km=5.0, duration_s=600.0, seconds_per_sample=1.0),
+            method="legacy", tracer=tracer, metrics=metrics,
+        )
+        names = {s.name for s in tracer.records()}
+        assert any(n.startswith("phase:") for n in names)
+        assert metrics.funnel("screen").stages
+
+
+class TestMemoryPlanIntegration:
+    def test_plan_carries_tree_and_bitmap_bytes(self, crossing_pair):
+        cfg = ScreeningConfig(memory_budget_bytes=64 << 20, **CFG)
+        res = screen(crossing_pair, cfg, method="aabb4d")
+        plan = res.extra["memory_plan"]
+        assert plan is not None
+        assert plan.tree_bytes > 0
+        assert plan.bitmap_bytes > 0
+        assert plan.fixed_bytes >= plan.tree_bytes + plan.bitmap_bytes

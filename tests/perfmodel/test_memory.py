@@ -5,6 +5,9 @@ import pytest
 
 from repro.perfmodel.memory import (
     CANDIDATE_RECORD_BYTES,
+    aabb_interval_count,
+    aabb_tree_bytes,
+    occupancy_bitmap_bytes,
     ENTRY_BYTES,
     MIN_CONJUNCTIONS,
     MIN_DEVICE_CONJUNCTIONS,
@@ -37,6 +40,88 @@ class TestConjunctionCapacity:
         grid = conjunction_capacity(big_n, 9.0, 86400.0, 2.0, "grid")
         hybrid = conjunction_capacity(big_n, 9.0, 86400.0, 2.0, "hybrid")
         assert grid != hybrid
+
+
+class TestAABB4DAccounting:
+    def test_interval_count_matches_knot_schedule(self):
+        from repro.spatial.aabb4d import knot_schedule
+
+        for total, k in ((2, 1), (33, 32), (721, 32), (7201, 64)):
+            _, starts, _ = knot_schedule(total, k)
+            assert aabb_interval_count(total, k) == len(starts)
+
+    def test_interval_count_validation(self):
+        with pytest.raises(ValueError):
+            aabb_interval_count(1, 32)
+        with pytest.raises(ValueError):
+            aabb_interval_count(100, 0)
+
+    def test_tree_bytes_matches_built_tree(self):
+        import numpy as np
+
+        from repro.spatial.aabb4d import AABB4DTree
+
+        n, total, k = 50, 65, 32
+        n_int = aabb_interval_count(total, k)
+        rng = np.random.default_rng(0)
+        boxes = n * n_int
+        lo = rng.uniform(-100, 100, size=(boxes, 3))
+        hi = lo + 1.0
+        interval = np.repeat(np.arange(n_int), n)
+        tree = AABB4DTree(lo, hi, interval)
+        assert aabb_tree_bytes(n, total, k) == tree.memory_bytes
+
+    def test_bitmap_bytes_matches_built_bitmap(self):
+        import numpy as np
+
+        from repro.filters.occupancy import OccupancyBitmap
+
+        n, total, k = 40, 33, 16
+        n_int = aabb_interval_count(total, k)
+        boxes = n * n_int
+        rng = np.random.default_rng(1)
+        lo = rng.uniform(-100, 100, size=(boxes, 3))
+        hi = lo + 1.0
+        interval = np.repeat(np.arange(n_int), n)
+        bitmap = OccupancyBitmap(lo, hi, interval, n_int, shell_km=50.0)
+        assert occupancy_bitmap_bytes(n, total, k, 50.0) == bitmap.memory_bytes
+
+    def test_capacity_mirrors_grid(self):
+        args = (1_024_000, 9.0, 86400.0, 2.0)
+        assert conjunction_capacity(*args, "aabb4d") == conjunction_capacity(*args, "grid")
+
+    def test_plan_charges_tree_and_bitmap(self):
+        n = 64000
+        grid = plan_memory(n, 9.0, 3600.0, 2.0, "grid", budget_bytes=24 * GB, auto_adjust=False)
+        aabb = plan_memory(n, 9.0, 3600.0, 2.0, "aabb4d", budget_bytes=24 * GB, auto_adjust=False)
+        assert grid.tree_bytes == 0 and grid.bitmap_bytes == 0
+        total = int(3600.0 / 9.0) + 1
+        assert aabb.tree_bytes == aabb_tree_bytes(n, total, 32)
+        assert aabb.bitmap_bytes == occupancy_bitmap_bytes(n, total, 32)
+        assert aabb.fixed_bytes == grid.fixed_bytes + aabb.tree_bytes + aabb.bitmap_bytes
+
+    def test_plan_respects_knobs(self):
+        n = 64000
+        fine = plan_memory(n, 9.0, 3600.0, 2.0, "aabb4d", budget_bytes=24 * GB,
+                           auto_adjust=False, knot_steps=8)
+        coarse = plan_memory(n, 9.0, 3600.0, 2.0, "aabb4d", budget_bytes=24 * GB,
+                             auto_adjust=False, knot_steps=128)
+        assert fine.tree_bytes > coarse.tree_bytes
+        thin = plan_memory(n, 9.0, 3600.0, 2.0, "aabb4d", budget_bytes=24 * GB,
+                           auto_adjust=False, occupancy_shell_km=10.0)
+        assert thin.bitmap_bytes > fine.bitmap_bytes or thin.bitmap_bytes > coarse.bitmap_bytes
+
+    def test_stream_rounds_feel_the_tree(self):
+        # The tree+bitmap eat free space, so the aabb4d stream plan never
+        # gets a wider round than the grid plan on the same budget.
+        grid = plan_stream_rounds(
+            200_000, 1.0, 7200.0, 2.0, "grid", 256 * 2**20, 4, 1801
+        )
+        aabb = plan_stream_rounds(
+            200_000, 1.0, 7200.0, 2.0, "aabb4d", 256 * 2**20, 4, 1801
+        )
+        assert aabb.round_size <= grid.round_size
+        assert aabb.plan.tree_bytes > 0 and aabb.plan.bitmap_bytes > 0
 
 
 class TestPlan:

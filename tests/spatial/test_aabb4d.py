@@ -1,0 +1,253 @@
+"""Unit tests of the build-once 4D AABB tree and its swept-box inputs."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import MU_EARTH
+from repro.filters.occupancy import OccupancyBitmap, box_radial_ranges
+from repro.population.generator import generate_population
+from repro.spatial.aabb4d import (
+    AABB4DTree,
+    knot_schedule,
+    max_speed_kms,
+    morton3,
+    swept_boxes,
+)
+
+
+def _random_boxes(rng, n_boxes, n_intervals, span=500.0, size=60.0):
+    centers = rng.uniform(-span, span, size=(n_boxes, 3))
+    half = rng.uniform(1.0, size, size=(n_boxes, 3))
+    interval = rng.integers(0, n_intervals, size=n_boxes).astype(np.int64)
+    return centers - half, centers + half, interval
+
+
+def _brute_pairs(lo, hi, interval, active=None):
+    pairs = set()
+    n = len(lo)
+    for a in range(n):
+        if active is not None and not active[a]:
+            continue
+        for b in range(n):
+            if b == a:
+                continue
+            if interval[a] != interval[b]:
+                continue
+            if np.all(lo[a] <= hi[b]) and np.all(lo[b] <= hi[a]):
+                pairs.add((min(a, b), max(a, b)))
+    return pairs
+
+
+class TestKnotSchedule:
+    def test_partition_covers_all_steps_once(self):
+        for n_steps in (2, 3, 33, 64, 65, 100):
+            for k in (1, 4, 32, 200):
+                knots, starts, ends = knot_schedule(n_steps, k)
+                owned = []
+                for idx in range(len(starts)):
+                    hi = ends[idx] + (1 if idx == len(starts) - 1 else 0)
+                    owned.extend(range(starts[idx], hi))
+                assert owned == list(range(n_steps)), (n_steps, k)
+
+    def test_knots_are_interval_edges(self):
+        knots, starts, ends = knot_schedule(100, 32)
+        np.testing.assert_array_equal(knots[:-1], starts)
+        np.testing.assert_array_equal(knots[1:], ends)
+        assert knots[-1] == 99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            knot_schedule(1, 32)
+        with pytest.raises(ValueError):
+            knot_schedule(10, 0)
+
+
+class TestSweptBoxes:
+    def test_contains_every_intermediate_sample(self):
+        """The sweep margin bounds true motion: every fine-grained sample
+        of every object lies inside its interval's box."""
+        from repro.detection.types import ScreeningConfig
+        from repro.orbits.propagation import Propagator
+
+        pop = generate_population(40, seed=5)
+        cfg = ScreeningConfig(duration_s=3600.0, seconds_per_sample=5.0)
+        times = cfg.sample_times()
+        knots, starts, ends = knot_schedule(len(times), 16)
+        prop = Propagator(pop)
+        knot_pos = prop.positions_batch(times[knots])
+        lo, hi, interval, obj = swept_boxes(
+            knot_pos, times[ends] - times[starts], max_speed_kms(pop), 0.0
+        )
+        n = len(pop)
+        check = Propagator(pop)
+        for k in range(len(starts)):
+            s_hi = ends[k] + (1 if k == len(starts) - 1 else 0)
+            for s in range(starts[k], s_hi):
+                pos = check.positions(float(times[s]))
+                box = k * n + np.arange(n)
+                assert np.all(pos >= lo[box]), (k, s)
+                assert np.all(pos <= hi[box]), (k, s)
+
+    def test_pad_inflates_both_sides(self):
+        knot_pos = np.zeros((3, 2, 3))
+        knot_pos[1] = 1.0
+        lo0, hi0, _, _ = swept_boxes(knot_pos, np.ones(2), np.zeros(2), 0.0)
+        lo5, hi5, _, _ = swept_boxes(knot_pos, np.ones(2), np.zeros(2), 5.0)
+        np.testing.assert_allclose(lo0 - lo5, 5.0)
+        np.testing.assert_allclose(hi5 - hi0, 5.0)
+
+    def test_interval_major_layout(self):
+        knot_pos = np.arange(3 * 4 * 3, dtype=float).reshape(3, 4, 3)
+        _, _, interval, obj = swept_boxes(knot_pos, np.ones(2), np.zeros(4), 0.0)
+        np.testing.assert_array_equal(interval, [0, 0, 0, 0, 1, 1, 1, 1])
+        np.testing.assert_array_equal(obj, [0, 1, 2, 3, 0, 1, 2, 3])
+
+
+class TestMaxSpeed:
+    def test_bounds_sampled_speeds(self):
+        from repro.orbits.propagation import Propagator
+
+        pop = generate_population(50, seed=11)
+        v_max = max_speed_kms(pop)
+        prop = Propagator(pop)
+        for t in np.linspace(0.0, 7000.0, 25):
+            _, vel = prop.states(float(t))
+            speeds = np.linalg.norm(vel, axis=1)
+            assert np.all(speeds <= v_max * (1.0 + 1e-12))
+
+    def test_matches_vis_viva_at_perigee(self):
+        pop = generate_population(10, seed=2)
+        expected = np.sqrt(MU_EARTH * (2.0 / pop.perigee - 1.0 / pop.a))
+        np.testing.assert_allclose(max_speed_kms(pop), expected)
+
+
+class TestTree:
+    def test_matches_brute_force(self, rng):
+        lo, hi, interval = _random_boxes(rng, 120, 4)
+        tree = AABB4DTree(lo, hi, interval)
+        a, b = tree.query_self_pairs()
+        got = set(zip(np.minimum(a, b).tolist(), np.maximum(a, b).tolist()))
+        assert got == _brute_pairs(lo, hi, interval)
+
+    def test_each_pair_emitted_once(self, rng):
+        lo, hi, interval = _random_boxes(rng, 200, 2, span=100.0, size=80.0)
+        tree = AABB4DTree(lo, hi, interval)
+        a, b = tree.query_self_pairs()
+        keys = set(zip(a.tolist(), b.tolist()))
+        assert len(keys) == len(a)
+        assert np.all(a != b)
+
+    def test_intervals_isolate(self, rng):
+        # Identical geometry in different intervals must never pair.
+        centers = rng.uniform(-50, 50, size=(30, 3))
+        lo = np.vstack([centers - 10, centers - 10])
+        hi = np.vstack([centers + 10, centers + 10])
+        interval = np.repeat([0, 1], 30)
+        a, b = AABB4DTree(lo, hi, interval).query_self_pairs()
+        assert np.all(interval[a] == interval[b])
+
+    def test_active_mask_restricts_queries(self, rng):
+        lo, hi, interval = _random_boxes(rng, 80, 3)
+        tree = AABB4DTree(lo, hi, interval)
+        active = rng.random(80) < 0.5
+        a, b = tree.query_self_pairs(active)
+        got = set(zip(np.minimum(a, b).tolist(), np.maximum(a, b).tolist()))
+        expected = _brute_pairs(lo, hi, interval, active=active)
+        # Non-active boxes never *initiate* a descent, but still appear as
+        # targets — the occupancy contract only drops provably-isolated
+        # boxes, for which both directions are empty anyway.
+        assert got >= expected
+        for x, y in got:
+            assert active[x] or active[y]
+
+    def test_empty_and_tiny_inputs(self):
+        e = np.empty((0, 3))
+        a, b = AABB4DTree(e, e, np.empty(0, dtype=np.int64)).query_self_pairs()
+        assert len(a) == len(b) == 0
+        one = AABB4DTree(np.zeros((1, 3)), np.ones((1, 3)), np.zeros(1, dtype=np.int64))
+        a, b = one.query_self_pairs()
+        assert len(a) == 0
+
+    def test_memory_bytes_positive_and_soA(self, rng):
+        lo, hi, interval = _random_boxes(rng, 50, 2)
+        tree = AABB4DTree(lo, hi, interval)
+        assert tree.memory_bytes > 0
+        # SoA contract: the node store is flat numpy, no per-node objects.
+        assert tree.node_lo.shape == (2 * tree.n_leaves, 4)
+        assert tree.node_lo.dtype == np.float64
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_brute_force_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 60))
+        k = int(rng.integers(1, 5))
+        lo, hi, interval = _random_boxes(rng, n, k, span=80.0, size=50.0)
+        tree = AABB4DTree(lo, hi, interval)
+        a, b = tree.query_self_pairs()
+        got = set(zip(np.minimum(a, b).tolist(), np.maximum(a, b).tolist()))
+        assert got == _brute_pairs(lo, hi, interval)
+
+
+class TestMorton:
+    def test_locality_ordering_is_deterministic(self):
+        pts = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [-1.0, -1.0, -1.0]])
+        c1 = morton3(pts)
+        c2 = morton3(pts)
+        np.testing.assert_array_equal(c1, c2)
+        assert c1.dtype == np.uint64
+
+    def test_out_of_cube_points_clip(self):
+        pts = np.array([[1e9, 1e9, 1e9], [-1e9, -1e9, -1e9]])
+        codes = morton3(pts)
+        assert codes[0] == np.uint64((1 << 30) - 1)
+        assert codes[1] == np.uint64(0)
+
+
+class TestOccupancy:
+    def test_radial_ranges(self):
+        lo = np.array([[3.0, -1.0, -1.0], [-1.0, -1.0, -1.0]])
+        hi = np.array([[5.0, 1.0, 1.0], [1.0, 1.0, 1.0]])
+        r_lo, r_hi = box_radial_ranges(lo, hi)
+        assert r_lo[0] == pytest.approx(3.0)
+        assert r_lo[1] == 0.0  # contains the origin
+        assert r_hi[0] == pytest.approx(np.sqrt(25 + 1 + 1))
+        assert r_hi[1] == pytest.approx(np.sqrt(3.0))
+
+    def test_isolated_boxes_rejected_crowded_kept(self):
+        # Two boxes share altitude band 7000 km; one sits alone at 20000.
+        lo = np.array([[6990.0, -5, -5], [-5, 6990.0, -5], [19990.0, -5, -5]])
+        hi = lo + 20.0
+        interval = np.zeros(3, dtype=np.int64)
+        bitmap = OccupancyBitmap(lo, hi, interval, 1, shell_km=50.0)
+        mask = bitmap.active_mask()
+        assert mask[0] and mask[1] and not mask[2]
+
+    def test_rejection_is_sound(self, rng):
+        """Never drops a box that overlaps another of its interval."""
+        for _ in range(10):
+            lo, hi, interval = _random_boxes(rng, 60, 3, span=3000.0, size=200.0)
+            bitmap = OccupancyBitmap(lo, hi, interval, 3, shell_km=100.0)
+            mask = bitmap.active_mask()
+            pairs = _brute_pairs(lo, hi, interval)
+            for a, b in pairs:
+                assert mask[a] and mask[b]
+
+    def test_intervals_counted_separately(self):
+        # The same altitude band in different intervals is not crowding.
+        lo = np.array([[6990.0, -5, -5], [6990.0, -5, -5]])
+        hi = lo + 20.0
+        bitmap = OccupancyBitmap(lo, hi, np.array([0, 1]), 2, shell_km=50.0)
+        assert not bitmap.active_mask().any()
+
+    def test_memory_bytes(self, rng):
+        lo, hi, interval = _random_boxes(rng, 40, 2)
+        bitmap = OccupancyBitmap(lo, hi, interval, 2)
+        assert bitmap.memory_bytes > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyBitmap(np.zeros((1, 3)), np.ones((1, 3)), np.zeros(1), 1, shell_km=0.0)

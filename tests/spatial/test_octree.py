@@ -92,3 +92,105 @@ class TestQueries:
         tree.build(points)
         i, j = tree.pairs_within(20.0)
         assert np.all(i < j)
+
+
+class TestBoundaryCrossing:
+    """Objects straddling node loose-cube edges — the cases a strict
+    (non-loose) subdivision silently drops pairs on.
+
+    Octant planes sit at coordinates 0, ±half/2, ±half/4, … ; a pair of
+    points a hair either side of such a plane lands in different child
+    cubes, and the loose-cube margin (plus query-side descent into every
+    intersecting child) is what keeps radius queries exact.  Each test
+    compares against brute force so a regression in the margin arithmetic
+    cannot hide.
+    """
+
+    def _plane_coords(self):
+        from repro.constants import SIM_HALF_EXTENT
+
+        # Subdivision-plane offsets from the root centre at depths 1-4.
+        return [0.0] + [SIM_HALF_EXTENT / 2.0**d for d in range(1, 5)]
+
+    def test_straddling_pairs_found_by_radius_query(self):
+        eps = 1e-3
+        points = []
+        for b in self._plane_coords():
+            points.append([b - eps, 100.0, 100.0])
+            points.append([b + eps, 100.0, 100.0])
+        points = np.asarray(points)
+        tree = LooseOctree(object_radius=5.0)
+        tree.build(points)
+        for idx in range(0, len(points), 2):
+            hits = tree.query_radius(points[idx], 1.0)
+            np.testing.assert_array_equal(hits, _brute_radius(points, points[idx], 1.0))
+            assert idx + 1 in hits.tolist()
+
+    def test_straddling_pairs_found_by_pairs_within(self):
+        eps = 1e-3
+        rows = []
+        for axis in range(3):
+            for b in self._plane_coords():
+                p = [37.0, -21.0, 53.0]
+                q = list(p)
+                p[axis] = b - eps
+                q[axis] = b + eps
+                rows += [p, q]
+        points = np.asarray(rows)
+        tree = LooseOctree(object_radius=5.0)
+        tree.build(points)
+        i, j = tree.pairs_within(1.0)
+        got = set(zip(i.tolist(), j.tolist()))
+        for k in range(0, len(points), 2):
+            assert (k, k + 1) in got, points[k]
+
+    def test_query_point_exactly_on_plane(self, rng):
+        points = rng.uniform(-300, 300, size=(200, 3))
+        points[0] = [0.0, 0.0, 0.0]
+        points[1] = [0.0, 150.0, -40.0]
+        tree = LooseOctree(object_radius=5.0)
+        tree.build(points)
+        for q in ([0.0, 0.0, 0.0], [0.0, 150.0, -40.0], [0.0, 1e-9, 0.0]):
+            for r in (1.0, 30.0, 120.0):
+                np.testing.assert_array_equal(
+                    tree.query_radius(np.asarray(q), r),
+                    _brute_radius(points, np.asarray(q), r),
+                )
+
+    def test_cluster_on_deep_corner(self):
+        from repro.constants import SIM_HALF_EXTENT
+
+        # A corner where planes of several depths meet in all three axes.
+        corner = SIM_HALF_EXTENT / 8.0
+        rng = np.random.default_rng(1234)
+        points = corner + rng.uniform(-0.5, 0.5, size=(80, 3))
+        tree = LooseOctree(object_radius=2.0, max_depth=12)
+        tree.build(points)
+        for idx in (0, 17, 42):
+            for r in (0.25, 0.6, 1.5):
+                np.testing.assert_array_equal(
+                    tree.query_radius(points[idx], r),
+                    _brute_radius(points, points[idx], r),
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_boundary_jitter_property(self, seed):
+        """Random points snapped to random subdivision planes ± tiny
+        jitter still answer radius queries exactly."""
+        from repro.constants import SIM_HALF_EXTENT
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 60))
+        points = rng.uniform(-400, 400, size=(n, 3))
+        planes = np.array([0.0] + [SIM_HALF_EXTENT / 2.0**d for d in range(1, 6)])
+        snap = rng.random(size=(n, 3)) < 0.6
+        choice = planes[rng.integers(0, len(planes), size=(n, 3))]
+        sign = rng.choice([-1.0, 1.0], size=(n, 3))
+        jitter = rng.uniform(0.0, 1e-2, size=(n, 3))
+        points = np.where(snap, sign * choice + jitter * sign, points)
+        tree = LooseOctree(object_radius=4.0)
+        tree.build(points)
+        q = points[int(rng.integers(0, n))] + rng.uniform(-1e-3, 1e-3, size=3)
+        r = float(rng.uniform(0.5, 50.0))
+        np.testing.assert_array_equal(tree.query_radius(q, r), _brute_radius(points, q, r))
